@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+//! # shapex-backtrack
+//!
+//! The baseline validator: a direct implementation of the paper's Fig. 1
+//! inference rules. The *And* rule
+//!
+//! ```text
+//!        r1 ≃ g1    r2 ≃ g2
+//! And ─────────────────────────
+//!        r1 ‖ r2 ≃ g1 ⊕ g2
+//! ```
+//!
+//! is implemented exactly as §2 describes: by **decomposing** the
+//! neighbourhood into all `2ⁿ` pairs `(g1, g2)` with `g1 ⊕ g2 = g` and
+//! backtracking over them (Example 3 / Fig. 2). This is deliberately the
+//! naïve algorithm the paper contrasts against — "a naïve implementation of
+//! Regular Shape expression matching using backtracking leads to
+//! exponential growth and has poor performance" (§5) — kept for the
+//! head-to-head benchmarks (experiments E1/E2) and for differential
+//! testing of the derivative engine.
+//!
+//! Recursion (§8 schemas) is handled by the textbook greatest-fixpoint
+//! computation: start from the typing where every `(node, label)` pair
+//! holds and repeatedly strike out pairs whose match fails, until stable.
+//! This doubles as the *reference semantics* the derivative engine's
+//! optimised coinduction is differential-tested against.
+
+mod matcher;
+
+pub use matcher::{BacktrackValidator, BtConfig, BtError, BtStats};

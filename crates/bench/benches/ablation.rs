@@ -1,0 +1,125 @@
+//! **E9** — ablations of the derivative engine's design choices
+//! (EXPERIMENTS.md / DESIGN.md §4): the §4 simplification identities, the
+//! Or-dedup rule, and the (expression × triple-class) derivative memo,
+//! each toggled off independently on the workloads they matter for.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use shapex::{EngineConfig, Simplify};
+use shapex_bench::DerivativeRun;
+use shapex_workloads::{balanced_ab, example8_neighbourhood, person_network, Topology};
+
+fn configs() -> Vec<(&'static str, EngineConfig)> {
+    // All ablations run with the SORBE fast path off so they measure the
+    // derivative machinery itself; "sorbe" is the fast path for contrast
+    // (on workloads where the shape qualifies).
+    let general = EngineConfig {
+        no_sorbe: true,
+        ..EngineConfig::default()
+    };
+    vec![
+        ("full", general),
+        (
+            "no_memo",
+            EngineConfig {
+                no_deriv_memo: true,
+                ..general
+            },
+        ),
+        (
+            "no_or_dedup",
+            EngineConfig {
+                simplify: Simplify {
+                    identities: true,
+                    or_dedup: false,
+                },
+                ..general
+            },
+        ),
+        ("sorbe", EngineConfig::default()),
+    ]
+}
+
+fn e9_simplification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_ablation_example8");
+    for (name, config) in configs() {
+        let mut run = DerivativeRun::prepare(example8_neighbourhood(256), config);
+        group.bench_function(BenchmarkId::new(name, 256), |bench| {
+            bench.iter(|| black_box(run.validate_all()))
+        });
+    }
+    // Disabling the identities entirely makes derivatives grow without
+    // bound on stars; measure it only on a small instance.
+    let mut run = DerivativeRun::prepare(
+        example8_neighbourhood(32),
+        EngineConfig {
+            simplify: Simplify::none(),
+            no_sorbe: true,
+            ..EngineConfig::default()
+        },
+    );
+    group.bench_function(BenchmarkId::new("no_simplify", 32), |bench| {
+        bench.iter(|| black_box(run.validate_all()))
+    });
+    let mut baseline = DerivativeRun::prepare(
+        example8_neighbourhood(32),
+        EngineConfig {
+            no_sorbe: true,
+            ..EngineConfig::default()
+        },
+    );
+    group.bench_function(BenchmarkId::new("full", 32), |bench| {
+        bench.iter(|| black_box(baseline.validate_all()))
+    });
+    group.finish();
+}
+
+fn e9_growth_workload(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_ablation_example10");
+    // 8 pairs: the no-memo configuration is exponentially infeasible on
+    // larger instances (that blow-up is the point of the ablation).
+    for (name, config) in configs() {
+        let mut run = DerivativeRun::prepare(balanced_ab(8), config);
+        group.bench_function(BenchmarkId::new(name, 8), |bench| {
+            bench.iter(|| black_box(run.validate_all()))
+        });
+        run.validate_all();
+        println!(
+            "e9_ablation_example10/{name}: arena={} ∂-steps={} memo-hits={}",
+            run.engine.stats().expr_pool_size,
+            run.engine.stats().derivative_steps,
+            run.engine.stats().deriv_memo_hits,
+        );
+    }
+    group.finish();
+}
+
+fn e9_recursive_workload(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_ablation_person_net");
+    for (name, config) in configs() {
+        let mut run = DerivativeRun::prepare(
+            person_network(500, Topology::Random { degree: 2 }, 0.1, 42),
+            config,
+        );
+        group.bench_function(BenchmarkId::new(name, 500), |bench| {
+            bench.iter(|| black_box(run.validate_all()))
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = e9_simplification, e9_growth_workload, e9_recursive_workload
+}
+criterion_main!(benches);

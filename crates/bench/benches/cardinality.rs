@@ -1,0 +1,75 @@
+//! **E5** — cardinality bounds `e{m,n}` (EXPERIMENTS.md): the native
+//! counter derivative vs the paper's §4 recursive expansion (run through
+//! the same derivative engine after `desugared()`), and vs the
+//! backtracking baseline where feasible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use shapex::EngineConfig;
+use shapex_bench::{BacktrackRun, DerivativeRun};
+use shapex_shex::schema::Schema;
+use shapex_workloads::repeat_bounds;
+
+/// Desugars every shape in the workload's schema before compiling, so the
+/// engine sees the expanded form.
+fn prepare_expanded(w: shapex_workloads::Workload, config: EngineConfig) -> DerivativeRun {
+    let parsed = shapex_shex::shexc::parse(&w.schema).unwrap();
+    let expanded =
+        Schema::from_rules(parsed.iter().map(|(l, e)| (l.clone(), e.desugared()))).unwrap();
+    let rendered = shapex_shex::display::schema_to_shexc(&expanded);
+    let w2 = shapex_workloads::Workload {
+        schema: rendered,
+        ..w
+    };
+    DerivativeRun::prepare(w2, config)
+}
+
+fn e5_repeat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_cardinality");
+    for (m, n) in [(2u32, 4u32), (5, 10), (20, 40), (100, 200)] {
+        let count = n as usize; // exactly the upper bound: valid instance
+        let id = format!("{{{m},{n}}}");
+        let general = EngineConfig {
+            no_sorbe: true,
+            ..EngineConfig::default()
+        };
+        let mut native = DerivativeRun::prepare(repeat_bounds(m, n, count), general);
+        group.bench_with_input(BenchmarkId::new("native_counter", &id), &id, |bench, _| {
+            bench.iter(|| black_box(native.validate_all()))
+        });
+        let mut sorbe = DerivativeRun::prepare(repeat_bounds(m, n, count), EngineConfig::default());
+        group.bench_with_input(BenchmarkId::new("sorbe_counting", &id), &id, |bench, _| {
+            bench.iter(|| black_box(sorbe.validate_all()))
+        });
+        let mut expanded = prepare_expanded(repeat_bounds(m, n, count), general);
+        group.bench_with_input(BenchmarkId::new("expanded", &id), &id, |bench, _| {
+            bench.iter(|| black_box(expanded.validate_all()))
+        });
+        // Baseline only at small bounds (exponential in `count`).
+        if n <= 10 {
+            let bt = BacktrackRun::prepare(repeat_bounds(m, n, count), 50_000_000);
+            if bt.validate_all().is_ok() {
+                group.bench_with_input(BenchmarkId::new("backtracking", &id), &id, |bench, _| {
+                    bench.iter(|| black_box(bt.validate_all().expect("within budget")))
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = e5_repeat
+}
+criterion_main!(benches);

@@ -1,0 +1,160 @@
+//! **E1 / E2 / E7** — engine head-to-heads (EXPERIMENTS.md).
+//!
+//! E1: the Fig. 2 / Example 8 shape over a growing neighbourhood —
+//!     derivatives consume triples linearly while the backtracking
+//!     matcher decomposes (2ⁿ).
+//! E2: And-width blow-up — the paper's §5 warning, isolated.
+//! E7: flat person records — derivative engine vs the §3
+//!     generate-SPARQL-and-evaluate pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use shapex::EngineConfig;
+
+/// The general derivative algorithm (the paper's contribution), with the
+/// SORBE fast path disabled so the series measures what it names.
+fn derivative_config() -> EngineConfig {
+    EngineConfig {
+        no_sorbe: true,
+        ..EngineConfig::default()
+    }
+}
+use shapex_bench::{parse_schema, BacktrackRun, DerivativeRun};
+use shapex_shex::ast::ShapeLabel;
+use shapex_workloads::{and_width, example8_neighbourhood, flat_person_records};
+
+fn e1_fig2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_fig2_example8");
+    for b_triples in [2usize, 4, 8, 12, 16] {
+        let mut run =
+            DerivativeRun::prepare(example8_neighbourhood(b_triples), derivative_config());
+        group.bench_with_input(
+            BenchmarkId::new("derivative", b_triples),
+            &b_triples,
+            |bench, _| bench.iter(|| black_box(run.validate_all())),
+        );
+        // The §8-future-work SORBE counting path (this shape qualifies).
+        let mut sorbe =
+            DerivativeRun::prepare(example8_neighbourhood(b_triples), EngineConfig::default());
+        group.bench_with_input(
+            BenchmarkId::new("sorbe", b_triples),
+            &b_triples,
+            |bench, _| bench.iter(|| black_box(sorbe.validate_all())),
+        );
+        // Backtracking: skip sizes whose decomposition count would exceed
+        // the budget (reported in EXPERIMENTS.md instead of timed).
+        let bt = BacktrackRun::prepare(example8_neighbourhood(b_triples), 50_000_000);
+        if bt.validate_all().is_ok() {
+            group.bench_with_input(
+                BenchmarkId::new("backtracking", b_triples),
+                &b_triples,
+                |bench, _| bench.iter(|| black_box(bt.validate_all().expect("within budget"))),
+            );
+        }
+    }
+    // Derivatives keep going far beyond the baseline's feasible range.
+    for b_triples in [64usize, 256] {
+        let mut run =
+            DerivativeRun::prepare(example8_neighbourhood(b_triples), derivative_config());
+        group.bench_with_input(
+            BenchmarkId::new("derivative", b_triples),
+            &b_triples,
+            |bench, _| bench.iter(|| black_box(run.validate_all())),
+        );
+    }
+    group.finish();
+}
+
+fn e2_and_width(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_and_width");
+    for width in [1usize, 2, 3, 4, 5, 6] {
+        let mut run = DerivativeRun::prepare(and_width(width, 2), derivative_config());
+        group.bench_with_input(BenchmarkId::new("derivative", width), &width, |bench, _| {
+            bench.iter(|| black_box(run.validate_all()))
+        });
+        let mut sorbe = DerivativeRun::prepare(and_width(width, 2), EngineConfig::default());
+        group.bench_with_input(BenchmarkId::new("sorbe", width), &width, |bench, _| {
+            bench.iter(|| black_box(sorbe.validate_all()))
+        });
+        let bt = BacktrackRun::prepare(and_width(width, 2), 50_000_000);
+        if bt.validate_all().is_ok() {
+            group.bench_with_input(
+                BenchmarkId::new("backtracking", width),
+                &width,
+                |bench, _| bench.iter(|| black_box(bt.validate_all().expect("within budget"))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn e7_sparql(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_sparql_mapping");
+    for n in [10usize, 50, 200] {
+        let mut run = DerivativeRun::prepare(flat_person_records(n, 42), derivative_config());
+        group.bench_with_input(BenchmarkId::new("derivative", n), &n, |bench, _| {
+            bench.iter(|| black_box(run.validate_all()))
+        });
+        let mut sorbe = DerivativeRun::prepare(flat_person_records(n, 42), EngineConfig::default());
+        group.bench_with_input(BenchmarkId::new("sorbe", n), &n, |bench, _| {
+            bench.iter(|| black_box(sorbe.validate_all()))
+        });
+
+        let w = flat_person_records(n, 42);
+        let schema = parse_schema(&w);
+        let label = ShapeLabel::new(w.shape.as_str());
+        // Pre-generate and pre-parse the queries: the bench measures
+        // evaluation (generation is measured separately below).
+        let queries: Vec<_> = w
+            .focus
+            .iter()
+            .map(|iri| {
+                let q = shapex_sparql::generate_node_ask(&schema, &label, iri).unwrap();
+                shapex_sparql::parser::parse(&q).unwrap()
+            })
+            .collect();
+        let ds = w.dataset;
+        group.bench_with_input(BenchmarkId::new("sparql_eval", n), &n, |bench, _| {
+            bench.iter(|| {
+                let mut conforming = 0usize;
+                for q in &queries {
+                    conforming += usize::from(shapex_sparql::ask(q, &ds.graph, &ds.pool).unwrap());
+                }
+                black_box(conforming)
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("sparql_generate_parse_eval", n),
+            &n,
+            |bench, _| {
+                bench.iter(|| {
+                    let mut conforming = 0usize;
+                    for iri in &w.focus {
+                        let q = shapex_sparql::generate_node_ask(&schema, &label, iri).unwrap();
+                        let parsed = shapex_sparql::parser::parse(&q).unwrap();
+                        conforming +=
+                            usize::from(shapex_sparql::ask(&parsed, &ds.graph, &ds.pool).unwrap());
+                    }
+                    black_box(conforming)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = e1_fig2, e2_and_width, e7_sparql
+}
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! **E6** — recursive schemas on FOAF person networks (EXPERIMENTS.md):
+//! the §8 typing-context machinery at scale, across topologies, with and
+//! without invalid nodes (invalidity propagates through `knows` and
+//! triggers greatest-fixpoint reruns).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Duration;
+
+use shapex::EngineConfig;
+
+fn derivative_config() -> EngineConfig {
+    EngineConfig {
+        no_sorbe: true,
+        ..EngineConfig::default()
+    }
+}
+use shapex_bench::{BacktrackRun, DerivativeRun};
+use shapex_workloads::{person_network, Topology};
+
+fn e6_person_networks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_person_networks");
+    for n in [10usize, 100, 1_000, 10_000] {
+        for (name, topology) in [
+            ("chain", Topology::Chain),
+            ("cycle", Topology::Cycle),
+            ("random2", Topology::Random { degree: 2 }),
+        ] {
+            let mut run =
+                DerivativeRun::prepare(person_network(n, topology, 0.0, 42), derivative_config());
+            group.throughput(Throughput::Elements(n as u64));
+            group.bench_with_input(
+                BenchmarkId::new(format!("derivative/{name}/all_valid"), n),
+                &n,
+                |bench, _| bench.iter(|| black_box(run.validate_all())),
+            );
+            let mut run =
+                DerivativeRun::prepare(person_network(n, topology, 0.1, 42), derivative_config());
+            group.bench_with_input(
+                BenchmarkId::new(format!("derivative/{name}/10pct_invalid"), n),
+                &n,
+                |bench, _| bench.iter(|| black_box(run.validate_all())),
+            );
+            // The Person schema is itself SORBE: the counting fast path
+            // handles the local structure, recursion still goes through Γ.
+            let mut run = DerivativeRun::prepare(
+                person_network(n, topology, 0.1, 42),
+                EngineConfig::default(),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("sorbe/{name}/10pct_invalid"), n),
+                &n,
+                |bench, _| bench.iter(|| black_box(run.validate_all())),
+            );
+        }
+    }
+    // Baseline comparison only at small sizes: its gfp recomputes every
+    // (node, shape) pair with the exponential matcher.
+    for n in [10usize, 50] {
+        let bt = BacktrackRun::prepare(person_network(n, Topology::Cycle, 0.1, 42), 50_000_000);
+        if bt.validate_all().is_ok() {
+            group.bench_with_input(
+                BenchmarkId::new("backtracking/cycle/10pct_invalid", n),
+                &n,
+                |bench, _| bench.iter(|| black_box(bt.validate_all().expect("within budget"))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = e6_person_networks
+}
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! **E3 / E4** — derivative-engine scaling (EXPERIMENTS.md).
+//!
+//! E3: time vs neighbourhood size for the Example 8 shape — the paper's
+//!     "linear approach where it is consuming a triple in each step" (§7).
+//! E4: the Example 10 family whose derivative *expression* grows; measures
+//!     wall time and records the expression-arena size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Duration;
+
+use shapex::EngineConfig;
+
+fn derivative_config() -> EngineConfig {
+    EngineConfig {
+        no_sorbe: true,
+        ..EngineConfig::default()
+    }
+}
+use shapex_bench::DerivativeRun;
+use shapex_workloads::{alternation_fanout, balanced_ab, example8_neighbourhood};
+
+fn e3_triples(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_triples_scaling");
+    for n in [10usize, 100, 1_000, 10_000, 100_000] {
+        let mut run = DerivativeRun::prepare(example8_neighbourhood(n), derivative_config());
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("derivative", n), &n, |bench, _| {
+            bench.iter(|| black_box(run.validate_all()))
+        });
+        let mut sorbe = DerivativeRun::prepare(example8_neighbourhood(n), EngineConfig::default());
+        group.bench_with_input(BenchmarkId::new("sorbe", n), &n, |bench, _| {
+            bench.iter(|| black_box(sorbe.validate_all()))
+        });
+    }
+    group.finish();
+}
+
+fn e4_expr_growth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_example10_growth");
+    for pairs in [4usize, 8, 16, 32, 64] {
+        let mut run = DerivativeRun::prepare(balanced_ab(pairs), EngineConfig::default());
+        group.bench_with_input(BenchmarkId::new("derivative", pairs), &pairs, |bench, _| {
+            bench.iter(|| black_box(run.validate_all()))
+        });
+        // Record the arena growth once per size (printed into the bench
+        // log; EXPERIMENTS.md cites these numbers).
+        run.validate_all();
+        println!(
+            "e4_example10_growth/pairs={pairs}: expression arena = {} nodes, ∂-steps = {}",
+            run.engine.stats().expr_pool_size,
+            run.engine.stats().derivative_steps,
+        );
+    }
+    group.finish();
+}
+
+fn e4b_alternation_fanout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4b_alternation_fanout");
+    for k in [2usize, 4, 8, 16, 32] {
+        let mut run = DerivativeRun::prepare(alternation_fanout(k, k), derivative_config());
+        group.bench_with_input(BenchmarkId::new("derivative", k), &k, |bench, _| {
+            bench.iter(|| black_box(run.validate_all()))
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = e3_triples, e4_expr_growth, e4b_alternation_fanout
+}
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! **E8** — the Brzozowski lineage on plain strings (EXPERIMENTS.md):
+//! derivative matching is immune to the catastrophic backtracking that
+//! kills naive matchers on patterns like `(a|aa)*` — the 1964 result the
+//! paper transplants to RDF graphs. Also measures the PATTERN facet as
+//! used inside shape validation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use shapex_shex::strre::{backtrack_match, Regex};
+
+fn e8_pathological(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_string_derivatives");
+    // (a|aa)* against "a"^n + "b": never matches; a naive backtracker
+    // explores Fibonacci(n) parses.
+    let re = Regex::new("(a|aa)*").unwrap();
+    for n in [8usize, 16, 24, 28] {
+        let input = "a".repeat(n) + "b";
+        group.bench_with_input(BenchmarkId::new("derivative", n), &input, |bench, input| {
+            bench.iter(|| black_box(re.is_match(input)))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("derivative_memo", n),
+            &input,
+            |bench, input| bench.iter(|| black_box(re.is_match_memo(input))),
+        );
+        // The naive matcher is exponential; keep it to sizes that finish.
+        if n <= 24 {
+            let re2 = Regex::new("(a|aa)*").unwrap();
+            group.bench_with_input(
+                BenchmarkId::new("backtracking", n),
+                &input,
+                |bench, input| bench.iter(|| black_box(backtrack_match(re2.ast(), input))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn e8_realistic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_realistic_patterns");
+    let cases = [
+        ("isbn", r"97[89]-\d{10}", "978-0441172719"),
+        (
+            "datetime",
+            r"\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}",
+            "2015-03-27T09:30:00",
+        ),
+        (
+            "email",
+            r"[\w.]+@[\w]+\.[a-z]{2,4}",
+            "eric.prudhommeaux@w3.org",
+        ),
+    ];
+    for (name, pattern, input) in cases {
+        let re = Regex::new(pattern).unwrap();
+        assert!(re.is_match(input), "{name} sanity");
+        group.bench_function(BenchmarkId::new("derivative", name), |bench| {
+            bench.iter(|| black_box(re.is_match(black_box(input))))
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = e8_pathological, e8_realistic
+}
+criterion_main!(benches);

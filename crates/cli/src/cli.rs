@@ -1,0 +1,650 @@
+//! Argument handling and command dispatch, kept library-shaped so the whole
+//! surface is unit-testable without spawning processes.
+
+use std::fmt::Write as _;
+use std::fs;
+
+use shapex::{Closure, Engine, EngineConfig};
+use shapex_backtrack::BacktrackValidator;
+use shapex_rdf::graph::Dataset;
+use shapex_rdf::turtle;
+use shapex_rdf::writer;
+use shapex_shex::ast::ShapeLabel;
+use shapex_shex::schema::Schema;
+use shapex_shex::shexc;
+
+/// Runs a command line, returning the output to print.
+pub fn run(args: &[String]) -> Result<String, String> {
+    let mut it = args.iter().map(String::as_str);
+    match it.next() {
+        Some("validate") => validate(&parse_flags(it)?),
+        Some("sparql") => sparql(&parse_flags(it)?),
+        Some("query") => query(&parse_flags(it)?),
+        Some("convert") => convert(&parse_flags(it)?),
+        Some("lint") => lint(&parse_flags(it)?),
+        Some("parse") => parse_cmd(&parse_flags(it)?),
+        Some("--help") | Some("-h") | None => Ok(USAGE.to_string()),
+        Some(other) => Err(format!("unknown command '{other}'\n{USAGE}")),
+    }
+}
+
+const USAGE: &str = "shapex — RDF validation with regular expression derivatives
+
+USAGE:
+  shapex validate --schema FILE --data FILE [options]
+      Validate Turtle data against a ShExC schema. By default computes the
+      full typing (every subject × every shape); use --node/--shape to
+      check one pair, or --map to drive validation from a shape map.
+      --engine derivative|backtracking   validation algorithm (default: derivative)
+      --node IRI                         focus node to check
+      --shape NAME                       shape label to check against
+      --map FILE                         shape map of node@<Shape> associations
+      --open                             ShEx-style open shapes (default: closed, as in the paper)
+      --no-sorbe                         disable the SORBE counting fast path
+      --explain                          print failure explanations
+      --trace                            (with --node/--shape) print the §7 derivative trace
+      --stats                            print engine statistics
+
+  shapex sparql --schema FILE --shape NAME [--node IRI]
+      Print the generated SPARQL validation query for a shape
+      (per-node ASK when --node is given, else the Example 4-style SELECT).
+
+  shapex query --data FILE (--query FILE | --ask TEXT | --select TEXT)
+      Run a SPARQL query (the supported fragment: BGPs, FILTER, OPTIONAL,
+      UNION, sub-SELECT, COUNT/GROUP BY/HAVING) on Turtle data.
+
+  shapex lint --schema FILE
+      Report likely mistakes in a schema (dead shapes, empty value sets,
+      invalid PATTERNs, contradictory constraints).
+
+  shapex convert --schema FILE [--to shexc|shexj]
+      Convert a schema between the compact syntax (ShExC) and the JSON
+      interchange form (ShExJ). Input format is detected from content.
+
+  shapex parse --data FILE [--to ntriples|turtle]
+      Parse Turtle and re-serialize it.
+";
+
+struct Flags {
+    values: Vec<(String, String)>,
+    switches: Vec<String>,
+}
+
+impl Flags {
+    fn get(&self, name: &str) -> Option<&str> {
+        self.values
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name)
+            .ok_or_else(|| format!("missing required flag --{name}"))
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+}
+
+fn parse_flags<'a>(mut it: impl Iterator<Item = &'a str>) -> Result<Flags, String> {
+    const SWITCHES: [&str; 5] = ["open", "explain", "stats", "no-sorbe", "trace"];
+    let mut flags = Flags {
+        values: Vec::new(),
+        switches: Vec::new(),
+    };
+    while let Some(arg) = it.next() {
+        let Some(name) = arg.strip_prefix("--") else {
+            return Err(format!("unexpected argument '{arg}'"));
+        };
+        if SWITCHES.contains(&name) {
+            flags.switches.push(name.to_string());
+        } else {
+            let value = it
+                .next()
+                .ok_or_else(|| format!("flag --{name} needs a value"))?;
+            flags.values.push((name.to_string(), value.to_string()));
+        }
+    }
+    Ok(flags)
+}
+
+fn load_schema(flags: &Flags) -> Result<Schema, String> {
+    let path = flags.require("schema")?;
+    let src = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    shexc::parse(&src).map_err(|e| format!("{path}:{e}"))
+}
+
+fn load_data(flags: &Flags) -> Result<Dataset, String> {
+    let path = flags.require("data")?;
+    let src = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    turtle::parse(&src).map_err(|e| format!("{path}:{e}"))
+}
+
+fn validate(flags: &Flags) -> Result<String, String> {
+    let schema = load_schema(flags)?;
+    let mut ds = load_data(flags)?;
+    let engine_kind = flags.get("engine").unwrap_or("derivative");
+    let mut out = String::new();
+
+    match engine_kind {
+        "derivative" => {
+            let config = EngineConfig {
+                closure: if flags.has("open") {
+                    Closure::Open
+                } else {
+                    Closure::Closed
+                },
+                no_sorbe: flags.has("no-sorbe"),
+                ..EngineConfig::default()
+            };
+            let mut engine =
+                Engine::compile(&schema, &mut ds.pool, config).map_err(|e| e.to_string())?;
+            if let Some(map_path) = flags.get("map") {
+                let src =
+                    fs::read_to_string(map_path).map_err(|e| format!("reading {map_path}: {e}"))?;
+                let map =
+                    shapex_shex::shapemap::parse(&src).map_err(|e| format!("{map_path}:{e}"))?;
+                let outcomes = engine
+                    .validate_map(&ds.graph, &mut ds.pool, &map)
+                    .map_err(|e| e.to_string())?;
+                let mut ok = 0;
+                for outcome in &outcomes {
+                    let assoc = &map.associations[outcome.index];
+                    let verdict = if outcome.conforms {
+                        "conforms"
+                    } else {
+                        "fails"
+                    };
+                    let expectation = if outcome.as_expected {
+                        "✓"
+                    } else {
+                        "✗ UNEXPECTED"
+                    };
+                    let _ = writeln!(
+                        out,
+                        "{} @{}{} — {verdict} {expectation}",
+                        assoc.node,
+                        if assoc.expected { "" } else { "!" },
+                        assoc.shape
+                    );
+                    if !outcome.as_expected {
+                        if let (true, Some(f)) = (flags.has("explain"), &outcome.failure) {
+                            let _ = writeln!(out, "    because: {}", f.render(&ds.pool));
+                        }
+                    }
+                    ok += usize::from(outcome.as_expected);
+                }
+                let _ = writeln!(out, "{ok}/{} associations as expected", outcomes.len());
+                if flags.has("stats") {
+                    let _ = writeln!(out, "stats: {}", engine.stats());
+                }
+                return Ok(out);
+            }
+            match (flags.get("node"), flags.get("shape")) {
+                (Some(node_iri), Some(shape)) => {
+                    let node = ds.pool.intern_iri(node_iri);
+                    if flags.has("trace") {
+                        let trace = engine
+                            .trace(&ds.graph, &ds.pool, node, &ShapeLabel::new(shape))
+                            .map_err(|e| e.to_string())?;
+                        out.push_str(&trace.render(&ds.pool));
+                        return Ok(out);
+                    }
+                    let result = engine
+                        .check(&ds.graph, &ds.pool, node, &ShapeLabel::new(shape))
+                        .map_err(|e| e.to_string())?;
+                    if result.matched {
+                        let _ = writeln!(out, "<{node_iri}> conforms to <{shape}>");
+                    } else {
+                        let _ = writeln!(out, "<{node_iri}> does NOT conform to <{shape}>");
+                        if flags.has("explain") {
+                            if let Some(f) = result.failure {
+                                let _ = writeln!(out, "  because: {}", f.render(&ds.pool));
+                            }
+                        }
+                    }
+                }
+                (None, None) => {
+                    let typing = engine.type_all(&ds.graph, &ds.pool);
+                    let rendered = typing.render(&ds.pool, &|s| engine.label_of(s).clone());
+                    if rendered.is_empty() {
+                        let _ = writeln!(out, "no node conforms to any shape");
+                    } else {
+                        let _ = writeln!(out, "{rendered}");
+                    }
+                    if flags.has("explain") {
+                        for node in ds.graph.subjects().collect::<Vec<_>>() {
+                            for i in 0..engine.schema().shapes.len() {
+                                let shape = shapex::ShapeId(i as u32);
+                                if typing.has(node, shape) {
+                                    continue;
+                                }
+                                let r = engine.check_id(&ds.graph, &ds.pool, node, shape);
+                                if let Some(f) = r.failure {
+                                    let _ = writeln!(
+                                        out,
+                                        "{} ✗ {}: {}",
+                                        ds.pool.term(node),
+                                        engine.label_of(shape),
+                                        f.render(&ds.pool)
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+                _ => return Err("--node and --shape must be given together".into()),
+            }
+            if flags.has("stats") {
+                let _ = writeln!(out, "stats: {}", engine.stats());
+            }
+        }
+        "backtracking" => {
+            let validator = BacktrackValidator::new(&schema).map_err(|e| e.to_string())?;
+            let (node_iri, shape) = match (flags.get("node"), flags.get("shape")) {
+                (Some(n), Some(s)) => (n, s),
+                _ => return Err("--engine backtracking requires --node and --shape".into()),
+            };
+            let node = ds.pool.intern_iri(node_iri);
+            let ok = validator
+                .check(&ds.graph, &ds.pool, node, &ShapeLabel::new(shape))
+                .map_err(|e| e.to_string())?;
+            let verdict = if ok {
+                "conforms to"
+            } else {
+                "does NOT conform to"
+            };
+            let _ = writeln!(out, "<{node_iri}> {verdict} <{shape}>");
+            if flags.has("stats") {
+                let st = validator.stats();
+                let _ = writeln!(
+                    out,
+                    "stats: rules={} decompositions={} gfp-iterations={}",
+                    st.rule_applications, st.decompositions, st.gfp_iterations
+                );
+            }
+        }
+        other => return Err(format!("unknown engine '{other}'")),
+    }
+    Ok(out)
+}
+
+fn sparql(flags: &Flags) -> Result<String, String> {
+    let schema = load_schema(flags)?;
+    let shape = ShapeLabel::new(flags.require("shape")?);
+    let query = match flags.get("node") {
+        Some(node) => shapex_sparql::generate_node_ask(&schema, &shape, node),
+        None => shapex_sparql::generate_select_conforming(&schema, &shape),
+    }
+    .map_err(|e| e.to_string())?;
+    Ok(format!("{query}\n"))
+}
+
+fn query(flags: &Flags) -> Result<String, String> {
+    let ds = load_data(flags)?;
+    let source = if let Some(path) = flags.get("query") {
+        fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?
+    } else if let Some(text) = flags.get("ask").or_else(|| flags.get("select")) {
+        text.to_string()
+    } else {
+        return Err("provide --query FILE, --ask TEXT, or --select TEXT".into());
+    };
+    let parsed = shapex_sparql::parser::parse(&source).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    match &parsed {
+        shapex_sparql::Query::Ask(_) => {
+            let answer =
+                shapex_sparql::ask(&parsed, &ds.graph, &ds.pool).map_err(|e| e.to_string())?;
+            let _ = writeln!(out, "{answer}");
+        }
+        shapex_sparql::Query::Select(_) => {
+            let rows =
+                shapex_sparql::select(&parsed, &ds.graph, &ds.pool).map_err(|e| e.to_string())?;
+            if rows.is_empty() {
+                let _ = writeln!(out, "(no results)");
+            }
+            for row in &rows {
+                let cells: Vec<String> = row
+                    .iter()
+                    .map(|(var, binding)| format!("?{var} = {}", binding.term(&ds.pool)))
+                    .collect();
+                let _ = writeln!(out, "{}", cells.join("	"));
+            }
+            let _ = writeln!(out, "({} solutions)", rows.len());
+        }
+    }
+    Ok(out)
+}
+
+fn lint(flags: &Flags) -> Result<String, String> {
+    let schema = load_schema(flags)?;
+    let warnings = shapex_shex::lints::lints(&schema);
+    if warnings.is_empty() {
+        return Ok("no warnings\n".to_string());
+    }
+    let mut out = String::new();
+    for w in &warnings {
+        let _ = writeln!(out, "warning: {w}");
+    }
+    let _ = writeln!(out, "{} warning(s)", warnings.len());
+    Ok(out)
+}
+
+fn convert(flags: &Flags) -> Result<String, String> {
+    let path = flags.require("schema")?;
+    let src = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    // Detect: ShExJ documents start with '{'.
+    let schema = if src.trim_start().starts_with('{') {
+        shapex_shex::shexj::from_json(&src).map_err(|e| format!("{path}: {e}"))?
+    } else {
+        shexc::parse(&src).map_err(|e| format!("{path}:{e}"))?
+    };
+    match flags.get("to").unwrap_or("shexj") {
+        "shexj" => Ok(shapex_shex::shexj::to_json(&schema) + "\n"),
+        "shexc" => Ok(shapex_shex::display::schema_to_shexc(&schema)),
+        other => Err(format!("unknown schema format '{other}'")),
+    }
+}
+
+fn parse_cmd(flags: &Flags) -> Result<String, String> {
+    let ds = load_data(flags)?;
+    match flags.get("to").unwrap_or("ntriples") {
+        "ntriples" => Ok(writer::to_ntriples(&ds.graph, &ds.pool)),
+        "turtle" => Ok(writer::to_turtle(
+            &ds.graph,
+            &ds.pool,
+            &shapex_rdf::vocab::well_known_prefixes(),
+        )),
+        other => Err(format!("unknown output format '{other}'")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_tmp(name: &str, contents: &str) -> String {
+        let path = std::env::temp_dir().join(format!("shapex-cli-test-{name}"));
+        fs::write(&path, contents).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    fn person_files() -> (String, String) {
+        let schema = write_tmp(
+            "schema.shex",
+            r#"
+            PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+            PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>
+            <Person> { foaf:age xsd:integer, foaf:name xsd:string+ }
+            "#,
+        );
+        let data = write_tmp(
+            "data.ttl",
+            r#"
+            @prefix : <http://example.org/> .
+            @prefix foaf: <http://xmlns.com/foaf/0.1/> .
+            :john foaf:age 23; foaf:name "John" .
+            :mary foaf:age 50, 65 .
+            "#,
+        );
+        (schema, data)
+    }
+
+    fn run_ok(args: &[&str]) -> String {
+        run(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    fn run_err(args: &[&str]) -> String {
+        run(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap_err()
+    }
+
+    #[test]
+    fn help_without_args() {
+        let out = run_ok(&[]);
+        assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn validate_full_typing() {
+        let (schema, data) = person_files();
+        let out = run_ok(&["validate", "--schema", &schema, "--data", &data]);
+        assert!(out.contains("john"), "{out}");
+        assert!(!out.contains("mary → "), "{out}");
+    }
+
+    #[test]
+    fn validate_single_node() {
+        let (schema, data) = person_files();
+        let out = run_ok(&[
+            "validate",
+            "--schema",
+            &schema,
+            "--data",
+            &data,
+            "--node",
+            "http://example.org/mary",
+            "--shape",
+            "Person",
+            "--explain",
+        ]);
+        assert!(out.contains("does NOT conform"), "{out}");
+        assert!(out.contains("because:"), "{out}");
+    }
+
+    #[test]
+    fn validate_with_backtracking_engine() {
+        let (schema, data) = person_files();
+        let out = run_ok(&[
+            "validate",
+            "--schema",
+            &schema,
+            "--data",
+            &data,
+            "--engine",
+            "backtracking",
+            "--node",
+            "http://example.org/john",
+            "--shape",
+            "Person",
+            "--stats",
+        ]);
+        assert!(out.contains("conforms to"), "{out}");
+        assert!(out.contains("decompositions="), "{out}");
+    }
+
+    #[test]
+    fn stats_flag() {
+        let (schema, data) = person_files();
+        let out = run_ok(&["validate", "--schema", &schema, "--data", &data, "--stats"]);
+        assert!(out.contains("∂-steps="), "{out}");
+    }
+
+    #[test]
+    fn sparql_generation() {
+        let (schema, _) = person_files();
+        let out = run_ok(&[
+            "sparql",
+            "--schema",
+            &schema,
+            "--shape",
+            "Person",
+            "--node",
+            "http://example.org/john",
+        ]);
+        assert!(out.starts_with("ASK"), "{out}");
+        let out = run_ok(&["sparql", "--schema", &schema, "--shape", "Person"]);
+        assert!(out.starts_with("SELECT"), "{out}");
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        let (_, data) = person_files();
+        let out = run_ok(&["parse", "--data", &data]);
+        assert!(out.contains("<http://example.org/john>"));
+        let ttl = run_ok(&["parse", "--data", &data, "--to", "turtle"]);
+        assert!(ttl.contains("@prefix"));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let (schema, data) = person_files();
+        assert!(run_err(&["bogus"]).contains("unknown command"));
+        assert!(run_err(&["validate", "--schema", schema.as_str()]).contains("--data"));
+        assert!(run_err(&[
+            "validate", "--schema", &schema, "--data", &data, "--engine", "quantum"
+        ])
+        .contains("unknown engine"));
+        assert!(run_err(&[
+            "validate",
+            "--schema",
+            &schema,
+            "--data",
+            &data,
+            "--node",
+            "http://e/x"
+        ])
+        .contains("together"));
+        assert!(
+            run_err(&["validate", "--schema", "/nonexistent", "--data", &data]).contains("reading")
+        );
+    }
+
+    #[test]
+    fn trace_flag() {
+        let (schema, data) = person_files();
+        let out = run_ok(&[
+            "validate",
+            "--schema",
+            &schema,
+            "--data",
+            &data,
+            "--node",
+            "http://example.org/john",
+            "--shape",
+            "Person",
+            "--trace",
+        ]);
+        assert!(out.contains("MATCHES"), "{out}");
+        assert!(out.contains("∂"), "{out}");
+    }
+
+    #[test]
+    fn lint_command() {
+        let (schema, _) = person_files();
+        assert_eq!(run_ok(&["lint", "--schema", &schema]).trim(), "no warnings");
+        let dirty = write_tmp(
+            "dirty.shex",
+            "PREFIX e: <http://e/>\nstart = @<A>\n<A> { e:p [] }\n<Dead> { e:q . }",
+        );
+        let out = run_ok(&["lint", "--schema", &dirty]);
+        assert!(out.contains("empty value set"), "{out}");
+        assert!(out.contains("never referenced"), "{out}");
+        assert!(out.contains("warning(s)"), "{out}");
+    }
+
+    #[test]
+    fn convert_command_roundtrip() {
+        let (schema, _) = person_files();
+        let j = run_ok(&["convert", "--schema", &schema, "--to", "shexj"]);
+        assert!(j.contains("TripleConstraint"), "{j}");
+        let jpath = write_tmp("schema.json", &j);
+        let c = run_ok(&["convert", "--schema", &jpath, "--to", "shexc"]);
+        assert!(c.contains("<Person> {"), "{c}");
+        assert!(run_err(&["convert", "--schema", &schema, "--to", "yaml"])
+            .contains("unknown schema format"));
+    }
+
+    #[test]
+    fn query_command() {
+        let (_, data) = person_files();
+        let ask = run_ok(&[
+            "query",
+            "--data",
+            &data,
+            "--ask",
+            "PREFIX foaf: <http://xmlns.com/foaf/0.1/> ASK { ?s foaf:name \"John\" }",
+        ]);
+        assert_eq!(ask.trim(), "true");
+        let select = run_ok(&[
+            "query", "--data", &data, "--select",
+            "PREFIX foaf: <http://xmlns.com/foaf/0.1/> SELECT ?s (COUNT(*) AS ?c) WHERE { ?s foaf:age ?o } GROUP BY ?s HAVING (?c >= 2)",
+        ]);
+        assert!(select.contains("mary"), "{select}");
+        assert!(select.contains("(1 solutions)"), "{select}");
+        assert!(run_err(&["query", "--data", &data]).contains("provide"));
+        assert!(!run_err(&["query", "--data", &data, "--ask", "NOT SPARQL"]).is_empty());
+    }
+
+    #[test]
+    fn shape_map_flow() {
+        let (schema, data) = person_files();
+        let map = write_tmp(
+            "assoc.sm",
+            "<http://example.org/john>@<Person>,\n<http://example.org/mary>@!<Person>,\n<http://example.org/mary>@<Person>",
+        );
+        let out = run_ok(&[
+            "validate",
+            "--schema",
+            &schema,
+            "--data",
+            &data,
+            "--map",
+            &map,
+            "--explain",
+        ]);
+        assert!(out.contains("2/3 associations as expected"), "{out}");
+        assert!(out.contains("UNEXPECTED"), "{out}");
+        assert!(out.contains("because:"), "{out}");
+    }
+
+    #[test]
+    fn no_sorbe_flag_agrees() {
+        let (schema, data) = person_files();
+        let with_fast = run_ok(&["validate", "--schema", &schema, "--data", &data]);
+        let without = run_ok(&[
+            "validate",
+            "--schema",
+            &schema,
+            "--data",
+            &data,
+            "--no-sorbe",
+        ]);
+        assert_eq!(with_fast, without);
+    }
+
+    #[test]
+    fn open_mode_flag() {
+        let schema = write_tmp("open.shex", "PREFIX e: <http://e/>\n<S> { e:a [1] }");
+        let data = write_tmp(
+            "open.ttl",
+            "@prefix e: <http://e/> . e:n e:a 1; e:other 2 .",
+        );
+        let closed = run_ok(&[
+            "validate",
+            "--schema",
+            &schema,
+            "--data",
+            &data,
+            "--node",
+            "http://e/n",
+            "--shape",
+            "S",
+        ]);
+        assert!(closed.contains("does NOT conform"));
+        let open = run_ok(&[
+            "validate",
+            "--schema",
+            &schema,
+            "--data",
+            &data,
+            "--node",
+            "http://e/n",
+            "--shape",
+            "S",
+            "--open",
+        ]);
+        assert!(open.contains("conforms to"), "{open}");
+    }
+}

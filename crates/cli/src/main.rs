@@ -1,0 +1,26 @@
+//! `shapex` — validate RDF (Turtle) data against ShExC schemas.
+//!
+//! ```text
+//! shapex validate --schema person.shex --data people.ttl [--engine derivative|backtracking|sparql]
+//!                 [--node IRI --shape NAME] [--open] [--explain] [--stats]
+//! shapex sparql   --schema person.shex --shape NAME [--node IRI]
+//! shapex parse    --data people.ttl [--to ntriples|turtle]
+//! ```
+
+use std::process::ExitCode;
+
+mod cli;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match cli::run(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,1623 @@
+//! The derivative-based validation engine (paper §6–§8).
+//!
+//! Matching a node consumes its neighbourhood one triple at a time
+//! (`e ≃ t ⊕ ts ⇔ ∂t(e) ≃ ts`, §7), so there is no graph decomposition and
+//! no backtracking. The two ingredients beyond the calculus itself:
+//!
+//! * **Triple classes.** `∂t` only depends on *which arc constraints* `t`
+//!   satisfies, so triples are mapped to satisfaction-profile ids first and
+//!   derivatives are memoised per `(expression, profile)` — the
+//!   Owens–Reppy–Turon character-class idea transplanted to triples.
+//! * **Typing context `Γ`.** Shape references (§8 *Arcref*) recurse through
+//!   the internal `check_inner`; a reference back to an in-progress
+//!   `(node, shape)` pair succeeds on a coinductive assumption (`Γ{n→l}`
+//!   in Fig. 3). Results proved under assumptions are tracked as
+//!   *conditional*; if an assumption later fails, tainted results are
+//!   purged and the query re-runs — converging on the greatest-fixpoint
+//!   typing (sound because shape references are never negated, so
+//!   matching is monotone in the assumption set).
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use shapex_rdf::graph::Graph;
+use shapex_rdf::pool::{TermId, TermPool};
+use shapex_shex::ast::ShapeLabel;
+use shapex_shex::schema::{Schema, SchemaError};
+use shapex_shex::shapemap::ShapeMap;
+
+use crate::arena::{ArcId, ExprId, Node, Simplify, EMPTY, EPSILON, UNBOUNDED};
+use crate::compile::{CompiledObject, CompiledSchema, ShapeId};
+use crate::result::{Failure, FailureKind, MatchResult, Stats, Typing};
+
+/// Whether a shape must account for the node's entire neighbourhood.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Closure {
+    /// The paper's semantics: `Σg_n ∈ S_n[[e]]` — every outgoing triple
+    /// must be consumed by the expression.
+    #[default]
+    Closed,
+    /// ShEx-style: only triples whose predicate is mentioned by the shape
+    /// participate; others are ignored.
+    Open,
+}
+
+/// Engine configuration; the non-default settings exist for the E9
+/// ablation benchmarks.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineConfig {
+    /// Which simplification rules the expression arena applies.
+    pub simplify: Simplify,
+    /// Closed (paper) vs open (ShEx) neighbourhood semantics.
+    pub closure: Closure,
+    /// Disable the `(expression, triple-class)` derivative memo.
+    pub no_deriv_memo: bool,
+    /// Disable the SORBE counting fast path (§8 future work; see
+    /// [`crate::sorbe`]), forcing the general derivative algorithm.
+    pub no_sorbe: bool,
+}
+
+/// A validation error at the API boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The queried label has no definition in the schema.
+    UnknownShape(String),
+    /// The schema failed well-formedness checks at compile time.
+    Schema(SchemaError),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::UnknownShape(l) => write!(f, "unknown shape <{l}>"),
+            EngineError::Schema(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<SchemaError> for EngineError {
+    fn from(e: SchemaError) -> Self {
+        EngineError::Schema(e)
+    }
+}
+
+/// Outcome of one shape-map association (see [`Engine::validate_map`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MapOutcome {
+    /// Index into the shape map's association list.
+    pub index: usize,
+    /// Whether the node conforms to the shape.
+    pub conforms: bool,
+    /// Whether the result matches the association's stated expectation
+    /// (`@!` associations expect non-conformance).
+    pub as_expected: bool,
+    /// The failure explanation, when the node does not conform.
+    pub failure: Option<Failure>,
+}
+
+/// One step of a §7 derivative trace: the consumed triple and the
+/// expression state around it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceStep {
+    /// The consumed triple's subject.
+    pub subject: TermId,
+    /// The consumed triple's predicate.
+    pub predicate: TermId,
+    /// The consumed triple's object.
+    pub object: TermId,
+    /// Whether the triple was consumed through an inverse arc.
+    pub inverse: bool,
+    /// Rendered expression before `∂t`.
+    pub before: String,
+    /// Rendered expression after `∂t`.
+    pub after: String,
+}
+
+/// A full derivative trace (see [`Engine::trace`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// Per-triple derivative steps, stopping early once the state is `∅`.
+    pub steps: Vec<TraceStep>,
+    /// The residual expression after all consumed triples.
+    pub residual: String,
+    /// `ν(residual)`.
+    pub nullable: bool,
+    /// The overall verdict (`residual ≠ ∅ ∧ ν`).
+    pub matched: bool,
+}
+
+impl Trace {
+    /// Renders the trace in the paper's `e ≃ {…} ⇔ ∂t(e) ≃ {…}` style.
+    pub fn render(&self, pool: &TermPool) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for step in &self.steps {
+            let dir = if step.inverse { "^" } else { "" };
+            let _ = writeln!(
+                out,
+                "∂{dir}⟨{} {} {}⟩:\n    {}\n  → {}",
+                pool.term(step.subject),
+                pool.term(step.predicate),
+                pool.term(step.object),
+                step.before,
+                step.after
+            );
+        }
+        let _ = writeln!(
+            out,
+            "ν({}) = {} ⇒ {}",
+            self.residual,
+            self.nullable,
+            if self.matched {
+                "MATCHES"
+            } else {
+                "does NOT match"
+            }
+        );
+        out
+    }
+}
+
+/// Interned satisfaction-profile id (a triple class).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct ProfileId(u32);
+
+type Pair = (ShapeId, TermId);
+
+/// Triple key `(shape, predicate, other-end, inverse?)` for the per-run
+/// profile cache; the value carries the assumptions used when computing it.
+type TripleKey = (ShapeId, TermId, TermId, bool);
+
+#[derive(Debug, Clone)]
+enum MemoState {
+    Proven,
+    Failed,
+    /// True under these coinductive assumptions.
+    Conditional(BTreeSet<Pair>),
+}
+
+/// The validator. Holds the compiled schema, the expression arena, and all
+/// memo tables; reusable across many [`Engine::check`] calls over the same
+/// graph/pool.
+#[derive(Debug)]
+pub struct Engine {
+    schema: CompiledSchema,
+    config: EngineConfig,
+    /// `(shape, node)` results, persistent across checks.
+    memo: HashMap<Pair, MemoState>,
+    /// Value-constraint satisfaction per `(arc, object term)` — term
+    /// semantics never change, so this survives re-runs.
+    value_sat: HashMap<(ArcId, TermId), bool>,
+    /// Per-run: triple → profile (+ assumptions used computing it).
+    profile_by_triple: HashMap<TripleKey, (ProfileId, Box<[Pair]>)>,
+    /// Per-run: interned profile bitsets.
+    profile_ids: HashMap<(ShapeId, Box<[u64]>), ProfileId>,
+    profile_bits: Vec<Box<[u64]>>,
+    /// Per-run: derivative memo.
+    deriv_memo: HashMap<(ExprId, ProfileId), ExprId>,
+    /// Pairs whose memo state is `Conditional` — kept so the purge and
+    /// promotion passes touch only them, not the whole memo (which would
+    /// make every query O(|memo|)).
+    conditional: HashSet<Pair>,
+    in_progress: HashSet<Pair>,
+    failures: HashMap<Pair, Failure>,
+    stats: Stats,
+}
+
+impl Engine {
+    /// Compiles a schema for validation, interning its terms into `terms`.
+    pub fn compile(
+        schema: &Schema,
+        terms: &mut TermPool,
+        config: EngineConfig,
+    ) -> Result<Engine, EngineError> {
+        let compiled = CompiledSchema::compile(schema, terms, config.simplify)?;
+        Ok(Engine {
+            schema: compiled,
+            config,
+            memo: HashMap::new(),
+            value_sat: HashMap::new(),
+            profile_by_triple: HashMap::new(),
+            profile_ids: HashMap::new(),
+            profile_bits: Vec::new(),
+            deriv_memo: HashMap::new(),
+            conditional: HashSet::new(),
+            in_progress: HashSet::new(),
+            failures: HashMap::new(),
+            stats: Stats::default(),
+        })
+    }
+
+    /// Convenience compile with the default configuration.
+    pub fn new(schema: &Schema, terms: &mut TermPool) -> Result<Engine, EngineError> {
+        Engine::compile(schema, terms, EngineConfig::default())
+    }
+
+    /// The compiled schema this engine validates against.
+    pub fn schema(&self) -> &CompiledSchema {
+        &self.schema
+    }
+
+    /// Resolves a shape label to its compiled id.
+    pub fn shape_id(&self, label: &ShapeLabel) -> Option<ShapeId> {
+        self.schema.shape_id(label)
+    }
+
+    /// The label of a compiled shape.
+    pub fn label_of(&self, shape: ShapeId) -> &ShapeLabel {
+        &self.schema.shape(shape).label
+    }
+
+    /// Counters accumulated since construction (or [`Engine::reset`]).
+    pub fn stats(&self) -> Stats {
+        let mut s = self.stats;
+        s.expr_pool_size = self.schema.pool.len();
+        s
+    }
+
+    /// Clears all memoised state (the compiled schema is kept).
+    pub fn reset(&mut self) {
+        self.memo.clear();
+        self.conditional.clear();
+        self.value_sat.clear();
+        self.begin_run();
+        self.failures.clear();
+        self.stats = Stats::default();
+    }
+
+    /// Checks `node` against the shape named `label` (paper §8:
+    /// `Γ ⊢ label ≃s node`).
+    ///
+    /// ```
+    /// use shapex::Engine;
+    /// let schema = shapex_shex::shexc::parse(
+    ///     "PREFIX e: <http://e/>\n<S> { e:p [1 2]+ }").unwrap();
+    /// let mut ds = shapex_rdf::turtle::parse(
+    ///     "@prefix e: <http://e/> . e:n e:p 1, 2 .").unwrap();
+    /// let mut engine = Engine::new(&schema, &mut ds.pool).unwrap();
+    /// let n = ds.iri("http://e/n").unwrap();
+    /// assert!(engine.check(&ds.graph, &ds.pool, n, &"S".into()).unwrap().matched);
+    /// ```
+    pub fn check(
+        &mut self,
+        graph: &Graph,
+        terms: &TermPool,
+        node: TermId,
+        label: &ShapeLabel,
+    ) -> Result<MatchResult, EngineError> {
+        let shape = self
+            .schema
+            .shape_id(label)
+            .ok_or_else(|| EngineError::UnknownShape(label.as_str().to_string()))?;
+        Ok(self.check_id(graph, terms, node, shape))
+    }
+
+    /// Checks `node` against a shape by id, driving the greatest-fixpoint
+    /// loop to completion.
+    ///
+    /// Recursion through shape references is as deep as the data's
+    /// reference chains (a 10⁵-link `knows`-chain recurses 10⁵ frames), so
+    /// on recursive schemas an uncached check runs on a worker thread with
+    /// a large stack; memoised answers and non-recursive schemas stay on
+    /// the caller's stack.
+    pub fn check_id(
+        &mut self,
+        graph: &Graph,
+        terms: &TermPool,
+        node: TermId,
+        shape: ShapeId,
+    ) -> MatchResult {
+        if let Some(answer) = self.memoised_answer(node, shape) {
+            return answer;
+        }
+        if !self.schema.has_recursion {
+            return self.gfp_run(graph, terms, node, shape);
+        }
+        self.on_big_stack(|engine| engine.gfp_run(graph, terms, node, shape))
+    }
+
+    /// Checks many `(node, shape)` pairs, amortising the large-stack
+    /// worker (needed for data-deep reference recursion) over the whole
+    /// batch — prefer this over a `check_id` loop when validating fleets
+    /// of nodes against a recursive schema.
+    pub fn check_many(
+        &mut self,
+        graph: &Graph,
+        terms: &TermPool,
+        queries: &[(TermId, ShapeId)],
+    ) -> Vec<MatchResult> {
+        let all_memoised = queries
+            .iter()
+            .all(|&(node, shape)| self.memoised_answer(node, shape).is_some());
+        if !self.schema.has_recursion || all_memoised {
+            return queries
+                .iter()
+                .map(|&(node, shape)| match self.memoised_answer(node, shape) {
+                    Some(answer) => answer,
+                    None => self.gfp_run(graph, terms, node, shape),
+                })
+                .collect();
+        }
+        self.on_big_stack(|engine| {
+            queries
+                .iter()
+                .map(|&(node, shape)| match engine.memoised_answer(node, shape) {
+                    Some(answer) => answer,
+                    None => engine.gfp_run(graph, terms, node, shape),
+                })
+                .collect()
+        })
+    }
+
+    /// The fully-memoised answer for a pair, if any.
+    fn memoised_answer(&self, node: TermId, shape: ShapeId) -> Option<MatchResult> {
+        match self.memo.get(&(shape, node)) {
+            Some(MemoState::Proven) => Some(MatchResult::success()),
+            Some(MemoState::Failed) => Some(MatchResult {
+                matched: false,
+                failure: self.failures.get(&(shape, node)).cloned(),
+            }),
+            _ => None,
+        }
+    }
+
+    /// Runs `f` on a worker thread with a large (lazily committed) stack:
+    /// comfortably ~10⁵ levels of reference recursion in debug builds.
+    fn on_big_stack<R: Send>(&mut self, f: impl FnOnce(&mut Engine) -> R + Send) -> R {
+        const WORKER_STACK: usize = 512 << 20;
+        std::thread::scope(|scope| {
+            std::thread::Builder::new()
+                .name("shapex-validate".into())
+                .stack_size(WORKER_STACK)
+                .spawn_scoped(scope, || f(self))
+                .expect("spawn validation worker")
+                .join()
+                .expect("validation worker panicked")
+        })
+    }
+
+    /// The greatest-fixpoint driver (see the module docs): run, purge
+    /// tainted conditional results, re-run until purge-free, promote.
+    fn gfp_run(
+        &mut self,
+        graph: &Graph,
+        terms: &TermPool,
+        node: TermId,
+        shape: ShapeId,
+    ) -> MatchResult {
+        loop {
+            self.begin_run();
+            let mut deps = BTreeSet::new();
+            let ok = self.check_inner(graph, terms, node, shape, &mut deps);
+            if self.purge_tainted() == 0 {
+                self.promote_conditionals();
+                return if ok {
+                    MatchResult::success()
+                } else {
+                    MatchResult {
+                        matched: false,
+                        failure: self.failures.get(&(shape, node)).cloned(),
+                    }
+                };
+            }
+            self.stats.gfp_reruns += 1;
+        }
+    }
+
+    /// Validates every association of a shape map, returning per-entry
+    /// outcomes: `(association index, conforms, meets expectation)`.
+    /// Unknown shapes yield an error; focus nodes absent from the graph
+    /// are checked against the empty neighbourhood.
+    pub fn validate_map(
+        &mut self,
+        graph: &Graph,
+        terms: &mut TermPool,
+        map: &ShapeMap,
+    ) -> Result<Vec<MapOutcome>, EngineError> {
+        let mut queries = Vec::with_capacity(map.len());
+        for assoc in map.iter() {
+            let shape = self.schema.shape_id(&assoc.shape).ok_or_else(|| {
+                EngineError::UnknownShape(assoc.shape.as_str().to_string())
+            })?;
+            queries.push((terms.intern(assoc.node.clone()), shape));
+        }
+        let results = self.check_many(graph, terms, &queries);
+        Ok(map
+            .iter()
+            .zip(results)
+            .enumerate()
+            .map(|(index, (assoc, result))| MapOutcome {
+                index,
+                conforms: result.matched,
+                as_expected: result.matched == assoc.expected,
+                failure: result.failure,
+            })
+            .collect())
+    }
+
+    /// Computes the shape typing of every subject in the graph against
+    /// every shape in the schema — the paper's Example 2 workflow.
+    pub fn type_all(&mut self, graph: &Graph, terms: &TermPool) -> Typing {
+        let queries: Vec<(TermId, ShapeId)> = graph
+            .subjects()
+            .flat_map(|node| {
+                (0..self.schema.shapes.len()).map(move |i| (node, ShapeId(i as u32)))
+            })
+            .collect();
+        let results = self.check_many(graph, terms, &queries);
+        let mut typing = Typing::new();
+        for ((node, shape), result) in queries.into_iter().zip(results) {
+            if result.matched {
+                typing.add(node, shape);
+            }
+        }
+        typing
+    }
+
+    fn begin_run(&mut self) {
+        self.profile_by_triple.clear();
+        self.profile_ids.clear();
+        self.profile_bits.clear();
+        self.deriv_memo.clear();
+        self.in_progress.clear();
+    }
+
+    /// Removes conditional results whose assumptions failed (or were
+    /// themselves purged). Returns how many entries were removed.
+    fn purge_tainted(&mut self) -> usize {
+        let mut removed = 0;
+        loop {
+            let tainted: Vec<Pair> = self
+                .conditional
+                .iter()
+                .filter(|pair| {
+                    let Some(MemoState::Conditional(deps)) = self.memo.get(pair) else {
+                        return false;
+                    };
+                    deps.iter().any(|d| {
+                        !matches!(
+                            self.memo.get(d),
+                            Some(MemoState::Proven) | Some(MemoState::Conditional(_))
+                        )
+                    })
+                })
+                .copied()
+                .collect();
+            if tainted.is_empty() {
+                return removed;
+            }
+            removed += tainted.len();
+            for pair in tainted {
+                self.memo.remove(&pair);
+                self.conditional.remove(&pair);
+            }
+        }
+    }
+
+    /// After a purge-free run, surviving conditional results form cycles of
+    /// mutually-true assumptions — exactly the greatest fixpoint — so they
+    /// are promoted to unconditional truths.
+    fn promote_conditionals(&mut self) {
+        for pair in self.conditional.drain() {
+            if let Some(state) = self.memo.get_mut(&pair) {
+                *state = MemoState::Proven;
+            }
+        }
+    }
+
+    /// The typing relation: true iff `node` has shape `shape` given the
+    /// current memo/assumption state. Records assumptions used in `deps`.
+    fn check_inner(
+        &mut self,
+        graph: &Graph,
+        terms: &TermPool,
+        node: TermId,
+        shape: ShapeId,
+        deps: &mut BTreeSet<Pair>,
+    ) -> bool {
+        let pair = (shape, node);
+        match self.memo.get(&pair) {
+            Some(MemoState::Proven) => return true,
+            Some(MemoState::Failed) => return false,
+            Some(MemoState::Conditional(d)) => {
+                deps.extend(d.iter().copied());
+                return true;
+            }
+            None => {}
+        }
+        if self.in_progress.contains(&pair) {
+            // Γ{n→l}: the coinductive assumption (Fig. 3).
+            deps.insert(pair);
+            return true;
+        }
+        self.in_progress.insert(pair);
+        self.stats.node_checks += 1;
+        let mut local = BTreeSet::new();
+        let ok = self.match_neighbourhood(graph, terms, node, shape, &mut local);
+        self.in_progress.remove(&pair);
+        // A self-dependency is discharged by this very completion.
+        local.remove(&pair);
+        if ok {
+            if local.is_empty() {
+                self.memo.insert(pair, MemoState::Proven);
+            } else {
+                deps.extend(local.iter().copied());
+                self.conditional.insert(pair);
+                self.memo.insert(pair, MemoState::Conditional(local));
+            }
+            true
+        } else {
+            // Failure is sound unconditionally: assumptions only make
+            // matching more permissive (monotonicity).
+            self.memo.insert(pair, MemoState::Failed);
+            false
+        }
+    }
+
+    /// `Σg_n ∈ S_n[[δ(shape)]]` by iterated derivatives (§7).
+    fn match_neighbourhood(
+        &mut self,
+        graph: &Graph,
+        terms: &TermPool,
+        node: TermId,
+        shape: ShapeId,
+        deps: &mut BTreeSet<Pair>,
+    ) -> bool {
+        let (expr0, sorbe) = {
+            let sh = self.schema.shape(shape);
+            (
+                sh.expr,
+                if self.config.no_sorbe {
+                    None
+                } else {
+                    sh.sorbe.clone()
+                },
+            )
+        };
+        let triples = self.gather_triples(graph, node, shape);
+
+        if let Some(spec) = sorbe {
+            return self.match_sorbe(graph, terms, node, shape, &spec, &triples, deps);
+        }
+
+        let mut e = expr0;
+        for (p, other, inverse, ts, to) in triples {
+            let pid = self.profile(graph, terms, shape, p, other, inverse, deps);
+            let before = e;
+            e = self.deriv(e, pid);
+            if e == EMPTY {
+                self.failures.insert(
+                    (shape, node),
+                    Failure {
+                        kind: FailureKind::UnexpectedTriple {
+                            subject: ts,
+                            predicate: p,
+                            object: to,
+                        },
+                        expectation: self.schema.render_expr(before),
+                    },
+                );
+                return false;
+            }
+        }
+        if self.schema.pool.nullable(e) {
+            true
+        } else {
+            self.failures.insert(
+                (shape, node),
+                Failure {
+                    kind: FailureKind::MissingRequired,
+                    expectation: self.schema.render_expr(e),
+                },
+            );
+            false
+        }
+    }
+
+    /// Gathers the triples a shape must account for at `node`:
+    /// `(pred, other-end, inverse, subject, object)` — the last two are
+    /// the original triple ends, kept for error reporting.
+    fn gather_triples(
+        &self,
+        graph: &Graph,
+        node: TermId,
+        shape: ShapeId,
+    ) -> Vec<(TermId, TermId, bool, TermId, TermId)> {
+        let sh = self.schema.shape(shape);
+        let mut triples = Vec::new();
+        for &(p, o) in graph.neighbourhood(node) {
+            let relevant = match (self.config.closure, &sh.forward_predicates) {
+                (Closure::Closed, _) => true,
+                (Closure::Open, None) => true, // wildcard: everything relevant
+                (Closure::Open, Some(preds)) => preds.binary_search(&p).is_ok(),
+            };
+            if relevant {
+                triples.push((p, o, false, node, o));
+            }
+        }
+        if sh.has_inverse {
+            // Inverse neighbourhoods are always scoped to the mentioned
+            // predicates — a node is not responsible for arbitrary
+            // incoming triples.
+            for &(s, p) in graph.incoming(node) {
+                let relevant = match &sh.inverse_predicates {
+                    None => true,
+                    Some(preds) => preds.binary_search(&p).is_ok(),
+                };
+                if relevant {
+                    triples.push((p, s, true, s, node));
+                }
+            }
+        }
+        triples
+    }
+
+    /// Produces the paper's §7 derivative trace for `node` against
+    /// `label`: the expression state before and after consuming each
+    /// triple (Examples 9, 11, 12), always via the general derivative
+    /// algorithm (the fast path has no intermediate states to show).
+    /// Shape references are resolved with the full typing machinery.
+    pub fn trace(
+        &mut self,
+        graph: &Graph,
+        terms: &TermPool,
+        node: TermId,
+        label: &ShapeLabel,
+    ) -> Result<Trace, EngineError> {
+        let shape = self
+            .schema
+            .shape_id(label)
+            .ok_or_else(|| EngineError::UnknownShape(label.as_str().to_string()))?;
+        if self.schema.has_recursion {
+            // Reference chains recurse with the data's depth; use the
+            // large-stack worker like check_id does.
+            return Ok(self.on_big_stack(|engine| engine.trace_inner(graph, terms, node, shape)));
+        }
+        Ok(self.trace_inner(graph, terms, node, shape))
+    }
+
+    fn trace_inner(
+        &mut self,
+        graph: &Graph,
+        terms: &TermPool,
+        node: TermId,
+        shape: ShapeId,
+    ) -> Trace {
+        self.begin_run();
+        let mut steps = Vec::new();
+        let mut e = self.schema.shape(shape).expr;
+        let mut deps = BTreeSet::new();
+        for (p, other, inverse, ts, to) in self.gather_triples(graph, node, shape) {
+            let before = self.schema.render_expr(e);
+            let pid = self.profile(graph, terms, shape, p, other, inverse, &mut deps);
+            e = self.deriv(e, pid);
+            steps.push(TraceStep {
+                subject: ts,
+                predicate: p,
+                object: to,
+                inverse,
+                before,
+                after: self.schema.render_expr(e),
+            });
+            if e == EMPTY {
+                break;
+            }
+        }
+        let nullable = self.schema.pool.nullable(e);
+        Trace {
+            steps,
+            residual: self.schema.render_expr(e),
+            nullable,
+            matched: e != EMPTY && nullable,
+        }
+    }
+
+    /// The SORBE counting fast path (§8 future work, [`crate::sorbe`]):
+    /// each triple belongs to at most one conjunct (heads are disjoint),
+    /// so matching is bucket-count-and-check — no derivatives.
+    #[allow(clippy::too_many_arguments)]
+    fn match_sorbe(
+        &mut self,
+        graph: &Graph,
+        terms: &TermPool,
+        node: TermId,
+        shape: ShapeId,
+        spec: &[crate::compile::SorbeSpec],
+        triples: &[(TermId, TermId, bool, TermId, TermId)],
+        deps: &mut BTreeSet<Pair>,
+    ) -> bool {
+        self.stats.sorbe_checks += 1;
+        let mut counts = vec![0u32; spec.len()];
+        for &(p, other, inverse, ts, to) in triples {
+            let owner = spec.iter().position(|s| {
+                let arc = self.schema.arc(s.arc);
+                arc.inverse == inverse && arc.predicates.contains(p)
+            });
+            let Some(i) = owner else {
+                // Closed semantics: a triple no conjunct accounts for.
+                self.failures.insert(
+                    (shape, node),
+                    Failure {
+                        kind: FailureKind::UnexpectedTriple {
+                            subject: ts,
+                            predicate: p,
+                            object: to,
+                        },
+                        expectation: self.schema.render_expr(self.schema.shape(shape).expr),
+                    },
+                );
+                return false;
+            };
+            let arc_id = spec[i].arc;
+            if !self.arc_object_sat(graph, terms, arc_id, other, deps) {
+                self.failures.insert(
+                    (shape, node),
+                    Failure {
+                        kind: FailureKind::UnexpectedTriple {
+                            subject: ts,
+                            predicate: p,
+                            object: to,
+                        },
+                        expectation: self.schema.arc(arc_id).display.clone(),
+                    },
+                );
+                return false;
+            }
+            counts[i] += 1;
+        }
+        for (s, &count) in spec.iter().zip(&counts) {
+            if count < s.min || count > s.max {
+                self.failures.insert(
+                    (shape, node),
+                    Failure {
+                        kind: FailureKind::Cardinality {
+                            arc: self.schema.arc(s.arc).display.clone(),
+                            found: count,
+                            min: s.min,
+                            max: (s.max != UNBOUNDED).then_some(s.max),
+                        },
+                        expectation: self.schema.arc(s.arc).display.clone(),
+                    },
+                );
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Evaluates one arc's object condition against a term, memoising
+    /// value constraints and routing shape references through the typing
+    /// context.
+    fn arc_object_sat(
+        &mut self,
+        graph: &Graph,
+        terms: &TermPool,
+        arc_id: ArcId,
+        other: TermId,
+        deps: &mut BTreeSet<Pair>,
+    ) -> bool {
+        let target = {
+            let arc = self.schema.arc(arc_id);
+            match &arc.object {
+                CompiledObject::Value(_) => None,
+                CompiledObject::Ref(t) => Some(*t),
+            }
+        };
+        match target {
+            None => {
+                if let Some(&cached) = self.value_sat.get(&(arc_id, other)) {
+                    return cached;
+                }
+                let v = {
+                    let CompiledObject::Value(c) = &self.schema.arc(arc_id).object else {
+                        unreachable!("checked above");
+                    };
+                    c.matches(terms.term(other))
+                };
+                self.value_sat.insert((arc_id, other), v);
+                v
+            }
+            Some(target) => self.check_inner(graph, terms, other, target, deps),
+        }
+    }
+
+    /// Maps a triple to its satisfaction-profile id (triple class) for
+    /// `shape`, evaluating arc constraints as needed.
+    #[allow(clippy::too_many_arguments)]
+    fn profile(
+        &mut self,
+        graph: &Graph,
+        terms: &TermPool,
+        shape: ShapeId,
+        pred: TermId,
+        other: TermId,
+        inverse: bool,
+        deps: &mut BTreeSet<Pair>,
+    ) -> ProfileId {
+        let key = (shape, pred, other, inverse);
+        if let Some((pid, cached_deps)) = self.profile_by_triple.get(&key) {
+            deps.extend(cached_deps.iter().copied());
+            return *pid;
+        }
+        let arcs: Vec<ArcId> = self.schema.shape(shape).arcs.clone();
+        let mut bits = vec![0u64; arcs.len().div_ceil(64)];
+        let mut used: Vec<Pair> = Vec::new();
+        for arc_id in arcs {
+            let (matches_head, bit) = {
+                let arc = self.schema.arc(arc_id);
+                (
+                    arc.inverse == inverse && arc.predicates.contains(pred),
+                    arc.bit,
+                )
+            };
+            if !matches_head {
+                continue;
+            }
+            let mut arc_deps = BTreeSet::new();
+            let sat = self.arc_object_sat(graph, terms, arc_id, other, &mut arc_deps);
+            used.extend(arc_deps.iter().copied());
+            deps.extend(arc_deps);
+            if sat {
+                bits[(bit / 64) as usize] |= 1u64 << (bit % 64);
+            }
+        }
+        let bits: Box<[u64]> = bits.into();
+        let next = ProfileId(self.profile_bits.len() as u32);
+        let stats = &mut self.stats;
+        let profile_bits = &mut self.profile_bits;
+        let pid = *self
+            .profile_ids
+            .entry((shape, bits.clone()))
+            .or_insert_with(|| {
+                profile_bits.push(bits);
+                stats.triple_classes += 1;
+                next
+            });
+        used.sort();
+        used.dedup();
+        self.profile_by_triple.insert(key, (pid, used.into()));
+        pid
+    }
+
+    fn profile_bit(&self, pid: ProfileId, bit: u32) -> bool {
+        let words = &self.profile_bits[pid.0 as usize];
+        words[(bit / 64) as usize] & (1u64 << (bit % 64)) != 0
+    }
+
+    /// `∂t(e)` with `t` abstracted to its triple class (§6 rules).
+    fn deriv(&mut self, e: ExprId, pid: ProfileId) -> ExprId {
+        if !self.config.no_deriv_memo {
+            if let Some(&d) = self.deriv_memo.get(&(e, pid)) {
+                self.stats.deriv_memo_hits += 1;
+                return d;
+            }
+        }
+        self.stats.derivative_steps += 1;
+        let d = match self.schema.pool.node(e) {
+            // ∂t(∅) = ∅, ∂t(ε) = ∅
+            Node::Empty | Node::Epsilon => EMPTY,
+            // ∂t(vp→vo) = ε if the triple satisfies the arc, else ∅
+            Node::Arc(a) => {
+                let bit = self.schema.arc(a).bit;
+                if self.profile_bit(pid, bit) {
+                    EPSILON
+                } else {
+                    EMPTY
+                }
+            }
+            // ∂t(e*) = ∂t(e) ‖ e*
+            Node::Star(inner) => {
+                let di = self.deriv(inner, pid);
+                self.schema.pool.and(di, e)
+            }
+            // ∂t(e{m,n}) = ∂t(e) ‖ e{m⊖1, n−1} — the counter rule that
+            // avoids the exponential §4 expansion.
+            Node::Repeat(inner, m, n) => {
+                if n == 0 {
+                    EMPTY // only reachable with simplification disabled
+                } else {
+                    let di = self.deriv(inner, pid);
+                    let n1 = if n == UNBOUNDED { UNBOUNDED } else { n - 1 };
+                    let rest = self.schema.pool.repeat(inner, m.saturating_sub(1), n1);
+                    self.schema.pool.and(di, rest)
+                }
+            }
+            // ∂t(e1 ‖ e2) = ∂t(e1) ‖ e2 | ∂t(e2) ‖ e1
+            Node::And(a, b) => {
+                let da = self.deriv(a, pid);
+                let db = self.deriv(b, pid);
+                let left = self.schema.pool.and(da, b);
+                let right = self.schema.pool.and(db, a);
+                self.schema.pool.or(left, right)
+            }
+            // ∂t(e1 | e2) = ∂t(e1) | ∂t(e2)
+            Node::Or(a, b) => {
+                let da = self.deriv(a, pid);
+                let db = self.deriv(b, pid);
+                self.schema.pool.or(da, db)
+            }
+        };
+        if !self.config.no_deriv_memo {
+            self.deriv_memo.insert((e, pid), d);
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shapex_rdf::graph::Dataset;
+    use shapex_rdf::turtle;
+    use shapex_shex::shexc;
+
+    fn setup(schema_src: &str, data_src: &str) -> (Engine, Dataset) {
+        let schema = shexc::parse(schema_src).unwrap();
+        let mut ds = turtle::parse(data_src).unwrap();
+        let engine = Engine::new(&schema, &mut ds.pool).unwrap();
+        (engine, ds)
+    }
+
+    fn check(engine: &mut Engine, ds: &Dataset, node: &str, shape: &str) -> bool {
+        let node = ds.iri(node).expect("node exists");
+        engine
+            .check(&ds.graph, &ds.pool, node, &shape.into())
+            .unwrap()
+            .matched
+    }
+
+    const EX5_SCHEMA: &str = "PREFIX e: <http://e/>\n<S> { e:a [1], e:b [1 2]* }";
+
+    #[test]
+    fn paper_example_11_accepts() {
+        // e = a→1 ‖ b→{1,2}*  matches {⟨n,a,1⟩, ⟨n,b,1⟩, ⟨n,b,2⟩}
+        let (mut engine, ds) = setup(EX5_SCHEMA, "@prefix e: <http://e/> . e:n e:a 1; e:b 1, 2 .");
+        assert!(check(&mut engine, &ds, "http://e/n", "S"));
+    }
+
+    #[test]
+    fn paper_example_12_rejects() {
+        // {⟨n,a,1⟩, ⟨n,a,2⟩, ⟨n,b,1⟩}: second a-triple not allowed
+        let (mut engine, ds) = setup(EX5_SCHEMA, "@prefix e: <http://e/> . e:n e:a 1, 2; e:b 1 .");
+        let node = ds.iri("http://e/n").unwrap();
+        let r = engine
+            .check(&ds.graph, &ds.pool, node, &"S".into())
+            .unwrap();
+        assert!(!r.matched);
+        let failure = r.failure.expect("failure explanation");
+        // ⟨n,a,2⟩ is the triple the derivative rejects
+        assert!(matches!(failure.kind, FailureKind::UnexpectedTriple { .. }));
+        let msg = failure.render(&ds.pool);
+        assert!(msg.contains("\"2\""), "{msg}");
+    }
+
+    #[test]
+    fn empty_star_accepts_empty_neighbourhood() {
+        let (mut engine, mut ds) = setup(
+            "PREFIX e: <http://e/>\n<S> { e:b [1 2]* }",
+            "@prefix e: <http://e/> . e:other e:x 1 .",
+        );
+        // A node with no triples at all: ν(b→{1,2}*) = true.
+        let n = ds.pool.intern_iri("http://e/lonely");
+        let r = engine.check(&ds.graph, &ds.pool, n, &"S".into()).unwrap();
+        assert!(r.matched);
+    }
+
+    #[test]
+    fn missing_required_arc_reports() {
+        // EX5_SCHEMA is SORBE, so the counting fast path reports the
+        // missing arc as a cardinality violation.
+        let (mut engine, ds) = setup(
+            EX5_SCHEMA,
+            "@prefix e: <http://e/> . e:n e:b 1 .", // a→1 missing
+        );
+        let node = ds.iri("http://e/n").unwrap();
+        let r = engine
+            .check(&ds.graph, &ds.pool, node, &"S".into())
+            .unwrap();
+        assert!(!r.matched);
+        let failure = r.failure.unwrap();
+        assert!(
+            matches!(
+                failure.kind,
+                FailureKind::Cardinality {
+                    found: 0,
+                    min: 1,
+                    ..
+                }
+            ),
+            "{failure:?}"
+        );
+        assert!(failure.expectation.contains("a→"));
+    }
+
+    #[test]
+    fn missing_required_arc_reports_general_path() {
+        // With the fast path disabled, the derivative engine reports the
+        // residual non-nullable expectation instead.
+        let schema = shexc::parse(EX5_SCHEMA).unwrap();
+        let mut ds = turtle::parse("@prefix e: <http://e/> . e:n e:b 1 .").unwrap();
+        let mut engine = Engine::compile(
+            &schema,
+            &mut ds.pool,
+            EngineConfig {
+                no_sorbe: true,
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        let node = ds.iri("http://e/n").unwrap();
+        let r = engine
+            .check(&ds.graph, &ds.pool, node, &"S".into())
+            .unwrap();
+        assert!(!r.matched);
+        let failure = r.failure.unwrap();
+        assert!(matches!(failure.kind, FailureKind::MissingRequired));
+        assert!(failure.expectation.contains("a→"));
+    }
+
+    const PERSON_SCHEMA: &str = r#"
+        PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+        PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>
+        <Person> {
+          foaf:age xsd:integer
+          , foaf:name xsd:string+
+          , foaf:knows @<Person>*
+        }
+    "#;
+
+    const PERSON_DATA: &str = r#"
+        @prefix : <http://example.org/> .
+        @prefix foaf: <http://xmlns.com/foaf/0.1/> .
+        :john foaf:age 23;
+              foaf:name "John";
+              foaf:knows :bob .
+        :bob foaf:age 34;
+             foaf:name "Bob", "Robert" .
+        :mary foaf:age 50, 65 .
+    "#;
+
+    #[test]
+    fn paper_example_2_typing() {
+        let (mut engine, ds) = setup(PERSON_SCHEMA, PERSON_DATA);
+        assert!(check(&mut engine, &ds, "http://example.org/john", "Person"));
+        assert!(check(&mut engine, &ds, "http://example.org/bob", "Person"));
+        assert!(!check(
+            &mut engine,
+            &ds,
+            "http://example.org/mary",
+            "Person"
+        ));
+    }
+
+    #[test]
+    fn type_all_matches_example_2() {
+        let (mut engine, ds) = setup(PERSON_SCHEMA, PERSON_DATA);
+        let typing = engine.type_all(&ds.graph, &ds.pool);
+        let person = engine.shape_id(&"Person".into()).unwrap();
+        let john = ds.iri("http://example.org/john").unwrap();
+        let bob = ds.iri("http://example.org/bob").unwrap();
+        let mary = ds.iri("http://example.org/mary").unwrap();
+        assert!(typing.has(john, person));
+        assert!(typing.has(bob, person));
+        assert!(!typing.has(mary, person));
+        assert_eq!(typing.len(), 2);
+    }
+
+    #[test]
+    fn recursive_cycle_validates_coinductively() {
+        // a knows b, b knows a — both Persons under gfp semantics.
+        let (mut engine, ds) = setup(
+            PERSON_SCHEMA,
+            r#"
+            @prefix : <http://example.org/> .
+            @prefix foaf: <http://xmlns.com/foaf/0.1/> .
+            :a foaf:age 1; foaf:name "A"; foaf:knows :b .
+            :b foaf:age 2; foaf:name "B"; foaf:knows :a .
+            "#,
+        );
+        assert!(check(&mut engine, &ds, "http://example.org/a", "Person"));
+        assert!(check(&mut engine, &ds, "http://example.org/b", "Person"));
+    }
+
+    #[test]
+    fn broken_link_in_cycle_fails_both() {
+        // a knows b, b knows c, c is not a person (no name) and c knows a.
+        let (mut engine, ds) = setup(
+            PERSON_SCHEMA,
+            r#"
+            @prefix : <http://example.org/> .
+            @prefix foaf: <http://xmlns.com/foaf/0.1/> .
+            :a foaf:age 1; foaf:name "A"; foaf:knows :b .
+            :b foaf:age 2; foaf:name "B"; foaf:knows :c .
+            :c foaf:age 3; foaf:knows :a .
+            "#,
+        );
+        assert!(!check(&mut engine, &ds, "http://example.org/c", "Person"));
+        assert!(!check(&mut engine, &ds, "http://example.org/b", "Person"));
+        assert!(!check(&mut engine, &ds, "http://example.org/a", "Person"));
+    }
+
+    #[test]
+    fn gfp_rerun_on_failed_assumption() {
+        // Query :a first, so the assumption (:a, Person) is used by the
+        // nested checks before :c's failure is discovered.
+        let (mut engine, ds) = setup(
+            PERSON_SCHEMA,
+            r#"
+            @prefix : <http://example.org/> .
+            @prefix foaf: <http://xmlns.com/foaf/0.1/> .
+            :a foaf:age 1; foaf:name "A"; foaf:knows :b .
+            :b foaf:age 2; foaf:name "B"; foaf:knows :a, :c .
+            :c foaf:age 3; foaf:knows :a .
+            "#,
+        );
+        assert!(!check(&mut engine, &ds, "http://example.org/a", "Person"));
+        // And the memoised verdicts stay consistent when re-queried.
+        assert!(!check(&mut engine, &ds, "http://example.org/b", "Person"));
+        assert!(!check(&mut engine, &ds, "http://example.org/c", "Person"));
+    }
+
+    #[test]
+    fn self_loop_person() {
+        let (mut engine, ds) = setup(
+            PERSON_SCHEMA,
+            r#"
+            @prefix : <http://example.org/> .
+            @prefix foaf: <http://xmlns.com/foaf/0.1/> .
+            :n foaf:age 1; foaf:name "N"; foaf:knows :n .
+            "#,
+        );
+        assert!(check(&mut engine, &ds, "http://example.org/n", "Person"));
+    }
+
+    #[test]
+    fn cardinality_bounds_enforced() {
+        let (mut engine, ds) = setup(
+            "PREFIX e: <http://e/>\n<S> { e:p .{2,3} }",
+            r#"
+            @prefix e: <http://e/> .
+            e:one e:p 1 .
+            e:two e:p 1, 2 .
+            e:three e:p 1, 2, 3 .
+            e:four e:p 1, 2, 3, 4 .
+            "#,
+        );
+        assert!(!check(&mut engine, &ds, "http://e/one", "S"));
+        assert!(check(&mut engine, &ds, "http://e/two", "S"));
+        assert!(check(&mut engine, &ds, "http://e/three", "S"));
+        assert!(!check(&mut engine, &ds, "http://e/four", "S"));
+    }
+
+    #[test]
+    fn closed_semantics_rejects_extra_triples() {
+        let (mut engine, ds) = setup(
+            "PREFIX e: <http://e/>\n<S> { e:a [1] }",
+            "@prefix e: <http://e/> . e:n e:a 1; e:other 2 .",
+        );
+        assert!(!check(&mut engine, &ds, "http://e/n", "S"));
+    }
+
+    #[test]
+    fn open_semantics_ignores_unmentioned_predicates() {
+        let schema = shexc::parse("PREFIX e: <http://e/>\n<S> { e:a [1] }").unwrap();
+        let mut ds = turtle::parse("@prefix e: <http://e/> . e:n e:a 1; e:other 2 .").unwrap();
+        let mut engine = Engine::compile(
+            &schema,
+            &mut ds.pool,
+            EngineConfig {
+                closure: Closure::Open,
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        let n = ds.iri("http://e/n").unwrap();
+        assert!(
+            engine
+                .check(&ds.graph, &ds.pool, n, &"S".into())
+                .unwrap()
+                .matched
+        );
+    }
+
+    #[test]
+    fn inverse_arc_extension() {
+        // Every Department must be pointed at by ≥1 worksIn triple.
+        let (mut engine, ds) = setup(
+            "PREFIX e: <http://e/>\n<Dept> { e:name LITERAL, ^e:worksIn IRI+ }",
+            r#"
+            @prefix e: <http://e/> .
+            e:sales e:name "Sales" .
+            e:ghost e:name "Ghost" .
+            e:alice e:worksIn e:sales .
+            e:bob e:worksIn e:sales .
+            "#,
+        );
+        assert!(check(&mut engine, &ds, "http://e/sales", "Dept"));
+        assert!(!check(&mut engine, &ds, "http://e/ghost", "Dept"));
+    }
+
+    #[test]
+    fn or_alternatives() {
+        let (mut engine, ds) = setup(
+            "PREFIX e: <http://e/>\n<S> { e:a [1] | e:b [2] }",
+            r#"
+            @prefix e: <http://e/> .
+            e:x e:a 1 .
+            e:y e:b 2 .
+            e:z e:a 1; e:b 2 .
+            "#,
+        );
+        assert!(check(&mut engine, &ds, "http://e/x", "S"));
+        assert!(check(&mut engine, &ds, "http://e/y", "S"));
+        // Or is exclusive over the whole neighbourhood under closed
+        // semantics: z has both triples, neither alternative consumes both.
+        assert!(!check(&mut engine, &ds, "http://e/z", "S"));
+    }
+
+    #[test]
+    fn unknown_shape_is_an_error() {
+        let (mut engine, ds) = setup(EX5_SCHEMA, "@prefix e: <http://e/> . e:n e:a 1 .");
+        let n = ds.iri("http://e/n").unwrap();
+        let err = engine
+            .check(&ds.graph, &ds.pool, n, &"Nope".into())
+            .unwrap_err();
+        assert_eq!(err, EngineError::UnknownShape("Nope".into()));
+    }
+
+    #[test]
+    fn memoisation_reuses_results() {
+        let (mut engine, ds) = setup(PERSON_SCHEMA, PERSON_DATA);
+        check(&mut engine, &ds, "http://example.org/john", "Person");
+        let checks_before = engine.stats().node_checks;
+        // Second query is fully memoised.
+        check(&mut engine, &ds, "http://example.org/john", "Person");
+        assert_eq!(engine.stats().node_checks, checks_before);
+    }
+
+    #[test]
+    fn stats_count_sorbe_checks() {
+        // EX5_SCHEMA qualifies for the SORBE fast path: no derivatives.
+        let (mut engine, ds) = setup(EX5_SCHEMA, "@prefix e: <http://e/> . e:n e:a 1; e:b 1 .");
+        check(&mut engine, &ds, "http://e/n", "S");
+        let stats = engine.stats();
+        assert_eq!(stats.derivative_steps, 0);
+        assert!(stats.sorbe_checks > 0);
+    }
+
+    #[test]
+    fn stats_count_derivative_steps() {
+        // A shape with alternatives is not SORBE: the general engine runs.
+        let (mut engine, ds) = setup(
+            "PREFIX e: <http://e/>\n<S> { e:a [1] | e:b [1 2]* }",
+            "@prefix e: <http://e/> . e:n e:b 1 .",
+        );
+        check(&mut engine, &ds, "http://e/n", "S");
+        let stats = engine.stats();
+        assert!(stats.derivative_steps > 0);
+        assert!(stats.expr_pool_size > 2);
+        assert!(stats.triple_classes >= 1);
+        assert_eq!(stats.sorbe_checks, 0);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let (mut engine, ds) = setup(EX5_SCHEMA, "@prefix e: <http://e/> . e:n e:a 1 .");
+        check(&mut engine, &ds, "http://e/n", "S");
+        engine.reset();
+        assert_eq!(engine.stats().derivative_steps, 0);
+        // Still works after reset ({⟨n,a,1⟩} ∈ S_n[[e]], paper Example 7).
+        assert!(check(&mut engine, &ds, "http://e/n", "S"));
+    }
+
+    #[test]
+    fn ablation_configs_agree_on_results() {
+        for config in [
+            EngineConfig::default(),
+            EngineConfig {
+                no_deriv_memo: true,
+                ..EngineConfig::default()
+            },
+            EngineConfig {
+                simplify: Simplify {
+                    identities: true,
+                    or_dedup: false,
+                },
+                ..EngineConfig::default()
+            },
+        ] {
+            let schema = shexc::parse(PERSON_SCHEMA).unwrap();
+            let mut ds = turtle::parse(PERSON_DATA).unwrap();
+            let mut engine = Engine::compile(&schema, &mut ds.pool, config).unwrap();
+            let person = "Person".into();
+            let john = ds.iri("http://example.org/john").unwrap();
+            let mary = ds.iri("http://example.org/mary").unwrap();
+            assert!(
+                engine
+                    .check(&ds.graph, &ds.pool, john, &person)
+                    .unwrap()
+                    .matched
+            );
+            assert!(
+                !engine
+                    .check(&ds.graph, &ds.pool, mary, &person)
+                    .unwrap()
+                    .matched
+            );
+        }
+    }
+
+    #[test]
+    fn example_10_balanced_expression() {
+        // e = (a→{1,2} | b→{1,2})* requires equal counts is wrong — the
+        // paper's point is only that derivatives may *grow*; the expression
+        // accepts any mix of a/b arcs with values in {1,2}.
+        let (mut engine, ds) = setup(
+            "PREFIX e: <http://e/>\n<S> { (e:a [1 2] | e:b [1 2])* }",
+            r#"
+            @prefix e: <http://e/> .
+            e:n e:a 1, 2; e:b 1, 2 .
+            e:m e:a 1; e:c 9 .
+            "#,
+        );
+        assert!(check(&mut engine, &ds, "http://e/n", "S"));
+        assert!(!check(&mut engine, &ds, "http://e/m", "S"));
+    }
+
+    #[test]
+    fn literal_object_can_match_empty_shape() {
+        // A shape with only optional arcs is satisfied by literals (their
+        // neighbourhood is empty).
+        let (mut engine, ds) = setup(
+            "PREFIX e: <http://e/>\n<S> { e:p @<T> }\n<T> { e:q .* }",
+            "@prefix e: <http://e/> . e:n e:p 42 .",
+        );
+        assert!(check(&mut engine, &ds, "http://e/n", "S"));
+    }
+
+    #[test]
+    fn wildcard_predicate_arc() {
+        let (mut engine, ds) = setup(
+            "PREFIX e: <http://e/>\n<S> { . LITERAL+ }",
+            r#"
+            @prefix e: <http://e/> .
+            e:x e:p 1; e:q "s" .
+            e:y e:p e:z .
+            "#,
+        );
+        assert!(check(&mut engine, &ds, "http://e/x", "S"));
+        assert!(!check(&mut engine, &ds, "http://e/y", "S"));
+    }
+
+    #[test]
+    fn validate_map_outcomes() {
+        let (mut engine, mut ds) = setup(PERSON_SCHEMA, PERSON_DATA);
+        let map = shapex_shex::shapemap::parse(
+            "<http://example.org/john>@<Person>,\n\
+             <http://example.org/mary>@!<Person>,\n\
+             <http://example.org/mary>@<Person>,\n\
+             <http://example.org/unknown>@!<Person>",
+        )
+        .unwrap();
+        let outcomes = engine.validate_map(&ds.graph, &mut ds.pool, &map).unwrap();
+        assert_eq!(outcomes.len(), 4);
+        assert!(outcomes[0].conforms && outcomes[0].as_expected);
+        assert!(!outcomes[1].conforms && outcomes[1].as_expected);
+        assert!(!outcomes[2].conforms && !outcomes[2].as_expected);
+        assert!(outcomes[2].failure.is_some());
+        // Unknown node: empty neighbourhood fails the Person shape.
+        assert!(!outcomes[3].conforms && outcomes[3].as_expected);
+    }
+
+    #[test]
+    fn validate_map_unknown_shape_errors() {
+        let (mut engine, mut ds) = setup(PERSON_SCHEMA, PERSON_DATA);
+        let map = shapex_shex::shapemap::parse("<http://e/x>@<Nope>").unwrap();
+        assert!(matches!(
+            engine.validate_map(&ds.graph, &mut ds.pool, &map),
+            Err(EngineError::UnknownShape(_))
+        ));
+    }
+
+    #[test]
+    fn blank_node_focus() {
+        let (mut engine, ds) = setup(
+            "PREFIX e: <http://e/>\n<S> { e:p [1] }",
+            "@prefix e: <http://e/> . _:b e:p 1 .",
+        );
+        let node = ds.node(&shapex_rdf::Term::blank("b")).unwrap();
+        assert!(
+            engine
+                .check(&ds.graph, &ds.pool, node, &"S".into())
+                .unwrap()
+                .matched
+        );
+    }
+
+    #[test]
+    fn literal_focus_node_against_empty_shape() {
+        let (mut engine, mut ds) = setup(
+            "PREFIX e: <http://e/>\n<E> { }\n<R> { e:p . }",
+            "@prefix e: <http://e/> . e:x e:p 1 .",
+        );
+        let lit = ds
+            .pool
+            .intern(shapex_rdf::Term::Literal(shapex_rdf::Literal::integer(1)));
+        // A literal has no outgoing triples: matches ε, fails required arcs.
+        assert!(
+            engine
+                .check(&ds.graph, &ds.pool, lit, &"E".into())
+                .unwrap()
+                .matched
+        );
+        assert!(
+            !engine
+                .check(&ds.graph, &ds.pool, lit, &"R".into())
+                .unwrap()
+                .matched
+        );
+    }
+
+    #[test]
+    fn deep_recursion_chain() {
+        // A 20000-link knows-chain: far beyond the default test-thread
+        // stack — exercises the large-stack validation worker.
+        let w = shapex_workloads::person_network(20_000, shapex_workloads::Topology::Chain, 0.0, 7);
+        let schema = shexc::parse(&w.schema).unwrap();
+        let mut ds = w.dataset;
+        let mut engine = Engine::new(&schema, &mut ds.pool).unwrap();
+        let first = ds.iri(&w.focus[0]).unwrap();
+        assert!(
+            engine
+                .check(&ds.graph, &ds.pool, first, &ShapeLabel::new("Person"))
+                .unwrap()
+                .matched
+        );
+    }
+
+    #[test]
+    fn multiple_shapes_per_node() {
+        let (mut engine, ds) = setup(
+            "PREFIX e: <http://e/>\n<HasP> { e:p ., e:q .* }\n<HasQ> { e:q ., e:p .* }",
+            "@prefix e: <http://e/> . e:x e:p 1; e:q 2 .",
+        );
+        let typing = engine.type_all(&ds.graph, &ds.pool);
+        let x = ds.iri("http://e/x").unwrap();
+        assert_eq!(typing.shapes_of(x).count(), 2);
+    }
+
+    #[test]
+    fn sorbe_and_general_disagreement_guard_on_duplicate_values() {
+        // A SORBE shape whose value constraint rejects one of two triples:
+        // both paths must fail identically.
+        let schema = shexc::parse("PREFIX e: <http://e/>\n<S> { e:p [1 2]{2} }").unwrap();
+        let mut ds = turtle::parse("@prefix e: <http://e/> . e:n e:p 1, 3 .").unwrap();
+        for no_sorbe in [false, true] {
+            let mut engine = Engine::compile(
+                &schema,
+                &mut ds.pool,
+                EngineConfig {
+                    no_sorbe,
+                    ..EngineConfig::default()
+                },
+            )
+            .unwrap();
+            let n = ds.iri("http://e/n").unwrap();
+            assert!(
+                !engine
+                    .check(&ds.graph, &ds.pool, n, &"S".into())
+                    .unwrap()
+                    .matched
+            );
+        }
+    }
+
+    #[test]
+    fn trace_reproduces_example_11() {
+        // a→[1] ‖ b→.* over {⟨n,a,1⟩, ⟨n,b,1⟩, ⟨n,b,2⟩}: three steps,
+        // residual nullable, matches.
+        let (mut engine, ds) = setup(EX5_SCHEMA, "@prefix e: <http://e/> . e:n e:a 1; e:b 1, 2 .");
+        let node = ds.iri("http://e/n").unwrap();
+        let trace = engine
+            .trace(&ds.graph, &ds.pool, node, &"S".into())
+            .unwrap();
+        assert_eq!(trace.steps.len(), 3);
+        assert!(trace.matched);
+        assert!(trace.nullable);
+        // The first consumed triple is the a-arc (insertion order), and the
+        // state drops the consumed obligation.
+        assert!(trace.steps[0].before.contains("a→"), "{:?}", trace.steps[0]);
+        let rendered = trace.render(&ds.pool);
+        assert!(rendered.contains("MATCHES"), "{rendered}");
+    }
+
+    #[test]
+    fn trace_reproduces_example_12() {
+        // {⟨n,a,1⟩, ⟨n,a,2⟩, ⟨n,b,1⟩}: the second a-triple derives ∅ and
+        // the trace stops early.
+        let (mut engine, ds) = setup(EX5_SCHEMA, "@prefix e: <http://e/> . e:n e:a 1, 2; e:b 1 .");
+        let node = ds.iri("http://e/n").unwrap();
+        let trace = engine
+            .trace(&ds.graph, &ds.pool, node, &"S".into())
+            .unwrap();
+        assert!(!trace.matched);
+        assert_eq!(trace.residual, "∅");
+        assert!(trace.steps.len() < 3, "stops at the failing triple");
+        assert_eq!(trace.steps.last().unwrap().after, "∅");
+    }
+
+    #[test]
+    fn trace_on_deep_recursive_chain() {
+        // The trace path must use the large-stack worker too.
+        let w = shapex_workloads::person_network(
+            5_000,
+            shapex_workloads::Topology::Chain,
+            0.0,
+            3,
+        );
+        let schema = shexc::parse(&w.schema).unwrap();
+        let mut ds = w.dataset;
+        let mut engine = Engine::new(&schema, &mut ds.pool).unwrap();
+        let first = ds.iri(&w.focus[0]).unwrap();
+        let trace = engine
+            .trace(&ds.graph, &ds.pool, first, &ShapeLabel::new("Person"))
+            .unwrap();
+        assert!(trace.matched);
+        assert_eq!(trace.steps.len(), 3); // age, name, knows
+    }
+
+    #[test]
+    fn trace_agrees_with_check() {
+        let (mut engine, ds) = setup(PERSON_SCHEMA, PERSON_DATA);
+        for node in ["john", "bob", "mary"] {
+            let id = ds.iri(&format!("http://example.org/{node}")).unwrap();
+            let checked = engine
+                .check(&ds.graph, &ds.pool, id, &"Person".into())
+                .unwrap()
+                .matched;
+            let traced = engine
+                .trace(&ds.graph, &ds.pool, id, &"Person".into())
+                .unwrap()
+                .matched;
+            assert_eq!(checked, traced, "{node}");
+        }
+    }
+
+    /// Fig. 4, rule *Arctype*: a value-set arc matches a triple whose
+    /// object is in the set, producing no typing obligations.
+    #[test]
+    fn rule_arctype() {
+        let (mut engine, ds) = setup(
+            "PREFIX e: <http://e/>\n<S> { e:p [1 2] }",
+            "@prefix e: <http://e/> . e:ok e:p 2 . e:bad e:p 3 .",
+        );
+        assert!(check(&mut engine, &ds, "http://e/ok", "S"));
+        assert!(!check(&mut engine, &ds, "http://e/bad", "S"));
+    }
+
+    /// Fig. 4, rule *Arcref*: `vp→l` matches ⟨s,p,o⟩ when o has shape l —
+    /// the typing obligation `Γ ⊢ l ≃s o`.
+    #[test]
+    fn rule_arcref() {
+        let (mut engine, ds) = setup(
+            "PREFIX e: <http://e/>\n<S> { e:p @<T> }\n<T> { e:q [1] }",
+            "@prefix e: <http://e/> . e:ok e:p e:t . e:t e:q 1 .\n\
+             e:bad e:p e:u . e:u e:q 2 .",
+        );
+        assert!(check(&mut engine, &ds, "http://e/ok", "S"));
+        assert!(!check(&mut engine, &ds, "http://e/bad", "S"));
+    }
+
+    /// Fig. 3, rule *MatchShape*: `Γ{n→l} ⊢ δ(l) ≃ Σg_n` — the assumption
+    /// added for n itself is what lets a self-referential node close.
+    #[test]
+    fn rule_matchshape_assumption() {
+        let (mut engine, ds) = setup(
+            "PREFIX e: <http://e/>\n<S> { e:self @<S> }",
+            "@prefix e: <http://e/> . e:n e:self e:n .",
+        );
+        // n's only triple points at n itself; only Γ{n→S} makes it hold.
+        assert!(check(&mut engine, &ds, "http://e/n", "S"));
+    }
+}

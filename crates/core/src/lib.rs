@@ -1,0 +1,57 @@
+#![warn(missing_docs)]
+//! # shapex
+//!
+//! RDF validation with regular-expression derivatives — a Rust
+//! implementation of *"Towards an RDF Validation Language Based on Regular
+//! Expression Derivatives"* (EDBT/ICDT 2015 workshops).
+//!
+//! The validator checks RDF nodes against *Regular Shape Expressions* by
+//! consuming the node's neighbourhood one triple at a time and taking the
+//! Brzozowski-style derivative of the expression at each step — no graph
+//! decomposition, no backtracking (contrast with the
+//! [`shapex-backtrack`](https://example.org) baseline crate).
+//!
+//! ```
+//! use shapex::{Engine, validate};
+//!
+//! let report = validate(
+//!     r#"
+//!     PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+//!     PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>
+//!     <Person> {
+//!       foaf:age xsd:integer
+//!       , foaf:name xsd:string+
+//!       , foaf:knows @<Person>*
+//!     }
+//!     "#,
+//!     r#"
+//!     @prefix : <http://example.org/> .
+//!     @prefix foaf: <http://xmlns.com/foaf/0.1/> .
+//!     :john foaf:age 23; foaf:name "John"; foaf:knows :bob .
+//!     :bob foaf:age 34; foaf:name "Bob", "Robert" .
+//!     :mary foaf:age 50, 65 .
+//!     "#,
+//! ).unwrap();
+//!
+//! assert!(report.conforms("http://example.org/john", "Person"));
+//! assert!(report.conforms("http://example.org/bob", "Person"));
+//! assert!(!report.conforms("http://example.org/mary", "Person"));
+//! ```
+
+pub mod arena;
+pub mod compile;
+pub mod engine;
+pub mod result;
+pub mod sorbe;
+pub mod validate;
+
+pub use arena::{ArcId, ExprId, ExprPool, Node, Simplify, EMPTY, EPSILON, UNBOUNDED};
+pub use compile::{CompiledSchema, ShapeId, SorbeSpec};
+pub use engine::{Closure, Engine, EngineConfig, EngineError, MapOutcome, Trace, TraceStep};
+pub use result::{Failure, FailureKind, MatchResult, Stats, Typing};
+pub use validate::{validate, Report};
+
+// Re-export the substrate crates so downstream users need a single
+// dependency.
+pub use shapex_rdf as rdf;
+pub use shapex_shex as shex;

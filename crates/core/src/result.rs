@@ -1,0 +1,312 @@
+//! Validation results: per-node match outcomes with failure explanations,
+//! whole-graph shape typings, and engine statistics.
+
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+use shapex_rdf::pool::{TermId, TermPool};
+use shapex_shex::ast::ShapeLabel;
+
+use crate::compile::ShapeId;
+
+/// Why a node failed to match a shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailureKind {
+    /// Consuming this triple drove the expression to `∅` — the triple is
+    /// not allowed by (the remainder of) the shape. For inverse arcs the
+    /// stored triple is `⟨other, p, node⟩`.
+    UnexpectedTriple {
+        /// The triple's subject.
+        subject: TermId,
+        /// The triple's predicate.
+        predicate: TermId,
+        /// The triple's object.
+        object: TermId,
+    },
+    /// All triples consumed but the residual expression is not nullable —
+    /// required arcs are missing.
+    MissingRequired,
+    /// (SORBE fast path) an arc's triple count fell outside its interval.
+    Cardinality {
+        /// Rendered arc constraint, e.g. `name→string`.
+        arc: String,
+        /// How many triples matched the arc.
+        found: u32,
+        /// The arc's minimum.
+        min: u32,
+        /// `None` for an unbounded maximum.
+        max: Option<u32>,
+    },
+}
+
+/// A failure explanation: what went wrong and the expression state at that
+/// point (in the paper's notation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Failure {
+    /// What went wrong.
+    pub kind: FailureKind,
+    /// The expression state *before* the failing step, rendered.
+    pub expectation: String,
+}
+
+impl Failure {
+    /// Renders the failure with terms resolved against `pool`.
+    pub fn render(&self, pool: &TermPool) -> String {
+        match &self.kind {
+            FailureKind::UnexpectedTriple {
+                subject,
+                predicate,
+                object,
+            } => format!(
+                "triple {} {} {} does not match remaining expectation {}",
+                pool.term(*subject),
+                pool.term(*predicate),
+                pool.term(*object),
+                self.expectation
+            ),
+            FailureKind::MissingRequired => format!(
+                "node is missing required arcs; remaining expectation {} does not accept the empty graph",
+                self.expectation
+            ),
+            FailureKind::Cardinality {
+                arc,
+                found,
+                min,
+                max,
+            } => {
+                let bounds = match max {
+                    Some(max) => format!("between {min} and {max}"),
+                    None => format!("at least {min}"),
+                };
+                format!("arc {arc} occurs {found} times but must occur {bounds}")
+            }
+        }
+    }
+}
+
+/// Result of checking one node against one shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatchResult {
+    /// Whether the node conforms to the shape.
+    pub matched: bool,
+    /// Present when `matched == false` and a cause was identified.
+    pub failure: Option<Failure>,
+}
+
+impl MatchResult {
+    /// A conforming result.
+    pub fn success() -> Self {
+        MatchResult {
+            matched: true,
+            failure: None,
+        }
+    }
+
+    /// A non-conforming result with its explanation.
+    pub fn failure(failure: Failure) -> Self {
+        MatchResult {
+            matched: false,
+            failure: Some(failure),
+        }
+    }
+}
+
+/// A shape typing `τ`: which `(node, shape)` pairs hold (paper §8). This is
+/// the greatest-fixpoint typing restricted to the pairs actually queried.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Typing {
+    map: HashMap<TermId, BTreeSet<ShapeId>>,
+}
+
+impl Typing {
+    /// An empty typing.
+    pub fn new() -> Self {
+        Typing::default()
+    }
+
+    /// Records that `node` has `shape`.
+    pub fn add(&mut self, node: TermId, shape: ShapeId) {
+        self.map.entry(node).or_default().insert(shape);
+    }
+
+    /// Does the typing contain `(node, shape)`?
+    pub fn has(&self, node: TermId, shape: ShapeId) -> bool {
+        self.map.get(&node).is_some_and(|s| s.contains(&shape))
+    }
+
+    /// Shapes recorded for `node`.
+    pub fn shapes_of(&self, node: TermId) -> impl Iterator<Item = ShapeId> + '_ {
+        self.map.get(&node).into_iter().flatten().copied()
+    }
+
+    /// Nodes with at least one recorded shape.
+    pub fn nodes(&self) -> impl Iterator<Item = TermId> + '_ {
+        self.map.keys().copied()
+    }
+
+    /// Total number of `(node, shape)` entries.
+    pub fn len(&self) -> usize {
+        self.map.values().map(BTreeSet::len).sum()
+    }
+
+    /// True when no pair is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Converts the typing into a (result) shape map: one positive
+    /// association per recorded `(node, shape)` pair, sorted by rendering.
+    pub fn to_shape_map(
+        &self,
+        pool: &TermPool,
+        labels: &dyn Fn(ShapeId) -> ShapeLabel,
+    ) -> shapex_shex::shapemap::ShapeMap {
+        let mut associations: Vec<shapex_shex::shapemap::Association> = self
+            .map
+            .iter()
+            .flat_map(|(node, shapes)| {
+                shapes.iter().map(|s| shapex_shex::shapemap::Association {
+                    node: pool.term(*node).clone(),
+                    shape: labels(*s),
+                    expected: true,
+                })
+            })
+            .collect();
+        associations.sort_by_key(|a| (a.node.to_string(), a.shape.as_str().to_string()));
+        shapex_shex::shapemap::ShapeMap { associations }
+    }
+
+    /// Renders the typing as sorted `node → <Shape>` lines.
+    pub fn render(&self, pool: &TermPool, labels: &dyn Fn(ShapeId) -> ShapeLabel) -> String {
+        let mut lines: Vec<String> = Vec::new();
+        for (node, shapes) in &self.map {
+            for s in shapes {
+                lines.push(format!("{} → {}", pool.term(*node), labels(*s)));
+            }
+        }
+        lines.sort();
+        lines.join("\n")
+    }
+}
+
+/// Counters exposed for the benchmark harness and the E9 ablations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Individual derivative-rule applications (`∂` node visits).
+    pub derivative_steps: u64,
+    /// Hits in the `(expression, triple-class)` derivative memo.
+    pub deriv_memo_hits: u64,
+    /// Distinct triple classes (satisfaction profiles) interned.
+    pub triple_classes: u64,
+    /// `(node, shape)` checks actually evaluated (memo misses).
+    pub node_checks: u64,
+    /// Greatest-fixpoint restarts triggered by failed coinductive
+    /// assumptions.
+    pub gfp_reruns: u64,
+    /// Node checks answered by the SORBE counting fast path.
+    pub sorbe_checks: u64,
+    /// Expression-arena size at last measurement.
+    pub expr_pool_size: usize,
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "∂-steps={} memo-hits={} classes={} checks={} sorbe={} reruns={} pool={}",
+            self.derivative_steps,
+            self.deriv_memo_hits,
+            self.triple_classes,
+            self.node_checks,
+            self.sorbe_checks,
+            self.gfp_reruns,
+            self.expr_pool_size
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typing_add_and_query() {
+        let mut pool = TermPool::new();
+        let n = pool.intern_iri("http://e/n");
+        let m = pool.intern_iri("http://e/m");
+        let mut t = Typing::new();
+        t.add(n, ShapeId(0));
+        t.add(n, ShapeId(1));
+        t.add(n, ShapeId(0)); // duplicate ignored
+        assert!(t.has(n, ShapeId(0)));
+        assert!(t.has(n, ShapeId(1)));
+        assert!(!t.has(m, ShapeId(0)));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.shapes_of(n).count(), 2);
+        assert_eq!(t.shapes_of(m).count(), 0);
+    }
+
+    #[test]
+    fn typing_render_sorted() {
+        let mut pool = TermPool::new();
+        let n = pool.intern_iri("http://e/b");
+        let m = pool.intern_iri("http://e/a");
+        let mut t = Typing::new();
+        t.add(n, ShapeId(0));
+        t.add(m, ShapeId(0));
+        let s = t.render(&pool, &|_| ShapeLabel::new("S"));
+        let lines: Vec<_> = s.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("/a"));
+    }
+
+    #[test]
+    fn typing_to_shape_map() {
+        let mut pool = TermPool::new();
+        let n = pool.intern_iri("http://e/n");
+        let mut t = Typing::new();
+        t.add(n, ShapeId(0));
+        let map = t.to_shape_map(&pool, &|_| ShapeLabel::new("S"));
+        assert_eq!(map.len(), 1);
+        assert!(map.associations[0].expected);
+        assert_eq!(map.associations[0].shape.as_str(), "S");
+    }
+
+    #[test]
+    fn failure_render_unexpected() {
+        let mut pool = TermPool::new();
+        let s = pool.intern_iri("http://e/s");
+        let p = pool.intern_iri("http://e/p");
+        let o = pool.intern_iri("http://e/o");
+        let f = Failure {
+            kind: FailureKind::UnexpectedTriple {
+                subject: s,
+                predicate: p,
+                object: o,
+            },
+            expectation: "a→1".to_string(),
+        };
+        let msg = f.render(&pool);
+        assert!(msg.contains("<http://e/p>"));
+        assert!(msg.contains("a→1"));
+    }
+
+    #[test]
+    fn failure_render_missing() {
+        let pool = TermPool::new();
+        let f = Failure {
+            kind: FailureKind::MissingRequired,
+            expectation: "b→{1,2}".to_string(),
+        };
+        assert!(f.render(&pool).contains("missing required"));
+    }
+
+    #[test]
+    fn stats_display() {
+        let s = Stats {
+            derivative_steps: 10,
+            ..Stats::default()
+        };
+        assert!(s.to_string().contains("∂-steps=10"));
+    }
+}

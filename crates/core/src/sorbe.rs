@@ -1,0 +1,225 @@
+//! Single-Occurrence Regular Bag Expression (SORBE) fast path.
+//!
+//! The paper's §8 closes with its planned next step: "the Single
+//! Occurrence Regular Bag Expressions subset defined in [Boneva et al.,
+//! ICDT 2015] offers a tractable language which could be expressive
+//! enough. In the future we are planning to adapt our implementation to
+//! that subset and study its performance behaviour in practice." This
+//! module does exactly that.
+//!
+//! A shape is treated as SORBE here when it is an unordered concatenation
+//! of arc constraints, each carrying one cardinality interval, whose
+//! `(predicate set, direction)` heads are pairwise disjoint:
+//!
+//! ```text
+//! p1 → C1 {m1,n1}  ‖  p2 → C2 {m2,n2}  ‖  …     (pi pairwise disjoint)
+//! ```
+//!
+//! Because the heads are disjoint, every triple belongs to at most one
+//! conjunct, so matching degenerates to *counting*: bucket the
+//! neighbourhood by arc, require every bucketed object to satisfy the
+//! arc's constraint, and check each count against `[mᵢ, nᵢ]` — linear
+//! time, no expression state, no derivatives. The
+//! [`Engine`](crate::engine::Engine) uses this automatically for
+//! qualifying shapes (disable with
+//! [`EngineConfig::no_sorbe`](crate::engine::EngineConfig)); experiment E9
+//! measures the effect.
+
+use shapex_shex::ast::{PredicateSet, ShapeExpr};
+
+use crate::arena::UNBOUNDED;
+
+/// One conjunct of a SORBE shape: the arc at DFS position `arc_pos`
+/// (mapping to the shape's `arcs[arc_pos]` after compilation) with its
+/// cardinality interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SorbeArc {
+    /// Index into the owning shape's arc list (DFS order).
+    pub arc_pos: usize,
+    /// Minimum occurrences.
+    pub min: u32,
+    /// `UNBOUNDED` for `{m,}`.
+    pub max: u32,
+}
+
+/// Attempts to classify a shape expression as SORBE. Returns the conjunct
+/// list (possibly empty, for `ε`) or `None` when the expression needs the
+/// general derivative engine.
+pub fn classify(expr: &ShapeExpr) -> Option<Vec<SorbeArc>> {
+    let mut arcs = Vec::new();
+    let mut pos = 0usize;
+    if !collect(expr, 1, 1, &mut arcs, &mut pos) {
+        return None;
+    }
+    // Single occurrence: pairwise-disjoint (predicates, direction) heads.
+    let mut heads: Vec<(&PredicateSet, bool)> = Vec::new();
+    collect_heads(expr, &mut heads);
+    debug_assert_eq!(heads.len(), arcs.len());
+    for i in 0..heads.len() {
+        for j in i + 1..heads.len() {
+            if heads[i].1 == heads[j].1 && overlaps(heads[i].0, heads[j].0) {
+                return None;
+            }
+        }
+    }
+    Some(arcs)
+}
+
+/// Walks the And-spine, accumulating arcs with their cardinalities.
+/// `min`/`max` carry the cardinality context from enclosing operators;
+/// nested cardinalities (e.g. `(e:p .{2}){3}`) disqualify.
+fn collect(expr: &ShapeExpr, min: u32, max: u32, out: &mut Vec<SorbeArc>, pos: &mut usize) -> bool {
+    match expr {
+        ShapeExpr::Epsilon => true,
+        ShapeExpr::Empty => false,
+        ShapeExpr::Arc(_) => {
+            out.push(SorbeArc {
+                arc_pos: *pos,
+                min,
+                max,
+            });
+            *pos += 1;
+            true
+        }
+        ShapeExpr::Star(e) => cardinality_of(e, 0, UNBOUNDED, out, pos),
+        ShapeExpr::Plus(e) => cardinality_of(e, 1, UNBOUNDED, out, pos),
+        ShapeExpr::Opt(e) => cardinality_of(e, 0, 1, out, pos),
+        ShapeExpr::Repeat(e, m, n) => cardinality_of(e, *m, n.unwrap_or(UNBOUNDED), out, pos),
+        ShapeExpr::And(a, b) => {
+            // Cardinality over a whole group is not SORBE-flat.
+            if (min, max) != (1, 1) {
+                return false;
+            }
+            collect(a, 1, 1, out, pos) && collect(b, 1, 1, out, pos)
+        }
+        ShapeExpr::Or(_, _) => false,
+    }
+}
+
+/// A cardinality operator's body must be a bare arc for the flat form.
+fn cardinality_of(
+    e: &ShapeExpr,
+    min: u32,
+    max: u32,
+    out: &mut Vec<SorbeArc>,
+    pos: &mut usize,
+) -> bool {
+    match e {
+        ShapeExpr::Arc(_) => collect(e, min, max, out, pos),
+        _ => false,
+    }
+}
+
+fn collect_heads<'a>(expr: &'a ShapeExpr, out: &mut Vec<(&'a PredicateSet, bool)>) {
+    expr.visit_arcs(&mut |arc| out.push((&arc.predicates, arc.inverse)));
+}
+
+fn overlaps(a: &PredicateSet, b: &PredicateSet) -> bool {
+    match (a, b) {
+        (PredicateSet::Any, _) | (_, PredicateSet::Any) => true,
+        (PredicateSet::Iris(xs), PredicateSet::Iris(ys)) => {
+            xs.iter().any(|x| ys.iter().any(|y| x == y))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shapex_shex::shexc;
+
+    fn classify_shape(src: &str) -> Option<Vec<SorbeArc>> {
+        let schema = shexc::parse(src).unwrap();
+        let (_, expr) = schema.iter().next().unwrap();
+        classify(expr)
+    }
+
+    #[test]
+    fn flat_person_schema_is_sorbe() {
+        let arcs = classify_shape(
+            "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\nPREFIX xsd: <http://www.w3.org/2001/XMLSchema#>\n\
+             <P> { foaf:age xsd:integer, foaf:name xsd:string+, foaf:knows @<P>* }",
+        )
+        .expect("is SORBE");
+        assert_eq!(arcs.len(), 3);
+        assert_eq!((arcs[0].min, arcs[0].max), (1, 1));
+        assert_eq!((arcs[1].min, arcs[1].max), (1, UNBOUNDED));
+        assert_eq!((arcs[2].min, arcs[2].max), (0, UNBOUNDED));
+        assert_eq!(arcs[2].arc_pos, 2);
+    }
+
+    #[test]
+    fn cardinality_ranges_are_sorbe() {
+        let arcs = classify_shape("PREFIX e: <http://e/>\n<S> { e:a .{2,5}, e:b .?, e:c .{3} }")
+            .expect("is SORBE");
+        assert_eq!(
+            arcs[0],
+            SorbeArc {
+                arc_pos: 0,
+                min: 2,
+                max: 5
+            }
+        );
+        assert_eq!(
+            arcs[1],
+            SorbeArc {
+                arc_pos: 1,
+                min: 0,
+                max: 1
+            }
+        );
+        assert_eq!(
+            arcs[2],
+            SorbeArc {
+                arc_pos: 2,
+                min: 3,
+                max: 3
+            }
+        );
+    }
+
+    #[test]
+    fn empty_shape_is_sorbe() {
+        assert_eq!(classify_shape("<S> { }"), Some(vec![]));
+    }
+
+    #[test]
+    fn repeated_predicate_is_not_sorbe() {
+        // `e:p [1], e:p [2]` — the same triple head occurs twice.
+        assert!(classify_shape("PREFIX e: <http://e/>\n<S> { e:p [1], e:p [2] }").is_none());
+    }
+
+    #[test]
+    fn alternatives_are_not_sorbe() {
+        assert!(classify_shape("PREFIX e: <http://e/>\n<S> { e:a . | e:b . }").is_none());
+    }
+
+    #[test]
+    fn group_cardinality_is_not_sorbe() {
+        assert!(classify_shape("PREFIX e: <http://e/>\n<S> { (e:a ., e:b .)+ }").is_none());
+    }
+
+    #[test]
+    fn nested_cardinality_is_not_sorbe() {
+        assert!(classify_shape("PREFIX e: <http://e/>\n<S> { (e:a .{2})* }").is_none());
+    }
+
+    #[test]
+    fn wildcard_with_other_arcs_is_not_sorbe() {
+        assert!(classify_shape("PREFIX e: <http://e/>\n<S> { . ., e:a . }").is_none());
+        // But a lone wildcard arc is fine.
+        assert!(classify_shape("<S> { . .* }").is_some());
+    }
+
+    #[test]
+    fn inverse_and_forward_same_predicate_are_disjoint() {
+        let arcs = classify_shape("PREFIX e: <http://e/>\n<S> { e:knows IRI+, ^e:knows IRI* }")
+            .expect("directions make heads disjoint");
+        assert_eq!(arcs.len(), 2);
+    }
+
+    #[test]
+    fn or_under_and_is_not_sorbe() {
+        assert!(classify_shape("PREFIX e: <http://e/>\n<S> { e:a ., (e:b . | e:c .) }").is_none());
+    }
+}

@@ -1,0 +1,200 @@
+//! One-call convenience API: parse a ShExC schema and a Turtle document,
+//! compute the full shape typing, and answer conformance queries by name.
+
+use shapex_rdf::graph::Dataset;
+use shapex_rdf::term::Term;
+use shapex_rdf::turtle;
+use shapex_shex::ast::ShapeLabel;
+use shapex_shex::shexc;
+
+use crate::engine::{Engine, EngineError};
+use crate::result::Typing;
+
+/// Everything [`validate`] produces: the parsed dataset, the engine (with
+/// its memoised state), and the full typing.
+pub struct Report {
+    /// The parsed data graph and its term pool.
+    pub dataset: Dataset,
+    /// The engine, with all memoised state from the typing run.
+    pub engine: Engine,
+    /// The full node-to-shape typing.
+    pub typing: Typing,
+}
+
+impl Report {
+    /// Does the node (given as an IRI string) conform to the named shape?
+    pub fn conforms(&self, node_iri: &str, shape: &str) -> bool {
+        let Some(node) = self.dataset.iri(node_iri) else {
+            return false;
+        };
+        let Some(shape) = self.engine.shape_id(&ShapeLabel::new(shape)) else {
+            return false;
+        };
+        self.typing.has(node, shape)
+    }
+
+    /// The shapes a node conforms to, as label strings.
+    pub fn shapes_of(&self, node_iri: &str) -> Vec<String> {
+        let Some(node) = self.dataset.iri(node_iri) else {
+            return Vec::new();
+        };
+        self.typing
+            .shapes_of(node)
+            .map(|s| self.engine.label_of(s).as_str().to_string())
+            .collect()
+    }
+
+    /// Renders the full typing, one `node → <Shape>` line per entry.
+    pub fn render_typing(&self) -> String {
+        self.typing
+            .render(&self.dataset.pool, &|s| self.engine.label_of(s).clone())
+    }
+
+    /// Why did this node fail this shape? Empty if it conforms or was
+    /// never checked.
+    pub fn explain(&mut self, node_iri: &str, shape: &str) -> Option<String> {
+        let node = self.dataset.iri(node_iri)?;
+        let result = self
+            .engine
+            .check(
+                &self.dataset.graph,
+                &self.dataset.pool,
+                node,
+                &ShapeLabel::new(shape),
+            )
+            .ok()?;
+        result.failure.map(|f| f.render(&self.dataset.pool))
+    }
+}
+
+/// Errors from the convenience API: parsing either input, or validation
+/// setup.
+#[derive(Debug)]
+pub enum ValidateError {
+    /// The ShExC schema failed to parse.
+    SchemaSyntax(shapex_rdf::parser::ParseError),
+    /// The Turtle data failed to parse.
+    DataSyntax(shapex_rdf::parser::ParseError),
+    /// Schema compilation or validation failed.
+    Engine(EngineError),
+}
+
+impl std::fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValidateError::SchemaSyntax(e) => write!(f, "schema: {e}"),
+            ValidateError::DataSyntax(e) => write!(f, "data: {e}"),
+            ValidateError::Engine(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// Parses `schema_shexc` and `data_turtle`, validates every subject node
+/// against every shape, and returns the [`Report`].
+pub fn validate(schema_shexc: &str, data_turtle: &str) -> Result<Report, ValidateError> {
+    let schema = shexc::parse(schema_shexc).map_err(ValidateError::SchemaSyntax)?;
+    let mut dataset = turtle::parse(data_turtle).map_err(ValidateError::DataSyntax)?;
+    let mut engine = Engine::new(&schema, &mut dataset.pool).map_err(ValidateError::Engine)?;
+    let typing = engine.type_all(&dataset.graph, &dataset.pool);
+    Ok(Report {
+        dataset,
+        engine,
+        typing,
+    })
+}
+
+/// Checks a single `(node, shape)` pair without computing the full typing.
+pub fn check_node(
+    schema_shexc: &str,
+    data_turtle: &str,
+    node_iri: &str,
+    shape: &str,
+) -> Result<bool, ValidateError> {
+    let schema = shexc::parse(schema_shexc).map_err(ValidateError::SchemaSyntax)?;
+    let mut dataset = turtle::parse(data_turtle).map_err(ValidateError::DataSyntax)?;
+    let mut engine = Engine::new(&schema, &mut dataset.pool).map_err(ValidateError::Engine)?;
+    let node = dataset.pool.intern(Term::iri(node_iri));
+    Ok(engine
+        .check(&dataset.graph, &dataset.pool, node, &ShapeLabel::new(shape))
+        .map_err(ValidateError::Engine)?
+        .matched)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCHEMA: &str = r#"
+        PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+        PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>
+        <Person> { foaf:age xsd:integer, foaf:name xsd:string+ }
+    "#;
+    const DATA: &str = r#"
+        @prefix : <http://example.org/> .
+        @prefix foaf: <http://xmlns.com/foaf/0.1/> .
+        :john foaf:age 23; foaf:name "John" .
+        :mary foaf:age 50, 65 .
+    "#;
+
+    #[test]
+    fn report_conformance() {
+        let report = validate(SCHEMA, DATA).unwrap();
+        assert!(report.conforms("http://example.org/john", "Person"));
+        assert!(!report.conforms("http://example.org/mary", "Person"));
+        assert!(!report.conforms("http://example.org/nobody", "Person"));
+        assert!(!report.conforms("http://example.org/john", "NoShape"));
+    }
+
+    #[test]
+    fn shapes_of_lists_labels() {
+        let report = validate(SCHEMA, DATA).unwrap();
+        assert_eq!(
+            report.shapes_of("http://example.org/john"),
+            vec!["Person".to_string()]
+        );
+        assert!(report.shapes_of("http://example.org/mary").is_empty());
+    }
+
+    #[test]
+    fn render_typing_lines() {
+        let report = validate(SCHEMA, DATA).unwrap();
+        let rendered = report.render_typing();
+        assert!(rendered.contains("john"));
+        assert!(!rendered.contains("mary"));
+    }
+
+    #[test]
+    fn explain_failure() {
+        let mut report = validate(SCHEMA, DATA).unwrap();
+        let why = report
+            .explain("http://example.org/mary", "Person")
+            .expect("mary fails");
+        assert!(
+            why.contains("does not match") || why.contains("missing") || why.contains("must occur"),
+            "{why}"
+        );
+        assert!(report
+            .explain("http://example.org/john", "Person")
+            .is_none());
+    }
+
+    #[test]
+    fn check_node_single() {
+        assert!(check_node(SCHEMA, DATA, "http://example.org/john", "Person").unwrap());
+        assert!(!check_node(SCHEMA, DATA, "http://example.org/mary", "Person").unwrap());
+    }
+
+    #[test]
+    fn syntax_errors_surface() {
+        assert!(matches!(
+            validate("<S> { junk", DATA),
+            Err(ValidateError::SchemaSyntax(_))
+        ));
+        assert!(matches!(
+            validate(SCHEMA, "not turtle at all ::"),
+            Err(ValidateError::DataSyntax(_))
+        ));
+    }
+}

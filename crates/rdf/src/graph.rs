@@ -1,0 +1,392 @@
+//! The in-memory graph store.
+//!
+//! A graph `Σ` is a *set* of triples `⟨s, p, o⟩` (paper §2). The store keeps
+//! a deduplicating triple set plus adjacency indexes; the operation the
+//! validator lives on is [`Graph::neighbourhood`], the paper's `Σg_n` — all
+//! triples with subject `n` — served as a slice borrow. An object-side
+//! index supports the paper's §10 "inverse arcs" extension.
+
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet};
+
+use crate::pool::{TermId, TermPool};
+use crate::term::Term;
+
+/// A triple of interned term ids: subject, predicate, object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Triple {
+    /// Subject term id.
+    pub subject: TermId,
+    /// Predicate term id.
+    pub predicate: TermId,
+    /// Object term id.
+    pub object: TermId,
+}
+
+impl Triple {
+    /// Builds a triple from interned ids.
+    pub fn new(subject: TermId, predicate: TermId, object: TermId) -> Self {
+        Triple {
+            subject,
+            predicate,
+            object,
+        }
+    }
+}
+
+/// An outgoing arc `(predicate, object)` in some node's neighbourhood.
+pub type Arc = (TermId, TermId);
+
+/// An in-memory RDF graph over a shared [`TermPool`].
+#[derive(Debug, Default)]
+pub struct Graph {
+    triples: HashSet<Triple>,
+    /// subject → sorted-by-insertion list of (predicate, object)
+    outgoing: HashMap<TermId, Vec<Arc>>,
+    /// object → list of (subject, predicate); for inverse arcs
+    incoming: HashMap<TermId, Vec<(TermId, TermId)>>,
+    /// insertion-ordered subjects, for deterministic iteration
+    subject_order: Vec<TermId>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Inserts a triple. Returns `true` if it was not already present
+    /// (graphs are sets; duplicate inserts are no-ops).
+    pub fn insert(&mut self, triple: Triple) -> bool {
+        if !self.triples.insert(triple) {
+            return false;
+        }
+        match self.outgoing.entry(triple.subject) {
+            Entry::Occupied(mut e) => e.get_mut().push((triple.predicate, triple.object)),
+            Entry::Vacant(e) => {
+                self.subject_order.push(triple.subject);
+                e.insert(vec![(triple.predicate, triple.object)]);
+            }
+        }
+        self.incoming
+            .entry(triple.object)
+            .or_default()
+            .push((triple.subject, triple.predicate));
+        true
+    }
+
+    /// Removes a triple. Returns `true` if it was present. Subject order
+    /// is preserved; a subject whose last triple is removed keeps its
+    /// position but reports an empty neighbourhood.
+    pub fn remove(&mut self, triple: &Triple) -> bool {
+        if !self.triples.remove(triple) {
+            return false;
+        }
+        if let Some(arcs) = self.outgoing.get_mut(&triple.subject) {
+            arcs.retain(|&(p, o)| (p, o) != (triple.predicate, triple.object));
+        }
+        if let Some(arcs) = self.incoming.get_mut(&triple.object) {
+            arcs.retain(|&(s, p)| (s, p) != (triple.subject, triple.predicate));
+        }
+        true
+    }
+
+    /// Convenience: interns three terms into `pool` and inserts the triple.
+    pub fn insert_terms(
+        &mut self,
+        pool: &mut TermPool,
+        subject: Term,
+        predicate: Term,
+        object: Term,
+    ) -> Triple {
+        debug_assert!(subject.is_valid_subject(), "literal in subject position");
+        debug_assert!(predicate.is_valid_predicate(), "non-IRI predicate");
+        let t = Triple::new(
+            pool.intern(subject),
+            pool.intern(predicate),
+            pool.intern(object),
+        );
+        self.insert(t);
+        t
+    }
+
+    /// Membership test.
+    pub fn contains(&self, triple: &Triple) -> bool {
+        self.triples.contains(triple)
+    }
+
+    /// Number of triples.
+    pub fn len(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// True when the graph has no triples.
+    pub fn is_empty(&self) -> bool {
+        self.triples.is_empty()
+    }
+
+    /// The paper's `Σg_n`: all `(predicate, object)` arcs leaving `n`,
+    /// in insertion order. Empty slice when `n` has no outgoing triples.
+    pub fn neighbourhood(&self, n: TermId) -> &[Arc] {
+        self.outgoing.get(&n).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Incoming arcs `(subject, predicate)` arriving at `n`
+    /// (the §10 inverse-arc extension's data source).
+    pub fn incoming(&self, n: TermId) -> &[(TermId, TermId)] {
+        self.incoming.get(&n).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Distinct subjects in insertion order.
+    pub fn subjects(&self) -> impl Iterator<Item = TermId> + '_ {
+        self.subject_order.iter().copied()
+    }
+
+    /// All triples (arbitrary order).
+    pub fn triples(&self) -> impl Iterator<Item = &Triple> {
+        self.triples.iter()
+    }
+
+    /// All triples sorted by (subject, predicate, object) id — deterministic
+    /// order for serialization and tests.
+    pub fn triples_sorted(&self) -> Vec<Triple> {
+        let mut v: Vec<_> = self.triples.iter().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Iterates over triples matching a pattern of optional positions —
+    /// the classic triple-store lookup API. Uses the subject index when
+    /// the subject is bound, the object index when only the object is,
+    /// and scans otherwise.
+    ///
+    /// ```
+    /// use shapex_rdf::turtle;
+    /// let ds = turtle::parse(
+    ///     "@prefix e: <http://e/> . e:a e:p 1 . e:a e:q 2 . e:b e:p 1 ."
+    /// ).unwrap();
+    /// let a = ds.iri("http://e/a").unwrap();
+    /// let p = ds.iri("http://e/p").unwrap();
+    /// assert_eq!(ds.graph.match_pattern(Some(a), None, None).count(), 2);
+    /// assert_eq!(ds.graph.match_pattern(None, Some(p), None).count(), 2);
+    /// assert_eq!(ds.graph.match_pattern(Some(a), Some(p), None).count(), 1);
+    /// ```
+    pub fn match_pattern(
+        &self,
+        subject: Option<TermId>,
+        predicate: Option<TermId>,
+        object: Option<TermId>,
+    ) -> Box<dyn Iterator<Item = Triple> + '_> {
+        let post = move |t: &Triple| {
+            predicate.is_none_or(|p| p == t.predicate)
+                && object.is_none_or(|o| o == t.object)
+        };
+        match (subject, object) {
+            (Some(s), _) => Box::new(
+                self.neighbourhood(s)
+                    .iter()
+                    .map(move |&(p, o)| Triple::new(s, p, o))
+                    .filter(move |t| post(t)),
+            ),
+            (None, Some(o)) => Box::new(
+                self.incoming(o)
+                    .iter()
+                    .map(move |&(s, p)| Triple::new(s, p, o))
+                    .filter(move |t| post(t)),
+            ),
+            (None, None) => Box::new(self.triples.iter().copied().filter(move |t| post(t))),
+        }
+    }
+
+    /// Objects of triples `(s, p, ·)`.
+    pub fn objects(&self, s: TermId, p: TermId) -> impl Iterator<Item = TermId> + '_ {
+        self.neighbourhood(s)
+            .iter()
+            .filter(move |(pred, _)| *pred == p)
+            .map(|(_, o)| *o)
+    }
+}
+
+/// A graph bundled with the pool it interns into. Most user-facing entry
+/// points (parsers, workload generators) produce this.
+#[derive(Debug, Default)]
+pub struct Dataset {
+    /// The term interner backing the graph.
+    pub pool: TermPool,
+    /// The triple store.
+    pub graph: Graph,
+}
+
+impl Dataset {
+    /// Creates an empty dataset with a fresh pool.
+    pub fn new() -> Self {
+        Dataset::default()
+    }
+
+    /// Inserts a triple of owned terms.
+    pub fn insert(&mut self, subject: Term, predicate: Term, object: Term) -> Triple {
+        self.graph
+            .insert_terms(&mut self.pool, subject, predicate, object)
+    }
+
+    /// Looks up the id of a node term, if it occurs in the pool.
+    pub fn node(&self, term: &Term) -> Option<TermId> {
+        self.pool.get(term)
+    }
+
+    /// Looks up the id of an IRI node.
+    pub fn iri(&self, iri: &str) -> Option<TermId> {
+        self.pool.get(&Term::iri(iri))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Literal;
+
+    fn abc(pool: &mut TermPool) -> (TermId, TermId, TermId) {
+        (
+            pool.intern_iri("http://e/a"),
+            pool.intern_iri("http://e/b"),
+            pool.intern_iri("http://e/c"),
+        )
+    }
+
+    #[test]
+    fn insert_dedups() {
+        let mut pool = TermPool::new();
+        let (a, b, c) = abc(&mut pool);
+        let mut g = Graph::new();
+        assert!(g.insert(Triple::new(a, b, c)));
+        assert!(!g.insert(Triple::new(a, b, c)));
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.neighbourhood(a).len(), 1);
+    }
+
+    #[test]
+    fn neighbourhood_collects_all_subject_arcs() {
+        let mut pool = TermPool::new();
+        let (a, b, c) = abc(&mut pool);
+        let d = pool.intern_iri("http://e/d");
+        let mut g = Graph::new();
+        g.insert(Triple::new(a, b, c));
+        g.insert(Triple::new(a, b, d));
+        g.insert(Triple::new(a, d, c));
+        g.insert(Triple::new(d, b, c)); // different subject
+        assert_eq!(g.neighbourhood(a).len(), 3);
+        assert_eq!(g.neighbourhood(d).len(), 1);
+        assert_eq!(g.neighbourhood(c).len(), 0);
+    }
+
+    #[test]
+    fn incoming_index_tracks_objects() {
+        let mut pool = TermPool::new();
+        let (a, b, c) = abc(&mut pool);
+        let mut g = Graph::new();
+        g.insert(Triple::new(a, b, c));
+        g.insert(Triple::new(c, b, a));
+        assert_eq!(g.incoming(c), &[(a, b)]);
+        assert_eq!(g.incoming(a), &[(c, b)]);
+        assert_eq!(g.incoming(b), &[]);
+    }
+
+    #[test]
+    fn subjects_in_insertion_order() {
+        let mut pool = TermPool::new();
+        let (a, b, c) = abc(&mut pool);
+        let mut g = Graph::new();
+        g.insert(Triple::new(c, b, a));
+        g.insert(Triple::new(a, b, c));
+        g.insert(Triple::new(c, a, b));
+        let subs: Vec<_> = g.subjects().collect();
+        assert_eq!(subs, vec![c, a]);
+    }
+
+    #[test]
+    fn objects_filters_by_predicate() {
+        let mut pool = TermPool::new();
+        let (a, b, c) = abc(&mut pool);
+        let d = pool.intern_iri("http://e/d");
+        let mut g = Graph::new();
+        g.insert(Triple::new(a, b, c));
+        g.insert(Triple::new(a, b, d));
+        g.insert(Triple::new(a, d, d));
+        let objs: Vec<_> = g.objects(a, b).collect();
+        assert_eq!(objs, vec![c, d]);
+    }
+
+    #[test]
+    fn dataset_insert_and_lookup() {
+        let mut ds = Dataset::new();
+        ds.insert(
+            Term::iri("http://e/john"),
+            Term::iri(crate::vocab::foaf::AGE),
+            Term::Literal(Literal::integer(23)),
+        );
+        let john = ds.iri("http://e/john").unwrap();
+        assert_eq!(ds.graph.neighbourhood(john).len(), 1);
+        assert!(ds.iri("http://e/nobody").is_none());
+    }
+
+    #[test]
+    fn match_pattern_uses_all_index_paths() {
+        let mut pool = TermPool::new();
+        let (a, b, c) = abc(&mut pool);
+        let d = pool.intern_iri("http://e/d");
+        let mut g = Graph::new();
+        g.insert(Triple::new(a, b, c));
+        g.insert(Triple::new(a, d, c));
+        g.insert(Triple::new(d, b, c));
+        g.insert(Triple::new(d, b, a));
+        // subject-bound
+        assert_eq!(g.match_pattern(Some(a), None, None).count(), 2);
+        // object-bound
+        assert_eq!(g.match_pattern(None, None, Some(c)).count(), 3);
+        // predicate-only scan
+        assert_eq!(g.match_pattern(None, Some(b), None).count(), 3);
+        // fully bound
+        assert_eq!(g.match_pattern(Some(d), Some(b), Some(a)).count(), 1);
+        assert_eq!(g.match_pattern(Some(c), None, None).count(), 0);
+        // unconstrained = all triples
+        assert_eq!(g.match_pattern(None, None, None).count(), 4);
+    }
+
+    #[test]
+    fn remove_updates_indexes() {
+        let mut pool = TermPool::new();
+        let (a, b, c) = abc(&mut pool);
+        let mut g = Graph::new();
+        g.insert(Triple::new(a, b, c));
+        g.insert(Triple::new(a, b, a));
+        assert!(g.remove(&Triple::new(a, b, c)));
+        assert!(!g.remove(&Triple::new(a, b, c))); // already gone
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.neighbourhood(a), &[(b, a)]);
+        assert_eq!(g.incoming(c), &[]);
+        assert!(!g.contains(&Triple::new(a, b, c)));
+        // Remove the last triple: neighbourhood empties, no panic.
+        assert!(g.remove(&Triple::new(a, b, a)));
+        assert!(g.is_empty());
+        assert_eq!(g.neighbourhood(a), &[]);
+    }
+
+    #[test]
+    fn triples_sorted_is_deterministic() {
+        let mut ds = Dataset::new();
+        ds.insert(
+            Term::iri("http://e/b"),
+            Term::iri("http://e/p"),
+            Term::iri("http://e/o"),
+        );
+        ds.insert(
+            Term::iri("http://e/a"),
+            Term::iri("http://e/p"),
+            Term::iri("http://e/o"),
+        );
+        let s1 = ds.graph.triples_sorted();
+        let s2 = ds.graph.triples_sorted();
+        assert_eq!(s1, s2);
+        assert_eq!(s1.len(), 2);
+    }
+}

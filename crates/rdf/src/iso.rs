@@ -1,0 +1,288 @@
+//! RDF graph isomorphism: equality up to blank-node renaming.
+//!
+//! Two RDF graphs are isomorphic when some bijection between their blank
+//! nodes maps one triple set onto the other (RDF 1.1 Semantics §1.4 —
+//! blank-node identity is scoped to a graph, so set equality is the wrong
+//! notion whenever blank nodes occur). Serialisation round-trip tests and
+//! any cache keyed on graph content need this.
+//!
+//! The implementation uses signature-based candidate pruning (a round of
+//! colour refinement over ground context) followed by backtracking search;
+//! exact and complete, intended for the document-sized graphs validation
+//! deals in, not for adversarial million-blank-node inputs.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use crate::graph::Graph;
+use crate::pool::TermPool;
+use crate::term::Term;
+
+/// A triple with blank nodes abstracted to per-graph indexes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+enum Key {
+    Ground(String),
+    Blank(usize),
+}
+
+type AbstractTriple = (Key, Key, Key);
+
+struct Abstracted {
+    triples: Vec<AbstractTriple>,
+    blank_count: usize,
+    /// Signature per blank index, for pruning.
+    signatures: Vec<Vec<String>>,
+}
+
+fn abstract_graph(graph: &Graph, pool: &TermPool) -> Abstracted {
+    let mut blanks: BTreeMap<String, usize> = BTreeMap::new();
+    let key = |term: &Term, blanks: &mut BTreeMap<String, usize>| match term {
+        Term::BlankNode(b) => {
+            let next = blanks.len();
+            Key::Blank(*blanks.entry(b.label().to_string()).or_insert(next))
+        }
+        other => Key::Ground(other.to_string()),
+    };
+    let mut triples: Vec<AbstractTriple> = graph
+        .triples()
+        .map(|t| {
+            (
+                key(pool.term(t.subject), &mut blanks),
+                key(pool.term(t.predicate), &mut blanks),
+                key(pool.term(t.object), &mut blanks),
+            )
+        })
+        .collect();
+    triples.sort();
+    // Signature: sorted ground-context strings of every triple the blank
+    // participates in, with the blank's own positions masked.
+    let mut signatures = vec![Vec::new(); blanks.len()];
+    for (s, p, o) in &triples {
+        let positions = [(s, "S"), (p, "P"), (o, "O")];
+        for (k, pos) in positions {
+            if let Key::Blank(i) = k {
+                let render = |x: &Key| match x {
+                    Key::Ground(g) => g.clone(),
+                    Key::Blank(j) if j == i => "•".to_string(),
+                    Key::Blank(_) => "_".to_string(),
+                };
+                signatures[*i].push(format!("{pos}:{} {} {}", render(s), render(p), render(o)));
+            }
+        }
+    }
+    for sig in &mut signatures {
+        sig.sort();
+    }
+    Abstracted {
+        triples,
+        blank_count: blanks.len(),
+        signatures,
+    }
+}
+
+/// Tests whether two graphs are isomorphic (equal up to consistent
+/// blank-node renaming).
+pub fn are_isomorphic(g1: &Graph, p1: &TermPool, g2: &Graph, p2: &TermPool) -> bool {
+    if g1.len() != g2.len() {
+        return false;
+    }
+    let a = abstract_graph(g1, p1);
+    let b = abstract_graph(g2, p2);
+    if a.blank_count != b.blank_count {
+        return false;
+    }
+    if a.blank_count == 0 {
+        return a.triples == b.triples;
+    }
+    // Ground triples (no blanks at all) must coincide exactly.
+    let ground = |t: &&AbstractTriple| {
+        !matches!(t.0, Key::Blank(_))
+            && !matches!(t.1, Key::Blank(_))
+            && !matches!(t.2, Key::Blank(_))
+    };
+    let ga: HashSet<_> = a.triples.iter().filter(ground).collect();
+    let gb: HashSet<_> = b.triples.iter().filter(ground).collect();
+    if ga != gb {
+        return false;
+    }
+    // Candidates per blank in `a`: blanks in `b` with identical signature.
+    let candidates: Vec<Vec<usize>> = (0..a.blank_count)
+        .map(|i| {
+            (0..b.blank_count)
+                .filter(|&j| a.signatures[i] == b.signatures[j])
+                .collect()
+        })
+        .collect();
+    if candidates.iter().any(Vec::is_empty) {
+        return false;
+    }
+    let b_set: HashSet<&AbstractTriple> = b.triples.iter().collect();
+    // Assign blanks in ascending candidate-count order (most constrained
+    // first).
+    let mut order: Vec<usize> = (0..a.blank_count).collect();
+    order.sort_by_key(|&i| candidates[i].len());
+    let mut mapping: HashMap<usize, usize> = HashMap::new();
+    let mut used: HashSet<usize> = HashSet::new();
+    search(&a, &b_set, &candidates, &order, 0, &mut mapping, &mut used)
+}
+
+fn search(
+    a: &Abstracted,
+    b_set: &HashSet<&AbstractTriple>,
+    candidates: &[Vec<usize>],
+    order: &[usize],
+    depth: usize,
+    mapping: &mut HashMap<usize, usize>,
+    used: &mut HashSet<usize>,
+) -> bool {
+    if depth == order.len() {
+        // Full mapping: verify every triple of `a` maps into `b`.
+        return a.triples.iter().all(|t| {
+            let mapped = map_triple(t, mapping);
+            b_set.contains(&mapped)
+        });
+    }
+    let i = order[depth];
+    for &j in &candidates[i] {
+        if used.contains(&j) {
+            continue;
+        }
+        mapping.insert(i, j);
+        used.insert(j);
+        // Early pruning: triples fully mapped so far must be present.
+        let consistent = a.triples.iter().all(|t| {
+            match try_map_triple(t, mapping) {
+                Some(mapped) => b_set.contains(&mapped),
+                None => true, // not fully mapped yet
+            }
+        });
+        if consistent && search(a, b_set, candidates, order, depth + 1, mapping, used) {
+            return true;
+        }
+        mapping.remove(&i);
+        used.remove(&j);
+    }
+    false
+}
+
+fn map_key(k: &Key, mapping: &HashMap<usize, usize>) -> Key {
+    match k {
+        Key::Blank(i) => Key::Blank(mapping[i]),
+        g => g.clone(),
+    }
+}
+
+fn map_triple(t: &AbstractTriple, mapping: &HashMap<usize, usize>) -> AbstractTriple {
+    (
+        map_key(&t.0, mapping),
+        map_key(&t.1, mapping),
+        map_key(&t.2, mapping),
+    )
+}
+
+/// Maps a triple if all its blanks are assigned; `None` otherwise.
+fn try_map_triple(t: &AbstractTriple, mapping: &HashMap<usize, usize>) -> Option<AbstractTriple> {
+    let try_key = |k: &Key| match k {
+        Key::Blank(i) => mapping.get(i).map(|&j| Key::Blank(j)),
+        g => Some(g.clone()),
+    };
+    Some((try_key(&t.0)?, try_key(&t.1)?, try_key(&t.2)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::turtle;
+
+    fn iso(src1: &str, src2: &str) -> bool {
+        let a = turtle::parse(src1).unwrap();
+        let b = turtle::parse(src2).unwrap();
+        are_isomorphic(&a.graph, &a.pool, &b.graph, &b.pool)
+    }
+
+    #[test]
+    fn ground_graphs_compare_by_set() {
+        let x = "@prefix e: <http://e/> . e:a e:p e:b . e:c e:p e:d .";
+        let y = "@prefix e: <http://e/> . e:c e:p e:d . e:a e:p e:b .";
+        assert!(iso(x, y));
+        let z = "@prefix e: <http://e/> . e:a e:p e:b .";
+        assert!(!iso(x, z));
+    }
+
+    #[test]
+    fn blank_renaming_is_isomorphic() {
+        assert!(iso(
+            "@prefix e: <http://e/> . _:x e:p e:o . _:x e:q 1 .",
+            "@prefix e: <http://e/> . _:y e:p e:o . _:y e:q 1 .",
+        ));
+    }
+
+    #[test]
+    fn blank_swap_is_isomorphic() {
+        assert!(iso(
+            "@prefix e: <http://e/> . _:a e:p _:b . _:b e:p _:a .",
+            "@prefix e: <http://e/> . _:u e:p _:v . _:v e:p _:u .",
+        ));
+    }
+
+    #[test]
+    fn different_blank_structure_is_not() {
+        // One shared blank vs two distinct blanks.
+        assert!(!iso(
+            "@prefix e: <http://e/> . _:a e:p 1 . _:a e:q 2 .",
+            "@prefix e: <http://e/> . _:a e:p 1 . _:b e:q 2 .",
+        ));
+    }
+
+    #[test]
+    fn self_loop_vs_two_cycle() {
+        assert!(!iso(
+            "@prefix e: <http://e/> . _:a e:p _:a .",
+            "@prefix e: <http://e/> . _:a e:p _:b .",
+        ));
+        assert!(!iso(
+            // 2 triples each, same degrees, different shape
+            "@prefix e: <http://e/> . _:a e:p _:a . _:b e:p _:b .",
+            "@prefix e: <http://e/> . _:a e:p _:b . _:b e:p _:a .",
+        ));
+    }
+
+    #[test]
+    fn anonymous_nodes_from_parser() {
+        assert!(iso(
+            "@prefix e: <http://e/> . e:x e:p [ e:q 1 ] .",
+            "@prefix e: <http://e/> . e:x e:p _:whatever . _:whatever e:q 1 .",
+        ));
+    }
+
+    #[test]
+    fn ground_mismatch_with_blanks_present() {
+        assert!(!iso(
+            "@prefix e: <http://e/> . _:a e:p 1 . e:x e:y e:z .",
+            "@prefix e: <http://e/> . _:a e:p 1 . e:x e:y e:w .",
+        ));
+    }
+
+    #[test]
+    fn larger_symmetric_case() {
+        // A 3-cycle of blanks matches any rotation/relabelling.
+        let cycle = |names: [&str; 3]| {
+            format!(
+                "@prefix e: <http://e/> . _:{0} e:n _:{1} . _:{1} e:n _:{2} . _:{2} e:n _:{0} .",
+                names[0], names[1], names[2]
+            )
+        };
+        assert!(iso(&cycle(["a", "b", "c"]), &cycle(["p", "q", "r"])));
+        // But a 3-cycle is not a 3-chain.
+        let chain = "@prefix e: <http://e/> . _:a e:n _:b . _:b e:n _:c . _:c e:n _:d .";
+        assert!(!iso(&cycle(["a", "b", "c"]), chain));
+    }
+
+    #[test]
+    fn collections_isomorphic_regardless_of_gen_labels() {
+        let a = turtle::parse("@prefix e: <http://e/> . e:x e:p (1 2 3) .").unwrap();
+        let b = turtle::parse("@prefix e: <http://e/> . e:x e:p (1 2 3) .").unwrap();
+        assert!(are_isomorphic(&a.graph, &a.pool, &b.graph, &b.pool));
+        let c = turtle::parse("@prefix e: <http://e/> . e:x e:p (1 3 2) .").unwrap();
+        assert!(!are_isomorphic(&a.graph, &a.pool, &c.graph, &c.pool));
+    }
+}

@@ -1,0 +1,201 @@
+//! N-Triples parser: one triple per line, full IRIs only, no abbreviations.
+//! Strict subset of Turtle, but implemented as its own line-oriented parser
+//! because N-Triples rejects Turtle-only syntax (prefixed names, `a`, ...).
+
+use crate::graph::Dataset;
+use crate::parser::{decode_string_escape, decode_unicode_escape, Cursor, ParseError};
+use crate::term::{Literal, Term};
+
+/// Parses an N-Triples document into a fresh [`Dataset`].
+pub fn parse(input: &str) -> Result<Dataset, ParseError> {
+    let mut ds = Dataset::new();
+    parse_into(input, &mut ds)?;
+    Ok(ds)
+}
+
+/// Parses an N-Triples document into an existing dataset.
+pub fn parse_into(input: &str, dataset: &mut Dataset) -> Result<(), ParseError> {
+    let mut cur = Cursor::new(input);
+    loop {
+        cur.skip_ws_and_comments();
+        if cur.at_end() {
+            return Ok(());
+        }
+        let subject = parse_term(&mut cur)?;
+        if !subject.is_valid_subject() {
+            return Err(cur.error("subject must be an IRI or blank node"));
+        }
+        cur.skip_ws_and_comments();
+        let predicate = parse_term(&mut cur)?;
+        if !predicate.is_valid_predicate() {
+            return Err(cur.error("predicate must be an IRI"));
+        }
+        cur.skip_ws_and_comments();
+        let object = parse_term(&mut cur)?;
+        cur.skip_ws_and_comments();
+        if !cur.eat('.') {
+            return Err(cur.error("expected '.' terminating triple"));
+        }
+        dataset.insert(subject, predicate, object);
+    }
+}
+
+fn parse_term(cur: &mut Cursor<'_>) -> Result<Term, ParseError> {
+    match cur.peek() {
+        Some('<') => parse_iri(cur).map(Term::iri),
+        Some('_') => parse_blank(cur),
+        Some('"') => parse_literal(cur),
+        Some(c) => Err(cur.error(format!("unexpected character '{c}'"))),
+        None => Err(cur.error("unexpected end of input")),
+    }
+}
+
+fn parse_iri(cur: &mut Cursor<'_>) -> Result<String, ParseError> {
+    cur.bump(); // '<'
+    let mut iri = String::new();
+    loop {
+        let c = cur.bump().ok_or_else(|| cur.error("unterminated IRI"))?;
+        match c {
+            '>' => return Ok(iri),
+            '\\' => match cur.bump() {
+                Some('u') => iri.push(decode_unicode_escape(cur, 4)?),
+                Some('U') => iri.push(decode_unicode_escape(cur, 8)?),
+                _ => return Err(cur.error("invalid escape in IRI")),
+            },
+            c if c.is_whitespace() => return Err(cur.error("whitespace in IRI")),
+            c => iri.push(c),
+        }
+    }
+}
+
+fn parse_blank(cur: &mut Cursor<'_>) -> Result<Term, ParseError> {
+    if !cur.eat_str("_:") {
+        return Err(cur.error("expected '_:'"));
+    }
+    let mut label = String::new();
+    while let Some(c) = cur.peek() {
+        if c.is_alphanumeric() || c == '_' || c == '-' {
+            label.push(c);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    if label.is_empty() {
+        return Err(cur.error("empty blank node label"));
+    }
+    Ok(Term::blank(label))
+}
+
+fn parse_literal(cur: &mut Cursor<'_>) -> Result<Term, ParseError> {
+    cur.bump(); // '"'
+    let mut lexical = String::new();
+    loop {
+        let c = cur
+            .bump()
+            .ok_or_else(|| cur.error("unterminated string literal"))?;
+        match c {
+            '"' => break,
+            '\\' => lexical.push(decode_string_escape(cur)?),
+            '\n' => return Err(cur.error("newline in string literal")),
+            c => lexical.push(c),
+        }
+    }
+    if cur.eat('@') {
+        let mut lang = String::new();
+        while let Some(c) = cur.peek() {
+            if c.is_ascii_alphanumeric() || c == '-' {
+                lang.push(c);
+                cur.bump();
+            } else {
+                break;
+            }
+        }
+        if lang.is_empty() {
+            return Err(cur.error("empty language tag"));
+        }
+        return Ok(Term::Literal(Literal::lang_string(lexical, &lang)));
+    }
+    if cur.eat_str("^^") {
+        let dt = parse_iri(cur)?;
+        return Ok(Term::Literal(Literal::typed(lexical, dt)));
+    }
+    Ok(Term::Literal(Literal::string(lexical)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocab::xsd;
+
+    #[test]
+    fn basic_triples() {
+        let src = "<http://e/a> <http://e/p> <http://e/b> .\n\
+                   <http://e/a> <http://e/p> \"lit\" .\n";
+        let ds = parse(src).unwrap();
+        assert_eq!(ds.graph.len(), 2);
+    }
+
+    #[test]
+    fn typed_and_tagged_literals() {
+        let src = concat!(
+            "<http://e/a> <http://e/p> \"23\"^^<http://www.w3.org/2001/XMLSchema#integer> .\n",
+            "<http://e/a> <http://e/q> \"hi\"@en .\n"
+        );
+        let ds = parse(src).unwrap();
+        assert!(ds
+            .pool
+            .get(&Term::Literal(Literal::typed("23", xsd::INTEGER)))
+            .is_some());
+        assert!(ds
+            .pool
+            .get(&Term::Literal(Literal::lang_string("hi", "en")))
+            .is_some());
+    }
+
+    #[test]
+    fn blank_nodes() {
+        let src = "_:a <http://e/p> _:b .";
+        let ds = parse(src).unwrap();
+        assert_eq!(ds.graph.len(), 1);
+        assert!(ds.pool.get(&Term::blank("a")).is_some());
+    }
+
+    #[test]
+    fn escapes_in_literals() {
+        let src = r#"<http://e/a> <http://e/p> "line\nbreak \"q\" A" ."#;
+        let ds = parse(src).unwrap();
+        assert!(ds
+            .pool
+            .get(&Term::Literal(Literal::string("line\nbreak \"q\" A")))
+            .is_some());
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let src = "# comment\n\n<http://e/a> <http://e/p> <http://e/b> . # trailing\n";
+        assert_eq!(parse(src).unwrap().graph.len(), 1);
+    }
+
+    #[test]
+    fn rejects_turtle_abbreviations() {
+        assert!(parse("ex:a ex:p ex:b .").is_err());
+        assert!(parse("<http://e/a> a <http://e/B> .").is_err());
+        assert!(parse("<http://e/a> <http://e/p> 42 .").is_err());
+    }
+
+    #[test]
+    fn rejects_literal_subject() {
+        assert!(parse("\"lit\" <http://e/p> <http://e/b> .").is_err());
+    }
+
+    #[test]
+    fn rejects_blank_predicate() {
+        assert!(parse("<http://e/a> _:p <http://e/b> .").is_err());
+    }
+
+    #[test]
+    fn missing_dot_is_error() {
+        assert!(parse("<http://e/a> <http://e/p> <http://e/b>").is_err());
+    }
+}

@@ -1,0 +1,162 @@
+//! Term interning.
+//!
+//! Validation touches the same IRIs and literals over and over; interning
+//! them to dense `u32` ids makes triples 12 bytes, makes term equality an
+//! integer compare, and lets downstream code use ids as indexes into dense
+//! side tables (the derivative engine's memo tables rely on this).
+
+use std::collections::HashMap;
+
+use crate::term::{Literal, Term};
+
+/// A dense id for an interned [`Term`]. Ids are only meaningful relative to
+/// the [`TermPool`] that produced them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TermId(u32);
+
+impl TermId {
+    /// The raw index, usable for dense side tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An interner mapping [`Term`]s to dense [`TermId`]s and back.
+///
+/// One pool is shared between a graph and everything that needs to talk
+/// about its nodes (schemas compiled for validation, query engines, ...).
+#[derive(Debug, Default)]
+pub struct TermPool {
+    terms: Vec<Term>,
+    ids: HashMap<Term, TermId>,
+}
+
+impl TermPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        TermPool::default()
+    }
+
+    /// Interns a term, returning its id. Idempotent.
+    pub fn intern(&mut self, term: Term) -> TermId {
+        if let Some(&id) = self.ids.get(&term) {
+            return id;
+        }
+        let id = TermId(u32::try_from(self.terms.len()).expect("term pool overflow"));
+        self.terms.push(term.clone());
+        self.ids.insert(term, id);
+        id
+    }
+
+    /// Interns an IRI given as a string.
+    pub fn intern_iri(&mut self, iri: &str) -> TermId {
+        self.intern(Term::iri(iri))
+    }
+
+    /// Interns a blank node given its label.
+    pub fn intern_blank(&mut self, label: &str) -> TermId {
+        self.intern(Term::blank(label))
+    }
+
+    /// Interns a literal.
+    pub fn intern_literal(&mut self, lit: Literal) -> TermId {
+        self.intern(Term::Literal(lit))
+    }
+
+    /// Looks up an already-interned term without interning it.
+    pub fn get(&self, term: &Term) -> Option<TermId> {
+        self.ids.get(term).copied()
+    }
+
+    /// Resolves an id back to its term.
+    ///
+    /// # Panics
+    /// Panics if the id comes from a different pool (index out of range).
+    pub fn term(&self, id: TermId) -> &Term {
+        &self.terms[id.index()]
+    }
+
+    /// Number of distinct interned terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Iterates over all `(id, term)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, &Term)> {
+        self.terms
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TermId(i as u32), t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Literal;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut pool = TermPool::new();
+        let a = pool.intern_iri("http://e/a");
+        let b = pool.intern_iri("http://e/a");
+        assert_eq!(a, b);
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn distinct_terms_get_distinct_ids() {
+        let mut pool = TermPool::new();
+        let a = pool.intern_iri("http://e/a");
+        let b = pool.intern_iri("http://e/b");
+        let c = pool.intern_blank("a");
+        let d = pool.intern_literal(Literal::string("a"));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(c, d);
+        assert_eq!(pool.len(), 4);
+    }
+
+    #[test]
+    fn same_lexical_different_kind_are_distinct() {
+        let mut pool = TermPool::new();
+        let iri = pool.intern_iri("x");
+        let blank = pool.intern_blank("x");
+        let lit = pool.intern_literal(Literal::string("x"));
+        assert_ne!(iri, blank);
+        assert_ne!(blank, lit);
+    }
+
+    #[test]
+    fn literal_datatype_distinguishes() {
+        let mut pool = TermPool::new();
+        let s = pool.intern_literal(Literal::string("1"));
+        let i = pool.intern_literal(Literal::integer(1));
+        assert_ne!(s, i);
+    }
+
+    #[test]
+    fn roundtrip_term_lookup() {
+        let mut pool = TermPool::new();
+        let t = Term::iri("http://e/a");
+        let id = pool.intern(t.clone());
+        assert_eq!(pool.term(id), &t);
+        assert_eq!(pool.get(&t), Some(id));
+        assert_eq!(pool.get(&Term::iri("http://e/zzz")), None);
+    }
+
+    #[test]
+    fn iter_yields_in_interning_order() {
+        let mut pool = TermPool::new();
+        pool.intern_iri("http://e/1");
+        pool.intern_iri("http://e/2");
+        let terms: Vec<_> = pool.iter().map(|(_, t)| t.clone()).collect();
+        assert_eq!(terms[0], Term::iri("http://e/1"));
+        assert_eq!(terms[1], Term::iri("http://e/2"));
+    }
+}

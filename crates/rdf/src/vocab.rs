@@ -1,0 +1,125 @@
+//! Common RDF vocabularies used throughout the validator and tests.
+
+/// RDF core vocabulary.
+pub mod rdf {
+    /// The namespace IRI.
+    pub const NS: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#";
+    /// The `Type` term.
+    pub const TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+    /// The `Lang String` term.
+    pub const LANG_STRING: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#langString";
+    /// The `First` term.
+    pub const FIRST: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#first";
+    /// The `Rest` term.
+    pub const REST: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#rest";
+    /// The `Nil` term.
+    pub const NIL: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#nil";
+}
+
+/// RDF Schema vocabulary.
+pub mod rdfs {
+    /// The namespace IRI.
+    pub const NS: &str = "http://www.w3.org/2000/01/rdf-schema#";
+    /// The `Label` term.
+    pub const LABEL: &str = "http://www.w3.org/2000/01/rdf-schema#label";
+    /// The `Comment` term.
+    pub const COMMENT: &str = "http://www.w3.org/2000/01/rdf-schema#comment";
+    /// The `Sub Class Of` term.
+    pub const SUB_CLASS_OF: &str = "http://www.w3.org/2000/01/rdf-schema#subClassOf";
+}
+
+/// XML Schema datatypes, the value spaces the paper's node constraints draw
+/// from (e.g. `xsd:integer`, `xsd:string` in Example 1).
+pub mod xsd {
+    /// The namespace IRI.
+    pub const NS: &str = "http://www.w3.org/2001/XMLSchema#";
+    /// The `String` term.
+    pub const STRING: &str = "http://www.w3.org/2001/XMLSchema#string";
+    /// The `Boolean` term.
+    pub const BOOLEAN: &str = "http://www.w3.org/2001/XMLSchema#boolean";
+    /// The `Integer` term.
+    pub const INTEGER: &str = "http://www.w3.org/2001/XMLSchema#integer";
+    /// The `Decimal` term.
+    pub const DECIMAL: &str = "http://www.w3.org/2001/XMLSchema#decimal";
+    /// The `Double` term.
+    pub const DOUBLE: &str = "http://www.w3.org/2001/XMLSchema#double";
+    /// The `Float` term.
+    pub const FLOAT: &str = "http://www.w3.org/2001/XMLSchema#float";
+    /// The `Long` term.
+    pub const LONG: &str = "http://www.w3.org/2001/XMLSchema#long";
+    /// The `Int` term.
+    pub const INT: &str = "http://www.w3.org/2001/XMLSchema#int";
+    /// The `Short` term.
+    pub const SHORT: &str = "http://www.w3.org/2001/XMLSchema#short";
+    /// The `Byte` term.
+    pub const BYTE: &str = "http://www.w3.org/2001/XMLSchema#byte";
+    /// The `Non Negative Integer` term.
+    pub const NON_NEGATIVE_INTEGER: &str = "http://www.w3.org/2001/XMLSchema#nonNegativeInteger";
+    /// The `Non Positive Integer` term.
+    pub const NON_POSITIVE_INTEGER: &str = "http://www.w3.org/2001/XMLSchema#nonPositiveInteger";
+    /// The `Positive Integer` term.
+    pub const POSITIVE_INTEGER: &str = "http://www.w3.org/2001/XMLSchema#positiveInteger";
+    /// The `Negative Integer` term.
+    pub const NEGATIVE_INTEGER: &str = "http://www.w3.org/2001/XMLSchema#negativeInteger";
+    /// The `Unsigned Long` term.
+    pub const UNSIGNED_LONG: &str = "http://www.w3.org/2001/XMLSchema#unsignedLong";
+    /// The `Unsigned Int` term.
+    pub const UNSIGNED_INT: &str = "http://www.w3.org/2001/XMLSchema#unsignedInt";
+    /// The `Unsigned Short` term.
+    pub const UNSIGNED_SHORT: &str = "http://www.w3.org/2001/XMLSchema#unsignedShort";
+    /// The `Unsigned Byte` term.
+    pub const UNSIGNED_BYTE: &str = "http://www.w3.org/2001/XMLSchema#unsignedByte";
+    /// The `Date` term.
+    pub const DATE: &str = "http://www.w3.org/2001/XMLSchema#date";
+    /// The `Date Time` term.
+    pub const DATE_TIME: &str = "http://www.w3.org/2001/XMLSchema#dateTime";
+    /// The `Time` term.
+    pub const TIME: &str = "http://www.w3.org/2001/XMLSchema#time";
+    /// The `G Year` term.
+    pub const G_YEAR: &str = "http://www.w3.org/2001/XMLSchema#gYear";
+    /// The `Any Uri` term.
+    pub const ANY_URI: &str = "http://www.w3.org/2001/XMLSchema#anyURI";
+}
+
+/// FOAF vocabulary, used in the paper's running example (Examples 1, 2, 14).
+pub mod foaf {
+    /// The namespace IRI.
+    pub const NS: &str = "http://xmlns.com/foaf/0.1/";
+    /// The `Age` term.
+    pub const AGE: &str = "http://xmlns.com/foaf/0.1/age";
+    /// The `Name` term.
+    pub const NAME: &str = "http://xmlns.com/foaf/0.1/name";
+    /// The `Knows` term.
+    pub const KNOWS: &str = "http://xmlns.com/foaf/0.1/knows";
+    /// The `Mbox` term.
+    pub const MBOX: &str = "http://xmlns.com/foaf/0.1/mbox";
+    /// The `Person` term.
+    pub const PERSON: &str = "http://xmlns.com/foaf/0.1/Person";
+}
+
+/// Default prefix table offered by the parsers' convenience constructors.
+pub fn well_known_prefixes() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("rdf", rdf::NS),
+        ("rdfs", rdfs::NS),
+        ("xsd", xsd::NS),
+        ("foaf", foaf::NS),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn namespaces_are_prefixes_of_their_terms() {
+        assert!(super::xsd::INTEGER.starts_with(super::xsd::NS));
+        assert!(super::rdf::TYPE.starts_with(super::rdf::NS));
+        assert!(super::foaf::KNOWS.starts_with(super::foaf::NS));
+        assert!(super::rdfs::LABEL.starts_with(super::rdfs::NS));
+    }
+
+    #[test]
+    fn well_known_prefixes_contains_xsd() {
+        let p = super::well_known_prefixes();
+        assert!(p.iter().any(|(k, v)| *k == "xsd" && *v == super::xsd::NS));
+    }
+}

@@ -1,0 +1,568 @@
+//! XSD datatype support: lexical-form validation and numeric value
+//! comparison.
+//!
+//! The paper treats datatypes as value subsets of `L` ("we can consider
+//! xsd:int and xsd:string as subsets of L", Example 6). Membership of a
+//! literal in such a subset is decided here by checking (a) the declared
+//! datatype IRI and (b) that the lexical form is valid for it. Numeric
+//! values additionally support exact ordering for the ShEx numeric facets
+//! (`MININCLUSIVE` etc.).
+
+use crate::term::Literal;
+use crate::vocab::{rdf, xsd};
+
+/// Checks whether `lexical` is a valid lexical form for the datatype IRI.
+/// Unknown datatypes are treated permissively (any lexical form is valid),
+/// matching the open-world handling of user-defined datatypes.
+pub fn is_valid_lexical(datatype: &str, lexical: &str) -> bool {
+    match datatype {
+        xsd::STRING | xsd::ANY_URI | rdf::LANG_STRING => true,
+        xsd::BOOLEAN => matches!(lexical, "true" | "false" | "1" | "0"),
+        xsd::INTEGER => is_integer(lexical),
+        xsd::LONG => in_int_range(lexical, i64::MIN as i128, i64::MAX as i128),
+        xsd::INT => in_int_range(lexical, i32::MIN as i128, i32::MAX as i128),
+        xsd::SHORT => in_int_range(lexical, i16::MIN as i128, i16::MAX as i128),
+        xsd::BYTE => in_int_range(lexical, i8::MIN as i128, i8::MAX as i128),
+        xsd::NON_NEGATIVE_INTEGER => in_int_range(lexical, 0, i128::MAX),
+        xsd::NON_POSITIVE_INTEGER => in_int_range(lexical, i128::MIN, 0),
+        xsd::POSITIVE_INTEGER => in_int_range(lexical, 1, i128::MAX),
+        xsd::NEGATIVE_INTEGER => in_int_range(lexical, i128::MIN, -1),
+        xsd::UNSIGNED_LONG => in_int_range(lexical, 0, u64::MAX as i128),
+        xsd::UNSIGNED_INT => in_int_range(lexical, 0, u32::MAX as i128),
+        xsd::UNSIGNED_SHORT => in_int_range(lexical, 0, u16::MAX as i128),
+        xsd::UNSIGNED_BYTE => in_int_range(lexical, 0, u8::MAX as i128),
+        xsd::DECIMAL => is_decimal(lexical),
+        xsd::DOUBLE | xsd::FLOAT => is_double(lexical),
+        xsd::DATE => is_date(lexical),
+        xsd::TIME => is_time(lexical),
+        xsd::DATE_TIME => is_date_time(lexical),
+        xsd::G_YEAR => is_g_year(lexical),
+        _ => true,
+    }
+}
+
+/// True if the datatype IRI denotes a numeric XSD type.
+pub fn is_numeric_datatype(datatype: &str) -> bool {
+    matches!(
+        datatype,
+        xsd::INTEGER
+            | xsd::LONG
+            | xsd::INT
+            | xsd::SHORT
+            | xsd::BYTE
+            | xsd::NON_NEGATIVE_INTEGER
+            | xsd::NON_POSITIVE_INTEGER
+            | xsd::POSITIVE_INTEGER
+            | xsd::NEGATIVE_INTEGER
+            | xsd::UNSIGNED_LONG
+            | xsd::UNSIGNED_INT
+            | xsd::UNSIGNED_SHORT
+            | xsd::UNSIGNED_BYTE
+            | xsd::DECIMAL
+            | xsd::DOUBLE
+            | xsd::FLOAT
+    )
+}
+
+/// A numeric value with exact integer/decimal comparison where possible.
+///
+/// Decimals are kept as `unscaled × 10⁻ˢᶜᵃˡᵉ` so that `1.10 = 1.1` compares
+/// equal and facet bounds compare exactly; doubles fall back to `f64`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Numeric {
+    /// Integers and decimals that fit `i128 × 10⁻ˢᶜᵃˡᵉ`.
+    Decimal {
+        /// The unscaled integer value.
+        unscaled: i128,
+        /// Number of decimal digits after the point.
+        scale: u32,
+    },
+    /// `xsd:double` / `xsd:float`, and overflow fallback.
+    Double(f64),
+}
+
+impl Numeric {
+    /// An exact integer value.
+    pub fn integer(v: i128) -> Self {
+        Numeric::Decimal {
+            unscaled: v,
+            scale: 0,
+        }
+    }
+
+    /// Parses the lexical form of a numeric literal with the given datatype.
+    /// Returns `None` when the form is invalid for the datatype.
+    pub fn parse(datatype: &str, lexical: &str) -> Option<Numeric> {
+        if !is_numeric_datatype(datatype) || !is_valid_lexical(datatype, lexical) {
+            return None;
+        }
+        match datatype {
+            xsd::DOUBLE | xsd::FLOAT => lexical_double(lexical).map(Numeric::Double),
+            xsd::DECIMAL => parse_decimal(lexical),
+            _ => parse_decimal(lexical), // integer types: scale 0 path
+        }
+    }
+
+    /// Extracts the numeric value of a literal, if it is numerically typed
+    /// and lexically valid.
+    pub fn of_literal(lit: &Literal) -> Option<Numeric> {
+        Numeric::parse(lit.datatype(), lit.lexical_form())
+    }
+
+    fn as_f64(self) -> f64 {
+        match self {
+            Numeric::Decimal { unscaled, scale } => unscaled as f64 / 10f64.powi(scale as i32),
+            Numeric::Double(d) => d,
+        }
+    }
+
+    /// Total comparison across representations. Exact for decimal/decimal;
+    /// decimal/double comparisons go through `f64`.
+    pub fn compare(self, other: Numeric) -> Option<std::cmp::Ordering> {
+        match (self, other) {
+            (
+                Numeric::Decimal {
+                    unscaled: a,
+                    scale: sa,
+                },
+                Numeric::Decimal {
+                    unscaled: b,
+                    scale: sb,
+                },
+            ) => {
+                // Rescale the lower-scale operand up; on overflow, fall back
+                // to f64 (lexical forms that big are vanishingly rare).
+                let (a, b) = if sa == sb {
+                    (a, b)
+                } else if sa < sb {
+                    match a.checked_mul(pow10(sb - sa)?) {
+                        Some(a) => (a, b),
+                        None => return self.as_f64().partial_cmp(&other.as_f64()),
+                    }
+                } else {
+                    match b.checked_mul(pow10(sa - sb)?) {
+                        Some(b) => (a, b),
+                        None => return self.as_f64().partial_cmp(&other.as_f64()),
+                    }
+                };
+                Some(a.cmp(&b))
+            }
+            _ => self.as_f64().partial_cmp(&other.as_f64()),
+        }
+    }
+}
+
+fn pow10(n: u32) -> Option<i128> {
+    10i128.checked_pow(n)
+}
+
+fn parse_decimal(lexical: &str) -> Option<Numeric> {
+    let s = lexical.strip_prefix('+').unwrap_or(lexical);
+    let (neg, s) = match s.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, s),
+    };
+    let (int_part, frac_part) = match s.split_once('.') {
+        Some((i, f)) => (i, f),
+        None => (s, ""),
+    };
+    let frac_part = frac_part.trim_end_matches('0');
+    let digits: String = [int_part, frac_part].concat();
+    let digits = digits.trim_start_matches('0');
+    let unscaled: i128 = if digits.is_empty() {
+        0
+    } else {
+        match digits.parse() {
+            Ok(v) => v,
+            // Too large for i128: approximate via f64.
+            Err(_) => return lexical_double(lexical).map(Numeric::Double),
+        }
+    };
+    Some(Numeric::Decimal {
+        unscaled: if neg { -unscaled } else { unscaled },
+        scale: frac_part.len() as u32,
+    })
+}
+
+fn lexical_double(lexical: &str) -> Option<f64> {
+    match lexical {
+        "INF" | "+INF" => Some(f64::INFINITY),
+        "-INF" => Some(f64::NEG_INFINITY),
+        "NaN" => Some(f64::NAN),
+        _ => lexical.parse().ok(),
+    }
+}
+
+fn is_integer(s: &str) -> bool {
+    let s = s.strip_prefix(['+', '-']).unwrap_or(s);
+    !s.is_empty() && s.bytes().all(|b| b.is_ascii_digit())
+}
+
+fn in_int_range(s: &str, lo: i128, hi: i128) -> bool {
+    if !is_integer(s) {
+        return false;
+    }
+    match s.parse::<i128>() {
+        Ok(v) => (lo..=hi).contains(&v),
+        Err(_) => false, // beyond i128: out of range for all bounded types
+    }
+}
+
+fn is_decimal(s: &str) -> bool {
+    let s = s.strip_prefix(['+', '-']).unwrap_or(s);
+    match s.split_once('.') {
+        Some((i, f)) => {
+            (!i.is_empty() || !f.is_empty())
+                && i.bytes().all(|b| b.is_ascii_digit())
+                && f.bytes().all(|b| b.is_ascii_digit())
+        }
+        None => !s.is_empty() && s.bytes().all(|b| b.is_ascii_digit()),
+    }
+}
+
+fn is_double(s: &str) -> bool {
+    if matches!(s, "INF" | "+INF" | "-INF" | "NaN") {
+        return true;
+    }
+    let s = s.strip_prefix(['+', '-']).unwrap_or(s);
+    let (mantissa, exponent) = match s.split_once(['e', 'E']) {
+        Some((m, e)) => (m, Some(e)),
+        None => (s, None),
+    };
+    if !is_decimal(mantissa) {
+        return false;
+    }
+    match exponent {
+        Some(e) => is_integer(e),
+        None => true,
+    }
+}
+
+fn all_digits(s: &str) -> bool {
+    !s.is_empty() && s.bytes().all(|b| b.is_ascii_digit())
+}
+
+fn is_date_fields(y: &str, m: &str, d: &str) -> bool {
+    let year_ok = {
+        let y = y.strip_prefix('-').unwrap_or(y);
+        y.len() >= 4 && all_digits(y)
+    };
+    year_ok
+        && m.len() == 2
+        && all_digits(m)
+        && (1..=12).contains(&m.parse::<u8>().unwrap_or(0))
+        && d.len() == 2
+        && all_digits(d)
+        && (1..=31).contains(&d.parse::<u8>().unwrap_or(0))
+}
+
+/// Strips an optional timezone suffix: `Z`, `+hh:mm`, `-hh:mm`.
+fn strip_timezone(s: &str) -> &str {
+    if let Some(rest) = s.strip_suffix('Z') {
+        return rest;
+    }
+    if s.len() >= 6 {
+        let (head, tz) = s.split_at(s.len() - 6);
+        let b = tz.as_bytes();
+        if (b[0] == b'+' || b[0] == b'-')
+            && b[1].is_ascii_digit()
+            && b[2].is_ascii_digit()
+            && b[3] == b':'
+            && b[4].is_ascii_digit()
+            && b[5].is_ascii_digit()
+        {
+            return head;
+        }
+    }
+    s
+}
+
+fn is_date(s: &str) -> bool {
+    let s = strip_timezone(s);
+    // [-]YYYY-MM-DD: split from the right so negative years survive.
+    let mut parts = s.rsplitn(3, '-');
+    let (Some(d), Some(m), Some(y)) = (parts.next(), parts.next(), parts.next()) else {
+        return false;
+    };
+    is_date_fields(y, m, d)
+}
+
+fn is_time(s: &str) -> bool {
+    let s = strip_timezone(s);
+    let mut it = s.splitn(3, ':');
+    let (Some(h), Some(m), Some(sec)) = (it.next(), it.next(), it.next()) else {
+        return false;
+    };
+    let (sec_int, sec_frac) = match sec.split_once('.') {
+        Some((i, f)) => (i, Some(f)),
+        None => (sec, None),
+    };
+    h.len() == 2
+        && all_digits(h)
+        && h.parse::<u8>().unwrap_or(99) <= 24
+        && m.len() == 2
+        && all_digits(m)
+        && m.parse::<u8>().unwrap_or(99) <= 59
+        && sec_int.len() == 2
+        && all_digits(sec_int)
+        && sec_int.parse::<u8>().unwrap_or(99) <= 59
+        && sec_frac.is_none_or(all_digits)
+}
+
+fn is_date_time(s: &str) -> bool {
+    match s.split_once('T') {
+        // Timezone belongs to the time part; the date half must not carry one.
+        Some((d, t)) => is_date_plain(d) && is_time(t),
+        None => false,
+    }
+}
+
+fn is_date_plain(s: &str) -> bool {
+    let mut parts = s.rsplitn(3, '-');
+    let (Some(d), Some(m), Some(y)) = (parts.next(), parts.next(), parts.next()) else {
+        return false;
+    };
+    is_date_fields(y, m, d)
+}
+
+fn is_g_year(s: &str) -> bool {
+    let s = strip_timezone(s);
+    let s = s.strip_prefix('-').unwrap_or(s);
+    s.len() >= 4 && all_digits(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering;
+
+    #[test]
+    fn integer_lexicals() {
+        assert!(is_valid_lexical(xsd::INTEGER, "23"));
+        assert!(is_valid_lexical(xsd::INTEGER, "-23"));
+        assert!(is_valid_lexical(xsd::INTEGER, "+0023"));
+        assert!(!is_valid_lexical(xsd::INTEGER, "23.0"));
+        assert!(!is_valid_lexical(xsd::INTEGER, ""));
+        assert!(!is_valid_lexical(xsd::INTEGER, "twenty"));
+        assert!(!is_valid_lexical(xsd::INTEGER, "2 3"));
+    }
+
+    #[test]
+    fn bounded_integer_ranges() {
+        assert!(is_valid_lexical(xsd::BYTE, "127"));
+        assert!(!is_valid_lexical(xsd::BYTE, "128"));
+        assert!(is_valid_lexical(xsd::BYTE, "-128"));
+        assert!(!is_valid_lexical(xsd::BYTE, "-129"));
+        assert!(is_valid_lexical(xsd::UNSIGNED_BYTE, "255"));
+        assert!(!is_valid_lexical(xsd::UNSIGNED_BYTE, "-1"));
+        assert!(is_valid_lexical(xsd::NON_NEGATIVE_INTEGER, "0"));
+        assert!(!is_valid_lexical(xsd::NEGATIVE_INTEGER, "0"));
+        assert!(is_valid_lexical(xsd::POSITIVE_INTEGER, "1"));
+    }
+
+    #[test]
+    fn decimal_lexicals() {
+        assert!(is_valid_lexical(xsd::DECIMAL, "1.5"));
+        assert!(is_valid_lexical(xsd::DECIMAL, ".5"));
+        assert!(is_valid_lexical(xsd::DECIMAL, "5."));
+        assert!(is_valid_lexical(xsd::DECIMAL, "-0.002"));
+        assert!(is_valid_lexical(xsd::DECIMAL, "42"));
+        assert!(!is_valid_lexical(xsd::DECIMAL, "."));
+        assert!(!is_valid_lexical(xsd::DECIMAL, "1.5e3"));
+        assert!(!is_valid_lexical(xsd::DECIMAL, "1,5"));
+    }
+
+    #[test]
+    fn double_lexicals() {
+        assert!(is_valid_lexical(xsd::DOUBLE, "1.5E3"));
+        assert!(is_valid_lexical(xsd::DOUBLE, "-1.5e-3"));
+        assert!(is_valid_lexical(xsd::DOUBLE, "INF"));
+        assert!(is_valid_lexical(xsd::DOUBLE, "-INF"));
+        assert!(is_valid_lexical(xsd::DOUBLE, "NaN"));
+        assert!(is_valid_lexical(xsd::DOUBLE, "4.2"));
+        assert!(!is_valid_lexical(xsd::DOUBLE, "1.5E"));
+        assert!(!is_valid_lexical(xsd::DOUBLE, "E3"));
+    }
+
+    #[test]
+    fn boolean_lexicals() {
+        assert!(is_valid_lexical(xsd::BOOLEAN, "true"));
+        assert!(is_valid_lexical(xsd::BOOLEAN, "0"));
+        assert!(!is_valid_lexical(xsd::BOOLEAN, "True"));
+        assert!(!is_valid_lexical(xsd::BOOLEAN, "yes"));
+    }
+
+    #[test]
+    fn date_lexicals() {
+        assert!(is_valid_lexical(xsd::DATE, "2015-03-27"));
+        assert!(is_valid_lexical(xsd::DATE, "2015-03-27Z"));
+        assert!(is_valid_lexical(xsd::DATE, "2015-03-27+01:00"));
+        assert!(is_valid_lexical(xsd::DATE, "-0044-03-15"));
+        assert!(!is_valid_lexical(xsd::DATE, "2015-13-27"));
+        assert!(!is_valid_lexical(xsd::DATE, "2015-3-27"));
+        assert!(!is_valid_lexical(xsd::DATE, "27-03-2015"));
+    }
+
+    #[test]
+    fn time_and_datetime_lexicals() {
+        assert!(is_valid_lexical(xsd::TIME, "13:20:00"));
+        assert!(is_valid_lexical(xsd::TIME, "13:20:00.5"));
+        assert!(is_valid_lexical(xsd::TIME, "13:20:00Z"));
+        assert!(!is_valid_lexical(xsd::TIME, "25:20:00"));
+        assert!(is_valid_lexical(xsd::DATE_TIME, "2015-03-27T13:20:00"));
+        assert!(is_valid_lexical(
+            xsd::DATE_TIME,
+            "2015-03-27T13:20:00-05:00"
+        ));
+        assert!(!is_valid_lexical(xsd::DATE_TIME, "2015-03-27 13:20:00"));
+        assert!(!is_valid_lexical(xsd::DATE_TIME, "2015-03-27"));
+    }
+
+    #[test]
+    fn g_year() {
+        assert!(is_valid_lexical(xsd::G_YEAR, "2015"));
+        assert!(is_valid_lexical(xsd::G_YEAR, "-0100"));
+        assert!(!is_valid_lexical(xsd::G_YEAR, "15"));
+    }
+
+    #[test]
+    fn unknown_datatype_is_permissive() {
+        assert!(is_valid_lexical("http://example.org/mytype", "whatever"));
+    }
+
+    #[test]
+    fn string_always_valid() {
+        assert!(is_valid_lexical(xsd::STRING, ""));
+        assert!(is_valid_lexical(xsd::STRING, "any\ntext"));
+    }
+
+    #[test]
+    fn numeric_parse_and_compare_integers() {
+        let a = Numeric::parse(xsd::INTEGER, "23").unwrap();
+        let b = Numeric::parse(xsd::INTEGER, "34").unwrap();
+        assert_eq!(a.compare(b), Some(Ordering::Less));
+        assert_eq!(b.compare(a), Some(Ordering::Greater));
+        assert_eq!(a.compare(a), Some(Ordering::Equal));
+    }
+
+    #[test]
+    fn decimal_trailing_zero_equality() {
+        let a = Numeric::parse(xsd::DECIMAL, "1.10").unwrap();
+        let b = Numeric::parse(xsd::DECIMAL, "1.1").unwrap();
+        assert_eq!(a.compare(b), Some(Ordering::Equal));
+    }
+
+    #[test]
+    fn decimal_vs_integer_compare() {
+        let a = Numeric::parse(xsd::DECIMAL, "2.5").unwrap();
+        let b = Numeric::parse(xsd::INTEGER, "2").unwrap();
+        let c = Numeric::parse(xsd::INTEGER, "3").unwrap();
+        assert_eq!(a.compare(b), Some(Ordering::Greater));
+        assert_eq!(a.compare(c), Some(Ordering::Less));
+    }
+
+    #[test]
+    fn double_compares_with_decimal() {
+        let a = Numeric::parse(xsd::DOUBLE, "2.5E0").unwrap();
+        let b = Numeric::parse(xsd::DECIMAL, "2.5").unwrap();
+        assert_eq!(a.compare(b), Some(Ordering::Equal));
+    }
+
+    #[test]
+    fn nan_compares_as_none() {
+        let a = Numeric::parse(xsd::DOUBLE, "NaN").unwrap();
+        let b = Numeric::parse(xsd::INTEGER, "1").unwrap();
+        assert_eq!(a.compare(b), None);
+    }
+
+    #[test]
+    fn negative_decimal_parsing() {
+        let a = Numeric::parse(xsd::DECIMAL, "-0.5").unwrap();
+        let zero = Numeric::integer(0);
+        assert_eq!(a.compare(zero), Some(Ordering::Less));
+    }
+
+    #[test]
+    fn invalid_lexical_yields_no_numeric() {
+        assert!(Numeric::parse(xsd::INTEGER, "1.5").is_none());
+        assert!(Numeric::parse(xsd::STRING, "1").is_none());
+    }
+
+    #[test]
+    fn huge_decimal_falls_back_to_double() {
+        let big = "9".repeat(60);
+        let n = Numeric::parse(xsd::DECIMAL, &big).unwrap();
+        assert!(matches!(n, Numeric::Double(_)));
+        let small = Numeric::integer(1);
+        assert_eq!(n.compare(small), Some(Ordering::Greater));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::cmp::Ordering;
+
+    fn arb_decimal() -> impl Strategy<Value = Numeric> {
+        (any::<i64>(), 0u32..6).prop_map(|(unscaled, scale)| Numeric::Decimal {
+            unscaled: unscaled as i128,
+            scale,
+        })
+    }
+
+    proptest! {
+        /// compare() is antisymmetric on exact decimals.
+        #[test]
+        fn compare_antisymmetric(a in arb_decimal(), b in arb_decimal()) {
+            let ab = a.compare(b).unwrap();
+            let ba = b.compare(a).unwrap();
+            prop_assert_eq!(ab, ba.reverse());
+        }
+
+        /// compare() is transitive on exact decimals.
+        #[test]
+        fn compare_transitive(a in arb_decimal(), b in arb_decimal(), c in arb_decimal()) {
+            if a.compare(b).unwrap() != Ordering::Greater
+                && b.compare(c).unwrap() != Ordering::Greater
+            {
+                prop_assert_ne!(a.compare(c).unwrap(), Ordering::Greater);
+            }
+        }
+
+        /// Parsing a rendered decimal compares equal to the original.
+        #[test]
+        fn parse_render_equivalence(unscaled in any::<i32>(), scale in 0u32..5) {
+            let n = Numeric::Decimal { unscaled: unscaled as i128, scale };
+            let lex = {
+                let neg = unscaled < 0;
+                let digits = (unscaled as i64).unsigned_abs().to_string();
+                let scale = scale as usize;
+                let (int, frac) = if digits.len() > scale {
+                    let (i, f) = digits.split_at(digits.len() - scale);
+                    (i.to_string(), f.to_string())
+                } else {
+                    ("0".to_string(), format!("{digits:0>scale$}"))
+                };
+                if scale == 0 {
+                    format!("{}{int}", if neg { "-" } else { "" })
+                } else {
+                    format!("{}{int}.{frac}", if neg { "-" } else { "" })
+                }
+            };
+            let reparsed = Numeric::parse(crate::vocab::xsd::DECIMAL, &lex)
+                .unwrap_or_else(|| panic!("lexical {lex:?} must parse"));
+            prop_assert_eq!(n.compare(reparsed), Some(Ordering::Equal), "lex {}", lex);
+        }
+
+        /// Lexical validity for integers matches a simple regex-free spec.
+        #[test]
+        fn integer_lexical_spec(s in "[+-]?[0-9a-z]{0,6}") {
+            let expected = {
+                let t = s.strip_prefix(['+', '-']).unwrap_or(&s);
+                !t.is_empty() && t.bytes().all(|b| b.is_ascii_digit())
+            };
+            prop_assert_eq!(is_valid_lexical(crate::vocab::xsd::INTEGER, &s), expected);
+        }
+    }
+}

@@ -1,0 +1,401 @@
+//! Abstract syntax of Regular Shape Expressions (paper §4).
+//!
+//! ```text
+//! E, F ::= ∅                 empty, no shape
+//!        | ε                 empty set of triples
+//!        | vp → vo           arc with predicate p ∈ vp and object o ∈ vo
+//!        | E*                Kleene closure (0 or more E)
+//!        | E ‖ F             And (unordered concatenation)
+//!        | E | F             Alternative
+//! ```
+//!
+//! plus the derived operators `E+`, `E?`, `E{m,n}` (§4) and the §8 schema
+//! extension where an arc's object may be a shape *reference* `@label`.
+//! The §10 extension proposals implemented here: inverse arcs (`^p`) and
+//! negated node constraints (see [`crate::constraint`]).
+
+use std::fmt;
+
+use crate::constraint::NodeConstraint;
+
+/// A shape label `λ ∈ Λ` (paper §8). Stored as a plain name; the ShExC
+/// syntax writes it `<Name>` or `@<Name>` in references.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ShapeLabel(Box<str>);
+
+impl ShapeLabel {
+    /// Creates a label from its name.
+    pub fn new(name: impl Into<Box<str>>) -> Self {
+        ShapeLabel(name.into())
+    }
+
+    /// The label's name, without angle brackets.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for ShapeLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{}>", self.0)
+    }
+}
+
+impl From<&str> for ShapeLabel {
+    fn from(s: &str) -> Self {
+        ShapeLabel::new(s)
+    }
+}
+
+/// The predicate set `vp ⊆ Vp` of an arc constraint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PredicateSet {
+    /// Wildcard: any predicate (`vp = Vp`).
+    Any,
+    /// A finite set of predicate IRIs. A singleton is the common case from
+    /// ShExC syntax; the paper's abstract syntax allows any subset.
+    Iris(Vec<Box<str>>),
+}
+
+impl PredicateSet {
+    /// A singleton predicate set.
+    pub fn one(iri: impl Into<Box<str>>) -> Self {
+        PredicateSet::Iris(vec![iri.into()])
+    }
+
+    /// Membership test `p ∈ vp` on the IRI's textual form.
+    pub fn contains(&self, iri: &str) -> bool {
+        match self {
+            PredicateSet::Any => true,
+            PredicateSet::Iris(set) => set.iter().any(|i| &**i == iri),
+        }
+    }
+}
+
+/// What an arc requires of the triple's object: either membership in a
+/// value set `vo ⊆ Vo` (expressed as a [`NodeConstraint`]) or conformance
+/// to a referenced shape `@label` (paper §8, rule *Arcref*).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ObjectConstraint {
+    /// Membership in a value set (`o ∈ vo`).
+    Value(NodeConstraint),
+    /// Conformance to the referenced shape (`@label`).
+    Ref(ShapeLabel),
+}
+
+/// An arc constraint `vp → vo`, optionally inverted (`^vp`, matching
+/// triples `⟨o, p, n⟩` arriving at the focus node — the §10 extension).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArcConstraint {
+    /// The predicate set `vp`.
+    pub predicates: PredicateSet,
+    /// The object condition `vo`.
+    pub object: ObjectConstraint,
+    /// `^vp`: match incoming triples instead (§10 extension).
+    pub inverse: bool,
+}
+
+impl ArcConstraint {
+    /// An arc `vp → vo` (forward).
+    pub fn new(predicates: PredicateSet, object: ObjectConstraint) -> Self {
+        ArcConstraint {
+            predicates,
+            object,
+            inverse: false,
+        }
+    }
+
+    /// A forward arc with a single predicate IRI and a value constraint.
+    pub fn value(pred: impl Into<Box<str>>, constraint: NodeConstraint) -> Self {
+        ArcConstraint::new(PredicateSet::one(pred), ObjectConstraint::Value(constraint))
+    }
+
+    /// A forward arc with a single predicate IRI referencing a shape.
+    pub fn reference(pred: impl Into<Box<str>>, label: impl Into<ShapeLabel>) -> Self {
+        ArcConstraint::new(PredicateSet::one(pred), ObjectConstraint::Ref(label.into()))
+    }
+
+    /// Marks the arc as inverse (`^`).
+    pub fn inverted(mut self) -> Self {
+        self.inverse = true;
+        self
+    }
+}
+
+/// A Regular Shape Expression (paper §4 syntax plus derived operators).
+///
+/// The derived operators are kept as their own variants rather than being
+/// desugared eagerly: `Repeat` has a linear-size derivative rule while its
+/// §4 expansion is exponential in the bounds, and keeping `Plus`/`Opt`
+/// preserves the user's schema for display. Engines may desugar on
+/// compilation (see [`ShapeExpr::desugared`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShapeExpr {
+    /// `∅` — matches no graph at all.
+    Empty,
+    /// `ε` — matches exactly the empty set of triples.
+    Epsilon,
+    /// `vp → vo`.
+    Arc(ArcConstraint),
+    /// `E*`.
+    Star(Box<ShapeExpr>),
+    /// `E+ = E ‖ E*`.
+    Plus(Box<ShapeExpr>),
+    /// `E? = E | ε`.
+    Opt(Box<ShapeExpr>),
+    /// `E{m,n}`; `max = None` means unbounded (`E{m,}`).
+    Repeat(Box<ShapeExpr>, u32, Option<u32>),
+    /// `E ‖ F` — unordered concatenation.
+    And(Box<ShapeExpr>, Box<ShapeExpr>),
+    /// `E | F` — alternative.
+    Or(Box<ShapeExpr>, Box<ShapeExpr>),
+}
+
+impl ShapeExpr {
+    /// Wraps an arc constraint.
+    pub fn arc(arc: ArcConstraint) -> Self {
+        ShapeExpr::Arc(arc)
+    }
+
+    /// `e*`.
+    pub fn star(e: ShapeExpr) -> Self {
+        ShapeExpr::Star(Box::new(e))
+    }
+
+    /// `e+`.
+    pub fn plus(e: ShapeExpr) -> Self {
+        ShapeExpr::Plus(Box::new(e))
+    }
+
+    /// `e?`.
+    pub fn opt(e: ShapeExpr) -> Self {
+        ShapeExpr::Opt(Box::new(e))
+    }
+
+    /// `e{min,max}`; `None` max means unbounded.
+    pub fn repeat(e: ShapeExpr, min: u32, max: Option<u32>) -> Self {
+        ShapeExpr::Repeat(Box::new(e), min, max)
+    }
+
+    /// `a ‖ b`.
+    pub fn and(a: ShapeExpr, b: ShapeExpr) -> Self {
+        ShapeExpr::And(Box::new(a), Box::new(b))
+    }
+
+    /// `a | b`.
+    pub fn or(a: ShapeExpr, b: ShapeExpr) -> Self {
+        ShapeExpr::Or(Box::new(a), Box::new(b))
+    }
+
+    /// Folds a sequence into a right-nested `And`; empty sequence is `ε`.
+    pub fn and_all(items: impl IntoIterator<Item = ShapeExpr>) -> ShapeExpr {
+        let mut items: Vec<_> = items.into_iter().collect();
+        match items.pop() {
+            None => ShapeExpr::Epsilon,
+            Some(last) => items
+                .into_iter()
+                .rev()
+                .fold(last, |acc, e| ShapeExpr::and(e, acc)),
+        }
+    }
+
+    /// Folds a sequence into a right-nested `Or`; empty sequence is `∅`.
+    pub fn or_all(items: impl IntoIterator<Item = ShapeExpr>) -> ShapeExpr {
+        let mut items: Vec<_> = items.into_iter().collect();
+        match items.pop() {
+            None => ShapeExpr::Empty,
+            Some(last) => items
+                .into_iter()
+                .rev()
+                .fold(last, |acc, e| ShapeExpr::or(e, acc)),
+        }
+    }
+
+    /// Rewrites the derived operators into the §4 core syntax:
+    /// `E+ → E ‖ E*`, `E? → E | ε`, and `E{m,n}` via the paper's recursive
+    /// expansion. Useful for engines that only implement the core algebra
+    /// (the backtracking baseline) and for equivalence testing.
+    pub fn desugared(&self) -> ShapeExpr {
+        match self {
+            ShapeExpr::Empty => ShapeExpr::Empty,
+            ShapeExpr::Epsilon => ShapeExpr::Epsilon,
+            ShapeExpr::Arc(a) => ShapeExpr::Arc(a.clone()),
+            ShapeExpr::Star(e) => ShapeExpr::star(e.desugared()),
+            ShapeExpr::Plus(e) => {
+                let d = e.desugared();
+                ShapeExpr::and(d.clone(), ShapeExpr::star(d))
+            }
+            ShapeExpr::Opt(e) => ShapeExpr::or(e.desugared(), ShapeExpr::Epsilon),
+            ShapeExpr::Repeat(e, m, n) => expand_repeat(&e.desugared(), *m, *n),
+            ShapeExpr::And(a, b) => ShapeExpr::and(a.desugared(), b.desugared()),
+            ShapeExpr::Or(a, b) => ShapeExpr::or(a.desugared(), b.desugared()),
+        }
+    }
+
+    /// All shape labels referenced (transitively through the expression,
+    /// not through other shapes).
+    pub fn references(&self) -> Vec<&ShapeLabel> {
+        let mut out = Vec::new();
+        self.visit_arcs(&mut |arc| {
+            if let ObjectConstraint::Ref(l) = &arc.object {
+                out.push(l);
+            }
+        });
+        out
+    }
+
+    /// Visits every arc constraint in the expression.
+    pub fn visit_arcs<'a>(&'a self, f: &mut impl FnMut(&'a ArcConstraint)) {
+        match self {
+            ShapeExpr::Empty | ShapeExpr::Epsilon => {}
+            ShapeExpr::Arc(a) => f(a),
+            ShapeExpr::Star(e) | ShapeExpr::Plus(e) | ShapeExpr::Opt(e) => e.visit_arcs(f),
+            ShapeExpr::Repeat(e, _, _) => e.visit_arcs(f),
+            ShapeExpr::And(a, b) | ShapeExpr::Or(a, b) => {
+                a.visit_arcs(f);
+                b.visit_arcs(f);
+            }
+        }
+    }
+
+    /// Number of syntax nodes, a size measure used by benches and tests.
+    pub fn size(&self) -> usize {
+        match self {
+            ShapeExpr::Empty | ShapeExpr::Epsilon | ShapeExpr::Arc(_) => 1,
+            ShapeExpr::Star(e) | ShapeExpr::Plus(e) | ShapeExpr::Opt(e) => 1 + e.size(),
+            ShapeExpr::Repeat(e, _, _) => 1 + e.size(),
+            ShapeExpr::And(a, b) | ShapeExpr::Or(a, b) => 1 + a.size() + b.size(),
+        }
+    }
+}
+
+/// The paper's `E{m,n}` expansion:
+///
+/// ```text
+/// E{m,n} = E{m,n−1} | E{n}        if m < n   (alternative over counts)
+/// E{n,n} = E{n−1,n−1} ‖ E         if n > 0   (n mandatory copies)
+/// E{0,0} = ε
+/// ```
+///
+/// (The paper's first clause reads `E{m,n−1}|E`; the intended meaning —
+/// consistent with its `E+`/`E?` definitions — is "between m and n copies",
+/// which we realise as `E{m,m} ‖ (E?){n−m}`.)
+fn expand_repeat(e: &ShapeExpr, m: u32, n: Option<u32>) -> ShapeExpr {
+    let mandatory = (0..m).map(|_| e.clone());
+    match n {
+        None => {
+            // E{m,} = E{m,m} ‖ E*
+            ShapeExpr::and_all(mandatory.chain(std::iter::once(ShapeExpr::star(e.clone()))))
+        }
+        Some(n) => {
+            let optional = (m..n).map(|_| ShapeExpr::or(e.clone(), ShapeExpr::Epsilon));
+            ShapeExpr::and_all(mandatory.chain(optional))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::NodeConstraint;
+
+    fn arc(p: &str) -> ShapeExpr {
+        ShapeExpr::arc(ArcConstraint::value(p, NodeConstraint::Any))
+    }
+
+    #[test]
+    fn predicate_set_membership() {
+        assert!(PredicateSet::Any.contains("http://e/p"));
+        let set = PredicateSet::Iris(vec!["http://e/a".into(), "http://e/b".into()]);
+        assert!(set.contains("http://e/a"));
+        assert!(!set.contains("http://e/c"));
+    }
+
+    #[test]
+    fn and_all_builds_right_nested() {
+        let e = ShapeExpr::and_all([arc("p"), arc("q"), arc("r")]);
+        let ShapeExpr::And(_, rest) = &e else {
+            panic!("expected And");
+        };
+        assert!(matches!(**rest, ShapeExpr::And(_, _)));
+        assert_eq!(e.size(), 5);
+    }
+
+    #[test]
+    fn and_all_empty_is_epsilon() {
+        assert_eq!(ShapeExpr::and_all([]), ShapeExpr::Epsilon);
+        assert_eq!(ShapeExpr::or_all([]), ShapeExpr::Empty);
+    }
+
+    #[test]
+    fn plus_desugars_to_paper_definition() {
+        // E+ = E ‖ E*
+        let e = ShapeExpr::plus(arc("p")).desugared();
+        let ShapeExpr::And(l, r) = e else {
+            panic!("expected And")
+        };
+        assert!(matches!(*l, ShapeExpr::Arc(_)));
+        assert!(matches!(*r, ShapeExpr::Star(_)));
+    }
+
+    #[test]
+    fn opt_desugars_to_paper_definition() {
+        // E? = E | ε
+        let e = ShapeExpr::opt(arc("p")).desugared();
+        let ShapeExpr::Or(l, r) = e else {
+            panic!("expected Or")
+        };
+        assert!(matches!(*l, ShapeExpr::Arc(_)));
+        assert_eq!(*r, ShapeExpr::Epsilon);
+    }
+
+    #[test]
+    fn repeat_zero_zero_is_epsilon() {
+        let e = ShapeExpr::repeat(arc("p"), 0, Some(0)).desugared();
+        assert_eq!(e, ShapeExpr::Epsilon);
+    }
+
+    #[test]
+    fn repeat_expansion_sizes() {
+        // E{2,2} = E ‖ E
+        let e = ShapeExpr::repeat(arc("p"), 2, Some(2)).desugared();
+        assert_eq!(e.size(), 3);
+        // E{1,3} = E ‖ (E|ε) ‖ (E|ε)
+        let e = ShapeExpr::repeat(arc("p"), 1, Some(3)).desugared();
+        assert_eq!(e.size(), 9);
+        // E{2,} = E ‖ E ‖ E*
+        let e = ShapeExpr::repeat(arc("p"), 2, None).desugared();
+        assert_eq!(e.size(), 6);
+    }
+
+    #[test]
+    fn references_collects_labels() {
+        let e = ShapeExpr::and(
+            ShapeExpr::arc(ArcConstraint::reference("http://e/knows", "Person")),
+            ShapeExpr::star(ShapeExpr::arc(ArcConstraint::reference(
+                "http://e/worksFor",
+                "Org",
+            ))),
+        );
+        let refs: Vec<_> = e.references().iter().map(|l| l.as_str()).collect();
+        assert_eq!(refs, vec!["Person", "Org"]);
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        assert_eq!(ShapeExpr::Empty.size(), 1);
+        assert_eq!(ShapeExpr::star(arc("p")).size(), 2);
+        assert_eq!(ShapeExpr::and(arc("p"), arc("q")).size(), 3);
+    }
+
+    #[test]
+    fn shape_label_display() {
+        assert_eq!(ShapeLabel::new("Person").to_string(), "<Person>");
+    }
+
+    #[test]
+    fn inverted_arc_flag() {
+        let a = ArcConstraint::value("http://e/p", NodeConstraint::Any).inverted();
+        assert!(a.inverse);
+    }
+}

@@ -1,0 +1,291 @@
+//! Pretty-printing schemas and shape expressions back to ShExC.
+//!
+//! The printer emits a canonical form that re-parses to an equal schema
+//! (round-trip property-tested in the integration suite).
+
+use std::fmt::Write as _;
+
+use shapex_rdf::term::Term;
+use shapex_rdf::vocab::rdf;
+use shapex_rdf::xsd::Numeric;
+
+use crate::ast::{ArcConstraint, ObjectConstraint, PredicateSet, ShapeExpr};
+use crate::constraint::{Facet, NodeConstraint, ValueSetValue};
+use crate::schema::Schema;
+
+/// Renders a whole schema in ShExC.
+pub fn schema_to_shexc(schema: &Schema) -> String {
+    let mut out = String::new();
+    for (name, ns) in &schema.prefixes {
+        let _ = writeln!(out, "PREFIX {name}: <{ns}>");
+    }
+    if !schema.prefixes.is_empty() {
+        out.push('\n');
+    }
+    if let Some(start) = schema.start() {
+        let _ = writeln!(out, "start = @{start}\n");
+    }
+    for (label, expr) in schema.iter() {
+        if *expr == ShapeExpr::Epsilon {
+            // ε at top level is the empty shape `{ }`.
+            let _ = writeln!(out, "{label} {{ }}\n");
+        } else {
+            let _ = writeln!(out, "{label} {{\n  {}\n}}\n", expr_to_shexc(expr));
+        }
+    }
+    out
+}
+
+/// Renders one shape expression in ShExC (without the surrounding braces).
+pub fn expr_to_shexc(expr: &ShapeExpr) -> String {
+    render(expr, Prec::Or)
+}
+
+/// Precedence levels: `|` binds looser than `,`, which binds looser than
+/// cardinality suffixes.
+#[derive(PartialEq, PartialOrd, Clone, Copy)]
+enum Prec {
+    Or,
+    And,
+    Unary,
+}
+
+fn render(expr: &ShapeExpr, ctx: Prec) -> String {
+    match expr {
+        // ∅ and ε have no ShExC surface syntax; render as comments-free
+        // synthetic forms that the parser understands where possible.
+        // ε inside a larger expression renders as an empty group.
+        ShapeExpr::Empty => "(∅)".to_string(),
+        ShapeExpr::Epsilon => "()".to_string(),
+        ShapeExpr::Arc(arc) => arc_to_shexc(arc),
+        ShapeExpr::Star(e) => format!("{}*", suffix_operand(e)),
+        ShapeExpr::Plus(e) => format!("{}+", suffix_operand(e)),
+        ShapeExpr::Opt(e) => format!("{}?", suffix_operand(e)),
+        ShapeExpr::Repeat(e, m, None) => format!("{}{{{m},}}", suffix_operand(e)),
+        ShapeExpr::Repeat(e, m, Some(n)) => {
+            if m == n {
+                format!("{}{{{m}}}", suffix_operand(e))
+            } else {
+                format!("{}{{{m},{n}}}", suffix_operand(e))
+            }
+        }
+        ShapeExpr::And(a, b) => {
+            // The parser folds `x, y, z` right-nested, so a left-nested
+            // And must be parenthesised to survive the round trip.
+            let s = format!("{}, {}", render(a, Prec::Unary), render(b, Prec::And));
+            if ctx > Prec::And {
+                format!("({s})")
+            } else {
+                s
+            }
+        }
+        ShapeExpr::Or(a, b) => {
+            let s = format!("{} | {}", render(a, Prec::And), render(b, Prec::Or));
+            if ctx > Prec::Or {
+                format!("({s})")
+            } else {
+                s
+            }
+        }
+    }
+}
+
+/// Renders the operand of a cardinality suffix, parenthesising anything
+/// that itself ends in (or contains) an operator — `(e*)*`, not `e**`.
+fn suffix_operand(e: &ShapeExpr) -> String {
+    match e {
+        ShapeExpr::Arc(_) | ShapeExpr::Epsilon | ShapeExpr::Empty => render(e, Prec::Unary),
+        _ => format!("({})", render(e, Prec::Or)),
+    }
+}
+
+fn arc_to_shexc(arc: &ArcConstraint) -> String {
+    let inv = if arc.inverse { "^" } else { "" };
+    let pred = match &arc.predicates {
+        PredicateSet::Any => ".".to_string(),
+        PredicateSet::Iris(set) if set.len() == 1 => {
+            if &*set[0] == rdf::TYPE {
+                "a".to_string()
+            } else {
+                format!("<{}>", set[0])
+            }
+        }
+        PredicateSet::Iris(set) => {
+            // No standard ShExC syntax for predicate sets; render as a
+            // parenthesised list (accepted back by our parser as sugar is
+            // not required — this form is informational).
+            let items: Vec<_> = set.iter().map(|i| format!("<{i}>")).collect();
+            format!("({})", items.join(" "))
+        }
+    };
+    format!("{inv}{pred} {}", object_to_shexc(&arc.object))
+}
+
+fn object_to_shexc(obj: &ObjectConstraint) -> String {
+    match obj {
+        ObjectConstraint::Ref(l) => format!("@{l}"),
+        ObjectConstraint::Value(c) => constraint_to_shexc(c),
+    }
+}
+
+/// Renders a node constraint in ShExC.
+pub fn constraint_to_shexc(c: &NodeConstraint) -> String {
+    match c {
+        NodeConstraint::Any => ".".to_string(),
+        NodeConstraint::Kind(k) => k.to_string(),
+        NodeConstraint::Datatype(dt) => format!("<{dt}>"),
+        NodeConstraint::ValueSet(vs) => {
+            let items: Vec<_> = vs.iter().map(value_to_shexc).collect();
+            format!("[{}]", items.join(" "))
+        }
+        NodeConstraint::Facet(f) => facet_to_shexc(f),
+        NodeConstraint::AllOf(cs) => cs
+            .iter()
+            .map(constraint_to_shexc)
+            .collect::<Vec<_>>()
+            .join(" "),
+        NodeConstraint::Not(inner) => format!("NOT {}", constraint_to_shexc(inner)),
+    }
+}
+
+fn value_to_shexc(v: &ValueSetValue) -> String {
+    match v {
+        ValueSetValue::Term(Term::Iri(iri)) => iri.to_string(),
+        ValueSetValue::Term(t) => t.to_string(),
+        ValueSetValue::IriStem(s) => format!("<{s}>~"),
+        ValueSetValue::Language(t) => format!("@{t}"),
+        ValueSetValue::LanguageStem(t) => format!("@{t}~"),
+    }
+}
+
+fn facet_to_shexc(f: &Facet) -> String {
+    fn num(n: &Numeric) -> String {
+        match n {
+            Numeric::Decimal { unscaled, scale: 0 } => unscaled.to_string(),
+            Numeric::Decimal { unscaled, scale } => {
+                let neg = *unscaled < 0;
+                let digits = unscaled.unsigned_abs().to_string();
+                let scale = *scale as usize;
+                let (int, frac) = if digits.len() > scale {
+                    let (i, f) = digits.split_at(digits.len() - scale);
+                    (i.to_string(), f.to_string())
+                } else {
+                    ("0".to_string(), format!("{digits:0>scale$}"))
+                };
+                format!("{}{int}.{frac}", if neg { "-" } else { "" })
+            }
+            Numeric::Double(d) => format!("{d}"),
+        }
+    }
+    match f {
+        Facet::MinInclusive(n) => format!("MININCLUSIVE {}", num(n)),
+        Facet::MinExclusive(n) => format!("MINEXCLUSIVE {}", num(n)),
+        Facet::MaxInclusive(n) => format!("MAXINCLUSIVE {}", num(n)),
+        Facet::MaxExclusive(n) => format!("MAXEXCLUSIVE {}", num(n)),
+        Facet::Length(n) => format!("LENGTH {n}"),
+        Facet::MinLength(n) => format!("MINLENGTH {n}"),
+        Facet::MaxLength(n) => format!("MAXLENGTH {n}"),
+        Facet::Pattern(p) => format!(
+            "PATTERN \"{}\"",
+            p.replace('\\', "\\\\").replace('"', "\\\"")
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shexc;
+
+    #[test]
+    fn example_1_roundtrips() {
+        let src = r#"
+            PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+            PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>
+            <Person> {
+              foaf:age xsd:integer
+              , foaf:name xsd:string+
+              , foaf:knows @<Person>*
+            }
+        "#;
+        let s1 = shexc::parse(src).unwrap();
+        let printed = schema_to_shexc(&s1);
+        let s2 = shexc::parse(&printed).unwrap();
+        assert_eq!(
+            s1.get(&"Person".into()).unwrap(),
+            s2.get(&"Person".into()).unwrap(),
+            "printed form:\n{printed}"
+        );
+    }
+
+    #[test]
+    fn cardinalities_roundtrip() {
+        let src = "PREFIX e: <http://e/>\n<S> { e:a .{2}, e:b .{1,3}, e:c .{2,}, e:d .?, e:e .+ }";
+        let s1 = shexc::parse(src).unwrap();
+        let s2 = shexc::parse(&schema_to_shexc(&s1)).unwrap();
+        assert_eq!(s1.get(&"S".into()), s2.get(&"S".into()));
+    }
+
+    #[test]
+    fn value_sets_and_facets_roundtrip() {
+        let src = r#"
+            PREFIX e: <http://e/>
+            PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>
+            <S> {
+              e:v [1 2 "x"@en <http://e/ns>~ @de~],
+              e:n xsd:integer MININCLUSIVE 0 MAXEXCLUSIVE 150,
+              e:p PATTERN "[a-z]+\\d",
+              e:k NOT LITERAL
+            }
+        "#;
+        let s1 = shexc::parse(src).unwrap();
+        let printed = schema_to_shexc(&s1);
+        let s2 = shexc::parse(&printed).unwrap();
+        assert_eq!(
+            s1.get(&"S".into()),
+            s2.get(&"S".into()),
+            "printed form:\n{printed}"
+        );
+    }
+
+    #[test]
+    fn or_inside_and_parenthesised() {
+        let src = "PREFIX e: <http://e/>\n<S> { (e:a . | e:b .), e:c . }";
+        let s1 = shexc::parse(src).unwrap();
+        let printed = schema_to_shexc(&s1);
+        let s2 = shexc::parse(&printed).unwrap();
+        assert_eq!(s1.get(&"S".into()), s2.get(&"S".into()));
+    }
+
+    #[test]
+    fn inverse_arcs_roundtrip() {
+        let src = "PREFIX e: <http://e/>\n<S> { ^e:member IRI }";
+        let s1 = shexc::parse(src).unwrap();
+        let s2 = shexc::parse(&schema_to_shexc(&s1)).unwrap();
+        assert_eq!(s1.get(&"S".into()), s2.get(&"S".into()));
+    }
+
+    #[test]
+    fn decimal_facet_rendering() {
+        let f = Facet::MinInclusive(Numeric::Decimal {
+            unscaled: 25,
+            scale: 1,
+        });
+        assert_eq!(facet_to_shexc(&f), "MININCLUSIVE 2.5");
+        let f = Facet::MaxInclusive(Numeric::Decimal {
+            unscaled: -5,
+            scale: 2,
+        });
+        assert_eq!(facet_to_shexc(&f), "MAXINCLUSIVE -0.05");
+    }
+
+    #[test]
+    fn start_is_printed() {
+        let src = "PREFIX e: <http://e/>\nstart = @<S>\n<S> { e:p . }";
+        let s1 = shexc::parse(src).unwrap();
+        let printed = schema_to_shexc(&s1);
+        assert!(printed.contains("start = @<S>"));
+        let s2 = shexc::parse(&printed).unwrap();
+        assert_eq!(s2.start().unwrap().as_str(), "S");
+    }
+}

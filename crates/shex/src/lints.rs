@@ -1,0 +1,302 @@
+//! Schema lints: warnings for constructs that are legal but almost
+//! certainly mistakes — dead shapes, vacuous constraints, impossible
+//! expressions.
+
+use std::fmt;
+
+use crate::ast::{ShapeExpr, ShapeLabel};
+use crate::constraint::{NodeConstraint, NodeKind};
+use crate::schema::Schema;
+use crate::strre::Regex;
+
+/// One warning about a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Lint {
+    /// The shape is neither the start shape nor referenced by any other
+    /// shape — validators will never reach it implicitly.
+    UnusedShape(String),
+    /// A start shape is declared but this shape cannot be reached from it.
+    UnreachableFromStart(String),
+    /// The shape's expression contains `∅`, which matches no graph at all:
+    /// under `‖` it makes the whole shape unsatisfiable.
+    ContainsEmpty(String),
+    /// An arc carries an empty value set `[]` — no object can ever match.
+    EmptyValueSet(String),
+    /// A `PATTERN` facet whose regex does not parse: it will match
+    /// nothing.
+    InvalidPattern {
+        /// The shape holding the facet.
+        shape: String,
+        /// The offending pattern source.
+        pattern: String,
+        /// The regex parser's message.
+        error: String,
+    },
+    /// A cardinality `{0,0}` — equivalent to writing nothing.
+    VacuousCardinality(String),
+    /// A node-kind conjunction that no term satisfies
+    /// (e.g. `IRI LITERAL`).
+    ContradictoryKinds(String),
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Lint::UnusedShape(s) => {
+                write!(
+                    f,
+                    "shape <{s}> is never referenced and is not the start shape"
+                )
+            }
+            Lint::UnreachableFromStart(s) => {
+                write!(f, "shape <{s}> is unreachable from the start shape")
+            }
+            Lint::ContainsEmpty(s) => {
+                write!(f, "shape <{s}> contains ∅, which matches no graph")
+            }
+            Lint::EmptyValueSet(s) => {
+                write!(
+                    f,
+                    "shape <{s}> has an empty value set [] — no object can match"
+                )
+            }
+            Lint::InvalidPattern {
+                shape,
+                pattern,
+                error,
+            } => write!(
+                f,
+                "shape <{shape}> has an invalid PATTERN {pattern:?}: {error}"
+            ),
+            Lint::VacuousCardinality(s) => {
+                write!(
+                    f,
+                    "shape <{s}> has a {{0,0}} cardinality — the expression is inert"
+                )
+            }
+            Lint::ContradictoryKinds(s) => {
+                write!(f, "shape <{s}> conjoins node kinds no term can satisfy")
+            }
+        }
+    }
+}
+
+/// Runs every lint over the schema.
+pub fn lints(schema: &Schema) -> Vec<Lint> {
+    let mut out = Vec::new();
+    usage_lints(schema, &mut out);
+    for (label, expr) in schema.iter() {
+        expr_lints(label, expr, &mut out);
+    }
+    out
+}
+
+fn usage_lints(schema: &Schema, out: &mut Vec<Lint>) {
+    let referenced: Vec<&ShapeLabel> = schema.iter().flat_map(|(_, e)| e.references()).collect();
+    for label in schema.labels() {
+        let is_start = schema.start() == Some(label);
+        if !is_start && !referenced.contains(&label) && schema.start().is_some() {
+            // With a start shape, anything not referenced and not start is
+            // dead; without one, every shape is a potential entry point.
+            out.push(Lint::UnusedShape(label.as_str().to_string()));
+        }
+    }
+    if let Some(start) = schema.start() {
+        let reachable = schema.reachable(start);
+        for label in schema.labels() {
+            if !reachable.contains(&label) {
+                out.push(Lint::UnreachableFromStart(label.as_str().to_string()));
+            }
+        }
+    }
+}
+
+fn expr_lints(label: &ShapeLabel, expr: &ShapeExpr, out: &mut Vec<Lint>) {
+    let name = || label.as_str().to_string();
+    match expr {
+        ShapeExpr::Empty => out.push(Lint::ContainsEmpty(name())),
+        ShapeExpr::Epsilon => {}
+        ShapeExpr::Arc(arc) => {
+            if let crate::ast::ObjectConstraint::Value(c) = &arc.object {
+                constraint_lints(label, c, out);
+            }
+        }
+        ShapeExpr::Repeat(e, 0, Some(0)) => {
+            out.push(Lint::VacuousCardinality(name()));
+            expr_lints(label, e, out);
+        }
+        ShapeExpr::Star(e) | ShapeExpr::Plus(e) | ShapeExpr::Opt(e) => expr_lints(label, e, out),
+        ShapeExpr::Repeat(e, _, _) => expr_lints(label, e, out),
+        ShapeExpr::And(a, b) | ShapeExpr::Or(a, b) => {
+            expr_lints(label, a, out);
+            expr_lints(label, b, out);
+        }
+    }
+}
+
+fn constraint_lints(label: &ShapeLabel, c: &NodeConstraint, out: &mut Vec<Lint>) {
+    let name = || label.as_str().to_string();
+    match c {
+        NodeConstraint::ValueSet(vs) if vs.is_empty() => out.push(Lint::EmptyValueSet(name())),
+        NodeConstraint::Facet(crate::constraint::Facet::Pattern(p)) => {
+            if let Err(error) = Regex::new(p) {
+                out.push(Lint::InvalidPattern {
+                    shape: name(),
+                    pattern: p.to_string(),
+                    error,
+                });
+            }
+        }
+        NodeConstraint::AllOf(cs) => {
+            let kinds: Vec<NodeKind> = cs
+                .iter()
+                .filter_map(|c| match c {
+                    NodeConstraint::Kind(k) => Some(*k),
+                    _ => None,
+                })
+                .collect();
+            if kinds_contradict(&kinds) {
+                out.push(Lint::ContradictoryKinds(name()));
+            }
+            // Datatype constraints imply Literal; conjoined with a
+            // non-literal-only kind they are unsatisfiable too.
+            let has_datatype = cs.iter().any(|c| matches!(c, NodeConstraint::Datatype(_)));
+            if has_datatype
+                && kinds
+                    .iter()
+                    .any(|k| matches!(k, NodeKind::Iri | NodeKind::BNode | NodeKind::NonLiteral))
+            {
+                out.push(Lint::ContradictoryKinds(name()));
+            }
+            for inner in cs {
+                constraint_lints(label, inner, out);
+            }
+        }
+        NodeConstraint::Not(inner) => constraint_lints(label, inner, out),
+        _ => {}
+    }
+}
+
+/// Two kinds with an empty intersection?
+fn kinds_contradict(kinds: &[NodeKind]) -> bool {
+    use NodeKind::*;
+    for (i, a) in kinds.iter().enumerate() {
+        for b in &kinds[i + 1..] {
+            let compatible = match (a, b) {
+                (x, y) if x == y => true,
+                (Iri, NonLiteral) | (NonLiteral, Iri) => true,
+                (BNode, NonLiteral) | (NonLiteral, BNode) => true,
+                _ => false,
+            };
+            if !compatible {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shexc;
+
+    fn lint_src(src: &str) -> Vec<Lint> {
+        lints(&shexc::parse(src).unwrap())
+    }
+
+    #[test]
+    fn clean_schema_has_no_lints() {
+        let l = lint_src("PREFIX e: <http://e/>\nstart = @<A>\n<A> { e:p @<B>* }\n<B> { e:q . }");
+        assert!(l.is_empty(), "{l:?}");
+    }
+
+    #[test]
+    fn unused_shape_detected() {
+        let l = lint_src("PREFIX e: <http://e/>\nstart = @<A>\n<A> { e:p . }\n<Dead> { e:q . }");
+        assert!(l.contains(&Lint::UnusedShape("Dead".into())));
+        assert!(l.contains(&Lint::UnreachableFromStart("Dead".into())));
+    }
+
+    #[test]
+    fn no_start_means_no_usage_lints() {
+        let l = lint_src("PREFIX e: <http://e/>\n<A> { e:p . }\n<B> { e:q . }");
+        assert!(l.is_empty(), "{l:?}");
+    }
+
+    #[test]
+    fn empty_value_set_detected() {
+        let l = lint_src("PREFIX e: <http://e/>\n<A> { e:p [] }");
+        assert!(l.contains(&Lint::EmptyValueSet("A".into())));
+    }
+
+    #[test]
+    fn invalid_pattern_detected() {
+        let l = lint_src("PREFIX e: <http://e/>\n<A> { e:p PATTERN \"(unclosed\" }");
+        assert!(matches!(&l[0], Lint::InvalidPattern { shape, .. } if shape == "A"));
+    }
+
+    #[test]
+    fn vacuous_cardinality_detected() {
+        let l = lint_src("PREFIX e: <http://e/>\n<A> { e:p .{0,0}, e:q . }");
+        assert!(l.contains(&Lint::VacuousCardinality("A".into())));
+    }
+
+    #[test]
+    fn contradictory_kinds_detected() {
+        // `IRI` together with a datatype can never hold.
+        let l = lint_src(
+            "PREFIX e: <http://e/>\nPREFIX xsd: <http://www.w3.org/2001/XMLSchema#>\n\
+             <A> { e:p IRI MINLENGTH 1 }\n<B> { e:q LITERAL MINLENGTH 1 }",
+        );
+        assert!(l.is_empty(), "kind+facet is fine: {l:?}");
+        // Construct the contradiction through the AST (two kinds cannot be
+        // written in one ShExC constraint position).
+        use crate::ast::{ArcConstraint, ShapeExpr};
+        let schema = Schema::from_rules([(
+            ShapeLabel::new("C"),
+            ShapeExpr::arc(ArcConstraint::value(
+                "http://e/p",
+                NodeConstraint::AllOf(vec![
+                    NodeConstraint::Kind(NodeKind::Iri),
+                    NodeConstraint::Kind(NodeKind::Literal),
+                ]),
+            )),
+        )])
+        .unwrap();
+        assert!(lints(&schema).contains(&Lint::ContradictoryKinds("C".into())));
+        let schema = Schema::from_rules([(
+            ShapeLabel::new("D"),
+            ShapeExpr::arc(ArcConstraint::value(
+                "http://e/p",
+                NodeConstraint::AllOf(vec![
+                    NodeConstraint::Kind(NodeKind::Iri),
+                    NodeConstraint::Datatype("http://dt".into()),
+                ]),
+            )),
+        )])
+        .unwrap();
+        assert!(lints(&schema).contains(&Lint::ContradictoryKinds("D".into())));
+    }
+
+    #[test]
+    fn empty_expression_detected() {
+        use crate::ast::ShapeExpr;
+        let schema = Schema::from_rules([(ShapeLabel::new("A"), ShapeExpr::Empty)]).unwrap();
+        assert_eq!(lints(&schema), vec![Lint::ContainsEmpty("A".into())]);
+    }
+
+    #[test]
+    fn lints_inside_nested_expressions() {
+        let l = lint_src("PREFIX e: <http://e/>\n<A> { (e:p [] | e:q .)+ }");
+        assert!(l.contains(&Lint::EmptyValueSet("A".into())));
+    }
+
+    #[test]
+    fn display_messages() {
+        assert!(Lint::UnusedShape("X".into())
+            .to_string()
+            .contains("never referenced"));
+        assert!(Lint::EmptyValueSet("X".into()).to_string().contains("[]"));
+    }
+}

@@ -1,0 +1,289 @@
+//! Shape Expression Schemas (paper §8): a tuple `(Λ, δ)` where `δ` maps
+//! labels to regular shape expressions, possibly recursively.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::ast::{ShapeExpr, ShapeLabel};
+
+/// An error in schema construction or well-formedness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaError {
+    /// Two rules define the same label.
+    DuplicateLabel(String),
+    /// A shape reference `@<label>` with no definition `label ↦ e`.
+    UndefinedReference {
+        /// The shape whose definition holds the dangling reference.
+        in_shape: String,
+        /// The undefined label.
+        reference: String,
+    },
+    /// The declared start shape has no definition.
+    UndefinedStart(String),
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::DuplicateLabel(l) => write!(f, "duplicate shape label <{l}>"),
+            SchemaError::UndefinedReference {
+                in_shape,
+                reference,
+            } => write!(
+                f,
+                "shape <{in_shape}> references undefined shape <{reference}>"
+            ),
+            SchemaError::UndefinedStart(l) => write!(f, "start shape <{l}> is not defined"),
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+/// A schema: an ordered collection of rules `λ ↦ e` plus an optional start
+/// shape.
+#[derive(Debug, Clone, Default)]
+pub struct Schema {
+    shapes: Vec<(ShapeLabel, ShapeExpr)>,
+    index: HashMap<ShapeLabel, usize>,
+    start: Option<ShapeLabel>,
+    /// `(prefix, namespace)` pairs retained from parsing, for display.
+    pub prefixes: Vec<(String, String)>,
+}
+
+impl Schema {
+    /// Creates an empty schema.
+    pub fn new() -> Self {
+        Schema::default()
+    }
+
+    /// Builds a schema from rules, failing on duplicate labels.
+    pub fn from_rules(
+        rules: impl IntoIterator<Item = (ShapeLabel, ShapeExpr)>,
+    ) -> Result<Self, SchemaError> {
+        let mut s = Schema::new();
+        for (label, expr) in rules {
+            s.add_shape(label, expr)?;
+        }
+        Ok(s)
+    }
+
+    /// Adds a rule `λ ↦ e`.
+    pub fn add_shape(&mut self, label: ShapeLabel, expr: ShapeExpr) -> Result<(), SchemaError> {
+        if self.index.contains_key(&label) {
+            return Err(SchemaError::DuplicateLabel(label.as_str().to_string()));
+        }
+        self.index.insert(label.clone(), self.shapes.len());
+        self.shapes.push((label, expr));
+        Ok(())
+    }
+
+    /// `δ(λ)` — the expression for a label.
+    pub fn get(&self, label: &ShapeLabel) -> Option<&ShapeExpr> {
+        self.index.get(label).map(|&i| &self.shapes[i].1)
+    }
+
+    /// Declares the start shape.
+    pub fn set_start(&mut self, label: ShapeLabel) {
+        self.start = Some(label);
+    }
+
+    /// The declared start shape, if any.
+    pub fn start(&self) -> Option<&ShapeLabel> {
+        self.start.as_ref()
+    }
+
+    /// Rules in declaration order.
+    pub fn iter(&self) -> impl Iterator<Item = (&ShapeLabel, &ShapeExpr)> {
+        self.shapes.iter().map(|(l, e)| (l, e))
+    }
+
+    /// Declared labels, in declaration order.
+    pub fn labels(&self) -> impl Iterator<Item = &ShapeLabel> {
+        self.shapes.iter().map(|(l, _)| l)
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.shapes.len()
+    }
+
+    /// True when the schema has no rules.
+    pub fn is_empty(&self) -> bool {
+        self.shapes.is_empty()
+    }
+
+    /// Checks that every `@reference` and the start shape are defined.
+    pub fn check_references(&self) -> Result<(), SchemaError> {
+        for (label, expr) in &self.shapes {
+            for r in expr.references() {
+                if !self.index.contains_key(r) {
+                    return Err(SchemaError::UndefinedReference {
+                        in_shape: label.as_str().to_string(),
+                        reference: r.as_str().to_string(),
+                    });
+                }
+            }
+        }
+        if let Some(start) = &self.start {
+            if !self.index.contains_key(start) {
+                return Err(SchemaError::UndefinedStart(start.as_str().to_string()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Labels reachable from `from` through shape references (including
+    /// `from` itself). Used to scope compilation and SPARQL generation.
+    pub fn reachable(&self, from: &ShapeLabel) -> Vec<&ShapeLabel> {
+        let mut seen: Vec<&ShapeLabel> = Vec::new();
+        let mut stack = vec![from];
+        while let Some(l) = stack.pop() {
+            if seen.contains(&l) {
+                continue;
+            }
+            let Some(&i) = self.index.get(l) else {
+                continue;
+            };
+            let (stored, expr) = &self.shapes[i];
+            seen.push(stored);
+            for r in expr.references() {
+                stack.push(r);
+            }
+        }
+        seen
+    }
+
+    /// True if `label`'s definition can reach itself through references.
+    pub fn is_recursive(&self, label: &ShapeLabel) -> bool {
+        let Some(expr) = self.get(label) else {
+            return false;
+        };
+        expr.references()
+            .iter()
+            .any(|r| self.reachable(r).contains(&label))
+    }
+}
+
+impl fmt::Display for Schema {
+    /// Renders the schema in ShExC (see [`crate::display`]).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::display::schema_to_shexc(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::ArcConstraint;
+    use crate::constraint::NodeConstraint;
+
+    fn arc_ref(p: &str, l: &str) -> ShapeExpr {
+        ShapeExpr::arc(ArcConstraint::reference(p, l))
+    }
+
+    fn arc_val(p: &str) -> ShapeExpr {
+        ShapeExpr::arc(ArcConstraint::value(p, NodeConstraint::Any))
+    }
+
+    #[test]
+    fn add_and_get() {
+        let mut s = Schema::new();
+        s.add_shape("Person".into(), arc_val("http://e/name"))
+            .unwrap();
+        assert!(s.get(&"Person".into()).is_some());
+        assert!(s.get(&"Nope".into()).is_none());
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let mut s = Schema::new();
+        s.add_shape("A".into(), ShapeExpr::Epsilon).unwrap();
+        let err = s.add_shape("A".into(), ShapeExpr::Empty).unwrap_err();
+        assert_eq!(err, SchemaError::DuplicateLabel("A".into()));
+    }
+
+    #[test]
+    fn undefined_reference_detected() {
+        let s =
+            Schema::from_rules([(ShapeLabel::new("A"), arc_ref("http://e/p", "Missing"))]).unwrap();
+        let err = s.check_references().unwrap_err();
+        assert!(matches!(err, SchemaError::UndefinedReference { .. }));
+    }
+
+    #[test]
+    fn defined_references_pass() {
+        let mut s = Schema::from_rules([
+            (ShapeLabel::new("A"), arc_ref("http://e/p", "B")),
+            (ShapeLabel::new("B"), arc_val("http://e/q")),
+        ])
+        .unwrap();
+        assert!(s.check_references().is_ok());
+        s.set_start("A".into());
+        assert!(s.check_references().is_ok());
+        s.set_start("Z".into());
+        assert!(matches!(
+            s.check_references(),
+            Err(SchemaError::UndefinedStart(_))
+        ));
+    }
+
+    #[test]
+    fn reachability() {
+        let s = Schema::from_rules([
+            (ShapeLabel::new("A"), arc_ref("http://e/p", "B")),
+            (ShapeLabel::new("B"), arc_ref("http://e/q", "C")),
+            (ShapeLabel::new("C"), arc_val("http://e/r")),
+            (ShapeLabel::new("D"), arc_val("http://e/s")),
+        ])
+        .unwrap();
+        let names: Vec<_> = s
+            .reachable(&"A".into())
+            .iter()
+            .map(|l| l.as_str().to_string())
+            .collect();
+        assert!(names.contains(&"A".to_string()));
+        assert!(names.contains(&"B".to_string()));
+        assert!(names.contains(&"C".to_string()));
+        assert!(!names.contains(&"D".to_string()));
+    }
+
+    #[test]
+    fn recursion_detection() {
+        // person ↦ ... knows @person* (paper Example 14)
+        let s = Schema::from_rules([
+            (
+                ShapeLabel::new("person"),
+                ShapeExpr::star(arc_ref("http://e/knows", "person")),
+            ),
+            (ShapeLabel::new("flat"), arc_val("http://e/name")),
+            (ShapeLabel::new("a"), arc_ref("http://e/p", "b")),
+            (ShapeLabel::new("b"), arc_ref("http://e/q", "a")),
+        ])
+        .unwrap();
+        assert!(s.is_recursive(&"person".into()));
+        assert!(!s.is_recursive(&"flat".into()));
+        // mutual recursion
+        assert!(s.is_recursive(&"a".into()));
+        assert!(s.is_recursive(&"b".into()));
+    }
+
+    #[test]
+    fn display_renders_shexc() {
+        let s = Schema::from_rules([(ShapeLabel::new("A"), arc_val("http://e/p"))]).unwrap();
+        let printed = s.to_string();
+        assert!(printed.contains("<A> {"), "{printed}");
+    }
+
+    #[test]
+    fn iter_preserves_order() {
+        let s = Schema::from_rules([
+            (ShapeLabel::new("Z"), ShapeExpr::Epsilon),
+            (ShapeLabel::new("A"), ShapeExpr::Epsilon),
+        ])
+        .unwrap();
+        let order: Vec<_> = s.labels().map(|l| l.as_str()).collect();
+        assert_eq!(order, vec!["Z", "A"]);
+    }
+}

@@ -1,0 +1,338 @@
+//! Shape maps: the standard interface for requesting ShEx validation —
+//! a list of `node@<Shape>` associations to check. This is how published
+//! ShEx test suites and validators (shex.js, PyShEx, shex-scala — the
+//! implementations contemporaneous with the paper) phrase validation
+//! goals.
+//!
+//! Supported syntax, one association per entry, comma- or
+//! newline-separated:
+//!
+//! ```text
+//! <http://example.org/john>@<Person>,
+//! <http://example.org/mary>@!<Person>     # '!' = expected NOT to conform
+//! ex:bob@ex:Employee                      # prefixed names (with PREFIX)
+//! "lit"@<Valued>                          # literals can be focus nodes
+//! _:b0@<Anon>
+//! ```
+
+use shapex_rdf::parser::{decode_string_escape, Cursor, ParseError};
+use shapex_rdf::term::{Literal, Term};
+use shapex_rdf::vocab::xsd;
+use std::collections::HashMap;
+
+use crate::ast::ShapeLabel;
+
+/// One `node@shape` association, possibly negated (`@!`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Association {
+    /// The focus node to validate.
+    pub node: Term,
+    /// The shape to validate against.
+    pub shape: ShapeLabel,
+    /// `false` for `@!<Shape>`: the node is expected *not* to conform.
+    pub expected: bool,
+}
+
+/// A parsed shape map.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ShapeMap {
+    /// The associations, in document order.
+    pub associations: Vec<Association>,
+}
+
+impl ShapeMap {
+    /// Number of associations.
+    pub fn len(&self) -> usize {
+        self.associations.len()
+    }
+
+    /// True when the map has no associations.
+    pub fn is_empty(&self) -> bool {
+        self.associations.is_empty()
+    }
+
+    /// Iterates over the associations in order.
+    pub fn iter(&self) -> impl Iterator<Item = &Association> {
+        self.associations.iter()
+    }
+}
+
+/// Parses a shape map document.
+///
+/// ```
+/// let map = shapex_shex::shapemap::parse(
+///     "<http://e/john>@<Person>, <http://e/mary>@!<Person>").unwrap();
+/// assert_eq!(map.len(), 2);
+/// assert!(!map.associations[1].expected);
+/// ```
+pub fn parse(input: &str) -> Result<ShapeMap, ParseError> {
+    let mut p = MapParser {
+        cur: Cursor::new(input),
+        prefixes: HashMap::new(),
+    };
+    p.run()
+}
+
+struct MapParser<'a> {
+    cur: Cursor<'a>,
+    prefixes: HashMap<String, String>,
+}
+
+impl MapParser<'_> {
+    fn run(&mut self) -> Result<ShapeMap, ParseError> {
+        let mut map = ShapeMap::default();
+        loop {
+            self.cur.skip_ws_and_comments();
+            if self.cur.at_end() {
+                return Ok(map);
+            }
+            if self.cur.starts_with_keyword_ci("PREFIX") {
+                self.cur.eat_str_ci("PREFIX");
+                self.cur.skip_ws_and_comments();
+                let name = self.pname_ns()?;
+                self.cur.skip_ws_and_comments();
+                let iri = self.iriref()?;
+                self.prefixes.insert(name, iri);
+                continue;
+            }
+            let node = self.node()?;
+            if !self.cur.eat('@') {
+                return Err(self.cur.error("expected '@' after focus node"));
+            }
+            let expected = !self.cur.eat('!');
+            let shape = self.shape_label()?;
+            map.associations.push(Association {
+                node,
+                shape,
+                expected,
+            });
+            self.cur.skip_ws_and_comments();
+            self.cur.eat(','); // optional separator
+        }
+    }
+
+    fn node(&mut self) -> Result<Term, ParseError> {
+        self.cur.skip_ws_and_comments();
+        match self.cur.peek() {
+            Some('<') => Ok(Term::iri(self.iriref()?)),
+            Some('_') => {
+                if !self.cur.eat_str("_:") {
+                    return Err(self.cur.error("expected blank node label"));
+                }
+                let mut label = String::new();
+                while let Some(c) = self.cur.peek() {
+                    if c.is_alphanumeric() || c == '_' || c == '-' {
+                        label.push(c);
+                        self.cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+                if label.is_empty() {
+                    return Err(self.cur.error("empty blank node label"));
+                }
+                Ok(Term::blank(label))
+            }
+            Some('"') | Some('\'') => self.literal(),
+            Some(c) if c.is_ascii_digit() || c == '-' || c == '+' => self.number(),
+            Some(_) => Ok(Term::iri(self.prefixed_name()?)),
+            None => Err(self.cur.error("expected focus node")),
+        }
+    }
+
+    fn shape_label(&mut self) -> Result<ShapeLabel, ParseError> {
+        self.cur.skip_ws_and_comments();
+        if self.cur.peek() == Some('<') {
+            return Ok(ShapeLabel::new(self.iriref()?));
+        }
+        Ok(ShapeLabel::new(self.prefixed_name()?))
+    }
+
+    fn iriref(&mut self) -> Result<String, ParseError> {
+        if !self.cur.eat('<') {
+            return Err(self.cur.error("expected '<'"));
+        }
+        let mut iri = String::new();
+        loop {
+            match self.cur.bump() {
+                None => return Err(self.cur.error("unterminated IRI")),
+                Some('>') => return Ok(iri),
+                Some(c) if c.is_whitespace() => return Err(self.cur.error("whitespace in IRI")),
+                Some(c) => iri.push(c),
+            }
+        }
+    }
+
+    fn pname_ns(&mut self) -> Result<String, ParseError> {
+        let mut name = String::new();
+        while let Some(c) = self.cur.peek() {
+            if c == ':' {
+                self.cur.bump();
+                return Ok(name);
+            }
+            if c.is_alphanumeric() || c == '_' || c == '-' {
+                name.push(c);
+                self.cur.bump();
+            } else {
+                break;
+            }
+        }
+        Err(self.cur.error("expected ':'"))
+    }
+
+    fn prefixed_name(&mut self) -> Result<String, ParseError> {
+        let prefix = {
+            let mut p = String::new();
+            while let Some(c) = self.cur.peek() {
+                if c.is_alphanumeric() || c == '_' || c == '-' {
+                    p.push(c);
+                    self.cur.bump();
+                } else {
+                    break;
+                }
+            }
+            p
+        };
+        if !self.cur.eat(':') {
+            return Err(self
+                .cur
+                .error(format!("expected ':' after prefix '{prefix}'")));
+        }
+        let ns = self
+            .prefixes
+            .get(&prefix)
+            .ok_or_else(|| self.cur.error(format!("undefined prefix '{prefix}:'")))?;
+        let mut iri = ns.clone();
+        while let Some(c) = self.cur.peek() {
+            if c.is_alphanumeric() || matches!(c, '_' | '-' | '%') {
+                iri.push(c);
+                self.cur.bump();
+            } else {
+                break;
+            }
+        }
+        Ok(iri)
+    }
+
+    fn literal(&mut self) -> Result<Term, ParseError> {
+        let quote = self.cur.bump().expect("caller checked quote");
+        let mut s = String::new();
+        loop {
+            match self.cur.bump() {
+                None => return Err(self.cur.error("unterminated string literal")),
+                Some('\\') => s.push(decode_string_escape(&mut self.cur)?),
+                Some(c) if c == quote => break,
+                Some(c) => s.push(c),
+            }
+        }
+        // NOTE: `@` introduces the shape here, so language-tagged focus
+        // literals use the explicit `^^`-less form only; datatypes are
+        // supported.
+        if self.cur.eat_str("^^") {
+            let dt = if self.cur.peek() == Some('<') {
+                self.iriref()?
+            } else {
+                self.prefixed_name()?
+            };
+            return Ok(Term::Literal(Literal::typed(s, dt)));
+        }
+        Ok(Term::Literal(Literal::string(s)))
+    }
+
+    fn number(&mut self) -> Result<Term, ParseError> {
+        let mut s = String::new();
+        if matches!(self.cur.peek(), Some('+') | Some('-')) {
+            s.push(self.cur.bump().expect("peeked"));
+        }
+        let mut has_dot = false;
+        while let Some(c) = self.cur.peek() {
+            if c.is_ascii_digit() {
+                s.push(c);
+                self.cur.bump();
+            } else if c == '.' && !has_dot && self.cur.peek2().is_some_and(|n| n.is_ascii_digit()) {
+                has_dot = true;
+                s.push('.');
+                self.cur.bump();
+            } else {
+                break;
+            }
+        }
+        if !s.bytes().any(|b| b.is_ascii_digit()) {
+            return Err(self.cur.error("expected number"));
+        }
+        let dt = if has_dot { xsd::DECIMAL } else { xsd::INTEGER };
+        Ok(Term::Literal(Literal::typed(s, dt)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iri_associations() {
+        let m = parse("<http://e/john>@<Person>,\n<http://e/mary>@!<Person>").unwrap();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.associations[0].node, Term::iri("http://e/john"));
+        assert_eq!(m.associations[0].shape.as_str(), "Person");
+        assert!(m.associations[0].expected);
+        assert!(!m.associations[1].expected);
+    }
+
+    #[test]
+    fn prefixed_names() {
+        let m = parse("PREFIX ex: <http://e/>\nex:bob@ex:Employee").unwrap();
+        assert_eq!(m.associations[0].node, Term::iri("http://e/bob"));
+        assert_eq!(m.associations[0].shape.as_str(), "http://e/Employee");
+    }
+
+    #[test]
+    fn literal_and_blank_focus_nodes() {
+        let m = parse("\"text\"@<S>, _:b0@<T>, 42@<N>, 4.5@<D>").unwrap();
+        assert_eq!(m.len(), 4);
+        assert_eq!(
+            m.associations[0].node,
+            Term::Literal(Literal::string("text"))
+        );
+        assert_eq!(m.associations[1].node, Term::blank("b0"));
+        assert_eq!(
+            m.associations[2].node,
+            Term::Literal(Literal::typed("42", xsd::INTEGER))
+        );
+        assert_eq!(
+            m.associations[3].node,
+            Term::Literal(Literal::typed("4.5", xsd::DECIMAL))
+        );
+    }
+
+    #[test]
+    fn typed_literal_focus() {
+        let m =
+            parse("PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>\n\"5\"^^xsd:byte@<S>").unwrap();
+        assert_eq!(
+            m.associations[0].node,
+            Term::Literal(Literal::typed("5", xsd::BYTE))
+        );
+    }
+
+    #[test]
+    fn comments_and_trailing_commas() {
+        let m = parse("# heading\n<http://e/a>@<S>, # why\n<http://e/b>@<S>,").unwrap();
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn empty_map_is_ok() {
+        assert!(parse("").unwrap().is_empty());
+        assert!(parse("  # only comments\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse("<http://e/a><S>").is_err()); // missing @
+        assert!(parse("<http://e/a>@").is_err());
+        assert!(parse("ex:a@<S>").is_err()); // undefined prefix
+        assert!(parse("<http://e/a").is_err());
+        assert!(parse("@<S>").is_err());
+    }
+}

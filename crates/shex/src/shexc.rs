@@ -1,0 +1,903 @@
+//! Parser for the ShExC compact syntax, covering the paper's surface
+//! language (Example 1):
+//!
+//! ```text
+//! PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+//! PREFIX xsd:  <http://www.w3.org/2001/XMLSchema#>
+//!
+//! <Person> {
+//!   foaf:age xsd:integer
+//!   , foaf:name xsd:string+
+//!   , foaf:knows @<Person>*
+//! }
+//! ```
+//!
+//! plus: `start = @<Shape>`, alternatives `|`, groups `( ... )`,
+//! cardinalities `* + ? {m} {m,n} {m,}`, node kinds, value sets
+//! `[ ... ]` with IRI stems `~` and language tags, string/numeric facets,
+//! the `a` predicate keyword, `.` wildcards for predicate-any arcs and
+//! value-any constraints, and the §10 extensions `^` (inverse arc) and
+//! `NOT` (negated constraint). Both `,` and `;` separate conjuncts.
+
+use std::collections::HashMap;
+
+use shapex_rdf::parser::{decode_string_escape, Cursor, ParseError};
+use shapex_rdf::term::{Literal, Term};
+use shapex_rdf::vocab::{rdf, xsd};
+use shapex_rdf::xsd::Numeric;
+
+use crate::ast::{ArcConstraint, ObjectConstraint, PredicateSet, ShapeExpr, ShapeLabel};
+use crate::constraint::{Facet, NodeConstraint, NodeKind, ValueSetValue};
+use crate::schema::Schema;
+
+/// Parses a ShExC document into a [`Schema`].
+pub fn parse(input: &str) -> Result<Schema, ParseError> {
+    let mut p = ShexcParser {
+        cur: Cursor::new(input),
+        prefixes: HashMap::new(),
+        schema: Schema::new(),
+    };
+    p.run()?;
+    Ok(p.schema)
+}
+
+struct ShexcParser<'a> {
+    cur: Cursor<'a>,
+    prefixes: HashMap<String, String>,
+    schema: Schema,
+}
+
+impl ShexcParser<'_> {
+    fn run(&mut self) -> Result<(), ParseError> {
+        loop {
+            self.cur.skip_ws_and_comments();
+            if self.cur.at_end() {
+                return Ok(());
+            }
+            if self.keyword_ci("PREFIX") {
+                let name = self.pname_ns()?;
+                self.cur.skip_ws_and_comments();
+                let iri = self.iriref()?;
+                self.schema.prefixes.push((name.clone(), iri.clone()));
+                self.prefixes.insert(name, iri);
+                continue;
+            }
+            if self.keyword_ci("BASE") {
+                // Accepted and ignored: shape labels and IRIs are used
+                // verbatim, matching the paper's presentation.
+                self.iriref()?;
+                continue;
+            }
+            if self.keyword_ci("START") {
+                self.cur.skip_ws_and_comments();
+                if !self.cur.eat('=') {
+                    return Err(self.cur.error("expected '=' after 'start'"));
+                }
+                self.cur.skip_ws_and_comments();
+                self.cur.eat('@'); // optional '@'
+                let label = self.shape_label()?;
+                self.schema.set_start(label);
+                continue;
+            }
+            let label = self.shape_label()?;
+            self.cur.skip_ws_and_comments();
+            if !self.cur.eat('{') {
+                return Err(self.cur.error("expected '{' starting shape definition"));
+            }
+            self.cur.skip_ws_and_comments();
+            let expr = if self.cur.peek() == Some('}') {
+                ShapeExpr::Epsilon // `{}`: a node with no (constrained) arcs
+            } else {
+                self.one_of()?
+            };
+            self.cur.skip_ws_and_comments();
+            if !self.cur.eat('}') {
+                return Err(self.cur.error("expected '}' closing shape definition"));
+            }
+            self.schema
+                .add_shape(label, expr)
+                .map_err(|e| self.cur.error(e.to_string()))?;
+        }
+    }
+
+    /// Consumes a keyword (case-insensitive) only when followed by a
+    /// non-name character, so `starting:thing` is not mistaken for `start`.
+    fn keyword_ci(&mut self, kw: &str) -> bool {
+        if !self.cur.starts_with_ci(kw) {
+            return false;
+        }
+        let boundary = self.cur.rest()[kw.len()..]
+            .chars()
+            .next()
+            .is_none_or(|c| !(c.is_alphanumeric() || c == '_' || c == ':'));
+        if boundary {
+            self.cur.eat_str_ci(kw);
+            self.cur.skip_ws_and_comments();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn pname_ns(&mut self) -> Result<String, ParseError> {
+        let mut name = String::new();
+        while let Some(c) = self.cur.peek() {
+            if c == ':' {
+                self.cur.bump();
+                return Ok(name);
+            }
+            if c.is_alphanumeric() || c == '_' || c == '-' || c == '.' {
+                name.push(c);
+                self.cur.bump();
+            } else {
+                break;
+            }
+        }
+        Err(self.cur.error("expected ':' terminating prefix name"))
+    }
+
+    fn iriref(&mut self) -> Result<String, ParseError> {
+        if !self.cur.eat('<') {
+            return Err(self.cur.error("expected '<'"));
+        }
+        let mut iri = String::new();
+        loop {
+            match self.cur.bump() {
+                None => return Err(self.cur.error("unterminated IRI")),
+                Some('>') => return Ok(iri),
+                Some(c) if c.is_whitespace() => return Err(self.cur.error("whitespace in IRI")),
+                Some(c) => iri.push(c),
+            }
+        }
+    }
+
+    /// A shape label: `<Name>` or a prefixed name (resolved to a full IRI).
+    fn shape_label(&mut self) -> Result<ShapeLabel, ParseError> {
+        if self.cur.peek() == Some('<') {
+            return Ok(ShapeLabel::new(self.iriref()?));
+        }
+        let iri = self.prefixed_name()?;
+        Ok(ShapeLabel::new(iri))
+    }
+
+    fn prefixed_name(&mut self) -> Result<String, ParseError> {
+        let mut prefix = String::new();
+        while let Some(c) = self.cur.peek() {
+            if c.is_alphanumeric() || c == '_' || c == '-' || c == '.' {
+                prefix.push(c);
+                self.cur.bump();
+            } else {
+                break;
+            }
+        }
+        if !self.cur.eat(':') {
+            return Err(self
+                .cur
+                .error(format!("expected ':' after prefix '{prefix}'")));
+        }
+        let ns = self
+            .prefixes
+            .get(&prefix)
+            .ok_or_else(|| self.cur.error(format!("undefined prefix '{prefix}:'")))?;
+        let mut iri = ns.clone();
+        while let Some(c) = self.cur.peek() {
+            if c.is_alphanumeric() || matches!(c, '_' | '-' | '%') {
+                iri.push(c);
+                self.cur.bump();
+            } else if c == '.' {
+                match self.cur.peek2() {
+                    Some(n) if n.is_alphanumeric() || n == '_' => {
+                        iri.push('.');
+                        self.cur.bump();
+                    }
+                    _ => break,
+                }
+            } else {
+                break;
+            }
+        }
+        Ok(iri)
+    }
+
+    /// `oneOf := group ('|' group)*` — alternatives, lowest precedence.
+    fn one_of(&mut self) -> Result<ShapeExpr, ParseError> {
+        let mut alts = vec![self.group()?];
+        loop {
+            self.cur.skip_ws_and_comments();
+            if self.cur.eat('|') {
+                self.cur.skip_ws_and_comments();
+                alts.push(self.group()?);
+            } else {
+                return Ok(ShapeExpr::or_all(alts));
+            }
+        }
+    }
+
+    /// `group := unary ((','|';') unary)*` — unordered concatenation.
+    fn group(&mut self) -> Result<ShapeExpr, ParseError> {
+        let mut items = vec![self.unary()?];
+        loop {
+            self.cur.skip_ws_and_comments();
+            if self.cur.eat(',') || self.cur.eat(';') {
+                self.cur.skip_ws_and_comments();
+                // trailing separator before '}' or ')'
+                if matches!(self.cur.peek(), Some('}') | Some(')') | None) {
+                    break;
+                }
+                items.push(self.unary()?);
+            } else {
+                break;
+            }
+        }
+        Ok(ShapeExpr::and_all(items))
+    }
+
+    fn unary(&mut self) -> Result<ShapeExpr, ParseError> {
+        self.cur.skip_ws_and_comments();
+        if self.cur.eat('(') {
+            self.cur.skip_ws_and_comments();
+            // `()` is ε (emitted by the pretty-printer for nested ε).
+            if self.cur.eat(')') {
+                return self.apply_cardinality(ShapeExpr::Epsilon);
+            }
+            let inner = self.one_of()?;
+            self.cur.skip_ws_and_comments();
+            if !self.cur.eat(')') {
+                return Err(self.cur.error("expected ')'"));
+            }
+            return self.apply_cardinality(inner);
+        }
+        let inverse = self.cur.eat('^');
+        let predicates = self.predicate()?;
+        self.cur.skip_ws_and_comments();
+        let object = self.value_expr()?;
+        let mut arc = ArcConstraint::new(predicates, object);
+        arc.inverse = inverse;
+        self.apply_cardinality(ShapeExpr::Arc(arc))
+    }
+
+    fn predicate(&mut self) -> Result<PredicateSet, ParseError> {
+        match self.cur.peek() {
+            Some('<') => Ok(PredicateSet::one(self.iriref()?)),
+            Some('.') => {
+                self.cur.bump();
+                Ok(PredicateSet::Any)
+            }
+            Some('a') => {
+                // `a` keyword only when followed by whitespace.
+                if self.cur.peek2().is_some_and(char::is_whitespace) {
+                    self.cur.bump();
+                    return Ok(PredicateSet::one(rdf::TYPE));
+                }
+                Ok(PredicateSet::one(self.prefixed_name()?))
+            }
+            _ => Ok(PredicateSet::one(self.prefixed_name()?)),
+        }
+    }
+
+    fn value_expr(&mut self) -> Result<ObjectConstraint, ParseError> {
+        if self.keyword_ci("NOT") {
+            let inner = self.value_expr()?;
+            let ObjectConstraint::Value(c) = inner else {
+                return Err(self.cur.error("NOT cannot negate a shape reference"));
+            };
+            return Ok(ObjectConstraint::Value(NodeConstraint::Not(Box::new(c))));
+        }
+        if self.cur.eat('@') {
+            let label = self.shape_label()?;
+            return Ok(ObjectConstraint::Ref(label));
+        }
+        let base = self.value_atom()?;
+        let facets = self.facets()?;
+        let constraint = if facets.is_empty() {
+            base
+        } else {
+            let mut all = vec![base];
+            all.extend(facets.into_iter().map(NodeConstraint::Facet));
+            // `.` contributes nothing to a conjunction
+            all.retain(|c| *c != NodeConstraint::Any);
+            if all.len() == 1 {
+                all.pop().expect("one element")
+            } else {
+                NodeConstraint::AllOf(all)
+            }
+        };
+        Ok(ObjectConstraint::Value(constraint))
+    }
+
+    fn value_atom(&mut self) -> Result<NodeConstraint, ParseError> {
+        match self.cur.peek() {
+            Some('.') => {
+                self.cur.bump();
+                Ok(NodeConstraint::Any)
+            }
+            Some('[') => self.value_set(),
+            Some('<') => Ok(NodeConstraint::Datatype(self.iriref()?.into())),
+            _ => {
+                for (kw, kind) in [
+                    ("NONLITERAL", NodeKind::NonLiteral),
+                    ("LITERAL", NodeKind::Literal),
+                    ("BNODE", NodeKind::BNode),
+                    ("IRI", NodeKind::Iri),
+                ] {
+                    if self.keyword_ci(kw) {
+                        return Ok(NodeConstraint::Kind(kind));
+                    }
+                }
+                // If only facets follow (e.g. `:p PATTERN "x"`), the atom
+                // is implicitly `.`.
+                if self.peek_facet_keyword() {
+                    return Ok(NodeConstraint::Any);
+                }
+                Ok(NodeConstraint::Datatype(self.prefixed_name()?.into()))
+            }
+        }
+    }
+
+    fn peek_facet_keyword(&self) -> bool {
+        const FACETS: [&str; 8] = [
+            "MININCLUSIVE",
+            "MINEXCLUSIVE",
+            "MAXINCLUSIVE",
+            "MAXEXCLUSIVE",
+            "MINLENGTH",
+            "MAXLENGTH",
+            "LENGTH",
+            "PATTERN",
+        ];
+        FACETS.iter().any(|kw| self.cur.starts_with_ci(kw))
+    }
+
+    fn facets(&mut self) -> Result<Vec<Facet>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            self.cur.skip_ws_and_comments();
+            let facet = if self.keyword_ci("MININCLUSIVE") {
+                Facet::MinInclusive(self.numeric()?)
+            } else if self.keyword_ci("MINEXCLUSIVE") {
+                Facet::MinExclusive(self.numeric()?)
+            } else if self.keyword_ci("MAXINCLUSIVE") {
+                Facet::MaxInclusive(self.numeric()?)
+            } else if self.keyword_ci("MAXEXCLUSIVE") {
+                Facet::MaxExclusive(self.numeric()?)
+            } else if self.keyword_ci("MINLENGTH") {
+                Facet::MinLength(self.unsigned()? as usize)
+            } else if self.keyword_ci("MAXLENGTH") {
+                Facet::MaxLength(self.unsigned()? as usize)
+            } else if self.keyword_ci("LENGTH") {
+                Facet::Length(self.unsigned()? as usize)
+            } else if self.keyword_ci("PATTERN") {
+                let Term::Literal(lit) = self.literal()? else {
+                    return Err(self.cur.error("PATTERN expects a string literal"));
+                };
+                Facet::Pattern(lit.lexical_form().into())
+            } else {
+                return Ok(out);
+            };
+            out.push(facet);
+        }
+    }
+
+    fn numeric(&mut self) -> Result<Numeric, ParseError> {
+        self.cur.skip_ws_and_comments();
+        let Term::Literal(lit) = self.number_literal()? else {
+            unreachable!("number_literal returns literals");
+        };
+        Numeric::of_literal(&lit).ok_or_else(|| self.cur.error("expected numeric value"))
+    }
+
+    fn unsigned(&mut self) -> Result<u32, ParseError> {
+        self.cur.skip_ws_and_comments();
+        let mut n: u32 = 0;
+        let mut any = false;
+        while let Some(c) = self.cur.peek() {
+            if let Some(d) = c.to_digit(10) {
+                n = n
+                    .checked_mul(10)
+                    .and_then(|n| n.checked_add(d))
+                    .ok_or_else(|| self.cur.error("number too large"))?;
+                any = true;
+                self.cur.bump();
+            } else {
+                break;
+            }
+        }
+        if any {
+            Ok(n)
+        } else {
+            Err(self.cur.error("expected number"))
+        }
+    }
+
+    fn value_set(&mut self) -> Result<NodeConstraint, ParseError> {
+        self.cur.bump(); // '['
+        let mut values = Vec::new();
+        loop {
+            self.cur.skip_ws_and_comments();
+            if self.cur.eat(']') {
+                return Ok(NodeConstraint::ValueSet(values));
+            }
+            match self.cur.peek() {
+                None => return Err(self.cur.error("unterminated value set")),
+                Some('@') => {
+                    self.cur.bump();
+                    let mut tag = String::new();
+                    while let Some(c) = self.cur.peek() {
+                        if c.is_ascii_alphanumeric() || c == '-' {
+                            tag.push(c);
+                            self.cur.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    if tag.is_empty() {
+                        return Err(self.cur.error("empty language tag in value set"));
+                    }
+                    if self.cur.eat('~') {
+                        values.push(ValueSetValue::LanguageStem(tag.into()));
+                    } else {
+                        values.push(ValueSetValue::Language(tag.into()));
+                    }
+                }
+                Some('"') | Some('\'') => {
+                    values.push(ValueSetValue::Term(self.literal()?));
+                }
+                Some(c) if c.is_ascii_digit() || c == '+' || c == '-' => {
+                    values.push(ValueSetValue::Term(self.number_literal()?));
+                }
+                Some('<') => {
+                    let iri = self.iriref()?;
+                    if self.cur.eat('~') {
+                        values.push(ValueSetValue::IriStem(iri.into()));
+                    } else {
+                        values.push(ValueSetValue::Term(Term::iri(iri)));
+                    }
+                }
+                Some(_) => {
+                    if self.cur.rest().starts_with("true") || self.cur.rest().starts_with("false") {
+                        let v = self.cur.eat_str("true");
+                        if !v {
+                            self.cur.eat_str("false");
+                        }
+                        values.push(ValueSetValue::Term(Term::Literal(Literal::boolean(v))));
+                        continue;
+                    }
+                    let iri = self.prefixed_name()?;
+                    if self.cur.eat('~') {
+                        values.push(ValueSetValue::IriStem(iri.into()));
+                    } else {
+                        values.push(ValueSetValue::Term(Term::iri(iri)));
+                    }
+                }
+            }
+        }
+    }
+
+    fn literal(&mut self) -> Result<Term, ParseError> {
+        self.cur.skip_ws_and_comments();
+        let quote = match self.cur.peek() {
+            Some(q @ ('"' | '\'')) => q,
+            _ => return Err(self.cur.error("expected string literal")),
+        };
+        self.cur.bump();
+        let mut s = String::new();
+        loop {
+            match self.cur.bump() {
+                None => return Err(self.cur.error("unterminated string literal")),
+                Some('\\') => s.push(decode_string_escape(&mut self.cur)?),
+                Some(c) if c == quote => break,
+                Some(c) => s.push(c),
+            }
+        }
+        if self.cur.eat('@') {
+            let mut tag = String::new();
+            while let Some(c) = self.cur.peek() {
+                if c.is_ascii_alphanumeric() || c == '-' {
+                    tag.push(c);
+                    self.cur.bump();
+                } else {
+                    break;
+                }
+            }
+            return Ok(Term::Literal(Literal::lang_string(s, &tag)));
+        }
+        if self.cur.eat_str("^^") {
+            let dt = if self.cur.peek() == Some('<') {
+                self.iriref()?
+            } else {
+                self.prefixed_name()?
+            };
+            return Ok(Term::Literal(Literal::typed(s, dt)));
+        }
+        Ok(Term::Literal(Literal::string(s)))
+    }
+
+    fn number_literal(&mut self) -> Result<Term, ParseError> {
+        let mut s = String::new();
+        if matches!(self.cur.peek(), Some('+') | Some('-')) {
+            s.push(self.cur.bump().expect("peeked"));
+        }
+        let mut has_dot = false;
+        let mut has_exp = false;
+        while let Some(c) = self.cur.peek() {
+            match c {
+                '0'..='9' => {
+                    s.push(c);
+                    self.cur.bump();
+                }
+                '.' if !has_dot && !has_exp => match self.cur.peek2() {
+                    Some(n) if n.is_ascii_digit() => {
+                        has_dot = true;
+                        s.push('.');
+                        self.cur.bump();
+                    }
+                    _ => break,
+                },
+                'e' | 'E' if !has_exp && !s.is_empty() => {
+                    has_exp = true;
+                    s.push(c);
+                    self.cur.bump();
+                    if matches!(self.cur.peek(), Some('+') | Some('-')) {
+                        s.push(self.cur.bump().expect("peeked"));
+                    }
+                }
+                _ => break,
+            }
+        }
+        if s.is_empty() || !s.bytes().any(|b| b.is_ascii_digit()) {
+            return Err(self.cur.error("expected numeric literal"));
+        }
+        let dt = if has_exp {
+            xsd::DOUBLE
+        } else if has_dot {
+            xsd::DECIMAL
+        } else {
+            xsd::INTEGER
+        };
+        Ok(Term::Literal(Literal::typed(s, dt)))
+    }
+
+    fn apply_cardinality(&mut self, e: ShapeExpr) -> Result<ShapeExpr, ParseError> {
+        self.cur.skip_ws_and_comments();
+        Ok(match self.cur.peek() {
+            Some('*') => {
+                self.cur.bump();
+                ShapeExpr::star(e)
+            }
+            Some('+') => {
+                self.cur.bump();
+                ShapeExpr::plus(e)
+            }
+            Some('?') => {
+                self.cur.bump();
+                ShapeExpr::opt(e)
+            }
+            Some('{') => {
+                self.cur.bump();
+                self.cur.skip_ws_and_comments();
+                let m = self.unsigned()?;
+                self.cur.skip_ws_and_comments();
+                let bounds = if self.cur.eat(',') {
+                    self.cur.skip_ws_and_comments();
+                    if self.cur.eat('*') || self.cur.peek() == Some('}') {
+                        (m, None)
+                    } else {
+                        let n = self.unsigned()?;
+                        if n < m {
+                            return Err(self.cur.error(format!("invalid bounds {{{m},{n}}}")));
+                        }
+                        (m, Some(n))
+                    }
+                } else {
+                    (m, Some(m))
+                };
+                self.cur.skip_ws_and_comments();
+                if !self.cur.eat('}') {
+                    return Err(self.cur.error("expected '}' closing cardinality"));
+                }
+                ShapeExpr::repeat(e, bounds.0, bounds.1)
+            }
+            _ => e,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shapex_rdf::vocab::foaf;
+
+    fn person_schema() -> Schema {
+        parse(
+            r#"
+            PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+            PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>
+
+            <Person> {
+              foaf:age xsd:integer
+              , foaf:name xsd:string+
+              , foaf:knows @<Person>*
+            }
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn paper_example_1_parses() {
+        let s = person_schema();
+        assert_eq!(s.len(), 1);
+        let e = s.get(&"Person".into()).unwrap();
+        // age ‖ (name+ ‖ knows*)
+        let ShapeExpr::And(age, rest) = e else {
+            panic!("expected And, got {e:?}");
+        };
+        let ShapeExpr::Arc(age) = &**age else {
+            panic!("expected Arc");
+        };
+        assert!(age.predicates.contains(foaf::AGE));
+        assert!(matches!(
+            &age.object,
+            ObjectConstraint::Value(NodeConstraint::Datatype(dt)) if &**dt == xsd::INTEGER
+        ));
+        let ShapeExpr::And(name, knows) = &**rest else {
+            panic!("expected And");
+        };
+        assert!(matches!(&**name, ShapeExpr::Plus(_)));
+        let ShapeExpr::Star(knows) = &**knows else {
+            panic!("expected Star");
+        };
+        let ShapeExpr::Arc(knows) = &**knows else {
+            panic!("expected Arc");
+        };
+        assert!(matches!(
+            &knows.object,
+            ObjectConstraint::Ref(l) if l.as_str() == "Person"
+        ));
+    }
+
+    #[test]
+    fn start_directive() {
+        let s = parse("PREFIX e: <http://e/>\nstart = @<S>\n<S> { e:p . }").unwrap();
+        assert_eq!(s.start().unwrap().as_str(), "S");
+        assert!(s.check_references().is_ok());
+    }
+
+    #[test]
+    fn empty_shape_is_epsilon() {
+        let s = parse("<S> { }").unwrap();
+        assert_eq!(s.get(&"S".into()), Some(&ShapeExpr::Epsilon));
+    }
+
+    #[test]
+    fn alternatives_and_groups() {
+        let s = parse(
+            r#"
+            PREFIX e: <http://e/>
+            <S> { (e:a . , e:b .) | e:c . }
+            "#,
+        )
+        .unwrap();
+        let e = s.get(&"S".into()).unwrap();
+        let ShapeExpr::Or(l, r) = e else {
+            panic!("expected Or, got {e:?}")
+        };
+        assert!(matches!(**l, ShapeExpr::And(_, _)));
+        assert!(matches!(**r, ShapeExpr::Arc(_)));
+    }
+
+    #[test]
+    fn group_cardinality() {
+        let s = parse("PREFIX e: <http://e/>\n<S> { (e:a . , e:b .)+ }").unwrap();
+        assert!(matches!(s.get(&"S".into()).unwrap(), ShapeExpr::Plus(_)));
+    }
+
+    #[test]
+    fn cardinalities() {
+        let s = parse(
+            r#"
+            PREFIX e: <http://e/>
+            <S> { e:a .{2} , e:b .{1,3} , e:c .{2,} , e:d .{0,*} }
+            "#,
+        )
+        .unwrap();
+        let mut repeats = Vec::new();
+        fn walk(e: &ShapeExpr, out: &mut Vec<(u32, Option<u32>)>) {
+            match e {
+                ShapeExpr::Repeat(_, m, n) => out.push((*m, *n)),
+                ShapeExpr::And(a, b) | ShapeExpr::Or(a, b) => {
+                    walk(a, out);
+                    walk(b, out);
+                }
+                _ => {}
+            }
+        }
+        walk(s.get(&"S".into()).unwrap(), &mut repeats);
+        assert_eq!(
+            repeats,
+            vec![(2, Some(2)), (1, Some(3)), (2, None), (0, None)]
+        );
+    }
+
+    #[test]
+    fn node_kinds_parse() {
+        let s =
+            parse("PREFIX e: <http://e/>\n<S> { e:a IRI, e:b BNODE, e:c LITERAL, e:d NONLITERAL }")
+                .unwrap();
+        let mut kinds = Vec::new();
+        s.get(&"S".into()).unwrap().visit_arcs(&mut |arc| {
+            if let ObjectConstraint::Value(NodeConstraint::Kind(k)) = &arc.object {
+                kinds.push(*k);
+            }
+        });
+        assert_eq!(
+            kinds,
+            vec![
+                NodeKind::Iri,
+                NodeKind::BNode,
+                NodeKind::Literal,
+                NodeKind::NonLiteral
+            ]
+        );
+    }
+
+    #[test]
+    fn value_sets_parse() {
+        let s = parse(
+            r#"
+            PREFIX e: <http://e/>
+            <S> { e:p [1 2 "x" "tag"@en e:v <http://full/iri> e:stem~ @fr @de~ true] }
+            "#,
+        )
+        .unwrap();
+        let mut n = 0;
+        s.get(&"S".into()).unwrap().visit_arcs(&mut |arc| {
+            let ObjectConstraint::Value(NodeConstraint::ValueSet(vs)) = &arc.object else {
+                panic!("expected value set");
+            };
+            n = vs.len();
+            assert!(
+                matches!(&vs[0], ValueSetValue::Term(Term::Literal(l)) if l.lexical_form() == "1")
+            );
+            assert!(matches!(&vs[6], ValueSetValue::IriStem(s) if &**s == "http://e/stem"));
+            assert!(matches!(&vs[7], ValueSetValue::Language(t) if &**t == "fr"));
+            assert!(matches!(&vs[8], ValueSetValue::LanguageStem(t) if &**t == "de"));
+        });
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    fn facets_parse() {
+        let s = parse(
+            r#"
+            PREFIX e: <http://e/>
+            PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>
+            <S> {
+              e:age xsd:integer MININCLUSIVE 0 MAXEXCLUSIVE 150,
+              e:name LITERAL MINLENGTH 1 MAXLENGTH 64,
+              e:code PATTERN "[A-Z]{3}\\d+",
+              e:exact LENGTH 5
+            }
+            "#,
+        )
+        .unwrap();
+        let mut found_pattern = false;
+        let mut found_bounds = false;
+        s.get(&"S".into()).unwrap().visit_arcs(&mut |arc| {
+            if let ObjectConstraint::Value(c) = &arc.object {
+                match c {
+                    NodeConstraint::AllOf(cs)
+                        if cs.iter().any(|c| {
+                            matches!(c, NodeConstraint::Facet(Facet::MinInclusive(_)))
+                        }) =>
+                    {
+                        found_bounds = true;
+                    }
+                    NodeConstraint::Facet(Facet::Pattern(p)) => {
+                        assert_eq!(&**p, "[A-Z]{3}\\d+");
+                        found_pattern = true;
+                    }
+                    _ => {}
+                }
+            }
+        });
+        assert!(found_bounds);
+        assert!(found_pattern);
+    }
+
+    #[test]
+    fn inverse_and_not_extensions() {
+        let s = parse("PREFIX e: <http://e/>\n<S> { ^e:memberOf IRI, e:status NOT [\"closed\"] }")
+            .unwrap();
+        let mut inverse = false;
+        let mut negated = false;
+        s.get(&"S".into()).unwrap().visit_arcs(&mut |arc| {
+            if arc.inverse {
+                inverse = true;
+            }
+            if matches!(&arc.object, ObjectConstraint::Value(NodeConstraint::Not(_))) {
+                negated = true;
+            }
+        });
+        assert!(inverse);
+        assert!(negated);
+    }
+
+    #[test]
+    fn a_keyword_and_wildcards() {
+        let s = parse("PREFIX e: <http://e/>\n<S> { a [e:T], . . }").unwrap();
+        let mut saw_type = false;
+        let mut saw_any = false;
+        s.get(&"S".into()).unwrap().visit_arcs(&mut |arc| {
+            if arc.predicates.contains(rdf::TYPE) {
+                saw_type = true;
+            }
+            if arc.predicates == PredicateSet::Any {
+                saw_any = true;
+            }
+        });
+        assert!(saw_type);
+        assert!(saw_any);
+    }
+
+    #[test]
+    fn semicolon_separator_accepted() {
+        let s = parse("PREFIX e: <http://e/>\n<S> { e:a . ; e:b . ; }").unwrap();
+        assert!(matches!(s.get(&"S".into()).unwrap(), ShapeExpr::And(_, _)));
+    }
+
+    #[test]
+    fn prefixed_shape_labels() {
+        let s = parse("PREFIX e: <http://e/>\n e:S { e:p @e:S } ").unwrap();
+        assert!(s.get(&"http://e/S".into()).is_some());
+        assert!(s.check_references().is_ok());
+    }
+
+    #[test]
+    fn recursive_schema_example_13() {
+        // p ↦ a→1 ‖ b→{1,2}+ ‖ c→@p*
+        let s = parse(
+            r#"
+            PREFIX e: <http://e/>
+            <p> { e:a [1], e:b [1 2]+, e:c @<p>* }
+            "#,
+        )
+        .unwrap();
+        assert!(s.is_recursive(&"p".into()));
+    }
+
+    #[test]
+    fn errors_report_position() {
+        let err = parse("PREFIX e: <http://e/>\n<S> { e:p }").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(parse("<S> { undefined:p . }").is_err());
+        assert!(parse("<S> e:p . }").is_err());
+        assert!(parse("<S> { e:p . ").is_err());
+    }
+
+    #[test]
+    fn duplicate_shape_is_error() {
+        assert!(parse("<S> {} <S> {}").is_err());
+    }
+
+    #[test]
+    fn invalid_cardinality_bounds_error() {
+        assert!(parse("PREFIX e: <http://e/>\n<S> { e:p .{3,1} }").is_err());
+    }
+
+    #[test]
+    fn string_literal_datatype_in_value_set() {
+        let s = parse(
+            "PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>\nPREFIX e: <http://e/>\n<S> { e:p [\"5\"^^xsd:integer] }",
+        )
+        .unwrap();
+        s.get(&"S".into()).unwrap().visit_arcs(&mut |arc| {
+            let ObjectConstraint::Value(NodeConstraint::ValueSet(vs)) = &arc.object else {
+                panic!();
+            };
+            assert!(
+                matches!(&vs[0], ValueSetValue::Term(Term::Literal(l)) if l.datatype() == xsd::INTEGER)
+            );
+        });
+    }
+}

@@ -1,0 +1,209 @@
+//! Abstract syntax for the SPARQL fragment the generated validation
+//! queries use (paper §3, Example 4): ASK/SELECT, basic graph patterns,
+//! FILTER, OPTIONAL, UNION, sub-SELECT, COUNT aggregation with
+//! GROUP BY / HAVING.
+
+use shapex_rdf::term::Term;
+
+/// A variable name (without the `?`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub Box<str>);
+
+impl Var {
+    /// A variable from its name (no `?`).
+    pub fn new(name: impl Into<Box<str>>) -> Self {
+        Var(name.into())
+    }
+
+    /// The variable name, without the `?`.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+/// A term or variable in a triple pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TermPattern {
+    /// A variable.
+    Var(Var),
+    /// A constant term.
+    Term(Term),
+}
+
+/// A triple pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TriplePattern {
+    /// Subject position.
+    pub subject: TermPattern,
+    /// Predicate position.
+    pub predicate: TermPattern,
+    /// Object position.
+    pub object: TermPattern,
+}
+
+/// One element of a group graph pattern, in syntactic order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PatternElement {
+    /// A triple pattern (part of the group's basic graph pattern).
+    Triple(TriplePattern),
+    /// `FILTER (expr)` — scoped to the enclosing group.
+    Filter(Expression),
+    /// `OPTIONAL { ... }`.
+    Optional(GroupPattern),
+    /// `{ ... } UNION { ... }` (n-ary chains are folded left).
+    Union(GroupPattern, GroupPattern),
+    /// A nested sub-`SELECT`.
+    SubSelect(Box<SelectQuery>),
+    /// A plain nested group `{ ... }`.
+    Group(GroupPattern),
+}
+
+/// A `{ ... }` group.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct GroupPattern {
+    /// The group's elements, in syntactic order.
+    pub elements: Vec<PatternElement>,
+}
+
+/// What a SELECT projects.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Projection {
+    /// `SELECT *`
+    All,
+    /// `SELECT ?x (COUNT(*) AS ?c) ...`
+    Items(Vec<ProjectionItem>),
+}
+
+/// One projected column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProjectionItem {
+    /// A plain variable.
+    Var(Var),
+    /// `(expr AS ?v)` — in this fragment, expr is always an aggregate or a
+    /// plain expression.
+    Bind(Expression, Var),
+}
+
+/// A SELECT query (also used for sub-selects).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectQuery {
+    /// `SELECT DISTINCT`.
+    pub distinct: bool,
+    /// What the query projects.
+    pub projection: Projection,
+    /// The WHERE pattern.
+    pub pattern: GroupPattern,
+    /// `GROUP BY` variables (empty when ungrouped).
+    pub group_by: Vec<Var>,
+    /// `HAVING` constraints over the groups.
+    pub having: Vec<Expression>,
+}
+
+/// A top-level query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Query {
+    /// `ASK { ... }` — non-emptiness test.
+    Ask(GroupPattern),
+    /// `SELECT ... WHERE { ... }`.
+    Select(SelectQuery),
+}
+
+/// Filter/projection expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expression {
+    /// A variable reference.
+    Var(Var),
+    /// A constant RDF term.
+    Constant(Term),
+    /// `COUNT(*)` / `COUNT(?v)` — only valid where aggregates are allowed.
+    Count(Option<Var>),
+    /// `a && b`.
+    And(Box<Expression>, Box<Expression>),
+    /// `a || b`.
+    Or(Box<Expression>, Box<Expression>),
+    /// `!a`.
+    Not(Box<Expression>),
+    /// `a = b` (numeric value equality when both sides are numeric).
+    Equal(Box<Expression>, Box<Expression>),
+    /// `a != b`.
+    NotEqual(Box<Expression>, Box<Expression>),
+    /// `a < b`.
+    Less(Box<Expression>, Box<Expression>),
+    /// `a <= b`.
+    LessEq(Box<Expression>, Box<Expression>),
+    /// `a > b`.
+    Greater(Box<Expression>, Box<Expression>),
+    /// `a >= b`.
+    GreaterEq(Box<Expression>, Box<Expression>),
+    /// `a + b`.
+    Add(Box<Expression>, Box<Expression>),
+    /// `a - b`.
+    Subtract(Box<Expression>, Box<Expression>),
+    /// `isLiteral(a)`.
+    IsLiteral(Box<Expression>),
+    /// `isIRI(a)`.
+    IsIri(Box<Expression>),
+    /// `isBlank(a)`.
+    IsBlank(Box<Expression>),
+    /// `bound(?v)`.
+    Bound(Var),
+    /// `datatype(?o)` — the datatype IRI of a literal.
+    Datatype(Box<Expression>),
+    /// `str(?o)` — the lexical form / IRI text.
+    Str(Box<Expression>),
+}
+
+impl Expression {
+    /// `a && b`.
+    pub fn and(a: Expression, b: Expression) -> Expression {
+        Expression::And(Box::new(a), Box::new(b))
+    }
+
+    /// `a || b`.
+    pub fn or(a: Expression, b: Expression) -> Expression {
+        Expression::Or(Box::new(a), Box::new(b))
+    }
+
+    /// `a = b`.
+    pub fn equal(a: Expression, b: Expression) -> Expression {
+        Expression::Equal(Box::new(a), Box::new(b))
+    }
+
+    /// Folds a conjunction; empty input is `true`.
+    pub fn all(items: impl IntoIterator<Item = Expression>) -> Expression {
+        let mut it = items.into_iter();
+        let Some(first) = it.next() else {
+            return Expression::Constant(Term::Literal(shapex_rdf::term::Literal::boolean(true)));
+        };
+        it.fold(first, Expression::and)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expression_all_folds() {
+        let e = Expression::all([
+            Expression::Bound(Var::new("a")),
+            Expression::Bound(Var::new("b")),
+            Expression::Bound(Var::new("c")),
+        ]);
+        assert!(matches!(e, Expression::And(_, _)));
+    }
+
+    #[test]
+    fn expression_all_empty_is_true() {
+        let e = Expression::all([]);
+        let Expression::Constant(Term::Literal(l)) = e else {
+            panic!("expected constant");
+        };
+        assert_eq!(l.lexical_form(), "true");
+    }
+
+    #[test]
+    fn var_name_access() {
+        assert_eq!(Var::new("x").as_str(), "x");
+    }
+}

@@ -1,0 +1,242 @@
+//! Pretty-printing parsed queries back to SPARQL text.
+//!
+//! Round-trip contract: printed output re-parses to an equal [`Query`]
+//! (tested below and in the integration suite); useful for logging and
+//! for inspecting generated validation queries after transformation.
+
+use std::fmt::Write as _;
+
+use shapex_rdf::term::Term;
+use shapex_rdf::vocab::xsd;
+
+use crate::ast::*;
+
+/// Renders a query as SPARQL text.
+pub fn query_to_string(query: &Query) -> String {
+    let mut out = String::new();
+    match query {
+        Query::Ask(g) => {
+            out.push_str("ASK ");
+            group_to_string(g, 0, &mut out);
+        }
+        Query::Select(s) => select_to_string(s, 0, &mut out),
+    }
+    out.push('\n');
+    out
+}
+
+fn indent(depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn select_to_string(s: &SelectQuery, depth: usize, out: &mut String) {
+    out.push_str("SELECT ");
+    if s.distinct {
+        out.push_str("DISTINCT ");
+    }
+    match &s.projection {
+        Projection::All => out.push('*'),
+        Projection::Items(items) => {
+            let parts: Vec<String> = items
+                .iter()
+                .map(|item| match item {
+                    ProjectionItem::Var(v) => format!("?{}", v.as_str()),
+                    ProjectionItem::Bind(e, v) => {
+                        format!("({} AS ?{})", expr_to_string(e), v.as_str())
+                    }
+                })
+                .collect();
+            out.push_str(&parts.join(" "));
+        }
+    }
+    out.push_str(" WHERE ");
+    group_to_string(&s.pattern, depth, out);
+    if !s.group_by.is_empty() {
+        out.push_str(" GROUP BY");
+        for v in &s.group_by {
+            let _ = write!(out, " ?{}", v.as_str());
+        }
+    }
+    for h in &s.having {
+        let _ = write!(out, " HAVING ({})", expr_to_string(h));
+    }
+}
+
+fn group_to_string(g: &GroupPattern, depth: usize, out: &mut String) {
+    out.push_str("{\n");
+    for element in &g.elements {
+        indent(depth + 1, out);
+        match element {
+            PatternElement::Triple(t) => {
+                let _ = write!(
+                    out,
+                    "{} {} {} .",
+                    term_pattern(&t.subject),
+                    term_pattern(&t.predicate),
+                    term_pattern(&t.object)
+                );
+            }
+            PatternElement::Filter(e) => {
+                let _ = write!(out, "FILTER({})", expr_to_string(e));
+            }
+            PatternElement::Optional(inner) => {
+                out.push_str("OPTIONAL ");
+                group_to_string(inner, depth + 1, out);
+            }
+            PatternElement::Union(a, b) => {
+                union_branch(a, depth + 1, out);
+                out.push_str(" UNION ");
+                union_branch(b, depth + 1, out);
+            }
+            PatternElement::SubSelect(s) => {
+                out.push_str("{ ");
+                select_to_string(s, depth + 1, out);
+                out.push_str(" }");
+            }
+            PatternElement::Group(inner) => {
+                group_to_string(inner, depth + 1, out);
+            }
+        }
+        out.push('\n');
+    }
+    indent(depth, out);
+    out.push('}');
+}
+
+/// Prints a UNION operand. The parser wraps each branch in a
+/// one-element group, whose element prints its own braces — unwrap that
+/// level so the round trip does not accumulate nesting.
+fn union_branch(g: &GroupPattern, depth: usize, out: &mut String) {
+    if let [PatternElement::Group(inner)] = g.elements.as_slice() {
+        group_to_string(inner, depth, out);
+        return;
+    }
+    if let [PatternElement::SubSelect(s)] = g.elements.as_slice() {
+        out.push_str("{ ");
+        select_to_string(s, depth, out);
+        out.push_str(" }");
+        return;
+    }
+    group_to_string(g, depth, out);
+}
+
+fn term_pattern(p: &TermPattern) -> String {
+    match p {
+        TermPattern::Var(v) => format!("?{}", v.as_str()),
+        TermPattern::Term(t) => term_to_string(t),
+    }
+}
+
+/// Renders a term in SPARQL syntax (numeric shorthand preserved so the
+/// round trip is exact).
+fn term_to_string(t: &Term) -> String {
+    if let Term::Literal(l) = t {
+        if l.datatype() == xsd::INTEGER || l.datatype() == xsd::DECIMAL {
+            return l.lexical_form().to_string();
+        }
+        if l.datatype() == xsd::BOOLEAN {
+            return l.lexical_form().to_string();
+        }
+    }
+    t.to_string()
+}
+
+fn expr_to_string(e: &Expression) -> String {
+    // Precedence: || < && < comparison < additive < unary. Parenthesise
+    // conservatively on the lower-precedence side.
+    match e {
+        Expression::Var(v) => format!("?{}", v.as_str()),
+        Expression::Constant(t) => term_to_string(t),
+        Expression::Count(None) => "COUNT(*)".to_string(),
+        Expression::Count(Some(v)) => format!("COUNT(?{})", v.as_str()),
+        Expression::And(a, b) => format!("({} && {})", expr_to_string(a), expr_to_string(b)),
+        Expression::Or(a, b) => format!("({} || {})", expr_to_string(a), expr_to_string(b)),
+        Expression::Not(a) => format!("!({})", expr_to_string(a)),
+        Expression::Equal(a, b) => format!("({} = {})", expr_to_string(a), expr_to_string(b)),
+        Expression::NotEqual(a, b) => {
+            format!("({} != {})", expr_to_string(a), expr_to_string(b))
+        }
+        Expression::Less(a, b) => format!("({} < {})", expr_to_string(a), expr_to_string(b)),
+        Expression::LessEq(a, b) => {
+            format!("({} <= {})", expr_to_string(a), expr_to_string(b))
+        }
+        Expression::Greater(a, b) => {
+            format!("({} > {})", expr_to_string(a), expr_to_string(b))
+        }
+        Expression::GreaterEq(a, b) => {
+            format!("({} >= {})", expr_to_string(a), expr_to_string(b))
+        }
+        Expression::Add(a, b) => format!("({} + {})", expr_to_string(a), expr_to_string(b)),
+        Expression::Subtract(a, b) => {
+            format!("({} - {})", expr_to_string(a), expr_to_string(b))
+        }
+        Expression::IsLiteral(a) => format!("isLiteral({})", expr_to_string(a)),
+        Expression::IsIri(a) => format!("isIRI({})", expr_to_string(a)),
+        Expression::IsBlank(a) => format!("isBlank({})", expr_to_string(a)),
+        Expression::Bound(v) => format!("bound(?{})", v.as_str()),
+        Expression::Datatype(a) => format!("datatype({})", expr_to_string(a)),
+        Expression::Str(a) => format!("str({})", expr_to_string(a)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser;
+
+    fn roundtrip(src: &str) {
+        let q1 = parser::parse(src).unwrap();
+        let printed = query_to_string(&q1);
+        let q2 = parser::parse(&printed)
+            .unwrap_or_else(|e| panic!("printed query must re-parse: {e}\n{printed}"));
+        assert_eq!(q1, q2, "printed:\n{printed}");
+    }
+
+    #[test]
+    fn ask_roundtrips() {
+        roundtrip("ASK { <http://e/a> <http://e/p> ?o . FILTER(isLiteral(?o)) }");
+    }
+
+    #[test]
+    fn select_roundtrips() {
+        roundtrip(
+            "SELECT DISTINCT ?s (COUNT(*) AS ?c) WHERE { ?s ?p ?o } GROUP BY ?s HAVING (?c >= 2)",
+        );
+    }
+
+    #[test]
+    fn optional_union_subselect_roundtrip() {
+        roundtrip(
+            "ASK { { SELECT (COUNT(*) AS ?c) WHERE { ?s ?p ?o } } \
+             OPTIONAL { ?s <http://e/q> ?x } \
+             { ?s <http://e/a> ?y } UNION { ?s <http://e/b> ?y } \
+             FILTER(?c = 3 && bound(?x) || !(?y > 1)) }",
+        );
+    }
+
+    #[test]
+    fn literals_roundtrip() {
+        roundtrip("ASK { ?s ?p 42 . ?s ?p 4.5 . ?s ?p true . ?s ?p \"x\"@en . ?s ?p \"y\" }");
+    }
+
+    #[test]
+    fn generated_validation_query_roundtrips() {
+        use shapex_shex::shexc;
+        let schema = shexc::parse(
+            "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\nPREFIX xsd: <http://www.w3.org/2001/XMLSchema#>\n\
+             <P> { foaf:age xsd:integer, foaf:name xsd:string+ }",
+        )
+        .unwrap();
+        let q = crate::generate::generate_node_ask(&schema, &"P".into(), "http://e/n").unwrap();
+        roundtrip(&q);
+        let q = crate::generate::generate_select_conforming(&schema, &"P".into()).unwrap();
+        roundtrip(&q);
+    }
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        roundtrip("ASK { FILTER(?a + ?b = ?c - 1) }");
+    }
+}

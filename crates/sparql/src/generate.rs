@@ -1,0 +1,412 @@
+//! ShEx → SPARQL query generation (paper §3).
+//!
+//! The paper argues SPARQL is a plausible *lower-level target* for shape
+//! validation ("Shape Expressions can be mapped to SPARQL queries. In fact,
+//! one of our implementation of Shape Expressions is already able to
+//! generate those SPARQL queries") while noting its limits — recursion is
+//! not expressible, and the queries "become unwieldy" (Example 4).
+//!
+//! This module reproduces that mapping for the flat fragment the paper's
+//! Example 4 covers: shapes that are unordered concatenations of arcs with
+//! cardinalities. Each arc `p → C [m,n]` becomes a pair of `COUNT`
+//! sub-selects — triples with predicate `p`, and triples with predicate
+//! `p` whose object passes the FILTER translation of `C` — plus a FILTER
+//! requiring (a) all objects pass and (b) the count is within `[m,n]`.
+//! Closed-shape semantics adds a total-count check.
+//!
+//! Everything else (alternatives, shape references/recursion, inverse
+//! arcs, string facets) is reported as [`GenError::Unsupported`] — which is
+//! the paper's point.
+
+use std::fmt::Write as _;
+
+use shapex_rdf::xsd::Numeric;
+use shapex_shex::ast::{ObjectConstraint, PredicateSet, ShapeExpr, ShapeLabel};
+use shapex_shex::constraint::{Facet, NodeConstraint, NodeKind, ValueSetValue};
+use shapex_shex::schema::Schema;
+
+/// Why a shape cannot be translated to SPARQL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GenError {
+    /// The shape label has no definition.
+    UnknownShape(String),
+    /// The construct has no (reasonable) SPARQL encoding in this mapping.
+    Unsupported(String),
+}
+
+impl std::fmt::Display for GenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GenError::UnknownShape(l) => write!(f, "unknown shape <{l}>"),
+            GenError::Unsupported(what) => {
+                write!(f, "not expressible in the SPARQL mapping: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GenError {}
+
+/// A flattened arc: `predicate → constraint` with cardinality `[min, max]`.
+struct FlatArc {
+    predicate: String,
+    constraint: NodeConstraint,
+    min: u32,
+    max: Option<u32>,
+}
+
+/// Flattens a shape into conjunct arcs, rejecting constructs outside the
+/// Example 4 fragment.
+fn flatten(expr: &ShapeExpr) -> Result<Vec<FlatArc>, GenError> {
+    let mut out = Vec::new();
+    collect(expr, 1, Some(1), &mut out)?;
+    // Counting semantics breaks if two conjuncts share a predicate.
+    for i in 0..out.len() {
+        for j in i + 1..out.len() {
+            if out[i].predicate == out[j].predicate {
+                return Err(GenError::Unsupported(format!(
+                    "two constraints on predicate <{}>",
+                    out[i].predicate
+                )));
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn collect(
+    expr: &ShapeExpr,
+    min: u32,
+    max: Option<u32>,
+    out: &mut Vec<FlatArc>,
+) -> Result<(), GenError> {
+    match expr {
+        ShapeExpr::Epsilon => Ok(()),
+        ShapeExpr::Empty => Err(GenError::Unsupported("the empty shape ∅".into())),
+        ShapeExpr::Arc(arc) => {
+            if arc.inverse {
+                return Err(GenError::Unsupported("inverse arcs".into()));
+            }
+            let PredicateSet::Iris(iris) = &arc.predicates else {
+                return Err(GenError::Unsupported("wildcard predicates".into()));
+            };
+            if iris.len() != 1 {
+                return Err(GenError::Unsupported("predicate sets".into()));
+            }
+            let constraint = match &arc.object {
+                ObjectConstraint::Value(c) => c.clone(),
+                ObjectConstraint::Ref(l) => {
+                    return Err(GenError::Unsupported(format!(
+                        "shape reference @<{}> (recursion is not expressible in SPARQL, §3)",
+                        l.as_str()
+                    )))
+                }
+            };
+            out.push(FlatArc {
+                predicate: iris[0].to_string(),
+                constraint,
+                min,
+                max,
+            });
+            Ok(())
+        }
+        // Cardinalities compose only at the arc level in this fragment.
+        ShapeExpr::Star(e) => collect(e, 0, None, out),
+        ShapeExpr::Plus(e) => collect(e, 1, None, out),
+        ShapeExpr::Opt(e) => collect(e, 0, Some(1), out),
+        ShapeExpr::Repeat(e, m, n) => collect(e, *m, *n, out),
+        ShapeExpr::And(a, b) => {
+            if (min, max) != (1, Some(1)) {
+                return Err(GenError::Unsupported("cardinality on a group".into()));
+            }
+            collect(a, 1, Some(1), out)?;
+            collect(b, 1, Some(1), out)
+        }
+        ShapeExpr::Or(_, _) => Err(GenError::Unsupported("alternatives (|)".into())),
+    }
+}
+
+/// Translates a node constraint to a FILTER body over `?o`.
+fn constraint_filter(c: &NodeConstraint) -> Result<String, GenError> {
+    match c {
+        NodeConstraint::Any => Ok("true".to_string()),
+        NodeConstraint::Kind(NodeKind::Iri) => Ok("isIRI(?o)".to_string()),
+        NodeConstraint::Kind(NodeKind::BNode) => Ok("isBlank(?o)".to_string()),
+        NodeConstraint::Kind(NodeKind::Literal) => Ok("isLiteral(?o)".to_string()),
+        NodeConstraint::Kind(NodeKind::NonLiteral) => Ok("!isLiteral(?o)".to_string()),
+        NodeConstraint::Datatype(dt) => Ok(format!("(isLiteral(?o) && datatype(?o) = <{dt}>)")),
+        NodeConstraint::ValueSet(vs) => {
+            let mut parts = Vec::new();
+            for v in vs {
+                match v {
+                    ValueSetValue::Term(t) => parts.push(format!("?o = {t}")),
+                    ValueSetValue::IriStem(_)
+                    | ValueSetValue::Language(_)
+                    | ValueSetValue::LanguageStem(_) => {
+                        return Err(GenError::Unsupported(
+                            "stems/language tags in value sets".into(),
+                        ))
+                    }
+                }
+            }
+            if parts.is_empty() {
+                return Ok("false".to_string());
+            }
+            Ok(format!("({})", parts.join(" || ")))
+        }
+        NodeConstraint::Facet(f) => facet_filter(f),
+        NodeConstraint::AllOf(cs) => {
+            let parts: Result<Vec<_>, _> = cs.iter().map(constraint_filter).collect();
+            Ok(format!("({})", parts?.join(" && ")))
+        }
+        NodeConstraint::Not(inner) => Ok(format!("!{}", constraint_filter(inner)?)),
+    }
+}
+
+fn facet_filter(f: &Facet) -> Result<String, GenError> {
+    fn num(n: &Numeric) -> String {
+        match n {
+            Numeric::Decimal { unscaled, scale: 0 } => unscaled.to_string(),
+            Numeric::Decimal { unscaled, scale } => {
+                format!("{}", *unscaled as f64 / 10f64.powi(*scale as i32))
+            }
+            Numeric::Double(d) => format!("{d}"),
+        }
+    }
+    match f {
+        Facet::MinInclusive(n) => Ok(format!("?o >= {}", num(n))),
+        Facet::MinExclusive(n) => Ok(format!("?o > {}", num(n))),
+        Facet::MaxInclusive(n) => Ok(format!("?o <= {}", num(n))),
+        Facet::MaxExclusive(n) => Ok(format!("?o < {}", num(n))),
+        Facet::Length(_) | Facet::MinLength(_) | Facet::MaxLength(_) | Facet::Pattern(_) => {
+            Err(GenError::Unsupported("string facets".into()))
+        }
+    }
+}
+
+/// Generates a per-node ASK validation query (closed semantics): `true`
+/// iff `focus_iri` conforms to `label`.
+pub fn generate_node_ask(
+    schema: &Schema,
+    label: &ShapeLabel,
+    focus_iri: &str,
+) -> Result<String, GenError> {
+    let expr = schema
+        .get(label)
+        .ok_or_else(|| GenError::UnknownShape(label.as_str().to_string()))?;
+    let arcs = flatten(expr)?;
+    let mut q = String::from("ASK {\n");
+    let mut count_vars = Vec::new();
+    for (i, arc) in arcs.iter().enumerate() {
+        let filter = constraint_filter(&arc.constraint)?;
+        let _ = writeln!(
+            q,
+            "  {{ SELECT (COUNT(*) AS ?c{i}) WHERE {{ <{focus_iri}> <{}> ?o }} }}",
+            arc.predicate
+        );
+        let _ = writeln!(
+            q,
+            "  {{ SELECT (COUNT(*) AS ?v{i}) WHERE {{ <{focus_iri}> <{}> ?o . FILTER({filter}) }} }}",
+            arc.predicate
+        );
+        // All objects pass the constraint, and the count is in range.
+        let mut cond = format!("?c{i} = ?v{i} && ?c{i} >= {}", arc.min);
+        if let Some(max) = arc.max {
+            let _ = write!(cond, " && ?c{i} <= {max}");
+        }
+        let _ = writeln!(q, "  FILTER({cond})");
+        count_vars.push(format!("?c{i}"));
+    }
+    // Closed shape: every outgoing triple is accounted for by some arc.
+    let _ = writeln!(
+        q,
+        "  {{ SELECT (COUNT(*) AS ?total) WHERE {{ <{focus_iri}> ?anyp ?anyo }} }}"
+    );
+    let sum = if count_vars.is_empty() {
+        "0".to_string()
+    } else {
+        count_vars.join(" + ")
+    };
+    let _ = writeln!(q, "  FILTER(?total = {sum})");
+    q.push('}');
+    Ok(q)
+}
+
+/// Generates an Example 4-style SELECT query listing every node conforming
+/// to `label`. Only supported when every arc has `min ≥ 1` (nodes with a
+/// zero-count arc never appear in the grouped sub-selects; the paper's own
+/// Example 4 needs an OPTIONAL/!bound workaround for `knows*`, which it
+/// itself calls "not completely right").
+pub fn generate_select_conforming(schema: &Schema, label: &ShapeLabel) -> Result<String, GenError> {
+    let expr = schema
+        .get(label)
+        .ok_or_else(|| GenError::UnknownShape(label.as_str().to_string()))?;
+    let arcs = flatten(expr)?;
+    if arcs.iter().any(|a| a.min == 0) {
+        return Err(GenError::Unsupported(
+            "optional arcs in the SELECT mapping (see Example 4's OPTIONAL/!bound caveat)".into(),
+        ));
+    }
+    let mut q = String::from("SELECT DISTINCT ?node {\n");
+    let mut count_vars = Vec::new();
+    for (i, arc) in arcs.iter().enumerate() {
+        let filter = constraint_filter(&arc.constraint)?;
+        let _ = writeln!(
+            q,
+            "  {{ SELECT ?node (COUNT(*) AS ?c{i}) WHERE {{ ?node <{}> ?o }} GROUP BY ?node }}",
+            arc.predicate
+        );
+        let _ = writeln!(
+            q,
+            "  {{ SELECT ?node (COUNT(*) AS ?v{i}) WHERE {{ ?node <{}> ?o . FILTER({filter}) }} GROUP BY ?node }}",
+            arc.predicate
+        );
+        let mut cond = format!("?c{i} = ?v{i} && ?c{i} >= {}", arc.min);
+        if let Some(max) = arc.max {
+            let _ = write!(cond, " && ?c{i} <= {max}");
+        }
+        let _ = writeln!(q, "  FILTER({cond})");
+        count_vars.push(format!("?c{i}"));
+    }
+    let _ = writeln!(
+        q,
+        "  {{ SELECT ?node (COUNT(*) AS ?total) WHERE {{ ?node ?anyp ?anyo }} GROUP BY ?node }}"
+    );
+    let _ = writeln!(q, "  FILTER(?total = {})", count_vars.join(" + "));
+    q.push('}');
+    Ok(q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{eval, parser};
+    use shapex_rdf::turtle;
+    use shapex_shex::shexc;
+
+    const SCHEMA: &str = r#"
+        PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+        PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>
+        <Person> { foaf:age xsd:integer, foaf:name xsd:string+ }
+    "#;
+
+    const DATA: &str = r#"
+        @prefix : <http://example.org/> .
+        @prefix foaf: <http://xmlns.com/foaf/0.1/> .
+        :john foaf:age 23; foaf:name "John" .
+        :bob foaf:age 34; foaf:name "Bob", "Robert" .
+        :mary foaf:age 50, 65 .
+        :extra foaf:age 1; foaf:name "X"; foaf:knows :john .
+    "#;
+
+    fn conforms(node: &str) -> bool {
+        let schema = shexc::parse(SCHEMA).unwrap();
+        let ds = turtle::parse(DATA).unwrap();
+        let q = generate_node_ask(&schema, &"Person".into(), node).unwrap();
+        let parsed = parser::parse(&q).expect("generated query parses");
+        eval::ask(&parsed, &ds.graph, &ds.pool).unwrap()
+    }
+
+    #[test]
+    fn generated_ask_agrees_with_expectations() {
+        assert!(conforms("http://example.org/john"));
+        assert!(conforms("http://example.org/bob"));
+        // mary: two ages (cardinality 1 violated), no name
+        assert!(!conforms("http://example.org/mary"));
+        // extra triple violates closedness
+        assert!(!conforms("http://example.org/extra"));
+        // absent node: zero counts fail min ≥ 1
+        assert!(!conforms("http://example.org/nobody"));
+    }
+
+    #[test]
+    fn generated_select_lists_conforming_nodes() {
+        let schema = shexc::parse(SCHEMA).unwrap();
+        let ds = turtle::parse(DATA).unwrap();
+        let q = generate_select_conforming(&schema, &"Person".into()).unwrap();
+        let parsed = parser::parse(&q).expect("generated query parses");
+        let rows = eval::select(&parsed, &ds.graph, &ds.pool).unwrap();
+        let nodes: Vec<String> = rows
+            .iter()
+            .map(|r| r.get("node").unwrap().term(&ds.pool).to_string())
+            .collect();
+        assert_eq!(rows.len(), 2, "{nodes:?}");
+        assert!(nodes.iter().any(|n| n.contains("john")));
+        assert!(nodes.iter().any(|n| n.contains("bob")));
+    }
+
+    #[test]
+    fn recursion_is_unsupported() {
+        let schema =
+            shexc::parse("PREFIX foaf: <http://xmlns.com/foaf/0.1/>\n<P> { foaf:knows @<P>* }")
+                .unwrap();
+        let err = generate_node_ask(&schema, &"P".into(), "http://e/x").unwrap_err();
+        assert!(matches!(err, GenError::Unsupported(m) if m.contains("recursion")));
+    }
+
+    #[test]
+    fn alternatives_unsupported() {
+        let schema = shexc::parse("PREFIX e: <http://e/>\n<S> { e:a [1] | e:b [2] }").unwrap();
+        assert!(matches!(
+            generate_node_ask(&schema, &"S".into(), "http://e/x"),
+            Err(GenError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_predicates_unsupported() {
+        let schema = shexc::parse("PREFIX e: <http://e/>\n<S> { e:p [1], e:p [2] }").unwrap();
+        assert!(matches!(
+            generate_node_ask(&schema, &"S".into(), "http://e/x"),
+            Err(GenError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn select_mapping_rejects_optional_arcs() {
+        let schema = shexc::parse("PREFIX e: <http://e/>\n<S> { e:p .* }").unwrap();
+        assert!(matches!(
+            generate_select_conforming(&schema, &"S".into()),
+            Err(GenError::Unsupported(_))
+        ));
+        // but the fixed-node ASK handles them (COUNT can be 0):
+        assert!(generate_node_ask(&schema, &"S".into(), "http://e/x").is_ok());
+    }
+
+    #[test]
+    fn value_sets_and_facets_translate() {
+        let schema = shexc::parse(
+            "PREFIX e: <http://e/>\nPREFIX xsd: <http://www.w3.org/2001/XMLSchema#>\n\
+             <S> { e:v [1 2], e:n xsd:integer MININCLUSIVE 0 }",
+        )
+        .unwrap();
+        let q = generate_node_ask(&schema, &"S".into(), "http://e/x").unwrap();
+        assert!(q.contains("?o = \"1\""), "{q}");
+        assert!(q.contains("?o >= 0"), "{q}");
+        let ds = turtle::parse("@prefix e: <http://e/> . e:x e:v 1; e:n 5 .").unwrap();
+        let parsed = parser::parse(&q).unwrap();
+        assert!(eval::ask(&parsed, &ds.graph, &ds.pool).unwrap());
+        let bad = turtle::parse("@prefix e: <http://e/> . e:x e:v 3; e:n 5 .").unwrap();
+        assert!(!eval::ask(&parsed, &bad.graph, &bad.pool).unwrap());
+    }
+
+    #[test]
+    fn cardinality_ranges_translate() {
+        let schema = shexc::parse("PREFIX e: <http://e/>\n<S> { e:p .{2,3} }").unwrap();
+        let q = generate_node_ask(&schema, &"S".into(), "http://e/x").unwrap();
+        let parsed = parser::parse(&q).unwrap();
+        let two = turtle::parse("@prefix e: <http://e/> . e:x e:p 1, 2 .").unwrap();
+        assert!(eval::ask(&parsed, &two.graph, &two.pool).unwrap());
+        let four = turtle::parse("@prefix e: <http://e/> . e:x e:p 1, 2, 3, 4 .").unwrap();
+        assert!(!eval::ask(&parsed, &four.graph, &four.pool).unwrap());
+    }
+
+    #[test]
+    fn unknown_shape_error() {
+        let schema = shexc::parse("PREFIX e: <http://e/>\n<S> { e:p . }").unwrap();
+        assert!(matches!(
+            generate_node_ask(&schema, &"Nope".into(), "http://e/x"),
+            Err(GenError::UnknownShape(_))
+        ));
+    }
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+//! # shapex-sparql
+//!
+//! The paper's §3 comparator: translation of (flat) Regular Shape
+//! Expressions into SPARQL validation queries, plus a small SPARQL engine
+//! covering exactly the algebra those queries use (BGPs, FILTER, OPTIONAL,
+//! UNION, sub-SELECT, COUNT with GROUP BY / HAVING, ASK).
+//!
+//! ```
+//! use shapex_sparql::{generate, parser, eval};
+//! use shapex_shex::shexc;
+//! use shapex_rdf::turtle;
+//!
+//! let schema = shexc::parse(r#"
+//!     PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+//!     PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>
+//!     <Person> { foaf:age xsd:integer, foaf:name xsd:string+ }
+//! "#).unwrap();
+//! let ds = turtle::parse(r#"
+//!     @prefix : <http://example.org/> .
+//!     @prefix foaf: <http://xmlns.com/foaf/0.1/> .
+//!     :john foaf:age 23; foaf:name "John" .
+//! "#).unwrap();
+//!
+//! let q = generate::generate_node_ask(
+//!     &schema, &"Person".into(), "http://example.org/john").unwrap();
+//! let parsed = parser::parse(&q).unwrap();
+//! assert!(eval::ask(&parsed, &ds.graph, &ds.pool).unwrap());
+//! ```
+
+pub mod ast;
+pub mod display;
+pub mod eval;
+pub mod generate;
+pub mod parser;
+
+pub use ast::{Expression, GroupPattern, Query, SelectQuery, Var};
+pub use display::query_to_string;
+pub use eval::{ask, select, EvalError, Solution};
+pub use generate::{generate_node_ask, generate_select_conforming, GenError};

@@ -1,0 +1,780 @@
+//! Recursive-descent parser for the SPARQL fragment.
+
+use std::collections::HashMap;
+
+use shapex_rdf::parser::{decode_string_escape, Cursor, ParseError};
+use shapex_rdf::term::{Literal, Term};
+use shapex_rdf::vocab::xsd;
+
+use crate::ast::*;
+
+/// Parses a query (ASK or SELECT) with optional PREFIX/BASE prologue.
+pub fn parse(input: &str) -> Result<Query, ParseError> {
+    let mut p = Parser {
+        cur: Cursor::new(input),
+        prefixes: HashMap::new(),
+    };
+    let q = p.query()?;
+    p.cur.skip_ws_and_comments();
+    if !p.cur.at_end() {
+        return Err(p.cur.error("trailing input after query"));
+    }
+    Ok(q)
+}
+
+struct Parser<'a> {
+    cur: Cursor<'a>,
+    prefixes: HashMap<String, String>,
+}
+
+impl Parser<'_> {
+    fn query(&mut self) -> Result<Query, ParseError> {
+        loop {
+            self.cur.skip_ws_and_comments();
+            if self.keyword("PREFIX") {
+                let name = self.pname_ns()?;
+                self.cur.skip_ws_and_comments();
+                let iri = self.iriref()?;
+                self.prefixes.insert(name, iri);
+            } else if self.keyword("BASE") {
+                self.iriref()?; // accepted, ignored
+            } else {
+                break;
+            }
+        }
+        if self.keyword("ASK") {
+            self.cur.skip_ws_and_comments();
+            // optional WHERE
+            self.keyword("WHERE");
+            let g = self.group()?;
+            return Ok(Query::Ask(g));
+        }
+        if self.peek_keyword("SELECT") {
+            let s = self.select_query()?;
+            return Ok(Query::Select(s));
+        }
+        Err(self.cur.error("expected ASK or SELECT"))
+    }
+
+    fn select_query(&mut self) -> Result<SelectQuery, ParseError> {
+        if !self.keyword("SELECT") {
+            return Err(self.cur.error("expected SELECT"));
+        }
+        let distinct = self.keyword("DISTINCT");
+        self.cur.skip_ws_and_comments();
+        let projection = if self.cur.eat('*') {
+            Projection::All
+        } else {
+            let mut items = Vec::new();
+            loop {
+                self.cur.skip_ws_and_comments();
+                match self.cur.peek() {
+                    Some('?') | Some('$') => items.push(ProjectionItem::Var(self.var()?)),
+                    Some('(') => {
+                        self.cur.bump();
+                        let e = self.expression()?;
+                        self.cur.skip_ws_and_comments();
+                        if !self.keyword("AS") {
+                            return Err(self.cur.error("expected AS in projection"));
+                        }
+                        self.cur.skip_ws_and_comments();
+                        let v = self.var()?;
+                        self.cur.skip_ws_and_comments();
+                        if !self.cur.eat(')') {
+                            return Err(self.cur.error("expected ')' after projection"));
+                        }
+                        items.push(ProjectionItem::Bind(e, v));
+                    }
+                    _ => break,
+                }
+            }
+            if items.is_empty() {
+                return Err(self.cur.error("empty SELECT projection"));
+            }
+            Projection::Items(items)
+        };
+        self.cur.skip_ws_and_comments();
+        self.keyword("WHERE"); // optional
+        let pattern = self.group()?;
+        let mut group_by = Vec::new();
+        self.cur.skip_ws_and_comments();
+        if self.keyword("GROUP") {
+            self.cur.skip_ws_and_comments();
+            if !self.keyword("BY") {
+                return Err(self.cur.error("expected BY after GROUP"));
+            }
+            loop {
+                self.cur.skip_ws_and_comments();
+                if matches!(self.cur.peek(), Some('?') | Some('$')) {
+                    group_by.push(self.var()?);
+                } else {
+                    break;
+                }
+            }
+            if group_by.is_empty() {
+                return Err(self.cur.error("empty GROUP BY"));
+            }
+        }
+        let mut having = Vec::new();
+        self.cur.skip_ws_and_comments();
+        if self.keyword("HAVING") {
+            loop {
+                self.cur.skip_ws_and_comments();
+                if self.cur.peek() == Some('(') {
+                    self.cur.bump();
+                    having.push(self.expression()?);
+                    self.cur.skip_ws_and_comments();
+                    if !self.cur.eat(')') {
+                        return Err(self.cur.error("expected ')' closing HAVING"));
+                    }
+                } else {
+                    break;
+                }
+            }
+            if having.is_empty() {
+                return Err(self.cur.error("empty HAVING"));
+            }
+        }
+        Ok(SelectQuery {
+            distinct,
+            projection,
+            pattern,
+            group_by,
+            having,
+        })
+    }
+
+    fn group(&mut self) -> Result<GroupPattern, ParseError> {
+        self.cur.skip_ws_and_comments();
+        if !self.cur.eat('{') {
+            return Err(self.cur.error("expected '{'"));
+        }
+        let mut elements = Vec::new();
+        loop {
+            self.cur.skip_ws_and_comments();
+            match self.cur.peek() {
+                None => return Err(self.cur.error("unterminated group")),
+                Some('}') => {
+                    self.cur.bump();
+                    return Ok(GroupPattern { elements });
+                }
+                Some('{') => {
+                    // Nested group, sub-select, or UNION chain.
+                    let first = self.group_or_subselect()?;
+                    let mut union_acc = first;
+                    loop {
+                        self.cur.skip_ws_and_comments();
+                        if self.keyword("UNION") {
+                            let next = self.group_or_subselect()?;
+                            union_acc = PatternElement::Union(
+                                GroupPattern {
+                                    elements: vec![union_acc],
+                                },
+                                GroupPattern {
+                                    elements: vec![next],
+                                },
+                            );
+                        } else {
+                            break;
+                        }
+                    }
+                    elements.push(union_acc);
+                    self.cur.skip_ws_and_comments();
+                    self.cur.eat('.'); // optional separator
+                }
+                Some(_) => {
+                    if self.keyword("FILTER") {
+                        self.cur.skip_ws_and_comments();
+                        if !self.cur.eat('(') {
+                            return Err(self.cur.error("expected '(' after FILTER"));
+                        }
+                        let e = self.expression()?;
+                        self.cur.skip_ws_and_comments();
+                        if !self.cur.eat(')') {
+                            return Err(self.cur.error("expected ')' closing FILTER"));
+                        }
+                        elements.push(PatternElement::Filter(e));
+                        self.cur.skip_ws_and_comments();
+                        self.cur.eat('.');
+                    } else if self.keyword("OPTIONAL") {
+                        let g = self.group()?;
+                        elements.push(PatternElement::Optional(g));
+                        self.cur.skip_ws_and_comments();
+                        self.cur.eat('.');
+                    } else {
+                        self.triples_block(&mut elements)?;
+                    }
+                }
+            }
+        }
+    }
+
+    fn group_or_subselect(&mut self) -> Result<PatternElement, ParseError> {
+        self.cur.skip_ws_and_comments();
+        if !self.cur.eat('{') {
+            return Err(self.cur.error("expected '{'"));
+        }
+        self.cur.skip_ws_and_comments();
+        if self.peek_keyword("SELECT") {
+            let s = self.select_query()?;
+            self.cur.skip_ws_and_comments();
+            if !self.cur.eat('}') {
+                return Err(self.cur.error("expected '}' closing sub-select"));
+            }
+            return Ok(PatternElement::SubSelect(Box::new(s)));
+        }
+        // Re-parse as a group: we already consumed '{', so parse the body.
+        let mut elements = Vec::new();
+        loop {
+            self.cur.skip_ws_and_comments();
+            match self.cur.peek() {
+                None => return Err(self.cur.error("unterminated group")),
+                Some('}') => {
+                    self.cur.bump();
+                    return Ok(PatternElement::Group(GroupPattern { elements }));
+                }
+                _ => {
+                    // Delegate: wrap the remaining parse through the same
+                    // logic by handling one item.
+                    if self.keyword("FILTER") {
+                        self.cur.skip_ws_and_comments();
+                        if !self.cur.eat('(') {
+                            return Err(self.cur.error("expected '(' after FILTER"));
+                        }
+                        let e = self.expression()?;
+                        self.cur.skip_ws_and_comments();
+                        if !self.cur.eat(')') {
+                            return Err(self.cur.error("expected ')' closing FILTER"));
+                        }
+                        elements.push(PatternElement::Filter(e));
+                        self.cur.skip_ws_and_comments();
+                        self.cur.eat('.');
+                    } else if self.keyword("OPTIONAL") {
+                        let g = self.group()?;
+                        elements.push(PatternElement::Optional(g));
+                        self.cur.skip_ws_and_comments();
+                        self.cur.eat('.');
+                    } else if self.cur.peek() == Some('{') {
+                        let inner = self.group_or_subselect()?;
+                        elements.push(inner);
+                        self.cur.skip_ws_and_comments();
+                        self.cur.eat('.');
+                    } else {
+                        self.triples_block(&mut elements)?;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Parses `s p o (';' p o)* (',' o)* '.'?` triple patterns.
+    fn triples_block(&mut self, out: &mut Vec<PatternElement>) -> Result<(), ParseError> {
+        let subject = self.term_pattern()?;
+        loop {
+            self.cur.skip_ws_and_comments();
+            let predicate = self.predicate_pattern()?;
+            loop {
+                self.cur.skip_ws_and_comments();
+                let object = self.term_pattern()?;
+                out.push(PatternElement::Triple(TriplePattern {
+                    subject: subject.clone(),
+                    predicate: predicate.clone(),
+                    object,
+                }));
+                self.cur.skip_ws_and_comments();
+                if !self.cur.eat(',') {
+                    break;
+                }
+            }
+            if !self.cur.eat(';') {
+                break;
+            }
+        }
+        self.cur.skip_ws_and_comments();
+        self.cur.eat('.');
+        Ok(())
+    }
+
+    fn predicate_pattern(&mut self) -> Result<TermPattern, ParseError> {
+        self.cur.skip_ws_and_comments();
+        if self.cur.peek() == Some('a') && self.cur.peek2().is_some_and(|c| c.is_whitespace()) {
+            self.cur.bump();
+            return Ok(TermPattern::Term(Term::iri(shapex_rdf::vocab::rdf::TYPE)));
+        }
+        self.term_pattern()
+    }
+
+    fn term_pattern(&mut self) -> Result<TermPattern, ParseError> {
+        self.cur.skip_ws_and_comments();
+        match self.cur.peek() {
+            Some('?') | Some('$') => Ok(TermPattern::Var(self.var()?)),
+            _ => Ok(TermPattern::Term(self.term()?)),
+        }
+    }
+
+    fn var(&mut self) -> Result<Var, ParseError> {
+        self.cur.bump(); // '?' or '$'
+        let mut name = String::new();
+        while let Some(c) = self.cur.peek() {
+            if c.is_alphanumeric() || c == '_' {
+                name.push(c);
+                self.cur.bump();
+            } else {
+                break;
+            }
+        }
+        if name.is_empty() {
+            return Err(self.cur.error("empty variable name"));
+        }
+        Ok(Var::new(name))
+    }
+
+    fn term(&mut self) -> Result<Term, ParseError> {
+        self.cur.skip_ws_and_comments();
+        match self.cur.peek() {
+            Some('<') => Ok(Term::iri(self.iriref()?)),
+            Some('_') => {
+                if !self.cur.eat_str("_:") {
+                    return Err(self.cur.error("expected blank node"));
+                }
+                let mut label = String::new();
+                while let Some(c) = self.cur.peek() {
+                    if c.is_alphanumeric() || c == '_' || c == '-' {
+                        label.push(c);
+                        self.cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+                Ok(Term::blank(label))
+            }
+            Some('"') | Some('\'') => self.literal(),
+            Some(c) if c.is_ascii_digit() || c == '+' || c == '-' => self.number(),
+            Some('t') | Some('f')
+                if self.cur.rest().starts_with("true") || self.cur.rest().starts_with("false") =>
+            {
+                let v = self.cur.eat_str("true");
+                if !v {
+                    self.cur.eat_str("false");
+                }
+                Ok(Term::Literal(Literal::boolean(v)))
+            }
+            _ => {
+                let iri = self.prefixed_name()?;
+                Ok(Term::iri(iri))
+            }
+        }
+    }
+
+    fn literal(&mut self) -> Result<Term, ParseError> {
+        let quote = self.cur.bump().expect("caller checked quote");
+        let mut s = String::new();
+        loop {
+            match self.cur.bump() {
+                None => return Err(self.cur.error("unterminated string")),
+                Some('\\') => s.push(decode_string_escape(&mut self.cur)?),
+                Some(c) if c == quote => break,
+                Some(c) => s.push(c),
+            }
+        }
+        if self.cur.eat('@') {
+            let mut tag = String::new();
+            while let Some(c) = self.cur.peek() {
+                if c.is_ascii_alphanumeric() || c == '-' {
+                    tag.push(c);
+                    self.cur.bump();
+                } else {
+                    break;
+                }
+            }
+            return Ok(Term::Literal(Literal::lang_string(s, &tag)));
+        }
+        if self.cur.eat_str("^^") {
+            let dt = if self.cur.peek() == Some('<') {
+                self.iriref()?
+            } else {
+                self.prefixed_name()?
+            };
+            return Ok(Term::Literal(Literal::typed(s, dt)));
+        }
+        Ok(Term::Literal(Literal::string(s)))
+    }
+
+    fn number(&mut self) -> Result<Term, ParseError> {
+        let mut s = String::new();
+        if matches!(self.cur.peek(), Some('+') | Some('-')) {
+            s.push(self.cur.bump().expect("peeked"));
+        }
+        let mut has_dot = false;
+        while let Some(c) = self.cur.peek() {
+            if c.is_ascii_digit() {
+                s.push(c);
+                self.cur.bump();
+            } else if c == '.' && !has_dot && self.cur.peek2().is_some_and(|c| c.is_ascii_digit()) {
+                has_dot = true;
+                s.push('.');
+                self.cur.bump();
+            } else {
+                break;
+            }
+        }
+        if !s.bytes().any(|b| b.is_ascii_digit()) {
+            return Err(self.cur.error("expected number"));
+        }
+        let dt = if has_dot { xsd::DECIMAL } else { xsd::INTEGER };
+        Ok(Term::Literal(Literal::typed(s, dt)))
+    }
+
+    fn iriref(&mut self) -> Result<String, ParseError> {
+        if !self.cur.eat('<') {
+            return Err(self.cur.error("expected '<'"));
+        }
+        let mut iri = String::new();
+        loop {
+            match self.cur.bump() {
+                None => return Err(self.cur.error("unterminated IRI")),
+                Some('>') => return Ok(iri),
+                Some(c) if c.is_whitespace() => return Err(self.cur.error("whitespace in IRI")),
+                Some(c) => iri.push(c),
+            }
+        }
+    }
+
+    fn pname_ns(&mut self) -> Result<String, ParseError> {
+        self.cur.skip_ws_and_comments();
+        let mut name = String::new();
+        while let Some(c) = self.cur.peek() {
+            if c == ':' {
+                self.cur.bump();
+                return Ok(name);
+            }
+            if c.is_alphanumeric() || c == '_' || c == '-' {
+                name.push(c);
+                self.cur.bump();
+            } else {
+                break;
+            }
+        }
+        Err(self.cur.error("expected ':'"))
+    }
+
+    fn prefixed_name(&mut self) -> Result<String, ParseError> {
+        let mut prefix = String::new();
+        while let Some(c) = self.cur.peek() {
+            if c.is_alphanumeric() || c == '_' || c == '-' {
+                prefix.push(c);
+                self.cur.bump();
+            } else {
+                break;
+            }
+        }
+        if !self.cur.eat(':') {
+            return Err(self
+                .cur
+                .error(format!("expected ':' after prefix '{prefix}'")));
+        }
+        let ns = self
+            .prefixes
+            .get(&prefix)
+            .ok_or_else(|| self.cur.error(format!("undefined prefix '{prefix}:'")))?;
+        let mut iri = ns.clone();
+        while let Some(c) = self.cur.peek() {
+            if c.is_alphanumeric() || matches!(c, '_' | '-' | '%') {
+                iri.push(c);
+                self.cur.bump();
+            } else if c == '.'
+                && self
+                    .cur
+                    .peek2()
+                    .is_some_and(|n| n.is_alphanumeric() || n == '_')
+            {
+                iri.push('.');
+                self.cur.bump();
+            } else {
+                break;
+            }
+        }
+        Ok(iri)
+    }
+
+    /// Consumes a case-insensitive keyword at a word boundary.
+    fn keyword(&mut self, kw: &str) -> bool {
+        self.cur.skip_ws_and_comments();
+        if self.cur.starts_with_keyword_ci(kw) {
+            self.cur.eat_str_ci(kw);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn peek_keyword(&mut self, kw: &str) -> bool {
+        self.cur.skip_ws_and_comments();
+        self.cur.starts_with_keyword_ci(kw)
+    }
+
+    // ---- expressions, precedence: || < && < comparison < additive < unary
+
+    fn expression(&mut self) -> Result<Expression, ParseError> {
+        let mut e = self.and_expr()?;
+        loop {
+            self.cur.skip_ws_and_comments();
+            if self.cur.eat_str("||") {
+                e = Expression::or(e, self.and_expr()?);
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn and_expr(&mut self) -> Result<Expression, ParseError> {
+        let mut e = self.comparison()?;
+        loop {
+            self.cur.skip_ws_and_comments();
+            if self.cur.eat_str("&&") {
+                e = Expression::and(e, self.comparison()?);
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn comparison(&mut self) -> Result<Expression, ParseError> {
+        let left = self.additive()?;
+        self.cur.skip_ws_and_comments();
+        let op: fn(Box<Expression>, Box<Expression>) -> Expression = if self.cur.eat_str("!=") {
+            Expression::NotEqual
+        } else if self.cur.eat_str("<=") {
+            Expression::LessEq
+        } else if self.cur.eat_str(">=") {
+            Expression::GreaterEq
+        } else if self.cur.eat('=') {
+            Expression::Equal
+        } else if self.cur.eat('<') {
+            Expression::Less
+        } else if self.cur.eat('>') {
+            Expression::Greater
+        } else {
+            return Ok(left);
+        };
+        let right = self.additive()?;
+        Ok(op(Box::new(left), Box::new(right)))
+    }
+
+    fn additive(&mut self) -> Result<Expression, ParseError> {
+        let mut e = self.unary()?;
+        loop {
+            self.cur.skip_ws_and_comments();
+            if self.cur.eat('+') {
+                e = Expression::Add(Box::new(e), Box::new(self.unary()?));
+            } else if self.cur.peek() == Some('-')
+                && !self.cur.peek2().is_some_and(|c| c.is_ascii_digit())
+            {
+                self.cur.bump();
+                e = Expression::Subtract(Box::new(e), Box::new(self.unary()?));
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expression, ParseError> {
+        self.cur.skip_ws_and_comments();
+        if self.cur.peek() == Some('!') && self.cur.peek2() != Some('=') {
+            self.cur.bump();
+            return Ok(Expression::Not(Box::new(self.unary()?)));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expression, ParseError> {
+        self.cur.skip_ws_and_comments();
+        match self.cur.peek() {
+            Some('(') => {
+                self.cur.bump();
+                let e = self.expression()?;
+                self.cur.skip_ws_and_comments();
+                if !self.cur.eat(')') {
+                    return Err(self.cur.error("expected ')'"));
+                }
+                Ok(e)
+            }
+            Some('?') | Some('$') => Ok(Expression::Var(self.var()?)),
+            _ => {
+                for (kw, builder) in BUILTINS {
+                    if self.peek_keyword(kw) {
+                        self.keyword(kw);
+                        self.cur.skip_ws_and_comments();
+                        if !self.cur.eat('(') {
+                            return Err(self.cur.error(format!("expected '(' after {kw}")));
+                        }
+                        let e = self.builtin_body(kw, builder)?;
+                        self.cur.skip_ws_and_comments();
+                        if !self.cur.eat(')') {
+                            return Err(self.cur.error(format!("expected ')' closing {kw}")));
+                        }
+                        return Ok(e);
+                    }
+                }
+                Ok(Expression::Constant(self.term()?))
+            }
+        }
+    }
+
+    fn builtin_body(&mut self, kw: &str, kind: BuiltinKind) -> Result<Expression, ParseError> {
+        self.cur.skip_ws_and_comments();
+        match kind {
+            BuiltinKind::CountStar => {
+                if self.cur.eat('*') {
+                    Ok(Expression::Count(None))
+                } else {
+                    let v = self.var()?;
+                    Ok(Expression::Count(Some(v)))
+                }
+            }
+            BuiltinKind::BoundVar => Ok(Expression::Bound(self.var()?)),
+            BuiltinKind::Unary(f) => {
+                let e = self.expression()?;
+                let _ = kw;
+                Ok(f(Box::new(e)))
+            }
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+enum BuiltinKind {
+    CountStar,
+    BoundVar,
+    Unary(fn(Box<Expression>) -> Expression),
+}
+
+const BUILTINS: [(&str, BuiltinKind); 7] = [
+    ("COUNT", BuiltinKind::CountStar),
+    ("bound", BuiltinKind::BoundVar),
+    ("isLiteral", BuiltinKind::Unary(Expression::IsLiteral)),
+    ("isIRI", BuiltinKind::Unary(Expression::IsIri)),
+    ("isBlank", BuiltinKind::Unary(Expression::IsBlank)),
+    ("datatype", BuiltinKind::Unary(Expression::Datatype)),
+    ("str", BuiltinKind::Unary(Expression::Str)),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ask_with_bgp() {
+        let q = parse("ASK { <http://e/a> <http://e/p> ?o . }").unwrap();
+        let Query::Ask(g) = q else {
+            panic!("expected ASK")
+        };
+        assert_eq!(g.elements.len(), 1);
+    }
+
+    #[test]
+    fn prefixes_resolve() {
+        let q = parse("PREFIX e: <http://e/>\nASK { e:a e:p e:b }").unwrap();
+        let Query::Ask(g) = q else { panic!() };
+        let PatternElement::Triple(t) = &g.elements[0] else {
+            panic!()
+        };
+        assert_eq!(t.subject, TermPattern::Term(Term::iri("http://e/a")));
+    }
+
+    #[test]
+    fn select_with_projection_and_group_by() {
+        let q = parse("SELECT ?s (COUNT(*) AS ?c) WHERE { ?s ?p ?o } GROUP BY ?s HAVING (?c >= 2)")
+            .unwrap();
+        let Query::Select(s) = q else { panic!() };
+        assert_eq!(s.group_by, vec![Var::new("s")]);
+        assert_eq!(s.having.len(), 1);
+        let Projection::Items(items) = &s.projection else {
+            panic!()
+        };
+        assert_eq!(items.len(), 2);
+    }
+
+    #[test]
+    fn filter_expressions() {
+        let q = parse(
+            "ASK { ?s ?p ?o . FILTER(isLiteral(?o) && datatype(?o) = <http://e/dt> || !bound(?o)) }",
+        )
+        .unwrap();
+        let Query::Ask(g) = q else { panic!() };
+        assert!(matches!(
+            g.elements[1],
+            PatternElement::Filter(Expression::Or(_, _))
+        ));
+    }
+
+    #[test]
+    fn subselect_nested() {
+        let q =
+            parse("ASK { { SELECT (COUNT(*) AS ?c) WHERE { ?s ?p ?o } } FILTER(?c = 3) }").unwrap();
+        let Query::Ask(g) = q else { panic!() };
+        assert!(matches!(g.elements[0], PatternElement::SubSelect(_)));
+        assert!(matches!(g.elements[1], PatternElement::Filter(_)));
+    }
+
+    #[test]
+    fn union_chain() {
+        let q = parse("ASK { { ?s <http://e/a> ?o } UNION { ?s <http://e/b> ?o } }").unwrap();
+        let Query::Ask(g) = q else { panic!() };
+        assert!(matches!(g.elements[0], PatternElement::Union(_, _)));
+    }
+
+    #[test]
+    fn optional_block() {
+        let q = parse("ASK { ?s <http://e/a> ?o . OPTIONAL { ?s <http://e/b> ?x } }").unwrap();
+        let Query::Ask(g) = q else { panic!() };
+        assert!(matches!(g.elements[1], PatternElement::Optional(_)));
+    }
+
+    #[test]
+    fn predicate_object_lists() {
+        let q = parse("ASK { ?s <http://e/a> 1, 2; <http://e/b> \"x\" }").unwrap();
+        let Query::Ask(g) = q else { panic!() };
+        assert_eq!(g.elements.len(), 3);
+    }
+
+    #[test]
+    fn a_keyword() {
+        let q = parse("ASK { ?s a <http://e/T> }").unwrap();
+        let Query::Ask(g) = q else { panic!() };
+        let PatternElement::Triple(t) = &g.elements[0] else {
+            panic!()
+        };
+        assert_eq!(
+            t.predicate,
+            TermPattern::Term(Term::iri(shapex_rdf::vocab::rdf::TYPE))
+        );
+    }
+
+    #[test]
+    fn arithmetic_in_filter() {
+        let q = parse("ASK { FILTER(?a + ?b = ?c - 1) }").unwrap();
+        let Query::Ask(g) = q else { panic!() };
+        let PatternElement::Filter(Expression::Equal(l, r)) = &g.elements[0] else {
+            panic!()
+        };
+        assert!(matches!(**l, Expression::Add(_, _)));
+        assert!(matches!(**r, Expression::Subtract(_, _)));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse("ASK { ?s ?p }").is_err());
+        assert!(parse("SELECT WHERE { }").is_err());
+        assert!(parse("ASK { ?s ?p ?o ").is_err());
+        assert!(parse("FOO { }").is_err());
+        assert!(parse("ASK { } trailing").is_err());
+        assert!(parse("ASK { e:a e:p e:b }").is_err()); // undefined prefix
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert!(parse("ask where { ?s ?p ?o }").is_ok());
+        assert!(parse("select ?s where { ?s ?p ?o } group by ?s").is_ok());
+    }
+}

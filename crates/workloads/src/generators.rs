@@ -1,0 +1,445 @@
+//! The workload generators.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use shapex_rdf::graph::Dataset;
+use shapex_rdf::term::{Literal, Term};
+use shapex_rdf::vocab::foaf;
+
+const EX: &str = "http://shapex.example/";
+
+/// A generated benchmark workload.
+pub struct Workload {
+    /// Short identifier (used in bench ids).
+    pub name: String,
+    /// ShExC schema source.
+    pub schema: String,
+    /// The data graph.
+    pub dataset: Dataset,
+    /// IRIs of the nodes to validate.
+    pub focus: Vec<String>,
+    /// The shape each focus node is validated against.
+    pub shape: String,
+    /// For workloads with known ground truth: expected conformance of each
+    /// focus node, aligned with `focus`.
+    pub expected: Vec<bool>,
+}
+
+fn iri(local: &str) -> Term {
+    Term::iri(format!("{EX}{local}"))
+}
+
+/// **E1/E3** — the paper's Example 8 shape `a→1 ‖ b→{1,2}*` with a
+/// neighbourhood of `1 + b_triples` triples (one `a`-triple, then
+/// `b`-triples alternating values 1 and 2... values differ *per triple* so
+/// the graph, a set, keeps them distinct).
+///
+/// Matching is expected to succeed; Fig. 2 shows how the backtracking
+/// matcher decomposes this very instance.
+pub fn example8_neighbourhood(b_triples: usize) -> Workload {
+    let schema = format!("PREFIX e: <{EX}>\n<S> {{ e:a [1], e:b . * }}");
+    let mut dataset = Dataset::new();
+    let node = iri("n");
+    dataset.insert(node.clone(), iri("a"), Term::Literal(Literal::integer(1)));
+    for i in 0..b_triples {
+        dataset.insert(
+            node.clone(),
+            iri("b"),
+            Term::Literal(Literal::integer(i as i64)),
+        );
+    }
+    Workload {
+        name: format!("example8/b={b_triples}"),
+        schema,
+        dataset,
+        focus: vec![format!("{EX}n")],
+        shape: "S".to_string(),
+        expected: vec![true],
+    }
+}
+
+/// **E2** — a width-`w` unordered concatenation
+/// `p1→.+ ‖ p2→.+ ‖ ... ‖ pw→.+` with `per_branch` triples per predicate.
+/// The decomposition-based matcher must split the `w × per_branch`
+/// neighbourhood across `w` And-branches: exponential. The derivative
+/// engine consumes it linearly.
+pub fn and_width(w: usize, per_branch: usize) -> Workload {
+    let mut body: Vec<String> = Vec::new();
+    for i in 0..w {
+        body.push(format!("e:p{i} .+"));
+    }
+    let schema = format!("PREFIX e: <{EX}>\n<S> {{ {} }}", body.join(", "));
+    let mut dataset = Dataset::new();
+    let node = iri("n");
+    for i in 0..w {
+        for j in 0..per_branch {
+            dataset.insert(
+                node.clone(),
+                iri(&format!("p{i}")),
+                Term::Literal(Literal::integer(j as i64)),
+            );
+        }
+    }
+    Workload {
+        name: format!("and_width/w={w},k={per_branch}"),
+        schema,
+        dataset,
+        focus: vec![format!("{EX}n")],
+        shape: "S".to_string(),
+        expected: vec![true],
+    }
+}
+
+/// **E4** — the paper's Example 10 family `(a→{1,2} ‖ b→{1,2})*` —
+/// "the number of arcs with predicate a ... and arcs with predicate b ...
+/// is the same" — with `pairs` a-arcs followed by `pairs` b-arcs. All
+/// a-triples come first, so the derivative accumulates one pending
+/// `b→...` residual per consumed `a` (the paper's
+/// `∂⟨n,a,1⟩ = b→{1,2} ‖ (...)∗` growth, Example 10), before the
+/// b-triples discharge them.
+pub fn balanced_ab(pairs: usize) -> Workload {
+    let schema = format!("PREFIX e: <{EX}>\n<S> {{ (e:a . , e:b .)* }}");
+    let mut dataset = Dataset::new();
+    let node = iri("n");
+    for i in 0..pairs {
+        dataset.insert(
+            node.clone(),
+            iri("a"),
+            Term::Literal(Literal::integer(i as i64)),
+        );
+    }
+    for i in 0..pairs {
+        dataset.insert(
+            node.clone(),
+            iri("b"),
+            Term::Literal(Literal::integer(i as i64)),
+        );
+    }
+    Workload {
+        name: format!("balanced_ab/pairs={pairs}"),
+        schema,
+        dataset,
+        focus: vec![format!("{EX}n")],
+        shape: "S".to_string(),
+        expected: vec![true],
+    }
+}
+
+/// **E4b** — alternation fan-out: `(p→[v1] | p→[v2] | … | p→[vk])+` with
+/// `count` triples cycling through the k values (duplicates collapse, so
+/// the neighbourhood holds `min(count, k)` triples). Derivative cost
+/// scales with the number of alternatives the Or-derivative keeps alive;
+/// SORBE does not apply (alternation).
+pub fn alternation_fanout(k: usize, count: usize) -> Workload {
+    let alts: Vec<String> = (0..k).map(|i| format!("e:p [{i}]")).collect();
+    let schema = format!("PREFIX e: <{EX}>\n<S> {{ ({})+ }}", alts.join(" | "));
+    let mut dataset = Dataset::new();
+    let node = iri("n");
+    for i in 0..count {
+        dataset.insert(
+            node.clone(),
+            iri("p"),
+            Term::Literal(Literal::integer((i % k) as i64)),
+        );
+    }
+    // Values cycle mod k and graphs are sets, so the neighbourhood holds
+    // min(count, k) triples; benches use count = k.
+    Workload {
+        name: format!("alt_fanout/k={k},n={count}"),
+        schema,
+        dataset,
+        focus: vec![format!("{EX}n")],
+        shape: "S".to_string(),
+        expected: vec![count > 0],
+    }
+}
+
+/// **E5** — cardinality bounds: `p→.{min,max}` against a node with
+/// `count` p-triples. Exercises the native counter derivative (and, via
+/// [`shapex_shex::ast::ShapeExpr::desugared`], the expansion the §4
+/// definition implies).
+pub fn repeat_bounds(min: u32, max: u32, count: usize) -> Workload {
+    let schema = format!("PREFIX e: <{EX}>\n<S> {{ e:p .{{{min},{max}}} }}");
+    let mut dataset = Dataset::new();
+    let node = iri("n");
+    for i in 0..count {
+        dataset.insert(
+            node.clone(),
+            iri("p"),
+            Term::Literal(Literal::integer(i as i64)),
+        );
+    }
+    Workload {
+        name: format!("repeat/{{{min},{max}}}x{count}"),
+        schema,
+        dataset,
+        focus: vec![format!("{EX}n")],
+        shape: "S".to_string(),
+        expected: vec![count >= min as usize && count <= max as usize],
+    }
+}
+
+/// Topology of a [`person_network`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// `p0 knows p1 knows ... knows p(n-1)`.
+    Chain,
+    /// A chain closed into a ring — forces coinductive reasoning.
+    Cycle,
+    /// Each person knows `degree` uniformly random others.
+    Random {
+        /// Out-degree of each person.
+        degree: usize,
+    },
+}
+
+/// **E6** — a FOAF person network validated against the paper's Example 1
+/// / Example 14 recursive schema. `invalid_fraction` of the people
+/// (chosen by the seeded RNG) get no `foaf:name`, so they — and everyone
+/// whose `knows`-closure reaches them — fail.
+///
+/// Ground truth is computed by propagating invalidity backwards over
+/// `knows` edges (valid = locally well-formed ∧ all known people valid —
+/// the greatest fixpoint on this schema).
+pub fn person_network(n: usize, topology: Topology, invalid_fraction: f64, seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let schema = format!(
+        "PREFIX foaf: <{}>\nPREFIX xsd: <http://www.w3.org/2001/XMLSchema#>\n\
+         <Person> {{ foaf:age xsd:integer, foaf:name xsd:string+, foaf:knows @<Person>* }}",
+        foaf::NS
+    );
+    let mut dataset = Dataset::new();
+    let person = |i: usize| Term::iri(format!("{EX}person{i}"));
+    let mut locally_valid = vec![true; n];
+    for (i, local) in locally_valid.iter_mut().enumerate() {
+        dataset.insert(
+            person(i),
+            Term::iri(foaf::AGE),
+            Term::Literal(Literal::integer(rng.gen_range(1..100))),
+        );
+        if rng.gen_bool(invalid_fraction) {
+            *local = false; // no name ⇒ locally invalid
+        } else {
+            dataset.insert(
+                person(i),
+                Term::iri(foaf::NAME),
+                Term::Literal(Literal::string(format!("Person {i}"))),
+            );
+        }
+    }
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    match topology {
+        Topology::Chain => {
+            for i in 0..n.saturating_sub(1) {
+                edges.push((i, i + 1));
+            }
+        }
+        Topology::Cycle => {
+            for i in 0..n {
+                edges.push((i, (i + 1) % n));
+            }
+        }
+        Topology::Random { degree } => {
+            for i in 0..n {
+                for _ in 0..degree {
+                    let j = rng.gen_range(0..n);
+                    edges.push((i, j));
+                }
+            }
+        }
+    }
+    edges.sort();
+    edges.dedup();
+    for &(i, j) in &edges {
+        dataset.insert(person(i), Term::iri(foaf::KNOWS), person(j));
+    }
+
+    // Ground truth: greatest fixpoint of
+    //   valid(i) = locally_valid(i) ∧ ∀(i→j). valid(j)
+    let mut valid = locally_valid.clone();
+    loop {
+        let mut changed = false;
+        for &(i, j) in &edges {
+            if valid[i] && !valid[j] {
+                valid[i] = false;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    Workload {
+        name: format!("person_net/{topology:?}/n={n},bad={invalid_fraction}"),
+        schema,
+        dataset,
+        focus: (0..n).map(|i| format!("{EX}person{i}")).collect(),
+        shape: "Person".to_string(),
+        expected: valid,
+    }
+}
+
+/// **E7** — the non-recursive fragment of Example 1 (`age` + `name+`),
+/// suitable for the SPARQL-generation comparison (recursion cannot be
+/// expressed in SPARQL, as §3 notes). Half the people are invalid in one
+/// of three seeded ways: missing age, missing name, or an extra triple.
+pub fn flat_person_records(n: usize, seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let schema = format!(
+        "PREFIX foaf: <{}>\nPREFIX xsd: <http://www.w3.org/2001/XMLSchema#>\n\
+         <Person> {{ foaf:age xsd:integer, foaf:name xsd:string+ }}",
+        foaf::NS
+    );
+    let mut dataset = Dataset::new();
+    let mut expected = Vec::with_capacity(n);
+    for i in 0..n {
+        let p = Term::iri(format!("{EX}person{i}"));
+        let valid = rng.gen_bool(0.5);
+        if valid {
+            dataset.insert(
+                p.clone(),
+                Term::iri(foaf::AGE),
+                Term::Literal(Literal::integer(rng.gen_range(1..100))),
+            );
+            for k in 0..rng.gen_range(1..3) {
+                dataset.insert(
+                    p.clone(),
+                    Term::iri(foaf::NAME),
+                    Term::Literal(Literal::string(format!("Name {i}.{k}"))),
+                );
+            }
+        } else {
+            match rng.gen_range(0..3u8) {
+                0 => {
+                    // missing age
+                    dataset.insert(
+                        p.clone(),
+                        Term::iri(foaf::NAME),
+                        Term::Literal(Literal::string(format!("Name {i}"))),
+                    );
+                }
+                1 => {
+                    // age has wrong datatype
+                    dataset.insert(
+                        p.clone(),
+                        Term::iri(foaf::AGE),
+                        Term::Literal(Literal::string("old")),
+                    );
+                    dataset.insert(
+                        p.clone(),
+                        Term::iri(foaf::NAME),
+                        Term::Literal(Literal::string(format!("Name {i}"))),
+                    );
+                }
+                _ => {
+                    // extra, unexpected predicate (violates closed shape)
+                    dataset.insert(
+                        p.clone(),
+                        Term::iri(foaf::AGE),
+                        Term::Literal(Literal::integer(30)),
+                    );
+                    dataset.insert(
+                        p.clone(),
+                        Term::iri(foaf::NAME),
+                        Term::Literal(Literal::string(format!("Name {i}"))),
+                    );
+                    dataset.insert(p.clone(), Term::iri(foaf::MBOX), iri("mbox"));
+                }
+            }
+        }
+        expected.push(valid);
+    }
+    Workload {
+        name: format!("flat_person/n={n}"),
+        schema,
+        dataset,
+        focus: (0..n).map(|i| format!("{EX}person{i}")).collect(),
+        shape: "Person".to_string(),
+        expected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example8_shape_and_size() {
+        let w = example8_neighbourhood(5);
+        assert_eq!(w.dataset.graph.len(), 6);
+        assert_eq!(w.focus.len(), 1);
+        assert!(w.schema.contains("e:a"));
+    }
+
+    #[test]
+    fn and_width_triples() {
+        let w = and_width(4, 3);
+        assert_eq!(w.dataset.graph.len(), 12);
+        assert_eq!(w.schema.matches(".+").count(), 4);
+    }
+
+    #[test]
+    fn balanced_ab_counts() {
+        let w = balanced_ab(8);
+        assert_eq!(w.dataset.graph.len(), 16);
+    }
+
+    #[test]
+    fn alternation_fanout_shape() {
+        let w = alternation_fanout(4, 4);
+        assert_eq!(w.dataset.graph.len(), 4);
+        assert_eq!(w.schema.matches('|').count(), 3);
+        assert!(w.expected[0]);
+        let w = alternation_fanout(4, 10); // duplicates collapse
+        assert_eq!(w.dataset.graph.len(), 4);
+    }
+
+    #[test]
+    fn repeat_bounds_expectation() {
+        assert!(repeat_bounds(2, 4, 3).expected[0]);
+        assert!(!repeat_bounds(2, 4, 5).expected[0]);
+        assert!(!repeat_bounds(2, 4, 1).expected[0]);
+    }
+
+    #[test]
+    fn person_network_is_deterministic() {
+        let a = person_network(20, Topology::Random { degree: 2 }, 0.2, 42);
+        let b = person_network(20, Topology::Random { degree: 2 }, 0.2, 42);
+        assert_eq!(a.expected, b.expected);
+        assert_eq!(a.dataset.graph.len(), b.dataset.graph.len());
+        let c = person_network(20, Topology::Random { degree: 2 }, 0.2, 43);
+        // Different seed ⇒ (almost surely) different data.
+        assert!(a.expected != c.expected || a.dataset.graph.len() != c.dataset.graph.len());
+    }
+
+    #[test]
+    fn person_chain_invalidity_propagates() {
+        // Deterministically make everyone locally valid except... use
+        // fraction 0: all valid.
+        let w = person_network(10, Topology::Chain, 0.0, 1);
+        assert!(w.expected.iter().all(|&v| v));
+        // All invalid.
+        let w = person_network(10, Topology::Chain, 1.0, 1);
+        assert!(w.expected.iter().all(|&v| !v));
+    }
+
+    #[test]
+    fn person_cycle_all_valid() {
+        let w = person_network(6, Topology::Cycle, 0.0, 7);
+        assert!(w.expected.iter().all(|&v| v));
+        // knows edges exist
+        assert_eq!(w.dataset.graph.len(), 6 * 3);
+    }
+
+    #[test]
+    fn flat_person_has_ground_truth() {
+        let w = flat_person_records(50, 11);
+        assert_eq!(w.focus.len(), 50);
+        assert_eq!(w.expected.len(), 50);
+        // Both classes present at n=50.
+        assert!(w.expected.iter().any(|&v| v));
+        assert!(w.expected.iter().any(|&v| !v));
+    }
+}

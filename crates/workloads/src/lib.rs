@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+//! # shapex-workloads
+//!
+//! Seeded synthetic workload generators for the benchmark suite the paper
+//! names as future work (§10: "we are planning to develop a set of
+//! benchmarks that will enable us to assess the performance of the
+//! different shape expression implementations").
+//!
+//! Each generator returns a [`Workload`]: a ShExC schema, a Turtle-free
+//! in-memory dataset, and the focus nodes to validate. Workload families
+//! are modelled on the paper's own examples:
+//!
+//! * [`example8_neighbourhood`] — the Fig. 2 / Example 8 shape with a
+//!   growing neighbourhood (experiments E1, E3),
+//! * [`and_width`] — wide unordered concatenations, the decomposition
+//!   blow-up driver (E2),
+//! * [`balanced_ab`] — Example 10's growth family whose derivatives
+//!   accumulate pending obligations (E4),
+//! * [`alternation_fanout`] — wide alternations under `+` (E4b),
+//! * [`repeat_bounds`] — cardinality-range stress (E5),
+//! * [`person_network`] — FOAF person graphs with the recursive Example 1
+//!   / Example 14 schema (E6), in chain/cycle/random topologies, with an
+//!   invalid-node fraction.
+
+pub mod generators;
+
+pub use generators::*;

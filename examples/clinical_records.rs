@@ -1,0 +1,120 @@
+//! Validating clinical observation records — the healthcare use case behind
+//! the paper (one author is at the Mayo Clinic; ShEx grew out of exactly
+//! this need to validate FHIR-style RDF).
+//!
+//! Shows the constraint vocabulary beyond datatypes: numeric facets,
+//! PATTERN (backed by the Brzozowski string-regex engine), value sets with
+//! IRI stems, NOT (the §10 negation extension), and inverse arcs.
+//!
+//! ```sh
+//! cargo run --example clinical_records
+//! ```
+
+use shapex::{Engine, EngineConfig};
+use shapex_rdf::turtle;
+use shapex_shex::shexc;
+
+const SCHEMA: &str = r#"
+    PREFIX ex:  <http://clinic.example/>
+    PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>
+
+    # A blood-pressure observation:
+    #  * a LOINC-style code from the coding namespace (IRI stem),
+    #  * systolic/diastolic readings with physiologic bounds,
+    #  * an ISO timestamp checked by PATTERN,
+    #  * a status that must NOT be "entered-in-error",
+    #  * a subject reference conforming to <Patient>.
+    <Observation> {
+      ex:code [<http://loinc.example/>~]
+      , ex:systolic xsd:integer MININCLUSIVE 50 MAXEXCLUSIVE 260
+      , ex:diastolic xsd:integer MININCLUSIVE 20 MAXEXCLUSIVE 200
+      , ex:effective PATTERN "\\d{4}-\\d{2}-\\d{2}T\\d{2}:\\d{2}:\\d{2}"
+      , ex:status NOT ["entered-in-error"]
+      , ex:subject @<Patient>
+    }
+
+    # A patient: an MRN with a fixed format and a year of birth; the
+    # inverse arc requires at least one record to point back here.
+    # (Requiring @<Observation>+ instead would entangle every patient with
+    # the validity of *all* its observations — see the coinduction tests.)
+    <Patient> {
+      ex:mrn LITERAL PATTERN "MRN-[0-9]{6}"
+      , ex:birthYear xsd:integer MININCLUSIVE 1900 MAXINCLUSIVE 2026
+      , ^ex:subject IRI+
+    }
+"#;
+
+const DATA: &str = r#"
+    @prefix ex:  <http://clinic.example/> .
+    @prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+
+    ex:obs1 ex:code <http://loinc.example/85354-9> ;
+        ex:systolic 120 ;
+        ex:diastolic 80 ;
+        ex:effective "2015-03-27T09:30:00" ;
+        ex:status "final" ;
+        ex:subject ex:patient1 .
+
+    ex:patient1 ex:mrn "MRN-004217" ;
+        ex:birthYear 1970 .
+
+    # Implausible systolic reading.
+    ex:obs2 ex:code <http://loinc.example/85354-9> ;
+        ex:systolic 300 ;
+        ex:diastolic 80 ;
+        ex:effective "2015-03-27T10:00:00" ;
+        ex:status "final" ;
+        ex:subject ex:patient1 .
+
+    # Voided record: status is entered-in-error.
+    ex:obs3 ex:code <http://loinc.example/85354-9> ;
+        ex:systolic 118 ;
+        ex:diastolic 76 ;
+        ex:effective "2015-03-27T11:00:00" ;
+        ex:status "entered-in-error" ;
+        ex:subject ex:patient1 .
+
+    # Code from the wrong terminology.
+    ex:obs4 ex:code <http://snomed.example/271649006> ;
+        ex:systolic 110 ;
+        ex:diastolic 70 ;
+        ex:effective "2015-03-27T12:00:00" ;
+        ex:status "final" ;
+        ex:subject ex:patient1 .
+
+    # Malformed MRN, and no observation points at this patient.
+    ex:patient2 ex:mrn "004217" ;
+        ex:birthYear 1985 .
+"#;
+
+fn main() {
+    let schema = shexc::parse(SCHEMA).expect("schema parses");
+    let mut ds = turtle::parse(DATA).expect("data parses");
+    let mut engine =
+        Engine::compile(&schema, &mut ds.pool, EngineConfig::default()).expect("compiles");
+
+    println!("Observations:");
+    for obs in ["obs1", "obs2", "obs3", "obs4"] {
+        report(&mut engine, &ds, obs, "Observation");
+    }
+    println!("\nPatients:");
+    for p in ["patient1", "patient2"] {
+        report(&mut engine, &ds, p, "Patient");
+    }
+}
+
+fn report(engine: &mut Engine, ds: &shapex_rdf::graph::Dataset, local: &str, shape: &str) {
+    let iri = format!("http://clinic.example/{local}");
+    let node = ds.iri(&iri).expect("node exists");
+    let result = engine
+        .check(&ds.graph, &ds.pool, node, &shape.into())
+        .expect("shape exists");
+    if result.matched {
+        println!("  ex:{local} ✓");
+    } else {
+        println!("  ex:{local} ✗");
+        if let Some(f) = result.failure {
+            println!("      {}", f.render(&ds.pool));
+        }
+    }
+}

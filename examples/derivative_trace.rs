@@ -1,0 +1,48 @@
+//! The paper's §6–§7 worked traces, reproduced live: Example 9 (one
+//! derivative), Example 11 (an accepting run), and Example 12 (a rejecting
+//! run), printed in the paper's notation.
+//!
+//! ```sh
+//! cargo run --example derivative_trace
+//! ```
+
+use shapex::Engine;
+use shapex_rdf::turtle;
+use shapex_shex::shexc;
+
+// Example 5's expression: e = a→[1] ‖ b→[1 2]*
+const SCHEMA: &str = "PREFIX e: <http://e/>\n<S> { e:a [1], e:b [1 2]* }";
+
+fn main() {
+    println!("Expression (paper Example 5):  a→1 ‖ b→{{1,2}}*\n");
+
+    // Example 9 / 11: Σg_n = {⟨n,a,1⟩, ⟨n,b,1⟩, ⟨n,b,2⟩} — matches.
+    println!("== Example 11: Σg_n = {{⟨n,a,1⟩, ⟨n,b,1⟩, ⟨n,b,2⟩}} ==");
+    trace_of("@prefix e: <http://e/> . e:n e:a 1; e:b 1, 2 .");
+
+    // Example 12: Σg_n = {⟨n,a,1⟩, ⟨n,a,2⟩, ⟨n,b,1⟩} — fails at ⟨n,a,2⟩.
+    println!("== Example 12: Σg_n = {{⟨n,a,1⟩, ⟨n,a,2⟩, ⟨n,b,1⟩}} ==");
+    trace_of("@prefix e: <http://e/> . e:n e:a 1, 2; e:b 1 .");
+
+    // Example 10's growth, visible step by step.
+    println!("== Example 10: (a→. ‖ b→.)* consuming two a's then two b's ==");
+    let schema = shexc::parse("PREFIX e: <http://e/>\n<S> { (e:a . , e:b .)* }").unwrap();
+    let mut ds = turtle::parse("@prefix e: <http://e/> . e:n e:a 1, 2; e:b 1, 2 .").unwrap();
+    let mut engine = Engine::new(&schema, &mut ds.pool).unwrap();
+    let node = ds.iri("http://e/n").unwrap();
+    let trace = engine
+        .trace(&ds.graph, &ds.pool, node, &"S".into())
+        .unwrap();
+    println!("{}", trace.render(&ds.pool));
+}
+
+fn trace_of(data: &str) {
+    let schema = shexc::parse(SCHEMA).unwrap();
+    let mut ds = turtle::parse(data).unwrap();
+    let mut engine = Engine::new(&schema, &mut ds.pool).unwrap();
+    let node = ds.iri("http://e/n").unwrap();
+    let trace = engine
+        .trace(&ds.graph, &ds.pool, node, &"S".into())
+        .unwrap();
+    println!("{}", trace.render(&ds.pool));
+}

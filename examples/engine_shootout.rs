@@ -1,0 +1,132 @@
+//! A miniature version of the benchmark suite: validate the same workloads
+//! with all three strategies the paper discusses and print a comparison —
+//! §5's backtracking matcher, §6–7's derivatives, and §3's
+//! generate-SPARQL-and-run mapping.
+//!
+//! ```sh
+//! cargo run --release --example engine_shootout
+//! ```
+
+use std::time::Instant;
+
+use shapex::{Engine, EngineConfig};
+use shapex_backtrack::{BacktrackValidator, BtConfig};
+use shapex_shex::ast::ShapeLabel;
+use shapex_shex::shexc;
+use shapex_workloads::{and_width, example8_neighbourhood, flat_person_records, Workload};
+
+fn main() {
+    println!("== E1: Example 8 shape (a→[1] ‖ b→.*), growing neighbourhood ==");
+    println!(
+        "{:>10} {:>14} {:>12} {:>14} {:>20}",
+        "triples", "derivative", "sorbe", "backtracking", "bt decompositions"
+    );
+    for b in [2usize, 4, 8, 12, 16, 20] {
+        let d_us = time_derivative_config(example8_neighbourhood(b), true);
+        let s_us = time_derivative_config(example8_neighbourhood(b), false);
+        let (bt_us, decomps) = time_backtracking(example8_neighbourhood(b));
+        println!(
+            "{:>10} {:>12}µs {:>10}µs {:>14} {:>20}",
+            b + 1,
+            d_us,
+            s_us,
+            bt_us.map_or("budget!".to_string(), |v| format!("{v}µs")),
+            decomps.map_or("-".to_string(), |d| d.to_string()),
+        );
+    }
+
+    println!("\n== E2: And-width w (p1→.+ ‖ … ‖ pw→.+), 2 triples/branch ==");
+    println!(
+        "{:>10} {:>14} {:>14}",
+        "width", "derivative", "backtracking"
+    );
+    for w in [1usize, 2, 3, 4, 5, 6] {
+        let d_us = time_derivative(and_width(w, 2));
+        let (bt_us, _) = time_backtracking(and_width(w, 2));
+        println!(
+            "{:>10} {:>12}µs {:>14}",
+            w,
+            d_us,
+            bt_us.map_or("budget!".to_string(), |v| format!("{v}µs")),
+        );
+    }
+
+    println!("\n== E7: flat person records, derivative vs generated SPARQL ==");
+    println!(
+        "{:>10} {:>14} {:>14}",
+        "records", "derivative", "sparql-gen"
+    );
+    for n in [10usize, 50, 200] {
+        let d_us = time_derivative(flat_person_records(n, 42));
+        let s_us = time_sparql(flat_person_records(n, 42));
+        println!("{:>10} {:>12}µs {:>12}µs", n, d_us, s_us);
+    }
+}
+
+/// Validates every focus node with the derivative engine, checking the
+/// workload's ground truth; returns elapsed microseconds.
+fn time_derivative(w: Workload) -> u128 {
+    time_derivative_config(w, true)
+}
+
+/// Same, selecting the general derivative path (`no_sorbe = true`) or the
+/// default engine (SORBE fast path where shapes qualify).
+fn time_derivative_config(mut w: Workload, no_sorbe: bool) -> u128 {
+    let schema = shexc::parse(&w.schema).expect("schema parses");
+    let mut engine = Engine::compile(
+        &schema,
+        &mut w.dataset.pool,
+        EngineConfig {
+            no_sorbe,
+            ..EngineConfig::default()
+        },
+    )
+    .expect("schema compiles");
+    let label = ShapeLabel::new(w.shape.as_str());
+    let start = Instant::now();
+    for (iri, &expect) in w.focus.iter().zip(&w.expected) {
+        let node = w.dataset.iri(iri).expect("focus node exists");
+        let got = engine
+            .check(&w.dataset.graph, &w.dataset.pool, node, &label)
+            .expect("shape exists")
+            .matched;
+        assert_eq!(got, expect, "derivative engine wrong on {iri}");
+    }
+    start.elapsed().as_micros()
+}
+
+/// Same with the backtracking baseline; `None` time when the budget blows.
+fn time_backtracking(w: Workload) -> (Option<u128>, Option<u64>) {
+    let schema = shexc::parse(&w.schema).expect("schema parses");
+    let validator = BacktrackValidator::with_config(&schema, BtConfig { budget: 20_000_000 })
+        .expect("schema compiles");
+    let label = ShapeLabel::new(w.shape.as_str());
+    let start = Instant::now();
+    for (iri, &expect) in w.focus.iter().zip(&w.expected) {
+        let node = w.dataset.iri(iri).expect("focus node exists");
+        match validator.check(&w.dataset.graph, &w.dataset.pool, node, &label) {
+            Ok(got) => assert_eq!(got, expect, "backtracking wrong on {iri}"),
+            Err(_) => return (None, Some(validator.stats().decompositions)),
+        }
+    }
+    (
+        Some(start.elapsed().as_micros()),
+        Some(validator.stats().decompositions),
+    )
+}
+
+/// Generates the per-node ASK query and runs it on the mini SPARQL engine.
+fn time_sparql(w: Workload) -> u128 {
+    let schema = shexc::parse(&w.schema).expect("schema parses");
+    let label = ShapeLabel::new(w.shape.as_str());
+    let start = Instant::now();
+    for (iri, &expect) in w.focus.iter().zip(&w.expected) {
+        let q =
+            shapex_sparql::generate_node_ask(&schema, &label, iri).expect("flat shape translates");
+        let parsed = shapex_sparql::parser::parse(&q).expect("generated query parses");
+        let got =
+            shapex_sparql::ask(&parsed, &w.dataset.graph, &w.dataset.pool).expect("evaluates");
+        assert_eq!(got, expect, "sparql mapping wrong on {iri}");
+    }
+    start.elapsed().as_micros()
+}

@@ -1,0 +1,56 @@
+//! Quickstart: the paper's running example (Examples 1 & 2), end to end.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use shapex::validate;
+
+fn main() {
+    // Example 1: Person shapes — one foaf:age (xsd:integer), one or more
+    // foaf:name (xsd:string), zero or more foaf:knows pointing at Persons.
+    let schema = r#"
+        PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+        PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>
+
+        <Person> {
+          foaf:age xsd:integer
+          , foaf:name xsd:string+
+          , foaf:knows @<Person>*
+        }
+    "#;
+
+    // Example 2: john and bob have shape Person; mary does not.
+    let data = r#"
+        @prefix : <http://example.org/> .
+        @prefix foaf: <http://xmlns.com/foaf/0.1/> .
+
+        :john foaf:age 23;
+              foaf:name "John";
+              foaf:knows :bob .
+        :bob foaf:age 34;
+             foaf:name "Bob", "Robert" .
+        :mary foaf:age 50, 65 .
+    "#;
+
+    let mut report = validate(schema, data).expect("schema and data parse");
+
+    println!("Shape typing (node → shape):");
+    println!("{}", report.render_typing());
+    println!();
+
+    for person in ["john", "bob", "mary"] {
+        let iri = format!("http://example.org/{person}");
+        if report.conforms(&iri, "Person") {
+            println!(":{person} has shape Person ✓");
+        } else {
+            println!(":{person} does NOT have shape Person ✗");
+            if let Some(why) = report.explain(&iri, "Person") {
+                println!("    {why}");
+            }
+        }
+    }
+
+    let stats = report.engine.stats();
+    println!("\nengine: {stats}");
+}

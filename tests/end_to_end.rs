@@ -1,0 +1,285 @@
+//! End-to-end flows across all crates: file-style inputs through parsing,
+//! validation with each engine, SPARQL generation/evaluation, and
+//! serialization.
+
+use shapex::{validate, Closure, Engine, EngineConfig};
+use shapex_backtrack::BacktrackValidator;
+use shapex_rdf::{ntriples, turtle, writer};
+use shapex_shex::ast::ShapeLabel;
+use shapex_shex::display::schema_to_shexc;
+use shapex_shex::shexc;
+use shapex_workloads::{person_network, Topology};
+
+/// A library catalogue: books, authors, and a review workflow with
+/// alternatives — exercises Or-groups, value sets, dates, and recursion
+/// through two mutually referencing shapes.
+const LIBRARY_SCHEMA: &str = r#"
+    PREFIX lib: <http://library.example/vocab/>
+    PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>
+
+    start = @<Book>
+
+    <Book> {
+      lib:title xsd:string
+      , lib:isbn PATTERN "97[89]-\\d{10}"
+      , lib:published xsd:gYear
+      , lib:author @<Author>+
+      , (lib:status ["draft"] | lib:status ["published"], lib:reviewedBy @<Author>)
+    }
+
+    <Author> {
+      lib:name xsd:string
+      , lib:wrote @<Book>*
+    }
+"#;
+
+const LIBRARY_DATA: &str = r#"
+    @prefix lib: <http://library.example/vocab/> .
+    @prefix : <http://library.example/id/> .
+    @prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+
+    :dune lib:title "Dune" ;
+        lib:isbn "978-0441172719" ;
+        lib:published "1965"^^xsd:gYear ;
+        lib:author :herbert ;
+        lib:status "published" ;
+        lib:reviewedBy :asimov .
+
+    :herbert lib:name "Frank Herbert" ;
+        lib:wrote :dune .
+
+    :asimov lib:name "Isaac Asimov" .
+
+    :wip lib:title "Unfinished" ;
+        lib:isbn "978-0000000000" ;
+        lib:published "2026"^^xsd:gYear ;
+        lib:author :herbert ;
+        lib:status "draft" .
+
+    # Bad ISBN checksum format (missing digit)
+    :badisbn lib:title "Oops" ;
+        lib:isbn "978-044117271" ;
+        lib:published "2001"^^xsd:gYear ;
+        lib:author :herbert ;
+        lib:status "draft" .
+
+    # published but not reviewed
+    :unreviewed lib:title "Rush job" ;
+        lib:isbn "978-1111111111" ;
+        lib:published "2020"^^xsd:gYear ;
+        lib:author :asimov ;
+        lib:status "published" .
+"#;
+
+#[test]
+fn library_catalogue_validation() {
+    let schema = shexc::parse(LIBRARY_SCHEMA).unwrap();
+    assert_eq!(schema.start().unwrap().as_str(), "Book");
+    let mut ds = turtle::parse(LIBRARY_DATA).unwrap();
+    let mut engine = Engine::new(&schema, &mut ds.pool).unwrap();
+
+    let book = ShapeLabel::new("Book");
+    let cases = [
+        ("dune", true),
+        ("wip", true),
+        ("badisbn", false),
+        ("unreviewed", false),
+    ];
+    for (local, expected) in cases {
+        let node = ds
+            .iri(&format!("http://library.example/id/{local}"))
+            .unwrap();
+        let got = engine.check(&ds.graph, &ds.pool, node, &book).unwrap();
+        assert_eq!(got.matched, expected, ":{local}");
+    }
+    // herbert's wrote-link to a valid Book; asimov has no wrote links.
+    let author = ShapeLabel::new("Author");
+    for a in ["herbert", "asimov"] {
+        let node = ds.iri(&format!("http://library.example/id/{a}")).unwrap();
+        assert!(
+            engine
+                .check(&ds.graph, &ds.pool, node, &author)
+                .unwrap()
+                .matched
+        );
+    }
+}
+
+#[test]
+fn library_schema_survives_print_parse_validate() {
+    let schema = shexc::parse(LIBRARY_SCHEMA).unwrap();
+    let printed = schema_to_shexc(&schema);
+    let schema2 = shexc::parse(&printed).expect("printed schema parses");
+    let mut ds = turtle::parse(LIBRARY_DATA).unwrap();
+    let mut engine = Engine::new(&schema2, &mut ds.pool).unwrap();
+    let node = ds.iri("http://library.example/id/dune").unwrap();
+    assert!(
+        engine
+            .check(&ds.graph, &ds.pool, node, &"Book".into())
+            .unwrap()
+            .matched
+    );
+}
+
+#[test]
+fn data_survives_serialisation_cycles() {
+    let ds = turtle::parse(LIBRARY_DATA).unwrap();
+    // Turtle → N-Triples → parse → Turtle → parse: same graph throughout.
+    let nt = writer::to_ntriples(&ds.graph, &ds.pool);
+    let ds2 = ntriples::parse(&nt).unwrap();
+    let ttl = writer::to_turtle(
+        &ds2.graph,
+        &ds2.pool,
+        &[
+            ("lib", "http://library.example/vocab/"),
+            ("id", "http://library.example/id/"),
+        ],
+    );
+    let ds3 = turtle::parse(&ttl).unwrap();
+    assert_eq!(ds3.graph.len(), ds.graph.len());
+    assert_eq!(writer::to_ntriples(&ds3.graph, &ds3.pool), nt);
+
+    // And the reloaded data still validates identically.
+    let schema = shexc::parse(LIBRARY_SCHEMA).unwrap();
+    let mut ds3 = ds3;
+    let mut engine = Engine::new(&schema, &mut ds3.pool).unwrap();
+    let node = ds3.iri("http://library.example/id/badisbn").unwrap();
+    assert!(
+        !engine
+            .check(&ds3.graph, &ds3.pool, node, &"Book".into())
+            .unwrap()
+            .matched
+    );
+}
+
+#[test]
+fn convenience_api_full_flow() {
+    let mut report = validate(LIBRARY_SCHEMA, LIBRARY_DATA).unwrap();
+    assert!(report.conforms("http://library.example/id/dune", "Book"));
+    assert!(!report.conforms("http://library.example/id/badisbn", "Book"));
+    let why = report
+        .explain("http://library.example/id/badisbn", "Book")
+        .unwrap();
+    assert!(why.contains("isbn"), "{why}");
+    let typing = report.render_typing();
+    assert!(typing.contains("dune"));
+    assert!(typing.contains("Author"));
+}
+
+#[test]
+fn engines_and_sparql_agree_on_big_open_world_batch() {
+    // 60-person networks in three topologies: derivative engine result is
+    // already differential-tested; here we pin the end-to-end totals.
+    for (topology, seed) in [
+        (Topology::Chain, 3u64),
+        (Topology::Cycle, 5),
+        (Topology::Random { degree: 2 }, 7),
+    ] {
+        let w = person_network(60, topology, 0.15, seed);
+        let schema = shexc::parse(&w.schema).unwrap();
+        let mut ds = w.dataset;
+        let mut engine = Engine::new(&schema, &mut ds.pool).unwrap();
+        let label = ShapeLabel::new(w.shape.as_str());
+        let mut conforming = 0usize;
+        for (iri, &expected) in w.focus.iter().zip(&w.expected) {
+            let node = ds.iri(iri).unwrap();
+            let got = engine
+                .check(&ds.graph, &ds.pool, node, &label)
+                .unwrap()
+                .matched;
+            assert_eq!(got, expected, "{iri} in {topology:?}");
+            conforming += usize::from(got);
+        }
+        let expected_total = w.expected.iter().filter(|&&v| v).count();
+        assert_eq!(conforming, expected_total);
+    }
+}
+
+#[test]
+fn open_vs_closed_on_annotated_data() {
+    let schema_src = "PREFIX lib: <http://library.example/vocab/>\n<Named> { lib:name . }";
+    // rdf:type annotations break closed validation, not open.
+    let data = r#"
+        @prefix lib: <http://library.example/vocab/> .
+        @prefix : <http://library.example/id/> .
+        :x a lib:Thing ; lib:name "X" .
+    "#;
+    let schema = shexc::parse(schema_src).unwrap();
+    let mut ds = turtle::parse(data).unwrap();
+    let node_iri = "http://library.example/id/x";
+
+    let mut closed = Engine::new(&schema, &mut ds.pool).unwrap();
+    let node = ds.iri(node_iri).unwrap();
+    assert!(
+        !closed
+            .check(&ds.graph, &ds.pool, node, &"Named".into())
+            .unwrap()
+            .matched
+    );
+
+    let schema2 = shexc::parse(schema_src).unwrap();
+    let mut open = Engine::compile(
+        &schema2,
+        &mut ds.pool,
+        EngineConfig {
+            closure: Closure::Open,
+            ..EngineConfig::default()
+        },
+    )
+    .unwrap();
+    assert!(
+        open.check(&ds.graph, &ds.pool, node, &"Named".into())
+            .unwrap()
+            .matched
+    );
+}
+
+#[test]
+fn backtracking_handles_the_library_non_recursively_scoped() {
+    // The library schema is recursive (Book ↔ Author), so the baseline
+    // computes the full gfp table — still correct, just slower.
+    let schema = shexc::parse(LIBRARY_SCHEMA).unwrap();
+    let ds = turtle::parse(LIBRARY_DATA).unwrap();
+    let v = BacktrackValidator::new(&schema).unwrap();
+    for (local, expected) in [("dune", true), ("badisbn", false), ("unreviewed", false)] {
+        let node = ds
+            .iri(&format!("http://library.example/id/{local}"))
+            .unwrap();
+        assert_eq!(
+            v.check(&ds.graph, &ds.pool, node, &"Book".into()).unwrap(),
+            expected,
+            ":{local}"
+        );
+    }
+}
+
+#[test]
+fn generated_sparql_runs_against_serialised_copy() {
+    // Generate validation SPARQL from a flat schema, serialize the graph
+    // to N-Triples, reload, and run the query on the copy.
+    let schema = shexc::parse(
+        "PREFIX lib: <http://library.example/vocab/>\nPREFIX xsd: <http://www.w3.org/2001/XMLSchema#>\n\
+         <Authorish> { lib:name xsd:string }",
+    )
+    .unwrap();
+    let ds = turtle::parse(LIBRARY_DATA).unwrap();
+    let nt = writer::to_ntriples(&ds.graph, &ds.pool);
+    let copy = ntriples::parse(&nt).unwrap();
+    let q = shapex_sparql::generate_node_ask(
+        &schema,
+        &"Authorish".into(),
+        "http://library.example/id/asimov",
+    )
+    .unwrap();
+    let parsed = shapex_sparql::parser::parse(&q).unwrap();
+    assert!(shapex_sparql::ask(&parsed, &copy.graph, &copy.pool).unwrap());
+    // herbert has an extra wrote-triple → closed shape fails.
+    let q2 = shapex_sparql::generate_node_ask(
+        &schema,
+        &"Authorish".into(),
+        "http://library.example/id/herbert",
+    )
+    .unwrap();
+    let parsed2 = shapex_sparql::parser::parse(&q2).unwrap();
+    assert!(!shapex_sparql::ask(&parsed2, &copy.graph, &copy.pool).unwrap());
+}

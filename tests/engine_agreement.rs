@@ -1,0 +1,452 @@
+//! Differential testing: the derivative engine must agree with the
+//! backtracking baseline (the paper's reference semantics, Fig. 1/Fig. 4)
+//! on randomly generated schemas and graphs, and both must agree with the
+//! workload generators' analytic ground truth.
+
+use proptest::prelude::*;
+
+use shapex::{Closure, Engine, EngineConfig};
+use shapex_backtrack::{BacktrackValidator, BtConfig};
+use shapex_rdf::graph::Dataset;
+use shapex_rdf::term::{Literal, Term};
+use shapex_shex::ast::{ArcConstraint, ShapeExpr, ShapeLabel};
+use shapex_shex::constraint::{NodeConstraint, ValueSetValue};
+use shapex_shex::schema::Schema;
+use shapex_workloads::{person_network, Topology};
+
+const PREDS: [&str; 3] = ["http://e/p0", "http://e/p1", "http://e/p2"];
+const VALUES: [i64; 3] = [1, 2, 3];
+
+/// A random value-set constraint over VALUES.
+fn arb_constraint() -> impl Strategy<Value = NodeConstraint> {
+    proptest::collection::btree_set(0usize..VALUES.len(), 1..=VALUES.len()).prop_map(|vals| {
+        NodeConstraint::ValueSet(
+            vals.into_iter()
+                .map(|i| ValueSetValue::Term(Term::Literal(Literal::integer(VALUES[i]))))
+                .collect(),
+        )
+    })
+}
+
+fn arb_arc() -> impl Strategy<Value = ShapeExpr> {
+    (0usize..PREDS.len(), arb_constraint())
+        .prop_map(|(p, c)| ShapeExpr::arc(ArcConstraint::value(PREDS[p], c)))
+}
+
+/// Random shape expressions of bounded depth over the tiny vocabulary.
+fn arb_expr() -> impl Strategy<Value = ShapeExpr> {
+    arb_arc().prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(ShapeExpr::star),
+            inner.clone().prop_map(ShapeExpr::plus),
+            inner.clone().prop_map(ShapeExpr::opt),
+            (inner.clone(), 0u32..=2, 0u32..=2).prop_map(|(e, m, extra)| ShapeExpr::repeat(
+                e,
+                m,
+                Some(m + extra)
+            )),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| ShapeExpr::and(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| ShapeExpr::or(a, b)),
+        ]
+    })
+}
+
+/// A random neighbourhood: up to 6 triples over PREDS × VALUES.
+fn arb_graph() -> impl Strategy<Value = Vec<(usize, i64)>> {
+    proptest::collection::btree_set((0usize..PREDS.len(), 0usize..VALUES.len()), 0..=6)
+        .prop_map(|set| set.into_iter().map(|(p, v)| (p, VALUES[v])).collect())
+}
+
+fn build_dataset(triples: &[(usize, i64)]) -> (Dataset, &'static str) {
+    let mut ds = Dataset::new();
+    let node = "http://e/n";
+    for &(p, v) in triples {
+        ds.insert(
+            Term::iri(node),
+            Term::iri(PREDS[p]),
+            Term::Literal(Literal::integer(v)),
+        );
+    }
+    // Ensure the node exists even with zero triples.
+    ds.pool.intern_iri(node);
+    (ds, node)
+}
+
+fn run_derivative(expr: &ShapeExpr, ds: &mut Dataset, node: &str, closure: Closure) -> bool {
+    let schema = Schema::from_rules([(ShapeLabel::new("S"), expr.clone())]).expect("one rule");
+    let mut engine = Engine::compile(
+        &schema,
+        &mut ds.pool,
+        EngineConfig {
+            closure,
+            ..EngineConfig::default()
+        },
+    )
+    .expect("compiles");
+    let n = ds.iri(node).expect("node interned");
+    engine
+        .check(&ds.graph, &ds.pool, n, &"S".into())
+        .expect("shape exists")
+        .matched
+}
+
+fn run_backtracking(expr: &ShapeExpr, ds: &Dataset, node: &str) -> Option<bool> {
+    let schema = Schema::from_rules([(ShapeLabel::new("S"), expr.clone())]).expect("one rule");
+    let v =
+        BacktrackValidator::with_config(&schema, BtConfig { budget: 5_000_000 }).expect("compiles");
+    let n = ds.iri(node).expect("node interned");
+    v.check(&ds.graph, &ds.pool, n, &"S".into()).ok()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The derivative engine and the Fig. 1 backtracking rules decide the
+    /// same language.
+    #[test]
+    fn derivative_agrees_with_backtracking(expr in arb_expr(), triples in arb_graph()) {
+        let (mut ds, node) = build_dataset(&triples);
+        let derivative = run_derivative(&expr, &mut ds, node, Closure::Closed);
+        if let Some(backtracking) = run_backtracking(&expr, &ds, node) {
+            prop_assert_eq!(
+                derivative, backtracking,
+                "disagree on {:?} over {:?}", expr, triples
+            );
+        }
+    }
+
+    /// `e{m,n}` (native counter derivative) is equivalent to its §4
+    /// expansion into the core algebra.
+    #[test]
+    fn repeat_equals_expansion(
+        inner in arb_arc(),
+        m in 0u32..3,
+        extra in 0u32..3,
+        unbounded in proptest::bool::ANY,
+        triples in arb_graph()
+    ) {
+        let max = if unbounded { None } else { Some(m + extra) };
+        let repeat = ShapeExpr::repeat(inner, m, max);
+        let expanded = repeat.desugared();
+        let (mut ds, node) = build_dataset(&triples);
+        let native = run_derivative(&repeat, &mut ds, node, Closure::Closed);
+        let via_expansion = run_derivative(&expanded, &mut ds, node, Closure::Closed);
+        prop_assert_eq!(native, via_expansion, "on {:?}", triples);
+    }
+
+    /// The SORBE counting fast path and the general derivative algorithm
+    /// decide the same language on every expression that qualifies for
+    /// the fast path (and on the rest, `no_sorbe` is a no-op) — in both
+    /// closure modes.
+    #[test]
+    fn sorbe_agrees_with_general(expr in arb_expr(), triples in arb_graph()) {
+        let (mut ds, node) = build_dataset(&triples);
+        let schema =
+            Schema::from_rules([(ShapeLabel::new("S"), expr.clone())]).expect("one rule");
+        for closure in [Closure::Closed, Closure::Open] {
+            let mut with_sorbe = Engine::compile(
+                &schema,
+                &mut ds.pool,
+                EngineConfig { closure, ..EngineConfig::default() },
+            )
+            .expect("compiles");
+            let mut general = Engine::compile(
+                &schema,
+                &mut ds.pool,
+                EngineConfig { closure, no_sorbe: true, ..EngineConfig::default() },
+            )
+            .expect("compiles");
+            let n = ds.iri(node).expect("node interned");
+            let a = with_sorbe.check(&ds.graph, &ds.pool, n, &"S".into()).unwrap().matched;
+            let b = general.check(&ds.graph, &ds.pool, n, &"S".into()).unwrap().matched;
+            prop_assert_eq!(
+                a, b,
+                "sorbe path diverges ({:?}) on {:?} over {:?}", closure, expr, triples
+            );
+        }
+    }
+
+    /// Closed conformance implies open conformance (open only ignores
+    /// extra triples).
+    #[test]
+    fn closed_implies_open(expr in arb_expr(), triples in arb_graph()) {
+        let (mut ds, node) = build_dataset(&triples);
+        let closed = run_derivative(&expr, &mut ds, node, Closure::Closed);
+        let open = run_derivative(&expr, &mut ds, node, Closure::Open);
+        prop_assert!(!closed || open, "closed ⊄ open on {:?} / {:?}", expr, triples);
+    }
+
+    /// Every non-conforming verdict carries a failure explanation that
+    /// renders without panicking.
+    #[test]
+    fn failures_always_explained(expr in arb_expr(), triples in arb_graph()) {
+        let (mut ds, node) = build_dataset(&triples);
+        let schema =
+            Schema::from_rules([(ShapeLabel::new("S"), expr.clone())]).expect("one rule");
+        let mut engine = Engine::new(&schema, &mut ds.pool).expect("compiles");
+        let n = ds.iri(node).expect("interned");
+        let result = engine.check(&ds.graph, &ds.pool, n, &"S".into()).unwrap();
+        if !result.matched {
+            let failure = result.failure.expect("failing checks are explained");
+            let rendered = failure.render(&ds.pool);
+            prop_assert!(!rendered.is_empty());
+        }
+    }
+
+    /// The §7 trace reaches the same verdict as the checker (general
+    /// path), on arbitrary expressions and graphs.
+    #[test]
+    fn trace_verdict_matches_check(expr in arb_expr(), triples in arb_graph()) {
+        let (mut ds, node) = build_dataset(&triples);
+        let schema =
+            Schema::from_rules([(ShapeLabel::new("S"), expr.clone())]).expect("one rule");
+        let mut engine = Engine::compile(
+            &schema,
+            &mut ds.pool,
+            EngineConfig { no_sorbe: true, ..EngineConfig::default() },
+        )
+        .expect("compiles");
+        let n = ds.iri(node).expect("interned");
+        let checked = engine
+            .check(&ds.graph, &ds.pool, n, &"S".into())
+            .unwrap()
+            .matched;
+        let traced = engine
+            .trace(&ds.graph, &ds.pool, n, &"S".into())
+            .unwrap()
+            .matched;
+        prop_assert_eq!(checked, traced, "on {:?} over {:?}", expr, triples);
+    }
+
+    /// Matching is insensitive to triple consumption order: validating the
+    /// same neighbourhood built in reversed insertion order agrees.
+    #[test]
+    fn order_insensitive(expr in arb_expr(), triples in arb_graph()) {
+        let (mut ds, node) = build_dataset(&triples);
+        let forward = run_derivative(&expr, &mut ds, node, Closure::Closed);
+        let reversed: Vec<_> = triples.iter().rev().copied().collect();
+        let (mut ds2, node2) = build_dataset(&reversed);
+        let backward = run_derivative(&expr, &mut ds2, node2, Closure::Closed);
+        prop_assert_eq!(forward, backward);
+    }
+}
+
+const NODES: [&str; 4] = ["http://e/n0", "http://e/n1", "http://e/n2", "http://e/n3"];
+
+/// A two-shape schema where `S` requires `ref`-arcs into `T`, plus a small
+/// multi-node graph with cross-links — exercises the Arcref rule (§8) on
+/// both engines, including self/mutual references.
+fn arb_ref_schema() -> impl Strategy<Value = Schema> {
+    // T: a flat value-set shape; S: one value arc + a ref arc to T (or S,
+    // making it recursive) under a random cardinality.
+    (
+        arb_constraint(),
+        arb_constraint(),
+        0usize..2, // 0 = @T, 1 = @S (recursive)
+        prop_oneof![
+            Just((0u32, None)),       // *
+            Just((1u32, None)),       // +
+            Just((0u32, Some(1u32))), // ?
+            Just((1u32, Some(1u32))), // exactly one
+        ],
+    )
+        .prop_map(|(c_t, c_s, target, (min, max))| {
+            let target_label = if target == 0 { "T" } else { "S" };
+            let ref_arc = ShapeExpr::repeat(
+                ShapeExpr::arc(ArcConstraint::reference("http://e/link", target_label)),
+                min,
+                max,
+            );
+            let s_expr = ShapeExpr::and(
+                ShapeExpr::opt(ShapeExpr::arc(ArcConstraint::value(PREDS[0], c_s))),
+                ref_arc,
+            );
+            let t_expr = ShapeExpr::opt(ShapeExpr::arc(ArcConstraint::value(PREDS[1], c_t)));
+            Schema::from_rules([
+                (ShapeLabel::new("S"), s_expr),
+                (ShapeLabel::new("T"), t_expr),
+            ])
+            .expect("two rules")
+        })
+}
+
+/// A random 4-node graph: value triples over PREDS plus `link` edges.
+fn arb_linked_graph() -> impl Strategy<Value = Vec<(usize, usize, Option<usize>)>> {
+    // (node, pred index, Some(value)) or (node, target node, None) = link
+    proptest::collection::btree_set(
+        prop_oneof![
+            (0usize..NODES.len(), 0usize..2, 0usize..VALUES.len()).prop_map(|(n, p, v)| (
+                n,
+                p,
+                Some(v)
+            )),
+            (0usize..NODES.len(), 0usize..NODES.len()).prop_map(|(n, t)| (n, t, None)),
+        ],
+        0..8,
+    )
+    .prop_map(|set| set.into_iter().collect())
+}
+
+fn build_linked(triples: &[(usize, usize, Option<usize>)]) -> Dataset {
+    let mut ds = Dataset::new();
+    for &(n, x, v) in triples {
+        match v {
+            Some(vi) => ds.insert(
+                Term::iri(NODES[n]),
+                Term::iri(PREDS[x]),
+                Term::Literal(Literal::integer(VALUES[vi])),
+            ),
+            None => ds.insert(
+                Term::iri(NODES[n]),
+                Term::iri("http://e/link"),
+                Term::iri(NODES[x]),
+            ),
+        };
+    }
+    for n in NODES {
+        ds.pool.intern_iri(n);
+    }
+    ds
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Referencing (possibly recursive) schemas: derivative engine ≡
+    /// backtracking gfp reference on every node × both shapes.
+    #[test]
+    fn referencing_schemas_agree(
+        schema in arb_ref_schema(),
+        triples in arb_linked_graph()
+    ) {
+        let mut ds = build_linked(&triples);
+        let mut engine = Engine::new(&schema, &mut ds.pool).expect("compiles");
+        let bt = BacktrackValidator::new(&schema).expect("compiles");
+        for node_iri in NODES {
+            let node = ds.iri(node_iri).expect("interned");
+            for label in ["S", "T"] {
+                let d = engine
+                    .check(&ds.graph, &ds.pool, node, &label.into())
+                    .unwrap()
+                    .matched;
+                let b = bt
+                    .check(&ds.graph, &ds.pool, node, &label.into())
+                    .unwrap();
+                prop_assert_eq!(
+                    d, b,
+                    "disagree on {} @{} over {:?}", node_iri, label, triples
+                );
+            }
+        }
+    }
+}
+
+/// Recursive schemas: the derivative engine's optimised coinduction must
+/// match (a) the analytic ground truth of the generator and (b) the
+/// backtracking greatest-fixpoint reference, across topologies and seeds.
+#[test]
+fn person_networks_agree_with_ground_truth_and_backtracking() {
+    for topology in [
+        Topology::Chain,
+        Topology::Cycle,
+        Topology::Random { degree: 2 },
+    ] {
+        for seed in 0..8u64 {
+            let w = person_network(8, topology, 0.3, seed);
+            let schema = shapex_shex::shexc::parse(&w.schema).unwrap();
+            let mut ds = w.dataset;
+            let mut engine = Engine::new(&schema, &mut ds.pool).unwrap();
+            let bt = BacktrackValidator::new(&schema).unwrap();
+            for (iri, &expected) in w.focus.iter().zip(&w.expected) {
+                let node = ds.iri(iri).unwrap();
+                let got = engine
+                    .check(
+                        &ds.graph,
+                        &ds.pool,
+                        node,
+                        &ShapeLabel::new(w.shape.as_str()),
+                    )
+                    .unwrap()
+                    .matched;
+                assert_eq!(
+                    got, expected,
+                    "derivative vs truth: {iri} ({topology:?}, seed {seed})"
+                );
+                let bt_got = bt
+                    .check(
+                        &ds.graph,
+                        &ds.pool,
+                        node,
+                        &ShapeLabel::new(w.shape.as_str()),
+                    )
+                    .unwrap();
+                assert_eq!(
+                    bt_got, expected,
+                    "backtracking vs truth: {iri} ({topology:?}, seed {seed})"
+                );
+            }
+        }
+    }
+}
+
+/// The two engines also agree on which *queries* fail when schemas use
+/// node kinds and datatypes (not just value sets).
+#[test]
+fn datatype_schema_agreement() {
+    let schema_src = r#"
+        PREFIX e: <http://e/>
+        PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>
+        <S> { e:i xsd:integer, e:s xsd:string?, e:any .* }
+    "#;
+    let data = r#"
+        @prefix e: <http://e/> .
+        e:good e:i 42; e:s "text"; e:any e:x, 1, "z" .
+        e:bad1 e:i "not int"; e:s "text" .
+        e:bad2 e:i 42; e:s "a", "b" .
+        e:good2 e:i 7 .
+    "#;
+    let schema = shapex_shex::shexc::parse(schema_src).unwrap();
+    let mut ds = shapex_rdf::turtle::parse(data).unwrap();
+    let mut engine = Engine::new(&schema, &mut ds.pool).unwrap();
+    let bt = BacktrackValidator::new(&schema).unwrap();
+    for node in ["good", "bad1", "bad2", "good2"] {
+        let n = ds.iri(&format!("http://e/{node}")).unwrap();
+        let d = engine
+            .check(&ds.graph, &ds.pool, n, &"S".into())
+            .unwrap()
+            .matched;
+        let b = bt.check(&ds.graph, &ds.pool, n, &"S".into()).unwrap();
+        assert_eq!(d, b, "engines disagree on {node}");
+    }
+}
+
+/// Flat schemas: the generated-SPARQL path agrees with the derivative
+/// engine on seeded record workloads.
+#[test]
+fn sparql_mapping_agrees_on_flat_records() {
+    for seed in 0..4u64 {
+        let w = shapex_workloads::flat_person_records(40, seed);
+        let schema = shapex_shex::shexc::parse(&w.schema).unwrap();
+        let mut ds = w.dataset;
+        let mut engine = Engine::new(&schema, &mut ds.pool).unwrap();
+        for (iri, &expected) in w.focus.iter().zip(&w.expected) {
+            let node = ds.iri(iri).unwrap();
+            let d = engine
+                .check(
+                    &ds.graph,
+                    &ds.pool,
+                    node,
+                    &ShapeLabel::new(w.shape.as_str()),
+                )
+                .unwrap()
+                .matched;
+            assert_eq!(d, expected, "derivative vs truth on {iri} (seed {seed})");
+            let q =
+                shapex_sparql::generate_node_ask(&schema, &ShapeLabel::new(w.shape.as_str()), iri)
+                    .unwrap();
+            let parsed = shapex_sparql::parser::parse(&q).unwrap();
+            let s = shapex_sparql::ask(&parsed, &ds.graph, &ds.pool).unwrap();
+            assert_eq!(s, expected, "sparql vs truth on {iri} (seed {seed})");
+        }
+    }
+}

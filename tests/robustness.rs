@@ -1,0 +1,114 @@
+//! Robustness: no parser in the workspace may panic on arbitrary input —
+//! they must return structured errors — and the string-regex matchers must
+//! agree with each other on arbitrary ASTs.
+
+use std::rc::Rc;
+
+use proptest::prelude::*;
+
+use shapex_shex::strre::{backtrack_match, CharClass, Re, Regex};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The Turtle parser returns Ok or Err on any string — never panics.
+    #[test]
+    fn turtle_parser_never_panics(input in ".{0,200}") {
+        let _ = shapex_rdf::turtle::parse(&input);
+    }
+
+    /// Likewise for near-miss Turtle: mutations of a valid document.
+    #[test]
+    fn turtle_parser_survives_mutations(cut in 0usize..120, insert in ".{0,4}") {
+        let valid = "@prefix e: <http://e/> . e:a e:p \"x\"@en, 4.5, true; e:q [ e:r (1 2) ] .";
+        let cut = cut.min(valid.len());
+        let mut mutated = String::new();
+        mutated.push_str(&valid[..cut]);
+        mutated.push_str(&insert);
+        // Cut on a char boundary (ASCII document, always true).
+        mutated.push_str(&valid[cut..]);
+        let _ = shapex_rdf::turtle::parse(&mutated);
+    }
+
+    /// The N-Triples parser never panics.
+    #[test]
+    fn ntriples_parser_never_panics(input in ".{0,200}") {
+        let _ = shapex_rdf::ntriples::parse(&input);
+    }
+
+    /// The ShExC parser never panics.
+    #[test]
+    fn shexc_parser_never_panics(input in ".{0,200}") {
+        let _ = shapex_shex::shexc::parse(&input);
+    }
+
+    /// ShExC near-misses.
+    #[test]
+    fn shexc_parser_survives_mutations(cut in 0usize..100, insert in ".{0,4}") {
+        let valid = "PREFIX e: <http://e/>\n<S> { e:a [1 2]+, e:b IRI? | ^e:c NOT LITERAL{1,3} }";
+        let cut = cut.min(valid.len());
+        let mut mutated = String::new();
+        mutated.push_str(&valid[..cut]);
+        mutated.push_str(&insert);
+        mutated.push_str(&valid[cut..]);
+        let _ = shapex_shex::shexc::parse(&mutated);
+    }
+
+    /// The SPARQL parser never panics.
+    #[test]
+    fn sparql_parser_never_panics(input in ".{0,200}") {
+        let _ = shapex_sparql::parser::parse(&input);
+    }
+
+    /// The string-regex pattern parser never panics.
+    #[test]
+    fn pattern_parser_never_panics(input in ".{0,60}") {
+        let _ = Regex::new(&input);
+    }
+}
+
+// ---- string-regex matcher agreement on random ASTs ----
+
+fn arb_re() -> impl Strategy<Value = Rc<Re>> {
+    let leaf = prop_oneof![
+        Just(Rc::new(Re::Epsilon)),
+        prop_oneof![Just('a'), Just('b'), Just('c')].prop_map(Re::char),
+        Just(Re::class(CharClass::ranges(vec![('a', 'b')], false))),
+        Just(Re::class(CharClass::ranges(vec![('b', 'c')], true))),
+    ];
+    leaf.prop_recursive(4, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Re::concat(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Re::alt(a, b)),
+            inner.prop_map(Re::star),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Alternation is canonical: commutative and associative at the
+    /// constructor level (required for derivative-state convergence).
+    #[test]
+    fn alt_is_canonical(a in arb_re(), b in arb_re(), c in arb_re()) {
+        prop_assert_eq!(Re::alt(a.clone(), b.clone()), Re::alt(b.clone(), a.clone()));
+        prop_assert_eq!(
+            Re::alt(Re::alt(a.clone(), b.clone()), c.clone()),
+            Re::alt(a.clone(), Re::alt(b.clone(), c.clone()))
+        );
+        prop_assert_eq!(Re::alt(a.clone(), a.clone()), a.clone());
+    }
+
+    /// Derivative matching ≡ memoised derivative matching ≡ naive
+    /// backtracking, on arbitrary regex ASTs and short inputs.
+    #[test]
+    fn string_matchers_agree(re in arb_re(), input in "[abc]{0,7}") {
+        let source = Regex::from_ast(re.clone());
+        let derivative = source.is_match(&input);
+        let memoised = source.is_match_memo(&input);
+        let backtracking = backtrack_match(&re, &input);
+        prop_assert_eq!(derivative, memoised, "memo diverges on {:?} / {:?}", re, input);
+        prop_assert_eq!(derivative, backtracking, "backtracking diverges on {:?} / {:?}", re, input);
+    }
+}

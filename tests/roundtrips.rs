@@ -1,0 +1,225 @@
+//! Round-trip properties: serializers and pretty-printers must re-parse to
+//! the same artifact, on randomly generated inputs.
+
+use proptest::prelude::*;
+
+use shapex_rdf::graph::Dataset;
+use shapex_rdf::term::{Literal, Term};
+use shapex_rdf::{ntriples, turtle, writer};
+use shapex_shex::ast::{ArcConstraint, ShapeExpr, ShapeLabel};
+use shapex_shex::constraint::{Facet, NodeConstraint, NodeKind, ValueSetValue};
+use shapex_shex::display::schema_to_shexc;
+use shapex_shex::schema::Schema;
+use shapex_shex::shexc;
+
+// ---- random RDF terms ----
+
+fn arb_iri() -> impl Strategy<Value = Term> {
+    "[a-z][a-z0-9]{0,8}".prop_map(|local| Term::iri(format!("http://example.org/{local}")))
+}
+
+fn arb_literal() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        // Printable text including escapes-worthy characters.
+        "[ -~]{0,12}".prop_map(|s| Term::Literal(Literal::string(s))),
+        any::<i64>().prop_map(|i| Term::Literal(Literal::integer(i))),
+        "[a-z]{1,6}".prop_map(|s| Term::Literal(Literal::lang_string(s, "en-GB"))),
+        any::<bool>().prop_map(|b| Term::Literal(Literal::boolean(b))),
+    ]
+}
+
+fn arb_subject() -> impl Strategy<Value = Term> {
+    prop_oneof![arb_iri(), "[a-z][a-z0-9]{0,5}".prop_map(Term::blank),]
+}
+
+fn arb_object() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        arb_iri(),
+        arb_literal(),
+        "[a-z][a-z0-9]{0,5}".prop_map(Term::blank)
+    ]
+}
+
+fn arb_dataset() -> impl Strategy<Value = Dataset> {
+    proptest::collection::vec((arb_subject(), arb_iri(), arb_object()), 0..20).prop_map(|triples| {
+        let mut ds = Dataset::new();
+        for (s, p, o) in triples {
+            ds.insert(s, p, o);
+        }
+        ds
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// N-Triples: serialize → parse → serialize is a fixpoint.
+    #[test]
+    fn ntriples_roundtrip(ds in arb_dataset()) {
+        let nt = writer::to_ntriples(&ds.graph, &ds.pool);
+        let re = ntriples::parse(&nt).expect("serialized N-Triples re-parses");
+        prop_assert_eq!(re.graph.len(), ds.graph.len());
+        prop_assert_eq!(writer::to_ntriples(&re.graph, &re.pool), nt);
+    }
+
+    /// Turtle writer output re-parses to the same graph (compared via
+    /// canonical N-Triples).
+    #[test]
+    fn turtle_roundtrip(ds in arb_dataset()) {
+        let ttl = writer::to_turtle(
+            &ds.graph,
+            &ds.pool,
+            &[("ex", "http://example.org/")],
+        );
+        let re = turtle::parse(&ttl).expect("serialized Turtle re-parses");
+        prop_assert_eq!(
+            writer::to_ntriples(&re.graph, &re.pool),
+            writer::to_ntriples(&ds.graph, &ds.pool),
+            "turtle was:\n{}", ttl
+        );
+    }
+}
+
+// ---- random schemas ----
+
+fn arb_constraint() -> impl Strategy<Value = NodeConstraint> {
+    // ShExC surface syntax is "atom + facets": AllOf combinations beyond
+    // that (e.g. two node kinds) have no compact-syntax rendering, so the
+    // generator sticks to parser-producible shapes.
+    let atom = prop_oneof![
+        prop_oneof![
+            Just(NodeKind::Iri),
+            Just(NodeKind::BNode),
+            Just(NodeKind::Literal),
+            Just(NodeKind::NonLiteral)
+        ]
+        .prop_map(NodeConstraint::Kind),
+        Just(NodeConstraint::Datatype(
+            shapex_rdf::vocab::xsd::INTEGER.into()
+        )),
+        proptest::collection::vec(
+            prop_oneof![
+                (1i64..100).prop_map(|i| ValueSetValue::Term(Term::Literal(Literal::integer(i)))),
+                "[a-z]{1,5}".prop_map(|s| ValueSetValue::Term(Term::Literal(Literal::string(s)))),
+                "[a-z]{1,5}".prop_map(|s| ValueSetValue::IriStem(format!("http://e/{s}").into())),
+                Just(ValueSetValue::Language("en".into())),
+                Just(ValueSetValue::LanguageStem("de".into())),
+            ],
+            1..4
+        )
+        .prop_map(NodeConstraint::ValueSet),
+    ];
+    let facet = prop_oneof![
+        (0usize..20).prop_map(Facet::MinLength),
+        (1usize..20).prop_map(Facet::MaxLength),
+        (0usize..9).prop_map(Facet::Length),
+    ];
+    prop_oneof![
+        Just(NodeConstraint::Any),
+        atom.clone(),
+        facet.clone().prop_map(NodeConstraint::Facet),
+        atom.clone().prop_map(|c| NodeConstraint::Not(Box::new(c))),
+        (atom, proptest::collection::vec(facet, 1..3)).prop_map(|(a, fs)| {
+            let mut all = vec![a];
+            all.extend(fs.into_iter().map(NodeConstraint::Facet));
+            NodeConstraint::AllOf(all)
+        }),
+    ]
+}
+
+fn arb_shape_expr() -> impl Strategy<Value = ShapeExpr> {
+    let arc =
+        ("[a-z][a-z0-9]{0,6}", arb_constraint(), proptest::bool::ANY).prop_map(|(p, c, inv)| {
+            let mut a = ArcConstraint::value(format!("http://e/{p}"), c);
+            a.inverse = inv;
+            ShapeExpr::Arc(a)
+        });
+    arc.prop_recursive(3, 20, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(ShapeExpr::star),
+            inner.clone().prop_map(ShapeExpr::plus),
+            inner.clone().prop_map(ShapeExpr::opt),
+            (inner.clone(), 0u32..4, 0u32..4).prop_map(|(e, m, x)| ShapeExpr::repeat(
+                e,
+                m,
+                Some(m + x)
+            )),
+            (inner.clone(), 1u32..4).prop_map(|(e, m)| ShapeExpr::repeat(e, m, None)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| ShapeExpr::and(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| ShapeExpr::or(a, b)),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// ShExC: print → parse returns an identical schema.
+    #[test]
+    fn shexc_print_parse_roundtrip(exprs in proptest::collection::vec(arb_shape_expr(), 1..4)) {
+        let mut schema = Schema::new();
+        for (i, e) in exprs.into_iter().enumerate() {
+            schema
+                .add_shape(ShapeLabel::new(format!("S{i}")), e)
+                .expect("unique labels");
+        }
+        let printed = schema_to_shexc(&schema);
+        let reparsed = shexc::parse(&printed)
+            .unwrap_or_else(|e| panic!("printed schema must re-parse: {e}\n{printed}"));
+        for (label, expr) in schema.iter() {
+            prop_assert_eq!(
+                Some(expr),
+                reparsed.get(label),
+                "shape {} changed; printed form:\n{}",
+                label,
+                printed
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// ShExJ: `to_json` is a canonical form — re-reading and re-writing is
+    /// a fixpoint, and the decoded schema validates identically (same
+    /// ShExC rendering of each shape body).
+    #[test]
+    fn shexj_fixpoint(exprs in proptest::collection::vec(arb_shape_expr(), 1..4)) {
+        let mut schema = Schema::new();
+        for (i, e) in exprs.into_iter().enumerate() {
+            schema
+                .add_shape(ShapeLabel::new(format!("S{i}")), e)
+                .expect("unique labels");
+        }
+        let j1 = shapex_shex::shexj::to_json(&schema);
+        let decoded = shapex_shex::shexj::from_json(&j1)
+            .unwrap_or_else(|e| panic!("generated ShExJ must re-parse: {e}\n{j1}"));
+        let j2 = shapex_shex::shexj::to_json(&decoded);
+        prop_assert_eq!(&j1, &j2, "not a fixpoint");
+    }
+}
+
+/// Pattern-facet strings with metacharacters survive the print/parse trip.
+#[test]
+fn pattern_escaping_roundtrip() {
+    for pattern in [r"a\d+", r#"quote\"inside"#, r"back\\slash", "[a-z]{2,3}"] {
+        let mut schema = Schema::new();
+        schema
+            .add_shape(
+                ShapeLabel::new("S"),
+                ShapeExpr::Arc(ArcConstraint::value(
+                    "http://e/p",
+                    NodeConstraint::Facet(Facet::Pattern(pattern.into())),
+                )),
+            )
+            .unwrap();
+        let printed = schema_to_shexc(&schema);
+        let reparsed = shexc::parse(&printed).expect("re-parses");
+        assert_eq!(
+            schema.get(&"S".into()),
+            reparsed.get(&"S".into()),
+            "pattern {pattern:?}; printed:\n{printed}"
+        );
+    }
+}
