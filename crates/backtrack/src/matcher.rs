@@ -2,6 +2,7 @@
 
 use std::collections::HashMap;
 
+use shapex::budget::{Budget, BudgetMeter, Exhaustion};
 use shapex_rdf::graph::Graph;
 use shapex_rdf::pool::{TermId, TermPool};
 use shapex_rdf::term::Term;
@@ -11,23 +12,27 @@ use shapex_shex::schema::{Schema, SchemaError};
 /// Baseline configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct BtConfig {
-    /// Abort after this many rule applications (the matcher is
-    /// exponential; benchmarks cap it rather than hang).
-    pub budget: u64,
+    /// Per-node resource limits (shared [`shapex::budget::Budget`] type).
+    /// The matcher is exponential, so the default caps rule applications
+    /// at 50M rather than hang; arena limits are meaningless here (no
+    /// expression arena) and are ignored.
+    pub budget: Budget,
 }
 
 impl Default for BtConfig {
     fn default() -> Self {
-        BtConfig { budget: 50_000_000 }
+        BtConfig {
+            budget: Budget::steps(50_000_000),
+        }
     }
 }
 
 /// Baseline errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BtError {
-    /// The rule-application budget was exhausted — the exponential blow-up
-    /// the paper warns about, reported instead of hanging.
-    BudgetExceeded,
+    /// A resource budget was exhausted — the exponential blow-up the paper
+    /// warns about, reported instead of hanging.
+    ResourceExhausted(Exhaustion),
     /// Neighbourhoods beyond 64 triples exceed the decomposition bitmask.
     /// (By then the 2⁶⁴ decompositions are unreachable anyway.)
     NeighbourhoodTooLarge(usize),
@@ -40,7 +45,7 @@ pub enum BtError {
 impl std::fmt::Display for BtError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            BtError::BudgetExceeded => write!(f, "backtracking budget exceeded"),
+            BtError::ResourceExhausted(e) => write!(f, "backtracking {e}"),
             BtError::NeighbourhoodTooLarge(n) => {
                 write!(f, "neighbourhood of {n} triples exceeds 64-triple limit")
             }
@@ -55,6 +60,12 @@ impl std::error::Error for BtError {}
 impl From<SchemaError> for BtError {
     fn from(e: SchemaError) -> Self {
         BtError::Schema(e)
+    }
+}
+
+impl From<Exhaustion> for BtError {
+    fn from(e: Exhaustion) -> Self {
+        BtError::ResourceExhausted(e)
     }
 }
 
@@ -94,6 +105,12 @@ struct BtShape {
     has_inverse: bool,
     inverse_predicates: Vec<Box<str>>,
 }
+
+/// The greatest-fixpoint typing table: `(shape index, node) → conforms`.
+pub type TypingTable = HashMap<(usize, TermId), bool>;
+
+/// Pairs whose budget tripped while the table was computed.
+pub type ExhaustedPairs = HashMap<(usize, TermId), Exhaustion>;
 
 /// The backtracking validator (paper Fig. 1 / Fig. 4).
 pub struct BacktrackValidator {
@@ -165,7 +182,12 @@ impl BacktrackValidator {
             .index
             .get(label)
             .ok_or_else(|| BtError::UnknownShape(label.as_str().to_string()))?;
-        let typing = self.typing_table(graph, terms)?;
+        let (typing, exhausted) = self.typing_table(graph, terms)?;
+        // Exhaustion surfaces only for the pair actually asked about —
+        // other pairs keep their (under-approximated) answers.
+        if let Some(&e) = exhausted.get(&(shape, node)) {
+            return Err(BtError::ResourceExhausted(e));
+        }
         match typing.get(&(shape, node)) {
             Some(&v) => Ok(v),
             // Node not in the graph at all: match against the empty
@@ -176,11 +198,16 @@ impl BacktrackValidator {
 
     /// The greatest-fixpoint typing over every node occurring in the graph
     /// and every shape (paper §8 semantics, computed by iterated removal).
+    ///
+    /// Per-pair fault isolation: a pair whose [`crate::BtConfig`] budget
+    /// trips is *removed* from the typing — sound, since dropping an
+    /// assumption only under-approximates a greatest fixpoint — and
+    /// reported in the second component instead of aborting the table.
     pub fn typing_table(
         &self,
         graph: &Graph,
         terms: &TermPool,
-    ) -> Result<HashMap<(usize, TermId), bool>, BtError> {
+    ) -> Result<(TypingTable, ExhaustedPairs), BtError> {
         // Every term occurring in the graph can be asked for a shape.
         let mut nodes: Vec<TermId> = Vec::new();
         for t in graph.triples() {
@@ -196,6 +223,7 @@ impl BacktrackValidator {
                 table.insert((s, n), true);
             }
         }
+        let mut exhausted: HashMap<(usize, TermId), Exhaustion> = HashMap::new();
         loop {
             let mut st = self.stats.get();
             st.gfp_iterations += 1;
@@ -206,14 +234,22 @@ impl BacktrackValidator {
                     if !table[&(s, n)] {
                         continue;
                     }
-                    if !self.match_node(graph, terms, n, s, &table)? {
+                    let keep = match self.match_node(graph, terms, n, s, &table) {
+                        Ok(v) => v,
+                        Err(BtError::ResourceExhausted(e)) => {
+                            exhausted.insert((s, n), e);
+                            false
+                        }
+                        Err(other) => return Err(other),
+                    };
+                    if !keep {
                         table.insert((s, n), false);
                         changed = true;
                     }
                 }
             }
             if !changed {
-                return Ok(table);
+                return Ok((table, exhausted));
             }
         }
     }
@@ -261,18 +297,21 @@ impl BacktrackValidator {
         } else {
             u64::MAX >> (64 - triples.len())
         };
+        // Each node gets the full budget (per-node fault isolation,
+        // matching the derivative engine's per-query meter).
+        let mut meter = self.config.budget.meter();
         let mut ctx = MatchCtx {
             sat: &sat,
             steps: 0,
             decompositions: 0,
-            budget: self.config.budget,
+            meter: &mut meter,
         };
         let result = matches(&sh.expr, full, &mut ctx);
         let mut st = self.stats.get();
         st.rule_applications += ctx.steps;
         st.decompositions += ctx.decompositions;
         self.stats.set(st);
-        result
+        result.map_err(BtError::from)
     }
 
     fn arc_satisfied(
@@ -305,11 +344,12 @@ impl BacktrackValidator {
                 // neighbourhoods; match δ(l) against the empty bag.
                 oracle.get(&(target, other)).copied().unwrap_or_else(|| {
                     let sh = &self.shapes[target];
+                    let mut meter = self.config.budget.meter();
                     let mut ctx = MatchCtx {
                         sat: &[],
                         steps: 0,
                         decompositions: 0,
-                        budget: self.config.budget,
+                        meter: &mut meter,
                     };
                     matches(&sh.expr, 0, &mut ctx).unwrap_or(false)
                 })
@@ -351,16 +391,22 @@ struct MatchCtx<'a> {
     sat: &'a [Vec<bool>],
     steps: u64,
     decompositions: u64,
-    budget: u64,
+    meter: &'a mut BudgetMeter,
 }
 
 /// The Fig. 1 rules. `mask` selects the sub-bag of the neighbourhood being
-/// matched; the And/Star rules enumerate its decompositions.
-fn matches(e: &BtExpr, mask: u64, ctx: &mut MatchCtx<'_>) -> Result<bool, BtError> {
+/// matched; the And/Star rules enumerate its decompositions. Charges one
+/// budget step and one recursion level per rule application.
+fn matches(e: &BtExpr, mask: u64, ctx: &mut MatchCtx<'_>) -> Result<bool, Exhaustion> {
     ctx.steps += 1;
-    if ctx.steps > ctx.budget {
-        return Err(BtError::BudgetExceeded);
-    }
+    ctx.meter.step()?;
+    ctx.meter.enter_depth()?;
+    let result = matches_inner(e, mask, ctx);
+    ctx.meter.exit_depth();
+    result
+}
+
+fn matches_inner(e: &BtExpr, mask: u64, ctx: &mut MatchCtx<'_>) -> Result<bool, Exhaustion> {
     match e {
         BtExpr::Empty => Ok(false),
         // Empty: ε ≃ {}
@@ -514,12 +560,73 @@ mod tests {
             }
         }
         let ds = turtle::parse(&data).unwrap();
-        let v = BacktrackValidator::with_config(&schema, BtConfig { budget: 10_000 }).unwrap();
+        let v = BacktrackValidator::with_config(
+            &schema,
+            BtConfig {
+                budget: Budget::steps(10_000),
+            },
+        )
+        .unwrap();
         let n = ds.iri("http://e/n").unwrap();
-        assert_eq!(
-            v.check(&ds.graph, &ds.pool, n, &"S".into()),
-            Err(BtError::BudgetExceeded)
-        );
+        let err = v.check(&ds.graph, &ds.pool, n, &"S".into()).unwrap_err();
+        let BtError::ResourceExhausted(e) = err else {
+            panic!("expected exhaustion, got {err:?}");
+        };
+        assert_eq!(e.resource, shapex::budget::Resource::Steps);
+        assert_eq!(e.limit, 10_000);
+        assert!(e.spent <= e.limit);
+    }
+
+    #[test]
+    fn deadline_budget_trips() {
+        use std::time::Duration;
+        // Same adversarial input, but governed by a zero deadline instead
+        // of a step cap.
+        let schema =
+            shexc::parse("PREFIX e: <http://e/>\n<S> { e:a .*, e:b .*, e:c .*, e:d .*, e:e .* }")
+                .unwrap();
+        let mut data = String::from("@prefix e: <http://e/> .\n");
+        for p in ["a", "b", "c", "d", "e"] {
+            for i in 0..4 {
+                data.push_str(&format!("e:n e:{p} {i} .\n"));
+            }
+        }
+        let ds = turtle::parse(&data).unwrap();
+        let v = BacktrackValidator::with_config(
+            &schema,
+            BtConfig {
+                budget: Budget::UNLIMITED.with_deadline(Duration::ZERO),
+            },
+        )
+        .unwrap();
+        let n = ds.iri("http://e/n").unwrap();
+        let err = v.check(&ds.graph, &ds.pool, n, &"S".into()).unwrap_err();
+        assert!(matches!(err, BtError::ResourceExhausted(_)), "{err:?}");
+    }
+
+    #[test]
+    fn depth_budget_trips_on_nested_expression() {
+        // Deeply nested optional groups recurse through `matches` far
+        // deeper than a depth limit of 4.
+        let mut expr = String::from("e:p [1]");
+        for _ in 0..10 {
+            expr = format!("( {expr} )?");
+        }
+        let schema = shexc::parse(&format!("PREFIX e: <http://e/>\n<S> {{ {expr} }}")).unwrap();
+        let ds = turtle::parse("@prefix e: <http://e/> . e:n e:p 1 .").unwrap();
+        let v = BacktrackValidator::with_config(
+            &schema,
+            BtConfig {
+                budget: Budget::UNLIMITED.with_max_depth(4),
+            },
+        )
+        .unwrap();
+        let n = ds.iri("http://e/n").unwrap();
+        let err = v.check(&ds.graph, &ds.pool, n, &"S".into()).unwrap_err();
+        let BtError::ResourceExhausted(e) = err else {
+            panic!("expected exhaustion, got {err:?}");
+        };
+        assert_eq!(e.resource, shapex::budget::Resource::Depth);
     }
 
     #[test]

@@ -49,7 +49,10 @@ fn e5_repeat(c: &mut Criterion) {
         });
         // Baseline only at small bounds (exponential in `count`).
         if n <= 10 {
-            let bt = BacktrackRun::prepare(repeat_bounds(m, n, count), 50_000_000);
+            let bt = BacktrackRun::prepare(
+                repeat_bounds(m, n, count),
+                shapex::Budget::steps(50_000_000),
+            );
             if bt.validate_all().is_ok() {
                 group.bench_with_input(BenchmarkId::new("backtracking", &id), &id, |bench, _| {
                     bench.iter(|| black_box(bt.validate_all().expect("within budget")))

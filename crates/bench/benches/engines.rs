@@ -45,7 +45,10 @@ fn e1_fig2(c: &mut Criterion) {
         );
         // Backtracking: skip sizes whose decomposition count would exceed
         // the budget (reported in EXPERIMENTS.md instead of timed).
-        let bt = BacktrackRun::prepare(example8_neighbourhood(b_triples), 50_000_000);
+        let bt = BacktrackRun::prepare(
+            example8_neighbourhood(b_triples),
+            shapex::Budget::steps(50_000_000),
+        );
         if bt.validate_all().is_ok() {
             group.bench_with_input(
                 BenchmarkId::new("backtracking", b_triples),
@@ -78,7 +81,7 @@ fn e2_and_width(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("sorbe", width), &width, |bench, _| {
             bench.iter(|| black_box(sorbe.validate_all()))
         });
-        let bt = BacktrackRun::prepare(and_width(width, 2), 50_000_000);
+        let bt = BacktrackRun::prepare(and_width(width, 2), shapex::Budget::steps(50_000_000));
         if bt.validate_all().is_ok() {
             group.bench_with_input(
                 BenchmarkId::new("backtracking", width),
@@ -145,6 +148,48 @@ fn e7_sparql(c: &mut Criterion) {
     group.finish();
 }
 
+/// **Budget guard** — time-to-exhaustion must stay flat: a blown budget is
+/// a cheap structured outcome, not a cheaper hang. Runs the backtracking
+/// baseline on sizes past its feasible range under a small step budget
+/// (every check must come back `Exhausted`, never complete and never
+/// wedge), and the derivative engine through `validate_all_budgeted` to
+/// keep the partial-typing path measured.
+fn budget_guard(c: &mut Criterion) {
+    let mut group = c.benchmark_group("budget_guard");
+    for b_triples in [24usize, 32] {
+        let bt = BacktrackRun::prepare(
+            example8_neighbourhood(b_triples),
+            shapex::Budget::steps(100_000),
+        );
+        // Sanity outside the timing loop: this size must exhaust.
+        assert!(
+            bt.validate_all().is_err(),
+            "size {b_triples} should blow a 100k-step budget"
+        );
+        group.bench_with_input(
+            BenchmarkId::new("backtracking_exhaust", b_triples),
+            &b_triples,
+            |bench, _| bench.iter(|| black_box(bt.validate_all().is_err())),
+        );
+    }
+    for b_triples in [8usize, 16] {
+        let mut run =
+            DerivativeRun::prepare(example8_neighbourhood(b_triples), derivative_config());
+        group.bench_with_input(
+            BenchmarkId::new("derivative_budgeted", b_triples),
+            &b_triples,
+            |bench, _| {
+                bench.iter(|| {
+                    let (conforming, exhausted) =
+                        run.validate_all_budgeted(shapex::Budget::steps(1_000_000));
+                    black_box((conforming, exhausted))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 fn config() -> Criterion {
     Criterion::default()
         .sample_size(10)
@@ -155,6 +200,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = e1_fig2, e2_and_width, e7_sparql
+    targets = e1_fig2, e2_and_width, e7_sparql, budget_guard
 }
 criterion_main!(benches);

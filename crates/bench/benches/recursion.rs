@@ -57,7 +57,10 @@ fn e6_person_networks(c: &mut Criterion) {
     // Baseline comparison only at small sizes: its gfp recomputes every
     // (node, shape) pair with the exponential matcher.
     for n in [10usize, 50] {
-        let bt = BacktrackRun::prepare(person_network(n, Topology::Cycle, 0.1, 42), 50_000_000);
+        let bt = BacktrackRun::prepare(
+            person_network(n, Topology::Cycle, 0.1, 42),
+            shapex::Budget::steps(50_000_000),
+        );
         if bt.validate_all().is_ok() {
             group.bench_with_input(
                 BenchmarkId::new("backtracking/cycle/10pct_invalid", n),

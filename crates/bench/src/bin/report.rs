@@ -75,7 +75,7 @@ fn derivative_cell(w: impl Fn() -> Workload, config: EngineConfig) -> String {
 /// Backtracking cell: time, or the decomposition count when the budget
 /// blows.
 fn backtracking_cell(w: impl Fn() -> Workload, budget: u64) -> (String, String) {
-    let run = BacktrackRun::prepare(w(), budget);
+    let run = BacktrackRun::prepare(w(), shapex::Budget::steps(budget));
     match run.validate_all() {
         Ok(_) => {
             let t = us(time_us(|| {

@@ -51,17 +51,35 @@ impl DerivativeRun {
     /// bench iterations measure real work), asserting ground truth.
     pub fn validate_all(&mut self) -> usize {
         self.engine.reset();
-        let queries: Vec<(TermId, ShapeId)> =
-            self.nodes.iter().map(|&n| (n, self.shape)).collect();
-        let results =
-            self.engine
-                .check_many(&self.dataset.graph, &self.dataset.pool, &queries);
+        let queries: Vec<(TermId, ShapeId)> = self.nodes.iter().map(|&n| (n, self.shape)).collect();
+        let results = self
+            .engine
+            .check_many(&self.dataset.graph, &self.dataset.pool, &queries);
         let mut conforming = 0;
         for (i, result) in results.iter().enumerate() {
-            debug_assert_eq!(result.matched, self.expected[i]);
-            conforming += usize::from(result.matched);
+            debug_assert_eq!(result.matched(), self.expected[i]);
+            conforming += usize::from(result.matched());
         }
         conforming
+    }
+
+    /// Like `validate_all`, but under a budget: returns
+    /// `(conforming, exhausted)` counts instead of asserting ground truth
+    /// (an exhausted check has no ground truth to assert).
+    pub fn validate_all_budgeted(&mut self, budget: shapex::Budget) -> (usize, usize) {
+        self.engine.reset();
+        self.engine.set_budget(budget);
+        let queries: Vec<(TermId, ShapeId)> = self.nodes.iter().map(|&n| (n, self.shape)).collect();
+        let results = self
+            .engine
+            .check_many(&self.dataset.graph, &self.dataset.pool, &queries);
+        let mut conforming = 0;
+        let mut exhausted = 0;
+        for result in &results {
+            conforming += usize::from(result.matched());
+            exhausted += usize::from(result.is_exhausted());
+        }
+        (conforming, exhausted)
     }
 }
 
@@ -74,7 +92,7 @@ pub struct BacktrackRun {
 }
 
 impl BacktrackRun {
-    pub fn prepare(w: Workload, budget: u64) -> BacktrackRun {
+    pub fn prepare(w: Workload, budget: shapex::Budget) -> BacktrackRun {
         let schema = shexc::parse(&w.schema).expect("workload schema parses");
         let validator = BacktrackValidator::with_config(&schema, BtConfig { budget })
             .expect("workload schema compiles");

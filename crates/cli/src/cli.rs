@@ -3,9 +3,10 @@
 
 use std::fmt::Write as _;
 use std::fs;
+use std::time::Duration;
 
-use shapex::{Closure, Engine, EngineConfig};
-use shapex_backtrack::BacktrackValidator;
+use shapex::{Budget, Closure, Engine, EngineConfig, EngineError, Exhaustion};
+use shapex_backtrack::{BacktrackValidator, BtConfig, BtError};
 use shapex_rdf::graph::Dataset;
 use shapex_rdf::turtle;
 use shapex_rdf::writer;
@@ -13,18 +14,54 @@ use shapex_shex::ast::ShapeLabel;
 use shapex_shex::schema::Schema;
 use shapex_shex::shexc;
 
+/// A failed command, split so the binary can exit with a distinct code
+/// when a resource budget tripped (partial results still printed).
+#[derive(Debug)]
+pub enum CliError {
+    /// Ordinary failure (bad flags, syntax errors, …) — exit code 1.
+    Msg(String),
+    /// A resource budget tripped — exit code [`EXHAUSTED_EXIT_CODE`].
+    /// `output` holds whatever partial results were produced before/around
+    /// the exhaustion (printed to stdout before the error line).
+    Exhausted {
+        /// Partial output produced despite the exhaustion.
+        output: String,
+        /// What tripped.
+        exhaustion: Exhaustion,
+    },
+}
+
+/// Exit code for budget exhaustion: distinct from 0 (conforms/ran) and 1
+/// (error), so scripts can tell "needs a bigger budget" from "is broken".
+pub const EXHAUSTED_EXIT_CODE: u8 = 3;
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Msg(m) => m.fmt(f),
+            CliError::Exhausted { exhaustion, .. } => exhaustion.fmt(f),
+        }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(m: String) -> Self {
+        CliError::Msg(m)
+    }
+}
+
 /// Runs a command line, returning the output to print.
-pub fn run(args: &[String]) -> Result<String, String> {
+pub fn run(args: &[String]) -> Result<String, CliError> {
     let mut it = args.iter().map(String::as_str);
     match it.next() {
         Some("validate") => validate(&parse_flags(it)?),
-        Some("sparql") => sparql(&parse_flags(it)?),
-        Some("query") => query(&parse_flags(it)?),
-        Some("convert") => convert(&parse_flags(it)?),
-        Some("lint") => lint(&parse_flags(it)?),
-        Some("parse") => parse_cmd(&parse_flags(it)?),
+        Some("sparql") => Ok(sparql(&parse_flags(it)?)?),
+        Some("query") => Ok(query(&parse_flags(it)?)?),
+        Some("convert") => Ok(convert(&parse_flags(it)?)?),
+        Some("lint") => Ok(lint(&parse_flags(it)?)?),
+        Some("parse") => Ok(parse_cmd(&parse_flags(it)?)?),
         Some("--help") | Some("-h") | None => Ok(USAGE.to_string()),
-        Some(other) => Err(format!("unknown command '{other}'\n{USAGE}")),
+        Some(other) => Err(CliError::Msg(format!("unknown command '{other}'\n{USAGE}"))),
     }
 }
 
@@ -44,6 +81,12 @@ USAGE:
       --explain                          print failure explanations
       --trace                            (with --node/--shape) print the §7 derivative trace
       --stats                            print engine statistics
+      --lenient                          skip malformed Turtle statements instead of aborting
+      --max-steps N                      per-check derivative/rule step budget
+      --max-depth N                      per-check recursion depth budget
+      --max-arena N                      per-check expression arena growth budget
+      --timeout-ms N                     per-check wall-clock budget in milliseconds
+      Budget exhaustion exits with code 3 (partial results still printed).
 
   shapex sparql --schema FILE --shape NAME [--node IRI]
       Print the generated SPARQL validation query for a shape
@@ -89,7 +132,7 @@ impl Flags {
 }
 
 fn parse_flags<'a>(mut it: impl Iterator<Item = &'a str>) -> Result<Flags, String> {
-    const SWITCHES: [&str; 5] = ["open", "explain", "stats", "no-sorbe", "trace"];
+    const SWITCHES: [&str; 6] = ["open", "explain", "stats", "no-sorbe", "trace", "lenient"];
     let mut flags = Flags {
         values: Vec::new(),
         switches: Vec::new(),
@@ -116,17 +159,79 @@ fn load_schema(flags: &Flags) -> Result<Schema, String> {
     shexc::parse(&src).map_err(|e| format!("{path}:{e}"))
 }
 
-fn load_data(flags: &Flags) -> Result<Dataset, String> {
+/// Loads the Turtle data file. With `--lenient`, malformed statements are
+/// skipped (recovering at the next `.` boundary) and the skipped count is
+/// returned; without it the first syntax error aborts the load. The count
+/// is always 0 in strict mode.
+fn load_data(flags: &Flags) -> Result<(Dataset, usize), String> {
     let path = flags.require("data")?;
     let src = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    turtle::parse(&src).map_err(|e| format!("{path}:{e}"))
+    if flags.has("lenient") {
+        let (ds, errors) = turtle::parse_lenient(&src);
+        Ok((ds, errors.len()))
+    } else {
+        let ds = turtle::parse(&src).map_err(|e| format!("{path}:{e}"))?;
+        Ok((ds, 0))
+    }
 }
 
-fn validate(flags: &Flags) -> Result<String, String> {
+/// Builds the validation [`Budget`] from `--max-steps`, `--max-depth`,
+/// `--max-arena`, and `--timeout-ms`. All absent → [`Budget::UNLIMITED`].
+fn budget_from_flags(flags: &Flags) -> Result<Budget, String> {
+    fn num<T: std::str::FromStr>(flags: &Flags, name: &str) -> Result<Option<T>, String> {
+        match flags.get(name) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("--{name} needs a positive integer, got '{v}'")),
+        }
+    }
+    let mut budget = Budget::UNLIMITED;
+    if let Some(n) = num::<u64>(flags, "max-steps")? {
+        budget = budget.with_max_steps(n);
+    }
+    if let Some(n) = num::<u32>(flags, "max-depth")? {
+        budget = budget.with_max_depth(n);
+    }
+    if let Some(n) = num::<u64>(flags, "max-arena")? {
+        budget = budget.with_max_arena_nodes(n as usize);
+    }
+    if let Some(ms) = num::<u64>(flags, "timeout-ms")? {
+        budget = budget.with_deadline(Duration::from_millis(ms));
+    }
+    Ok(budget)
+}
+
+/// Converts an engine error into the CLI error type, preserving any
+/// partial output produced before the budget tripped.
+fn engine_err(out: &str, e: EngineError) -> CliError {
+    match e {
+        EngineError::ResourceExhausted {
+            resource,
+            spent,
+            limit,
+        } => CliError::Exhausted {
+            output: out.to_string(),
+            exhaustion: Exhaustion {
+                resource,
+                spent,
+                limit,
+            },
+        },
+        other => CliError::Msg(other.to_string()),
+    }
+}
+
+fn validate(flags: &Flags) -> Result<String, CliError> {
     let schema = load_schema(flags)?;
-    let mut ds = load_data(flags)?;
+    let (mut ds, skipped) = load_data(flags)?;
+    let budget = budget_from_flags(flags)?;
     let engine_kind = flags.get("engine").unwrap_or("derivative");
     let mut out = String::new();
+    if skipped > 0 {
+        let _ = writeln!(out, "lenient: skipped {skipped} malformed statement(s)");
+    }
 
     match engine_kind {
         "derivative" => {
@@ -137,6 +242,7 @@ fn validate(flags: &Flags) -> Result<String, String> {
                     Closure::Closed
                 },
                 no_sorbe: flags.has("no-sorbe"),
+                budget,
                 ..EngineConfig::default()
             };
             let mut engine =
@@ -150,14 +256,20 @@ fn validate(flags: &Flags) -> Result<String, String> {
                     .validate_map(&ds.graph, &mut ds.pool, &map)
                     .map_err(|e| e.to_string())?;
                 let mut ok = 0;
+                let mut first_exhaustion = None;
                 for outcome in &outcomes {
                     let assoc = &map.associations[outcome.index];
-                    let verdict = if outcome.conforms {
+                    let verdict = if let Some(e) = outcome.exhaustion {
+                        first_exhaustion.get_or_insert(e);
+                        "EXHAUSTED"
+                    } else if outcome.conforms {
                         "conforms"
                     } else {
                         "fails"
                     };
-                    let expectation = if outcome.as_expected {
+                    let expectation = if outcome.exhaustion.is_some() {
+                        "?"
+                    } else if outcome.as_expected {
                         "✓"
                     } else {
                         "✗ UNEXPECTED"
@@ -169,16 +281,24 @@ fn validate(flags: &Flags) -> Result<String, String> {
                         if assoc.expected { "" } else { "!" },
                         assoc.shape
                     );
-                    if !outcome.as_expected {
+                    if let Some(e) = outcome.exhaustion {
+                        let _ = writeln!(out, "    {e}");
+                    } else if !outcome.as_expected {
                         if let (true, Some(f)) = (flags.has("explain"), &outcome.failure) {
                             let _ = writeln!(out, "    because: {}", f.render(&ds.pool));
                         }
                     }
-                    ok += usize::from(outcome.as_expected);
+                    ok += usize::from(outcome.exhaustion.is_none() && outcome.as_expected);
                 }
                 let _ = writeln!(out, "{ok}/{} associations as expected", outcomes.len());
                 if flags.has("stats") {
                     let _ = writeln!(out, "stats: {}", engine.stats());
+                }
+                if let Some(exhaustion) = first_exhaustion {
+                    return Err(CliError::Exhausted {
+                        output: out,
+                        exhaustion,
+                    });
                 }
                 return Ok(out);
             }
@@ -188,13 +308,13 @@ fn validate(flags: &Flags) -> Result<String, String> {
                     if flags.has("trace") {
                         let trace = engine
                             .trace(&ds.graph, &ds.pool, node, &ShapeLabel::new(shape))
-                            .map_err(|e| e.to_string())?;
+                            .map_err(|e| engine_err(&out, e))?;
                         out.push_str(&trace.render(&ds.pool));
                         return Ok(out);
                     }
                     let result = engine
                         .check(&ds.graph, &ds.pool, node, &ShapeLabel::new(shape))
-                        .map_err(|e| e.to_string())?;
+                        .map_err(|e| engine_err(&out, e))?;
                     if result.matched {
                         let _ = writeln!(out, "<{node_iri}> conforms to <{shape}>");
                     } else {
@@ -221,8 +341,10 @@ fn validate(flags: &Flags) -> Result<String, String> {
                                 if typing.has(node, shape) {
                                     continue;
                                 }
-                                let r = engine.check_id(&ds.graph, &ds.pool, node, shape);
-                                if let Some(f) = r.failure {
+                                if let Some(f) = engine
+                                    .check_id(&ds.graph, &ds.pool, node, shape)
+                                    .into_failure()
+                                {
                                     let _ = writeln!(
                                         out,
                                         "{} ✗ {}: {}",
@@ -234,23 +356,66 @@ fn validate(flags: &Flags) -> Result<String, String> {
                             }
                         }
                     }
+                    if typing.is_partial() {
+                        let _ = writeln!(
+                            out,
+                            "PARTIAL: {} (node, shape) check(s) exhausted their budget:",
+                            typing.exhausted.len()
+                        );
+                        let first = typing.exhausted[0].2;
+                        for &(node, shape, e) in &typing.exhausted {
+                            let _ = writeln!(
+                                out,
+                                "  {} @ {} — {e}",
+                                ds.pool.term(node),
+                                engine.label_of(shape)
+                            );
+                        }
+                        if flags.has("stats") {
+                            let _ = writeln!(out, "stats: {}", engine.stats());
+                        }
+                        return Err(CliError::Exhausted {
+                            output: out,
+                            exhaustion: first,
+                        });
+                    }
                 }
-                _ => return Err("--node and --shape must be given together".into()),
+                _ => {
+                    return Err(CliError::Msg(
+                        "--node and --shape must be given together".into(),
+                    ))
+                }
             }
             if flags.has("stats") {
                 let _ = writeln!(out, "stats: {}", engine.stats());
             }
         }
         "backtracking" => {
-            let validator = BacktrackValidator::new(&schema).map_err(|e| e.to_string())?;
+            let validator = BacktrackValidator::with_config(
+                &schema,
+                BtConfig {
+                    budget: bt_budget(flags)?,
+                },
+            )
+            .map_err(|e| e.to_string())?;
             let (node_iri, shape) = match (flags.get("node"), flags.get("shape")) {
                 (Some(n), Some(s)) => (n, s),
-                _ => return Err("--engine backtracking requires --node and --shape".into()),
+                _ => {
+                    return Err(CliError::Msg(
+                        "--engine backtracking requires --node and --shape".into(),
+                    ))
+                }
             };
             let node = ds.pool.intern_iri(node_iri);
             let ok = validator
                 .check(&ds.graph, &ds.pool, node, &ShapeLabel::new(shape))
-                .map_err(|e| e.to_string())?;
+                .map_err(|e| match e {
+                    BtError::ResourceExhausted(exhaustion) => CliError::Exhausted {
+                        output: out.clone(),
+                        exhaustion,
+                    },
+                    other => CliError::Msg(other.to_string()),
+                })?;
             let verdict = if ok {
                 "conforms to"
             } else {
@@ -266,9 +431,20 @@ fn validate(flags: &Flags) -> Result<String, String> {
                 );
             }
         }
-        other => return Err(format!("unknown engine '{other}'")),
+        other => return Err(CliError::Msg(format!("unknown engine '{other}'"))),
     }
     Ok(out)
+}
+
+/// The backtracker keeps its own (large, finite) default step budget; only
+/// override the pieces the user asked for.
+fn bt_budget(flags: &Flags) -> Result<Budget, String> {
+    let user = budget_from_flags(flags)?;
+    if user.is_unlimited() {
+        Ok(BtConfig::default().budget)
+    } else {
+        Ok(user)
+    }
 }
 
 fn sparql(flags: &Flags) -> Result<String, String> {
@@ -283,7 +459,7 @@ fn sparql(flags: &Flags) -> Result<String, String> {
 }
 
 fn query(flags: &Flags) -> Result<String, String> {
-    let ds = load_data(flags)?;
+    let (ds, _) = load_data(flags)?;
     let source = if let Some(path) = flags.get("query") {
         fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?
     } else if let Some(text) = flags.get("ask").or_else(|| flags.get("select")) {
@@ -349,14 +525,20 @@ fn convert(flags: &Flags) -> Result<String, String> {
 }
 
 fn parse_cmd(flags: &Flags) -> Result<String, String> {
-    let ds = load_data(flags)?;
+    let (ds, skipped) = load_data(flags)?;
+    let note = if skipped > 0 {
+        format!("# lenient: skipped {skipped} malformed statement(s)\n")
+    } else {
+        String::new()
+    };
     match flags.get("to").unwrap_or("ntriples") {
-        "ntriples" => Ok(writer::to_ntriples(&ds.graph, &ds.pool)),
-        "turtle" => Ok(writer::to_turtle(
-            &ds.graph,
-            &ds.pool,
-            &shapex_rdf::vocab::well_known_prefixes(),
-        )),
+        "ntriples" => Ok(note + &writer::to_ntriples(&ds.graph, &ds.pool)),
+        "turtle" => Ok(note
+            + &writer::to_turtle(
+                &ds.graph,
+                &ds.pool,
+                &shapex_rdf::vocab::well_known_prefixes(),
+            )),
         other => Err(format!("unknown output format '{other}'")),
     }
 }
@@ -397,7 +579,13 @@ mod tests {
     }
 
     fn run_err(args: &[&str]) -> String {
-        run(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap_err()
+        run(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+            .unwrap_err()
+            .to_string()
+    }
+
+    fn run_raw(args: &[&str]) -> Result<String, CliError> {
+        run(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
     }
 
     #[test]
@@ -612,6 +800,142 @@ mod tests {
             "--no-sorbe",
         ]);
         assert_eq!(with_fast, without);
+    }
+
+    #[test]
+    fn budget_flag_exhaustion_is_distinct() {
+        let (schema, data) = person_files();
+        // --max-steps 1: the very first derivative step trips the budget.
+        let err = run_raw(&[
+            "validate",
+            "--schema",
+            &schema,
+            "--data",
+            &data,
+            "--node",
+            "http://example.org/john",
+            "--shape",
+            "Person",
+            "--max-steps",
+            "1",
+        ])
+        .unwrap_err();
+        match err {
+            CliError::Exhausted { exhaustion, .. } => {
+                assert_eq!(exhaustion.resource, shapex::Resource::Steps);
+                assert_eq!(exhaustion.limit, 1);
+            }
+            other => panic!("expected Exhausted, got: {other}"),
+        }
+        // A generous budget behaves exactly like no budget.
+        let out = run_ok(&[
+            "validate",
+            "--schema",
+            &schema,
+            "--data",
+            &data,
+            "--max-steps",
+            "1000000",
+            "--max-depth",
+            "1000",
+            "--timeout-ms",
+            "60000",
+        ]);
+        assert!(out.contains("john"), "{out}");
+    }
+
+    #[test]
+    fn budget_flag_partial_typing_lists_exhausted_pairs() {
+        let (schema, data) = person_files();
+        let err = run_raw(&[
+            "validate",
+            "--schema",
+            &schema,
+            "--data",
+            &data,
+            "--max-steps",
+            "1",
+        ])
+        .unwrap_err();
+        match err {
+            CliError::Exhausted { output, exhaustion } => {
+                assert!(output.contains("PARTIAL"), "{output}");
+                assert!(output.contains("budget exhausted"), "{output}");
+                assert_eq!(exhaustion.resource, shapex::Resource::Steps);
+            }
+            other => panic!("expected Exhausted, got: {other}"),
+        }
+    }
+
+    #[test]
+    fn budget_flag_rejects_garbage() {
+        let (schema, data) = person_files();
+        let err = run_err(&[
+            "validate",
+            "--schema",
+            &schema,
+            "--data",
+            &data,
+            "--max-steps",
+            "lots",
+        ]);
+        assert!(err.contains("positive integer"), "{err}");
+    }
+
+    #[test]
+    fn backtracking_respects_budget_flags() {
+        let (schema, data) = person_files();
+        let err = run_raw(&[
+            "validate",
+            "--schema",
+            &schema,
+            "--data",
+            &data,
+            "--engine",
+            "backtracking",
+            "--node",
+            "http://example.org/john",
+            "--shape",
+            "Person",
+            "--max-steps",
+            "1",
+        ])
+        .unwrap_err();
+        assert!(
+            matches!(err, CliError::Exhausted { .. }),
+            "expected Exhausted, got: {err}"
+        );
+    }
+
+    #[test]
+    fn lenient_flag_skips_malformed_statements() {
+        let (schema, _) = person_files();
+        let data = write_tmp(
+            "corrupt.ttl",
+            r#"
+            @prefix : <http://example.org/> .
+            @prefix foaf: <http://xmlns.com/foaf/0.1/> .
+            :john foaf:age 23; foaf:name "John" .
+            :broken foaf:age %%% garbage %%% .
+            :mary foaf:age 50, 65 .
+            "#,
+        );
+        // Strict mode aborts on the corrupt statement.
+        let err = run_err(&["validate", "--schema", &schema, "--data", &data]);
+        assert!(err.contains("corrupt.ttl"), "{err}");
+        // Lenient mode skips it and still validates john.
+        let out = run_ok(&[
+            "validate",
+            "--schema",
+            &schema,
+            "--data",
+            &data,
+            "--lenient",
+        ]);
+        assert!(out.contains("skipped 1 malformed statement(s)"), "{out}");
+        assert!(out.contains("john"), "{out}");
+        let parsed = run_ok(&["parse", "--data", &data, "--lenient"]);
+        assert!(parsed.contains("# lenient: skipped 1"), "{parsed}");
     }
 
     #[test]

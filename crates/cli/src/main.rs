@@ -18,6 +18,11 @@ fn main() -> ExitCode {
             print!("{output}");
             ExitCode::SUCCESS
         }
+        Err(cli::CliError::Exhausted { output, exhaustion }) => {
+            print!("{output}");
+            eprintln!("error: {exhaustion}");
+            ExitCode::from(cli::EXHAUSTED_EXIT_CODE)
+        }
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE

@@ -26,8 +26,9 @@ use shapex_shex::schema::{Schema, SchemaError};
 use shapex_shex::shapemap::ShapeMap;
 
 use crate::arena::{ArcId, ExprId, Node, Simplify, EMPTY, EPSILON, UNBOUNDED};
+use crate::budget::{Budget, BudgetMeter, Exhaustion, Resource};
 use crate::compile::{CompiledObject, CompiledSchema, ShapeId};
-use crate::result::{Failure, FailureKind, MatchResult, Stats, Typing};
+use crate::result::{Failure, FailureKind, MatchResult, Outcome, Stats, Typing};
 
 /// Whether a shape must account for the node's entire neighbourhood.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -54,6 +55,9 @@ pub struct EngineConfig {
     /// Disable the SORBE counting fast path (§8 future work; see
     /// [`crate::sorbe`]), forcing the general derivative algorithm.
     pub no_sorbe: bool,
+    /// Per-query resource limits (see [`crate::budget`]). The default,
+    /// [`Budget::UNLIMITED`], governs nothing.
+    pub budget: Budget,
 }
 
 /// A validation error at the API boundary.
@@ -63,6 +67,18 @@ pub enum EngineError {
     UnknownShape(String),
     /// The schema failed well-formedness checks at compile time.
     Schema(SchemaError),
+    /// A resource budget tripped before the check completed (see
+    /// [`crate::budget`]). Exhaustion is *not* non-conformance: the
+    /// question is unanswered, and re-running with a larger budget may
+    /// answer it either way.
+    ResourceExhausted {
+        /// The resource that ran out.
+        resource: Resource,
+        /// Units spent when the budget tripped.
+        spent: u64,
+        /// The configured limit.
+        limit: u64,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -70,6 +86,11 @@ impl std::fmt::Display for EngineError {
         match self {
             EngineError::UnknownShape(l) => write!(f, "unknown shape <{l}>"),
             EngineError::Schema(e) => e.fmt(f),
+            EngineError::ResourceExhausted {
+                resource,
+                spent,
+                limit,
+            } => write!(f, "{resource} budget exhausted ({spent}/{limit})"),
         }
     }
 }
@@ -82,6 +103,16 @@ impl From<SchemaError> for EngineError {
     }
 }
 
+impl From<Exhaustion> for EngineError {
+    fn from(e: Exhaustion) -> Self {
+        EngineError::ResourceExhausted {
+            resource: e.resource,
+            spent: e.spent,
+            limit: e.limit,
+        }
+    }
+}
+
 /// Outcome of one shape-map association (see [`Engine::validate_map`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MapOutcome {
@@ -90,10 +121,14 @@ pub struct MapOutcome {
     /// Whether the node conforms to the shape.
     pub conforms: bool,
     /// Whether the result matches the association's stated expectation
-    /// (`@!` associations expect non-conformance).
+    /// (`@!` associations expect non-conformance). Always `false` for an
+    /// exhausted check: the expectation was neither met nor refuted.
     pub as_expected: bool,
     /// The failure explanation, when the node does not conform.
     pub failure: Option<Failure>,
+    /// Present when the check exhausted its budget instead of completing;
+    /// `conforms` is `false` but the node was *not* proven non-conforming.
+    pub exhaustion: Option<Exhaustion>,
 }
 
 /// One step of a §7 derivative trace: the consumed triple and the
@@ -203,6 +238,10 @@ pub struct Engine {
     in_progress: HashSet<Pair>,
     failures: HashMap<Pair, Failure>,
     stats: Stats,
+    /// Per-query budget meter, reset by each top-level `gfp_run`/trace so
+    /// every node in a batch gets the full budget (per-node fault
+    /// isolation) while reruns of the same query share one allowance.
+    meter: BudgetMeter,
 }
 
 impl Engine {
@@ -226,6 +265,7 @@ impl Engine {
             in_progress: HashSet::new(),
             failures: HashMap::new(),
             stats: Stats::default(),
+            meter: BudgetMeter::default(),
         })
     }
 
@@ -253,7 +293,19 @@ impl Engine {
     pub fn stats(&self) -> Stats {
         let mut s = self.stats;
         s.expr_pool_size = self.schema.pool.len();
+        s.peak_arena_nodes = s.peak_arena_nodes.max(self.schema.pool.len());
         s
+    }
+
+    /// The budget every subsequent query runs under (also settable at
+    /// compile time via [`EngineConfig::budget`]).
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.config.budget = budget;
+    }
+
+    /// The currently configured budget.
+    pub fn budget(&self) -> Budget {
+        self.config.budget
     }
 
     /// Clears all memoised state (the compiled schema is kept).
@@ -290,7 +342,13 @@ impl Engine {
             .schema
             .shape_id(label)
             .ok_or_else(|| EngineError::UnknownShape(label.as_str().to_string()))?;
-        Ok(self.check_id(graph, terms, node, shape))
+        match self.check_id(graph, terms, node, shape) {
+            Outcome::Exhausted(e) => Err(e.into()),
+            outcome => Ok(MatchResult {
+                matched: outcome.matched(),
+                failure: outcome.into_failure(),
+            }),
+        }
     }
 
     /// Checks `node` against a shape by id, driving the greatest-fixpoint
@@ -307,7 +365,7 @@ impl Engine {
         terms: &TermPool,
         node: TermId,
         shape: ShapeId,
-    ) -> MatchResult {
+    ) -> Outcome {
         if let Some(answer) = self.memoised_answer(node, shape) {
             return answer;
         }
@@ -326,7 +384,7 @@ impl Engine {
         graph: &Graph,
         terms: &TermPool,
         queries: &[(TermId, ShapeId)],
-    ) -> Vec<MatchResult> {
+    ) -> Vec<Outcome> {
         let all_memoised = queries
             .iter()
             .all(|&(node, shape)| self.memoised_answer(node, shape).is_some());
@@ -350,14 +408,14 @@ impl Engine {
         })
     }
 
-    /// The fully-memoised answer for a pair, if any.
-    fn memoised_answer(&self, node: TermId, shape: ShapeId) -> Option<MatchResult> {
+    /// The fully-memoised answer for a pair, if any. Exhausted checks are
+    /// never memoised — they stay retryable under a larger budget.
+    fn memoised_answer(&self, node: TermId, shape: ShapeId) -> Option<Outcome> {
         match self.memo.get(&(shape, node)) {
-            Some(MemoState::Proven) => Some(MatchResult::success()),
-            Some(MemoState::Failed) => Some(MatchResult {
-                matched: false,
-                failure: self.failures.get(&(shape, node)).cloned(),
-            }),
+            Some(MemoState::Proven) => Some(Outcome::Conforms),
+            Some(MemoState::Failed) => {
+                Some(Outcome::Fails(self.failures.get(&(shape, node)).cloned()))
+            }
             _ => None,
         }
     }
@@ -379,30 +437,57 @@ impl Engine {
 
     /// The greatest-fixpoint driver (see the module docs): run, purge
     /// tainted conditional results, re-run until purge-free, promote.
+    ///
+    /// One budget meter covers the whole query *including* gfp reruns —
+    /// restarts are part of the same question's cost. On exhaustion the
+    /// query aborts: unpromoted conditional results are dropped (they are
+    /// only sound after a purge-free complete run) while `Proven`/`Failed`
+    /// entries stay (they were established without open assumptions), and
+    /// the pair itself is not memoised, so it can be retried under a
+    /// larger budget.
     fn gfp_run(
         &mut self,
         graph: &Graph,
         terms: &TermPool,
         node: TermId,
         shape: ShapeId,
-    ) -> MatchResult {
+    ) -> Outcome {
+        self.meter = self.config.budget.meter();
+        self.meter.set_arena_baseline(self.schema.pool.len());
         loop {
             self.begin_run();
             let mut deps = BTreeSet::new();
-            let ok = self.check_inner(graph, terms, node, shape, &mut deps);
-            if self.purge_tainted() == 0 {
-                self.promote_conditionals();
-                return if ok {
-                    MatchResult::success()
-                } else {
-                    MatchResult {
-                        matched: false,
-                        failure: self.failures.get(&(shape, node)).cloned(),
+            match self.check_inner(graph, terms, node, shape, &mut deps) {
+                Ok(ok) => {
+                    if self.purge_tainted() == 0 {
+                        self.promote_conditionals();
+                        self.fold_meter();
+                        return if ok {
+                            Outcome::Conforms
+                        } else {
+                            Outcome::Fails(self.failures.get(&(shape, node)).cloned())
+                        };
                     }
-                };
+                    self.stats.gfp_reruns += 1;
+                }
+                Err(exhaustion) => {
+                    self.in_progress.clear();
+                    for pair in self.conditional.drain() {
+                        self.memo.remove(&pair);
+                    }
+                    self.stats.exhausted_checks += 1;
+                    self.fold_meter();
+                    return Outcome::Exhausted(exhaustion);
+                }
             }
-            self.stats.gfp_reruns += 1;
         }
+    }
+
+    /// Folds the finished query's meter into the persistent stats.
+    fn fold_meter(&mut self) {
+        self.stats.budget_steps += self.meter.steps_spent();
+        self.stats.max_depth_reached = self.stats.max_depth_reached.max(self.meter.peak_depth());
+        self.stats.peak_arena_nodes = self.stats.peak_arena_nodes.max(self.meter.peak_arena());
     }
 
     /// Validates every association of a shape map, returning per-entry
@@ -417,9 +502,10 @@ impl Engine {
     ) -> Result<Vec<MapOutcome>, EngineError> {
         let mut queries = Vec::with_capacity(map.len());
         for assoc in map.iter() {
-            let shape = self.schema.shape_id(&assoc.shape).ok_or_else(|| {
-                EngineError::UnknownShape(assoc.shape.as_str().to_string())
-            })?;
+            let shape = self
+                .schema
+                .shape_id(&assoc.shape)
+                .ok_or_else(|| EngineError::UnknownShape(assoc.shape.as_str().to_string()))?;
             queries.push((terms.intern(assoc.node.clone()), shape));
         }
         let results = self.check_many(graph, terms, &queries);
@@ -427,29 +513,45 @@ impl Engine {
             .iter()
             .zip(results)
             .enumerate()
-            .map(|(index, (assoc, result))| MapOutcome {
-                index,
-                conforms: result.matched,
-                as_expected: result.matched == assoc.expected,
-                failure: result.failure,
+            .map(|(index, (assoc, result))| match result {
+                Outcome::Exhausted(e) => MapOutcome {
+                    index,
+                    conforms: false,
+                    as_expected: false,
+                    failure: None,
+                    exhaustion: Some(e),
+                },
+                outcome => MapOutcome {
+                    index,
+                    conforms: outcome.matched(),
+                    as_expected: outcome.matched() == assoc.expected,
+                    failure: outcome.into_failure(),
+                    exhaustion: None,
+                },
             })
             .collect())
     }
 
     /// Computes the shape typing of every subject in the graph against
     /// every shape in the schema — the paper's Example 2 workflow.
+    ///
+    /// Under a budget this is the paper's *total* typing weakened to a
+    /// **partial typing**: each `(node, shape)` query gets the full budget,
+    /// and a query that exhausts it is recorded in
+    /// [`Typing::exhausted`] instead of poisoning the batch — every other
+    /// pair's `Conforms`/`Fails` answer is unaffected.
     pub fn type_all(&mut self, graph: &Graph, terms: &TermPool) -> Typing {
         let queries: Vec<(TermId, ShapeId)> = graph
             .subjects()
-            .flat_map(|node| {
-                (0..self.schema.shapes.len()).map(move |i| (node, ShapeId(i as u32)))
-            })
+            .flat_map(|node| (0..self.schema.shapes.len()).map(move |i| (node, ShapeId(i as u32))))
             .collect();
         let results = self.check_many(graph, terms, &queries);
         let mut typing = Typing::new();
         for ((node, shape), result) in queries.into_iter().zip(results) {
-            if result.matched {
-                typing.add(node, shape);
+            match result {
+                Outcome::Conforms => typing.add(node, shape),
+                Outcome::Fails(_) => {}
+                Outcome::Exhausted(e) => typing.add_exhausted(node, shape, e),
             }
         }
         typing
@@ -508,6 +610,11 @@ impl Engine {
 
     /// The typing relation: true iff `node` has shape `shape` given the
     /// current memo/assumption state. Records assumptions used in `deps`.
+    ///
+    /// Budgeting: memo hits and coinductive assumptions are free; an actual
+    /// evaluation charges one step and one recursion level. On exhaustion
+    /// the error propagates straight to [`Engine::gfp_run`], which owns the
+    /// cleanup — `in_progress` entries left behind here are cleared there.
     fn check_inner(
         &mut self,
         graph: &Graph,
@@ -515,26 +622,30 @@ impl Engine {
         node: TermId,
         shape: ShapeId,
         deps: &mut BTreeSet<Pair>,
-    ) -> bool {
+    ) -> Result<bool, Exhaustion> {
         let pair = (shape, node);
         match self.memo.get(&pair) {
-            Some(MemoState::Proven) => return true,
-            Some(MemoState::Failed) => return false,
+            Some(MemoState::Proven) => return Ok(true),
+            Some(MemoState::Failed) => return Ok(false),
             Some(MemoState::Conditional(d)) => {
                 deps.extend(d.iter().copied());
-                return true;
+                return Ok(true);
             }
             None => {}
         }
         if self.in_progress.contains(&pair) {
             // Γ{n→l}: the coinductive assumption (Fig. 3).
             deps.insert(pair);
-            return true;
+            return Ok(true);
         }
         self.in_progress.insert(pair);
         self.stats.node_checks += 1;
+        self.meter.step()?;
+        self.meter.enter_depth()?;
         let mut local = BTreeSet::new();
-        let ok = self.match_neighbourhood(graph, terms, node, shape, &mut local);
+        let result = self.match_neighbourhood(graph, terms, node, shape, &mut local);
+        self.meter.exit_depth();
+        let ok = result?;
         self.in_progress.remove(&pair);
         // A self-dependency is discharged by this very completion.
         local.remove(&pair);
@@ -546,12 +657,12 @@ impl Engine {
                 self.conditional.insert(pair);
                 self.memo.insert(pair, MemoState::Conditional(local));
             }
-            true
+            Ok(true)
         } else {
             // Failure is sound unconditionally: assumptions only make
             // matching more permissive (monotonicity).
             self.memo.insert(pair, MemoState::Failed);
-            false
+            Ok(false)
         }
     }
 
@@ -563,7 +674,7 @@ impl Engine {
         node: TermId,
         shape: ShapeId,
         deps: &mut BTreeSet<Pair>,
-    ) -> bool {
+    ) -> Result<bool, Exhaustion> {
         let (expr0, sorbe) = {
             let sh = self.schema.shape(shape);
             (
@@ -583,9 +694,9 @@ impl Engine {
 
         let mut e = expr0;
         for (p, other, inverse, ts, to) in triples {
-            let pid = self.profile(graph, terms, shape, p, other, inverse, deps);
+            let pid = self.profile(graph, terms, shape, p, other, inverse, deps)?;
             let before = e;
-            e = self.deriv(e, pid);
+            e = self.deriv(e, pid)?;
             if e == EMPTY {
                 self.failures.insert(
                     (shape, node),
@@ -598,11 +709,11 @@ impl Engine {
                         expectation: self.schema.render_expr(before),
                     },
                 );
-                return false;
+                return Ok(false);
             }
         }
         if self.schema.pool.nullable(e) {
-            true
+            Ok(true)
         } else {
             self.failures.insert(
                 (shape, node),
@@ -611,7 +722,7 @@ impl Engine {
                     expectation: self.schema.render_expr(e),
                 },
             );
-            false
+            Ok(false)
         }
     }
 
@@ -672,9 +783,12 @@ impl Engine {
         if self.schema.has_recursion {
             // Reference chains recurse with the data's depth; use the
             // large-stack worker like check_id does.
-            return Ok(self.on_big_stack(|engine| engine.trace_inner(graph, terms, node, shape)));
+            return self
+                .on_big_stack(|engine| engine.trace_inner(graph, terms, node, shape))
+                .map_err(EngineError::from);
         }
-        Ok(self.trace_inner(graph, terms, node, shape))
+        self.trace_inner(graph, terms, node, shape)
+            .map_err(EngineError::from)
     }
 
     fn trace_inner(
@@ -683,15 +797,36 @@ impl Engine {
         terms: &TermPool,
         node: TermId,
         shape: ShapeId,
-    ) -> Trace {
+    ) -> Result<Trace, Exhaustion> {
+        self.meter = self.config.budget.meter();
+        self.meter.set_arena_baseline(self.schema.pool.len());
         self.begin_run();
+        let result = self.trace_loop(graph, terms, node, shape);
+        if result.is_err() {
+            self.in_progress.clear();
+            for pair in self.conditional.drain() {
+                self.memo.remove(&pair);
+            }
+            self.stats.exhausted_checks += 1;
+        }
+        self.fold_meter();
+        result
+    }
+
+    fn trace_loop(
+        &mut self,
+        graph: &Graph,
+        terms: &TermPool,
+        node: TermId,
+        shape: ShapeId,
+    ) -> Result<Trace, Exhaustion> {
         let mut steps = Vec::new();
         let mut e = self.schema.shape(shape).expr;
         let mut deps = BTreeSet::new();
         for (p, other, inverse, ts, to) in self.gather_triples(graph, node, shape) {
             let before = self.schema.render_expr(e);
-            let pid = self.profile(graph, terms, shape, p, other, inverse, &mut deps);
-            e = self.deriv(e, pid);
+            let pid = self.profile(graph, terms, shape, p, other, inverse, &mut deps)?;
+            e = self.deriv(e, pid)?;
             steps.push(TraceStep {
                 subject: ts,
                 predicate: p,
@@ -705,12 +840,12 @@ impl Engine {
             }
         }
         let nullable = self.schema.pool.nullable(e);
-        Trace {
+        Ok(Trace {
             steps,
             residual: self.schema.render_expr(e),
             nullable,
             matched: e != EMPTY && nullable,
-        }
+        })
     }
 
     /// The SORBE counting fast path (§8 future work, [`crate::sorbe`]):
@@ -726,10 +861,12 @@ impl Engine {
         spec: &[crate::compile::SorbeSpec],
         triples: &[(TermId, TermId, bool, TermId, TermId)],
         deps: &mut BTreeSet<Pair>,
-    ) -> bool {
+    ) -> Result<bool, Exhaustion> {
         self.stats.sorbe_checks += 1;
         let mut counts = vec![0u32; spec.len()];
         for &(p, other, inverse, ts, to) in triples {
+            // One step per triple: the fast path's unit of work.
+            self.meter.step()?;
             let owner = spec.iter().position(|s| {
                 let arc = self.schema.arc(s.arc);
                 arc.inverse == inverse && arc.predicates.contains(p)
@@ -747,10 +884,10 @@ impl Engine {
                         expectation: self.schema.render_expr(self.schema.shape(shape).expr),
                     },
                 );
-                return false;
+                return Ok(false);
             };
             let arc_id = spec[i].arc;
-            if !self.arc_object_sat(graph, terms, arc_id, other, deps) {
+            if !self.arc_object_sat(graph, terms, arc_id, other, deps)? {
                 self.failures.insert(
                     (shape, node),
                     Failure {
@@ -762,7 +899,7 @@ impl Engine {
                         expectation: self.schema.arc(arc_id).display.clone(),
                     },
                 );
-                return false;
+                return Ok(false);
             }
             counts[i] += 1;
         }
@@ -780,10 +917,10 @@ impl Engine {
                         expectation: self.schema.arc(s.arc).display.clone(),
                     },
                 );
-                return false;
+                return Ok(false);
             }
         }
-        true
+        Ok(true)
     }
 
     /// Evaluates one arc's object condition against a term, memoising
@@ -796,7 +933,7 @@ impl Engine {
         arc_id: ArcId,
         other: TermId,
         deps: &mut BTreeSet<Pair>,
-    ) -> bool {
+    ) -> Result<bool, Exhaustion> {
         let target = {
             let arc = self.schema.arc(arc_id);
             match &arc.object {
@@ -807,7 +944,7 @@ impl Engine {
         match target {
             None => {
                 if let Some(&cached) = self.value_sat.get(&(arc_id, other)) {
-                    return cached;
+                    return Ok(cached);
                 }
                 let v = {
                     let CompiledObject::Value(c) = &self.schema.arc(arc_id).object else {
@@ -816,7 +953,7 @@ impl Engine {
                     c.matches(terms.term(other))
                 };
                 self.value_sat.insert((arc_id, other), v);
-                v
+                Ok(v)
             }
             Some(target) => self.check_inner(graph, terms, other, target, deps),
         }
@@ -834,12 +971,13 @@ impl Engine {
         other: TermId,
         inverse: bool,
         deps: &mut BTreeSet<Pair>,
-    ) -> ProfileId {
+    ) -> Result<ProfileId, Exhaustion> {
         let key = (shape, pred, other, inverse);
         if let Some((pid, cached_deps)) = self.profile_by_triple.get(&key) {
             deps.extend(cached_deps.iter().copied());
-            return *pid;
+            return Ok(*pid);
         }
+        self.meter.step()?;
         let arcs: Vec<ArcId> = self.schema.shape(shape).arcs.clone();
         let mut bits = vec![0u64; arcs.len().div_ceil(64)];
         let mut used: Vec<Pair> = Vec::new();
@@ -855,7 +993,7 @@ impl Engine {
                 continue;
             }
             let mut arc_deps = BTreeSet::new();
-            let sat = self.arc_object_sat(graph, terms, arc_id, other, &mut arc_deps);
+            let sat = self.arc_object_sat(graph, terms, arc_id, other, &mut arc_deps)?;
             used.extend(arc_deps.iter().copied());
             deps.extend(arc_deps);
             if sat {
@@ -877,7 +1015,7 @@ impl Engine {
         used.sort();
         used.dedup();
         self.profile_by_triple.insert(key, (pid, used.into()));
-        pid
+        Ok(pid)
     }
 
     fn profile_bit(&self, pid: ProfileId, bit: u32) -> bool {
@@ -886,14 +1024,19 @@ impl Engine {
     }
 
     /// `∂t(e)` with `t` abstracted to its triple class (§6 rules).
-    fn deriv(&mut self, e: ExprId, pid: ProfileId) -> ExprId {
+    ///
+    /// Budgeting: one step per rule application (memo hits are free), and
+    /// the arena cap is checked after the interleaving rule — the one rule
+    /// whose `∂t(e1)‖e2 | ∂t(e2)‖e1` expansion can blow up the pool.
+    fn deriv(&mut self, e: ExprId, pid: ProfileId) -> Result<ExprId, Exhaustion> {
         if !self.config.no_deriv_memo {
             if let Some(&d) = self.deriv_memo.get(&(e, pid)) {
                 self.stats.deriv_memo_hits += 1;
-                return d;
+                return Ok(d);
             }
         }
         self.stats.derivative_steps += 1;
+        self.meter.step()?;
         let d = match self.schema.pool.node(e) {
             // ∂t(∅) = ∅, ∂t(ε) = ∅
             Node::Empty | Node::Epsilon => EMPTY,
@@ -908,7 +1051,7 @@ impl Engine {
             }
             // ∂t(e*) = ∂t(e) ‖ e*
             Node::Star(inner) => {
-                let di = self.deriv(inner, pid);
+                let di = self.deriv(inner, pid)?;
                 self.schema.pool.and(di, e)
             }
             // ∂t(e{m,n}) = ∂t(e) ‖ e{m⊖1, n−1} — the counter rule that
@@ -917,7 +1060,7 @@ impl Engine {
                 if n == 0 {
                     EMPTY // only reachable with simplification disabled
                 } else {
-                    let di = self.deriv(inner, pid);
+                    let di = self.deriv(inner, pid)?;
                     let n1 = if n == UNBOUNDED { UNBOUNDED } else { n - 1 };
                     let rest = self.schema.pool.repeat(inner, m.saturating_sub(1), n1);
                     self.schema.pool.and(di, rest)
@@ -925,23 +1068,25 @@ impl Engine {
             }
             // ∂t(e1 ‖ e2) = ∂t(e1) ‖ e2 | ∂t(e2) ‖ e1
             Node::And(a, b) => {
-                let da = self.deriv(a, pid);
-                let db = self.deriv(b, pid);
+                let da = self.deriv(a, pid)?;
+                let db = self.deriv(b, pid)?;
                 let left = self.schema.pool.and(da, b);
                 let right = self.schema.pool.and(db, a);
-                self.schema.pool.or(left, right)
+                let d = self.schema.pool.or(left, right);
+                self.meter.check_arena(self.schema.pool.len())?;
+                d
             }
             // ∂t(e1 | e2) = ∂t(e1) | ∂t(e2)
             Node::Or(a, b) => {
-                let da = self.deriv(a, pid);
-                let db = self.deriv(b, pid);
+                let da = self.deriv(a, pid)?;
+                let db = self.deriv(b, pid)?;
                 self.schema.pool.or(da, db)
             }
         };
         if !self.config.no_deriv_memo {
             self.deriv_memo.insert((e, pid), d);
         }
-        d
+        Ok(d)
     }
 }
 
@@ -1550,12 +1695,7 @@ mod tests {
     #[test]
     fn trace_on_deep_recursive_chain() {
         // The trace path must use the large-stack worker too.
-        let w = shapex_workloads::person_network(
-            5_000,
-            shapex_workloads::Topology::Chain,
-            0.0,
-            3,
-        );
+        let w = shapex_workloads::person_network(5_000, shapex_workloads::Topology::Chain, 0.0, 3);
         let schema = shexc::parse(&w.schema).unwrap();
         let mut ds = w.dataset;
         let mut engine = Engine::new(&schema, &mut ds.pool).unwrap();

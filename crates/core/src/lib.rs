@@ -39,6 +39,7 @@
 //! ```
 
 pub mod arena;
+pub mod budget;
 pub mod compile;
 pub mod engine;
 pub mod result;
@@ -46,10 +47,11 @@ pub mod sorbe;
 pub mod validate;
 
 pub use arena::{ArcId, ExprId, ExprPool, Node, Simplify, EMPTY, EPSILON, UNBOUNDED};
+pub use budget::{Budget, BudgetMeter, Exhaustion, Resource};
 pub use compile::{CompiledSchema, ShapeId, SorbeSpec};
 pub use engine::{Closure, Engine, EngineConfig, EngineError, MapOutcome, Trace, TraceStep};
-pub use result::{Failure, FailureKind, MatchResult, Stats, Typing};
-pub use validate::{validate, Report};
+pub use result::{Failure, FailureKind, MatchResult, Outcome, Stats, Typing};
+pub use validate::{validate, validate_with_budget, Report};
 
 // Re-export the substrate crates so downstream users need a single
 // dependency.

@@ -7,6 +7,7 @@ use std::fmt;
 use shapex_rdf::pool::{TermId, TermPool};
 use shapex_shex::ast::ShapeLabel;
 
+use crate::budget::Exhaustion;
 use crate::compile::ShapeId;
 
 /// Why a node failed to match a shape.
@@ -84,6 +85,59 @@ impl Failure {
     }
 }
 
+/// Tri-state answer to one `(node, shape)` question under a budget.
+///
+/// `Conforms` and `Fails` are definitive — the fixpoint completed. An
+/// `Exhausted` query gave no answer at all: the budget tripped mid-run, so
+/// the pair is neither typed nor refuted, and retrying under a larger
+/// budget may yield either definitive outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// The node conforms to the shape.
+    Conforms,
+    /// The node does not conform; carries the explanation when one was
+    /// identified.
+    Fails(Option<Failure>),
+    /// The budget tripped before an answer was reached.
+    Exhausted(Exhaustion),
+}
+
+impl Outcome {
+    /// True only for a definitive [`Outcome::Conforms`].
+    pub fn matched(&self) -> bool {
+        matches!(self, Outcome::Conforms)
+    }
+
+    /// True when the budget tripped.
+    pub fn is_exhausted(&self) -> bool {
+        matches!(self, Outcome::Exhausted(_))
+    }
+
+    /// The failure explanation, if this is a failing outcome with one.
+    pub fn failure(&self) -> Option<&Failure> {
+        match self {
+            Outcome::Fails(f) => f.as_ref(),
+            _ => None,
+        }
+    }
+
+    /// Consumes the outcome, yielding the failure explanation if any.
+    pub fn into_failure(self) -> Option<Failure> {
+        match self {
+            Outcome::Fails(f) => f,
+            _ => None,
+        }
+    }
+
+    /// The exhaustion record, if the budget tripped.
+    pub fn exhaustion(&self) -> Option<Exhaustion> {
+        match self {
+            Outcome::Exhausted(e) => Some(*e),
+            _ => None,
+        }
+    }
+}
+
 /// Result of checking one node against one shape.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MatchResult {
@@ -113,9 +167,16 @@ impl MatchResult {
 
 /// A shape typing `τ`: which `(node, shape)` pairs hold (paper §8). This is
 /// the greatest-fixpoint typing restricted to the pairs actually queried.
+///
+/// Under a budget this may be a **partial** typing: pairs whose query
+/// exhausted its budget are listed in [`Typing::exhausted`] — they are
+/// neither typed nor refuted. [`Typing::is_partial`] distinguishes the two
+/// regimes.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Typing {
     map: HashMap<TermId, BTreeSet<ShapeId>>,
+    /// `(node, shape)` queries that tripped the budget, with what tripped.
+    pub exhausted: Vec<(TermId, ShapeId, Exhaustion)>,
 }
 
 impl Typing {
@@ -127,6 +188,17 @@ impl Typing {
     /// Records that `node` has `shape`.
     pub fn add(&mut self, node: TermId, shape: ShapeId) {
         self.map.entry(node).or_default().insert(shape);
+    }
+
+    /// Records that the `(node, shape)` query tripped its budget.
+    pub fn add_exhausted(&mut self, node: TermId, shape: ShapeId, exhaustion: Exhaustion) {
+        self.exhausted.push((node, shape, exhaustion));
+    }
+
+    /// True when at least one query exhausted its budget — the typing is a
+    /// sound under-approximation of the total one.
+    pub fn is_partial(&self) -> bool {
+        !self.exhausted.is_empty()
     }
 
     /// Does the typing contain `(node, shape)`?
@@ -207,6 +279,14 @@ pub struct Stats {
     pub sorbe_checks: u64,
     /// Expression-arena size at last measurement.
     pub expr_pool_size: usize,
+    /// Budget steps charged across all queries.
+    pub budget_steps: u64,
+    /// Largest expression-arena size any query's meter observed.
+    pub peak_arena_nodes: usize,
+    /// Deepest `(node, shape)` recursion any query reached.
+    pub max_depth_reached: u32,
+    /// Queries aborted by budget exhaustion.
+    pub exhausted_checks: u64,
 }
 
 impl fmt::Display for Stats {
@@ -221,7 +301,18 @@ impl fmt::Display for Stats {
             self.sorbe_checks,
             self.gfp_reruns,
             self.expr_pool_size
-        )
+        )?;
+        if self.budget_steps > 0 || self.exhausted_checks > 0 {
+            write!(
+                f,
+                " budget-steps={} peak-arena={} max-depth={} exhausted={}",
+                self.budget_steps,
+                self.peak_arena_nodes,
+                self.max_depth_reached,
+                self.exhausted_checks
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -308,5 +399,47 @@ mod tests {
             ..Stats::default()
         };
         assert!(s.to_string().contains("∂-steps=10"));
+        assert!(!s.to_string().contains("budget-steps"));
+        let governed = Stats {
+            budget_steps: 7,
+            exhausted_checks: 1,
+            ..Stats::default()
+        };
+        assert!(governed.to_string().contains("budget-steps=7"));
+        assert!(governed.to_string().contains("exhausted=1"));
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        use crate::budget::{Budget, Resource};
+        assert!(Outcome::Conforms.matched());
+        assert!(!Outcome::Fails(None).matched());
+        let e = Budget::steps(1).meter().step().unwrap_err();
+        let o = Outcome::Exhausted(e);
+        assert!(o.is_exhausted());
+        assert!(!o.matched());
+        assert_eq!(o.exhaustion().unwrap().resource, Resource::Steps);
+        assert!(o.failure().is_none());
+        let f = Failure {
+            kind: FailureKind::MissingRequired,
+            expectation: "x".into(),
+        };
+        let fails = Outcome::Fails(Some(f.clone()));
+        assert_eq!(fails.failure(), Some(&f));
+        assert_eq!(fails.into_failure(), Some(f));
+    }
+
+    #[test]
+    fn typing_partial_tracking() {
+        use crate::budget::Budget;
+        let mut pool = TermPool::new();
+        let n = pool.intern_iri("http://e/n");
+        let mut t = Typing::new();
+        assert!(!t.is_partial());
+        let e = Budget::steps(1).meter().step().unwrap_err();
+        t.add_exhausted(n, ShapeId(0), e);
+        assert!(t.is_partial());
+        assert_eq!(t.exhausted.len(), 1);
+        assert!(!t.has(n, ShapeId(0)));
     }
 }

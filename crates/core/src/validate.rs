@@ -7,7 +7,8 @@ use shapex_rdf::turtle;
 use shapex_shex::ast::ShapeLabel;
 use shapex_shex::shexc;
 
-use crate::engine::{Engine, EngineError};
+use crate::budget::{Budget, Exhaustion};
+use crate::engine::{Engine, EngineConfig, EngineError};
 use crate::result::Typing;
 
 /// Everything [`validate`] produces: the parsed dataset, the engine (with
@@ -17,11 +18,33 @@ pub struct Report {
     pub dataset: Dataset,
     /// The engine, with all memoised state from the typing run.
     pub engine: Engine,
-    /// The full node-to-shape typing.
+    /// The full node-to-shape typing — possibly partial under a budget
+    /// (see [`Report::is_partial`]).
     pub typing: Typing,
 }
 
 impl Report {
+    /// True when at least one `(node, shape)` query exhausted its budget:
+    /// the typing under-approximates the total one.
+    pub fn is_partial(&self) -> bool {
+        self.typing.is_partial()
+    }
+
+    /// The `(node IRI, shape label, exhaustion)` triples for every query
+    /// that tripped its budget.
+    pub fn exhausted(&self) -> Vec<(String, String, Exhaustion)> {
+        self.typing
+            .exhausted
+            .iter()
+            .map(|&(node, shape, e)| {
+                (
+                    self.dataset.pool.term(node).to_string(),
+                    self.engine.label_of(shape).as_str().to_string(),
+                    e,
+                )
+            })
+            .collect()
+    }
     /// Does the node (given as an IRI string) conform to the named shape?
     pub fn conforms(&self, node_iri: &str, shape: &str) -> bool {
         let Some(node) = self.dataset.iri(node_iri) else {
@@ -94,9 +117,25 @@ impl std::error::Error for ValidateError {}
 /// Parses `schema_shexc` and `data_turtle`, validates every subject node
 /// against every shape, and returns the [`Report`].
 pub fn validate(schema_shexc: &str, data_turtle: &str) -> Result<Report, ValidateError> {
+    validate_with_budget(schema_shexc, data_turtle, Budget::UNLIMITED)
+}
+
+/// [`validate`] under per-query resource limits. Queries that trip the
+/// budget are listed in the report (see [`Report::exhausted`]) instead of
+/// failing the run — every other pair still gets its definitive answer.
+pub fn validate_with_budget(
+    schema_shexc: &str,
+    data_turtle: &str,
+    budget: Budget,
+) -> Result<Report, ValidateError> {
     let schema = shexc::parse(schema_shexc).map_err(ValidateError::SchemaSyntax)?;
     let mut dataset = turtle::parse(data_turtle).map_err(ValidateError::DataSyntax)?;
-    let mut engine = Engine::new(&schema, &mut dataset.pool).map_err(ValidateError::Engine)?;
+    let config = EngineConfig {
+        budget,
+        ..EngineConfig::default()
+    };
+    let mut engine =
+        Engine::compile(&schema, &mut dataset.pool, config).map_err(ValidateError::Engine)?;
     let typing = engine.type_all(&dataset.graph, &dataset.pool);
     Ok(Report {
         dataset,

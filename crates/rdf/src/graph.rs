@@ -178,8 +178,7 @@ impl Graph {
         object: Option<TermId>,
     ) -> Box<dyn Iterator<Item = Triple> + '_> {
         let post = move |t: &Triple| {
-            predicate.is_none_or(|p| p == t.predicate)
-                && object.is_none_or(|o| o == t.object)
+            predicate.is_none_or(|p| p == t.predicate) && object.is_none_or(|o| o == t.object)
         };
         match (subject, object) {
             (Some(s), _) => Box::new(

@@ -26,6 +26,37 @@ pub fn parse_into(input: &str, dataset: &mut Dataset) -> Result<(), ParseError> 
     TurtleParser::new(input, dataset).run()
 }
 
+/// Best-effort parse of a possibly-corrupt Turtle document: statements that
+/// fail to parse are skipped — recovering at the next statement-terminating
+/// `.` — and reported alongside whatever parsed cleanly.
+///
+/// Recovery is per *statement*, so one corrupt line does not poison the
+/// rest of the document; prefix/base directives seen before the corruption
+/// still apply after it. Triples emitted by the salvageable head of a
+/// corrupt statement (e.g. the first objects of a `;`/`,` list) are kept.
+pub fn parse_lenient(input: &str) -> (Dataset, Vec<ParseError>) {
+    let mut ds = Dataset::new();
+    let errors = parse_lenient_into(input, &mut ds);
+    (ds, errors)
+}
+
+/// [`parse_lenient`] into an existing dataset; returns the skipped
+/// statements' errors (empty when the document is clean).
+pub fn parse_lenient_into(input: &str, dataset: &mut Dataset) -> Vec<ParseError> {
+    let mut parser = TurtleParser::new(input, dataset);
+    let mut errors = Vec::new();
+    loop {
+        parser.cur.skip_ws_and_comments();
+        if parser.cur.at_end() {
+            return errors;
+        }
+        if let Err(e) = parser.statement() {
+            errors.push(e);
+            parser.recover_to_statement_boundary();
+        }
+    }
+}
+
 struct TurtleParser<'a, 'd> {
     cur: Cursor<'a>,
     ds: &'d mut Dataset,
@@ -80,6 +111,83 @@ impl<'a, 'd> TurtleParser<'a, 'd> {
         }
         self.triples()?;
         self.expect('.')
+    }
+
+    /// Skips forward to just past the next statement-terminating `.` — a
+    /// dot followed by whitespace, a comment, or end of input — stepping
+    /// over string literals, IRIs, and comments so a `.` inside them does
+    /// not end recovery early.
+    fn recover_to_statement_boundary(&mut self) {
+        while let Some(c) = self.cur.peek() {
+            match c {
+                '.' => {
+                    self.cur.bump();
+                    if self
+                        .cur
+                        .peek()
+                        .is_none_or(|n| n.is_whitespace() || n == '#')
+                    {
+                        return;
+                    }
+                }
+                '#' => {
+                    while let Some(c) = self.cur.bump() {
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                }
+                '"' | '\'' => self.skip_string_tolerant(c),
+                '<' => {
+                    self.cur.bump();
+                    while let Some(c) = self.cur.bump() {
+                        // An IRI never spans lines; give up at one so an
+                        // unterminated `<` cannot swallow the document.
+                        if c == '>' || c == '\n' {
+                            break;
+                        }
+                    }
+                }
+                _ => {
+                    self.cur.bump();
+                }
+            }
+        }
+    }
+
+    /// Skips a (possibly long-form, possibly unterminated) string literal
+    /// during recovery. Unterminated short strings stop at the line end.
+    fn skip_string_tolerant(&mut self, quote: char) {
+        let delim3: String = std::iter::repeat_n(quote, 3).collect();
+        if self.cur.rest().starts_with(&delim3) {
+            for _ in 0..3 {
+                self.cur.bump();
+            }
+            while !self.cur.at_end() {
+                if self.cur.rest().starts_with(&delim3) {
+                    for _ in 0..3 {
+                        self.cur.bump();
+                    }
+                    return;
+                }
+                if self.cur.peek() == Some('\\') {
+                    self.cur.bump();
+                }
+                self.cur.bump();
+            }
+            return;
+        }
+        self.cur.bump();
+        while let Some(c) = self.cur.bump() {
+            match c {
+                '\\' => {
+                    self.cur.bump();
+                }
+                '\n' => return,
+                c if c == quote => return,
+                _ => {}
+            }
+        }
     }
 
     fn peek_keyword_ci(&self, kw: &str) -> bool {
@@ -614,6 +722,103 @@ mod tests {
 
     fn count(src: &str) -> usize {
         parse(src).unwrap().graph.len()
+    }
+
+    #[test]
+    fn lenient_clean_document_matches_strict() {
+        let src = r#"
+            @prefix : <http://example.org/> .
+            :a :p 1 . :b :p 2 .
+        "#;
+        let (ds, errors) = parse_lenient(src);
+        assert!(errors.is_empty());
+        assert_eq!(ds.graph.len(), parse(src).unwrap().graph.len());
+    }
+
+    #[test]
+    fn lenient_skips_corrupt_statement() {
+        let src = r#"
+            @prefix : <http://example.org/> .
+            :a :p 1 .
+            :b :::!garbage here .
+            :c :p 3 .
+        "#;
+        assert!(parse(src).is_err());
+        let (ds, errors) = parse_lenient(src);
+        assert_eq!(errors.len(), 1);
+        assert!(ds.iri("http://example.org/a").is_some());
+        assert!(ds.iri("http://example.org/c").is_some());
+        assert_eq!(
+            ds.graph
+                .triples()
+                .filter(|t| ds.pool.term(t.object).as_literal().is_some())
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn lenient_dot_inside_string_does_not_end_recovery() {
+        // The corrupt statement contains a string with ". :x :y" inside —
+        // recovery must not resume mid-string.
+        let src = "@prefix : <http://example.org/> .\n\
+                   :a ::bad \"text with . inside\" more garbage .\n\
+                   :c :p 3 .\n";
+        let (ds, errors) = parse_lenient(src);
+        assert_eq!(errors.len(), 1);
+        assert!(ds.iri("http://example.org/c").is_some());
+    }
+
+    #[test]
+    fn lenient_dot_inside_iri_and_comment_skipped() {
+        let src = "@prefix : <http://example.org/> .\n\
+                   :a ~~ <http://example.org/v1.2/x> # trailing . comment\n\
+                   garbage .\n\
+                   :c :p 3 .\n";
+        let (ds, errors) = parse_lenient(src);
+        assert_eq!(errors.len(), 1);
+        assert!(ds.iri("http://example.org/c").is_some());
+    }
+
+    #[test]
+    fn lenient_multiple_corrupt_statements() {
+        let src = "@prefix : <http://example.org/> .\n\
+                   :a :p 1 .\n\
+                   !!bad one .\n\
+                   :b :p 2 .\n\
+                   ??bad two .\n\
+                   :c :p 3 .\n";
+        let (ds, errors) = parse_lenient(src);
+        assert_eq!(errors.len(), 2);
+        assert_eq!(ds.graph.len(), 3);
+        // Errors carry real positions for diagnostics.
+        assert!(errors.iter().all(|e| e.line > 1));
+    }
+
+    #[test]
+    fn lenient_prefixes_survive_corruption() {
+        // The prefix defined before the corrupt line still resolves after.
+        let src = "@prefix p: <http://example.org/> .\n\
+                   broken junk .\n\
+                   p:a p:q p:b .\n";
+        let (ds, errors) = parse_lenient(src);
+        assert_eq!(errors.len(), 1);
+        assert_eq!(ds.graph.len(), 1);
+        assert!(ds.iri("http://example.org/a").is_some());
+    }
+
+    #[test]
+    fn lenient_unterminated_everything_terminates() {
+        for src in [
+            "@prefix : <http://e/> .\n:a :p \"never closed",
+            "@prefix : <http://e/> .\n:a :p \"\"\"long never closed",
+            "@prefix : <http://e/> .\n:a :p <never-closed",
+            ":a",
+            ".",
+        ] {
+            let (_, errors) = parse_lenient(src);
+            assert!(!errors.is_empty(), "{src:?}");
+        }
     }
 
     #[test]

@@ -98,8 +98,13 @@ fn time_derivative_config(mut w: Workload, no_sorbe: bool) -> u128 {
 /// Same with the backtracking baseline; `None` time when the budget blows.
 fn time_backtracking(w: Workload) -> (Option<u128>, Option<u64>) {
     let schema = shexc::parse(&w.schema).expect("schema parses");
-    let validator = BacktrackValidator::with_config(&schema, BtConfig { budget: 20_000_000 })
-        .expect("schema compiles");
+    let validator = BacktrackValidator::with_config(
+        &schema,
+        BtConfig {
+            budget: shapex::Budget::steps(20_000_000),
+        },
+    )
+    .expect("schema compiles");
     let label = ShapeLabel::new(w.shape.as_str());
     let start = Instant::now();
     for (iri, &expect) in w.focus.iter().zip(&w.expected) {

@@ -92,8 +92,13 @@ fn run_derivative(expr: &ShapeExpr, ds: &mut Dataset, node: &str, closure: Closu
 
 fn run_backtracking(expr: &ShapeExpr, ds: &Dataset, node: &str) -> Option<bool> {
     let schema = Schema::from_rules([(ShapeLabel::new("S"), expr.clone())]).expect("one rule");
-    let v =
-        BacktrackValidator::with_config(&schema, BtConfig { budget: 5_000_000 }).expect("compiles");
+    let v = BacktrackValidator::with_config(
+        &schema,
+        BtConfig {
+            budget: shapex::Budget::steps(5_000_000),
+        },
+    )
+    .expect("compiles");
     let n = ds.iri(node).expect("node interned");
     v.check(&ds.graph, &ds.pool, n, &"S".into()).ok()
 }

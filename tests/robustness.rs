@@ -1,11 +1,18 @@
 //! Robustness: no parser in the workspace may panic on arbitrary input —
-//! they must return structured errors — and the string-regex matchers must
-//! agree with each other on arbitrary ASTs.
+//! they must return structured errors — the string-regex matchers must
+//! agree with each other on arbitrary ASTs, and validation under a
+//! [`Budget`] always terminates with a structured outcome (pathological
+//! fixtures trip budgets fast; healthy nodes are isolated from blown ones).
 
+use std::path::Path;
 use std::rc::Rc;
+use std::time::{Duration, Instant};
 
 use proptest::prelude::*;
 
+use shapex::{Budget, Engine, EngineConfig, Outcome, Resource};
+use shapex_backtrack::{BacktrackValidator, BtConfig, BtError};
+use shapex_shex::ast::ShapeLabel;
 use shapex_shex::strre::{backtrack_match, CharClass, Re, Regex};
 
 proptest! {
@@ -110,5 +117,305 @@ proptest! {
         let backtracking = backtrack_match(&re, &input);
         prop_assert_eq!(derivative, memoised, "memo diverges on {:?} / {:?}", re, input);
         prop_assert_eq!(derivative, backtracking, "backtracking diverges on {:?} / {:?}", re, input);
+    }
+}
+
+// ---- resource governance: pathological fixtures trip budgets fast ----
+
+fn pathological(name: &str) -> (shapex_shex::Schema, shapex_rdf::graph::Dataset) {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../fixtures/_pathological");
+    let schema_src = std::fs::read_to_string(root.join(format!("{name}.shex")))
+        .unwrap_or_else(|e| panic!("{name}.shex: {e}"));
+    let data_src = std::fs::read_to_string(root.join(format!("{name}.ttl")))
+        .unwrap_or_else(|e| panic!("{name}.ttl: {e}"));
+    let schema = shapex_shex::shexc::parse(&schema_src).unwrap();
+    let ds = shapex_rdf::turtle::parse(&data_src).unwrap();
+    (schema, ds)
+}
+
+fn check_under(
+    schema: &shapex_shex::Schema,
+    ds: &mut shapex_rdf::graph::Dataset,
+    node_iri: &str,
+    shape: &str,
+    budget: Budget,
+) -> Outcome {
+    let config = EngineConfig {
+        budget,
+        ..EngineConfig::default()
+    };
+    let mut engine = Engine::compile(schema, &mut ds.pool, config).unwrap();
+    let node = ds.iri(node_iri).expect("focus node in data");
+    let shape = engine.shape_id(&ShapeLabel::new(shape)).expect("shape");
+    engine.check_id(&ds.graph, &ds.pool, node, shape)
+}
+
+/// The 2000-node cycle needs recursion ~= the cycle length: a small depth
+/// budget must trip it quickly and report the depth axis.
+#[test]
+fn deep_recursion_trips_depth_budget_fast() {
+    let (schema, mut ds) = pathological("deep_recursion");
+    let start = Instant::now();
+    let outcome = check_under(
+        &schema,
+        &mut ds,
+        "http://e/n0",
+        "Chain",
+        Budget::UNLIMITED.with_max_depth(64),
+    );
+    let e = outcome.exhaustion().expect("depth budget should trip");
+    assert_eq!(e.resource, Resource::Depth);
+    assert!(e.spent <= e.limit);
+    assert!(
+        start.elapsed() < Duration::from_secs(1),
+        "exhaustion took {:?}",
+        start.elapsed()
+    );
+}
+
+/// Without a budget the same cycle conforms (greatest fixpoint: the cyclic
+/// assumption is coinductively sound) — exhaustion is a resource verdict,
+/// not an answer.
+#[test]
+fn deep_recursion_conforms_unlimited() {
+    // The 2000-deep coinductive proof outgrows the 2 MiB default test
+    // stack; an ungoverned run gets a worker thread with room to recurse
+    // (exactly the OS-fault mode `max_depth` exists to pre-empt).
+    std::thread::Builder::new()
+        .stack_size(64 * 1024 * 1024)
+        .spawn(|| {
+            let (schema, mut ds) = pathological("deep_recursion");
+            let outcome = check_under(&schema, &mut ds, "http://e/n0", "Chain", Budget::UNLIMITED);
+            assert!(outcome.matched(), "cycle should conform coinductively");
+        })
+        .unwrap()
+        .join()
+        .unwrap();
+}
+
+/// 18 same-predicate conjuncts with pseudo-random value sets: every
+/// triple has a distinct satisfaction profile, the And-rule derivative
+/// branches exponentially, and step and arena budgets must both trip in
+/// well under a second.
+#[test]
+fn interleave_trips_step_and_arena_budgets_fast() {
+    let (schema, mut ds) = pathological("interleave");
+    let start = Instant::now();
+    let outcome = check_under(
+        &schema,
+        &mut ds,
+        "http://e/big",
+        "Blowup",
+        Budget::steps(10_000),
+    );
+    let e = outcome.exhaustion().expect("step budget should trip");
+    assert_eq!(e.resource, Resource::Steps);
+    assert_eq!(e.spent, 10_000);
+
+    let outcome = check_under(
+        &schema,
+        &mut ds,
+        "http://e/big",
+        "Blowup",
+        Budget::UNLIMITED.with_max_arena_nodes(2_000),
+    );
+    let e = outcome.exhaustion().expect("arena budget should trip");
+    assert_eq!(e.resource, Resource::ArenaNodes);
+    assert!(
+        start.elapsed() < Duration::from_secs(1),
+        "exhaustion took {:?}",
+        start.elapsed()
+    );
+}
+
+/// The 5000-object fan-out crosses the deadline poll interval, so an
+/// already-expired deadline trips on the wall-clock axis; a tiny step
+/// budget trips on steps; and unlimited still answers (it is linear for
+/// the derivative engine).
+#[test]
+fn fanout_budget_axes() {
+    let (schema, mut ds) = pathological("fanout");
+    let outcome = check_under(&schema, &mut ds, "http://e/hub", "Fan", Budget::steps(100));
+    let e = outcome.exhaustion().expect("step budget should trip");
+    assert_eq!(e.resource, Resource::Steps);
+    assert_eq!(e.spent, e.limit);
+
+    let outcome = check_under(
+        &schema,
+        &mut ds,
+        "http://e/hub",
+        "Fan",
+        Budget::UNLIMITED.with_deadline(Duration::ZERO),
+    );
+    let e = outcome.exhaustion().expect("expired deadline should trip");
+    assert_eq!(e.resource, Resource::WallClock);
+
+    let outcome = check_under(&schema, &mut ds, "http://e/hub", "Fan", Budget::UNLIMITED);
+    assert!(outcome.matched(), "all 5000 objects are literals");
+}
+
+/// Per-node fault isolation: in one `type_all` run over a graph holding
+/// both a pathological node and a healthy one, the blown pair lands in
+/// `typing.exhausted` while the healthy node still gets its definitive
+/// (and correct) typing.
+#[test]
+fn type_all_isolates_pathological_node() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../fixtures/_pathological");
+    let schema_src =
+        std::fs::read_to_string(root.join("interleave.shex")).unwrap() + "\n<Ok> { e:q [1] }\n";
+    let data_src =
+        std::fs::read_to_string(root.join("interleave.ttl")).unwrap() + "e:good e:q 1 .\n";
+    let schema = shapex_shex::shexc::parse(&schema_src).unwrap();
+    let mut ds = shapex_rdf::turtle::parse(&data_src).unwrap();
+    let config = EngineConfig {
+        budget: Budget::steps(10_000),
+        ..EngineConfig::default()
+    };
+    let mut engine = Engine::compile(&schema, &mut ds.pool, config).unwrap();
+    let typing = engine.type_all(&ds.graph, &ds.pool);
+
+    let good = ds.iri("http://e/good").unwrap();
+    let big = ds.iri("http://e/big").unwrap();
+    let ok_shape = engine.shape_id(&ShapeLabel::new("Ok")).unwrap();
+    let blowup = engine.shape_id(&ShapeLabel::new("Blowup")).unwrap();
+
+    assert!(typing.is_partial(), "the blowup pair should exhaust");
+    assert!(
+        typing.has(good, ok_shape),
+        "healthy node must still be typed correctly"
+    );
+    assert!(
+        !typing.has(big, blowup),
+        "an exhausted pair must not be asserted in the typing"
+    );
+    assert!(
+        typing
+            .exhausted
+            .iter()
+            .any(|&(n, s, _)| n == big && s == blowup),
+        "the blown pair must be reported in typing.exhausted"
+    );
+    // The exhausted pair is retryable: a bigger budget on the same engine
+    // must not be poisoned by leftover state from the blown run.
+    engine.set_budget(Budget::UNLIMITED.with_max_depth(1_000));
+    let retry = engine.check_id(&ds.graph, &ds.pool, good, ok_shape);
+    assert!(retry.matched());
+    let stats = engine.stats();
+    assert!(stats.exhausted_checks >= 1, "{stats}");
+}
+
+/// The backtracking baseline under a budget fails cleanly on the blow-up
+/// and still answers healthy nodes afterwards (per-node meters).
+#[test]
+fn backtracker_exhausts_cleanly_and_isolates() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../fixtures/_pathological");
+    let schema_src =
+        std::fs::read_to_string(root.join("interleave.shex")).unwrap() + "\n<Ok> { e:q [1] }\n";
+    let data_src =
+        std::fs::read_to_string(root.join("interleave.ttl")).unwrap() + "e:good e:q 1 .\n";
+    let schema = shapex_shex::shexc::parse(&schema_src).unwrap();
+    let ds = shapex_rdf::turtle::parse(&data_src).unwrap();
+    let validator = BacktrackValidator::with_config(
+        &schema,
+        BtConfig {
+            budget: Budget::steps(10_000),
+        },
+    )
+    .unwrap();
+    let big = ds.iri("http://e/big").unwrap();
+    let good = ds.iri("http://e/good").unwrap();
+    let start = Instant::now();
+    let err = validator
+        .check(&ds.graph, &ds.pool, big, &ShapeLabel::new("Blowup"))
+        .unwrap_err();
+    match err {
+        BtError::ResourceExhausted(e) => {
+            assert_eq!(e.resource, Resource::Steps);
+            assert!(e.spent <= e.limit);
+        }
+        other => panic!("expected exhaustion, got {other}"),
+    }
+    assert!(start.elapsed() < Duration::from_secs(1));
+    // Fresh meter per node: the healthy node is unaffected.
+    let ok = validator
+        .check(&ds.graph, &ds.pool, good, &ShapeLabel::new("Ok"))
+        .unwrap();
+    assert!(ok);
+}
+
+// ---- budget safety under random workloads and random budgets ----
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any workload × any small budget: validation never panics, always
+    /// terminates with a structured outcome, respects `spent <= limit`,
+    /// and — crucially — a definitive answer under a budget equals the
+    /// unlimited answer (budgets must not change verdicts).
+    #[test]
+    fn derivative_budget_safety(
+        family in 0usize..5,
+        size in 1usize..10,
+        steps in 1u64..3_000,
+        depth in 1u32..48,
+        arena in 1usize..3_000,
+    ) {
+        let w = match family {
+            0 => shapex_workloads::example8_neighbourhood(size),
+            1 => shapex_workloads::and_width(size.min(6), 2),
+            2 => shapex_workloads::balanced_ab(size),
+            3 => shapex_workloads::alternation_fanout(3, size),
+            _ => shapex_workloads::repeat_bounds(1, size as u32, size),
+        };
+        let mut w = w;
+        let schema = shapex_shex::shexc::parse(&w.schema).unwrap();
+        let budget = Budget::steps(steps)
+            .with_max_depth(depth)
+            .with_max_arena_nodes(arena);
+        let config = EngineConfig { budget, ..EngineConfig::default() };
+        let mut engine = Engine::compile(&schema, &mut w.dataset.pool, config).unwrap();
+        let shape = engine.shape_id(&ShapeLabel::new(w.shape.as_str())).unwrap();
+        for (i, iri) in w.focus.iter().enumerate() {
+            let node = w.dataset.iri(iri).unwrap();
+            match engine.check_id(&w.dataset.graph, &w.dataset.pool, node, shape) {
+                Outcome::Exhausted(e) => {
+                    prop_assert!(e.spent <= e.limit, "{e}");
+                }
+                definitive => {
+                    // Budgets never flip answers.
+                    prop_assert_eq!(
+                        definitive.matched(),
+                        w.expected[i],
+                        "budget changed the verdict for {}", iri
+                    );
+                }
+            }
+        }
+        // Stats render without panicking and record any exhaustion.
+        let _ = engine.stats().to_string();
+    }
+
+    /// Same safety envelope for the backtracking baseline.
+    #[test]
+    fn backtracker_budget_safety(
+        size in 1usize..8,
+        steps in 1u64..2_000,
+        depth in 1u32..48,
+    ) {
+        let w = shapex_workloads::and_width(size, 2);
+        let schema = shapex_shex::shexc::parse(&w.schema).unwrap();
+        let budget = Budget::steps(steps).with_max_depth(depth);
+        let validator = BacktrackValidator::with_config(&schema, BtConfig { budget }).unwrap();
+        let label = ShapeLabel::new(w.shape.as_str());
+        for (i, iri) in w.focus.iter().enumerate() {
+            let node = w.dataset.iri(iri).unwrap();
+            match validator.check(&w.dataset.graph, &w.dataset.pool, node, &label) {
+                Err(BtError::ResourceExhausted(e)) => {
+                    prop_assert!(e.spent <= e.limit, "{e}");
+                }
+                Err(other) => prop_assert!(false, "unexpected error: {}", other),
+                Ok(got) => prop_assert_eq!(got, w.expected[i]),
+            }
+        }
     }
 }

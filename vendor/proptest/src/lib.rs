@@ -1,0 +1,307 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no network access, so the real crate cannot be
+//! fetched. This shim keeps the property-based tests in this workspace
+//! running: it implements the `Strategy` combinators, collection and string
+//! pattern strategies, and the `proptest!`/`prop_oneof!`/`prop_assert*!`
+//! macros the tests use. Generation is deterministic per test name and case
+//! index. There is **no shrinking** — a failing case reports the assertion
+//! message and the case's seed, not a minimised input.
+
+pub mod strategy;
+
+pub mod test_runner {
+    /// Runner configuration. Only `cases` is honoured.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(256);
+            Config { cases }
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::{SizeRange, Strategy};
+    use std::collections::BTreeSet;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut crate::strategy::TestRng) -> Self::Value {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut crate::strategy::TestRng) -> Self::Value {
+            let target = self.size.sample(rng);
+            let mut set = BTreeSet::new();
+            // Duplicates shrink the set; cap the retries so a tiny element
+            // domain cannot loop forever.
+            let mut attempts = 0;
+            while set.len() < target && attempts < target * 4 + 8 {
+                set.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+}
+
+pub mod bool {
+    use crate::strategy::{Strategy, TestRng};
+
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// `proptest::bool::ANY`.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.bits() & 1 == 1
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::{Strategy, TestRng};
+    use std::marker::PhantomData;
+
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    // Mix edge cases in: property tests lean on extremes.
+                    match rng.bits() % 8 {
+                        0 => <$t>::MIN,
+                        1 => <$t>::MAX,
+                        2 => 0 as $t,
+                        3 => 1 as $t,
+                        _ => rng.bits() as $t,
+                    }
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.bits() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            // Mostly ASCII, occasionally any scalar value.
+            if rng.bits().is_multiple_of(4) {
+                char::from_u32((rng.bits() % 0x11_0000) as u32).unwrap_or('\u{FFFD}')
+            } else {
+                (0x20 + (rng.bits() % 0x5F)) as u8 as char
+            }
+        }
+    }
+
+    pub struct AnyStrategy<T>(PhantomData<T>);
+
+    impl<T> Clone for AnyStrategy<T> {
+        fn clone(&self) -> Self {
+            AnyStrategy(PhantomData)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} ({}:{})", stringify!($cond), file!(), line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {}: {} ({}:{})",
+                stringify!($cond), format_args!($($fmt)*), file!(), line!()
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{:?}` == `{:?}` ({}:{})", l, r, file!(), line!()
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{:?}` == `{:?}`: {} ({}:{})",
+                l, r, format_args!($($fmt)*), file!(), line!()
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{:?}` != `{:?}` ({}:{})", l, r, file!(), line!()
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{:?}` != `{:?}`: {} ({}:{})",
+                l, r, format_args!($($fmt)*), file!(), line!()
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            // No rejection machinery: treat an unmet assumption as a pass.
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_cfg ($cfg) $($rest)*);
+    };
+    (@with_cfg ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            #[test]
+            fn $name() {
+                let cfg: $crate::test_runner::Config = $cfg;
+                let base = $crate::strategy::seed_for(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..cfg.cases {
+                    let mut rng = $crate::strategy::TestRng::new(base ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    let outcome: ::std::result::Result<(), ::std::string::String> = (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(msg) = outcome {
+                        panic!("proptest case {}/{} failed: {}", case + 1, cfg.cases, msg);
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_cfg ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}

@@ -1,0 +1,743 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! The build environment has no network access, so the real crate cannot be
+//! fetched. This shim implements the slice of the API the workspace uses:
+//! [`Value`], [`Map`] (BTreeMap-backed, like serde_json's default), the
+//! [`json!`] macro, [`from_str`], and [`to_string_pretty`]. No serde traits —
+//! everything in-tree goes through `Value`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+pub type Map<K, V> = BTreeMap<K, V>;
+
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(Number),
+    String(String),
+    Array(Vec<Value>),
+    Object(Map<String, Value>),
+}
+
+#[derive(Clone, Copy, Debug)]
+pub enum Number {
+    PosInt(u64),
+    NegInt(i64),
+    Float(f64),
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (self.as_i64(), other.as_i64()) {
+            (Some(a), Some(b)) => a == b,
+            _ => match (self.as_u64(), other.as_u64()) {
+                (Some(a), Some(b)) => a == b,
+                _ => self.as_f64() == other.as_f64(),
+            },
+        }
+    }
+}
+
+impl Number {
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::PosInt(u) => i64::try_from(u).ok(),
+            Number::NegInt(i) => Some(i),
+            Number::Float(_) => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::PosInt(u) => Some(u),
+            Number::NegInt(i) => u64::try_from(i).ok(),
+            Number::Float(_) => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Number::PosInt(u) => Some(u as f64),
+            Number::NegInt(i) => Some(i as f64),
+            Number::Float(f) => Some(f),
+        }
+    }
+}
+
+impl Value {
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&Map<String, Value>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Index into an object by key (None for non-objects, like serde_json).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|o| o.get(key))
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+macro_rules! impl_from_uint {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                Value::Number(Number::PosInt(v as u64))
+            }
+        }
+        impl From<&$t> for Value {
+            fn from(v: &$t) -> Value {
+                Value::from(*v)
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_from_sint {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                if v < 0 {
+                    Value::Number(Number::NegInt(v as i64))
+                } else {
+                    Value::Number(Number::PosInt(v as u64))
+                }
+            }
+        }
+        impl From<&$t> for Value {
+            fn from(v: &$t) -> Value {
+                Value::from(*v)
+            }
+        }
+    )*};
+}
+
+impl_from_uint!(u8, u16, u32, u64, usize);
+impl_from_sint!(i8, i16, i32, i64, isize);
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Number(Number::Float(v))
+    }
+}
+
+impl From<&f64> for Value {
+    fn from(v: &f64) -> Value {
+        Value::Number(Number::Float(*v))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&bool> for Value {
+    fn from(v: &bool) -> Value {
+        Value::Bool(*v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+impl From<&String> for Value {
+    fn from(v: &String) -> Value {
+        Value::String(v.clone())
+    }
+}
+
+impl From<Vec<Value>> for Value {
+    fn from(v: Vec<Value>) -> Value {
+        Value::Array(v)
+    }
+}
+
+impl From<Map<String, Value>> for Value {
+    fn from(v: Map<String, Value>) -> Value {
+        Value::Object(v)
+    }
+}
+
+/// Construct a [`Value`] from a JSON-ish literal. Covers the shapes used
+/// in-tree: scalars, expressions, `{"key": value, ...}` objects (values may
+/// be nested objects, arrays, or arbitrary expressions), and `[...]` arrays.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elems:tt),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::json!($elems) ),* ])
+    };
+    ({ $($body:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut map = $crate::Map::new();
+        $crate::json_obj!(map; $($body)*);
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+/// Internal helper for [`json!`] object bodies. Values that are themselves
+/// braced objects or bracketed arrays are matched as single token trees
+/// (before the `expr` fallback, which cannot capture them).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_obj {
+    ($map:ident;) => {};
+    ($map:ident; $k:literal : null , $($rest:tt)*) => {
+        $map.insert($k.to_string(), $crate::Value::Null);
+        $crate::json_obj!($map; $($rest)*);
+    };
+    ($map:ident; $k:literal : null) => {
+        $map.insert($k.to_string(), $crate::Value::Null);
+    };
+    ($map:ident; $k:literal : { $($inner:tt)* } , $($rest:tt)*) => {
+        $map.insert($k.to_string(), $crate::json!({ $($inner)* }));
+        $crate::json_obj!($map; $($rest)*);
+    };
+    ($map:ident; $k:literal : { $($inner:tt)* }) => {
+        $map.insert($k.to_string(), $crate::json!({ $($inner)* }));
+    };
+    ($map:ident; $k:literal : [ $($inner:tt)* ] , $($rest:tt)*) => {
+        $map.insert($k.to_string(), $crate::json!([ $($inner)* ]));
+        $crate::json_obj!($map; $($rest)*);
+    };
+    ($map:ident; $k:literal : [ $($inner:tt)* ]) => {
+        $map.insert($k.to_string(), $crate::json!([ $($inner)* ]));
+    };
+    ($map:ident; $k:literal : $v:expr , $($rest:tt)*) => {
+        $map.insert($k.to_string(), $crate::Value::from($v));
+        $crate::json_obj!($map; $($rest)*);
+    };
+    ($map:ident; $k:literal : $v:expr) => {
+        $map.insert($k.to_string(), $crate::Value::from($v));
+    };
+}
+
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+    line: usize,
+    column: usize,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} at line {} column {}",
+            self.msg, self.line, self.column
+        )
+    }
+}
+
+impl std::error::Error for Error {}
+
+// ---------------------------------------------------------------------------
+// Serialisation
+// ---------------------------------------------------------------------------
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_number(out: &mut String, n: &Number) {
+    match *n {
+        Number::PosInt(u) => out.push_str(&u.to_string()),
+        Number::NegInt(i) => out.push_str(&i.to_string()),
+        Number::Float(f) => {
+            if f.is_finite() {
+                // Match serde_json: floats always render with a fractional
+                // part or exponent so they re-parse as floats.
+                let s = format!("{f}");
+                out.push_str(&s);
+                if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+                    out.push_str(".0");
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+    }
+}
+
+fn write_pretty(out: &mut String, v: &Value, indent: usize) {
+    const STEP: usize = 2;
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => write_number(out, n),
+        Value::String(s) => escape_into(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                out.push_str(&" ".repeat(indent + STEP));
+                write_pretty(out, item, indent + STEP);
+            }
+            out.push('\n');
+            out.push_str(&" ".repeat(indent));
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                out.push_str(&" ".repeat(indent + STEP));
+                escape_into(out, k);
+                out.push_str(": ");
+                write_pretty(out, val, indent + STEP);
+            }
+            out.push('\n');
+            out.push_str(&" ".repeat(indent));
+            out.push('}');
+        }
+    }
+}
+
+pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    write_pretty(&mut out, value, 0);
+    Ok(out)
+}
+
+pub fn to_string(value: &Value) -> Result<String, Error> {
+    fn compact(out: &mut String, v: &Value) {
+        match v {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => write_number(out, n),
+            Value::String(s) => escape_into(out, s),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    compact(out, item);
+                }
+                out.push(']');
+            }
+            Value::Object(map) => {
+                out.push('{');
+                for (i, (k, val)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    escape_into(out, k);
+                    out.push(':');
+                    compact(out, val);
+                }
+                out.push('}');
+            }
+        }
+    }
+    let mut out = String::new();
+    compact(&mut out, value);
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: impl Into<String>) -> Error {
+        let mut line = 1;
+        let mut col = 1;
+        for &b in &self.bytes[..self.pos.min(self.bytes.len())] {
+            if b == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        Error {
+            msg: msg.into(),
+            line,
+            column: col,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(b'-') | Some(b'0'..=b'9') => self.parse_number(),
+            Some(c) => Err(self.err(format!("unexpected character `{}`", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn parse_keyword(&mut self, kw: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected `{kw}`")))
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u16, Error> {
+        let slice = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let s = std::str::from_utf8(slice).map_err(|_| self.err("invalid \\u escape"))?;
+        let v = u16::from_str_radix(s, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("truncated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.parse_hex4()?;
+                            let cp = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require the low half.
+                                if self.bytes.get(self.pos..self.pos + 2) != Some(b"\\u") {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                self.pos += 2;
+                                let lo = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                0x10000 + ((hi as u32 - 0xD800) << 10) + (lo as u32 - 0xDC00)
+                            } else {
+                                hi as u32
+                            };
+                            out.push(
+                                char::from_u32(cp)
+                                    .ok_or_else(|| self.err("invalid unicode escape"))?,
+                            );
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                }
+                Some(b) if b < 0x20 => return Err(self.err("control character in string")),
+                Some(_) => {
+                    // Copy a full UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if !is_float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::PosInt(u)));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::NegInt(i)));
+            }
+        }
+        text.parse::<f64>()
+            .map(|f| Value::Number(Number::Float(f)))
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+pub fn from_str(input: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_pretty() {
+        let v = json!({
+            "type": "Schema",
+            "start": "S",
+            "n": 3,
+            "neg": -7,
+            "f": 1.5,
+            "flag": true,
+            "nothing": null,
+            "items": [1, 2, 3],
+            "nested": {"a": "b"}
+        });
+        let s = to_string_pretty(&v).unwrap();
+        assert_eq!(from_str(&s).unwrap(), v);
+    }
+
+    #[test]
+    fn json_macro_expr_values() {
+        let label = String::from("Person");
+        let v = json!({"type": "ShapeRef", "reference": label.as_str()});
+        assert_eq!(v.get("reference").and_then(Value::as_str), Some("Person"));
+    }
+
+    #[test]
+    fn string_escapes() {
+        let v = from_str(r#""a\"b\\c\ndA𝄞""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\"b\\c\nd\u{41}\u{1D11E}"));
+        let back = to_string(&v).unwrap();
+        assert_eq!(from_str(&back).unwrap(), v);
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(from_str("42").unwrap().as_u64(), Some(42));
+        assert_eq!(from_str("-5").unwrap().as_i64(), Some(-5));
+        assert_eq!(from_str("2.5").unwrap().as_f64(), Some(2.5));
+        assert_eq!(from_str("1e3").unwrap().as_f64(), Some(1000.0));
+        assert_eq!(from_str("7").unwrap().as_f64(), Some(7.0));
+        assert_eq!(from_str("2.5").unwrap().as_i64(), None);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str("{").is_err());
+        assert!(from_str("[1,]").is_err());
+        assert!(from_str("tru").is_err());
+        assert!(from_str("1 2").is_err());
+        assert!(from_str("\"\u{1}\"").is_err());
+    }
+
+    #[test]
+    fn float_rendering_reparses_as_float() {
+        let s = to_string(&Value::from(2.0_f64)).unwrap();
+        assert_eq!(s, "2.0");
+        assert_eq!(from_str(&s).unwrap().as_i64(), None);
+    }
+}
