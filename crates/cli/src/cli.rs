@@ -29,17 +29,35 @@ pub enum CliError {
         /// What tripped.
         exhaustion: Exhaustion,
     },
+    /// The run completed and the answer is "does not conform" — exit code
+    /// [`NONCONFORMANT_EXIT_CODE`]. `output` holds the full report.
+    NonConforming {
+        /// The verdict report (printed to stdout as on success).
+        output: String,
+    },
 }
 
 /// Exit code for budget exhaustion: distinct from 0 (conforms/ran) and 1
 /// (error), so scripts can tell "needs a bigger budget" from "is broken".
+///
+/// Exhaustion takes precedence over [`NONCONFORMANT_EXIT_CODE`]: a run that
+/// is both partially exhausted and non-conforming is *incomplete* — the
+/// failing verdicts it did produce might flip with a larger budget, so the
+/// honest summary is "needs a bigger budget", not "does not conform".
 pub const EXHAUSTED_EXIT_CODE: u8 = 3;
+
+/// Exit code for a completed run whose verdict is non-conformance (a
+/// `--node`/`--shape` check that fails, or a `--map` run with unexpected
+/// verdicts): distinct from 0 (conforms) and 1 (error), the conventional
+/// validator contract.
+pub const NONCONFORMANT_EXIT_CODE: u8 = 2;
 
 impl std::fmt::Display for CliError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CliError::Msg(m) => m.fmt(f),
             CliError::Exhausted { exhaustion, .. } => exhaustion.fmt(f),
+            CliError::NonConforming { .. } => "data does not conform".fmt(f),
         }
     }
 }
@@ -86,7 +104,12 @@ USAGE:
       --max-depth N                      per-check recursion depth budget
       --max-arena N                      per-check expression arena growth budget
       --timeout-ms N                     per-check wall-clock budget in milliseconds
-      Budget exhaustion exits with code 3 (partial results still printed).
+                                         (with --jobs > 1, also bounds the whole run)
+      --jobs N                           worker threads for full-typing runs
+                                         (default: all cores; 1 = sequential)
+      Exit codes: 0 conforms/ran, 1 error, 2 does not conform, 3 budget
+      exhausted. Exhaustion wins over non-conformance: a partial run's
+      failing verdicts might flip with a larger budget.
 
   shapex sparql --schema FILE --shape NAME [--node IRI]
       Print the generated SPARQL validation query for a shape
@@ -203,6 +226,18 @@ fn budget_from_flags(flags: &Flags) -> Result<Budget, String> {
     Ok(budget)
 }
 
+/// Worker-thread count for full-typing runs: `--jobs N` (≥ 1), defaulting
+/// to all available cores. `--jobs 1` is the exact sequential path.
+fn jobs_from_flags(flags: &Flags) -> Result<usize, String> {
+    match flags.get("jobs") {
+        None => Ok(shapex::default_jobs()),
+        Some(v) => match v.parse() {
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err(format!("--jobs needs a positive integer, got '{v}'")),
+        },
+    }
+}
+
 /// Converts an engine error into the CLI error type, preserving any
 /// partial output produced before the budget tripped.
 fn engine_err(out: &str, e: EngineError) -> CliError {
@@ -294,11 +329,17 @@ fn validate(flags: &Flags) -> Result<String, CliError> {
                 if flags.has("stats") {
                     let _ = writeln!(out, "stats: {}", engine.stats());
                 }
+                // Exhaustion outranks non-conformance: with any check
+                // unanswered the run is partial, and unexpected verdicts
+                // might flip under a larger budget.
                 if let Some(exhaustion) = first_exhaustion {
                     return Err(CliError::Exhausted {
                         output: out,
                         exhaustion,
                     });
+                }
+                if ok < outcomes.len() {
+                    return Err(CliError::NonConforming { output: out });
                 }
                 return Ok(out);
             }
@@ -324,10 +365,14 @@ fn validate(flags: &Flags) -> Result<String, CliError> {
                                 let _ = writeln!(out, "  because: {}", f.render(&ds.pool));
                             }
                         }
+                        if flags.has("stats") {
+                            let _ = writeln!(out, "stats: {}", engine.stats());
+                        }
+                        return Err(CliError::NonConforming { output: out });
                     }
                 }
                 (None, None) => {
-                    let typing = engine.type_all(&ds.graph, &ds.pool);
+                    let typing = engine.type_all_par(&ds.graph, &ds.pool, jobs_from_flags(flags)?);
                     let rendered = typing.render(&ds.pool, &|s| engine.label_of(s).clone());
                     if rendered.is_empty() {
                         let _ = writeln!(out, "no node conforms to any shape");
@@ -429,6 +474,9 @@ fn validate(flags: &Flags) -> Result<String, CliError> {
                     "stats: rules={} decompositions={} gfp-iterations={}",
                     st.rule_applications, st.decompositions, st.gfp_iterations
                 );
+            }
+            if !ok {
+                return Err(CliError::NonConforming { output: out });
             }
         }
         other => return Err(CliError::Msg(format!("unknown engine '{other}'"))),
@@ -605,7 +653,9 @@ mod tests {
     #[test]
     fn validate_single_node() {
         let (schema, data) = person_files();
-        let out = run_ok(&[
+        // A failing check carries its report in a NonConforming error so
+        // the binary can exit 2 after printing it.
+        let err = run_raw(&[
             "validate",
             "--schema",
             &schema,
@@ -616,9 +666,13 @@ mod tests {
             "--shape",
             "Person",
             "--explain",
-        ]);
-        assert!(out.contains("does NOT conform"), "{out}");
-        assert!(out.contains("because:"), "{out}");
+        ])
+        .unwrap_err();
+        let CliError::NonConforming { output } = err else {
+            panic!("expected NonConforming, got: {err}");
+        };
+        assert!(output.contains("does NOT conform"), "{output}");
+        assert!(output.contains("because:"), "{output}");
     }
 
     #[test]
@@ -772,7 +826,7 @@ mod tests {
             "assoc.sm",
             "<http://example.org/john>@<Person>,\n<http://example.org/mary>@!<Person>,\n<http://example.org/mary>@<Person>",
         );
-        let out = run_ok(&[
+        let err = run_raw(&[
             "validate",
             "--schema",
             &schema,
@@ -781,10 +835,14 @@ mod tests {
             "--map",
             &map,
             "--explain",
-        ]);
-        assert!(out.contains("2/3 associations as expected"), "{out}");
-        assert!(out.contains("UNEXPECTED"), "{out}");
-        assert!(out.contains("because:"), "{out}");
+        ])
+        .unwrap_err();
+        let CliError::NonConforming { output } = err else {
+            panic!("expected NonConforming, got: {err}");
+        };
+        assert!(output.contains("2/3 associations as expected"), "{output}");
+        assert!(output.contains("UNEXPECTED"), "{output}");
+        assert!(output.contains("because:"), "{output}");
     }
 
     #[test]
@@ -908,6 +966,71 @@ mod tests {
     }
 
     #[test]
+    fn exhaustion_outranks_nonconformance() {
+        // A map run where one association fails outright (non-conformance,
+        // exit 2 on its own) AND another trips the step budget: the run is
+        // partial, so Exhausted (exit 3) must win — the failing verdict
+        // might flip with a larger budget.
+        let (schema, _) = person_files();
+        let mut big = String::from(
+            "@prefix : <http://example.org/> .\n\
+             @prefix foaf: <http://xmlns.com/foaf/0.1/> .\n\
+             :mary foaf:age 50, 65 .\n\
+             :big foaf:age 23 ",
+        );
+        for i in 0..200 {
+            big.push_str(&format!("; foaf:name \"n{i}\" "));
+        }
+        big.push_str(".\n");
+        let data = write_tmp("precedence.ttl", &big);
+        let map = write_tmp(
+            "precedence.sm",
+            "<http://example.org/mary>@<Person>,\n<http://example.org/big>@<Person>",
+        );
+        let args = [
+            "validate", "--schema", &schema, "--data", &data, "--map", &map,
+        ];
+        // Sanity: without a budget the same run is merely non-conforming.
+        let plain = run_raw(&args).unwrap_err();
+        let CliError::NonConforming { output } = &plain else {
+            panic!("expected NonConforming, got: {plain}");
+        };
+        assert!(output.contains("1/2 associations as expected"), "{output}");
+        // With a budget mary's check still completes (and fails) but big's
+        // exhausts — and exhaustion wins.
+        let mut budgeted: Vec<&str> = args.to_vec();
+        budgeted.extend(["--max-steps", "40"]);
+        let err = run_raw(&budgeted).unwrap_err();
+        let CliError::Exhausted { output, .. } = &err else {
+            panic!("expected Exhausted, got: {err}");
+        };
+        assert!(output.contains("UNEXPECTED"), "{output}");
+        assert!(output.contains("EXHAUSTED"), "{output}");
+    }
+
+    #[test]
+    fn jobs_flag_matches_sequential_typing() {
+        let (schema, data) = person_files();
+        let sequential = run_ok(&[
+            "validate", "--schema", &schema, "--data", &data, "--jobs", "1",
+        ]);
+        for jobs in ["2", "4", "8"] {
+            let parallel = run_ok(&[
+                "validate", "--schema", &schema, "--data", &data, "--jobs", jobs,
+            ]);
+            assert_eq!(sequential, parallel, "--jobs {jobs} diverged");
+        }
+        assert!(
+            run_err(&["validate", "--schema", &schema, "--data", &data, "--jobs", "0"])
+                .contains("positive integer")
+        );
+        assert!(
+            run_err(&["validate", "--schema", &schema, "--data", &data, "--jobs", "two"])
+                .contains("positive integer")
+        );
+    }
+
+    #[test]
     fn lenient_flag_skips_malformed_statements() {
         let (schema, _) = person_files();
         let data = write_tmp(
@@ -945,7 +1068,7 @@ mod tests {
             "open.ttl",
             "@prefix e: <http://e/> . e:n e:a 1; e:other 2 .",
         );
-        let closed = run_ok(&[
+        let closed = run_raw(&[
             "validate",
             "--schema",
             &schema,
@@ -955,8 +1078,12 @@ mod tests {
             "http://e/n",
             "--shape",
             "S",
-        ]);
-        assert!(closed.contains("does NOT conform"));
+        ])
+        .unwrap_err();
+        let CliError::NonConforming { output } = closed else {
+            panic!("expected NonConforming, got: {closed}");
+        };
+        assert!(output.contains("does NOT conform"), "{output}");
         let open = run_ok(&[
             "validate",
             "--schema",

@@ -23,6 +23,10 @@ fn main() -> ExitCode {
             eprintln!("error: {exhaustion}");
             ExitCode::from(cli::EXHAUSTED_EXIT_CODE)
         }
+        Err(cli::CliError::NonConforming { output }) => {
+            print!("{output}");
+            ExitCode::from(cli::NONCONFORMANT_EXIT_CODE)
+        }
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE

@@ -98,7 +98,9 @@ impl Simplify {
 }
 
 /// The arena. `EMPTY` and `EPSILON` are pre-interned at fixed ids.
-#[derive(Debug)]
+/// `Clone` lets parallel workers fork a private arena that diverges as
+/// each worker interns its own derivative states.
+#[derive(Debug, Clone)]
 pub struct ExprPool {
     nodes: Vec<Node>,
     ids: HashMap<Node, ExprId>,

@@ -80,6 +80,60 @@ pub struct SorbeSpec {
     pub max: u32,
 }
 
+/// Per-shape map from a triple's head `(predicate, direction)` to the arcs
+/// whose predicate set covers it, precomputed once at compile time. Profile
+/// construction consults this instead of scanning every arc of the shape per
+/// triple; it is read-only after compilation and therefore safely shared (by
+/// clone) across parallel workers.
+#[derive(Debug, Clone, Default)]
+pub struct HeadIndex {
+    by_pred: HashMap<(TermId, bool), Vec<ArcId>>,
+    wildcard_fwd: Vec<ArcId>,
+    wildcard_inv: Vec<ArcId>,
+}
+
+impl HeadIndex {
+    fn build(arcs: &[ArcId], table: &[CompiledArc]) -> HeadIndex {
+        let mut idx = HeadIndex::default();
+        for &id in arcs {
+            let arc = &table[id.index()];
+            match &arc.predicates {
+                CompiledPredicates::Any => {
+                    if arc.inverse {
+                        idx.wildcard_inv.push(id);
+                    } else {
+                        idx.wildcard_fwd.push(id);
+                    }
+                }
+                CompiledPredicates::Ids(ids) => {
+                    for &p in ids {
+                        idx.by_pred.entry((p, arc.inverse)).or_default().push(id);
+                    }
+                }
+            }
+        }
+        idx
+    }
+
+    /// Arcs that can match a triple with head `(pred, inverse)`, in bit
+    /// order within each bucket (explicit predicates first, then wildcard
+    /// arcs of the same direction).
+    pub fn candidates(&self, pred: TermId, inverse: bool) -> impl Iterator<Item = ArcId> + '_ {
+        let wild = if inverse {
+            &self.wildcard_inv
+        } else {
+            &self.wildcard_fwd
+        };
+        self.by_pred
+            .get(&(pred, inverse))
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+            .iter()
+            .chain(wild.iter())
+            .copied()
+    }
+}
+
 /// A compiled shape `λ ↦ e`.
 #[derive(Debug, Clone)]
 pub struct CompiledShape {
@@ -100,10 +154,16 @@ pub struct CompiledShape {
     pub inverse_predicates: Option<Vec<TermId>>,
     /// Whether any arc is inverse (controls incoming-triple gathering).
     pub has_inverse: bool,
+    /// Precomputed `(predicate, direction) → candidate arcs` lookup.
+    pub head_index: HeadIndex,
 }
 
 /// The compiled schema: arcs + shapes + the expression arena.
-#[derive(Debug)]
+///
+/// `Clone` is deliberate: parallel `type_all` workers each take a private
+/// copy (arcs/shapes/index are read-only; the pool diverges per worker as
+/// derivatives intern new expressions).
+#[derive(Debug, Clone)]
 pub struct CompiledSchema {
     /// Every arc constraint across all shapes.
     pub arcs: Vec<CompiledArc>,
@@ -127,6 +187,7 @@ impl CompiledSchema {
         simplify: Simplify,
     ) -> Result<CompiledSchema, SchemaError> {
         schema.check_references()?;
+        schema.check_bounds()?;
         let mut index = HashMap::new();
         for (i, label) in schema.labels().enumerate() {
             index.insert(label.clone(), ShapeId(i as u32));
@@ -159,10 +220,12 @@ impl CompiledSchema {
                     })
                     .collect()
             });
+            let head_index = HeadIndex::build(&ctx.arcs, &out.arcs);
             out.shapes.push(CompiledShape {
                 label: label.clone(),
                 expr: compiled,
                 sorbe,
+                head_index,
                 arcs: ctx.arcs,
                 forward_predicates: ctx.forward.map(|mut v| {
                     v.sort();

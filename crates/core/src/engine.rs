@@ -18,6 +18,7 @@
 //!   matching is monotone in the assumption set).
 
 use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::Arc;
 
 use shapex_rdf::graph::Graph;
 use shapex_rdf::pool::{TermId, TermPool};
@@ -26,7 +27,7 @@ use shapex_shex::schema::{Schema, SchemaError};
 use shapex_shex::shapemap::ShapeMap;
 
 use crate::arena::{ArcId, ExprId, Node, Simplify, EMPTY, EPSILON, UNBOUNDED};
-use crate::budget::{Budget, BudgetMeter, Exhaustion, Resource};
+use crate::budget::{Budget, BudgetMeter, Exhaustion, Resource, RunGovernor};
 use crate::compile::{CompiledObject, CompiledSchema, ShapeId};
 use crate::result::{Failure, FailureKind, MatchResult, Outcome, Stats, Typing};
 
@@ -224,12 +225,25 @@ pub struct Engine {
     /// Value-constraint satisfaction per `(arc, object term)` — term
     /// semantics never change, so this survives re-runs.
     value_sat: HashMap<(ArcId, TermId), bool>,
-    /// Per-run: triple → profile (+ assumptions used computing it).
+    /// Triple → profile for entries established with *no* open assumptions:
+    /// stable facts about the graph, persistent across queries and gfp
+    /// reruns (they only reference `Proven`/`Failed` memo states, which are
+    /// never purged). Cleared by [`Engine::reset`] — a stale entry against
+    /// a changed graph would silently mis-profile.
+    profile_stable: HashMap<TripleKey, ProfileId>,
+    /// Per-run: triple → profile computed *under assumptions* (+ the
+    /// assumptions used); discarded every rerun because a purged
+    /// assumption invalidates the cached bits.
     profile_by_triple: HashMap<TripleKey, (ProfileId, Box<[Pair]>)>,
-    /// Per-run: interned profile bitsets.
+    /// Interned profile bitsets. Persistent: an interned `ProfileId`'s
+    /// meaning (its bitset) never changes until [`Engine::reset`].
     profile_ids: HashMap<(ShapeId, Box<[u64]>), ProfileId>,
     profile_bits: Vec<Box<[u64]>>,
-    /// Per-run: derivative memo.
+    /// Derivative memo, keyed by interned profile. `∂` is a pure function
+    /// of `(expression, profile bits)`, so this too persists across runs —
+    /// but **must** be cleared together with the profile tables on
+    /// [`Engine::reset`]: profile ids restart from 0 after a reset, and a
+    /// surviving `(ExprId, ProfileId)` entry would alias a different class.
     deriv_memo: HashMap<(ExprId, ProfileId), ExprId>,
     /// Pairs whose memo state is `Conditional` — kept so the purge and
     /// promotion passes touch only them, not the whole memo (which would
@@ -242,6 +256,10 @@ pub struct Engine {
     /// every node in a batch gets the full budget (per-node fault
     /// isolation) while reruns of the same query share one allowance.
     meter: BudgetMeter,
+    /// Whole-run cooperative governor, installed on parallel workers so
+    /// `--timeout-ms` bounds wall-clock for the entire `type_all_par` run
+    /// (per-query limits stay with each meter).
+    governor: Option<Arc<RunGovernor>>,
 }
 
 impl Engine {
@@ -257,6 +275,7 @@ impl Engine {
             config,
             memo: HashMap::new(),
             value_sat: HashMap::new(),
+            profile_stable: HashMap::new(),
             profile_by_triple: HashMap::new(),
             profile_ids: HashMap::new(),
             profile_bits: Vec::new(),
@@ -266,6 +285,7 @@ impl Engine {
             failures: HashMap::new(),
             stats: Stats::default(),
             meter: BudgetMeter::default(),
+            governor: None,
         })
     }
 
@@ -308,11 +328,22 @@ impl Engine {
         self.config.budget
     }
 
-    /// Clears all memoised state (the compiled schema is kept).
+    /// Clears all memoised state (the compiled schema is kept), making the
+    /// engine safe to reuse against a different (or mutated) graph.
+    ///
+    /// This must cover the *persistent* caches too, not just the
+    /// `(node, shape)` memo: `profile_stable` embeds reference-arc answers
+    /// computed on the old graph, and `deriv_memo` is keyed by profile ids
+    /// whose numbering restarts once the profile tables are cleared — a
+    /// survivor of either would silently corrupt the next run.
     pub fn reset(&mut self) {
         self.memo.clear();
         self.conditional.clear();
         self.value_sat.clear();
+        self.profile_stable.clear();
+        self.profile_ids.clear();
+        self.profile_bits.clear();
+        self.deriv_memo.clear();
         self.begin_run();
         self.failures.clear();
         self.stats = Stats::default();
@@ -452,7 +483,15 @@ impl Engine {
         node: TermId,
         shape: ShapeId,
     ) -> Outcome {
-        self.meter = self.config.budget.meter();
+        // Query boundary: the run-wide deadline is checked here even when
+        // individual queries are too small to reach an amortised poll.
+        if let Some(governor) = &self.governor {
+            if let Err(exhaustion) = governor.poll_deadline() {
+                self.stats.exhausted_checks += 1;
+                return Outcome::Exhausted(exhaustion);
+            }
+        }
+        self.meter = self.fresh_meter();
         self.meter.set_arena_baseline(self.schema.pool.len());
         loop {
             self.begin_run();
@@ -483,8 +522,20 @@ impl Engine {
         }
     }
 
-    /// Folds the finished query's meter into the persistent stats.
+    /// A per-query meter, wired to the whole-run governor when one is
+    /// installed (parallel workers).
+    fn fresh_meter(&self) -> BudgetMeter {
+        match &self.governor {
+            Some(g) => self.config.budget.meter_shared(Arc::clone(g)),
+            None => self.config.budget.meter(),
+        }
+    }
+
+    /// Folds the finished query's meter into the persistent stats and
+    /// settles the query's tail steps with the shared governor (a tripped
+    /// run-wide deadline is irrelevant for an already-finished query).
     fn fold_meter(&mut self) {
+        let _ = self.meter.flush_shared();
         self.stats.budget_steps += self.meter.steps_spent();
         self.stats.max_depth_reached = self.stats.max_depth_reached.max(self.meter.peak_depth());
         self.stats.peak_arena_nodes = self.stats.peak_arena_nodes.max(self.meter.peak_arena());
@@ -557,11 +608,201 @@ impl Engine {
         typing
     }
 
+    /// How many queries each worker takes per wave. Small enough that
+    /// promoted answers circulate quickly on recursive schemas (a worker
+    /// benefits from pairs its peers proved last wave), large enough to
+    /// amortise thread spawn and the merge.
+    const WAVE_CHUNK: usize = 64;
+
+    /// Parallel [`Engine::type_all`]: the same `subjects × shapes` query
+    /// list, partitioned into per-worker shards run on
+    /// [`std::thread::scope`] workers.
+    ///
+    /// Soundness follows the paper's greatest-fixpoint semantics: each
+    /// `(node, shape)` answer is a property of the graph alone, so workers
+    /// may compute them in any interleaving. Each worker owns a *private*
+    /// memo / profile / derivative-memo shard seeded with a read-only
+    /// snapshot of already **promoted unconditional** answers
+    /// (`Proven`/`Failed`); conditional hypothesis state never crosses
+    /// threads. After each wave the workers' new unconditional results are
+    /// merged into this engine's memo and re-seeded to every worker. The
+    /// resulting [`Typing`] is deterministic and identical to the
+    /// sequential [`Engine::type_all`] (under a budget, *which* pair trips
+    /// first may differ — see `Typing::exhausted`).
+    ///
+    /// `jobs <= 1` (and trivially small runs) take the exact sequential
+    /// path. The configured deadline, if any, additionally bounds
+    /// wall-clock for the whole run via a shared [`RunGovernor`].
+    pub fn type_all_par(&mut self, graph: &Graph, terms: &TermPool, jobs: usize) -> Typing {
+        let queries: Vec<(TermId, ShapeId)> = graph
+            .subjects()
+            .flat_map(|node| (0..self.schema.shapes.len()).map(move |i| (node, ShapeId(i as u32))))
+            .collect();
+        let jobs = jobs.max(1);
+        if jobs == 1 || queries.len() < 2 * jobs {
+            return self.type_all(graph, terms);
+        }
+        let governor = RunGovernor::new(self.config.budget.deadline);
+        let mut workers: Vec<Engine> = (0..jobs).map(|_| self.fork_worker(&governor)).collect();
+        // Promotion log: pairs newly merged into `self.memo` since the
+        // workers were forked; `synced[w]` is worker w's high-water mark.
+        let mut log: Vec<Pair> = Vec::new();
+        let mut synced = vec![0usize; jobs];
+        let mut results: Vec<Option<Outcome>> = vec![None; queries.len()];
+        let has_recursion = self.schema.has_recursion;
+
+        let mut next = 0;
+        while next < queries.len() {
+            let wave_end = (next + jobs * Self::WAVE_CHUNK).min(queries.len());
+            // Answers already merged from earlier waves are free.
+            let mut pending: Vec<usize> = Vec::new();
+            for qi in next..wave_end {
+                let (node, shape) = queries[qi];
+                match self.memoised_answer(node, shape) {
+                    Some(answer) => results[qi] = Some(answer),
+                    None => pending.push(qi),
+                }
+            }
+            next = wave_end;
+            if pending.is_empty() {
+                continue;
+            }
+            // Re-seed each worker's snapshot with pairs promoted since it
+            // last synced (merge results from its peers).
+            for (worker, mark) in workers.iter_mut().zip(synced.iter_mut()) {
+                for &pair in &log[*mark..] {
+                    if let Some(state) = self.memo.get(&pair) {
+                        worker.memo.insert(pair, state.clone());
+                    }
+                    if let Some(f) = self.failures.get(&pair) {
+                        worker.failures.insert(pair, f.clone());
+                    }
+                }
+                *mark = log.len();
+            }
+            // Contiguous shards preserve the sequential visit order within
+            // each worker (memo locality on reference chains).
+            let per = pending.len().div_ceil(jobs);
+            let chunks: Vec<&[usize]> = pending.chunks(per).collect();
+            let outcomes: Vec<Vec<(usize, Outcome)>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = workers
+                    .iter_mut()
+                    .zip(&chunks)
+                    .enumerate()
+                    .map(|(w, (worker, chunk))| {
+                        let queries = &queries;
+                        let mut builder =
+                            std::thread::Builder::new().name(format!("shapex-par-{w}"));
+                        if has_recursion {
+                            // Reference recursion is as deep as the data;
+                            // same large (lazily committed) stack as the
+                            // sequential big-stack worker.
+                            builder = builder.stack_size(512 << 20);
+                        }
+                        builder
+                            .spawn_scoped(scope, move || {
+                                chunk
+                                    .iter()
+                                    .map(|&qi| {
+                                        let (node, shape) = queries[qi];
+                                        let outcome = match worker.memoised_answer(node, shape) {
+                                            Some(answer) => answer,
+                                            None => worker.gfp_run(graph, terms, node, shape),
+                                        };
+                                        (qi, outcome)
+                                    })
+                                    .collect()
+                            })
+                            .expect("spawn type_all_par worker")
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("type_all_par worker panicked"))
+                    .collect()
+            });
+            for wave_results in outcomes {
+                for (qi, outcome) in wave_results {
+                    results[qi] = Some(outcome);
+                }
+            }
+            for worker in &workers {
+                self.absorb_worker(worker, &mut log);
+            }
+        }
+        for worker in &workers {
+            self.stats.absorb(&worker.stats);
+            self.stats.peak_arena_nodes = self.stats.peak_arena_nodes.max(worker.schema.pool.len());
+        }
+        let mut typing = Typing::new();
+        for (&(node, shape), result) in queries.iter().zip(results) {
+            match result.expect("every query answered") {
+                Outcome::Conforms => typing.add(node, shape),
+                Outcome::Fails(_) => {}
+                Outcome::Exhausted(e) => typing.add_exhausted(node, shape, e),
+            }
+        }
+        typing
+    }
+
+    /// A worker engine for [`Engine::type_all_par`]: private copy of the
+    /// compiled schema and arena, seeded with the unconditional slice of
+    /// this engine's memo. Profile and derivative tables start empty —
+    /// profile ids are interned per engine and must not be shared.
+    fn fork_worker(&self, governor: &Arc<RunGovernor>) -> Engine {
+        Engine {
+            schema: self.schema.clone(),
+            config: self.config,
+            memo: self
+                .memo
+                .iter()
+                .filter(|(_, state)| matches!(state, MemoState::Proven | MemoState::Failed))
+                .map(|(&pair, state)| (pair, state.clone()))
+                .collect(),
+            value_sat: self.value_sat.clone(),
+            profile_stable: HashMap::new(),
+            profile_by_triple: HashMap::new(),
+            profile_ids: HashMap::new(),
+            profile_bits: Vec::new(),
+            deriv_memo: HashMap::new(),
+            conditional: HashSet::new(),
+            in_progress: HashSet::new(),
+            failures: self.failures.clone(),
+            stats: Stats::default(),
+            meter: BudgetMeter::default(),
+            governor: Some(Arc::clone(governor)),
+        }
+    }
+
+    /// Merges a worker's *unconditional* results back into this engine's
+    /// memo, recording newly learned pairs in `log` (the re-seed queue).
+    /// Conditional state never leaves a worker; between queries a worker
+    /// holds none anyway (the gfp driver promotes or drops it).
+    fn absorb_worker(&mut self, worker: &Engine, log: &mut Vec<Pair>) {
+        for (&pair, state) in &worker.memo {
+            if !matches!(state, MemoState::Proven | MemoState::Failed) {
+                continue;
+            }
+            if self.memo.contains_key(&pair) {
+                continue;
+            }
+            self.memo.insert(pair, state.clone());
+            if let Some(f) = worker.failures.get(&pair) {
+                self.failures.insert(pair, f.clone());
+            }
+            log.push(pair);
+        }
+        for (&key, &sat) in &worker.value_sat {
+            self.value_sat.entry(key).or_insert(sat);
+        }
+    }
+
+    /// Discards run-scoped state before a (re)run: only the
+    /// assumption-carrying profile entries and the in-progress set. The
+    /// stable profile table, the interned profile ids, and the derivative
+    /// memo survive — they reference nothing purgeable.
     fn begin_run(&mut self) {
         self.profile_by_triple.clear();
-        self.profile_ids.clear();
-        self.profile_bits.clear();
-        self.deriv_memo.clear();
         self.in_progress.clear();
     }
 
@@ -798,7 +1039,7 @@ impl Engine {
         node: TermId,
         shape: ShapeId,
     ) -> Result<Trace, Exhaustion> {
-        self.meter = self.config.budget.meter();
+        self.meter = self.fresh_meter();
         self.meter.set_arena_baseline(self.schema.pool.len());
         self.begin_run();
         let result = self.trace_loop(graph, terms, node, shape);
@@ -973,25 +1214,30 @@ impl Engine {
         deps: &mut BTreeSet<Pair>,
     ) -> Result<ProfileId, Exhaustion> {
         let key = (shape, pred, other, inverse);
+        if let Some(&pid) = self.profile_stable.get(&key) {
+            return Ok(pid);
+        }
         if let Some((pid, cached_deps)) = self.profile_by_triple.get(&key) {
             deps.extend(cached_deps.iter().copied());
             return Ok(*pid);
         }
         self.meter.step()?;
-        let arcs: Vec<ArcId> = self.schema.shape(shape).arcs.clone();
-        let mut bits = vec![0u64; arcs.len().div_ceil(64)];
+        // Only arcs whose head covers `(pred, inverse)` can set a bit —
+        // the compile-time head index hands us exactly those instead of a
+        // scan over every arc of the shape.
+        let (n_arcs, candidates) = {
+            let sh = self.schema.shape(shape);
+            (
+                sh.arcs.len(),
+                sh.head_index
+                    .candidates(pred, inverse)
+                    .collect::<Vec<ArcId>>(),
+            )
+        };
+        let mut bits = vec![0u64; n_arcs.div_ceil(64)];
         let mut used: Vec<Pair> = Vec::new();
-        for arc_id in arcs {
-            let (matches_head, bit) = {
-                let arc = self.schema.arc(arc_id);
-                (
-                    arc.inverse == inverse && arc.predicates.contains(pred),
-                    arc.bit,
-                )
-            };
-            if !matches_head {
-                continue;
-            }
+        for arc_id in candidates {
+            let bit = self.schema.arc(arc_id).bit;
             let mut arc_deps = BTreeSet::new();
             let sat = self.arc_object_sat(graph, terms, arc_id, other, &mut arc_deps)?;
             used.extend(arc_deps.iter().copied());
@@ -1012,9 +1258,15 @@ impl Engine {
                 stats.triple_classes += 1;
                 next
             });
-        used.sort();
-        used.dedup();
-        self.profile_by_triple.insert(key, (pid, used.into()));
+        if used.is_empty() {
+            // No open assumptions touched: a stable fact about the graph,
+            // reusable by every later query and rerun.
+            self.profile_stable.insert(key, pid);
+        } else {
+            used.sort();
+            used.dedup();
+            self.profile_by_triple.insert(key, (pid, used.into()));
+        }
         Ok(pid)
     }
 
@@ -1336,6 +1588,94 @@ mod tests {
     }
 
     #[test]
+    fn repeat_zero_zero_behaves_as_epsilon_on_every_path() {
+        // e{0,0} ≡ ε: nullable, and a triple matching that arc is a
+        // *closed*-shape violation, not a consumable arc — identically on
+        // the SORBE fast path, the general derivative path, and with
+        // simplification disabled (where Repeat(e,0,0) survives interning).
+        for (name, config) in [
+            ("sorbe", EngineConfig::default()),
+            (
+                "general",
+                EngineConfig {
+                    no_sorbe: true,
+                    ..EngineConfig::default()
+                },
+            ),
+            (
+                "no-simplify",
+                EngineConfig {
+                    no_sorbe: true,
+                    simplify: Simplify::none(),
+                    ..EngineConfig::default()
+                },
+            ),
+        ] {
+            let schema =
+                shexc::parse("PREFIX e: <http://e/>\n<S> { e:q [1], e:p .{0,0} }").unwrap();
+            let mut ds =
+                turtle::parse("@prefix e: <http://e/> . e:ok e:q 1 . e:bad e:q 1; e:p 5 .")
+                    .unwrap();
+            let mut engine = Engine::compile(&schema, &mut ds.pool, config).unwrap();
+            let ok = ds.iri("http://e/ok").unwrap();
+            let bad = ds.iri("http://e/bad").unwrap();
+            assert!(
+                engine
+                    .check(&ds.graph, &ds.pool, ok, &"S".into())
+                    .unwrap()
+                    .matched,
+                "{name}: zero occurrences of p{{0,0}} must satisfy"
+            );
+            assert!(
+                !engine
+                    .check(&ds.graph, &ds.pool, bad, &"S".into())
+                    .unwrap()
+                    .matched,
+                "{name}: a p-triple must violate p{{0,0}}"
+            );
+        }
+    }
+
+    #[test]
+    fn repeat_zero_one_is_optional() {
+        let (mut engine, ds) = setup(
+            "PREFIX e: <http://e/>\n<S> { e:q [1], e:p .{0,1} }",
+            "@prefix e: <http://e/> . e:none e:q 1 . e:one e:q 1; e:p 5 .\n\
+             e:two e:q 1; e:p 5, 6 .",
+        );
+        assert!(check(&mut engine, &ds, "http://e/none", "S"));
+        assert!(check(&mut engine, &ds, "http://e/one", "S"));
+        assert!(!check(&mut engine, &ds, "http://e/two", "S"));
+    }
+
+    #[test]
+    fn inverted_bounds_rejected_at_compile() {
+        // {1,0} never reaches the arena's repeat() (whose debug_assert
+        // would panic): programmatic schemas are rejected with a clear
+        // error at compile time, mirroring the ShExC parse-time check.
+        use shapex_shex::ast::{ArcConstraint, ShapeExpr};
+        use shapex_shex::constraint::NodeConstraint;
+        let schema = Schema::from_rules([(
+            ShapeLabel::new("S"),
+            ShapeExpr::Repeat(
+                Box::new(ShapeExpr::arc(ArcConstraint::value(
+                    "http://e/p",
+                    NodeConstraint::Any,
+                ))),
+                1,
+                Some(0),
+            ),
+        )])
+        .unwrap();
+        let mut terms = TermPool::new();
+        let err = Engine::new(&schema, &mut terms).unwrap_err();
+        let EngineError::Schema(SchemaError::InvalidBounds { min: 1, max: 0, .. }) = err else {
+            panic!("expected InvalidBounds, got {err:?}");
+        };
+        assert!(err.to_string().contains("{1,0}"), "{err}");
+    }
+
+    #[test]
     fn closed_semantics_rejects_extra_triples() {
         let (mut engine, ds) = setup(
             "PREFIX e: <http://e/>\n<S> { e:a [1] }",
@@ -1454,6 +1794,105 @@ mod tests {
         assert_eq!(engine.stats().derivative_steps, 0);
         // Still works after reset ({⟨n,a,1⟩} ∈ S_n[[e]], paper Example 7).
         assert!(check(&mut engine, &ds, "http://e/n", "S"));
+    }
+
+    #[test]
+    fn reset_clears_stale_memos_across_graph_change() {
+        // Regression: deriv_memo / profile_stable persist across queries
+        // for performance, so reset() MUST clear them. Validate against one
+        // graph, extend the dataset so the same (shape, pred, object) key
+        // now profiles differently, reset, and re-validate: a stale
+        // derivative or stable-profile entry would replay the old verdict.
+        let schema = shexc::parse(
+            // An Or keeps the shape off the SORBE fast path so the
+            // derivative memo is actually exercised.
+            "PREFIX e: <http://e/>\n<S> { e:p @<T> | e:p @<T> }\n<T> { e:q [1]* }",
+        )
+        .unwrap();
+        let mut ds = turtle::parse("@prefix e: <http://e/> . e:n e:p e:t . e:t e:q 1 .").unwrap();
+        let mut engine = Engine::new(&schema, &mut ds.pool).unwrap();
+        let n = ds.iri("http://e/n").unwrap();
+        assert!(
+            engine
+                .check(&ds.graph, &ds.pool, n, &"S".into())
+                .unwrap()
+                .matched,
+            "t conforms to <T>, so n conforms to <S>"
+        );
+        // Extend the graph: t gains e:q 2, which [1]* rejects — t no
+        // longer conforms to <T>, so n must now fail <S>.
+        turtle::parse_into("@prefix e: <http://e/> . e:t e:q 2 .", &mut ds).unwrap();
+        engine.reset();
+        assert!(
+            !engine
+                .check(&ds.graph, &ds.pool, n, &"S".into())
+                .unwrap()
+                .matched,
+            "stale memo state survived reset()"
+        );
+    }
+
+    #[test]
+    fn type_all_par_matches_sequential_on_person_data() {
+        let (mut seq, ds) = setup(PERSON_SCHEMA, PERSON_DATA);
+        let sequential = seq.type_all(&ds.graph, &ds.pool);
+        for jobs in [2, 4, 8] {
+            let schema = shexc::parse(PERSON_SCHEMA).unwrap();
+            let mut ds2 = turtle::parse(PERSON_DATA).unwrap();
+            let mut par = Engine::new(&schema, &mut ds2.pool).unwrap();
+            let parallel = par.type_all_par(&ds2.graph, &ds2.pool, jobs);
+            assert_eq!(sequential, parallel, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn type_all_par_jobs_1_is_sequential() {
+        let (mut a, ds) = setup(PERSON_SCHEMA, PERSON_DATA);
+        let (mut b, _) = setup(PERSON_SCHEMA, PERSON_DATA);
+        assert_eq!(
+            a.type_all(&ds.graph, &ds.pool),
+            b.type_all_par(&ds.graph, &ds.pool, 1)
+        );
+    }
+
+    #[test]
+    fn type_all_par_recursive_network() {
+        // A cyclic knows-network: coinductive answers must merge across
+        // waves without leaking conditional state between workers.
+        let w = shapex_workloads::person_network(
+            300,
+            shapex_workloads::Topology::Random { degree: 2 },
+            0.2,
+            11,
+        );
+        let schema = shexc::parse(&w.schema).unwrap();
+        let mut ds = w.dataset;
+        let mut seq = Engine::new(&schema, &mut ds.pool).unwrap();
+        let sequential = seq.type_all(&ds.graph, &ds.pool);
+        let mut par = Engine::new(&schema, &mut ds.pool).unwrap();
+        let parallel = par.type_all_par(&ds.graph, &ds.pool, 4);
+        assert_eq!(sequential, parallel);
+        // And the parallel engine's merged memo answers follow-up queries.
+        let first = ds.iri(&w.focus[0]).unwrap();
+        let person = par.shape_id(&ShapeLabel::new("Person")).unwrap();
+        assert_eq!(
+            par.check_id(&ds.graph, &ds.pool, first, person).matched(),
+            sequential.has(first, person)
+        );
+    }
+
+    #[test]
+    fn type_all_par_shared_deadline_bounds_whole_run() {
+        // A zero deadline through the shared governor: every pair either
+        // exhausts or answers from trivial work; the run terminates fast
+        // and reports exhaustion rather than hanging.
+        let w = shapex_workloads::person_network(200, shapex_workloads::Topology::Chain, 0.0, 3);
+        let schema = shexc::parse(&w.schema).unwrap();
+        let mut ds = w.dataset;
+        let mut engine = Engine::new(&schema, &mut ds.pool).unwrap();
+        engine.set_budget(Budget::UNLIMITED.with_deadline(std::time::Duration::ZERO));
+        let typing = engine.type_all_par(&ds.graph, &ds.pool, 4);
+        assert!(typing.is_partial(), "zero deadline must exhaust something");
     }
 
     #[test]

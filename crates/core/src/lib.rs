@@ -47,11 +47,11 @@ pub mod sorbe;
 pub mod validate;
 
 pub use arena::{ArcId, ExprId, ExprPool, Node, Simplify, EMPTY, EPSILON, UNBOUNDED};
-pub use budget::{Budget, BudgetMeter, Exhaustion, Resource};
+pub use budget::{Budget, BudgetMeter, Exhaustion, Resource, RunGovernor};
 pub use compile::{CompiledSchema, ShapeId, SorbeSpec};
 pub use engine::{Closure, Engine, EngineConfig, EngineError, MapOutcome, Trace, TraceStep};
 pub use result::{Failure, FailureKind, MatchResult, Outcome, Stats, Typing};
-pub use validate::{validate, validate_with_budget, Report};
+pub use validate::{default_jobs, validate, validate_par, validate_with_budget, Report};
 
 // Re-export the substrate crates so downstream users need a single
 // dependency.

@@ -289,6 +289,27 @@ pub struct Stats {
     pub exhausted_checks: u64,
 }
 
+impl Stats {
+    /// Folds another engine's counters into this one — used when parallel
+    /// workers' stats are aggregated into the parent engine. Monotone
+    /// counters add; high-water marks take the max. `triple_classes` (and
+    /// the pool-size measures) become an over-count across workers, since
+    /// each worker interns its own class/arena tables.
+    pub fn absorb(&mut self, other: &Stats) {
+        self.derivative_steps += other.derivative_steps;
+        self.deriv_memo_hits += other.deriv_memo_hits;
+        self.triple_classes += other.triple_classes;
+        self.node_checks += other.node_checks;
+        self.gfp_reruns += other.gfp_reruns;
+        self.sorbe_checks += other.sorbe_checks;
+        self.budget_steps += other.budget_steps;
+        self.exhausted_checks += other.exhausted_checks;
+        self.expr_pool_size = self.expr_pool_size.max(other.expr_pool_size);
+        self.peak_arena_nodes = self.peak_arena_nodes.max(other.peak_arena_nodes);
+        self.max_depth_reached = self.max_depth_reached.max(other.max_depth_reached);
+    }
+}
+
 impl fmt::Display for Stats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(

@@ -116,17 +116,44 @@ impl std::error::Error for ValidateError {}
 
 /// Parses `schema_shexc` and `data_turtle`, validates every subject node
 /// against every shape, and returns the [`Report`].
+///
+/// Runs on all available cores via [`Engine::type_all_par`]; the typing is
+/// identical to the sequential engine's (the parallel run is
+/// deterministic). Use [`validate_par`] to pin the worker count.
 pub fn validate(schema_shexc: &str, data_turtle: &str) -> Result<Report, ValidateError> {
-    validate_with_budget(schema_shexc, data_turtle, Budget::UNLIMITED)
+    validate_par(schema_shexc, data_turtle, Budget::UNLIMITED, default_jobs())
+}
+
+/// The default worker count for parallel validation: available hardware
+/// parallelism, 1 when it cannot be determined.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// [`validate`] under per-query resource limits. Queries that trip the
 /// budget are listed in the report (see [`Report::exhausted`]) instead of
 /// failing the run — every other pair still gets its definitive answer.
+/// Runs sequentially so budget semantics (including any per-query
+/// deadline) match the single-threaded engine exactly.
 pub fn validate_with_budget(
     schema_shexc: &str,
     data_turtle: &str,
     budget: Budget,
+) -> Result<Report, ValidateError> {
+    validate_par(schema_shexc, data_turtle, budget, 1)
+}
+
+/// [`validate`] with an explicit budget *and* worker count. `jobs = 1` is
+/// the exact sequential path; with more workers the budget's deadline
+/// additionally bounds wall-clock for the whole run (see
+/// [`Engine::type_all_par`]).
+pub fn validate_par(
+    schema_shexc: &str,
+    data_turtle: &str,
+    budget: Budget,
+    jobs: usize,
 ) -> Result<Report, ValidateError> {
     let schema = shexc::parse(schema_shexc).map_err(ValidateError::SchemaSyntax)?;
     let mut dataset = turtle::parse(data_turtle).map_err(ValidateError::DataSyntax)?;
@@ -136,7 +163,7 @@ pub fn validate_with_budget(
     };
     let mut engine =
         Engine::compile(&schema, &mut dataset.pool, config).map_err(ValidateError::Engine)?;
-    let typing = engine.type_all(&dataset.graph, &dataset.pool);
+    let typing = engine.type_all_par(&dataset.graph, &dataset.pool, jobs);
     Ok(Report {
         dataset,
         engine,

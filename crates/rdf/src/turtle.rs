@@ -63,6 +63,11 @@ struct TurtleParser<'a, 'd> {
     prefixes: HashMap<String, String>,
     base: Option<String>,
     next_anon: usize,
+    /// How many `[`/`(` groups are open at the current position. Only
+    /// consulted by lenient recovery: an error inside a property list or
+    /// collection must not treat a `.` inside the still-open group as the
+    /// enclosing statement's terminator.
+    depth: i32,
 }
 
 impl<'a, 'd> TurtleParser<'a, 'd> {
@@ -73,6 +78,7 @@ impl<'a, 'd> TurtleParser<'a, 'd> {
             prefixes: HashMap::new(),
             base: None,
             next_anon: 0,
+            depth: 0,
         }
     }
 
@@ -116,19 +122,35 @@ impl<'a, 'd> TurtleParser<'a, 'd> {
     /// Skips forward to just past the next statement-terminating `.` — a
     /// dot followed by whitespace, a comment, or end of input — stepping
     /// over string literals, IRIs, and comments so a `.` inside them does
-    /// not end recovery early.
+    /// not end recovery early. Bracket-aware: when the error struck inside
+    /// a `[...]` property list or `(...)` collection, a `.` inside the
+    /// still-open group belongs to the corrupt statement, so recovery only
+    /// accepts a terminator once every open group has been closed again —
+    /// otherwise the tail of the group would be replayed as phantom
+    /// statements.
     fn recover_to_statement_boundary(&mut self) {
+        let mut depth = self.depth;
+        self.depth = 0;
         while let Some(c) = self.cur.peek() {
             match c {
                 '.' => {
                     self.cur.bump();
-                    if self
-                        .cur
-                        .peek()
-                        .is_none_or(|n| n.is_whitespace() || n == '#')
+                    if depth <= 0
+                        && self
+                            .cur
+                            .peek()
+                            .is_none_or(|n| n.is_whitespace() || n == '#')
                     {
                         return;
                     }
+                }
+                '[' | '(' => {
+                    depth += 1;
+                    self.cur.bump();
+                }
+                ']' | ')' => {
+                    depth -= 1;
+                    self.cur.bump();
                 }
                 '#' => {
                     while let Some(c) = self.cur.bump() {
@@ -386,23 +408,28 @@ impl<'a, 'd> TurtleParser<'a, 'd> {
 
     fn blank_node_property_list(&mut self) -> Result<Term, ParseError> {
         self.expect('[')?;
+        self.depth += 1;
         let node = self.fresh_blank();
         self.cur.skip_ws_and_comments();
         if self.cur.eat(']') {
+            self.depth -= 1;
             return Ok(node);
         }
         self.predicate_object_list(&node)?;
         self.cur.skip_ws_and_comments();
         self.expect(']')?;
+        self.depth -= 1;
         Ok(node)
     }
 
     fn collection(&mut self) -> Result<Term, ParseError> {
         self.expect('(')?;
+        self.depth += 1;
         let mut items = Vec::new();
         loop {
             self.cur.skip_ws_and_comments();
             if self.cur.eat(')') {
+                self.depth -= 1;
                 break;
             }
             items.push(self.object()?);
@@ -778,6 +805,48 @@ mod tests {
         let (ds, errors) = parse_lenient(src);
         assert_eq!(errors.len(), 1);
         assert!(ds.iri("http://example.org/c").is_some());
+    }
+
+    #[test]
+    fn lenient_error_in_property_list_skips_whole_statement() {
+        // The error strikes at depth 1, inside `[...]`. Recovery must not
+        // accept the "1." inside the brackets as the statement terminator —
+        // that would replay ":x :y :z ." as a phantom statement.
+        let src = "@prefix : <http://example.org/> .\n\
+                   :a :p [ :q %%% 1. :x :y :z . ] .\n\
+                   :b :s 3 .\n";
+        let (ds, errors) = parse_lenient(src);
+        assert_eq!(errors.len(), 1, "{errors:?}");
+        assert!(
+            ds.iri("http://example.org/x").is_none(),
+            "tail of the corrupt list replayed as a phantom statement"
+        );
+        assert!(ds.iri("http://example.org/b").is_some());
+        assert_eq!(ds.graph.len(), 1);
+    }
+
+    #[test]
+    fn lenient_error_in_nested_collection_skips_whole_statement() {
+        let src = "@prefix : <http://example.org/> .\n\
+                   :a :p ( 1 ( @@ 2. :x :y :z . ) ) .\n\
+                   :b :s 3 .\n";
+        let (ds, errors) = parse_lenient(src);
+        assert_eq!(errors.len(), 1, "{errors:?}");
+        assert!(ds.iri("http://example.org/x").is_none());
+        assert!(ds.iri("http://example.org/b").is_some());
+    }
+
+    #[test]
+    fn lenient_depth_resets_between_statements() {
+        // Two corrupt statements, the first inside brackets: the elevated
+        // depth from the first must not leak into recovery for the second.
+        let src = "@prefix : <http://example.org/> .\n\
+                   :a :p [ :q %% ] .\n\
+                   :c !! plain garbage .\n\
+                   :b :s 3 .\n";
+        let (ds, errors) = parse_lenient(src);
+        assert_eq!(errors.len(), 2, "{errors:?}");
+        assert!(ds.iri("http://example.org/b").is_some());
     }
 
     #[test]

@@ -20,6 +20,16 @@ pub enum SchemaError {
     },
     /// The declared start shape has no definition.
     UndefinedStart(String),
+    /// A repetition `e{m,n}` with `n < m` — unsatisfiable by construction,
+    /// so it is rejected rather than silently compiled to `∅`.
+    InvalidBounds {
+        /// The shape whose definition holds the bad repetition.
+        in_shape: String,
+        /// The lower bound `m`.
+        min: u32,
+        /// The upper bound `n`.
+        max: u32,
+    },
 }
 
 impl fmt::Display for SchemaError {
@@ -34,6 +44,10 @@ impl fmt::Display for SchemaError {
                 "shape <{in_shape}> references undefined shape <{reference}>"
             ),
             SchemaError::UndefinedStart(l) => write!(f, "start shape <{l}> is not defined"),
+            SchemaError::InvalidBounds { in_shape, min, max } => write!(
+                f,
+                "shape <{in_shape}> has invalid repetition bounds {{{min},{max}}}: max < min"
+            ),
         }
     }
 }
@@ -128,6 +142,41 @@ impl Schema {
         if let Some(start) = &self.start {
             if !self.index.contains_key(start) {
                 return Err(SchemaError::UndefinedStart(start.as_str().to_string()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks that every repetition `e{m,n}` in the schema is satisfiable
+    /// (`m <= n`). ShExC parsing already rejects inverted bounds, but
+    /// programmatically built schemas (`from_rules`, ShExJ) reach
+    /// compilation without a parse step; this is their guard.
+    pub fn check_bounds(&self) -> Result<(), SchemaError> {
+        for (label, expr) in &self.shapes {
+            let mut stack = vec![expr];
+            while let Some(e) = stack.pop() {
+                match e {
+                    ShapeExpr::Empty | ShapeExpr::Epsilon | ShapeExpr::Arc(_) => {}
+                    ShapeExpr::Star(inner) | ShapeExpr::Plus(inner) | ShapeExpr::Opt(inner) => {
+                        stack.push(inner)
+                    }
+                    ShapeExpr::Repeat(inner, min, max) => {
+                        if let Some(max) = max {
+                            if max < min {
+                                return Err(SchemaError::InvalidBounds {
+                                    in_shape: label.as_str().to_string(),
+                                    min: *min,
+                                    max: *max,
+                                });
+                            }
+                        }
+                        stack.push(inner);
+                    }
+                    ShapeExpr::And(a, b) | ShapeExpr::Or(a, b) => {
+                        stack.push(a);
+                        stack.push(b);
+                    }
+                }
             }
         }
         Ok(())
@@ -267,6 +316,65 @@ mod tests {
         // mutual recursion
         assert!(s.is_recursive(&"a".into()));
         assert!(s.is_recursive(&"b".into()));
+    }
+
+    #[test]
+    fn inverted_bounds_rejected() {
+        // {1,0} cannot be expressed in ShExC (the parser rejects it), but a
+        // programmatic build reaches compilation unchecked without this.
+        let s = Schema::from_rules([(
+            ShapeLabel::new("A"),
+            ShapeExpr::Repeat(Box::new(arc_val("http://e/p")), 1, Some(0)),
+        )])
+        .unwrap();
+        let err = s.check_bounds().unwrap_err();
+        assert_eq!(
+            err,
+            SchemaError::InvalidBounds {
+                in_shape: "A".into(),
+                min: 1,
+                max: 0,
+            }
+        );
+        assert!(err.to_string().contains("{1,0}"), "{err}");
+    }
+
+    #[test]
+    fn inverted_bounds_found_under_nesting() {
+        let bad = ShapeExpr::And(
+            Box::new(arc_val("http://e/p")),
+            Box::new(ShapeExpr::Opt(Box::new(ShapeExpr::Repeat(
+                Box::new(arc_val("http://e/q")),
+                3,
+                Some(2),
+            )))),
+        );
+        let s = Schema::from_rules([(ShapeLabel::new("A"), bad)]).unwrap();
+        assert!(matches!(
+            s.check_bounds(),
+            Err(SchemaError::InvalidBounds { min: 3, max: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn degenerate_but_valid_bounds_pass() {
+        // {0,0} and {0,1} are satisfiable (ε-like / optional) — allowed.
+        let s = Schema::from_rules([
+            (
+                ShapeLabel::new("Zero"),
+                ShapeExpr::Repeat(Box::new(arc_val("http://e/p")), 0, Some(0)),
+            ),
+            (
+                ShapeLabel::new("Opt"),
+                ShapeExpr::Repeat(Box::new(arc_val("http://e/p")), 0, Some(1)),
+            ),
+            (
+                ShapeLabel::new("Unbounded"),
+                ShapeExpr::Repeat(Box::new(arc_val("http://e/p")), 2, None),
+            ),
+        ])
+        .unwrap();
+        assert!(s.check_bounds().is_ok());
     }
 
     #[test]

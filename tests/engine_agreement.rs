@@ -346,6 +346,72 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The sharded parallel typing is byte-identical to the sequential one
+    /// on recursive referencing schemas, at every worker count.
+    #[test]
+    fn parallel_typing_matches_sequential(
+        schema in arb_ref_schema(),
+        triples in arb_linked_graph()
+    ) {
+        let mut ds = build_linked(&triples);
+        let mut seq = Engine::new(&schema, &mut ds.pool).expect("compiles");
+        let sequential = seq.type_all(&ds.graph, &ds.pool);
+        for jobs in [2usize, 4, 8] {
+            let mut par = Engine::new(&schema, &mut ds.pool).expect("compiles");
+            let parallel = par.type_all_par(&ds.graph, &ds.pool, jobs);
+            prop_assert_eq!(
+                &sequential, &parallel,
+                "jobs={} over {:?}", jobs, triples
+            );
+        }
+    }
+
+    /// Under a small per-query budget, *which* pairs exhaust may differ
+    /// between the sequential and parallel runs (memo seeding changes how
+    /// much work each query needs), but every pair answered by both must
+    /// get the same verdict.
+    #[test]
+    fn parallel_typing_agrees_under_budget(
+        schema in arb_ref_schema(),
+        triples in arb_linked_graph(),
+        steps in 8u64..200
+    ) {
+        let mut ds = build_linked(&triples);
+        let config = EngineConfig {
+            budget: shapex::Budget::steps(steps),
+            ..EngineConfig::default()
+        };
+        let mut seq = Engine::compile(&schema, &mut ds.pool, config).expect("compiles");
+        let sequential = seq.type_all(&ds.graph, &ds.pool);
+        let ex_seq: std::collections::HashSet<_> =
+            sequential.exhausted.iter().map(|&(n, s, _)| (n, s)).collect();
+        for jobs in [2usize, 4] {
+            let mut par = Engine::compile(&schema, &mut ds.pool, config).expect("compiles");
+            let parallel = par.type_all_par(&ds.graph, &ds.pool, jobs);
+            let ex_par: std::collections::HashSet<_> =
+                parallel.exhausted.iter().map(|&(n, s, _)| (n, s)).collect();
+            for node_iri in NODES {
+                let node = ds.iri(node_iri).expect("interned");
+                for label in ["S", "T"] {
+                    let shape = seq.shape_id(&label.into()).expect("shape exists");
+                    if ex_seq.contains(&(node, shape)) || ex_par.contains(&(node, shape)) {
+                        continue;
+                    }
+                    prop_assert_eq!(
+                        sequential.has(node, shape),
+                        parallel.has(node, shape),
+                        "jobs={}: verdicts diverge on {} @{} over {:?}",
+                        jobs, node_iri, label, triples
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// Recursive schemas: the derivative engine's optimised coinduction must
 /// match (a) the analytic ground truth of the generator and (b) the
 /// backtracking greatest-fixpoint reference, across topologies and seeds.

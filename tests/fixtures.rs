@@ -152,6 +152,29 @@ fn fixtures_pass_after_schema_roundtrip() {
     }
 }
 
+/// Lenient Turtle recovery on the bracket-corruption fixture: the error
+/// strikes inside a `[...]` property list, so exactly one statement is
+/// skipped (not resynced mid-list into phantom statements) and the
+/// statement after it still parses.
+#[test]
+fn lenient_recovery_is_bracket_aware() {
+    let path = fixtures_root().join("_negative/bracket_recovery.ttl");
+    let src = fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path:?}: {e}"));
+    let (ds, errors) = turtle::parse_lenient(&src);
+    assert_eq!(errors.len(), 1, "one corrupt statement: {errors:?}");
+    assert!(
+        ds.iri("http://example.org/x").is_none(),
+        "tail of the corrupt property list replayed as a phantom statement"
+    );
+    assert!(ds.iri("http://example.org/good").is_some());
+    assert!(ds.iri("http://example.org/b").is_some());
+    assert_eq!(
+        ds.graph.len(),
+        2,
+        "statements around the corruption survive"
+    );
+}
+
 /// Negative-syntax fixtures: every `.shex` under `fixtures/_negative/`
 /// must fail to parse or fail reference checking — and never panic.
 #[test]
