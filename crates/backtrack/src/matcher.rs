@@ -69,7 +69,10 @@ impl From<Exhaustion> for BtError {
     }
 }
 
-/// Counters for the E1/E2 comparisons.
+/// Counters for the E1/E2 comparisons. Mirrors the derivative engine's
+/// [`shapex::Stats`]/[`shapex::Metrics`] counters where the two engines
+/// share a concept, so engine-agreement harnesses can compare like with
+/// like.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BtStats {
     /// Inference-rule applications (one per `matches` invocation).
@@ -78,6 +81,16 @@ pub struct BtStats {
     pub decompositions: u64,
     /// Greatest-fixpoint iterations performed.
     pub gfp_iterations: u64,
+    /// `(node, shape)` evaluations performed (mirrors the derivative
+    /// engine's `node_checks`).
+    pub node_checks: u64,
+    /// Budget steps charged across all per-node meters (mirrors
+    /// `budget_steps`; equals `rule_applications` unless a meter trips
+    /// mid-check).
+    pub budget_steps: u64,
+    /// Evaluations abandoned because a per-node budget tripped (mirrors
+    /// `exhausted_checks`).
+    pub exhausted_checks: u64,
 }
 
 /// An expression with arcs replaced by indexes into a satisfaction matrix,
@@ -310,6 +323,11 @@ impl BacktrackValidator {
         let mut st = self.stats.get();
         st.rule_applications += ctx.steps;
         st.decompositions += ctx.decompositions;
+        st.node_checks += 1;
+        st.budget_steps += meter.steps_spent();
+        if result.is_err() {
+            st.exhausted_checks += 1;
+        }
         self.stats.set(st);
         result.map_err(BtError::from)
     }
@@ -351,7 +369,12 @@ impl BacktrackValidator {
                         decompositions: 0,
                         meter: &mut meter,
                     };
-                    matches(&sh.expr, 0, &mut ctx).unwrap_or(false)
+                    let out = matches(&sh.expr, 0, &mut ctx).unwrap_or(false);
+                    let mut st = self.stats.get();
+                    st.rule_applications += ctx.steps;
+                    st.budget_steps += meter.steps_spent();
+                    self.stats.set(st);
+                    out
                 })
             }
         }
@@ -575,6 +598,19 @@ mod tests {
         assert_eq!(e.resource, shapex::budget::Resource::Steps);
         assert_eq!(e.limit, 10_000);
         assert!(e.spent <= e.limit);
+        assert!(v.stats().exhausted_checks > 0);
+    }
+
+    #[test]
+    fn stats_mirror_counters() {
+        let (v, ds) = setup(EX5_SCHEMA, "@prefix e: <http://e/> . e:n e:a 1; e:b 1, 2 .");
+        check(&v, &ds, "http://e/n", "S");
+        let st = v.stats();
+        assert!(st.node_checks > 0);
+        // Every rule application charges exactly one budget step, so the
+        // two mirror counters agree when no meter trips.
+        assert_eq!(st.budget_steps, st.rule_applications);
+        assert_eq!(st.exhausted_checks, 0);
     }
 
     #[test]

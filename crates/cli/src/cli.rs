@@ -5,6 +5,7 @@ use std::fmt::Write as _;
 use std::fs;
 use std::time::Duration;
 
+use serde_json::Value;
 use shapex::{Budget, Closure, Engine, EngineConfig, EngineError, Exhaustion};
 use shapex_backtrack::{BacktrackValidator, BtConfig, BtError};
 use shapex_rdf::graph::Dataset;
@@ -13,6 +14,8 @@ use shapex_rdf::writer;
 use shapex_shex::ast::ShapeLabel;
 use shapex_shex::schema::Schema;
 use shapex_shex::shexc;
+
+use crate::report::{self, ReportDoc};
 
 /// A failed command, split so the binary can exit with a distinct code
 /// when a resource budget tripped (partial results still printed).
@@ -97,8 +100,13 @@ USAGE:
       --open                             ShEx-style open shapes (default: closed, as in the paper)
       --no-sorbe                         disable the SORBE counting fast path
       --explain                          print failure explanations
-      --trace                            (with --node/--shape) print the §7 derivative trace
+      --trace NODE SHAPE                 print the §7 derivative trace for one pair
+                                         (also: bare --trace with --node/--shape)
       --stats                            print engine statistics
+      --report json                      machine-readable report on stdout: verdict per
+                                         (node, shape), rendered failure traces, exhaustion
+                                         records, and — always collected in this mode — the
+                                         engine metrics block (see DESIGN.md for the schema)
       --lenient                          skip malformed Turtle statements instead of aborting
       --max-steps N                      per-check derivative/rule step budget
       --max-depth N                      per-check recursion depth budget
@@ -154,8 +162,9 @@ impl Flags {
     }
 }
 
-fn parse_flags<'a>(mut it: impl Iterator<Item = &'a str>) -> Result<Flags, String> {
+fn parse_flags<'a>(it: impl Iterator<Item = &'a str>) -> Result<Flags, String> {
     const SWITCHES: [&str; 6] = ["open", "explain", "stats", "no-sorbe", "trace", "lenient"];
+    let mut it = it.peekable();
     let mut flags = Flags {
         values: Vec::new(),
         switches: Vec::new(),
@@ -164,7 +173,20 @@ fn parse_flags<'a>(mut it: impl Iterator<Item = &'a str>) -> Result<Flags, Strin
         let Some(name) = arg.strip_prefix("--") else {
             return Err(format!("unexpected argument '{arg}'"));
         };
-        if SWITCHES.contains(&name) {
+        if name == "trace" {
+            // `--trace NODE SHAPE` takes the focus pair positionally; bare
+            // `--trace` (paired with --node/--shape) is still accepted.
+            if it.peek().is_some_and(|v| !v.starts_with("--")) {
+                let node = it.next().expect("peeked");
+                let shape = it
+                    .next()
+                    .filter(|v| !v.starts_with("--"))
+                    .ok_or("--trace NODE SHAPE needs a shape label after the node")?;
+                flags.values.push(("node".to_string(), node.to_string()));
+                flags.values.push(("shape".to_string(), shape.to_string()));
+            }
+            flags.switches.push(name.to_string());
+        } else if SWITCHES.contains(&name) {
             flags.switches.push(name.to_string());
         } else {
             let value = it
@@ -174,6 +196,16 @@ fn parse_flags<'a>(mut it: impl Iterator<Item = &'a str>) -> Result<Flags, Strin
         }
     }
     Ok(flags)
+}
+
+/// `--report json` selects the machine-readable output documented in
+/// `DESIGN.md`; absent means the human-readable text report.
+fn report_from_flags(flags: &Flags) -> Result<bool, String> {
+    match flags.get("report") {
+        None => Ok(false),
+        Some("json") => Ok(true),
+        Some(other) => Err(format!("unknown report format '{other}' (expected 'json')")),
+    }
 }
 
 fn load_schema(flags: &Flags) -> Result<Schema, String> {
@@ -258,13 +290,38 @@ fn engine_err(out: &str, e: EngineError) -> CliError {
     }
 }
 
+/// Seals a derivative-engine report document: attaches the run stats, the
+/// metrics block, and the lenient skip count, then serializes it.
+fn finish_engine_doc(
+    mut doc: ReportDoc,
+    engine: &Engine,
+    skipped: usize,
+    conforms: Option<bool>,
+) -> String {
+    if skipped > 0 {
+        doc.set("lenient_skipped", Value::from(skipped));
+    }
+    doc.set("stats", report::stats_json(&engine.stats()));
+    if let Some(m) = engine.metrics() {
+        let labels = |i: usize| {
+            engine
+                .label_of(shapex::ShapeId(i as u32))
+                .as_str()
+                .to_string()
+        };
+        doc.set("metrics", report::metrics_json(m, &labels));
+    }
+    report::render(&doc.finish(conforms))
+}
+
 fn validate(flags: &Flags) -> Result<String, CliError> {
     let schema = load_schema(flags)?;
     let (mut ds, skipped) = load_data(flags)?;
     let budget = budget_from_flags(flags)?;
     let engine_kind = flags.get("engine").unwrap_or("derivative");
+    let report = report_from_flags(flags)?;
     let mut out = String::new();
-    if skipped > 0 {
+    if skipped > 0 && !report {
         let _ = writeln!(out, "lenient: skipped {skipped} malformed statement(s)");
     }
 
@@ -278,6 +335,8 @@ fn validate(flags: &Flags) -> Result<String, CliError> {
                 },
                 no_sorbe: flags.has("no-sorbe"),
                 budget,
+                // A JSON report always carries the metrics block.
+                metrics: report,
                 ..EngineConfig::default()
             };
             let mut engine =
@@ -326,6 +385,46 @@ fn validate(flags: &Flags) -> Result<String, CliError> {
                     ok += usize::from(outcome.exhaustion.is_none() && outcome.as_expected);
                 }
                 let _ = writeln!(out, "{ok}/{} associations as expected", outcomes.len());
+                if report {
+                    let mut doc = ReportDoc::new("map", "derivative");
+                    for outcome in &outcomes {
+                        let assoc = &map.associations[outcome.index];
+                        let verdict = if outcome.exhaustion.is_some() {
+                            "exhausted"
+                        } else if outcome.conforms {
+                            "conforms"
+                        } else {
+                            "fails"
+                        };
+                        let mut row = report::result_json(
+                            &assoc.node.to_string(),
+                            assoc.shape.as_str(),
+                            verdict,
+                            outcome.failure.as_ref().map(|f| f.render(&ds.pool)),
+                            outcome.exhaustion.as_ref(),
+                        );
+                        if let Value::Object(m) = &mut row {
+                            m.insert("expected".to_string(), Value::from(assoc.expected));
+                            m.insert("as_expected".to_string(), Value::from(outcome.as_expected));
+                        }
+                        doc.push_result(row);
+                        if let Some(e) = &outcome.exhaustion {
+                            doc.push_exhausted(&assoc.node.to_string(), assoc.shape.as_str(), e);
+                        }
+                    }
+                    let conforms = match first_exhaustion {
+                        Some(_) => None,
+                        None => Some(ok == outcomes.len()),
+                    };
+                    let output = finish_engine_doc(doc, &engine, skipped, conforms);
+                    if let Some(exhaustion) = first_exhaustion {
+                        return Err(CliError::Exhausted { output, exhaustion });
+                    }
+                    if ok < outcomes.len() {
+                        return Err(CliError::NonConforming { output });
+                    }
+                    return Ok(output);
+                }
                 if flags.has("stats") {
                     let _ = writeln!(out, "stats: {}", engine.stats());
                 }
@@ -350,12 +449,61 @@ fn validate(flags: &Flags) -> Result<String, CliError> {
                         let trace = engine
                             .trace(&ds.graph, &ds.pool, node, &ShapeLabel::new(shape))
                             .map_err(|e| engine_err(&out, e))?;
+                        if report {
+                            let mut doc = ReportDoc::new("trace", "derivative");
+                            doc.set("node", Value::from(node_iri));
+                            doc.set("shape", Value::from(shape));
+                            doc.set("trace", report::trace_json(&trace, &ds.pool));
+                            return Ok(finish_engine_doc(doc, &engine, skipped, None));
+                        }
                         out.push_str(&trace.render(&ds.pool));
                         return Ok(out);
                     }
-                    let result = engine
-                        .check(&ds.graph, &ds.pool, node, &ShapeLabel::new(shape))
-                        .map_err(|e| engine_err(&out, e))?;
+                    let result =
+                        match engine.check(&ds.graph, &ds.pool, node, &ShapeLabel::new(shape)) {
+                            Ok(r) => r,
+                            Err(EngineError::ResourceExhausted {
+                                resource,
+                                spent,
+                                limit,
+                            }) if report => {
+                                let exhaustion = Exhaustion {
+                                    resource,
+                                    spent,
+                                    limit,
+                                };
+                                let mut doc = ReportDoc::new("check", "derivative");
+                                doc.push_result(report::result_json(
+                                    node_iri,
+                                    shape,
+                                    "exhausted",
+                                    None,
+                                    Some(&exhaustion),
+                                ));
+                                doc.push_exhausted(node_iri, shape, &exhaustion);
+                                return Err(CliError::Exhausted {
+                                    output: finish_engine_doc(doc, &engine, skipped, None),
+                                    exhaustion,
+                                });
+                            }
+                            Err(e) => return Err(engine_err(&out, e)),
+                        };
+                    if report {
+                        let mut doc = ReportDoc::new("check", "derivative");
+                        doc.push_result(report::result_json(
+                            node_iri,
+                            shape,
+                            if result.matched { "conforms" } else { "fails" },
+                            result.failure.as_ref().map(|f| f.render(&ds.pool)),
+                            None,
+                        ));
+                        let output = finish_engine_doc(doc, &engine, skipped, Some(result.matched));
+                        return if result.matched {
+                            Ok(output)
+                        } else {
+                            Err(CliError::NonConforming { output })
+                        };
+                    }
                     if result.matched {
                         let _ = writeln!(out, "<{node_iri}> conforms to <{shape}>");
                     } else {
@@ -373,6 +521,63 @@ fn validate(flags: &Flags) -> Result<String, CliError> {
                 }
                 (None, None) => {
                     let typing = engine.type_all_par(&ds.graph, &ds.pool, jobs_from_flags(flags)?);
+                    if report {
+                        let exhausted: std::collections::HashMap<_, _> = typing
+                            .exhausted
+                            .iter()
+                            .map(|&(n, s, e)| ((n, s), e))
+                            .collect();
+                        let mut doc = ReportDoc::new("typing", "derivative");
+                        for node in ds.graph.subjects().collect::<Vec<_>>() {
+                            for i in 0..engine.schema().shapes.len() {
+                                let shape = shapex::ShapeId(i as u32);
+                                let node_name = ds.pool.term(node).to_string();
+                                let shape_name = engine.label_of(shape).as_str().to_string();
+                                if typing.has(node, shape) {
+                                    doc.push_result(report::result_json(
+                                        &node_name,
+                                        &shape_name,
+                                        "conforms",
+                                        None,
+                                        None,
+                                    ));
+                                } else if let Some(e) = exhausted.get(&(node, shape)) {
+                                    doc.push_result(report::result_json(
+                                        &node_name,
+                                        &shape_name,
+                                        "exhausted",
+                                        None,
+                                        Some(e),
+                                    ));
+                                    doc.push_exhausted(&node_name, &shape_name, e);
+                                } else {
+                                    let failure = engine
+                                        .check_id(&ds.graph, &ds.pool, node, shape)
+                                        .into_failure()
+                                        .map(|f| f.render(&ds.pool));
+                                    doc.push_result(report::result_json(
+                                        &node_name,
+                                        &shape_name,
+                                        "fails",
+                                        failure,
+                                        None,
+                                    ));
+                                }
+                            }
+                        }
+                        // A completed typing "conforms" in the exit-code
+                        // sense (0 = ran to completion); partial runs have
+                        // no verdict.
+                        let conforms = (!typing.is_partial()).then_some(true);
+                        let output = finish_engine_doc(doc, &engine, skipped, conforms);
+                        if typing.is_partial() {
+                            return Err(CliError::Exhausted {
+                                output,
+                                exhaustion: typing.exhausted[0].2,
+                            });
+                        }
+                        return Ok(output);
+                    }
                     let rendered = typing.render(&ds.pool, &|s| engine.label_of(s).clone());
                     if rendered.is_empty() {
                         let _ = writeln!(out, "no node conforms to any shape");
@@ -455,12 +660,48 @@ fn validate(flags: &Flags) -> Result<String, CliError> {
             let ok = validator
                 .check(&ds.graph, &ds.pool, node, &ShapeLabel::new(shape))
                 .map_err(|e| match e {
+                    BtError::ResourceExhausted(exhaustion) if report => {
+                        let mut doc = ReportDoc::new("check", "backtracking");
+                        doc.push_result(report::result_json(
+                            node_iri,
+                            shape,
+                            "exhausted",
+                            None,
+                            Some(&exhaustion),
+                        ));
+                        doc.push_exhausted(node_iri, shape, &exhaustion);
+                        doc.set("stats", report::bt_stats_json(&validator.stats()));
+                        CliError::Exhausted {
+                            output: report::render(&doc.finish(None)),
+                            exhaustion,
+                        }
+                    }
                     BtError::ResourceExhausted(exhaustion) => CliError::Exhausted {
                         output: out.clone(),
                         exhaustion,
                     },
                     other => CliError::Msg(other.to_string()),
                 })?;
+            if report {
+                let mut doc = ReportDoc::new("check", "backtracking");
+                doc.push_result(report::result_json(
+                    node_iri,
+                    shape,
+                    if ok { "conforms" } else { "fails" },
+                    None,
+                    None,
+                ));
+                doc.set("stats", report::bt_stats_json(&validator.stats()));
+                if skipped > 0 {
+                    doc.set("lenient_skipped", Value::from(skipped));
+                }
+                let output = report::render(&doc.finish(Some(ok)));
+                return if ok {
+                    Ok(output)
+                } else {
+                    Err(CliError::NonConforming { output })
+                };
+            }
             let verdict = if ok {
                 "conforms to"
             } else {
@@ -770,6 +1011,281 @@ mod tests {
         ]);
         assert!(out.contains("MATCHES"), "{out}");
         assert!(out.contains("∂"), "{out}");
+    }
+
+    #[test]
+    fn trace_positional_form_matches_flag_form() {
+        let (schema, data) = person_files();
+        let flag_form = run_ok(&[
+            "validate",
+            "--schema",
+            &schema,
+            "--data",
+            &data,
+            "--node",
+            "http://example.org/john",
+            "--shape",
+            "Person",
+            "--trace",
+        ]);
+        let positional = run_ok(&[
+            "validate",
+            "--schema",
+            &schema,
+            "--data",
+            &data,
+            "--trace",
+            "http://example.org/john",
+            "Person",
+        ]);
+        assert_eq!(flag_form, positional);
+        let err = run_err(&[
+            "validate",
+            "--schema",
+            &schema,
+            "--data",
+            &data,
+            "--trace",
+            "http://e/x",
+        ]);
+        assert!(err.contains("shape label"), "{err}");
+    }
+
+    #[test]
+    fn report_json_single_check() {
+        let (schema, data) = person_files();
+        let out = run_ok(&[
+            "validate",
+            "--schema",
+            &schema,
+            "--data",
+            &data,
+            "--node",
+            "http://example.org/john",
+            "--shape",
+            "Person",
+            "--report",
+            "json",
+        ]);
+        let v = serde_json::from_str(&out).expect("report parses");
+        assert_eq!(v.get("mode").and_then(|m| m.as_str()), Some("check"));
+        assert_eq!(v.get("conforms").and_then(|c| c.as_bool()), Some(true));
+        let results = v.get("results").and_then(|r| r.as_array()).unwrap();
+        assert_eq!(results.len(), 1);
+        assert_eq!(
+            results[0].get("verdict").and_then(|s| s.as_str()),
+            Some("conforms")
+        );
+        // --report json always collects metrics; the serialized block
+        // preserves the cache invariant lookups == hits + misses.
+        let metrics = v.get("metrics").expect("metrics block present");
+        for cache in ["profile_stable", "profile_assumption", "deriv_memo"] {
+            let c = metrics.get(cache).unwrap();
+            let field = |k: &str| c.get(k).and_then(|n| n.as_u64()).unwrap();
+            assert_eq!(field("lookups"), field("hits") + field("misses"), "{cache}");
+        }
+        assert!(v.get("stats").is_some());
+    }
+
+    #[test]
+    fn report_json_nonconforming_carries_failure_and_exit() {
+        let (schema, data) = person_files();
+        let err = run_raw(&[
+            "validate",
+            "--schema",
+            &schema,
+            "--data",
+            &data,
+            "--node",
+            "http://example.org/mary",
+            "--shape",
+            "Person",
+            "--report",
+            "json",
+        ])
+        .unwrap_err();
+        let CliError::NonConforming { output } = err else {
+            panic!("expected NonConforming, got: {err}");
+        };
+        let v = serde_json::from_str(&output).expect("report parses");
+        assert_eq!(v.get("conforms").and_then(|c| c.as_bool()), Some(false));
+        let results = v.get("results").and_then(|r| r.as_array()).unwrap();
+        assert_eq!(
+            results[0].get("verdict").and_then(|s| s.as_str()),
+            Some("fails")
+        );
+        let failure = results[0].get("failure").and_then(|f| f.as_str()).unwrap();
+        assert!(!failure.is_empty());
+    }
+
+    #[test]
+    fn report_json_full_typing() {
+        let (schema, data) = person_files();
+        let out = run_ok(&[
+            "validate", "--schema", &schema, "--data", &data, "--report", "json",
+        ]);
+        let v = serde_json::from_str(&out).expect("report parses");
+        assert_eq!(v.get("mode").and_then(|m| m.as_str()), Some("typing"));
+        assert_eq!(v.get("conforms").and_then(|c| c.as_bool()), Some(true));
+        let results = v.get("results").and_then(|r| r.as_array()).unwrap();
+        // Two subjects × one shape.
+        assert_eq!(results.len(), 2);
+        let verdict_of = |node: &str| {
+            results
+                .iter()
+                .find(|r| {
+                    r.get("node")
+                        .and_then(|n| n.as_str())
+                        .is_some_and(|n| n.contains(node))
+                })
+                .and_then(|r| r.get("verdict"))
+                .and_then(|s| s.as_str())
+                .map(str::to_string)
+        };
+        assert_eq!(verdict_of("john").as_deref(), Some("conforms"));
+        assert_eq!(verdict_of("mary").as_deref(), Some("fails"));
+        // Failing rows carry a rendered failure trace.
+        let mary = results
+            .iter()
+            .find(|r| {
+                r.get("node")
+                    .and_then(|n| n.as_str())
+                    .is_some_and(|n| n.contains("mary"))
+            })
+            .unwrap();
+        assert!(mary.get("failure").is_some(), "{out}");
+        // The per-shape metrics rows are labeled with the shape name.
+        let per_shape = v
+            .get("metrics")
+            .and_then(|m| m.get("per_shape"))
+            .and_then(|p| p.as_array())
+            .unwrap();
+        assert_eq!(
+            per_shape[0].get("shape").and_then(|s| s.as_str()),
+            Some("Person")
+        );
+    }
+
+    #[test]
+    fn report_json_exhaustion_wins_and_nulls_verdict() {
+        let (schema, data) = person_files();
+        let err = run_raw(&[
+            "validate",
+            "--schema",
+            &schema,
+            "--data",
+            &data,
+            "--max-steps",
+            "1",
+            "--report",
+            "json",
+        ])
+        .unwrap_err();
+        let CliError::Exhausted { output, .. } = err else {
+            panic!("expected Exhausted, got: {err}");
+        };
+        let v = serde_json::from_str(&output).expect("report parses");
+        assert!(v.get("conforms").unwrap().is_null(), "{output}");
+        let exhausted = v.get("exhausted").and_then(|e| e.as_array()).unwrap();
+        assert!(!exhausted.is_empty());
+        let record = exhausted[0].get("exhaustion").unwrap();
+        assert_eq!(
+            record.get("resource").and_then(|r| r.as_str()),
+            Some("steps")
+        );
+        assert_eq!(record.get("limit").and_then(|l| l.as_u64()), Some(1));
+    }
+
+    #[test]
+    fn report_json_trace_mode() {
+        let (schema, data) = person_files();
+        let out = run_ok(&[
+            "validate",
+            "--schema",
+            &schema,
+            "--data",
+            &data,
+            "--trace",
+            "http://example.org/john",
+            "Person",
+            "--report",
+            "json",
+        ]);
+        let v = serde_json::from_str(&out).expect("report parses");
+        assert_eq!(v.get("mode").and_then(|m| m.as_str()), Some("trace"));
+        let trace = v.get("trace").unwrap();
+        assert_eq!(trace.get("matched").and_then(|m| m.as_bool()), Some(true));
+        let steps = trace.get("steps").and_then(|s| s.as_array()).unwrap();
+        assert!(!steps.is_empty());
+        assert!(steps[0].get("before").is_some());
+        assert!(steps[0].get("after").is_some());
+    }
+
+    #[test]
+    fn report_json_backtracking_engine() {
+        let (schema, data) = person_files();
+        let out = run_ok(&[
+            "validate",
+            "--schema",
+            &schema,
+            "--data",
+            &data,
+            "--engine",
+            "backtracking",
+            "--node",
+            "http://example.org/john",
+            "--shape",
+            "Person",
+            "--report",
+            "json",
+        ]);
+        let v = serde_json::from_str(&out).expect("report parses");
+        assert_eq!(
+            v.get("engine").and_then(|e| e.as_str()),
+            Some("backtracking")
+        );
+        let stats = v.get("stats").unwrap();
+        assert!(
+            stats
+                .get("rule_applications")
+                .and_then(|r| r.as_u64())
+                .unwrap()
+                > 0
+        );
+    }
+
+    #[test]
+    fn report_json_map_mode() {
+        let (schema, data) = person_files();
+        let map = write_tmp(
+            "report.sm",
+            "<http://example.org/john>@<Person>,\n<http://example.org/mary>@!<Person>",
+        );
+        let out = run_ok(&[
+            "validate", "--schema", &schema, "--data", &data, "--map", &map, "--report", "json",
+        ]);
+        let v = serde_json::from_str(&out).expect("report parses");
+        assert_eq!(v.get("mode").and_then(|m| m.as_str()), Some("map"));
+        assert_eq!(v.get("conforms").and_then(|c| c.as_bool()), Some(true));
+        let results = v.get("results").and_then(|r| r.as_array()).unwrap();
+        assert_eq!(results.len(), 2);
+        assert_eq!(
+            results[1].get("as_expected").and_then(|b| b.as_bool()),
+            Some(true)
+        );
+        assert_eq!(
+            results[1].get("expected").and_then(|b| b.as_bool()),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn report_rejects_unknown_format() {
+        let (schema, data) = person_files();
+        let err = run_err(&[
+            "validate", "--schema", &schema, "--data", &data, "--report", "xml",
+        ]);
+        assert!(err.contains("unknown report format"), "{err}");
     }
 
     #[test]

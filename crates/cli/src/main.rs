@@ -10,6 +10,7 @@
 use std::process::ExitCode;
 
 mod cli;
+mod report;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();

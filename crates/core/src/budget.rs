@@ -58,6 +58,17 @@ pub struct Exhaustion {
     pub limit: u64,
 }
 
+impl Exhaustion {
+    /// The record as a JSON object (used by `--report json` documents).
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "resource": self.resource.to_string(),
+            "spent": self.spent,
+            "limit": self.limit,
+        })
+    }
+}
+
 impl std::fmt::Display for Exhaustion {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(

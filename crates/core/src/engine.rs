@@ -29,6 +29,7 @@ use shapex_shex::shapemap::ShapeMap;
 use crate::arena::{ArcId, ExprId, Node, Simplify, EMPTY, EPSILON, UNBOUNDED};
 use crate::budget::{Budget, BudgetMeter, Exhaustion, Resource, RunGovernor};
 use crate::compile::{CompiledObject, CompiledSchema, ShapeId};
+use crate::metrics::{Metrics, ShardMetrics, WaveMetrics};
 use crate::result::{Failure, FailureKind, MatchResult, Outcome, Stats, Typing};
 
 /// Whether a shape must account for the node's entire neighbourhood.
@@ -59,6 +60,11 @@ pub struct EngineConfig {
     /// Per-query resource limits (see [`crate::budget`]). The default,
     /// [`Budget::UNLIMITED`], governs nothing.
     pub budget: Budget,
+    /// Collect fine-grained observability counters (see
+    /// [`crate::metrics`]). Off by default: when disabled the engine
+    /// allocates no metrics state and instrumentation sites reduce to a
+    /// single `Option` discriminant test.
+    pub metrics: bool,
 }
 
 /// A validation error at the API boundary.
@@ -260,6 +266,9 @@ pub struct Engine {
     /// `--timeout-ms` bounds wall-clock for the entire `type_all_par` run
     /// (per-query limits stay with each meter).
     governor: Option<Arc<RunGovernor>>,
+    /// Observability counters; allocated only when
+    /// [`EngineConfig::metrics`] is set (zero-cost when disabled).
+    metrics: Option<Box<Metrics>>,
 }
 
 impl Engine {
@@ -270,6 +279,9 @@ impl Engine {
         config: EngineConfig,
     ) -> Result<Engine, EngineError> {
         let compiled = CompiledSchema::compile(schema, terms, config.simplify)?;
+        let metrics = config
+            .metrics
+            .then(|| Box::new(Metrics::new(compiled.shapes.len())));
         Ok(Engine {
             schema: compiled,
             config,
@@ -286,6 +298,7 @@ impl Engine {
             stats: Stats::default(),
             meter: BudgetMeter::default(),
             governor: None,
+            metrics,
         })
     }
 
@@ -315,6 +328,20 @@ impl Engine {
         s.expr_pool_size = self.schema.pool.len();
         s.peak_arena_nodes = s.peak_arena_nodes.max(self.schema.pool.len());
         s
+    }
+
+    /// The fine-grained observability counters, when collection is
+    /// enabled via [`EngineConfig::metrics`]. `None` otherwise.
+    pub fn metrics(&self) -> Option<&Metrics> {
+        self.metrics.as_deref()
+    }
+
+    /// Runs one instrumentation closure iff metrics collection is on.
+    #[inline]
+    fn metric(&mut self, f: impl FnOnce(&mut Metrics)) {
+        if let Some(m) = &mut self.metrics {
+            f(m);
+        }
     }
 
     /// The budget every subsequent query runs under (also settable at
@@ -347,6 +374,9 @@ impl Engine {
         self.begin_run();
         self.failures.clear();
         self.stats = Stats::default();
+        if let Some(m) = &mut self.metrics {
+            **m = Metrics::new(self.schema.shapes.len());
+        }
     }
 
     /// Checks `node` against the shape named `label` (paper §8:
@@ -539,6 +569,10 @@ impl Engine {
         self.stats.budget_steps += self.meter.steps_spent();
         self.stats.max_depth_reached = self.stats.max_depth_reached.max(self.meter.peak_depth());
         self.stats.peak_arena_nodes = self.stats.peak_arena_nodes.max(self.meter.peak_arena());
+        if let Some(m) = &mut self.metrics {
+            m.budget_steps += self.meter.steps_spent();
+            m.arena_high_water = m.arena_high_water.max(self.meter.peak_arena());
+        }
     }
 
     /// Validates every association of a shape map, returning per-entry
@@ -650,6 +684,18 @@ impl Engine {
         let mut synced = vec![0usize; jobs];
         let mut results: Vec<Option<Outcome>> = vec![None; queries.len()];
         let has_recursion = self.schema.has_recursion;
+        // Wave-boundary merge discipline: every worker counter is folded
+        // into this engine exactly once, as the delta accumulated since
+        // the previous boundary. `prev_stats`/`prev_metrics` are the
+        // per-worker snapshots the last boundary advanced to; re-seeding
+        // the promotion log never touches them, and workers left idle by
+        // a short wave contribute an empty delta instead of being lost.
+        let mut prev_stats: Vec<Stats> = vec![Stats::default(); jobs];
+        let mut prev_metrics: Vec<Metrics> = if self.metrics.is_some() {
+            vec![Metrics::new(self.schema.shapes.len()); jobs]
+        } else {
+            Vec::new()
+        };
 
         let mut next = 0;
         while next < queries.len() {
@@ -663,12 +709,22 @@ impl Engine {
                     None => pending.push(qi),
                 }
             }
+            let wave_queries = (wave_end - next) as u64;
             next = wave_end;
             if pending.is_empty() {
+                self.metric(|m| {
+                    m.waves.push(WaveMetrics {
+                        queries: wave_queries,
+                        memo_answered: wave_queries,
+                        ..WaveMetrics::default()
+                    })
+                });
                 continue;
             }
+            let wave_start = self.metrics.is_some().then(std::time::Instant::now);
             // Re-seed each worker's snapshot with pairs promoted since it
             // last synced (merge results from its peers).
+            let mut reseeded_pairs = 0u64;
             for (worker, mark) in workers.iter_mut().zip(synced.iter_mut()) {
                 for &pair in &log[*mark..] {
                     if let Some(state) = self.memo.get(&pair) {
@@ -677,6 +733,7 @@ impl Engine {
                     if let Some(f) = self.failures.get(&pair) {
                         worker.failures.insert(pair, f.clone());
                     }
+                    reseeded_pairs += 1;
                 }
                 *mark = log.len();
             }
@@ -726,13 +783,45 @@ impl Engine {
                     results[qi] = Some(outcome);
                 }
             }
-            for worker in &workers {
-                self.absorb_worker(worker, &mut log);
+            // Wave boundary: merge every shard exactly once — promoted
+            // unconditional answers into the memo, counter deltas into
+            // the run totals.
+            let mut shards: Vec<ShardMetrics> = Vec::new();
+            for (w, worker) in workers.iter().enumerate() {
+                let promoted = self.absorb_worker(worker, &mut log);
+                let now = worker.stats;
+                let prev = &mut prev_stats[w];
+                if self.metrics.is_some() {
+                    shards.push(ShardMetrics {
+                        worker: w,
+                        queries: chunks.get(w).map_or(0, |c| c.len()) as u64,
+                        promoted: promoted as u64,
+                        budget_steps: now.budget_steps - prev.budget_steps,
+                        derivative_steps: now.derivative_steps - prev.derivative_steps,
+                    });
+                }
+                self.stats.absorb_delta(prev, &now);
+                self.stats.peak_arena_nodes =
+                    self.stats.peak_arena_nodes.max(worker.schema.pool.len());
+                *prev = now;
             }
-        }
-        for worker in &workers {
-            self.stats.absorb(&worker.stats);
-            self.stats.peak_arena_nodes = self.stats.peak_arena_nodes.max(worker.schema.pool.len());
+            if let Some(m) = &mut self.metrics {
+                for (w, worker) in workers.iter().enumerate() {
+                    if let Some(wm) = worker.metrics.as_deref() {
+                        m.absorb_delta(&prev_metrics[w], wm);
+                        prev_metrics[w] = wm.clone();
+                    }
+                }
+                m.waves.push(WaveMetrics {
+                    queries: wave_queries,
+                    memo_answered: wave_queries - pending.len() as u64,
+                    dispatched: pending.len() as u64,
+                    reseeded_pairs,
+                    elapsed_us: wave_start
+                        .map_or(0, |t| t.elapsed().as_micros().min(u64::MAX as u128) as u64),
+                    shards,
+                });
+            }
         }
         let mut typing = Typing::new();
         for (&(node, shape), result) in queries.iter().zip(results) {
@@ -771,14 +860,20 @@ impl Engine {
             stats: Stats::default(),
             meter: BudgetMeter::default(),
             governor: Some(Arc::clone(governor)),
+            metrics: self
+                .config
+                .metrics
+                .then(|| Box::new(Metrics::new(self.schema.shapes.len()))),
         }
     }
 
     /// Merges a worker's *unconditional* results back into this engine's
     /// memo, recording newly learned pairs in `log` (the re-seed queue).
     /// Conditional state never leaves a worker; between queries a worker
-    /// holds none anyway (the gfp driver promotes or drops it).
-    fn absorb_worker(&mut self, worker: &Engine, log: &mut Vec<Pair>) {
+    /// holds none anyway (the gfp driver promotes or drops it). Returns
+    /// how many previously unknown pairs were merged.
+    fn absorb_worker(&mut self, worker: &Engine, log: &mut Vec<Pair>) -> usize {
+        let mut promoted = 0;
         for (&pair, state) in &worker.memo {
             if !matches!(state, MemoState::Proven | MemoState::Failed) {
                 continue;
@@ -791,10 +886,12 @@ impl Engine {
                 self.failures.insert(pair, f.clone());
             }
             log.push(pair);
+            promoted += 1;
         }
         for (&key, &sat) in &worker.value_sat {
             self.value_sat.entry(key).or_insert(sat);
         }
+        promoted
     }
 
     /// Discards run-scoped state before a (re)run: only the
@@ -883,10 +980,25 @@ impl Engine {
         self.stats.node_checks += 1;
         self.meter.step()?;
         self.meter.enter_depth()?;
+        let steps_before = self.stats.derivative_steps;
         let mut local = BTreeSet::new();
         let result = self.match_neighbourhood(graph, terms, node, shape, &mut local);
         self.meter.exit_depth();
         let ok = result?;
+        let steps_after = self.stats.derivative_steps;
+        self.metric(|m| {
+            if let Some(sm) = m.per_shape.get_mut(shape.0 as usize) {
+                sm.checks += 1;
+                // Inclusive attribution: nested reference checks count
+                // against the referencing shape too (and against their own).
+                sm.derivative_steps += steps_after - steps_before;
+                if ok {
+                    sm.conforms += 1;
+                } else {
+                    sm.fails += 1;
+                }
+            }
+        });
         self.in_progress.remove(&pair);
         // A self-dependency is discharged by this very completion.
         local.remove(&pair);
@@ -1104,6 +1216,11 @@ impl Engine {
         deps: &mut BTreeSet<Pair>,
     ) -> Result<bool, Exhaustion> {
         self.stats.sorbe_checks += 1;
+        self.metric(|m| {
+            if let Some(sm) = m.per_shape.get_mut(shape.0 as usize) {
+                sm.sorbe_checks += 1;
+            }
+        });
         let mut counts = vec![0u32; spec.len()];
         for &(p, other, inverse, ts, to) in triples {
             // One step per triple: the fast path's unit of work.
@@ -1214,13 +1331,24 @@ impl Engine {
         deps: &mut BTreeSet<Pair>,
     ) -> Result<ProfileId, Exhaustion> {
         let key = (shape, pred, other, inverse);
+        self.metric(|m| m.profile_stable.lookups += 1);
         if let Some(&pid) = self.profile_stable.get(&key) {
+            self.metric(|m| m.profile_stable.hits += 1);
             return Ok(pid);
         }
+        // The assumption-carrying table is consulted only on a stable
+        // miss, so its lookups count the stable fall-through exactly.
+        self.metric(|m| {
+            m.profile_stable.misses += 1;
+            m.profile_assumption.lookups += 1;
+        });
         if let Some((pid, cached_deps)) = self.profile_by_triple.get(&key) {
+            let pid = *pid;
             deps.extend(cached_deps.iter().copied());
-            return Ok(*pid);
+            self.metric(|m| m.profile_assumption.hits += 1);
+            return Ok(pid);
         }
+        self.metric(|m| m.profile_assumption.misses += 1);
         self.meter.step()?;
         // Only arcs whose head covers `(pred, inverse)` can set a bit —
         // the compile-time head index hands us exactly those instead of a
@@ -1234,6 +1362,13 @@ impl Engine {
                     .collect::<Vec<ArcId>>(),
             )
         };
+        self.metric(|m| {
+            m.head_index_queries += 1;
+            m.head_index_candidates += candidates.len() as u64;
+            if let Some(sm) = m.per_shape.get_mut(shape.0 as usize) {
+                sm.profiles_computed += 1;
+            }
+        });
         let mut bits = vec![0u64; n_arcs.div_ceil(64)];
         let mut used: Vec<Pair> = Vec::new();
         for arc_id in candidates {
@@ -1282,10 +1417,13 @@ impl Engine {
     /// whose `∂t(e1)‖e2 | ∂t(e2)‖e1` expansion can blow up the pool.
     fn deriv(&mut self, e: ExprId, pid: ProfileId) -> Result<ExprId, Exhaustion> {
         if !self.config.no_deriv_memo {
+            self.metric(|m| m.deriv_memo.lookups += 1);
             if let Some(&d) = self.deriv_memo.get(&(e, pid)) {
                 self.stats.deriv_memo_hits += 1;
+                self.metric(|m| m.deriv_memo.hits += 1);
                 return Ok(d);
             }
+            self.metric(|m| m.deriv_memo.misses += 1);
         }
         self.stats.derivative_steps += 1;
         self.meter.step()?;

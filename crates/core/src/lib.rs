@@ -42,6 +42,7 @@ pub mod arena;
 pub mod budget;
 pub mod compile;
 pub mod engine;
+pub mod metrics;
 pub mod result;
 pub mod sorbe;
 pub mod validate;
@@ -50,6 +51,7 @@ pub use arena::{ArcId, ExprId, ExprPool, Node, Simplify, EMPTY, EPSILON, UNBOUND
 pub use budget::{Budget, BudgetMeter, Exhaustion, Resource, RunGovernor};
 pub use compile::{CompiledSchema, ShapeId, SorbeSpec};
 pub use engine::{Closure, Engine, EngineConfig, EngineError, MapOutcome, Trace, TraceStep};
+pub use metrics::{CacheMetrics, Metrics, ShapeMetrics, ShardMetrics, WaveMetrics};
 pub use result::{Failure, FailureKind, MatchResult, Outcome, Stats, Typing};
 pub use validate::{default_jobs, validate, validate_par, validate_with_budget, Report};
 

@@ -308,6 +308,44 @@ impl Stats {
         self.peak_arena_nodes = self.peak_arena_nodes.max(other.peak_arena_nodes);
         self.max_depth_reached = self.max_depth_reached.max(other.max_depth_reached);
     }
+
+    /// Folds in the delta a worker accumulated between the `prev` and
+    /// `now` snapshots — the wave-boundary merge primitive of
+    /// [`type_all_par`](crate::Engine::type_all_par). Monotone counters
+    /// add the difference; high-water marks take the max of the absolute
+    /// value (they are levels, not rates). Calling this once per wave
+    /// with an advancing `prev` counts every increment exactly once.
+    pub fn absorb_delta(&mut self, prev: &Stats, now: &Stats) {
+        self.derivative_steps += now.derivative_steps - prev.derivative_steps;
+        self.deriv_memo_hits += now.deriv_memo_hits - prev.deriv_memo_hits;
+        self.triple_classes += now.triple_classes - prev.triple_classes;
+        self.node_checks += now.node_checks - prev.node_checks;
+        self.gfp_reruns += now.gfp_reruns - prev.gfp_reruns;
+        self.sorbe_checks += now.sorbe_checks - prev.sorbe_checks;
+        self.budget_steps += now.budget_steps - prev.budget_steps;
+        self.exhausted_checks += now.exhausted_checks - prev.exhausted_checks;
+        self.expr_pool_size = self.expr_pool_size.max(now.expr_pool_size);
+        self.peak_arena_nodes = self.peak_arena_nodes.max(now.peak_arena_nodes);
+        self.max_depth_reached = self.max_depth_reached.max(now.max_depth_reached);
+    }
+
+    /// The counters as a JSON object (the `stats` member of the
+    /// `--report json` document — schema documented in `DESIGN.md`).
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "derivative_steps": self.derivative_steps,
+            "deriv_memo_hits": self.deriv_memo_hits,
+            "triple_classes": self.triple_classes,
+            "node_checks": self.node_checks,
+            "gfp_reruns": self.gfp_reruns,
+            "sorbe_checks": self.sorbe_checks,
+            "expr_pool_size": self.expr_pool_size,
+            "budget_steps": self.budget_steps,
+            "peak_arena_nodes": self.peak_arena_nodes,
+            "max_depth_reached": self.max_depth_reached as u64,
+            "exhausted_checks": self.exhausted_checks,
+        })
+    }
 }
 
 impl fmt::Display for Stats {

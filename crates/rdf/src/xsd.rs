@@ -109,16 +109,14 @@ impl Numeric {
         Numeric::parse(lit.datatype(), lit.lexical_form())
     }
 
-    fn as_f64(self) -> f64 {
-        match self {
-            Numeric::Decimal { unscaled, scale } => unscaled as f64 / 10f64.powi(scale as i32),
-            Numeric::Double(d) => d,
-        }
-    }
-
-    /// Total comparison across representations. Exact for decimal/decimal;
-    /// decimal/double comparisons go through `f64`.
+    /// Comparison across representations. Decimal/decimal is always exact;
+    /// decimal/double is exact (the double's value `m·2^e` is compared as a
+    /// rational against `unscaled·10^-scale` with 256-bit widening) except
+    /// for decimals carrying more than 38 fractional digits, which cannot
+    /// carry 39 significant digits anyway and fall back to `f64`. `None`
+    /// only for NaN.
     pub fn compare(self, other: Numeric) -> Option<std::cmp::Ordering> {
+        use std::cmp::Ordering;
         match (self, other) {
             (
                 Numeric::Decimal {
@@ -129,31 +127,194 @@ impl Numeric {
                     unscaled: b,
                     scale: sb,
                 },
-            ) => {
-                // Rescale the lower-scale operand up; on overflow, fall back
-                // to f64 (lexical forms that big are vanishingly rare).
-                let (a, b) = if sa == sb {
-                    (a, b)
-                } else if sa < sb {
-                    match a.checked_mul(pow10(sb - sa)?) {
-                        Some(a) => (a, b),
-                        None => return self.as_f64().partial_cmp(&other.as_f64()),
-                    }
-                } else {
-                    match b.checked_mul(pow10(sa - sb)?) {
-                        Some(b) => (a, b),
-                        None => return self.as_f64().partial_cmp(&other.as_f64()),
-                    }
-                };
-                Some(a.cmp(&b))
-            }
-            _ => self.as_f64().partial_cmp(&other.as_f64()),
+            ) => Some(cmp_decimals(a, sa, b, sb)),
+            (
+                Numeric::Decimal {
+                    unscaled: a,
+                    scale: sa,
+                },
+                Numeric::Double(d),
+            ) => cmp_decimal_double(a, sa, d),
+            (
+                Numeric::Double(d),
+                Numeric::Decimal {
+                    unscaled: a,
+                    scale: sa,
+                },
+            ) => cmp_decimal_double(a, sa, d).map(Ordering::reverse),
+            (Numeric::Double(x), Numeric::Double(y)) => x.partial_cmp(&y),
         }
     }
 }
 
 fn pow10(n: u32) -> Option<i128> {
     10i128.checked_pow(n)
+}
+
+/// `10^n` as `u128`; `Some` for all `n ≤ 38`.
+fn pow10u(n: u32) -> Option<u128> {
+    10u128.checked_pow(n)
+}
+
+/// Exact total order on `a·10^-sa` vs `b·10^-sb`.
+fn cmp_decimals(a: i128, sa: u32, b: i128, sb: u32) -> std::cmp::Ordering {
+    if sa == sb {
+        return a.cmp(&b);
+    }
+    // Fast path: rescale the lower-scale operand up while it fits i128.
+    if sa < sb {
+        if let Some(aw) = pow10(sb - sa).and_then(|p| a.checked_mul(p)) {
+            return aw.cmp(&b);
+        }
+    } else if let Some(bw) = pow10(sa - sb).and_then(|p| b.checked_mul(p)) {
+        return a.cmp(&bw);
+    }
+    // Slow path (rescale overflowed, or scale gap > 38): compare signs,
+    // then magnitudes via 256-bit cross-multiplication — never approximate.
+    let (sga, sgb) = (a.signum(), b.signum());
+    if sga != sgb {
+        return sga.cmp(&sgb);
+    }
+    if sga == 0 {
+        return std::cmp::Ordering::Equal;
+    }
+    let ord = cmp_dec_magnitudes(a.unsigned_abs(), sa, b.unsigned_abs(), sb);
+    if sga < 0 {
+        ord.reverse()
+    } else {
+        ord
+    }
+}
+
+/// `a/10^sa` vs `b/10^sb` for positive magnitudes, exactly.
+fn cmp_dec_magnitudes(a: u128, sa: u32, b: u128, sb: u32) -> std::cmp::Ordering {
+    // Cross-multiply after cancelling the common power of ten:
+    // a/10^sa ? b/10^sb  ⇔  a·10^(sb-m) ? b·10^(sa-m),  m = min(sa, sb).
+    let m = sa.min(sb);
+    let (ea, eb) = (sb - m, sa - m);
+    // A 10^39 factor exceeds any i128 magnitude (< 1.8·10^38), so the
+    // scaled-up side wins outright.
+    if ea >= 39 {
+        return std::cmp::Ordering::Greater;
+    }
+    if eb >= 39 {
+        return std::cmp::Ordering::Less;
+    }
+    let lhs = wide_mul(a, pow10u(ea).expect("ea <= 38"));
+    let rhs = wide_mul(b, pow10u(eb).expect("eb <= 38"));
+    lhs.cmp(&rhs)
+}
+
+/// Exact decimal-vs-double comparison (decimal on the left). `None` only
+/// for NaN.
+fn cmp_decimal_double(unscaled: i128, scale: u32, d: f64) -> Option<std::cmp::Ordering> {
+    use std::cmp::Ordering;
+    if d.is_nan() {
+        return None;
+    }
+    if d.is_infinite() {
+        return Some(if d > 0.0 {
+            Ordering::Less
+        } else {
+            Ordering::Greater
+        });
+    }
+    let sga = unscaled.signum() as i32;
+    let sgd = if d > 0.0 {
+        1
+    } else if d < 0.0 {
+        -1
+    } else {
+        0
+    };
+    if sga != sgd {
+        return Some(sga.cmp(&sgd));
+    }
+    if sga == 0 {
+        return Some(Ordering::Equal);
+    }
+    let ord = cmp_dec_f64_magnitudes(unscaled.unsigned_abs(), scale, d.abs());
+    Some(if sga < 0 { ord.reverse() } else { ord })
+}
+
+/// `a/10^s` vs finite `d`, both strictly positive. Exact for `s ≤ 38`
+/// (after stripping trailing zeros); beyond that the decimal has fewer
+/// than one significant digit per fractional place and we approximate.
+fn cmp_dec_f64_magnitudes(mut a: u128, mut s: u32, d: f64) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    while s > 0 && a.is_multiple_of(10) {
+        a /= 10;
+        s -= 1;
+    }
+    let Some(p10) = pow10u(s) else {
+        // > 38 fractional digits on a nonzero unscaled value: only
+        // reachable via forms like 0.00…01. Approximate via f64 — the
+        // magnitudes involved are below 10^-38.
+        let approx = a as f64 / 10f64.powi(s as i32);
+        return approx.partial_cmp(&d).unwrap_or(Ordering::Equal);
+    };
+    // Decompose d = m·2^e exactly (m odd) from the IEEE-754 bits.
+    let bits = d.to_bits();
+    let biased = ((bits >> 52) & 0x7ff) as i64;
+    let frac = bits & ((1u64 << 52) - 1);
+    let (m, e) = if biased == 0 {
+        (frac as u128, -1074i64)
+    } else {
+        ((frac | (1 << 52)) as u128, biased - 1075)
+    };
+    let tz = m.trailing_zeros(); // m > 0 since d > 0
+    let (m, e) = (m >> tz, e + tz as i64);
+    if e >= 0 {
+        // d is an exact integer m·2^e: compare a vs (m·2^e)·10^s.
+        if e as u32 > m.leading_zeros() {
+            return Ordering::Less; // d ≥ 2^128 > any i128 magnitude
+        }
+        match (m << e).checked_mul(p10) {
+            Some(rhs) => a.cmp(&rhs),
+            None => Ordering::Less,
+        }
+    } else {
+        // d = m/2^k: compare a·2^k vs m·10^s in 256-bit space.
+        let k = (-e) as u32;
+        match wide_shl(a, k) {
+            Some(lhs) => lhs.cmp(&wide_mul(m, p10)),
+            // a·2^k ≥ 2^256 while m·10^s < 2^53·2^127 < 2^256.
+            None => Ordering::Greater,
+        }
+    }
+}
+
+/// Full 256-bit product of two u128s as a `(hi, lo)` pair; tuple order is
+/// numeric order.
+fn wide_mul(x: u128, y: u128) -> (u128, u128) {
+    const MASK: u128 = (1 << 64) - 1;
+    let (x1, x0) = (x >> 64, x & MASK);
+    let (y1, y0) = (y >> 64, y & MASK);
+    let p00 = x0 * y0;
+    let p01 = x0 * y1;
+    let p10 = x1 * y0;
+    let mid = (p00 >> 64) + (p01 & MASK) + (p10 & MASK);
+    let lo = (p00 & MASK) | (mid << 64);
+    let hi = x1 * y1 + (p01 >> 64) + (p10 >> 64) + (mid >> 64);
+    (hi, lo)
+}
+
+/// `x·2^sh` as a 256-bit `(hi, lo)` pair, or `None` when it exceeds 2^256.
+fn wide_shl(x: u128, sh: u32) -> Option<(u128, u128)> {
+    if x == 0 {
+        return Some((0, 0));
+    }
+    let bits = 128 - x.leading_zeros();
+    if bits + sh > 256 {
+        return None;
+    }
+    Some(if sh >= 128 {
+        (x << (sh - 128), 0)
+    } else if sh == 0 {
+        (0, x)
+    } else {
+        (x >> (128 - sh), x << sh)
+    })
 }
 
 fn parse_decimal(lexical: &str) -> Option<Numeric> {
@@ -488,6 +649,104 @@ mod tests {
         assert!(Numeric::parse(xsd::STRING, "1").is_none());
     }
 
+    /// Regression: mixed decimal/double comparison used to round-trip the
+    /// decimal through `i128 as f64`, collapsing everything beyond 2^53.
+    /// 10000000000000001 vs 1.0e16 compared `Equal` pre-fix.
+    #[test]
+    fn decimal_double_exact_beyond_2_53() {
+        let dec = Numeric::parse(xsd::DECIMAL, "10000000000000001").unwrap();
+        let dbl = Numeric::parse(xsd::DOUBLE, "1.0e16").unwrap();
+        assert_eq!(dec.compare(dbl), Some(Ordering::Greater));
+        assert_eq!(dbl.compare(dec), Some(Ordering::Less));
+    }
+
+    /// The 2^53 boundary itself: equality only where the double's value
+    /// really coincides, strict orderings one unit either side.
+    #[test]
+    fn decimal_double_2_53_boundary() {
+        let two_53 = 1i128 << 53;
+        let dbl = Numeric::Double(9007199254740992.0); // 2^53 exactly
+        assert_eq!(Numeric::integer(two_53).compare(dbl), Some(Ordering::Equal));
+        assert_eq!(
+            Numeric::integer(two_53 + 1).compare(dbl),
+            Some(Ordering::Greater)
+        );
+        assert_eq!(
+            Numeric::integer(two_53 - 1).compare(dbl),
+            Some(Ordering::Less)
+        );
+    }
+
+    /// Decimal-vs-double comparison is exact, not rounded: the double
+    /// literal 0.1 is slightly above the decimal 0.1.
+    #[test]
+    fn decimal_double_tenth_is_not_equal() {
+        let dec = Numeric::parse(xsd::DECIMAL, "0.1").unwrap();
+        let dbl = Numeric::parse(xsd::DOUBLE, "0.1").unwrap();
+        assert_eq!(dec.compare(dbl), Some(Ordering::Less));
+        let dbl_quarter = Numeric::parse(xsd::DOUBLE, "0.25").unwrap();
+        let dec_quarter = Numeric::parse(xsd::DECIMAL, "0.25").unwrap();
+        assert_eq!(dec_quarter.compare(dbl_quarter), Some(Ordering::Equal));
+    }
+
+    /// Regression: a scale gap > 38 made `pow10` return `None`, which
+    /// `compare` leaked as "incomparable" instead of falling back.
+    #[test]
+    fn decimal_scale_gap_over_38_is_comparable() {
+        // 40 zeros then a 1: scale 41, unscaled 1.
+        let lex = format!("0.{}1", "0".repeat(40));
+        let tiny = Numeric::parse(xsd::DECIMAL, &lex).unwrap();
+        assert_eq!(
+            tiny,
+            Numeric::Decimal {
+                unscaled: 1,
+                scale: 41
+            }
+        );
+        let one = Numeric::parse(xsd::INTEGER, "1").unwrap();
+        assert_eq!(one.compare(tiny), Some(Ordering::Greater));
+        assert_eq!(tiny.compare(one), Some(Ordering::Less));
+        assert_eq!(tiny.compare(tiny), Some(Ordering::Equal));
+        let negative = Numeric::Decimal {
+            unscaled: -1,
+            scale: 41,
+        };
+        assert_eq!(negative.compare(tiny), Some(Ordering::Less));
+    }
+
+    /// Decimal/decimal rescale overflow takes the exact wide path, not an
+    /// f64 approximation.
+    #[test]
+    fn decimal_rescale_overflow_stays_exact() {
+        // a = i128::MAX at scale 0 vs b = i128::MAX·10^-1 + ε territory:
+        // rescaling a by 10 overflows i128.
+        let a = Numeric::Decimal {
+            unscaled: i128::MAX,
+            scale: 0,
+        };
+        let b = Numeric::Decimal {
+            unscaled: i128::MAX,
+            scale: 1,
+        };
+        assert_eq!(a.compare(b), Some(Ordering::Greater));
+        assert_eq!(b.compare(a), Some(Ordering::Less));
+        assert_eq!(a.compare(a), Some(Ordering::Equal));
+    }
+
+    #[test]
+    fn infinities_compare_against_decimals() {
+        let inf = Numeric::parse(xsd::DOUBLE, "INF").unwrap();
+        let ninf = Numeric::parse(xsd::DOUBLE, "-INF").unwrap();
+        let big = Numeric::Decimal {
+            unscaled: i128::MAX,
+            scale: 0,
+        };
+        assert_eq!(big.compare(inf), Some(Ordering::Less));
+        assert_eq!(inf.compare(big), Some(Ordering::Greater));
+        assert_eq!(big.compare(ninf), Some(Ordering::Greater));
+        assert_eq!(ninf.compare(big), Some(Ordering::Less));
+    }
+
     #[test]
     fn huge_decimal_falls_back_to_double() {
         let big = "9".repeat(60);
@@ -553,6 +812,24 @@ mod proptests {
             let reparsed = Numeric::parse(crate::vocab::xsd::DECIMAL, &lex)
                 .unwrap_or_else(|| panic!("lexical {lex:?} must parse"));
             prop_assert_eq!(n.compare(reparsed), Some(Ordering::Equal), "lex {}", lex);
+        }
+
+        /// Decimal↔double equality is exact wherever the f64 round-trip is
+        /// lossless (|v| ≤ 2^53).
+        #[test]
+        fn decimal_double_small_int_equality(v in -(1i64 << 53)..=(1i64 << 53)) {
+            let dec = Numeric::integer(v as i128);
+            let dbl = Numeric::Double(v as f64);
+            prop_assert_eq!(dec.compare(dbl), Some(Ordering::Equal));
+        }
+
+        /// compare() stays antisymmetric across representations.
+        #[test]
+        fn decimal_double_antisymmetric(a in arb_decimal(), mantissa in any::<i64>(), shift in 0u32..32) {
+            let dbl = Numeric::Double(mantissa as f64 / (1u64 << shift) as f64);
+            let ab = a.compare(dbl).unwrap();
+            let ba = dbl.compare(a).unwrap();
+            prop_assert_eq!(ab, ba.reverse());
         }
 
         /// Lexical validity for integers matches a simple regex-free spec.

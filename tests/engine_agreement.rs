@@ -9,8 +9,10 @@ use shapex::{Closure, Engine, EngineConfig};
 use shapex_backtrack::{BacktrackValidator, BtConfig};
 use shapex_rdf::graph::Dataset;
 use shapex_rdf::term::{Literal, Term};
+use shapex_rdf::vocab::xsd;
+use shapex_rdf::xsd::Numeric;
 use shapex_shex::ast::{ArcConstraint, ShapeExpr, ShapeLabel};
-use shapex_shex::constraint::{NodeConstraint, ValueSetValue};
+use shapex_shex::constraint::{Facet, NodeConstraint, ValueSetValue};
 use shapex_shex::schema::Schema;
 use shapex_workloads::{person_network, Topology};
 
@@ -233,6 +235,188 @@ proptest! {
         let (mut ds2, node2) = build_dataset(&reversed);
         let backward = run_derivative(&expr, &mut ds2, node2, Closure::Closed);
         prop_assert_eq!(forward, backward);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// §10 extensions, differentially: inverse arcs × numeric facets.
+// ---------------------------------------------------------------------------
+
+/// Peers that point *into* the focus node (subjects of inverse triples).
+const PEERS: [&str; 2] = ["http://e/m0", "http://e/m1"];
+
+/// Facet bounds straddling 2^53, where `xsd:decimal` vs `xsd:double`
+/// comparison must be exact (an f64 round-trip collapses the neighbours
+/// of 9007199254740992 onto it).
+const BOUNDS: [(&str, &str); 6] = [
+    (xsd::INTEGER, "2"),
+    (xsd::INTEGER, "9007199254740991"),
+    (xsd::INTEGER, "9007199254740992"),
+    (xsd::INTEGER, "9007199254740993"),
+    (xsd::DECIMAL, "9007199254740992.5"),
+    (xsd::DOUBLE, "9.007199254740992E15"),
+];
+
+/// Numeric literal objects for the outgoing triples — same critical region
+/// as BOUNDS plus small values, across all three numeric datatypes.
+const NUM_OBJECTS: [(&str, &str); 6] = [
+    (xsd::INTEGER, "1"),
+    (xsd::INTEGER, "3"),
+    (xsd::INTEGER, "9007199254740991"),
+    (xsd::INTEGER, "9007199254740993"),
+    (xsd::DECIMAL, "9007199254740992.0000001"),
+    (xsd::DOUBLE, "9.007199254740992E15"),
+];
+
+fn arb_numeric_facet() -> impl Strategy<Value = NodeConstraint> {
+    (0usize..BOUNDS.len(), 0usize..4).prop_map(|(b, op)| {
+        let (dt, lex) = BOUNDS[b];
+        let bound = Numeric::parse(dt, lex).expect("BOUNDS entries are valid lexical forms");
+        NodeConstraint::Facet(match op {
+            0 => Facet::MinInclusive(bound),
+            1 => Facet::MinExclusive(bound),
+            2 => Facet::MaxInclusive(bound),
+            _ => Facet::MaxExclusive(bound),
+        })
+    })
+}
+
+/// A value set over PEERS — the object constraint of an inverse arc
+/// (incoming subjects are IRIs, so numeric facets cannot apply there).
+fn arb_peer_constraint() -> impl Strategy<Value = NodeConstraint> {
+    proptest::collection::btree_set(0usize..PEERS.len(), 1..=PEERS.len()).prop_map(|s| {
+        NodeConstraint::ValueSet(
+            s.into_iter()
+                .map(|i| ValueSetValue::Term(Term::iri(PEERS[i])))
+                .collect(),
+        )
+    })
+}
+
+/// Forward arcs carry numeric-facet constraints; inverse arcs (`^p`)
+/// constrain the incoming subject.
+fn arb_ext_arc() -> impl Strategy<Value = ShapeExpr> {
+    prop_oneof![
+        (0usize..PREDS.len(), arb_numeric_facet())
+            .prop_map(|(p, c)| ShapeExpr::arc(ArcConstraint::value(PREDS[p], c))),
+        (0usize..PREDS.len(), arb_peer_constraint())
+            .prop_map(|(p, c)| ShapeExpr::arc(ArcConstraint::value(PREDS[p], c).inverted())),
+    ]
+}
+
+fn arb_ext_expr() -> impl Strategy<Value = ShapeExpr> {
+    arb_ext_arc().prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(ShapeExpr::star),
+            inner.clone().prop_map(ShapeExpr::plus),
+            inner.clone().prop_map(ShapeExpr::opt),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| ShapeExpr::and(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| ShapeExpr::or(a, b)),
+        ]
+    })
+}
+
+/// Outgoing numeric triples `(pred, object)` plus incoming peer triples
+/// `(peer, pred)` around the focus node.
+type ExtGraph = (Vec<(usize, usize)>, Vec<(usize, usize)>);
+
+fn arb_ext_graph() -> impl Strategy<Value = ExtGraph> {
+    (
+        proptest::collection::btree_set((0usize..PREDS.len(), 0usize..NUM_OBJECTS.len()), 0..=4)
+            .prop_map(|s| s.into_iter().collect()),
+        proptest::collection::btree_set((0usize..PEERS.len(), 0usize..PREDS.len()), 0..=4)
+            .prop_map(|s| s.into_iter().collect()),
+    )
+}
+
+fn build_ext_dataset(
+    outgoing: &[(usize, usize)],
+    incoming: &[(usize, usize)],
+) -> (Dataset, &'static str) {
+    let mut ds = Dataset::new();
+    let node = "http://e/n";
+    for &(p, v) in outgoing {
+        let (dt, lex) = NUM_OBJECTS[v];
+        ds.insert(
+            Term::iri(node),
+            Term::iri(PREDS[p]),
+            Term::Literal(Literal::typed(lex, dt)),
+        );
+    }
+    for &(m, p) in incoming {
+        ds.insert(Term::iri(PEERS[m]), Term::iri(PREDS[p]), Term::iri(node));
+    }
+    ds.pool.intern_iri(node);
+    (ds, node)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The §10 extensions interact soundly: schemas mixing inverse arcs
+    /// with numeric facets whose bounds straddle 2^53 decide the same
+    /// language on both engines. Exercises the exact decimal/double
+    /// comparison differentially — before that fix, bounds like
+    /// `9007199254740992.5` collapsed onto their f64 neighbours.
+    #[test]
+    fn inverse_and_numeric_facets_agree(
+        expr in arb_ext_expr(),
+        (outgoing, incoming) in arb_ext_graph()
+    ) {
+        let (mut ds, node) = build_ext_dataset(&outgoing, &incoming);
+        let derivative = run_derivative(&expr, &mut ds, node, Closure::Closed);
+        if let Some(backtracking) = run_backtracking(&expr, &ds, node) {
+            prop_assert_eq!(
+                derivative, backtracking,
+                "disagree on {:?} over out={:?} in={:?}", expr, outgoing, incoming
+            );
+        }
+    }
+
+    /// Metrics invariants on arbitrary runs: every cache satisfies
+    /// `lookups == hits + misses`, the budget meter never spends past its
+    /// limit, and the `Stats`/`Metrics` copies of the shared step counter
+    /// agree.
+    #[test]
+    fn metric_invariants_hold(
+        expr in arb_ext_expr(),
+        (outgoing, incoming) in arb_ext_graph(),
+        limit in 50u64..5_000
+    ) {
+        let (mut ds, node) = build_ext_dataset(&outgoing, &incoming);
+        let schema =
+            Schema::from_rules([(ShapeLabel::new("S"), expr)]).expect("one rule");
+        let mut engine = Engine::compile(
+            &schema,
+            &mut ds.pool,
+            EngineConfig {
+                budget: shapex::Budget::steps(limit),
+                metrics: true,
+                ..EngineConfig::default()
+            },
+        )
+        .expect("compiles");
+        let n = ds.iri(node).expect("interned");
+        // Exhaustion is a legal outcome here; the invariants must hold
+        // either way.
+        let _ = engine.check(&ds.graph, &ds.pool, n, &"S".into());
+        let stats = engine.stats();
+        prop_assert!(
+            stats.budget_steps <= limit,
+            "spent {} steps past the {} limit", stats.budget_steps, limit
+        );
+        let m = engine.metrics().expect("metrics enabled");
+        for (name, c) in [
+            ("profile_stable", &m.profile_stable),
+            ("profile_assumption", &m.profile_assumption),
+            ("deriv_memo", &m.deriv_memo),
+        ] {
+            prop_assert_eq!(
+                c.lookups, c.hits + c.misses,
+                "{} cache: lookups != hits + misses", name
+            );
+        }
+        prop_assert_eq!(m.budget_steps, stats.budget_steps);
     }
 }
 

@@ -1,0 +1,169 @@
+//! Regression suite for `--stats`/metrics totals under parallel typing.
+//!
+//! The wave-boundary merge in `Engine::type_all_par` folds each worker's
+//! counter *delta* into the coordinator exactly once. These tests pin the
+//! observable consequence: over the `fixtures/_pathological` inputs run
+//! **under a steps budget**, a `--jobs 4` run reports byte-identical
+//! step/memo totals to the sequential `--jobs 1` run — every exhausted
+//! query deterministically burns its full budget, and exhausted pairs are
+//! never memoised, so sharding cannot change any total. (Without a budget
+//! the totals legitimately diverge: parallel workers re-derive recursive
+//! sub-proofs a sequential run would answer from its shared memo.)
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use shapex::{Budget, Engine, EngineConfig, Metrics, Stats};
+use shapex_rdf::graph::Dataset;
+use shapex_rdf::turtle;
+use shapex_shex::shexc;
+
+fn pathological(name: &str) -> (shapex_shex::Schema, Dataset) {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../fixtures/_pathological");
+    let read = |p: PathBuf| fs::read_to_string(&p).unwrap_or_else(|e| panic!("{p:?}: {e}"));
+    let schema = shexc::parse(&read(root.join(format!("{name}.shex")))).expect("schema parses");
+    let ds = turtle::parse(&read(root.join(format!("{name}.ttl")))).expect("data parses");
+    (schema, ds)
+}
+
+/// Runs the full typing at the given worker count and returns the final
+/// coordinator-side counters.
+fn run(name: &str, budget: Budget, jobs: usize) -> (Stats, Metrics, usize, usize) {
+    let (schema, mut ds) = pathological(name);
+    let config = EngineConfig {
+        budget,
+        metrics: true,
+        ..EngineConfig::default()
+    };
+    let mut engine = Engine::compile(&schema, &mut ds.pool, config).expect("schema compiles");
+    let typing = engine.type_all_par(&ds.graph, &ds.pool, jobs);
+    let metrics = engine.metrics().expect("metrics enabled").clone();
+    (
+        engine.stats(),
+        metrics,
+        typing.len(),
+        typing.exhausted.len(),
+    )
+}
+
+/// Asserts the totals that must be sharding-invariant. Arena/pool sizes
+/// are excluded by design: each worker interns its own arena, so those
+/// high-water marks measure per-shard state, not run totals (documented in
+/// `Stats::absorb`).
+fn assert_totals_match(name: &str, budget: Budget) {
+    let (seq, seq_m, seq_typed, seq_exhausted) = run(name, budget, 1);
+    let (par, par_m, par_typed, par_exhausted) = run(name, budget, 4);
+    assert_eq!(seq_typed, par_typed, "{name}: typed pairs diverged");
+    assert_eq!(
+        seq_exhausted, par_exhausted,
+        "{name}: exhausted pairs diverged"
+    );
+    for (field, a, b) in [
+        (
+            "derivative_steps",
+            seq.derivative_steps,
+            par.derivative_steps,
+        ),
+        ("deriv_memo_hits", seq.deriv_memo_hits, par.deriv_memo_hits),
+        ("node_checks", seq.node_checks, par.node_checks),
+        ("gfp_reruns", seq.gfp_reruns, par.gfp_reruns),
+        ("sorbe_checks", seq.sorbe_checks, par.sorbe_checks),
+        ("budget_steps", seq.budget_steps, par.budget_steps),
+        (
+            "exhausted_checks",
+            seq.exhausted_checks,
+            par.exhausted_checks,
+        ),
+        (
+            "max_depth_reached",
+            seq.max_depth_reached as u64,
+            par.max_depth_reached as u64,
+        ),
+    ] {
+        assert_eq!(
+            a, b,
+            "{name}: stats.{field} diverged between jobs=1 and jobs=4"
+        );
+    }
+    for (field, a, b) in [
+        (
+            "profile_stable.lookups",
+            seq_m.profile_stable.lookups,
+            par_m.profile_stable.lookups,
+        ),
+        (
+            "profile_assumption.lookups",
+            seq_m.profile_assumption.lookups,
+            par_m.profile_assumption.lookups,
+        ),
+        (
+            "deriv_memo.lookups",
+            seq_m.deriv_memo.lookups,
+            par_m.deriv_memo.lookups,
+        ),
+        (
+            "deriv_memo.hits",
+            seq_m.deriv_memo.hits,
+            par_m.deriv_memo.hits,
+        ),
+        (
+            "head_index_queries",
+            seq_m.head_index_queries,
+            par_m.head_index_queries,
+        ),
+        ("budget_steps", seq_m.budget_steps, par_m.budget_steps),
+    ] {
+        assert_eq!(
+            a, b,
+            "{name}: metrics.{field} diverged between jobs=1 and jobs=4"
+        );
+    }
+    // Per-shape attribution must agree too — it is merged through the same
+    // delta discipline.
+    assert_eq!(
+        seq_m.per_shape, par_m.per_shape,
+        "{name}: per-shape metrics diverged"
+    );
+    // The merged metrics obey the cache invariant on both sides.
+    for m in [&seq_m, &par_m] {
+        for c in [&m.profile_stable, &m.profile_assumption, &m.deriv_memo] {
+            assert_eq!(
+                c.lookups,
+                c.hits + c.misses,
+                "{name}: cache invariant broken"
+            );
+        }
+    }
+}
+
+#[test]
+fn deep_recursion_totals_jobs_invariant() {
+    // 2000 queries over the e:next cycle; each exhausts its 200-step
+    // budget deterministically, whichever worker runs it.
+    assert_totals_match("deep_recursion", Budget::steps(200));
+}
+
+#[test]
+fn fanout_totals_jobs_invariant() {
+    // One subject × one shape: the window degenerates to a single query,
+    // which must produce identical totals however many workers idle.
+    assert_totals_match("fanout", Budget::steps(1_000));
+}
+
+#[test]
+fn interleave_totals_jobs_invariant() {
+    assert_totals_match("interleave", Budget::steps(10_000));
+}
+
+#[test]
+fn exhausted_queries_burn_exactly_their_budget() {
+    // The determinism the jobs-invariance rests on: every exhausted query
+    // spends exactly `limit` steps, so budget_steps == exhausted × limit
+    // when every query exhausts.
+    let (stats, metrics, typed, exhausted) = run("deep_recursion", Budget::steps(200), 4);
+    assert_eq!(typed, 0, "no pair should complete under 200 steps");
+    assert!(exhausted > 0);
+    assert_eq!(stats.budget_steps, exhausted as u64 * 200);
+    assert_eq!(metrics.budget_steps, stats.budget_steps);
+    assert_eq!(stats.exhausted_checks, exhausted as u64);
+}
