@@ -99,6 +99,8 @@ USAGE:
       --map FILE                         shape map of node@<Shape> associations
       --open                             ShEx-style open shapes (default: closed, as in the paper)
       --no-sorbe                         disable the SORBE counting fast path
+      --no-dfa                           disable the lazy shape DFA (fall back to the
+                                         hash-map derivative memo; results are identical)
       --explain                          print failure explanations
       --trace NODE SHAPE                 print the §7 derivative trace for one pair
                                          (also: bare --trace with --node/--shape)
@@ -163,7 +165,9 @@ impl Flags {
 }
 
 fn parse_flags<'a>(it: impl Iterator<Item = &'a str>) -> Result<Flags, String> {
-    const SWITCHES: [&str; 6] = ["open", "explain", "stats", "no-sorbe", "trace", "lenient"];
+    const SWITCHES: [&str; 7] = [
+        "open", "explain", "stats", "no-sorbe", "no-dfa", "trace", "lenient",
+    ];
     let mut it = it.peekable();
     let mut flags = Flags {
         values: Vec::new(),
@@ -334,6 +338,7 @@ fn validate(flags: &Flags) -> Result<String, CliError> {
                     Closure::Closed
                 },
                 no_sorbe: flags.has("no-sorbe"),
+                no_dfa: flags.has("no-dfa"),
                 budget,
                 // A JSON report always carries the metrics block.
                 metrics: report,
@@ -1374,6 +1379,33 @@ mod tests {
             "--no-sorbe",
         ]);
         assert_eq!(with_fast, without);
+    }
+
+    #[test]
+    fn no_dfa_flag_agrees() {
+        // The lazy DFA is a pure lookup-structure swap: conformance output
+        // must be byte-identical with and without it, including when the
+        // SORBE fast path is also off and the derivative engine does all
+        // the work.
+        let (schema, data) = person_files();
+        let with_dfa = run_ok(&[
+            "validate",
+            "--schema",
+            &schema,
+            "--data",
+            &data,
+            "--no-sorbe",
+        ]);
+        let without = run_ok(&[
+            "validate",
+            "--schema",
+            &schema,
+            "--data",
+            &data,
+            "--no-sorbe",
+            "--no-dfa",
+        ]);
+        assert_eq!(with_dfa, without);
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //! sorted by id) — sound because both `‖` and `|` are commutative on bags.
 //! All rules can be disabled for the E9 ablation via [`Simplify`].
 
-use std::collections::HashMap;
+use rustc_hash::FxHashMap;
 
 /// Index of a compiled arc constraint within its
 /// [`CompiledSchema`](crate::compile::CompiledSchema).
@@ -103,7 +103,7 @@ impl Simplify {
 #[derive(Debug, Clone)]
 pub struct ExprPool {
     nodes: Vec<Node>,
-    ids: HashMap<Node, ExprId>,
+    ids: FxHashMap<Node, ExprId>,
     /// `ν(e)` computed bottom-up at interning time.
     nullable: Vec<bool>,
     simplify: Simplify,
@@ -119,7 +119,7 @@ impl ExprPool {
     pub fn new(simplify: Simplify) -> Self {
         let mut pool = ExprPool {
             nodes: Vec::new(),
-            ids: HashMap::new(),
+            ids: FxHashMap::default(),
             nullable: Vec::new(),
             simplify,
         };

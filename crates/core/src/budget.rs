@@ -90,6 +90,11 @@ pub struct Budget {
     /// added beyond the arena's size when the query began). Growth, not
     /// absolute size: the arena persists across queries, so an absolute
     /// cap would let one pathological node poison every later query.
+    ///
+    /// The charged units are pool nodes *plus* memoised derivative
+    /// transitions — lazy-DFA table fills, or `HashMap` memo entries
+    /// under `--no-dfa`; the two coincide cell-for-cell, so the cap
+    /// trips at the same point in either mode.
     pub max_arena_nodes: Option<usize>,
     /// Maximum `(node, shape)` recursion depth through shape references.
     pub max_depth: Option<u32>,
@@ -328,8 +333,9 @@ impl BudgetMeter {
         self.depth = self.depth.saturating_sub(1);
     }
 
-    /// Records the arena size at query start; [`BudgetMeter::check_arena`]
-    /// measures growth relative to it.
+    /// Records the arena units at query start (pool nodes plus memoised
+    /// derivative transitions); [`BudgetMeter::check_arena`] measures
+    /// growth relative to it.
     pub fn set_arena_baseline(&mut self, arena_nodes: usize) {
         self.arena_baseline = arena_nodes;
         self.peak_arena = self.peak_arena.max(arena_nodes);

@@ -9,7 +9,7 @@ use shapex_shex::constraint::NodeConstraint;
 use shapex_shex::display::constraint_to_shexc;
 use shapex_shex::schema::{Schema, SchemaError};
 
-use crate::arena::{ArcId, ExprId, ExprPool, Simplify, UNBOUNDED};
+use crate::arena::{ArcId, ExprId, ExprPool, Node, Simplify, UNBOUNDED};
 use crate::sorbe;
 
 /// Index of a shape in a [`CompiledSchema`].
@@ -156,6 +156,12 @@ pub struct CompiledShape {
     pub has_inverse: bool,
     /// Precomputed `(predicate, direction) → candidate arcs` lookup.
     pub head_index: HeadIndex,
+    /// Alphabet-class mask: the arc bits *reachable from the compiled
+    /// expression*. Simplification can erase arcs (`e{0,0} = ε`), leaving
+    /// bits no derivative can observe; satisfaction profiles are masked
+    /// with this before interning so triples differing only on
+    /// unobservable bits share one derivative class (see [`crate::dfa`]).
+    pub class_mask: Box<[u64]>,
 }
 
 /// The compiled schema: arcs + shapes + the expression arena.
@@ -221,11 +227,13 @@ impl CompiledSchema {
                     .collect()
             });
             let head_index = HeadIndex::build(&ctx.arcs, &out.arcs);
+            let class_mask = reachable_arc_bits(&out.pool, &out.arcs, compiled, ctx.arcs.len());
             out.shapes.push(CompiledShape {
                 label: label.clone(),
                 expr: compiled,
                 sorbe,
                 head_index,
+                class_mask,
                 arcs: ctx.arcs,
                 forward_predicates: ctx.forward.map(|mut v| {
                     v.sort();
@@ -357,6 +365,41 @@ impl CompiledSchema {
             }
         }
     }
+}
+
+/// Collects the shape-local arc bits reachable from `expr` — the shape's
+/// compile-time alphabet-class mask. Arcs erased by simplification
+/// (`e{0,0} = ε`, annihilated branches) are compiled into the arc table
+/// but unreachable from the final expression, so no derivative can read
+/// their profile bit; masking them out merges otherwise-identical triple
+/// classes.
+fn reachable_arc_bits(
+    pool: &ExprPool,
+    arcs: &[CompiledArc],
+    expr: ExprId,
+    n_bits: usize,
+) -> Box<[u64]> {
+    let mut mask = vec![0u64; n_bits.div_ceil(64)];
+    let mut seen = vec![false; pool.len()];
+    let mut stack = vec![expr];
+    while let Some(e) = stack.pop() {
+        if std::mem::replace(&mut seen[e.index()], true) {
+            continue;
+        }
+        match pool.node(e) {
+            Node::Empty | Node::Epsilon => {}
+            Node::Arc(a) => {
+                let bit = arcs[a.index()].bit;
+                mask[(bit / 64) as usize] |= 1u64 << (bit % 64);
+            }
+            Node::Star(i) | Node::Repeat(i, _, _) => stack.push(i),
+            Node::And(a, b) | Node::Or(a, b) => {
+                stack.push(a);
+                stack.push(b);
+            }
+        }
+    }
+    mask.into()
 }
 
 struct ShapeCtx {
@@ -546,5 +589,22 @@ mod tests {
         assert!(rendered.contains('‖'), "{rendered}");
         // Integer value sets render bare, like the paper's b→{1,2}.
         assert!(rendered.contains("b→[1 2]"), "{rendered}");
+    }
+
+    #[test]
+    fn class_mask_covers_reachable_arcs_only() {
+        // `e:p .{0,0}` simplifies to ε, so its arc constraint is compiled
+        // (and still owns a profile bit) but is unreachable from the shape
+        // expression — the alphabet-class mask must drop that bit while
+        // keeping `e:q`'s, so triples differing only on `e:p` fall into
+        // the same derivative class.
+        let (c, _) = compile("PREFIX e: <http://e/>\n<S> { e:p .{0,0}, e:q . }");
+        assert_eq!(c.arcs.len(), 2, "both arcs compile");
+        let shape = c.shape(ShapeId(0));
+        let q_bit = c.arcs.iter().find(|a| a.display.contains('q')).unwrap().bit;
+        let p_bit = c.arcs.iter().find(|a| a.display.contains('p')).unwrap().bit;
+        assert_eq!(shape.class_mask.len(), 1);
+        assert_eq!(shape.class_mask[0], 1u64 << q_bit);
+        assert_eq!(shape.class_mask[0] & (1u64 << p_bit), 0);
     }
 }

@@ -1,0 +1,350 @@
+//! Lazy shape DFA: alphabet-class compression + dense transition tables.
+//!
+//! The derivative engine's hot loop is `state --triple-class--> state`.
+//! Two structural facts make it a finite automaton worth materialising:
+//!
+//! * **Alphabet classes.** `∂t(e)` depends only on which of the shape's
+//!   arc constraints `t` satisfies *and the expression can observe* — the
+//!   Owens–Reppy–Turon derivative-class idea. Each shape carries a
+//!   compile-time [`class_mask`](crate::compile::CompiledShape::class_mask)
+//!   (the arc bits reachable from its compiled expression); satisfaction
+//!   profiles are masked with it before interning, so all triples the
+//!   shape's derivatives treat identically collapse into one small dense
+//!   class id.
+//! * **Dense states.** Derivative results are hash-consed [`ExprId`]s;
+//!   only a small set is ever reached from a shape's initial expression.
+//!   Renumbering them densely per shape turns the derivative memo
+//!   `HashMap<(ExprId, ProfileId), ExprId>` into a flat transition table
+//!   `Vec<u32>` indexed by `state * stride + class` — one bounds-checked
+//!   load instead of a hash per memoised derivative.
+//!
+//! The table is **lazy**: cells start at a sentinel and are filled the
+//! first time the engine actually computes that `(state, class)`
+//! derivative, so fills coincide exactly with the `--no-dfa` HashMap
+//! memo's misses. That coincidence is what keeps the two paths
+//! byte-identical (same derivative steps, same budget charging, same
+//! exhaustion points); only the lookup structure differs.
+//!
+//! Sharing across [`type_all_par`](crate::Engine::type_all_par) shards
+//! mirrors the memo promotion protocol: workers fork a read-mostly
+//! snapshot of the coordinator's tables, log their fills, and the
+//! coordinator merges prefix-valid transitions at each wave boundary and
+//! re-seeds them to the other workers (class ids are translated through
+//! their masked bitsets, which are engine-independent).
+//!
+//! Budget accounting: every filled transition counts as one arena unit
+//! (see [`Engine`](crate::Engine)'s `arena_units`), so table growth is
+//! governed by `max_arena_nodes` exactly like the HashMap memo it
+//! replaces.
+
+use rustc_hash::FxHashMap;
+
+use crate::arena::ExprId;
+
+/// Sentinel for a not-yet-computed transition cell.
+const UNFILLED: u32 = u32::MAX;
+
+/// One logged table fill, in engine-independent terms: the source and
+/// target are hash-consed [`ExprId`]s (comparable across engines within
+/// the shared fork-time pool prefix) and `class` is the *local* class id,
+/// translated through [`ShapeDfa::class_bits`] when crossing engines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transition {
+    /// Source expression state.
+    pub src: ExprId,
+    /// Local alphabet-class id (valid only in the logging engine).
+    pub class: u32,
+    /// Target expression state (`∂class(src)`).
+    pub dst: ExprId,
+}
+
+/// The lazily built DFA for one shape: interned alphabet classes, densely
+/// renumbered expression states, and the flat transition table.
+#[derive(Debug, Clone, Default)]
+pub struct ShapeDfa {
+    /// Masked profile bits → local class id.
+    classes: FxHashMap<Box<[u64]>, u32>,
+    /// Local class id → masked profile bits (the engine-independent name
+    /// of the class, used to translate ids across workers).
+    class_bits: Vec<Box<[u64]>>,
+    /// Expression → dense state id, indexed directly by `ExprId` (pool
+    /// ids are themselves dense, so a sentinel-filled vector beats any
+    /// hash table on both the probe and the fill path); [`UNFILLED`]
+    /// marks expressions never interned as states.
+    state_of: Vec<u32>,
+    /// State id → expression.
+    state_exprs: Vec<ExprId>,
+    /// `ν(state)`, copied from the arena at interning time so a state
+    /// walk never touches the arena.
+    state_nullable: Vec<bool>,
+    /// Row width of `table` — the power-of-two class capacity. The table
+    /// is rebuilt with a doubled stride when classes outgrow it.
+    stride: usize,
+    /// `state * stride + class → target state`, [`UNFILLED`] when the
+    /// derivative has not been computed yet.
+    table: Vec<u32>,
+    /// Number of filled cells (the table's arena-unit charge).
+    filled: usize,
+    /// Fill log drained at wave boundaries; only populated on parallel
+    /// workers (see [`ShapeDfa::fork`]).
+    log: Vec<Transition>,
+    log_enabled: bool,
+}
+
+impl ShapeDfa {
+    /// Initial class capacity (row width) of a fresh table.
+    const INITIAL_STRIDE: usize = 4;
+
+    /// An empty DFA.
+    pub fn new() -> ShapeDfa {
+        ShapeDfa::default()
+    }
+
+    /// A worker's copy for parallel typing: same snapshot, fill logging
+    /// switched on, log empty.
+    pub fn fork(&self) -> ShapeDfa {
+        let mut d = self.clone();
+        d.log.clear();
+        d.log_enabled = true;
+        d
+    }
+
+    /// Number of interned alphabet classes.
+    pub fn classes(&self) -> usize {
+        self.class_bits.len()
+    }
+
+    /// Number of interned states.
+    pub fn states(&self) -> usize {
+        self.state_exprs.len()
+    }
+
+    /// Number of filled transition cells.
+    pub fn filled(&self) -> usize {
+        self.filled
+    }
+
+    /// The masked profile bits naming a class — the translation key when
+    /// moving transitions between engines.
+    pub fn class_bits(&self, class: u32) -> &[u64] {
+        &self.class_bits[class as usize]
+    }
+
+    /// The expression behind a state id.
+    pub fn state_expr(&self, state: u32) -> ExprId {
+        self.state_exprs[state as usize]
+    }
+
+    /// `ν(e)` for an interned state, `None` if `e` was never interned.
+    pub fn nullable_of(&self, e: ExprId) -> Option<bool> {
+        match self.state_of.get(e.index()) {
+            Some(&s) if s != UNFILLED => Some(self.state_nullable[s as usize]),
+            _ => None,
+        }
+    }
+
+    /// Interns a masked profile bitset as an alphabet class. Returns the
+    /// class id and whether it was freshly interned.
+    pub fn intern_class(&mut self, bits: &[u64]) -> (u32, bool) {
+        if let Some(&c) = self.classes.get(bits) {
+            return (c, false);
+        }
+        let c = self.class_bits.len() as u32;
+        let boxed: Box<[u64]> = bits.into();
+        self.classes.insert(boxed.clone(), c);
+        self.class_bits.push(boxed);
+        if self.class_bits.len() > self.stride {
+            self.grow_stride();
+        }
+        (c, true)
+    }
+
+    /// Interns an expression as a dense state. Returns the state id and
+    /// whether it was freshly interned. `nullable` must be `ν(e)` (the
+    /// arena precomputes it bottom-up).
+    pub fn intern_state(&mut self, e: ExprId, nullable: bool) -> (u32, bool) {
+        if e.index() >= self.state_of.len() {
+            self.state_of.resize(e.index() + 1, UNFILLED);
+        }
+        let known = self.state_of[e.index()];
+        if known != UNFILLED {
+            return (known, false);
+        }
+        let s = self.state_exprs.len() as u32;
+        self.state_of[e.index()] = s;
+        self.state_exprs.push(e);
+        self.state_nullable.push(nullable);
+        if self.stride == 0 {
+            self.stride = Self::INITIAL_STRIDE.max(self.class_bits.len().next_power_of_two());
+        }
+        self.table.resize(self.table.len() + self.stride, UNFILLED);
+        (s, true)
+    }
+
+    /// The memoised target of `(state, class)`, if that derivative has
+    /// been computed.
+    #[inline]
+    pub fn target(&self, state: u32, class: u32) -> Option<ExprId> {
+        let t = self.table[state as usize * self.stride + class as usize];
+        (t != UNFILLED).then(|| self.state_exprs[t as usize])
+    }
+
+    /// Whether `(state, class)` is already filled.
+    pub fn is_filled(&self, state: u32, class: u32) -> bool {
+        self.table[state as usize * self.stride + class as usize] != UNFILLED
+    }
+
+    /// Fills `(src, class) → dst`, logging it when this is a worker copy.
+    /// Returns `true` if the cell was previously unfilled.
+    pub fn record(&mut self, src: u32, class: u32, dst: u32) -> bool {
+        let idx = src as usize * self.stride + class as usize;
+        if self.table[idx] != UNFILLED {
+            debug_assert_eq!(
+                self.table[idx], dst,
+                "conflicting derivative for the same (state, class)"
+            );
+            return false;
+        }
+        self.table[idx] = dst;
+        self.filled += 1;
+        if self.log_enabled {
+            self.log.push(Transition {
+                src: self.state_exprs[src as usize],
+                class,
+                dst: self.state_exprs[dst as usize],
+            });
+        }
+        true
+    }
+
+    /// Fills a cell *without* logging — used when seeding transitions
+    /// learned elsewhere (a seed echoed back into the log would bounce
+    /// between coordinator and workers forever). Returns `true` if the
+    /// cell was previously unfilled.
+    pub fn seed(&mut self, src: u32, class: u32, dst: u32) -> bool {
+        let was = self.log_enabled;
+        self.log_enabled = false;
+        let fresh = self.record(src, class, dst);
+        self.log_enabled = was;
+        fresh
+    }
+
+    /// Drains the fill log (wave-boundary merge).
+    pub fn take_log(&mut self) -> Vec<Transition> {
+        std::mem::take(&mut self.log)
+    }
+
+    /// Doubles the row width, re-laying out every existing row.
+    fn grow_stride(&mut self) {
+        let old = self.stride.max(1);
+        let new = (old * 2).max(Self::INITIAL_STRIDE);
+        let mut table = vec![UNFILLED; self.state_exprs.len() * new];
+        for s in 0..self.state_exprs.len() {
+            table[s * new..s * new + old].copy_from_slice(&self.table[s * old..(s + 1) * old]);
+        }
+        self.stride = new;
+        self.table = table;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arena::{ExprPool, Simplify, EMPTY, EPSILON};
+
+    fn pool_with_states() -> (ExprPool, Vec<ExprId>) {
+        let mut pool = ExprPool::new(Simplify::none());
+        let mut ids = vec![EMPTY, EPSILON];
+        let mut prev = EPSILON;
+        for _ in 0..6 {
+            prev = pool.star(prev);
+            ids.push(prev);
+        }
+        (pool, ids)
+    }
+
+    #[test]
+    fn classes_and_states_intern_densely() {
+        let (pool, ids) = pool_with_states();
+        let mut dfa = ShapeDfa::new();
+        assert_eq!(dfa.intern_class(&[0b01]), (0, true));
+        assert_eq!(dfa.intern_class(&[0b10]), (1, true));
+        assert_eq!(dfa.intern_class(&[0b01]), (0, false));
+        assert_eq!(dfa.classes(), 2);
+        let (s0, fresh) = dfa.intern_state(ids[2], pool.nullable(ids[2]));
+        assert!(fresh);
+        let (s0b, fresh) = dfa.intern_state(ids[2], pool.nullable(ids[2]));
+        assert!(!fresh);
+        assert_eq!(s0, s0b);
+        assert_eq!(dfa.state_expr(s0), ids[2]);
+        assert_eq!(dfa.nullable_of(ids[2]), Some(true));
+        assert_eq!(dfa.nullable_of(EMPTY), None);
+    }
+
+    #[test]
+    fn fills_are_lazy_and_idempotent() {
+        let (pool, ids) = pool_with_states();
+        let mut dfa = ShapeDfa::new();
+        let (c, _) = dfa.intern_class(&[1]);
+        let (a, _) = dfa.intern_state(ids[2], pool.nullable(ids[2]));
+        let (b, _) = dfa.intern_state(ids[3], pool.nullable(ids[3]));
+        assert_eq!(dfa.target(a, c), None);
+        assert!(dfa.record(a, c, b));
+        assert_eq!(dfa.target(a, c), Some(ids[3]));
+        assert!(!dfa.record(a, c, b), "second fill of the same cell");
+        assert_eq!(dfa.filled(), 1);
+    }
+
+    #[test]
+    fn stride_growth_preserves_filled_cells() {
+        let (pool, ids) = pool_with_states();
+        let mut dfa = ShapeDfa::new();
+        let (a, _) = dfa.intern_state(ids[2], pool.nullable(ids[2]));
+        let (b, _) = dfa.intern_state(ids[3], pool.nullable(ids[3]));
+        // Fill a cell per class while forcing several stride doublings.
+        for i in 0..40u64 {
+            let (c, fresh) = dfa.intern_class(&[1 << (i % 60), i]);
+            assert!(fresh);
+            dfa.record(a, c, b);
+        }
+        for i in 0..40u64 {
+            let (c, fresh) = dfa.intern_class(&[1 << (i % 60), i]);
+            assert!(!fresh);
+            assert_eq!(dfa.target(a, c), Some(ids[3]), "class {i} lost by growth");
+        }
+        assert_eq!(dfa.filled(), 40);
+        assert_eq!(dfa.target(b, 0), None);
+    }
+
+    #[test]
+    fn fork_logs_fills_and_seeds_stay_silent() {
+        let (pool, ids) = pool_with_states();
+        let mut coord = ShapeDfa::new();
+        let (c, _) = coord.intern_class(&[1]);
+        let (a, _) = coord.intern_state(ids[2], pool.nullable(ids[2]));
+        let (b, _) = coord.intern_state(ids[3], pool.nullable(ids[3]));
+        coord.record(a, c, b);
+        assert!(
+            coord.take_log().is_empty(),
+            "coordinator fills are not logged"
+        );
+
+        let mut worker = coord.fork();
+        // Snapshot carries the transition over.
+        assert_eq!(worker.target(a, c), Some(ids[3]));
+        let (d, _) = worker.intern_state(ids[4], pool.nullable(ids[4]));
+        worker.record(b, c, d);
+        worker.seed(d, c, d);
+        let log = worker.take_log();
+        assert_eq!(
+            log,
+            vec![Transition {
+                src: ids[3],
+                class: c,
+                dst: ids[4]
+            }],
+            "exactly the worker's own fill is logged; seeds are silent"
+        );
+        assert!(worker.take_log().is_empty(), "log drains");
+    }
+}

@@ -20,6 +20,7 @@
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::sync::Arc;
 
+use rustc_hash::FxHashMap;
 use shapex_rdf::graph::Graph;
 use shapex_rdf::pool::{TermId, TermPool};
 use shapex_shex::ast::ShapeLabel;
@@ -29,6 +30,7 @@ use shapex_shex::shapemap::ShapeMap;
 use crate::arena::{ArcId, ExprId, Node, Simplify, EMPTY, EPSILON, UNBOUNDED};
 use crate::budget::{Budget, BudgetMeter, Exhaustion, Resource, RunGovernor};
 use crate::compile::{CompiledObject, CompiledSchema, ShapeId};
+use crate::dfa::{ShapeDfa, Transition};
 use crate::metrics::{Metrics, ShardMetrics, WaveMetrics};
 use crate::result::{Failure, FailureKind, MatchResult, Outcome, Stats, Typing};
 
@@ -52,8 +54,16 @@ pub struct EngineConfig {
     pub simplify: Simplify,
     /// Closed (paper) vs open (ShEx) neighbourhood semantics.
     pub closure: Closure,
-    /// Disable the `(expression, triple-class)` derivative memo.
+    /// Disable the `(expression, triple-class)` derivative memo. This
+    /// disables the lazy DFA too — the transition table *is* the
+    /// derivative memo in dense clothing.
     pub no_deriv_memo: bool,
+    /// Fall back from the dense lazy-DFA transition tables to the
+    /// `(expression, profile)` HashMap derivative memo (see
+    /// [`crate::dfa`]). The two paths are byte-identical in results,
+    /// step counts, and budget behaviour; this flag exists for the
+    /// differential tests and the `BENCH_dfa` baseline.
+    pub no_dfa: bool,
     /// Disable the SORBE counting fast path (§8 future work; see
     /// [`crate::sorbe`]), forcing the general derivative algorithm.
     pub no_sorbe: bool,
@@ -227,30 +237,46 @@ pub struct Engine {
     schema: CompiledSchema,
     config: EngineConfig,
     /// `(shape, node)` results, persistent across checks.
-    memo: HashMap<Pair, MemoState>,
+    memo: FxHashMap<Pair, MemoState>,
     /// Value-constraint satisfaction per `(arc, object term)` — term
     /// semantics never change, so this survives re-runs.
-    value_sat: HashMap<(ArcId, TermId), bool>,
+    value_sat: FxHashMap<(ArcId, TermId), bool>,
     /// Triple → profile for entries established with *no* open assumptions:
     /// stable facts about the graph, persistent across queries and gfp
     /// reruns (they only reference `Proven`/`Failed` memo states, which are
     /// never purged). Cleared by [`Engine::reset`] — a stale entry against
     /// a changed graph would silently mis-profile.
-    profile_stable: HashMap<TripleKey, ProfileId>,
+    profile_stable: FxHashMap<TripleKey, ProfileId>,
     /// Per-run: triple → profile computed *under assumptions* (+ the
     /// assumptions used); discarded every rerun because a purged
     /// assumption invalidates the cached bits.
-    profile_by_triple: HashMap<TripleKey, (ProfileId, Box<[Pair]>)>,
-    /// Interned profile bitsets. Persistent: an interned `ProfileId`'s
-    /// meaning (its bitset) never changes until [`Engine::reset`].
-    profile_ids: HashMap<(ShapeId, Box<[u64]>), ProfileId>,
+    profile_by_triple: FxHashMap<TripleKey, (ProfileId, Box<[Pair]>)>,
+    /// Interned profile bitsets (masked to the shape's
+    /// [`class_mask`](crate::compile::CompiledShape::class_mask)).
+    /// Persistent: an interned `ProfileId`'s meaning (its bitset) never
+    /// changes until [`Engine::reset`].
+    profile_ids: FxHashMap<(ShapeId, Box<[u64]>), ProfileId>,
     profile_bits: Vec<Box<[u64]>>,
-    /// Derivative memo, keyed by interned profile. `∂` is a pure function
-    /// of `(expression, profile bits)`, so this too persists across runs —
-    /// but **must** be cleared together with the profile tables on
-    /// [`Engine::reset`]: profile ids restart from 0 after a reset, and a
-    /// surviving `(ExprId, ProfileId)` entry would alias a different class.
+    /// `--no-dfa` derivative memo, keyed by interned profile. `∂` is a
+    /// pure function of `(expression, profile bits)`, so this persists
+    /// across runs — but **must** be cleared together with the profile
+    /// tables on [`Engine::reset`]: profile ids restart from 0 after a
+    /// reset, and a surviving `(ExprId, ProfileId)` entry would alias a
+    /// different class. Deliberately still SipHash-keyed: it is the
+    /// pre-DFA baseline the `BENCH_dfa` comparison measures against.
     deriv_memo: HashMap<(ExprId, ProfileId), ExprId>,
+    /// Per-shape lazy DFAs (the default derivative cache; see
+    /// [`crate::dfa`]). Subject to the same reset discipline as
+    /// `deriv_memo`: classes are numbered per profile-table generation.
+    dfas: Vec<ShapeDfa>,
+    /// `ProfileId → owning shape` (profiles are interned per shape).
+    profile_shape: Vec<ShapeId>,
+    /// `ProfileId → shape-local alphabet-class id` — the dense column
+    /// index the DFA table uses in place of the profile key.
+    class_local: Vec<u32>,
+    /// Filled transition cells across all shape DFAs, mirrored here so
+    /// the budget's arena accounting is O(1) (see `cache_units`).
+    dfa_filled: usize,
     /// Pairs whose memo state is `Conditional` — kept so the purge and
     /// promotion passes touch only them, not the whole memo (which would
     /// make every query O(|memo|)).
@@ -282,16 +308,21 @@ impl Engine {
         let metrics = config
             .metrics
             .then(|| Box::new(Metrics::new(compiled.shapes.len())));
+        let dfas = vec![ShapeDfa::new(); compiled.shapes.len()];
         Ok(Engine {
             schema: compiled,
             config,
-            memo: HashMap::new(),
-            value_sat: HashMap::new(),
-            profile_stable: HashMap::new(),
-            profile_by_triple: HashMap::new(),
-            profile_ids: HashMap::new(),
+            memo: FxHashMap::default(),
+            value_sat: FxHashMap::default(),
+            profile_stable: FxHashMap::default(),
+            profile_by_triple: FxHashMap::default(),
+            profile_ids: FxHashMap::default(),
             profile_bits: Vec::new(),
             deriv_memo: HashMap::new(),
+            dfas,
+            profile_shape: Vec::new(),
+            class_local: Vec::new(),
+            dfa_filled: 0,
             conditional: HashSet::new(),
             in_progress: HashSet::new(),
             failures: HashMap::new(),
@@ -360,9 +391,11 @@ impl Engine {
     ///
     /// This must cover the *persistent* caches too, not just the
     /// `(node, shape)` memo: `profile_stable` embeds reference-arc answers
-    /// computed on the old graph, and `deriv_memo` is keyed by profile ids
-    /// whose numbering restarts once the profile tables are cleared — a
-    /// survivor of either would silently corrupt the next run.
+    /// computed on the old graph, and both derivative caches — the
+    /// `--no-dfa` memo *and* the DFA tables with their class maps — are
+    /// keyed by profile/class ids whose numbering restarts once the
+    /// profile tables are cleared. A survivor of any of them would
+    /// silently alias a different triple class on the next run.
     pub fn reset(&mut self) {
         self.memo.clear();
         self.conditional.clear();
@@ -371,6 +404,12 @@ impl Engine {
         self.profile_ids.clear();
         self.profile_bits.clear();
         self.deriv_memo.clear();
+        for dfa in &mut self.dfas {
+            *dfa = ShapeDfa::new();
+        }
+        self.profile_shape.clear();
+        self.class_local.clear();
+        self.dfa_filled = 0;
         self.begin_run();
         self.failures.clear();
         self.stats = Stats::default();
@@ -522,7 +561,7 @@ impl Engine {
             }
         }
         self.meter = self.fresh_meter();
-        self.meter.set_arena_baseline(self.schema.pool.len());
+        self.meter.set_arena_baseline(self.arena_units());
         loop {
             self.begin_run();
             let mut deps = BTreeSet::new();
@@ -573,6 +612,67 @@ impl Engine {
             m.budget_steps += self.meter.steps_spent();
             m.arena_high_water = m.arena_high_water.max(self.meter.peak_arena());
         }
+    }
+
+    /// Whether the dense lazy-DFA derivative cache is active. The DFA
+    /// *is* the derivative memo, so `no_deriv_memo` disables it too.
+    #[inline]
+    fn use_dfa(&self) -> bool {
+        !self.config.no_dfa && !self.config.no_deriv_memo
+    }
+
+    /// Memoised-derivative entries held by the active cache. Both caches
+    /// fill at exactly the same `(expression, class)` points, so this
+    /// count — and therefore the budget's arena accounting — is
+    /// identical between the DFA and `--no-dfa` paths at every step.
+    #[inline]
+    fn cache_units(&self) -> usize {
+        if self.use_dfa() {
+            self.dfa_filled
+        } else {
+            self.deriv_memo.len()
+        }
+    }
+
+    /// The units `max_arena_nodes` governs: hash-consed expression nodes
+    /// plus memoised derivative transitions (DFA table growth counts
+    /// against the arena budget — the table is arena-shaped memory that
+    /// grows with the same pathological inputs).
+    #[inline]
+    fn arena_units(&self) -> usize {
+        self.schema.pool.len() + self.cache_units()
+    }
+
+    /// `ν(e)`, answered from the shape's DFA state table when the state
+    /// is interned (one flat load), falling back to the arena's
+    /// precomputed table.
+    #[inline]
+    fn nullable_of(&self, shape: ShapeId, e: ExprId) -> bool {
+        if self.use_dfa() {
+            if let Some(n) = self.dfas[shape.index()].nullable_of(e) {
+                debug_assert_eq!(n, self.schema.pool.nullable(e));
+                return n;
+            }
+        }
+        self.schema.pool.nullable(e)
+    }
+
+    /// Per-shape lazy-DFA sizes: `(label, states, classes, filled
+    /// transitions)` — the summary surfaced by `BENCH_dfa.json`.
+    pub fn dfa_summary(&self) -> Vec<(String, usize, usize, usize)> {
+        self.schema
+            .shapes
+            .iter()
+            .zip(&self.dfas)
+            .map(|(sh, d)| {
+                (
+                    sh.label.as_str().to_string(),
+                    d.states(),
+                    d.classes(),
+                    d.filled(),
+                )
+            })
+            .collect()
     }
 
     /// Validates every association of a shape map, returning per-entry
@@ -677,11 +777,24 @@ impl Engine {
             return self.type_all(graph, terms);
         }
         let governor = RunGovernor::new(self.config.budget.deadline);
+        // Expression ids are comparable across engines only within the
+        // fork-time pool prefix: every worker's arena is a clone of this
+        // one, so ids below `fork_len` mean the same node everywhere,
+        // while later ids diverge per worker. DFA transition sharing is
+        // restricted to that prefix.
+        let fork_len = self.schema.pool.len();
         let mut workers: Vec<Engine> = (0..jobs).map(|_| self.fork_worker(&governor)).collect();
         // Promotion log: pairs newly merged into `self.memo` since the
         // workers were forked; `synced[w]` is worker w's high-water mark.
         let mut log: Vec<Pair> = Vec::new();
         let mut synced = vec![0usize; jobs];
+        // DFA transition log, mirroring the memo promotion protocol:
+        // prefix-valid transitions merged from worker fill logs, named as
+        // `(shape, coordinator class id, src, dst)` and re-seeded to the
+        // other workers at the next boundary (class ids are translated
+        // through their masked bitsets, which are engine-independent).
+        let mut dfa_log: Vec<(ShapeId, u32, ExprId, ExprId)> = Vec::new();
+        let mut dfa_synced = vec![0usize; jobs];
         let mut results: Vec<Option<Outcome>> = vec![None; queries.len()];
         let has_recursion = self.schema.has_recursion;
         // Wave-boundary merge discipline: every worker counter is folded
@@ -737,6 +850,25 @@ impl Engine {
                 }
                 *mark = log.len();
             }
+            // Re-seed derivative transitions learned by peers: the worker
+            // interns the class by its bits and the states by their
+            // (prefix-shared) expression ids, then fills the cell without
+            // logging it — a seed echoed back would bounce forever.
+            if self.use_dfa() {
+                for (worker, mark) in workers.iter_mut().zip(dfa_synced.iter_mut()) {
+                    for &(shape, class, src, dst) in &dfa_log[*mark..] {
+                        let bits = self.dfas[shape.index()].class_bits(class);
+                        let wd = &mut worker.dfas[shape.index()];
+                        let (wc, _) = wd.intern_class(bits);
+                        let ws = wd.intern_state(src, self.schema.pool.nullable(src)).0;
+                        let wdst = wd.intern_state(dst, self.schema.pool.nullable(dst)).0;
+                        if wd.seed(ws, wc, wdst) {
+                            worker.dfa_filled += 1;
+                        }
+                    }
+                    *mark = dfa_log.len();
+                }
+            }
             // Contiguous shards preserve the sequential visit order within
             // each worker (memo locality on reference chains).
             let per = pending.len().div_ceil(jobs);
@@ -784,10 +916,33 @@ impl Engine {
                 }
             }
             // Wave boundary: merge every shard exactly once — promoted
-            // unconditional answers into the memo, counter deltas into
-            // the run totals.
+            // unconditional answers into the memo, DFA fill logs into the
+            // shared tables, counter deltas into the run totals.
             let mut shards: Vec<ShardMetrics> = Vec::new();
-            for (w, worker) in workers.iter().enumerate() {
+            for w in 0..workers.len() {
+                if self.use_dfa() {
+                    let drained: Vec<Vec<Transition>> =
+                        workers[w].dfas.iter_mut().map(ShapeDfa::take_log).collect();
+                    for (si, entries) in drained.iter().enumerate() {
+                        for t in entries {
+                            // Only transitions wholly inside the shared
+                            // pool prefix are meaningful engine-wide.
+                            if t.src.index() >= fork_len || t.dst.index() >= fork_len {
+                                continue;
+                            }
+                            let bits = workers[w].dfas[si].class_bits(t.class);
+                            let my = &mut self.dfas[si];
+                            let (c, _) = my.intern_class(bits);
+                            let src = my.intern_state(t.src, self.schema.pool.nullable(t.src)).0;
+                            let dst = my.intern_state(t.dst, self.schema.pool.nullable(t.dst)).0;
+                            if my.seed(src, c, dst) {
+                                self.dfa_filled += 1;
+                                dfa_log.push((ShapeId(si as u32), c, t.src, t.dst));
+                            }
+                        }
+                    }
+                }
+                let worker = &workers[w];
                 let promoted = self.absorb_worker(worker, &mut log);
                 let now = worker.stats;
                 let prev = &mut prev_stats[w];
@@ -836,8 +991,11 @@ impl Engine {
 
     /// A worker engine for [`Engine::type_all_par`]: private copy of the
     /// compiled schema and arena, seeded with the unconditional slice of
-    /// this engine's memo. Profile and derivative tables start empty —
-    /// profile ids are interned per engine and must not be shared.
+    /// this engine's memo. Profile tables start empty — profile ids are
+    /// interned per engine and must not be shared. DFA tables are forked
+    /// as a snapshot of the coordinator's: class/state ids stay private,
+    /// but already-filled transitions carry over, and fresh fills are
+    /// logged so the wave-boundary merge can promote them engine-wide.
     fn fork_worker(&self, governor: &Arc<RunGovernor>) -> Engine {
         Engine {
             schema: self.schema.clone(),
@@ -849,10 +1007,14 @@ impl Engine {
                 .map(|(&pair, state)| (pair, state.clone()))
                 .collect(),
             value_sat: self.value_sat.clone(),
-            profile_stable: HashMap::new(),
-            profile_by_triple: HashMap::new(),
-            profile_ids: HashMap::new(),
+            profile_stable: FxHashMap::default(),
+            profile_by_triple: FxHashMap::default(),
+            profile_ids: FxHashMap::default(),
             profile_bits: Vec::new(),
+            profile_shape: Vec::new(),
+            class_local: Vec::new(),
+            dfas: self.dfas.iter().map(ShapeDfa::fork).collect(),
+            dfa_filled: self.dfa_filled,
             deriv_memo: HashMap::new(),
             conditional: HashSet::new(),
             in_progress: HashSet::new(),
@@ -1065,7 +1227,7 @@ impl Engine {
                 return Ok(false);
             }
         }
-        if self.schema.pool.nullable(e) {
+        if self.nullable_of(shape, e) {
             Ok(true)
         } else {
             self.failures.insert(
@@ -1152,7 +1314,7 @@ impl Engine {
         shape: ShapeId,
     ) -> Result<Trace, Exhaustion> {
         self.meter = self.fresh_meter();
-        self.meter.set_arena_baseline(self.schema.pool.len());
+        self.meter.set_arena_baseline(self.arena_units());
         self.begin_run();
         let result = self.trace_loop(graph, terms, node, shape);
         if result.is_err() {
@@ -1381,6 +1543,17 @@ impl Engine {
                 bits[(bit / 64) as usize] |= 1u64 << (bit % 64);
             }
         }
+        // Mask to the shape's alphabet classes: bits of arcs the compiled
+        // expression cannot reach are invisible to every derivative, so
+        // profiles differing only there are the same triple class. Both
+        // the DFA and `--no-dfa` paths intern masked bits — masking is a
+        // property of the class model, not of the lookup structure.
+        for (b, m) in bits
+            .iter_mut()
+            .zip(self.schema.shape(shape).class_mask.iter())
+        {
+            *b &= m;
+        }
         let bits: Box<[u64]> = bits.into();
         let next = ProfileId(self.profile_bits.len() as u32);
         let stats = &mut self.stats;
@@ -1393,6 +1566,28 @@ impl Engine {
                 stats.triple_classes += 1;
                 next
             });
+        if pid == next {
+            // Freshly interned: record the pid's shape and its dense
+            // class id for the DFA layer (ids below `next` already have
+            // their slots).
+            self.profile_shape.push(shape);
+            let class = if self.use_dfa() {
+                let masked = &self.profile_bits[pid.0 as usize];
+                let (c, fresh_class) = self.dfas[shape.index()].intern_class(masked);
+                if fresh_class {
+                    let classes = self.dfas[shape.index()].classes() as u64;
+                    self.metric(|m| {
+                        if let Some(d) = m.per_shape_dfa.get_mut(shape.0 as usize) {
+                            d.classes = d.classes.max(classes);
+                        }
+                    });
+                }
+                c
+            } else {
+                0
+            };
+            self.class_local.push(class);
+        }
         if used.is_empty() {
             // No open assumptions touched: a stable fact about the graph,
             // reusable by every later query and rerun.
@@ -1410,13 +1605,44 @@ impl Engine {
         words[(bit / 64) as usize] & (1u64 << (bit % 64)) != 0
     }
 
+    /// Interns `e` as a dense state of `shape`'s DFA, wiring the state
+    /// metrics. Returns the state id.
+    fn dfa_state(&mut self, shape: ShapeId, e: ExprId) -> u32 {
+        let nullable = self.schema.pool.nullable(e);
+        let (s, fresh) = self.dfas[shape.index()].intern_state(e, nullable);
+        if fresh {
+            let states = self.dfas[shape.index()].states() as u64;
+            self.metric(|m| {
+                m.dfa_states += 1;
+                if let Some(d) = m.per_shape_dfa.get_mut(shape.0 as usize) {
+                    d.states = d.states.max(states);
+                }
+            });
+        }
+        s
+    }
+
     /// `∂t(e)` with `t` abstracted to its triple class (§6 rules).
     ///
-    /// Budgeting: one step per rule application (memo hits are free), and
-    /// the arena cap is checked after the interleaving rule — the one rule
-    /// whose `∂t(e1)‖e2 | ∂t(e2)‖e1` expansion can blow up the pool.
+    /// Budgeting: one step per rule application (cache hits are free),
+    /// and the arena cap is checked after the interleaving rule — the one
+    /// rule whose `∂t(e1)‖e2 | ∂t(e2)‖e1` expansion can blow up the pool.
+    ///
+    /// The memoisation structure is chosen by configuration — the dense
+    /// lazy-DFA table by default, the `(expression, profile)` HashMap
+    /// under `--no-dfa`, nothing under `no_deriv_memo` — but hits and
+    /// fills land at exactly the same `(e, pid)` points in all modes, so
+    /// step counts and budget behaviour never diverge between them.
     fn deriv(&mut self, e: ExprId, pid: ProfileId) -> Result<ExprId, Exhaustion> {
-        if !self.config.no_deriv_memo {
+        // Where to record the computed transition, resolved by the probe.
+        enum Slot {
+            Uncached,
+            Memo,
+            Dfa(ShapeId, u32, u32),
+        }
+        let slot = if self.config.no_deriv_memo {
+            Slot::Uncached
+        } else if self.config.no_dfa {
             self.metric(|m| m.deriv_memo.lookups += 1);
             if let Some(&d) = self.deriv_memo.get(&(e, pid)) {
                 self.stats.deriv_memo_hits += 1;
@@ -1424,7 +1650,20 @@ impl Engine {
                 return Ok(d);
             }
             self.metric(|m| m.deriv_memo.misses += 1);
-        }
+            Slot::Memo
+        } else {
+            let shape = self.profile_shape[pid.0 as usize];
+            let class = self.class_local[pid.0 as usize];
+            let src = self.dfa_state(shape, e);
+            self.metric(|m| m.dfa_table.lookups += 1);
+            if let Some(d) = self.dfas[shape.index()].target(src, class) {
+                self.stats.deriv_memo_hits += 1;
+                self.metric(|m| m.dfa_table.hits += 1);
+                return Ok(d);
+            }
+            self.metric(|m| m.dfa_table.misses += 1);
+            Slot::Dfa(shape, src, class)
+        };
         self.stats.derivative_steps += 1;
         self.meter.step()?;
         let d = match self.schema.pool.node(e) {
@@ -1463,7 +1702,8 @@ impl Engine {
                 let left = self.schema.pool.and(da, b);
                 let right = self.schema.pool.and(db, a);
                 let d = self.schema.pool.or(left, right);
-                self.meter.check_arena(self.schema.pool.len())?;
+                let units = self.arena_units();
+                self.meter.check_arena(units)?;
                 d
             }
             // ∂t(e1 | e2) = ∂t(e1) | ∂t(e2)
@@ -1473,8 +1713,17 @@ impl Engine {
                 self.schema.pool.or(da, db)
             }
         };
-        if !self.config.no_deriv_memo {
-            self.deriv_memo.insert((e, pid), d);
+        match slot {
+            Slot::Uncached => {}
+            Slot::Memo => {
+                self.deriv_memo.insert((e, pid), d);
+            }
+            Slot::Dfa(shape, src, class) => {
+                let dst = self.dfa_state(shape, d);
+                if self.dfas[shape.index()].record(src, class, dst) {
+                    self.dfa_filled += 1;
+                }
+            }
         }
         Ok(d)
     }
@@ -1967,6 +2216,126 @@ mod tests {
                 .unwrap()
                 .matched,
             "stale memo state survived reset()"
+        );
+    }
+
+    #[test]
+    fn reset_clears_dfa_tables_across_graph_change() {
+        // Regression companion to the memo test above: with the lazy DFA
+        // active (the default), reset() must also drop the per-shape
+        // class maps and transition tables — a stale transition keyed by
+        // a recycled profile id would replay the old graph's derivative.
+        let schema =
+            shexc::parse("PREFIX e: <http://e/>\n<S> { e:p @<T> | e:p @<T> }\n<T> { e:q [1]* }")
+                .unwrap();
+        let mut ds = turtle::parse("@prefix e: <http://e/> . e:n e:p e:t . e:t e:q 1 .").unwrap();
+        let mut engine = Engine::new(&schema, &mut ds.pool).unwrap();
+        let n = ds.iri("http://e/n").unwrap();
+        assert!(
+            engine
+                .check(&ds.graph, &ds.pool, n, &"S".into())
+                .unwrap()
+                .matched
+        );
+        assert!(
+            engine
+                .dfa_summary()
+                .iter()
+                .any(|(_, s, c, f)| *s > 0 && *c > 0 && *f > 0),
+            "the derivative run should have populated some shape's DFA: {:?}",
+            engine.dfa_summary()
+        );
+        turtle::parse_into("@prefix e: <http://e/> . e:t e:q 2 .", &mut ds).unwrap();
+        engine.reset();
+        assert!(
+            engine
+                .dfa_summary()
+                .iter()
+                .all(|(_, s, c, f)| *s == 0 && *c == 0 && *f == 0),
+            "reset() must clear DFA states, classes, and tables: {:?}",
+            engine.dfa_summary()
+        );
+        assert!(
+            !engine
+                .check(&ds.graph, &ds.pool, n, &"S".into())
+                .unwrap()
+                .matched,
+            "stale DFA transition survived reset()"
+        );
+    }
+
+    #[test]
+    fn alphabet_classes_refine_overlapping_predicate_sets() {
+        // Two arcs share the predicate e:p but differ on the object
+        // constraint. Triples satisfying both arcs must land in one
+        // class; triples satisfying only the unconstrained arc in
+        // another — the class partition refines by satisfaction, not by
+        // predicate.
+        let schema = shexc::parse("PREFIX e: <http://e/>\n<S> { e:p . , e:p [1 2] }").unwrap();
+        let mut ds =
+            turtle::parse("@prefix e: <http://e/> . e:n e:p 1, 2 . e:n e:p \"x\" .").unwrap();
+        let mut engine = Engine::compile(
+            &schema,
+            &mut ds.pool,
+            EngineConfig {
+                no_sorbe: true, // keep the counting fast path out of the way
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        let n = ds.iri("http://e/n").unwrap();
+        engine.check(&ds.graph, &ds.pool, n, &"S".into()).unwrap();
+        let (_, states, classes, filled) = engine.dfa_summary().remove(0);
+        assert_eq!(
+            classes, 2,
+            "1 and 2 satisfy both arcs (one class); \"x\" only the wildcard arc (second class)"
+        );
+        assert!(
+            states >= 2,
+            "initial expression plus at least one derivative"
+        );
+        assert!(filled >= 1, "at least one transition computed");
+    }
+
+    #[test]
+    fn dfa_and_memo_paths_agree_exactly() {
+        // The dense table is a drop-in for the HashMap memo: verdicts AND
+        // step/hit counters must be identical, because fills and hits
+        // land at the same (expression, profile) points in both modes.
+        let schema = shexc::parse(
+            "PREFIX e: <http://e/>\n<S> { e:p @<T> | e:p @<T> }\n<T> { e:q [1]*, e:r . ? }",
+        )
+        .unwrap();
+        let data = "@prefix e: <http://e/> . e:n e:p e:t . e:t e:q 1, 1 . e:t e:r e:n .";
+        let run = |no_dfa: bool| {
+            let mut ds = turtle::parse(data).unwrap();
+            let mut engine = Engine::compile(
+                &schema,
+                &mut ds.pool,
+                EngineConfig {
+                    no_dfa,
+                    no_sorbe: true,
+                    ..EngineConfig::default()
+                },
+            )
+            .unwrap();
+            let n = ds.iri("http://e/n").unwrap();
+            let matched = engine
+                .check(&ds.graph, &ds.pool, n, &"S".into())
+                .unwrap()
+                .matched;
+            (matched, engine.stats())
+        };
+        let (dfa_matched, dfa_stats) = run(false);
+        let (memo_matched, memo_stats) = run(true);
+        assert_eq!(dfa_matched, memo_matched);
+        assert_eq!(
+            dfa_stats.derivative_steps, memo_stats.derivative_steps,
+            "table fills must coincide with memo misses"
+        );
+        assert_eq!(
+            dfa_stats.deriv_memo_hits, memo_stats.deriv_memo_hits,
+            "table hits must coincide with memo hits"
         );
     }
 

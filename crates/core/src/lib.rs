@@ -41,6 +41,7 @@
 pub mod arena;
 pub mod budget;
 pub mod compile;
+pub mod dfa;
 pub mod engine;
 pub mod metrics;
 pub mod result;
@@ -50,8 +51,11 @@ pub mod validate;
 pub use arena::{ArcId, ExprId, ExprPool, Node, Simplify, EMPTY, EPSILON, UNBOUNDED};
 pub use budget::{Budget, BudgetMeter, Exhaustion, Resource, RunGovernor};
 pub use compile::{CompiledSchema, ShapeId, SorbeSpec};
+pub use dfa::{ShapeDfa, Transition};
 pub use engine::{Closure, Engine, EngineConfig, EngineError, MapOutcome, Trace, TraceStep};
-pub use metrics::{CacheMetrics, Metrics, ShapeMetrics, ShardMetrics, WaveMetrics};
+pub use metrics::{
+    CacheMetrics, DfaShapeMetrics, Metrics, ShapeMetrics, ShardMetrics, WaveMetrics,
+};
 pub use result::{Failure, FailureKind, MatchResult, Outcome, Stats, Typing};
 pub use validate::{default_jobs, validate, validate_par, validate_with_budget, Report};
 

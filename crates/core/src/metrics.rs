@@ -93,6 +93,25 @@ impl ShapeMetrics {
     }
 }
 
+/// Per-shape lazy-DFA structure sizes (see [`crate::dfa`]). These are
+/// *gauges*, not rates: they report how large the shape's automaton has
+/// grown, so the wave-boundary merge takes the max across shards instead
+/// of summing deltas.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DfaShapeMetrics {
+    /// Dense expression states interned for the shape.
+    pub states: u64,
+    /// Alphabet classes interned for the shape.
+    pub classes: u64,
+}
+
+impl DfaShapeMetrics {
+    fn absorb_max(&mut self, now: &DfaShapeMetrics) {
+        self.states = self.states.max(now.states);
+        self.classes = self.classes.max(now.classes);
+    }
+}
+
 /// One shard's contribution to a [`WaveMetrics`] record: what a single
 /// worker did during that wave, measured as the delta folded in at the
 /// wave boundary.
@@ -140,9 +159,18 @@ pub struct Metrics {
     /// Assumption-carrying profile-cache behaviour (per-run entries whose
     /// bits were computed under open coinductive assumptions).
     pub profile_assumption: CacheMetrics,
-    /// `(expression, triple-class)` derivative-memo behaviour. Not
-    /// consulted at all when `EngineConfig::no_deriv_memo` is set.
+    /// `(expression, triple-class)` derivative-memo behaviour — the
+    /// `--no-dfa` baseline HashMap. Not consulted when
+    /// `EngineConfig::no_deriv_memo` is set, nor when the lazy DFA is
+    /// active (the default; see [`Metrics::dfa_table`]).
     pub deriv_memo: CacheMetrics,
+    /// Dense DFA transition-table behaviour (the default derivative
+    /// cache; see [`crate::dfa`]). A miss is exactly one lazy table fill.
+    pub dfa_table: CacheMetrics,
+    /// DFA expression states interned, summed over shapes.
+    pub dfa_states: u64,
+    /// Per-shape DFA sizes, indexed by `ShapeId` (gauges, merged by max).
+    pub per_shape_dfa: Vec<DfaShapeMetrics>,
     /// `HeadIndex` consultations during profile computation.
     pub head_index_queries: u64,
     /// Candidate arcs the `HeadIndex` returned, summed over queries; the
@@ -165,6 +193,7 @@ impl Metrics {
     pub fn new(shapes: usize) -> Self {
         Metrics {
             per_shape: vec![ShapeMetrics::default(); shapes],
+            per_shape_dfa: vec![DfaShapeMetrics::default(); shapes],
             ..Metrics::default()
         }
     }
@@ -193,6 +222,17 @@ impl Metrics {
             .absorb_delta(&prev.profile_assumption, &now.profile_assumption);
         self.deriv_memo
             .absorb_delta(&prev.deriv_memo, &now.deriv_memo);
+        self.dfa_table.absorb_delta(&prev.dfa_table, &now.dfa_table);
+        self.dfa_states += now.dfa_states - prev.dfa_states;
+        if self.per_shape_dfa.len() < now.per_shape_dfa.len() {
+            self.per_shape_dfa
+                .resize(now.per_shape_dfa.len(), DfaShapeMetrics::default());
+        }
+        for (i, slot) in self.per_shape_dfa.iter_mut().enumerate() {
+            if let Some(n) = now.per_shape_dfa.get(i) {
+                slot.absorb_max(n);
+            }
+        }
         self.head_index_queries += now.head_index_queries - prev.head_index_queries;
         self.head_index_candidates += now.head_index_candidates - prev.head_index_candidates;
         self.arena_high_water = self.arena_high_water.max(now.arena_high_water);
@@ -219,6 +259,7 @@ impl Metrics {
             .iter()
             .enumerate()
             .map(|(i, s)| {
+                let dfa = self.per_shape_dfa.get(i).copied().unwrap_or_default();
                 serde_json::json!({
                     "shape": labels(i),
                     "checks": s.checks,
@@ -227,6 +268,8 @@ impl Metrics {
                     "derivative_steps": s.derivative_steps,
                     "sorbe_checks": s.sorbe_checks,
                     "profiles_computed": s.profiles_computed,
+                    "dfa_states": dfa.states,
+                    "dfa_classes": dfa.classes,
                 })
             })
             .collect();
@@ -261,6 +304,8 @@ impl Metrics {
             "profile_stable": self.profile_stable.to_json(),
             "profile_assumption": self.profile_assumption.to_json(),
             "deriv_memo": self.deriv_memo.to_json(),
+            "dfa_table": self.dfa_table.to_json(),
+            "dfa_states": self.dfa_states,
             "head_index": {
                 "queries": self.head_index_queries,
                 "candidates": self.head_index_candidates,
@@ -278,6 +323,7 @@ impl fmt::Display for Metrics {
         write!(
             f,
             "profile-stable={}/{} profile-assume={}/{} deriv-memo={}/{} \
+             dfa-table={}/{} dfa-states={} \
              head-index={}q/{}c arena-hwm={} budget-steps={}",
             self.profile_stable.hits,
             self.profile_stable.lookups,
@@ -285,6 +331,9 @@ impl fmt::Display for Metrics {
             self.profile_assumption.lookups,
             self.deriv_memo.hits,
             self.deriv_memo.lookups,
+            self.dfa_table.hits,
+            self.dfa_table.lookups,
+            self.dfa_states,
             self.head_index_queries,
             self.head_index_candidates,
             self.arena_high_water,

@@ -410,6 +410,7 @@ proptest! {
             ("profile_stable", &m.profile_stable),
             ("profile_assumption", &m.profile_assumption),
             ("deriv_memo", &m.deriv_memo),
+            ("dfa_table", &m.dfa_table),
         ] {
             prop_assert_eq!(
                 c.lookups, c.hits + c.misses,
@@ -417,6 +418,102 @@ proptest! {
             );
         }
         prop_assert_eq!(m.budget_steps, stats.budget_steps);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lazy shape DFA, differentially: the dense transition table must be a
+// byte-identical drop-in for the HashMap derivative memo.
+// ---------------------------------------------------------------------------
+
+/// Runs one check with the given lookup-structure configuration and
+/// returns the verdict plus the counters that must not depend on it.
+fn run_dfa_mode(
+    expr: &ShapeExpr,
+    outgoing: &[(usize, usize)],
+    incoming: &[(usize, usize)],
+    no_dfa: bool,
+    budget: shapex::Budget,
+) -> (shapex::Outcome, u64, u64, u64) {
+    let (mut ds, node) = build_ext_dataset(outgoing, incoming);
+    let schema = Schema::from_rules([(ShapeLabel::new("S"), expr.clone())]).expect("one rule");
+    let mut engine = Engine::compile(
+        &schema,
+        &mut ds.pool,
+        EngineConfig {
+            no_dfa,
+            no_sorbe: true, // force the derivative path so the caches matter
+            budget,
+            ..EngineConfig::default()
+        },
+    )
+    .expect("compiles");
+    let n = ds.iri(node).expect("interned");
+    let shape = engine.shape_id(&"S".into()).expect("shape exists");
+    let outcome = engine.check_id(&ds.graph, &ds.pool, n, shape);
+    let stats = engine.stats();
+    (
+        outcome,
+        stats.derivative_steps,
+        stats.deriv_memo_hits,
+        stats.budget_steps,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// DFA on, DFA off, and the backtracking reference agree on the §10
+    /// extension vocabulary (inverse arcs × exact numeric facets) — the
+    /// harshest schemas for alphabet-class compression, since arcs with
+    /// the same predicate refine into distinct classes by object.
+    #[test]
+    fn dfa_agrees_with_memo_and_backtracking(
+        expr in arb_ext_expr(),
+        (outgoing, incoming) in arb_ext_graph()
+    ) {
+        let unlimited = shapex::Budget::UNLIMITED;
+        let (dfa, ..) = run_dfa_mode(&expr, &outgoing, &incoming, false, unlimited);
+        let (memo, ..) = run_dfa_mode(&expr, &outgoing, &incoming, true, unlimited);
+        prop_assert_eq!(
+            &dfa, &memo,
+            "dfa vs --no-dfa diverge on {:?} over out={:?} in={:?}",
+            expr, outgoing, incoming
+        );
+        let matched = matches!(dfa, shapex::Outcome::Conforms);
+        let (ds, node) = build_ext_dataset(&outgoing, &incoming);
+        if let Some(backtracking) = run_backtracking(&expr, &ds, node) {
+            prop_assert_eq!(
+                matched, backtracking,
+                "dfa vs backtracking diverge on {:?} over out={:?} in={:?}",
+                expr, outgoing, incoming
+            );
+        }
+    }
+
+    /// Under tight step *and* arena budgets, both lookup structures spend
+    /// the budget identically: same outcome (including which resource
+    /// exhausts and how much was spent), same derivative-step count, same
+    /// cache-hit count. Table fills are charged as arena units exactly
+    /// like memo entries, so even arena exhaustion must coincide.
+    #[test]
+    fn dfa_budgeted_runs_exhaust_identically(
+        expr in arb_ext_expr(),
+        (outgoing, incoming) in arb_ext_graph(),
+        steps in 8u64..400,
+        arena in 8usize..400
+    ) {
+        let budget = shapex::Budget::steps(steps).with_max_arena_nodes(arena);
+        let (o1, d1, h1, b1) = run_dfa_mode(&expr, &outgoing, &incoming, false, budget);
+        let (o2, d2, h2, b2) = run_dfa_mode(&expr, &outgoing, &incoming, true, budget);
+        prop_assert_eq!(
+            &o1, &o2,
+            "outcomes diverge under budget on {:?} over out={:?} in={:?}",
+            expr, outgoing, incoming
+        );
+        prop_assert_eq!(d1, d2, "derivative steps diverge");
+        prop_assert_eq!(h1, h2, "cache hits diverge");
+        prop_assert_eq!(b1, b2, "budget charging diverges");
     }
 }
 

@@ -156,6 +156,50 @@ fn interleave_totals_jobs_invariant() {
 }
 
 #[test]
+fn dfa_typing_jobs_invariant_and_matches_no_dfa() {
+    // The lazy DFA shares dense transition tables across shards: workers
+    // fork a snapshot and the coordinator merges their fill logs at wave
+    // boundaries. Whatever the sharing does to *when* cells fill, the
+    // typing must be identical at every jobs count, and identical to the
+    // HashMap-memo (`--no-dfa`) runs. `no_sorbe` forces the derivative
+    // path so the tables are genuinely exercised.
+    let run = |no_dfa: bool, jobs: usize| {
+        let w = shapex_workloads::person_network(
+            40,
+            shapex_workloads::Topology::Random { degree: 2 },
+            0.3,
+            7,
+        );
+        let schema = shexc::parse(&w.schema).expect("schema parses");
+        let mut ds = w.dataset;
+        let config = EngineConfig {
+            no_dfa,
+            no_sorbe: true,
+            ..EngineConfig::default()
+        };
+        let mut engine = Engine::compile(&schema, &mut ds.pool, config).expect("schema compiles");
+        let typing = engine.type_all_par(&ds.graph, &ds.pool, jobs);
+        let filled: usize = engine.dfa_summary().iter().map(|&(_, _, _, f)| f).sum();
+        (typing, filled)
+    };
+    let (dfa_seq, filled_seq) = run(false, 1);
+    let (dfa_par, filled_par) = run(false, 4);
+    let (memo_seq, _) = run(true, 1);
+    let (memo_par, _) = run(true, 4);
+    assert!(filled_seq > 0, "sequential run never filled a DFA cell");
+    assert!(filled_par > 0, "parallel run never filled a DFA cell");
+    assert_eq!(
+        dfa_seq, dfa_par,
+        "DFA typing diverged between jobs=1 and jobs=4"
+    );
+    assert_eq!(
+        memo_seq, memo_par,
+        "memo typing diverged between jobs=1 and jobs=4"
+    );
+    assert_eq!(dfa_seq, memo_seq, "DFA and memo typings diverged");
+}
+
+#[test]
 fn exhausted_queries_burn_exactly_their_budget() {
     // The determinism the jobs-invariance rests on: every exhausted query
     // spends exactly `limit` steps, so budget_steps == exhausted × limit

@@ -1,0 +1,145 @@
+//! Offline stand-in for the `rustc-hash` crate.
+//!
+//! The build environment has no network access, so the real `rustc-hash`
+//! cannot be fetched. This shim reimplements the `FxHasher` algorithm (the
+//! multiply-rotate hash the Rust compiler uses for its internal tables) and
+//! the `FxHashMap`/`FxHashSet` aliases — the full surface this workspace
+//! uses. Unlike the std `RandomState` (SipHash 1-3, keyed per process),
+//! `FxHasher` is not DoS-resistant; it is only used for tables keyed by
+//! engine-internal ids where throughput matters and adversarial keys do not
+//! exist.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+/// Zero-sized `BuildHasher` producing [`FxHasher`]s.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// The multiply-rotate hasher: each word is folded in as
+/// `hash = (hash.rotate_left(5) ^ word) * SEED`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while bytes.len() >= 8 {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(&bytes[..8]);
+            self.add_to_hash(u64::from_le_bytes(buf));
+            bytes = &bytes[8..];
+        }
+        if bytes.len() >= 4 {
+            let mut buf = [0u8; 4];
+            buf.copy_from_slice(&bytes[..4]);
+            self.add_to_hash(u64::from(u32::from_le_bytes(buf)));
+            bytes = &bytes[4..];
+        }
+        if bytes.len() >= 2 {
+            let mut buf = [0u8; 2];
+            buf.copy_from_slice(&bytes[..2]);
+            self.add_to_hash(u64::from(u16::from_le_bytes(buf)));
+            bytes = &bytes[2..];
+        }
+        if let Some(&b) = bytes.first() {
+            self.add_to_hash(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add_to_hash(i as u64);
+        self.add_to_hash((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_round_trips() {
+        let mut m: FxHashMap<(u32, u32), u32> = FxHashMap::default();
+        for i in 0..1_000u32 {
+            m.insert((i, i.wrapping_mul(7)), i);
+        }
+        for i in 0..1_000u32 {
+            assert_eq!(m.get(&(i, i.wrapping_mul(7))), Some(&i));
+        }
+        assert_eq!(m.len(), 1_000);
+    }
+
+    #[test]
+    fn hashing_is_deterministic_across_instances() {
+        use std::hash::BuildHasher;
+        let b = FxBuildHasher::default();
+        let h = |k: &(u64, bool)| b.hash_one(k);
+        assert_eq!(h(&(42, true)), h(&(42, true)));
+        assert_ne!(h(&(42, true)), h(&(42, false)));
+    }
+
+    #[test]
+    fn write_covers_all_tail_lengths() {
+        // Distinct byte strings of every short length hash distinctly.
+        let hash_bytes = |bytes: &[u8]| {
+            let mut s = FxHasher::default();
+            s.write(bytes);
+            s.finish()
+        };
+        // Non-zero bytes: folding `0` into the zero initial state is a
+        // fixed point of the multiply-rotate step (as in real FxHasher),
+        // so all-zero strings of any length hash to 0 by design.
+        let inputs: Vec<Vec<u8>> = (0..=17u8).map(|n| (1..=n).collect()).collect();
+        let hashes: Vec<u64> = inputs.iter().map(|b| hash_bytes(b)).collect();
+        for i in 0..hashes.len() {
+            for j in (i + 1)..hashes.len() {
+                assert_ne!(hashes[i], hashes[j], "lengths {i} and {j} collided");
+            }
+        }
+    }
+}
