@@ -117,6 +117,12 @@ USAGE:
                                          (with --jobs > 1, also bounds the whole run)
       --jobs N                           worker threads for full-typing runs
                                          (default: all cores; 1 = sequential)
+      --delta FILE                       type the graph, apply the delta file ('+'/'-'
+                                         op lines of Turtle statements, with @prefix
+                                         lines), then incrementally revalidate only the
+                                         disturbed pairs; emits one JSON document with
+                                         before/after typing reports (needs --report json);
+                                         exit code reflects the after run
       Exit codes: 0 conforms/ran, 1 error, 2 does not conform, 3 budget
       exhausted. Exhaustion wins over non-conformance: a partial run's
       failing verdicts might flip with a larger budget.
@@ -294,6 +300,62 @@ fn engine_err(out: &str, e: EngineError) -> CliError {
     }
 }
 
+/// Fills a report document with the per-`(node, shape)` rows of a full
+/// typing: `conforms` rows straight from the typing, `exhausted` rows (plus
+/// the document's exhaustion block) for unanswered pairs, and `fails` rows
+/// with a recomputed failure trace for everything else. Shared by the plain
+/// full-typing report and both halves of the `--delta` before/after report.
+fn push_typing_rows(
+    doc: &mut ReportDoc,
+    engine: &mut Engine,
+    graph: &shapex_rdf::Graph,
+    pool: &shapex_rdf::TermPool,
+    typing: &shapex::Typing,
+) {
+    let exhausted: std::collections::HashMap<_, _> = typing
+        .exhausted
+        .iter()
+        .map(|&(n, s, e)| ((n, s), e))
+        .collect();
+    for node in graph.subjects().collect::<Vec<_>>() {
+        for i in 0..engine.schema().shapes.len() {
+            let shape = shapex::ShapeId(i as u32);
+            let node_name = pool.term(node).to_string();
+            let shape_name = engine.label_of(shape).as_str().to_string();
+            if typing.has(node, shape) {
+                doc.push_result(report::result_json(
+                    &node_name,
+                    &shape_name,
+                    "conforms",
+                    None,
+                    None,
+                ));
+            } else if let Some(e) = exhausted.get(&(node, shape)) {
+                doc.push_result(report::result_json(
+                    &node_name,
+                    &shape_name,
+                    "exhausted",
+                    None,
+                    Some(e),
+                ));
+                doc.push_exhausted(&node_name, &shape_name, e);
+            } else {
+                let failure = engine
+                    .check_id(graph, pool, node, shape)
+                    .into_failure()
+                    .map(|f| f.render(pool));
+                doc.push_result(report::result_json(
+                    &node_name,
+                    &shape_name,
+                    "fails",
+                    failure,
+                    None,
+                ));
+            }
+        }
+    }
+}
+
 /// Seals a derivative-engine report document: attaches the run stats, the
 /// metrics block, and the lenient skip count, then serializes it.
 fn finish_engine_doc(
@@ -316,6 +378,75 @@ fn finish_engine_doc(
         doc.set("metrics", report::metrics_json(m, &labels));
     }
     report::render(&doc.finish(conforms))
+}
+
+/// The `--delta FILE` mode: full typing of the loaded graph, then apply the
+/// delta and incrementally revalidate, emitting one JSON document with
+/// `before`/`after` typing sub-reports plus a `delta` block counting the
+/// applied triples and the invalidated/retyped/reused pairs. The exit code
+/// comes from the *after* run (the post-delta truth), with the usual
+/// 3-over-2 precedence.
+fn validate_delta(
+    flags: &Flags,
+    engine: &mut Engine,
+    ds: &mut Dataset,
+    delta_path: &str,
+    skipped: usize,
+) -> Result<String, CliError> {
+    if flags.get("node").is_some() || flags.get("shape").is_some() || flags.get("map").is_some() {
+        return Err(CliError::Msg(
+            "--delta recomputes the full typing; it cannot be combined with --node/--shape/--map"
+                .into(),
+        ));
+    }
+    if !report_from_flags(flags)? {
+        return Err(CliError::Msg(
+            "--delta needs --report json (it emits a before/after report document)".into(),
+        ));
+    }
+    let jobs = jobs_from_flags(flags)?;
+    let src = fs::read_to_string(delta_path).map_err(|e| format!("reading {delta_path}: {e}"))?;
+    let delta =
+        shapex_rdf::delta::parse(&src, &mut ds.pool).map_err(|e| format!("{delta_path}:{e}"))?;
+
+    // Before: a plain full typing of the unmutated graph. This run also
+    // records the dependency index the revalidation consumes.
+    let before_typing = engine.type_all_par(&ds.graph, &ds.pool, jobs);
+    let mut before_doc = ReportDoc::new("typing", "derivative");
+    push_typing_rows(&mut before_doc, engine, &ds.graph, &ds.pool, &before_typing);
+    let before = before_doc.finish((!before_typing.is_partial()).then_some(true));
+
+    // After: mutate the graph and re-type only the disturbed frontier.
+    ds.apply_delta(&delta);
+    let after_typing = engine.revalidate_par(&ds.graph, &ds.pool, &delta, jobs);
+    let mut after_doc = ReportDoc::new("typing", "derivative");
+    push_typing_rows(&mut after_doc, engine, &ds.graph, &ds.pool, &after_typing);
+    let after = after_doc.finish((!after_typing.is_partial()).then_some(true));
+
+    let stats = engine.stats();
+    let mut doc = ReportDoc::new("delta", "derivative");
+    doc.set(
+        "delta",
+        serde_json::json!({
+            "file": delta_path,
+            "added": delta.added.len(),
+            "removed": delta.removed.len(),
+            "invalidated": stats.invalidated_pairs,
+            "retyped": stats.retyped_pairs,
+            "reused": stats.reused_pairs,
+        }),
+    );
+    doc.set("before", before);
+    doc.set("after", after);
+    let conforms = (!after_typing.is_partial()).then_some(true);
+    let output = finish_engine_doc(doc, engine, skipped, conforms);
+    if after_typing.is_partial() {
+        return Err(CliError::Exhausted {
+            output,
+            exhaustion: after_typing.exhausted[0].2,
+        });
+    }
+    Ok(output)
 }
 
 fn validate(flags: &Flags) -> Result<String, CliError> {
@@ -342,10 +473,16 @@ fn validate(flags: &Flags) -> Result<String, CliError> {
                 budget,
                 // A JSON report always carries the metrics block.
                 metrics: report,
+                // Dependency recording is only paid for when a delta run
+                // will consume it.
+                incremental: flags.get("delta").is_some(),
                 ..EngineConfig::default()
             };
             let mut engine =
                 Engine::compile(&schema, &mut ds.pool, config).map_err(|e| e.to_string())?;
+            if let Some(delta_path) = flags.get("delta") {
+                return validate_delta(flags, &mut engine, &mut ds, delta_path, skipped);
+            }
             if let Some(map_path) = flags.get("map") {
                 let src =
                     fs::read_to_string(map_path).map_err(|e| format!("reading {map_path}: {e}"))?;
@@ -527,49 +664,8 @@ fn validate(flags: &Flags) -> Result<String, CliError> {
                 (None, None) => {
                     let typing = engine.type_all_par(&ds.graph, &ds.pool, jobs_from_flags(flags)?);
                     if report {
-                        let exhausted: std::collections::HashMap<_, _> = typing
-                            .exhausted
-                            .iter()
-                            .map(|&(n, s, e)| ((n, s), e))
-                            .collect();
                         let mut doc = ReportDoc::new("typing", "derivative");
-                        for node in ds.graph.subjects().collect::<Vec<_>>() {
-                            for i in 0..engine.schema().shapes.len() {
-                                let shape = shapex::ShapeId(i as u32);
-                                let node_name = ds.pool.term(node).to_string();
-                                let shape_name = engine.label_of(shape).as_str().to_string();
-                                if typing.has(node, shape) {
-                                    doc.push_result(report::result_json(
-                                        &node_name,
-                                        &shape_name,
-                                        "conforms",
-                                        None,
-                                        None,
-                                    ));
-                                } else if let Some(e) = exhausted.get(&(node, shape)) {
-                                    doc.push_result(report::result_json(
-                                        &node_name,
-                                        &shape_name,
-                                        "exhausted",
-                                        None,
-                                        Some(e),
-                                    ));
-                                    doc.push_exhausted(&node_name, &shape_name, e);
-                                } else {
-                                    let failure = engine
-                                        .check_id(&ds.graph, &ds.pool, node, shape)
-                                        .into_failure()
-                                        .map(|f| f.render(&ds.pool));
-                                    doc.push_result(report::result_json(
-                                        &node_name,
-                                        &shape_name,
-                                        "fails",
-                                        failure,
-                                        None,
-                                    ));
-                                }
-                            }
-                        }
+                        push_typing_rows(&mut doc, &mut engine, &ds.graph, &ds.pool, &typing);
                         // A completed typing "conforms" in the exit-code
                         // sense (0 = ran to completion); partial runs have
                         // no verdict.
@@ -1645,5 +1741,131 @@ mod tests {
             "--open",
         ]);
         assert!(open.contains("conforms to"), "{open}");
+    }
+
+    /// The delta file used by the `--delta` tests: it repairs mary (drops
+    /// the extra age, adds the missing name), flipping her verdict.
+    fn mary_delta_file() -> String {
+        write_tmp(
+            "mary.delta",
+            "@prefix : <http://example.org/> .\n\
+             @prefix foaf: <http://xmlns.com/foaf/0.1/> .\n\
+             - :mary foaf:age 65 .\n\
+             + :mary foaf:name \"Mary\" .\n",
+        )
+    }
+
+    #[test]
+    fn delta_mode_emits_before_after_report() {
+        let (schema, data) = person_files();
+        let delta = mary_delta_file();
+        let out = run_ok(&[
+            "validate", "--schema", &schema, "--data", &data, "--delta", &delta, "--report",
+            "json", "--jobs", "1",
+        ]);
+        let v: Value = serde_json::from_str(&out).expect("report parses");
+        assert_eq!(v.get("mode").and_then(|m| m.as_str()), Some("delta"));
+        let verdict_of = |doc: &Value, node: &str| {
+            doc.get("results")
+                .and_then(|r| r.as_array())
+                .unwrap()
+                .iter()
+                .find(|r| {
+                    r.get("node")
+                        .and_then(|n| n.as_str())
+                        .is_some_and(|n| n.contains(node))
+                })
+                .and_then(|r| r.get("verdict"))
+                .and_then(|s| s.as_str())
+                .map(str::to_string)
+        };
+        let before = v.get("before").expect("before doc");
+        let after = v.get("after").expect("after doc");
+        assert_eq!(verdict_of(before, "mary").as_deref(), Some("fails"));
+        assert_eq!(verdict_of(after, "mary").as_deref(), Some("conforms"));
+        assert_eq!(verdict_of(after, "john").as_deref(), Some("conforms"));
+        let d = v.get("delta").expect("delta block");
+        assert_eq!(d.get("added").and_then(|n| n.as_u64()), Some(1));
+        assert_eq!(d.get("removed").and_then(|n| n.as_u64()), Some(1));
+        // Only mary's pair is disturbed; john's answer is reused.
+        assert_eq!(d.get("retyped").and_then(|n| n.as_u64()), Some(1));
+        assert_eq!(d.get("reused").and_then(|n| n.as_u64()), Some(1));
+        assert_eq!(v.get("conforms").and_then(|c| c.as_bool()), Some(true));
+    }
+
+    #[test]
+    fn delta_after_report_matches_scratch_run() {
+        let (schema, data) = person_files();
+        let delta = mary_delta_file();
+        let out = run_ok(&[
+            "validate", "--schema", &schema, "--data", &data, "--delta", &delta, "--report",
+            "json", "--jobs", "1",
+        ]);
+        let v: Value = serde_json::from_str(&out).unwrap();
+        // The same end state, typed from scratch: identical result rows.
+        let data_after = write_tmp(
+            "data-after.ttl",
+            r#"
+            @prefix : <http://example.org/> .
+            @prefix foaf: <http://xmlns.com/foaf/0.1/> .
+            :john foaf:age 23; foaf:name "John" .
+            :mary foaf:age 50; foaf:name "Mary" .
+            "#,
+        );
+        let scratch = run_ok(&[
+            "validate",
+            "--schema",
+            &schema,
+            "--data",
+            &data_after,
+            "--report",
+            "json",
+        ]);
+        let s: Value = serde_json::from_str(&scratch).unwrap();
+        let after = v.get("after").unwrap();
+        assert_eq!(after.get("results"), s.get("results"));
+        assert_eq!(after.get("conforms"), s.get("conforms"));
+    }
+
+    #[test]
+    fn delta_requires_report_json() {
+        let (schema, data) = person_files();
+        let delta = mary_delta_file();
+        let err = run_err(&[
+            "validate", "--schema", &schema, "--data", &data, "--delta", &delta,
+        ]);
+        assert!(err.contains("--report json"), "{err}");
+    }
+
+    #[test]
+    fn delta_conflicts_with_focus_flags() {
+        let (schema, data) = person_files();
+        let delta = mary_delta_file();
+        let err = run_err(&[
+            "validate",
+            "--schema",
+            &schema,
+            "--data",
+            &data,
+            "--delta",
+            &delta,
+            "--report",
+            "json",
+            "--node",
+            "http://example.org/mary",
+            "--shape",
+            "Person",
+        ]);
+        assert!(err.contains("cannot be combined"), "{err}");
+    }
+
+    #[test]
+    fn delta_bad_file_reports_line() {
+        let (schema, data) = person_files();
+        let delta = write_tmp("bad.delta", "+ not turtle at all\n");
+        let err = run_err(&[
+            "validate", "--schema", &schema, "--data", &data, "--delta", &delta, "--report", "json",
+        ]);
+        assert!(err.contains("delta line 1"), "{err}");
     }
 }

@@ -20,7 +20,8 @@
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::sync::Arc;
 
-use rustc_hash::FxHashMap;
+use rustc_hash::{FxHashMap, FxHashSet};
+use shapex_rdf::delta::GraphDelta;
 use shapex_rdf::graph::Graph;
 use shapex_rdf::pool::{TermId, TermPool};
 use shapex_shex::ast::ShapeLabel;
@@ -29,7 +30,7 @@ use shapex_shex::shapemap::ShapeMap;
 
 use crate::arena::{ArcId, ExprId, Node, Simplify, EMPTY, EPSILON, UNBOUNDED};
 use crate::budget::{Budget, BudgetMeter, Exhaustion, Resource, RunGovernor};
-use crate::compile::{CompiledObject, CompiledSchema, ShapeId};
+use crate::compile::{CompiledObject, CompiledPredicates, CompiledSchema, ShapeId};
 use crate::dfa::{ShapeDfa, Transition};
 use crate::metrics::{Metrics, ShardMetrics, WaveMetrics};
 use crate::result::{Failure, FailureKind, MatchResult, Outcome, Stats, Typing};
@@ -75,6 +76,12 @@ pub struct EngineConfig {
     /// allocates no metrics state and instrumentation sites reduce to a
     /// single `Option` discriminant test.
     pub metrics: bool,
+    /// Record a triple-dependency index during typing so that
+    /// [`Engine::revalidate`] can re-check only the `(node, shape)` pairs
+    /// a [`GraphDelta`] actually disturbs. Off by default: recording
+    /// costs a few hash inserts per evaluated pair, and without it
+    /// `revalidate` falls back to [`Engine::reset`] + a full re-typing.
+    pub incremental: bool,
 }
 
 /// A validation error at the API boundary.
@@ -229,6 +236,59 @@ enum MemoState {
     Conditional(BTreeSet<Pair>),
 }
 
+/// The triple-dependency index behind [`Engine::revalidate`], recorded
+/// during typing when [`EngineConfig::incremental`] is on.
+///
+/// Together the three maps over-approximate "which `(node, shape)` answers
+/// could a triple change disturb": `touched_out`/`touched_in` tie each
+/// node's neighbourhood reads to the pairs that performed them, and
+/// `rdeps` records the §8 typing-context edges — for every consumed
+/// `(shape, node)` answer, the pairs whose own derivation consumed it
+/// (whether by memo hit, coinductive assumption, or fresh evaluation).
+/// Entries are never removed between runs (a purged pair simply re-records
+/// on re-evaluation), so stale edges can only cause *over*-invalidation —
+/// sound, never stale results.
+#[derive(Debug, Default)]
+struct TripleDeps {
+    /// node → pairs whose evaluation read the node's outgoing
+    /// neighbourhood (recorded even when that neighbourhood was empty, so
+    /// a node's *first* triple still invalidates its old answers).
+    touched_out: FxHashMap<TermId, FxHashSet<Pair>>,
+    /// node → pairs whose evaluation read the node's incoming arcs
+    /// (recorded only for shapes with inverse arcs — no other shape can
+    /// observe an object-side change).
+    touched_in: FxHashMap<TermId, FxHashSet<Pair>>,
+    /// consumed pair → consuming pairs: the reverse shape-reference edges
+    /// the invalidation closure walks.
+    rdeps: FxHashMap<Pair, FxHashSet<Pair>>,
+}
+
+impl TripleDeps {
+    fn clear(&mut self) {
+        self.touched_out.clear();
+        self.touched_in.clear();
+        self.rdeps.clear();
+    }
+
+    #[cfg(test)]
+    fn is_empty(&self) -> bool {
+        self.touched_out.is_empty() && self.touched_in.is_empty() && self.rdeps.is_empty()
+    }
+
+    /// Unions another index into this one (parallel-worker merge).
+    fn absorb(&mut self, other: TripleDeps) {
+        for (node, pairs) in other.touched_out {
+            self.touched_out.entry(node).or_default().extend(pairs);
+        }
+        for (node, pairs) in other.touched_in {
+            self.touched_in.entry(node).or_default().extend(pairs);
+        }
+        for (pair, parents) in other.rdeps {
+            self.rdeps.entry(pair).or_default().extend(parents);
+        }
+    }
+}
+
 /// The validator. Holds the compiled schema, the expression arena, and all
 /// memo tables; reusable across many [`Engine::check`] calls over the same
 /// graph/pool.
@@ -295,6 +355,21 @@ pub struct Engine {
     /// Observability counters; allocated only when
     /// [`EngineConfig::metrics`] is set (zero-cost when disabled).
     metrics: Option<Box<Metrics>>,
+    /// Triple-dependency index for [`Engine::revalidate`]; populated only
+    /// when [`EngineConfig::incremental`] is set.
+    deps: TripleDeps,
+    /// The stack of pairs currently being evaluated, so dependency
+    /// recording knows which pair is consuming a nested answer. Always
+    /// empty between queries (frames pop even on budget exhaustion).
+    dep_stack: Vec<Pair>,
+    /// The `(shape, predicate, inverse)` heads whose candidate arcs
+    /// include a shape reference — the only stable-profile keys that can
+    /// embed a node-dependent answer. `Some(heads)` enumerates them
+    /// (empty for a reference-free schema, where stable profiles are
+    /// term-pure and never purged); `None` means a wildcard-predicate
+    /// reference arc exists and invalidation must fall back to a full
+    /// table scan.
+    ref_heads: Option<Vec<(ShapeId, TermId, bool)>>,
 }
 
 impl Engine {
@@ -309,6 +384,25 @@ impl Engine {
             .metrics
             .then(|| Box::new(Metrics::new(compiled.shapes.len())));
         let dfas = vec![ShapeDfa::new(); compiled.shapes.len()];
+        let mut ref_heads = Some(Vec::new());
+        for arc in &compiled.arcs {
+            if !matches!(arc.object, CompiledObject::Ref(_)) {
+                continue;
+            }
+            match (&arc.predicates, &mut ref_heads) {
+                (CompiledPredicates::Ids(ids), Some(heads)) => {
+                    heads.extend(ids.iter().map(|&p| (arc.shape, p, arc.inverse)));
+                }
+                _ => {
+                    ref_heads = None;
+                    break;
+                }
+            }
+        }
+        if let Some(heads) = &mut ref_heads {
+            heads.sort_unstable();
+            heads.dedup();
+        }
         Ok(Engine {
             schema: compiled,
             config,
@@ -330,6 +424,9 @@ impl Engine {
             meter: BudgetMeter::default(),
             governor: None,
             metrics,
+            deps: TripleDeps::default(),
+            dep_stack: Vec::new(),
+            ref_heads,
         })
     }
 
@@ -412,6 +509,8 @@ impl Engine {
         self.dfa_filled = 0;
         self.begin_run();
         self.failures.clear();
+        self.deps.clear();
+        self.dep_stack.clear();
         self.stats = Stats::default();
         if let Some(m) = &mut self.metrics {
             **m = Metrics::new(self.schema.shapes.len());
@@ -580,6 +679,11 @@ impl Engine {
                 }
                 Err(exhaustion) => {
                     self.in_progress.clear();
+                    // Frames pop their own dep_stack entries even on the
+                    // error path; the clear is belt-and-braces so a bug
+                    // there can't mis-attribute the next query's deps.
+                    debug_assert!(self.dep_stack.is_empty());
+                    self.dep_stack.clear();
                     for pair in self.conditional.drain() {
                         self.memo.remove(&pair);
                     }
@@ -978,6 +1082,14 @@ impl Engine {
                 });
             }
         }
+        // Fold the workers' dependency recordings into the shared index so
+        // a later `revalidate` sees edges for pairs proven on any shard.
+        if self.config.incremental {
+            for worker in &mut workers {
+                let worker_deps = std::mem::take(&mut worker.deps);
+                self.deps.absorb(worker_deps);
+            }
+        }
         let mut typing = Typing::new();
         for (&(node, shape), result) in queries.iter().zip(results) {
             match result.expect("every query answered") {
@@ -987,6 +1099,167 @@ impl Engine {
             }
         }
         typing
+    }
+
+    /// Re-types the graph after a [`GraphDelta`] was applied to it,
+    /// re-evaluating only the `(node, shape)` pairs the delta can disturb
+    /// and answering everything else from the persistent memo — the
+    /// resulting [`Typing`] is identical to a from-scratch
+    /// [`Engine::type_all`] over the mutated graph.
+    ///
+    /// Requires [`EngineConfig::incremental`] (otherwise this degrades to
+    /// [`Engine::reset`] plus a full re-typing). Call it with the
+    /// *post-delta* graph; the delta tells the engine which triples
+    /// changed.
+    ///
+    /// ```
+    /// use shapex::{Engine, EngineConfig};
+    /// use shapex::rdf::{delta, turtle};
+    ///
+    /// let schema = shapex::shex::shexc::parse(
+    ///     "PREFIX e: <http://e/>\n<S> { e:p [1 2]+ }").unwrap();
+    /// let mut ds = turtle::parse(
+    ///     "@prefix e: <http://e/> . e:a e:p 1 . e:b e:p 3 .").unwrap();
+    /// let mut engine = Engine::compile(&schema, &mut ds.pool, EngineConfig {
+    ///     incremental: true,
+    ///     ..EngineConfig::default()
+    /// }).unwrap();
+    /// let typing = engine.type_all(&ds.graph, &ds.pool);
+    /// let b = ds.iri("http://e/b").unwrap();
+    /// assert_eq!(typing.shapes_of(b).count(), 0);
+    ///
+    /// // Swap b's offending triple for a conforming one: only b's pair
+    /// // is re-evaluated, a's answer is served from the memo.
+    /// let d = delta::parse(
+    ///     "@prefix e: <http://e/> .\n- e:b e:p 3 .\n+ e:b e:p 2 .\n",
+    ///     &mut ds.pool).unwrap();
+    /// ds.apply_delta(&d);
+    /// let typing = engine.revalidate(&ds.graph, &ds.pool, &d);
+    /// assert_eq!(typing.shapes_of(b).count(), 1);
+    /// assert_eq!(engine.stats().retyped_pairs, 1);
+    /// assert_eq!(engine.stats().reused_pairs, 1);
+    /// ```
+    pub fn revalidate(&mut self, graph: &Graph, terms: &TermPool, delta: &GraphDelta) -> Typing {
+        self.revalidate_par(graph, terms, delta, 1)
+    }
+
+    /// [`Engine::revalidate`] with an explicit worker count: the dirty
+    /// frontier is re-typed through [`Engine::type_all_par`].
+    pub fn revalidate_par(
+        &mut self,
+        graph: &Graph,
+        terms: &TermPool,
+        delta: &GraphDelta,
+        jobs: usize,
+    ) -> Typing {
+        if !self.config.incremental {
+            // No dependency index was recorded: the only sound move is to
+            // drop every cache keyed against the old graph and start over.
+            self.reset();
+            return self.type_all_par(graph, terms, jobs);
+        }
+        let invalidated = self.invalidate(delta);
+        // Reuse accounting over the post-delta query list, taken before
+        // the typing run repopulates the memo.
+        let mut reused = 0u64;
+        let mut retyped = 0u64;
+        for node in graph.subjects() {
+            for i in 0..self.schema.shapes.len() {
+                if self.memoised_answer(node, ShapeId(i as u32)).is_some() {
+                    reused += 1;
+                } else {
+                    retyped += 1;
+                }
+            }
+        }
+        self.stats.invalidated_pairs += invalidated;
+        self.stats.reused_pairs += reused;
+        self.stats.retyped_pairs += retyped;
+        self.metric(|m| {
+            m.delta_invalidated += invalidated;
+            m.delta_reused += reused;
+            m.delta_retyped += retyped;
+        });
+        self.type_all_par(graph, terms, jobs)
+    }
+
+    /// Purges every memoised answer the delta can reach: the pairs that
+    /// read a changed node's neighbourhood, closed transitively over the
+    /// reverse shape-reference edges, plus the stable profile entries
+    /// whose other-end node had a pair invalidated. Returns how many
+    /// memoised answers were actually dropped.
+    fn invalidate(&mut self, delta: &GraphDelta) -> u64 {
+        let mut dirty: FxHashSet<Pair> = FxHashSet::default();
+        let mut work: Vec<Pair> = Vec::new();
+        {
+            let mut seed = |pairs: Option<&FxHashSet<Pair>>| {
+                if let Some(pairs) = pairs {
+                    for &p in pairs {
+                        if dirty.insert(p) {
+                            work.push(p);
+                        }
+                    }
+                }
+            };
+            // A triple change is visible to pairs that read its subject's
+            // outgoing arcs or its object's incoming arcs. Delta files
+            // group triples by subject, so skipping adjacent repeats
+            // collapses most probes; `touched_in` is populated only by
+            // shapes with inverse arcs, so it is usually empty and the
+            // object probes vanish entirely.
+            let probe_objects = !self.deps.touched_in.is_empty();
+            let mut last_subject = None;
+            for t in delta.removed.iter().chain(delta.added.iter()) {
+                if last_subject != Some(t.subject) {
+                    last_subject = Some(t.subject);
+                    seed(self.deps.touched_out.get(&t.subject));
+                }
+                if probe_objects {
+                    seed(self.deps.touched_in.get(&t.object));
+                }
+            }
+        }
+        while let Some(pair) = work.pop() {
+            if let Some(parents) = self.deps.rdeps.get(&pair) {
+                for &q in parents {
+                    if dirty.insert(q) {
+                        work.push(q);
+                    }
+                }
+            }
+        }
+        let mut purged = 0u64;
+        let mut dirty_nodes: FxHashSet<TermId> = FxHashSet::default();
+        for &(shape, node) in &dirty {
+            if self.memo.remove(&(shape, node)).is_some() {
+                purged += 1;
+            }
+            self.conditional.remove(&(shape, node));
+            self.failures.remove(&(shape, node));
+            dirty_nodes.insert(node);
+        }
+        // Stable profile entries embed reference-arc answers about their
+        // other-end node; any of those answers being dirty taints the
+        // cached bits. Everything else the profile depends on (value
+        // constraints) is term-pure and survives — so only keys at a
+        // reference-capable head need purging, and those are removable
+        // directly per dirty node instead of scanning the whole table.
+        match &self.ref_heads {
+            Some(heads) if heads.is_empty() => {}
+            Some(heads) => {
+                for &node in &dirty_nodes {
+                    for &(shape, pred, inverse) in heads {
+                        self.profile_stable.remove(&(shape, pred, node, inverse));
+                    }
+                }
+            }
+            None => {
+                self.profile_stable
+                    .retain(|&(_, _, other, _), _| !dirty_nodes.contains(&other));
+            }
+        }
+        self.begin_run();
+        purged
     }
 
     /// A worker engine for [`Engine::type_all_par`]: private copy of the
@@ -1026,6 +1299,9 @@ impl Engine {
                 .config
                 .metrics
                 .then(|| Box::new(Metrics::new(self.schema.shapes.len()))),
+            deps: TripleDeps::default(),
+            dep_stack: Vec::new(),
+            ref_heads: self.ref_heads.clone(),
         }
     }
 
@@ -1124,6 +1400,17 @@ impl Engine {
         deps: &mut BTreeSet<Pair>,
     ) -> Result<bool, Exhaustion> {
         let pair = (shape, node);
+        if self.config.incremental {
+            // Reverse reference edge: whoever is evaluating right now is
+            // consuming this pair's answer — recorded before any of the
+            // early returns below, so memo hits and coinductive
+            // assumptions leave the same edge as a fresh evaluation.
+            if let Some(&parent) = self.dep_stack.last() {
+                if parent != pair {
+                    self.deps.rdeps.entry(pair).or_default().insert(parent);
+                }
+            }
+        }
         match self.memo.get(&pair) {
             Some(MemoState::Proven) => return Ok(true),
             Some(MemoState::Failed) => return Ok(false),
@@ -1143,8 +1430,22 @@ impl Engine {
         self.meter.step()?;
         self.meter.enter_depth()?;
         let steps_before = self.stats.derivative_steps;
+        if self.config.incremental {
+            // Neighbourhood read: this evaluation is about to consume the
+            // node's outgoing arcs (and, for inverse-capable shapes, its
+            // incoming arcs) — any triple change at either end must
+            // invalidate this pair.
+            self.deps.touched_out.entry(node).or_default().insert(pair);
+            if self.schema.shape(shape).has_inverse {
+                self.deps.touched_in.entry(node).or_default().insert(pair);
+            }
+            self.dep_stack.push(pair);
+        }
         let mut local = BTreeSet::new();
         let result = self.match_neighbourhood(graph, terms, node, shape, &mut local);
+        if self.config.incremental {
+            self.dep_stack.pop();
+        }
         self.meter.exit_depth();
         let ok = result?;
         let steps_after = self.stats.derivative_steps;
@@ -1493,9 +1794,19 @@ impl Engine {
         deps: &mut BTreeSet<Pair>,
     ) -> Result<ProfileId, Exhaustion> {
         let key = (shape, pred, other, inverse);
+        // A cached profile short-circuits the reference checks its
+        // computation performed, so on *hits* the rdeps edges check_inner
+        // would have recorded must be re-derived (they are a pure function
+        // of the key). On a miss the evaluation below reaches check_inner
+        // itself, which records them — no double bookkeeping, and flat
+        // shapes (no reference arcs) skip the whole affair.
+        let record_refs = self.config.incremental && self.schema.shape(shape).has_refs;
         self.metric(|m| m.profile_stable.lookups += 1);
         if let Some(&pid) = self.profile_stable.get(&key) {
             self.metric(|m| m.profile_stable.hits += 1);
+            if record_refs {
+                self.record_profile_ref_edges(shape, pred, other, inverse);
+            }
             return Ok(pid);
         }
         // The assumption-carrying table is consulted only on a stable
@@ -1508,6 +1819,9 @@ impl Engine {
             let pid = *pid;
             deps.extend(cached_deps.iter().copied());
             self.metric(|m| m.profile_assumption.hits += 1);
+            if record_refs {
+                self.record_profile_ref_edges(shape, pred, other, inverse);
+            }
             return Ok(pid);
         }
         self.metric(|m| m.profile_assumption.misses += 1);
@@ -1598,6 +1912,35 @@ impl Engine {
             self.profile_by_triple.insert(key, (pid, used.into()));
         }
         Ok(pid)
+    }
+
+    /// Records the reverse reference edges a profile lookup implies: the
+    /// currently evaluating pair consumed `(target, other)` for every
+    /// reference arc whose head covers `(pred, inverse)`. Needed because
+    /// profile cache hits (stable or assumption-carrying) skip the
+    /// `check_inner` calls that would otherwise record these edges.
+    fn record_profile_ref_edges(
+        &mut self,
+        shape: ShapeId,
+        pred: TermId,
+        other: TermId,
+        inverse: bool,
+    ) {
+        let Some(&parent) = self.dep_stack.last() else {
+            return;
+        };
+        // Disjoint field borrows: the schema is read while the dependency
+        // index is written, so no intermediate collection is needed.
+        let schema = &self.schema;
+        let rdeps = &mut self.deps.rdeps;
+        for arc_id in schema.shape(shape).head_index.candidates(pred, inverse) {
+            if let CompiledObject::Ref(t) = &schema.arc(arc_id).object {
+                let rp = (*t, other);
+                if rp != parent {
+                    rdeps.entry(rp).or_default().insert(parent);
+                }
+            }
+        }
     }
 
     fn profile_bit(&self, pid: ProfileId, bit: u32) -> bool {
@@ -2262,6 +2605,194 @@ mod tests {
                 .matched,
             "stale DFA transition survived reset()"
         );
+    }
+
+    fn setup_incremental(schema_src: &str, data_src: &str) -> (Engine, Dataset) {
+        let schema = shexc::parse(schema_src).unwrap();
+        let mut ds = turtle::parse(data_src).unwrap();
+        let engine = Engine::compile(
+            &schema,
+            &mut ds.pool,
+            EngineConfig {
+                incremental: true,
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        (engine, ds)
+    }
+
+    /// A fresh engine's from-scratch typing over the dataset's current
+    /// graph — the ground truth incremental revalidation must reproduce.
+    fn scratch_typing(schema_src: &str, ds: &mut Dataset) -> Typing {
+        let schema = shexc::parse(schema_src).unwrap();
+        let mut engine = Engine::new(&schema, &mut ds.pool).unwrap();
+        engine.type_all(&ds.graph, &ds.pool)
+    }
+
+    const MARY_FIX_DELTA: &str = "@prefix foaf: <http://xmlns.com/foaf/0.1/> .\n\
+        @prefix : <http://example.org/> .\n\
+        - :mary foaf:age 65 .\n\
+        + :mary foaf:name \"Mary\" .\n";
+
+    #[test]
+    fn reset_clears_dependency_index() {
+        // Companion to the stale-memo reset regressions above: the
+        // incremental dependency index and the dirty-tracking stack are
+        // caches keyed against the old graph too.
+        let (mut engine, ds) = setup_incremental(PERSON_SCHEMA, PERSON_DATA);
+        engine.type_all(&ds.graph, &ds.pool);
+        assert!(
+            !engine.deps.is_empty(),
+            "incremental typing must record dependencies"
+        );
+        assert!(
+            engine.dep_stack.is_empty(),
+            "the dep stack must drain between queries"
+        );
+        engine.reset();
+        assert!(
+            engine.deps.is_empty(),
+            "reset() must clear the dependency index"
+        );
+        assert!(engine.dep_stack.is_empty());
+        assert_eq!(engine.stats().invalidated_pairs, 0);
+    }
+
+    #[test]
+    fn revalidate_agrees_with_scratch_on_recursive_schema() {
+        let (mut engine, mut ds) = setup_incremental(PERSON_SCHEMA, PERSON_DATA);
+        let before = engine.type_all(&ds.graph, &ds.pool);
+        let mary = ds.iri("http://example.org/mary").unwrap();
+        let john = ds.iri("http://example.org/john").unwrap();
+        assert_eq!(before.shapes_of(mary).count(), 0);
+        assert_eq!(before.shapes_of(john).count(), 1);
+
+        let d = shapex_rdf::delta::parse(MARY_FIX_DELTA, &mut ds.pool).unwrap();
+        ds.apply_delta(&d);
+        let incremental = engine.revalidate(&ds.graph, &ds.pool, &d);
+        assert_eq!(incremental, scratch_typing(PERSON_SCHEMA, &mut ds));
+        assert_eq!(incremental.shapes_of(mary).count(), 1);
+
+        let stats = engine.stats();
+        assert!(stats.invalidated_pairs >= 1, "{stats:?}");
+        assert!(stats.retyped_pairs >= 1, "{stats:?}");
+        assert!(
+            stats.reused_pairs >= 1,
+            "john and bob should be served from the memo: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn revalidate_propagates_through_shared_profile_hits() {
+        // n1 and n2 both reference t through an identical (pred, other)
+        // triple, so n2's profile is served from the stable cache without
+        // re-running the reference check. The dependency edge to (T, t)
+        // must be re-derived on that hit: a delta at t has to dirty BOTH
+        // referrers, not just the one that computed the profile.
+        let (mut engine, mut ds) = setup_incremental(
+            // The Or keeps the shape off the SORBE fast path, forcing the
+            // profile/derivative machinery.
+            "PREFIX e: <http://e/>\n<S> { e:p @<T> | e:p @<T> }\n<T> { e:q [1]* }",
+            "@prefix e: <http://e/> . e:n1 e:p e:t . e:n2 e:p e:t . e:t e:q 1 .",
+        );
+        let before = engine.type_all(&ds.graph, &ds.pool);
+        let n1 = ds.iri("http://e/n1").unwrap();
+        let n2 = ds.iri("http://e/n2").unwrap();
+        assert_eq!(before.shapes_of(n1).count(), 1);
+        assert_eq!(before.shapes_of(n2).count(), 1);
+
+        // t gains e:q 2, which [1]* rejects: t stops conforming to <T>,
+        // so n1 AND n2 must stop conforming to <S>.
+        let d = shapex_rdf::delta::parse("@prefix e: <http://e/> .\n+ e:t e:q 2 .\n", &mut ds.pool)
+            .unwrap();
+        ds.apply_delta(&d);
+        let incremental = engine.revalidate(&ds.graph, &ds.pool, &d);
+        assert_eq!(incremental.shapes_of(n1).count(), 0);
+        assert_eq!(
+            incremental.shapes_of(n2).count(),
+            0,
+            "the stable-profile hit's reference dependency was not re-derived"
+        );
+        assert_eq!(
+            incremental,
+            scratch_typing(
+                "PREFIX e: <http://e/>\n<S> { e:p @<T> | e:p @<T> }\n<T> { e:q [1]* }",
+                &mut ds
+            )
+        );
+    }
+
+    #[test]
+    fn revalidate_par_agrees_with_scratch() {
+        let (mut engine, mut ds) = setup_incremental(PERSON_SCHEMA, PERSON_DATA);
+        engine.type_all_par(&ds.graph, &ds.pool, 4);
+        let d = shapex_rdf::delta::parse(MARY_FIX_DELTA, &mut ds.pool).unwrap();
+        ds.apply_delta(&d);
+        let incremental = engine.revalidate_par(&ds.graph, &ds.pool, &d, 4);
+        assert_eq!(incremental, scratch_typing(PERSON_SCHEMA, &mut ds));
+    }
+
+    #[test]
+    fn empty_delta_retypes_nothing() {
+        let (mut engine, ds) = setup_incremental(PERSON_SCHEMA, PERSON_DATA);
+        let before = engine.type_all(&ds.graph, &ds.pool);
+        let node_checks = engine.stats().node_checks;
+        let after = engine.revalidate(&ds.graph, &ds.pool, &GraphDelta::new());
+        assert_eq!(before, after);
+        let stats = engine.stats();
+        assert_eq!(stats.invalidated_pairs, 0);
+        assert_eq!(stats.retyped_pairs, 0);
+        assert_eq!(stats.reused_pairs, 3, "john, bob, mary × <Person>");
+        assert_eq!(
+            stats.node_checks, node_checks,
+            "an empty delta must not re-evaluate anything"
+        );
+    }
+
+    #[test]
+    fn revalidate_without_incremental_resets_and_recomputes() {
+        let (mut engine, mut ds) = setup(PERSON_SCHEMA, PERSON_DATA);
+        engine.type_all(&ds.graph, &ds.pool);
+        let d = shapex_rdf::delta::parse(MARY_FIX_DELTA, &mut ds.pool).unwrap();
+        ds.apply_delta(&d);
+        let typing = engine.revalidate(&ds.graph, &ds.pool, &d);
+        assert_eq!(typing, scratch_typing(PERSON_SCHEMA, &mut ds));
+        let stats = engine.stats();
+        assert_eq!(
+            (
+                stats.invalidated_pairs,
+                stats.retyped_pairs,
+                stats.reused_pairs
+            ),
+            (0, 0, 0),
+            "the fallback path is a plain reset + full re-typing"
+        );
+    }
+
+    #[test]
+    fn revalidate_handles_subject_additions_and_removals() {
+        let (mut engine, mut ds) = setup_incremental(PERSON_SCHEMA, PERSON_DATA);
+        engine.type_all(&ds.graph, &ds.pool);
+        // Remove every triple of mary (she vanishes from the typing
+        // universe) and introduce a brand-new conforming subject.
+        let d = shapex_rdf::delta::parse(
+            "@prefix foaf: <http://xmlns.com/foaf/0.1/> .\n\
+             @prefix : <http://example.org/> .\n\
+             - :mary foaf:age 50 .\n\
+             - :mary foaf:age 65 .\n\
+             + :new foaf:age 1 .\n\
+             + :new foaf:name \"New\" .\n",
+            &mut ds.pool,
+        )
+        .unwrap();
+        ds.apply_delta(&d);
+        let incremental = engine.revalidate(&ds.graph, &ds.pool, &d);
+        assert_eq!(incremental, scratch_typing(PERSON_SCHEMA, &mut ds));
+        let new = ds.iri("http://example.org/new").unwrap();
+        let mary = ds.iri("http://example.org/mary").unwrap();
+        assert_eq!(incremental.shapes_of(new).count(), 1);
+        assert_eq!(incremental.shapes_of(mary).count(), 0);
     }
 
     #[test]

@@ -38,6 +38,12 @@
 //! assert!(!report.conforms("http://example.org/mary", "Person"));
 //! ```
 
+// Compile the README's Rust code blocks as doctests so the quick-start
+// examples cannot rot out of sync with the API.
+#[cfg(doctest)]
+#[doc = include_str!("../../../README.md")]
+pub struct ReadmeDoctests;
+
 pub mod arena;
 pub mod budget;
 pub mod compile;

@@ -181,6 +181,14 @@ pub struct Metrics {
     pub arena_high_water: usize,
     /// Budget steps charged across all queries.
     pub budget_steps: u64,
+    /// Memoised pairs dropped by
+    /// [`revalidate`](crate::Engine::revalidate)'s invalidation closure,
+    /// summed over revalidations.
+    pub delta_invalidated: u64,
+    /// Pairs re-evaluated on the dirty frontier during revalidations.
+    pub delta_retyped: u64,
+    /// Pairs answered from the surviving memo during revalidations.
+    pub delta_reused: u64,
     /// Per-shape attribution, indexed by `ShapeId`.
     pub per_shape: Vec<ShapeMetrics>,
     /// Wave records; non-empty only after a parallel
@@ -237,6 +245,9 @@ impl Metrics {
         self.head_index_candidates += now.head_index_candidates - prev.head_index_candidates;
         self.arena_high_water = self.arena_high_water.max(now.arena_high_water);
         self.budget_steps += now.budget_steps - prev.budget_steps;
+        self.delta_invalidated += now.delta_invalidated - prev.delta_invalidated;
+        self.delta_retyped += now.delta_retyped - prev.delta_retyped;
+        self.delta_reused += now.delta_reused - prev.delta_reused;
         if self.per_shape.len() < now.per_shape.len() {
             self.per_shape
                 .resize(now.per_shape.len(), ShapeMetrics::default());
@@ -312,6 +323,11 @@ impl Metrics {
             },
             "arena_high_water": self.arena_high_water,
             "budget_steps": self.budget_steps,
+            "delta": {
+                "invalidated": self.delta_invalidated,
+                "retyped": self.delta_retyped,
+                "reused": self.delta_reused,
+            },
             "per_shape": Value::Array(per_shape),
             "waves": Value::Array(waves),
         })

@@ -287,6 +287,14 @@ pub struct Stats {
     pub max_depth_reached: u32,
     /// Queries aborted by budget exhaustion.
     pub exhausted_checks: u64,
+    /// Memoised `(node, shape)` answers dropped by
+    /// [`revalidate`](crate::Engine::revalidate)'s invalidation closure.
+    pub invalidated_pairs: u64,
+    /// Pairs the dirty-frontier re-typing had to re-evaluate.
+    pub retyped_pairs: u64,
+    /// Pairs answered straight from the surviving memo during a
+    /// revalidation.
+    pub reused_pairs: u64,
 }
 
 impl Stats {
@@ -304,6 +312,9 @@ impl Stats {
         self.sorbe_checks += other.sorbe_checks;
         self.budget_steps += other.budget_steps;
         self.exhausted_checks += other.exhausted_checks;
+        self.invalidated_pairs += other.invalidated_pairs;
+        self.retyped_pairs += other.retyped_pairs;
+        self.reused_pairs += other.reused_pairs;
         self.expr_pool_size = self.expr_pool_size.max(other.expr_pool_size);
         self.peak_arena_nodes = self.peak_arena_nodes.max(other.peak_arena_nodes);
         self.max_depth_reached = self.max_depth_reached.max(other.max_depth_reached);
@@ -324,6 +335,9 @@ impl Stats {
         self.sorbe_checks += now.sorbe_checks - prev.sorbe_checks;
         self.budget_steps += now.budget_steps - prev.budget_steps;
         self.exhausted_checks += now.exhausted_checks - prev.exhausted_checks;
+        self.invalidated_pairs += now.invalidated_pairs - prev.invalidated_pairs;
+        self.retyped_pairs += now.retyped_pairs - prev.retyped_pairs;
+        self.reused_pairs += now.reused_pairs - prev.reused_pairs;
         self.expr_pool_size = self.expr_pool_size.max(now.expr_pool_size);
         self.peak_arena_nodes = self.peak_arena_nodes.max(now.peak_arena_nodes);
         self.max_depth_reached = self.max_depth_reached.max(now.max_depth_reached);
@@ -344,6 +358,9 @@ impl Stats {
             "peak_arena_nodes": self.peak_arena_nodes,
             "max_depth_reached": self.max_depth_reached as u64,
             "exhausted_checks": self.exhausted_checks,
+            "invalidated_pairs": self.invalidated_pairs,
+            "retyped_pairs": self.retyped_pairs,
+            "reused_pairs": self.reused_pairs,
         })
     }
 }
@@ -369,6 +386,13 @@ impl fmt::Display for Stats {
                 self.peak_arena_nodes,
                 self.max_depth_reached,
                 self.exhausted_checks
+            )?;
+        }
+        if self.invalidated_pairs > 0 || self.retyped_pairs > 0 || self.reused_pairs > 0 {
+            write!(
+                f,
+                " invalidated={} retyped={} reused={}",
+                self.invalidated_pairs, self.retyped_pairs, self.reused_pairs
             )?;
         }
         Ok(())

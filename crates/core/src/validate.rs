@@ -120,6 +120,20 @@ impl std::error::Error for ValidateError {}
 /// Runs on all available cores via [`Engine::type_all_par`]; the typing is
 /// identical to the sequential engine's (the parallel run is
 /// deterministic). Use [`validate_par`] to pin the worker count.
+///
+/// ```
+/// let report = shapex::validate(
+///     r#"PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+///        PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>
+///        <Person> { foaf:age xsd:integer, foaf:name xsd:string+ }"#,
+///     r#"@prefix : <http://example.org/> .
+///        @prefix foaf: <http://xmlns.com/foaf/0.1/> .
+///        :john foaf:age 23; foaf:name "John" .
+///        :mary foaf:age 50, 65 ."#,
+/// ).unwrap();
+/// assert!(report.conforms("http://example.org/john", "Person"));
+/// assert!(!report.conforms("http://example.org/mary", "Person"));
+/// ```
 pub fn validate(schema_shexc: &str, data_turtle: &str) -> Result<Report, ValidateError> {
     validate_par(schema_shexc, data_turtle, Budget::UNLIMITED, default_jobs())
 }
@@ -149,6 +163,20 @@ pub fn validate_with_budget(
 /// the exact sequential path; with more workers the budget's deadline
 /// additionally bounds wall-clock for the whole run (see
 /// [`Engine::type_all_par`]).
+///
+/// ```
+/// use shapex::Budget;
+///
+/// let schema = "PREFIX e: <http://e/>\n<S> { e:p [1 2]+ }";
+/// let data = "@prefix e: <http://e/> . e:a e:p 1 . e:b e:p 3 .";
+/// // Two workers, 10k derivative steps per (node, shape) query: the
+/// // typing is byte-identical to the sequential, unbudgeted one here.
+/// let report = shapex::validate_par(
+///     schema, data, Budget::UNLIMITED.with_max_steps(10_000), 2).unwrap();
+/// assert!(!report.is_partial());
+/// assert!(report.conforms("http://e/a", "S"));
+/// assert!(!report.conforms("http://e/b", "S"));
+/// ```
 pub fn validate_par(
     schema_shexc: &str,
     data_turtle: &str,

@@ -1,1 +1,13 @@
-
+#![warn(missing_docs)]
+//! # shapex-integration-tests
+//!
+//! No library code — this crate exists to mount the workspace-level test
+//! files in `tests/` (see this crate's `Cargo.toml` for the list):
+//! every numbered example from the paper as an executable test
+//! (`paper_examples`), differential property tests between the
+//! derivative engine, the backtracking baseline, and the parallel/DFA
+//! configurations (`engine_agreement`), incremental-revalidation
+//! byte-identity and delta round-trips (`incremental`), parser/printer
+//! round-trips (`roundtrips`), budget robustness (`robustness`), the
+//! data-driven fixture suite (`fixtures`), end-to-end CLI-shaped runs
+//! (`end_to_end`), and jobs-invariance of statistics (`stats_parallel`).

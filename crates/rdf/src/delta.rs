@@ -1,0 +1,259 @@
+//! Graph deltas: batches of triple removals and additions.
+//!
+//! A [`GraphDelta`] describes a mutation of a [`Graph`](crate::graph::Graph)
+//! as two sets of triples over pool-stable
+//! [`TermId`](crate::pool::TermId)s: triples to remove
+//! and triples to add. Applying a delta (see
+//! [`Graph::apply_delta`](crate::graph::Graph::apply_delta)) performs the
+//! removals first, then the additions, and returns an [`AppliedDelta`]
+//! recording exactly which operations took effect — and *where* each
+//! removed arc sat in its adjacency lists — so that
+//! [`Graph::revert_delta`](crate::graph::Graph::revert_delta) can restore
+//! the graph to a structurally identical state (same neighbourhood order,
+//! same subject iteration order). That structural round-trip is what lets
+//! the incremental-revalidation tests demand byte-identical reports after
+//! `apply(δ); revert(δ)`.
+//!
+//! ## Delta file format
+//!
+//! [`parse`] reads a line-oriented text format built on Turtle:
+//!
+//! ```text
+//! @prefix foaf: <http://xmlns.com/foaf/0.1/> .
+//! @prefix : <http://example.org/> .
+//! - :mary foaf:age 65 .
+//! + :mary foaf:name "Mary" .
+//! ```
+//!
+//! `@prefix` lines accumulate and scope over all subsequent operation
+//! lines. Each remaining non-empty, non-comment line must start with `+`
+//! (add) or `-` (remove) followed by a complete Turtle statement; a
+//! statement may expand to several triples (e.g. via `;`/`,` lists), all
+//! of which get the line's polarity.
+
+use std::mem;
+
+use crate::graph::{Dataset, Triple};
+use crate::pool::TermPool;
+use crate::turtle;
+
+/// A batch graph mutation: triples to remove and triples to add.
+///
+/// Application order is removals first, then additions, so a triple listed
+/// in both ends up present. Term ids must come from the same
+/// [`TermPool`] as the graph the delta is applied to.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GraphDelta {
+    /// Triples removed by this delta (applied first).
+    pub removed: Vec<Triple>,
+    /// Triples added by this delta (applied after the removals).
+    pub added: Vec<Triple>,
+}
+
+impl GraphDelta {
+    /// An empty delta.
+    pub fn new() -> Self {
+        GraphDelta::default()
+    }
+
+    /// True when the delta contains no operations.
+    pub fn is_empty(&self) -> bool {
+        self.removed.is_empty() && self.added.is_empty()
+    }
+
+    /// Total number of operations (removals plus additions).
+    pub fn len(&self) -> usize {
+        self.removed.len() + self.added.len()
+    }
+
+    /// The logical inverse: additions become removals and vice versa.
+    ///
+    /// Applying `delta` and then `delta.inverse()` restores the graph's
+    /// *triple set*; to also restore adjacency order (needed for
+    /// byte-identical reports) use
+    /// [`Graph::revert_delta`](crate::graph::Graph::revert_delta) with the
+    /// [`AppliedDelta`] instead.
+    pub fn inverse(&self) -> GraphDelta {
+        GraphDelta {
+            removed: self.added.clone(),
+            added: self.removed.clone(),
+        }
+    }
+}
+
+/// The effective result of applying a [`GraphDelta`] to a graph.
+///
+/// Records only the operations that actually changed the graph (removing
+/// an absent triple or adding a present one is a no-op), plus the adjacency
+/// positions each removed triple vacated, so
+/// [`Graph::revert_delta`](crate::graph::Graph::revert_delta) can put
+/// everything back exactly where it was.
+#[derive(Debug, Clone, Default)]
+pub struct AppliedDelta {
+    /// Each effective removal with the outgoing- and incoming-list indexes
+    /// it occupied at removal time.
+    pub(crate) removed: Vec<(Triple, usize, usize)>,
+    /// Each effective addition, in application order.
+    pub(crate) added: Vec<Triple>,
+}
+
+impl AppliedDelta {
+    /// Number of triples actually removed.
+    pub fn removed_count(&self) -> usize {
+        self.removed.len()
+    }
+
+    /// Number of triples actually added.
+    pub fn added_count(&self) -> usize {
+        self.added.len()
+    }
+
+    /// The triples actually removed, in application order.
+    pub fn removed_triples(&self) -> impl Iterator<Item = Triple> + '_ {
+        self.removed.iter().map(|&(t, _, _)| t)
+    }
+
+    /// The triples actually added, in application order.
+    pub fn added_triples(&self) -> impl Iterator<Item = Triple> + '_ {
+        self.added.iter().copied()
+    }
+
+    /// True when the delta changed nothing.
+    pub fn is_noop(&self) -> bool {
+        self.removed.is_empty() && self.added.is_empty()
+    }
+}
+
+/// A syntax error in a delta file, with the 1-based line it occurred on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "delta line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+/// Parses the line-oriented delta format (see the [module docs](self))
+/// into a [`GraphDelta`], interning all terms into `pool`.
+///
+/// ```
+/// use shapex_rdf::{delta, pool::TermPool};
+/// let mut pool = TermPool::new();
+/// let d = delta::parse(
+///     "@prefix e: <http://e/> .\n- e:a e:p 1 .\n+ e:a e:p 2 .\n",
+///     &mut pool,
+/// ).unwrap();
+/// assert_eq!(d.removed.len(), 1);
+/// assert_eq!(d.added.len(), 1);
+/// ```
+pub fn parse(input: &str, pool: &mut TermPool) -> Result<GraphDelta, DeltaError> {
+    let mut prefixes = String::new();
+    let mut delta = GraphDelta::new();
+    for (idx, raw) in input.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = idx + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line.starts_with("@prefix") {
+            prefixes.push_str(line);
+            prefixes.push('\n');
+            continue;
+        }
+        let (op, stmt) = match line.split_at(1) {
+            ("+", rest) => (true, rest.trim_start()),
+            ("-", rest) => (false, rest.trim_start()),
+            _ => {
+                return Err(DeltaError {
+                    line: lineno,
+                    message: format!("expected '+', '-', '@prefix', or comment, got: {line}"),
+                })
+            }
+        };
+        // Parse the statement with the accumulated prefixes in scope,
+        // interning directly into the caller's pool (taken for the
+        // duration of the parse, then restored).
+        let mut scratch = Dataset {
+            pool: mem::take(pool),
+            graph: Default::default(),
+        };
+        let source = format!("{prefixes}{stmt}");
+        let outcome = turtle::parse_into(&source, &mut scratch);
+        *pool = scratch.pool;
+        if let Err(e) = outcome {
+            return Err(DeltaError {
+                line: lineno,
+                message: e.to_string(),
+            });
+        }
+        let triples = scratch.graph.triples_sorted();
+        if triples.is_empty() {
+            return Err(DeltaError {
+                line: lineno,
+                message: "operation line contains no triple".into(),
+            });
+        }
+        if op {
+            delta.added.extend(triples);
+        } else {
+            delta.removed.extend(triples);
+        }
+    }
+    Ok(delta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term;
+
+    #[test]
+    fn parse_basic_delta() {
+        let mut pool = TermPool::new();
+        let d = parse(
+            "# comment\n@prefix e: <http://e/> .\n\n- e:a e:p e:b .\n+ e:a e:q 1, 2 .\n",
+            &mut pool,
+        )
+        .unwrap();
+        assert_eq!(d.removed.len(), 1);
+        assert_eq!(d.added.len(), 2);
+        // Terms landed in the caller's pool.
+        assert!(pool.get(&Term::iri("http://e/a")).is_some());
+        assert!(pool.get(&Term::iri("http://e/q")).is_some());
+    }
+
+    #[test]
+    fn parse_rejects_bad_lines() {
+        let mut pool = TermPool::new();
+        let err = parse("e:a e:p e:b .\n", &mut pool).unwrap_err();
+        assert_eq!(err.line, 1);
+        let err = parse("@prefix e: <http://e/> .\n+ e:a e:p .\n", &mut pool).unwrap_err();
+        assert_eq!(err.line, 2);
+        // The pool survives a failed parse.
+        pool.intern_iri("http://e/after");
+    }
+
+    #[test]
+    fn inverse_swaps_polarity() {
+        let mut pool = TermPool::new();
+        let d = parse(
+            "@prefix e: <http://e/> .\n- e:a e:p e:b .\n+ e:c e:p e:d .\n",
+            &mut pool,
+        )
+        .unwrap();
+        let inv = d.inverse();
+        assert_eq!(inv.removed, d.added);
+        assert_eq!(inv.added, d.removed);
+        assert!(!d.is_empty());
+        assert_eq!(d.len(), 2);
+        assert!(GraphDelta::new().is_empty());
+    }
+}

@@ -9,6 +9,7 @@
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet};
 
+use crate::delta::{AppliedDelta, GraphDelta};
 use crate::pool::{TermId, TermPool};
 use crate::term::Term;
 
@@ -77,7 +78,9 @@ impl Graph {
 
     /// Removes a triple. Returns `true` if it was present. Subject order
     /// is preserved; a subject whose last triple is removed keeps its
-    /// position but reports an empty neighbourhood.
+    /// position internally (it disappears from [`Graph::subjects`] while
+    /// its neighbourhood is empty, and reappears at the same position if a
+    /// triple is re-inserted for it).
     pub fn remove(&mut self, triple: &Triple) -> bool {
         if !self.triples.remove(triple) {
             return false;
@@ -137,9 +140,82 @@ impl Graph {
         self.incoming.get(&n).map(Vec::as_slice).unwrap_or(&[])
     }
 
-    /// Distinct subjects in insertion order.
+    /// Distinct subjects with at least one outgoing triple, in insertion
+    /// order. Subjects whose every triple has been removed are skipped, so
+    /// a mutated graph iterates identically to a freshly built one with
+    /// the same triples.
     pub fn subjects(&self) -> impl Iterator<Item = TermId> + '_ {
-        self.subject_order.iter().copied()
+        self.subject_order
+            .iter()
+            .copied()
+            .filter(|&s| !self.neighbourhood(s).is_empty())
+    }
+
+    /// Applies a [`GraphDelta`]: removals first, then additions. Removing
+    /// an absent triple or adding a present one is a no-op. Returns an
+    /// [`AppliedDelta`] recording the operations that took effect and the
+    /// adjacency positions vacated by removals, which
+    /// [`Graph::revert_delta`] consumes to restore the graph exactly.
+    pub fn apply_delta(&mut self, delta: &GraphDelta) -> AppliedDelta {
+        let mut applied = AppliedDelta::default();
+        for &t in &delta.removed {
+            if !self.triples.remove(&t) {
+                continue;
+            }
+            let out = self
+                .outgoing
+                .get_mut(&t.subject)
+                .expect("triple present but subject unindexed");
+            let oi = out
+                .iter()
+                .position(|&(p, o)| (p, o) == (t.predicate, t.object))
+                .expect("triple present but arc unindexed");
+            out.remove(oi);
+            let inc = self
+                .incoming
+                .get_mut(&t.object)
+                .expect("triple present but object unindexed");
+            let ii = inc
+                .iter()
+                .position(|&(s, p)| (s, p) == (t.subject, t.predicate))
+                .expect("triple present but incoming arc unindexed");
+            inc.remove(ii);
+            applied.removed.push((t, oi, ii));
+        }
+        for &t in &delta.added {
+            if self.insert(t) {
+                applied.added.push(t);
+            }
+        }
+        applied
+    }
+
+    /// Undoes an [`apply_delta`](Graph::apply_delta): removes the triples
+    /// it added and re-inserts the triples it removed at their original
+    /// adjacency positions. After the call the graph is structurally
+    /// identical to its pre-apply state — same neighbourhood order, same
+    /// [`Graph::subjects`] order — so downstream results (reports, stats)
+    /// are byte-identical, not merely set-equal.
+    pub fn revert_delta(&mut self, applied: &AppliedDelta) {
+        for t in applied.added.iter().rev() {
+            self.remove(t);
+        }
+        for &(t, oi, ii) in applied.removed.iter().rev() {
+            if !self.triples.insert(t) {
+                continue;
+            }
+            match self.outgoing.entry(t.subject) {
+                Entry::Occupied(mut e) => e.get_mut().insert(oi, (t.predicate, t.object)),
+                Entry::Vacant(e) => {
+                    self.subject_order.push(t.subject);
+                    e.insert(vec![(t.predicate, t.object)]);
+                }
+            }
+            self.incoming
+                .entry(t.object)
+                .or_default()
+                .insert(ii, (t.subject, t.predicate));
+        }
     }
 
     /// All triples (arbitrary order).
@@ -236,6 +312,16 @@ impl Dataset {
     /// Looks up the id of an IRI node.
     pub fn iri(&self, iri: &str) -> Option<TermId> {
         self.pool.get(&Term::iri(iri))
+    }
+
+    /// [`Graph::apply_delta`] on the bundled graph.
+    pub fn apply_delta(&mut self, delta: &GraphDelta) -> AppliedDelta {
+        self.graph.apply_delta(delta)
+    }
+
+    /// [`Graph::revert_delta`] on the bundled graph.
+    pub fn revert_delta(&mut self, applied: &AppliedDelta) {
+        self.graph.revert_delta(applied)
     }
 }
 
@@ -368,6 +454,72 @@ mod tests {
         assert!(g.remove(&Triple::new(a, b, a)));
         assert!(g.is_empty());
         assert_eq!(g.neighbourhood(a), &[]);
+    }
+
+    #[test]
+    fn subjects_skip_emptied_entries() {
+        let mut pool = TermPool::new();
+        let (a, b, c) = abc(&mut pool);
+        let mut g = Graph::new();
+        g.insert(Triple::new(a, b, c));
+        g.insert(Triple::new(c, b, a));
+        g.remove(&Triple::new(a, b, c));
+        assert_eq!(g.subjects().collect::<Vec<_>>(), vec![c]);
+        // Re-inserting restores the subject at its original position.
+        g.insert(Triple::new(a, b, b));
+        assert_eq!(g.subjects().collect::<Vec<_>>(), vec![a, c]);
+    }
+
+    #[test]
+    fn delta_apply_then_revert_is_structural_identity() {
+        let mut pool = TermPool::new();
+        let (a, b, c) = abc(&mut pool);
+        let d = pool.intern_iri("http://e/d");
+        let mut g = Graph::new();
+        g.insert(Triple::new(a, b, c));
+        g.insert(Triple::new(a, b, d));
+        g.insert(Triple::new(a, d, c));
+        g.insert(Triple::new(c, b, a));
+        let before_out: Vec<_> = g.neighbourhood(a).to_vec();
+        let before_in: Vec<_> = g.incoming(c).to_vec();
+        let before_subs: Vec<_> = g.subjects().collect();
+
+        let delta = GraphDelta {
+            // a b c sits at outgoing index 0 — removal shifts the rest.
+            removed: vec![Triple::new(a, b, c), Triple::new(c, b, a)],
+            added: vec![Triple::new(d, b, a), Triple::new(a, b, c)],
+        };
+        let applied = g.apply_delta(&delta);
+        assert_eq!(applied.removed_count(), 2);
+        assert_eq!(applied.added_count(), 2);
+        assert!(g.contains(&Triple::new(d, b, a)));
+        assert!(!g.contains(&Triple::new(c, b, a)));
+        // Removed-then-re-added triple is present, now at the tail.
+        assert_eq!(g.neighbourhood(a).last(), Some(&(b, c)));
+
+        g.revert_delta(&applied);
+        assert_eq!(g.neighbourhood(a), before_out.as_slice());
+        assert_eq!(g.incoming(c), before_in.as_slice());
+        assert_eq!(g.subjects().collect::<Vec<_>>(), before_subs);
+        assert_eq!(g.len(), 4);
+        assert!(!g.contains(&Triple::new(d, b, a)));
+    }
+
+    #[test]
+    fn delta_noop_operations_are_skipped() {
+        let mut pool = TermPool::new();
+        let (a, b, c) = abc(&mut pool);
+        let mut g = Graph::new();
+        g.insert(Triple::new(a, b, c));
+        let delta = GraphDelta {
+            removed: vec![Triple::new(c, b, a)], // absent
+            added: vec![Triple::new(a, b, c)],   // already present
+        };
+        let applied = g.apply_delta(&delta);
+        assert!(applied.is_noop());
+        g.revert_delta(&applied);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.neighbourhood(a), &[(b, c)]);
     }
 
     #[test]

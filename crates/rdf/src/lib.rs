@@ -21,6 +21,7 @@
 //! assert_eq!(ds.graph.neighbourhood(john).len(), 2);
 //! ```
 
+pub mod delta;
 pub mod graph;
 pub mod iso;
 pub mod ntriples;
@@ -32,6 +33,7 @@ pub mod vocab;
 pub mod writer;
 pub mod xsd;
 
+pub use delta::{AppliedDelta, DeltaError, GraphDelta};
 pub use graph::{Arc, Dataset, Graph, Triple};
 pub use iso::are_isomorphic;
 pub use parser::ParseError;
