@@ -126,12 +126,12 @@ fn case(name: &str, workload: Workload) -> Value {
         // Correctness gate: the incremental typing of the mutated graph
         // must equal the from-scratch one.
         let applied = ds.apply_delta(&delta);
-        let t_inc = inc.revalidate(&ds.graph, &ds.pool, &delta);
+        let t_inc = inc.revalidate(&ds.graph, &ds.pool, &delta).unwrap();
         full.reset();
         let t_full = full.type_all(&ds.graph, &ds.pool);
         assert_eq!(t_inc, t_full, "{name}: incremental diverges at {fraction}");
         ds.revert_delta(&applied);
-        inc.revalidate(&ds.graph, &ds.pool, &inverse);
+        inc.revalidate(&ds.graph, &ds.pool, &inverse).unwrap();
 
         let mut full_samples = Vec::with_capacity(REPS);
         let mut inc_samples = Vec::with_capacity(REPS);
@@ -145,11 +145,11 @@ fn case(name: &str, workload: Workload) -> Value {
 
             let applied = ds.apply_delta(&delta);
             let t = Instant::now();
-            inc.revalidate(&ds.graph, &ds.pool, &delta);
+            inc.revalidate(&ds.graph, &ds.pool, &delta).unwrap();
             inc_samples.push(t.elapsed().as_micros());
             ds.revert_delta(&applied);
             // Restore the warm pre-delta state (untimed).
-            inc.revalidate(&ds.graph, &ds.pool, &inverse);
+            inc.revalidate(&ds.graph, &ds.pool, &inverse).unwrap();
         }
         let (full_us, full_median_us) = min_median(full_samples);
         let (inc_us, inc_median_us) = min_median(inc_samples);
@@ -157,10 +157,10 @@ fn case(name: &str, workload: Workload) -> Value {
         // Counter snapshot from one more revalidation.
         let before = inc.stats();
         let applied = ds.apply_delta(&delta);
-        inc.revalidate(&ds.graph, &ds.pool, &delta);
+        inc.revalidate(&ds.graph, &ds.pool, &delta).unwrap();
         let after = inc.stats();
         ds.revert_delta(&applied);
-        inc.revalidate(&ds.graph, &ds.pool, &inverse);
+        inc.revalidate(&ds.graph, &ds.pool, &inverse).unwrap();
 
         rows.push(serde_json::json!({
             "fraction": fraction,

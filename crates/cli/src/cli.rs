@@ -15,7 +15,7 @@ use shapex_shex::ast::ShapeLabel;
 use shapex_shex::schema::Schema;
 use shapex_shex::shexc;
 
-use crate::report::{self, ReportDoc};
+use crate::report::{self, finish_engine_doc, push_typing_rows, ReportDoc};
 
 /// A failed command, split so the binary can exit with a distinct code
 /// when a resource budget tripped (partial results still printed).
@@ -76,6 +76,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     let mut it = args.iter().map(String::as_str);
     match it.next() {
         Some("validate") => validate(&parse_flags(it)?),
+        Some("serve") => serve(&parse_flags(it)?),
         Some("sparql") => Ok(sparql(&parse_flags(it)?)?),
         Some("query") => Ok(query(&parse_flags(it)?)?),
         Some("convert") => Ok(convert(&parse_flags(it)?)?),
@@ -126,6 +127,23 @@ USAGE:
       Exit codes: 0 conforms/ran, 1 error, 2 does not conform, 3 budget
       exhausted. Exhaustion wins over non-conformance: a partial run's
       failing verdicts might flip with a larger budget.
+
+  shapex serve --schema FILE --data FILE [options]
+      Run the resident validation service: one warm engine per loaded
+      graph, HTTP endpoints mirroring the CLI report documents
+      (POST /validate, /map, /delta; GET /health, /stats; POST /load to
+      register more graphs). Report bodies are byte-identical to
+      `validate --report json` output; the CLI-style exit code travels in
+      an X-Shapex-Exit header. SIGTERM/SIGINT drain gracefully.
+      --addr HOST:PORT                   bind address (default 127.0.0.1:7878; :0 = ephemeral)
+      --workers N                        request worker threads (default 4)
+      --queue N                          accept-queue depth; beyond it connections are
+                                         shed with 503 + Retry-After (default 64)
+      --jobs N                           per-request typing threads (default 1, the
+                                         exact sequential path the CLI smoke diffs)
+      --open                             ShEx open-shape semantics
+      --max-steps/--max-depth/--max-arena/--timeout-ms
+                                         per-request engine budget (as in validate)
 
   shapex sparql --schema FILE --shape NAME [--node IRI]
       Print the generated SPARQL validation query for a shape
@@ -300,86 +318,6 @@ fn engine_err(out: &str, e: EngineError) -> CliError {
     }
 }
 
-/// Fills a report document with the per-`(node, shape)` rows of a full
-/// typing: `conforms` rows straight from the typing, `exhausted` rows (plus
-/// the document's exhaustion block) for unanswered pairs, and `fails` rows
-/// with a recomputed failure trace for everything else. Shared by the plain
-/// full-typing report and both halves of the `--delta` before/after report.
-fn push_typing_rows(
-    doc: &mut ReportDoc,
-    engine: &mut Engine,
-    graph: &shapex_rdf::Graph,
-    pool: &shapex_rdf::TermPool,
-    typing: &shapex::Typing,
-) {
-    let exhausted: std::collections::HashMap<_, _> = typing
-        .exhausted
-        .iter()
-        .map(|&(n, s, e)| ((n, s), e))
-        .collect();
-    for node in graph.subjects().collect::<Vec<_>>() {
-        for i in 0..engine.schema().shapes.len() {
-            let shape = shapex::ShapeId(i as u32);
-            let node_name = pool.term(node).to_string();
-            let shape_name = engine.label_of(shape).as_str().to_string();
-            if typing.has(node, shape) {
-                doc.push_result(report::result_json(
-                    &node_name,
-                    &shape_name,
-                    "conforms",
-                    None,
-                    None,
-                ));
-            } else if let Some(e) = exhausted.get(&(node, shape)) {
-                doc.push_result(report::result_json(
-                    &node_name,
-                    &shape_name,
-                    "exhausted",
-                    None,
-                    Some(e),
-                ));
-                doc.push_exhausted(&node_name, &shape_name, e);
-            } else {
-                let failure = engine
-                    .check_id(graph, pool, node, shape)
-                    .into_failure()
-                    .map(|f| f.render(pool));
-                doc.push_result(report::result_json(
-                    &node_name,
-                    &shape_name,
-                    "fails",
-                    failure,
-                    None,
-                ));
-            }
-        }
-    }
-}
-
-/// Seals a derivative-engine report document: attaches the run stats, the
-/// metrics block, and the lenient skip count, then serializes it.
-fn finish_engine_doc(
-    mut doc: ReportDoc,
-    engine: &Engine,
-    skipped: usize,
-    conforms: Option<bool>,
-) -> String {
-    if skipped > 0 {
-        doc.set("lenient_skipped", Value::from(skipped));
-    }
-    doc.set("stats", report::stats_json(&engine.stats()));
-    if let Some(m) = engine.metrics() {
-        let labels = |i: usize| {
-            engine
-                .label_of(shapex::ShapeId(i as u32))
-                .as_str()
-                .to_string()
-        };
-        doc.set("metrics", report::metrics_json(m, &labels));
-    }
-    report::render(&doc.finish(conforms))
-}
-
 /// The `--delta FILE` mode: full typing of the loaded graph, then apply the
 /// delta and incrementally revalidate, emitting one JSON document with
 /// `before`/`after` typing sub-reports plus a `delta` block counting the
@@ -418,7 +356,9 @@ fn validate_delta(
 
     // After: mutate the graph and re-type only the disturbed frontier.
     ds.apply_delta(&delta);
-    let after_typing = engine.revalidate_par(&ds.graph, &ds.pool, &delta, jobs);
+    let after_typing = engine
+        .revalidate_par(&ds.graph, &ds.pool, &delta, jobs)
+        .map_err(|e| engine_err("", e))?;
     let mut after_doc = ReportDoc::new("typing", "derivative");
     push_typing_rows(&mut after_doc, engine, &ds.graph, &ds.pool, &after_typing);
     let after = after_doc.finish((!after_typing.is_partial()).then_some(true));
@@ -447,6 +387,71 @@ fn validate_delta(
         });
     }
     Ok(output)
+}
+
+/// The `serve` subcommand: loads the schema/data pair as entry
+/// `default`, installs the SIGTERM/SIGINT drain handlers, and blocks
+/// until the service shuts down. Operational chatter goes to stderr so
+/// stdout stays clean.
+fn serve(flags: &Flags) -> Result<String, CliError> {
+    fn num(flags: &Flags, name: &str) -> Result<Option<usize>, String> {
+        match flags.get(name) {
+            None => Ok(None),
+            Some(v) => match v.parse() {
+                Ok(n) if n >= 1 => Ok(Some(n)),
+                _ => Err(format!("--{name} needs a positive integer, got '{v}'")),
+            },
+        }
+    }
+    let mut config = shapex_server::ServerConfig {
+        budget: budget_from_flags(flags)?,
+        open: flags.has("open"),
+        ..shapex_server::ServerConfig::default()
+    };
+    if let Some(addr) = flags.get("addr") {
+        config.addr = addr.to_string();
+    }
+    if let Some(n) = num(flags, "workers")? {
+        config.workers = n;
+    }
+    if let Some(n) = num(flags, "queue")? {
+        config.queue = n;
+    }
+    if let Some(n) = num(flags, "jobs")? {
+        config.jobs = n;
+    }
+
+    let schema_path = flags.require("schema")?;
+    let data_path = flags.require("data")?;
+    let schema_src =
+        fs::read_to_string(schema_path).map_err(|e| format!("reading {schema_path}: {e}"))?;
+    let data_src =
+        fs::read_to_string(data_path).map_err(|e| format!("reading {data_path}: {e}"))?;
+
+    // No-op unless built with --features fail-inject AND SHAPEX_FAILPOINTS
+    // is set; the fault-injection smoke drives the service through this.
+    for armed in shapex::failpoint::configure_from_env() {
+        eprintln!("shapex serve: failpoint armed: {armed}");
+    }
+
+    let registry = std::sync::Arc::new(shapex_server::registry::Registry::new());
+    registry
+        .load(
+            "default",
+            schema_src,
+            data_src,
+            config.engine_config(),
+            config.jobs,
+        )
+        .map_err(CliError::Msg)?;
+
+    shapex_server::install_signal_handlers();
+    let handle =
+        shapex_server::start(config, registry).map_err(|e| format!("starting server: {e}"))?;
+    eprintln!("shapex serve: listening on {}", handle.addr());
+    handle.wait();
+    eprintln!("shapex serve: drained");
+    Ok(String::new())
 }
 
 fn validate(flags: &Flags) -> Result<String, CliError> {

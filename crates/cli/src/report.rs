@@ -1,55 +1,16 @@
 //! JSON rendering for `shapex validate --report json`.
 //!
-//! The document schema is documented in `DESIGN.md` (§ Observability) and
-//! held stable by the CLI tests and the CI smoke step. Stats, metrics, and
-//! exhaustion blocks come from the engine types' own `to_json` methods;
-//! this module assembles the document around them.
+//! The document builders live in [`shapex::report`] so the resident
+//! server can emit byte-identical documents; this module re-exports them
+//! and adds the one block core cannot build — the backtracking reference
+//! engine's stats (core does not depend on `shapex-backtrack`).
 
-use serde_json::{json, Map, Value};
-use shapex::{Exhaustion, Metrics, Stats, Trace};
+use serde_json::{json, Value};
 use shapex_backtrack::BtStats;
-use shapex_rdf::pool::TermPool;
 
-/// Serializes a report document: pretty-printed, trailing newline.
-pub fn render(v: &Value) -> String {
-    let mut s = serde_json::to_string_pretty(v).expect("report values contain no NaN");
-    s.push('\n');
-    s
-}
-
-/// One `(node, shape)` verdict row.
-pub fn result_json(
-    node: &str,
-    shape: &str,
-    verdict: &str,
-    failure: Option<String>,
-    exhaustion: Option<&Exhaustion>,
-) -> Value {
-    let mut m = Map::new();
-    m.insert("node".to_string(), Value::from(node));
-    m.insert("shape".to_string(), Value::from(shape));
-    m.insert("verdict".to_string(), Value::from(verdict));
-    if let Some(f) = failure {
-        m.insert("failure".to_string(), Value::from(f));
-    }
-    if let Some(e) = exhaustion {
-        m.insert("exhaustion".to_string(), exhaustion_json(e));
-    }
-    Value::Object(m)
-}
-
-pub fn exhaustion_json(e: &Exhaustion) -> Value {
-    e.to_json()
-}
-
-pub fn stats_json(s: &Stats) -> Value {
-    s.to_json()
-}
-
-/// The `metrics` block; `labels(i)` names shape `i` for per-shape rows.
-pub fn metrics_json(m: &Metrics, labels: &dyn Fn(usize) -> String) -> Value {
-    m.to_json(labels)
-}
+pub use shapex::report::{
+    finish_engine_doc, push_typing_rows, render, result_json, trace_json, ReportDoc,
+};
 
 pub fn bt_stats_json(s: &BtStats) -> Value {
     json!({
@@ -60,79 +21,4 @@ pub fn bt_stats_json(s: &BtStats) -> Value {
         "budget_steps": s.budget_steps,
         "exhausted_checks": s.exhausted_checks,
     })
-}
-
-/// A §7 derivative trace as structured steps.
-pub fn trace_json(t: &Trace, pool: &TermPool) -> Value {
-    let steps: Vec<Value> = t
-        .steps
-        .iter()
-        .map(|s| {
-            json!({
-                "subject": pool.term(s.subject).to_string(),
-                "predicate": pool.term(s.predicate).to_string(),
-                "object": pool.term(s.object).to_string(),
-                "inverse": s.inverse,
-                "before": s.before.as_str(),
-                "after": s.after.as_str(),
-            })
-        })
-        .collect();
-    json!({
-        "steps": Value::Array(steps),
-        "residual": t.residual.as_str(),
-        "nullable": t.nullable,
-        "matched": t.matched,
-    })
-}
-
-/// The top-level document skeleton shared by every `validate` mode.
-pub struct ReportDoc {
-    root: Map<String, Value>,
-    results: Vec<Value>,
-    exhausted: Vec<Value>,
-}
-
-impl ReportDoc {
-    pub fn new(mode: &str, engine: &str) -> Self {
-        let mut root = Map::new();
-        root.insert("tool".to_string(), Value::from("shapex"));
-        root.insert("mode".to_string(), Value::from(mode));
-        root.insert("engine".to_string(), Value::from(engine));
-        ReportDoc {
-            root,
-            results: Vec::new(),
-            exhausted: Vec::new(),
-        }
-    }
-
-    pub fn set(&mut self, key: &str, value: Value) {
-        self.root.insert(key.to_string(), value);
-    }
-
-    pub fn push_result(&mut self, row: Value) {
-        self.results.push(row);
-    }
-
-    pub fn push_exhausted(&mut self, node: &str, shape: &str, e: &Exhaustion) {
-        let mut m = Map::new();
-        m.insert("node".to_string(), Value::from(node));
-        m.insert("shape".to_string(), Value::from(shape));
-        m.insert("exhaustion".to_string(), exhaustion_json(e));
-        self.exhausted.push(Value::Object(m));
-    }
-
-    /// Seals the document. `conforms` is the run's overall verdict; it is
-    /// `null` when any check exhausted (the honest answer is "unknown").
-    pub fn finish(mut self, conforms: Option<bool>) -> Value {
-        self.root.insert(
-            "conforms".to_string(),
-            conforms.map_or(Value::Null, Value::from),
-        );
-        self.root
-            .insert("results".to_string(), Value::Array(self.results));
-        self.root
-            .insert("exhausted".to_string(), Value::Array(self.exhausted));
-        Value::Object(self.root)
-    }
 }

@@ -91,6 +91,16 @@ pub enum EngineError {
     UnknownShape(String),
     /// The schema failed well-formedness checks at compile time.
     Schema(SchemaError),
+    /// A [`Engine::revalidate`] call whose delta does not match the graph:
+    /// a triple the delta claims to have added is absent, or one it claims
+    /// to have removed (and not re-added) is still present. This means the
+    /// delta was never applied — or was applied to a different graph — and
+    /// revalidating against it would serve answers from a stale dependency
+    /// index.
+    StaleDelta {
+        /// Human-readable description of the first mismatch found.
+        detail: String,
+    },
     /// A resource budget tripped before the check completed (see
     /// [`crate::budget`]). Exhaustion is *not* non-conformance: the
     /// question is unanswered, and re-running with a larger budget may
@@ -110,6 +120,9 @@ impl std::fmt::Display for EngineError {
         match self {
             EngineError::UnknownShape(l) => write!(f, "unknown shape <{l}>"),
             EngineError::Schema(e) => e.fmt(f),
+            EngineError::StaleDelta { detail } => {
+                write!(f, "delta does not match graph (was it applied?): {detail}")
+            }
             EngineError::ResourceExhausted {
                 resource,
                 spent,
@@ -379,6 +392,7 @@ impl Engine {
         terms: &mut TermPool,
         config: EngineConfig,
     ) -> Result<Engine, EngineError> {
+        shapex_rdf::failpoint::hit("engine-compile");
         let compiled = CompiledSchema::compile(schema, terms, config.simplify)?;
         let metrics = config
             .metrics
@@ -651,6 +665,7 @@ impl Engine {
         node: TermId,
         shape: ShapeId,
     ) -> Outcome {
+        shapex_rdf::failpoint::hit("typing-wave");
         // Query boundary: the run-wide deadline is checked here even when
         // individual queries are too small to reach an amortised poll.
         if let Some(governor) = &self.governor {
@@ -1110,7 +1125,12 @@ impl Engine {
     /// Requires [`EngineConfig::incremental`] (otherwise this degrades to
     /// [`Engine::reset`] plus a full re-typing). Call it with the
     /// *post-delta* graph; the delta tells the engine which triples
-    /// changed.
+    /// changed. If the graph contradicts the delta — an added triple is
+    /// absent, or a removed (and not re-added) triple is still present —
+    /// the delta was never applied (or was applied to a different graph)
+    /// and the call fails with [`EngineError::StaleDelta`] instead of
+    /// serving answers from a stale dependency index. Applying the same
+    /// delta twice is set-idempotent and therefore *not* detectable here.
     ///
     /// ```
     /// use shapex::{Engine, EngineConfig};
@@ -1134,12 +1154,17 @@ impl Engine {
     ///     "@prefix e: <http://e/> .\n- e:b e:p 3 .\n+ e:b e:p 2 .\n",
     ///     &mut ds.pool).unwrap();
     /// ds.apply_delta(&d);
-    /// let typing = engine.revalidate(&ds.graph, &ds.pool, &d);
+    /// let typing = engine.revalidate(&ds.graph, &ds.pool, &d).unwrap();
     /// assert_eq!(typing.shapes_of(b).count(), 1);
     /// assert_eq!(engine.stats().retyped_pairs, 1);
     /// assert_eq!(engine.stats().reused_pairs, 1);
     /// ```
-    pub fn revalidate(&mut self, graph: &Graph, terms: &TermPool, delta: &GraphDelta) -> Typing {
+    pub fn revalidate(
+        &mut self,
+        graph: &Graph,
+        terms: &TermPool,
+        delta: &GraphDelta,
+    ) -> Result<Typing, EngineError> {
         self.revalidate_par(graph, terms, delta, 1)
     }
 
@@ -1151,12 +1176,13 @@ impl Engine {
         terms: &TermPool,
         delta: &GraphDelta,
         jobs: usize,
-    ) -> Typing {
+    ) -> Result<Typing, EngineError> {
+        self.check_delta_applied(graph, terms, delta)?;
         if !self.config.incremental {
             // No dependency index was recorded: the only sound move is to
             // drop every cache keyed against the old graph and start over.
             self.reset();
-            return self.type_all_par(graph, terms, jobs);
+            return Ok(self.type_all_par(graph, terms, jobs));
         }
         let invalidated = self.invalidate(delta);
         // Reuse accounting over the post-delta query list, taken before
@@ -1180,7 +1206,46 @@ impl Engine {
             m.delta_reused += reused;
             m.delta_retyped += retyped;
         });
-        self.type_all_par(graph, terms, jobs)
+        Ok(self.type_all_par(graph, terms, jobs))
+    }
+
+    /// Cheap sanity check that `delta` was actually applied to `graph`:
+    /// every added triple must be present, and every removed triple that
+    /// the delta does not also re-add must be absent. O(|delta|) contains
+    /// probes.
+    fn check_delta_applied(
+        &self,
+        graph: &Graph,
+        terms: &TermPool,
+        delta: &GraphDelta,
+    ) -> Result<(), EngineError> {
+        let describe = |t: &shapex_rdf::Triple| {
+            format!(
+                "{} {} {}",
+                terms.term(t.subject),
+                terms.term(t.predicate),
+                terms.term(t.object)
+            )
+        };
+        for t in &delta.added {
+            if !graph.contains(t) {
+                return Err(EngineError::StaleDelta {
+                    detail: format!("added triple missing from graph: {} .", describe(t)),
+                });
+            }
+        }
+        for t in &delta.removed {
+            if delta.added.contains(t) {
+                // Removed then re-added: net effect is presence, checked above.
+                continue;
+            }
+            if graph.contains(t) {
+                return Err(EngineError::StaleDelta {
+                    detail: format!("removed triple still in graph: {} .", describe(t)),
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Purges every memoised answer the delta can reach: the pairs that
@@ -2062,6 +2127,7 @@ impl Engine {
                 self.deriv_memo.insert((e, pid), d);
             }
             Slot::Dfa(shape, src, class) => {
+                shapex_rdf::failpoint::hit("dfa-fill");
                 let dst = self.dfa_state(shape, d);
                 if self.dfas[shape.index()].record(src, class, dst) {
                     self.dfa_filled += 1;
@@ -2670,7 +2736,7 @@ mod tests {
 
         let d = shapex_rdf::delta::parse(MARY_FIX_DELTA, &mut ds.pool).unwrap();
         ds.apply_delta(&d);
-        let incremental = engine.revalidate(&ds.graph, &ds.pool, &d);
+        let incremental = engine.revalidate(&ds.graph, &ds.pool, &d).unwrap();
         assert_eq!(incremental, scratch_typing(PERSON_SCHEMA, &mut ds));
         assert_eq!(incremental.shapes_of(mary).count(), 1);
 
@@ -2707,7 +2773,7 @@ mod tests {
         let d = shapex_rdf::delta::parse("@prefix e: <http://e/> .\n+ e:t e:q 2 .\n", &mut ds.pool)
             .unwrap();
         ds.apply_delta(&d);
-        let incremental = engine.revalidate(&ds.graph, &ds.pool, &d);
+        let incremental = engine.revalidate(&ds.graph, &ds.pool, &d).unwrap();
         assert_eq!(incremental.shapes_of(n1).count(), 0);
         assert_eq!(
             incremental.shapes_of(n2).count(),
@@ -2729,7 +2795,7 @@ mod tests {
         engine.type_all_par(&ds.graph, &ds.pool, 4);
         let d = shapex_rdf::delta::parse(MARY_FIX_DELTA, &mut ds.pool).unwrap();
         ds.apply_delta(&d);
-        let incremental = engine.revalidate_par(&ds.graph, &ds.pool, &d, 4);
+        let incremental = engine.revalidate_par(&ds.graph, &ds.pool, &d, 4).unwrap();
         assert_eq!(incremental, scratch_typing(PERSON_SCHEMA, &mut ds));
     }
 
@@ -2738,7 +2804,9 @@ mod tests {
         let (mut engine, ds) = setup_incremental(PERSON_SCHEMA, PERSON_DATA);
         let before = engine.type_all(&ds.graph, &ds.pool);
         let node_checks = engine.stats().node_checks;
-        let after = engine.revalidate(&ds.graph, &ds.pool, &GraphDelta::new());
+        let after = engine
+            .revalidate(&ds.graph, &ds.pool, &GraphDelta::new())
+            .unwrap();
         assert_eq!(before, after);
         let stats = engine.stats();
         assert_eq!(stats.invalidated_pairs, 0);
@@ -2756,7 +2824,7 @@ mod tests {
         engine.type_all(&ds.graph, &ds.pool);
         let d = shapex_rdf::delta::parse(MARY_FIX_DELTA, &mut ds.pool).unwrap();
         ds.apply_delta(&d);
-        let typing = engine.revalidate(&ds.graph, &ds.pool, &d);
+        let typing = engine.revalidate(&ds.graph, &ds.pool, &d).unwrap();
         assert_eq!(typing, scratch_typing(PERSON_SCHEMA, &mut ds));
         let stats = engine.stats();
         assert_eq!(
@@ -2787,7 +2855,7 @@ mod tests {
         )
         .unwrap();
         ds.apply_delta(&d);
-        let incremental = engine.revalidate(&ds.graph, &ds.pool, &d);
+        let incremental = engine.revalidate(&ds.graph, &ds.pool, &d).unwrap();
         assert_eq!(incremental, scratch_typing(PERSON_SCHEMA, &mut ds));
         let new = ds.iri("http://example.org/new").unwrap();
         let mary = ds.iri("http://example.org/mary").unwrap();

@@ -50,6 +50,7 @@ pub mod compile;
 pub mod dfa;
 pub mod engine;
 pub mod metrics;
+pub mod report;
 pub mod result;
 pub mod sorbe;
 pub mod validate;
@@ -68,4 +69,5 @@ pub use validate::{default_jobs, validate, validate_par, validate_with_budget, R
 // Re-export the substrate crates so downstream users need a single
 // dependency.
 pub use shapex_rdf as rdf;
+pub use shapex_rdf::failpoint;
 pub use shapex_shex as shex;

@@ -1,0 +1,209 @@
+//! JSON report documents for validation runs.
+//!
+//! The document schema is documented in `DESIGN.md` (§ Observability) and
+//! held stable by the CLI tests and the CI smoke step. It lives in the
+//! core crate — not the CLI — because byte-identical reports are the
+//! contract between every front end: `shapex validate --report json` and
+//! the resident server's `/validate` endpoint assemble their documents
+//! through these same builders, which is what lets the CI smoke job diff
+//! one against the other byte for byte.
+//!
+//! Stats, metrics, and exhaustion blocks come from the engine types' own
+//! `to_json` methods; this module assembles the document around them.
+
+use serde_json::{json, Map, Value};
+
+use shapex_rdf::graph::Graph;
+use shapex_rdf::pool::TermPool;
+
+use crate::budget::Exhaustion;
+use crate::compile::ShapeId;
+use crate::engine::{Engine, Trace};
+use crate::metrics::Metrics;
+use crate::result::{Stats, Typing};
+
+/// Serializes a report document: pretty-printed, trailing newline.
+pub fn render(v: &Value) -> String {
+    let mut s = serde_json::to_string_pretty(v).expect("report values contain no NaN");
+    s.push('\n');
+    s
+}
+
+/// One `(node, shape)` verdict row.
+pub fn result_json(
+    node: &str,
+    shape: &str,
+    verdict: &str,
+    failure: Option<String>,
+    exhaustion: Option<&Exhaustion>,
+) -> Value {
+    let mut m = Map::new();
+    m.insert("node".to_string(), Value::from(node));
+    m.insert("shape".to_string(), Value::from(shape));
+    m.insert("verdict".to_string(), Value::from(verdict));
+    if let Some(f) = failure {
+        m.insert("failure".to_string(), Value::from(f));
+    }
+    if let Some(e) = exhaustion {
+        m.insert("exhaustion".to_string(), exhaustion_json(e));
+    }
+    Value::Object(m)
+}
+
+/// The `exhaustion` block of a row or document.
+pub fn exhaustion_json(e: &Exhaustion) -> Value {
+    e.to_json()
+}
+
+/// The `stats` block.
+pub fn stats_json(s: &Stats) -> Value {
+    s.to_json()
+}
+
+/// The `metrics` block; `labels(i)` names shape `i` for per-shape rows.
+pub fn metrics_json(m: &Metrics, labels: &dyn Fn(usize) -> String) -> Value {
+    m.to_json(labels)
+}
+
+/// A §7 derivative trace as structured steps.
+pub fn trace_json(t: &Trace, pool: &TermPool) -> Value {
+    let steps: Vec<Value> = t
+        .steps
+        .iter()
+        .map(|s| {
+            json!({
+                "subject": pool.term(s.subject).to_string(),
+                "predicate": pool.term(s.predicate).to_string(),
+                "object": pool.term(s.object).to_string(),
+                "inverse": s.inverse,
+                "before": s.before.as_str(),
+                "after": s.after.as_str(),
+            })
+        })
+        .collect();
+    json!({
+        "steps": Value::Array(steps),
+        "residual": t.residual.as_str(),
+        "nullable": t.nullable,
+        "matched": t.matched,
+    })
+}
+
+/// The top-level document skeleton shared by every `validate` mode.
+pub struct ReportDoc {
+    root: Map<String, Value>,
+    results: Vec<Value>,
+    exhausted: Vec<Value>,
+}
+
+impl ReportDoc {
+    /// A fresh skeleton for the given mode/engine pair.
+    pub fn new(mode: &str, engine: &str) -> Self {
+        let mut root = Map::new();
+        root.insert("tool".to_string(), Value::from("shapex"));
+        root.insert("mode".to_string(), Value::from(mode));
+        root.insert("engine".to_string(), Value::from(engine));
+        ReportDoc {
+            root,
+            results: Vec::new(),
+            exhausted: Vec::new(),
+        }
+    }
+
+    /// Sets a top-level key.
+    pub fn set(&mut self, key: &str, value: Value) {
+        self.root.insert(key.to_string(), value);
+    }
+
+    /// Appends one verdict row (see [`result_json`]).
+    pub fn push_result(&mut self, row: Value) {
+        self.results.push(row);
+    }
+
+    /// Appends one row to the document-level `exhausted` array.
+    pub fn push_exhausted(&mut self, node: &str, shape: &str, e: &Exhaustion) {
+        let mut m = Map::new();
+        m.insert("node".to_string(), Value::from(node));
+        m.insert("shape".to_string(), Value::from(shape));
+        m.insert("exhaustion".to_string(), exhaustion_json(e));
+        self.exhausted.push(Value::Object(m));
+    }
+
+    /// Seals the document. `conforms` is the run's overall verdict; it is
+    /// `null` when any check exhausted (the honest answer is "unknown").
+    pub fn finish(mut self, conforms: Option<bool>) -> Value {
+        self.root.insert(
+            "conforms".to_string(),
+            conforms.map_or(Value::Null, Value::from),
+        );
+        self.root
+            .insert("results".to_string(), Value::Array(self.results));
+        self.root
+            .insert("exhausted".to_string(), Value::Array(self.exhausted));
+        Value::Object(self.root)
+    }
+}
+
+/// Fills a report document with the per-`(node, shape)` rows of a full
+/// typing: `conforms` rows straight from the typing, `exhausted` rows (plus
+/// the document's exhaustion block) for unanswered pairs, and `fails` rows
+/// with a recomputed failure trace for everything else. Shared by the plain
+/// full-typing report, both halves of the `--delta` before/after report,
+/// and the server's `/validate` endpoint.
+pub fn push_typing_rows(
+    doc: &mut ReportDoc,
+    engine: &mut Engine,
+    graph: &Graph,
+    pool: &TermPool,
+    typing: &Typing,
+) {
+    let exhausted: std::collections::HashMap<_, _> = typing
+        .exhausted
+        .iter()
+        .map(|&(n, s, e)| ((n, s), e))
+        .collect();
+    for node in graph.subjects().collect::<Vec<_>>() {
+        for i in 0..engine.schema().shapes.len() {
+            let shape = ShapeId(i as u32);
+            let node_name = pool.term(node).to_string();
+            let shape_name = engine.label_of(shape).as_str().to_string();
+            if typing.has(node, shape) {
+                doc.push_result(result_json(&node_name, &shape_name, "conforms", None, None));
+            } else if let Some(e) = exhausted.get(&(node, shape)) {
+                doc.push_result(result_json(
+                    &node_name,
+                    &shape_name,
+                    "exhausted",
+                    None,
+                    Some(e),
+                ));
+                doc.push_exhausted(&node_name, &shape_name, e);
+            } else {
+                let failure = engine
+                    .check_id(graph, pool, node, shape)
+                    .into_failure()
+                    .map(|f| f.render(pool));
+                doc.push_result(result_json(&node_name, &shape_name, "fails", failure, None));
+            }
+        }
+    }
+}
+
+/// Seals a derivative-engine report document: attaches the run stats, the
+/// metrics block, and the lenient skip count, then serializes it.
+pub fn finish_engine_doc(
+    mut doc: ReportDoc,
+    engine: &Engine,
+    skipped: usize,
+    conforms: Option<bool>,
+) -> String {
+    if skipped > 0 {
+        doc.set("lenient_skipped", Value::from(skipped));
+    }
+    doc.set("stats", stats_json(&engine.stats()));
+    if let Some(m) = engine.metrics() {
+        let labels = |i: usize| engine.label_of(ShapeId(i as u32)).as_str().to_string();
+        doc.set("metrics", metrics_json(m, &labels));
+    }
+    render(&doc.finish(conforms))
+}

@@ -141,6 +141,35 @@ impl std::fmt::Display for DeltaError {
 
 impl std::error::Error for DeltaError {}
 
+/// A failure while *applying* a delta to a graph (see
+/// [`Graph::try_apply_delta`](crate::graph::Graph::try_apply_delta)).
+/// By the time this error is observable the graph has already been rolled
+/// back to its pre-delta state — the failed application is a no-op.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaApplyError {
+    /// 0-based index of the operation (removals first, then additions)
+    /// that failed.
+    pub op_index: usize,
+    /// Total operations in the delta.
+    pub operations: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for DeltaApplyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "delta apply failed at operation {}/{} (graph rolled back): {}",
+            self.op_index + 1,
+            self.operations,
+            self.message
+        )
+    }
+}
+
+impl std::error::Error for DeltaApplyError {}
+
 /// Parses the line-oriented delta format (see the [module docs](self))
 /// into a [`GraphDelta`], interning all terms into `pool`.
 ///
@@ -164,19 +193,39 @@ pub fn parse(input: &str, pool: &mut TermPool) -> Result<GraphDelta, DeltaError>
             continue;
         }
         if line.starts_with("@prefix") {
+            // Validate the directive *now*, against the prefixes already in
+            // scope, so a malformed one is reported with its own line
+            // number instead of poisoning (or silently never reaching) a
+            // later operation line.
+            let candidate = format!("{prefixes}{line}\n");
+            let mut scratch = Dataset {
+                pool: mem::take(pool),
+                graph: Default::default(),
+            };
+            let outcome = turtle::parse_into(&candidate, &mut scratch);
+            *pool = scratch.pool;
+            if let Err(e) = outcome {
+                return Err(DeltaError {
+                    line: lineno,
+                    message: format!("malformed @prefix directive: {e}"),
+                });
+            }
             prefixes.push_str(line);
             prefixes.push('\n');
             continue;
         }
-        let (op, stmt) = match line.split_at(1) {
-            ("+", rest) => (true, rest.trim_start()),
-            ("-", rest) => (false, rest.trim_start()),
-            _ => {
-                return Err(DeltaError {
-                    line: lineno,
-                    message: format!("expected '+', '-', '@prefix', or comment, got: {line}"),
-                })
-            }
+        // `strip_prefix`, not `split_at(1)`: a line opening with a
+        // multi-byte character must produce a line-numbered error, not a
+        // char-boundary panic.
+        let (op, stmt) = if let Some(rest) = line.strip_prefix('+') {
+            (true, rest.trim_start())
+        } else if let Some(rest) = line.strip_prefix('-') {
+            (false, rest.trim_start())
+        } else {
+            return Err(DeltaError {
+                line: lineno,
+                message: format!("expected '+', '-', '@prefix', or comment, got: {line}"),
+            });
         };
         // Parse the statement with the accumulated prefixes in scope,
         // interning directly into the caller's pool (taken for the
@@ -239,6 +288,47 @@ mod tests {
         assert_eq!(err.line, 2);
         // The pool survives a failed parse.
         pool.intern_iri("http://e/after");
+    }
+
+    #[test]
+    fn parse_rejects_multibyte_junk_line_without_panicking() {
+        // Fail-pre-fix: `split_at(1)` panicked on a line whose first
+        // character is multi-byte ("byte index 1 is not a char boundary")
+        // instead of reporting a syntax error.
+        let mut pool = TermPool::new();
+        for junk in ["± e:a e:p e:b .", "→ oops", "é"] {
+            let input = format!("@prefix e: <http://e/> .\n{junk}\n");
+            let err = parse(&input, &mut pool).unwrap_err();
+            assert_eq!(err.line, 2, "{junk}");
+            assert!(err.message.contains("expected"), "{}", err.message);
+        }
+    }
+
+    #[test]
+    fn parse_reports_malformed_prefix_on_its_own_line() {
+        // Fail-pre-fix: malformed @prefix directives were accumulated
+        // unvalidated — the error surfaced (if at all) on a later
+        // operation line with that line's number, or was silently
+        // swallowed when no operation line followed.
+        let mut pool = TermPool::new();
+        let err = parse("# header\n@prefix broken <http://e/> .\n", &mut pool).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("@prefix"), "{}", err.message);
+
+        // Still line 2 when an operation line follows.
+        let err = parse(
+            "@prefix e: <http://e/> .\n@prefix broken\n+ e:a e:p e:b .\n",
+            &mut pool,
+        )
+        .unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn parse_accepts_operator_without_space() {
+        let mut pool = TermPool::new();
+        let d = parse("@prefix e: <http://e/> .\n+e:a e:p e:b .\n", &mut pool).unwrap();
+        assert_eq!(d.added.len(), 1);
     }
 
     #[test]

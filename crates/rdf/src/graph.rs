@@ -9,7 +9,7 @@
 use std::collections::hash_map::Entry;
 use std::collections::{HashMap, HashSet};
 
-use crate::delta::{AppliedDelta, GraphDelta};
+use crate::delta::{AppliedDelta, DeltaApplyError, GraphDelta};
 use crate::pool::{TermId, TermPool};
 use crate::term::Term;
 
@@ -157,8 +157,38 @@ impl Graph {
     /// adjacency positions vacated by removals, which
     /// [`Graph::revert_delta`] consumes to restore the graph exactly.
     pub fn apply_delta(&mut self, delta: &GraphDelta) -> AppliedDelta {
+        self.try_apply_delta(delta)
+            .expect("delta application cannot fail without fault injection")
+    }
+
+    /// [`Graph::apply_delta`] with an error channel, and **all-or-nothing**
+    /// semantics: if an operation fails mid-delta (today that only happens
+    /// through the `delta-apply` failpoint, modelling an I/O error in a
+    /// persistent backend), every operation already performed is reverted
+    /// and the graph is returned to a state *structurally identical* to its
+    /// pre-delta one — same adjacency order, same subject iteration order —
+    /// before the error is surfaced. A caller observing
+    /// [`Err`] may therefore keep serving from the graph as if the delta
+    /// had never been attempted.
+    pub fn try_apply_delta(&mut self, delta: &GraphDelta) -> Result<AppliedDelta, DeltaApplyError> {
         let mut applied = AppliedDelta::default();
+        let mut op = 0usize;
+        let total = delta.removed.len() + delta.added.len();
+        let fail = |applied: &AppliedDelta, graph: &mut Graph, op: usize| {
+            crate::failpoint::check("delta-apply").map(|message| {
+                graph.revert_delta(applied);
+                DeltaApplyError {
+                    op_index: op,
+                    operations: total,
+                    message,
+                }
+            })
+        };
         for &t in &delta.removed {
+            if let Some(e) = fail(&applied, self, op) {
+                return Err(e);
+            }
+            op += 1;
             if !self.triples.remove(&t) {
                 continue;
             }
@@ -183,11 +213,15 @@ impl Graph {
             applied.removed.push((t, oi, ii));
         }
         for &t in &delta.added {
+            if let Some(e) = fail(&applied, self, op) {
+                return Err(e);
+            }
+            op += 1;
             if self.insert(t) {
                 applied.added.push(t);
             }
         }
-        applied
+        Ok(applied)
     }
 
     /// Undoes an [`apply_delta`](Graph::apply_delta): removes the triples
@@ -317,6 +351,12 @@ impl Dataset {
     /// [`Graph::apply_delta`] on the bundled graph.
     pub fn apply_delta(&mut self, delta: &GraphDelta) -> AppliedDelta {
         self.graph.apply_delta(delta)
+    }
+
+    /// [`Graph::try_apply_delta`] on the bundled graph: all-or-nothing
+    /// application with an error channel for injected mid-delta failures.
+    pub fn try_apply_delta(&mut self, delta: &GraphDelta) -> Result<AppliedDelta, DeltaApplyError> {
+        self.graph.try_apply_delta(delta)
     }
 
     /// [`Graph::revert_delta`] on the bundled graph.
@@ -539,5 +579,48 @@ mod tests {
         let s2 = ds.graph.triples_sorted();
         assert_eq!(s1, s2);
         assert_eq!(s1.len(), 2);
+    }
+
+    #[cfg(feature = "fail-inject")]
+    #[test]
+    fn injected_mid_delta_failure_rolls_back_exactly() {
+        use crate::failpoint::{self, Action};
+        use crate::{delta, turtle, writer};
+
+        let mut ds = turtle::parse(
+            "@prefix e: <http://e/> .\n\
+             e:a e:p e:b, e:c .\n\
+             e:b e:p e:d .\n",
+        )
+        .unwrap();
+        let d = delta::parse(
+            "@prefix e: <http://e/> .\n\
+             - e:a e:p e:b .\n\
+             - e:b e:p e:d .\n\
+             + e:a e:q e:z .\n\
+             + e:b e:q e:z .\n",
+            &mut ds.pool,
+        )
+        .unwrap();
+        let before = writer::to_ntriples(&ds.graph, &ds.pool);
+
+        // Fail on the third of four operations: both removals land, then
+        // the first addition trips — a genuinely half-applied delta that
+        // must be rolled back to a byte-identical graph.
+        failpoint::set_after("delta-apply", Action::Error("disk full".into()), 2, Some(1));
+        let err = ds.try_apply_delta(&d).unwrap_err();
+        assert_eq!(err.op_index, 2);
+        assert_eq!(err.operations, 4);
+        assert!(err.message.contains("disk full"), "{}", err.message);
+        assert_eq!(writer::to_ntriples(&ds.graph, &ds.pool), before);
+
+        // The times budget is spent, so the same delta now applies fully —
+        // and a revert restores the original serialization again.
+        let applied = ds.try_apply_delta(&d).unwrap();
+        assert_eq!(applied.removed_count(), 2);
+        assert_eq!(applied.added_count(), 2);
+        ds.revert_delta(&applied);
+        assert_eq!(writer::to_ntriples(&ds.graph, &ds.pool), before);
+        failpoint::reset();
     }
 }

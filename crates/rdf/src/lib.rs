@@ -22,6 +22,7 @@
 //! ```
 
 pub mod delta;
+pub mod failpoint;
 pub mod graph;
 pub mod iso;
 pub mod ntriples;
@@ -33,7 +34,7 @@ pub mod vocab;
 pub mod writer;
 pub mod xsd;
 
-pub use delta::{AppliedDelta, DeltaError, GraphDelta};
+pub use delta::{AppliedDelta, DeltaApplyError, DeltaError, GraphDelta};
 pub use graph::{Arc, Dataset, Graph, Triple};
 pub use iso::are_isomorphic;
 pub use parser::ParseError;

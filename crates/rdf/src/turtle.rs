@@ -23,6 +23,9 @@ pub fn parse(input: &str) -> Result<Dataset, ParseError> {
 /// Parses a Turtle document, adding its triples into an existing dataset
 /// (terms are interned into the dataset's pool).
 pub fn parse_into(input: &str, dataset: &mut Dataset) -> Result<(), ParseError> {
+    if let Some(msg) = crate::failpoint::check("turtle-parse") {
+        return Err(ParseError::new(1, 1, format!("injected failure: {msg}")));
+    }
     TurtleParser::new(input, dataset).run()
 }
 

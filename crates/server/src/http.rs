@@ -1,0 +1,264 @@
+//! A minimal HTTP/1.1 server side: just enough request parsing and
+//! response writing for the validation endpoints, hand-rolled over
+//! [`std::net::TcpStream`] because the build is offline (no hyper, no
+//! tokio — the same constraint that put the stand-in crates in
+//! `vendor/`).
+//!
+//! Deliberate simplifications, all safe for a service that fronts trusted
+//! infrastructure rather than the open internet:
+//!
+//! * one request per connection (`Connection: close` on every response);
+//! * bodies require `Content-Length` (no chunked encoding);
+//! * hard caps on header block (16 KiB) and body (16 MiB) — a request
+//!   over either is refused, not buffered, so a misbehaving client
+//!   cannot balloon server memory;
+//! * a socket read timeout bounds how long a slow client can hold a
+//!   worker (slowloris protection).
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Largest accepted request-line + header block.
+pub const MAX_HEADER_BYTES: usize = 16 * 1024;
+/// Largest accepted request body.
+pub const MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
+/// How long a worker waits on a slow client before giving up.
+pub const READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// A parsed request: method, decoded path, query pairs, body.
+#[derive(Debug)]
+pub struct Request {
+    /// `GET`, `POST`, ... — uppercased as received.
+    pub method: String,
+    /// Path without the query string, e.g. `/validate`.
+    pub path: String,
+    /// Decoded `key=value` query pairs in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length`).
+    pub body: String,
+}
+
+impl Request {
+    /// First query value for `key`, if present.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A request refused at the protocol layer, with the status to answer.
+#[derive(Debug)]
+pub struct HttpError {
+    /// HTTP status code to respond with.
+    pub status: u16,
+    /// Human-readable reason, included in the error body.
+    pub message: String,
+}
+
+impl HttpError {
+    fn new(status: u16, message: impl Into<String>) -> HttpError {
+        HttpError {
+            status,
+            message: message.into(),
+        }
+    }
+}
+
+/// Reads and parses one request from the stream. `Err(Ok(e))`-style
+/// layering is avoided: IO failures (client gone, timeout) come back as
+/// `Err(io::Error)` — nothing to answer; protocol violations come back as
+/// `Ok(Err(HttpError))` — answer with that status.
+pub fn read_request(stream: &mut TcpStream) -> io::Result<Result<Request, HttpError>> {
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    let mut reader = BufReader::new(stream);
+
+    let mut head = Vec::new();
+    // Read header lines up to the blank separator, enforcing the cap.
+    loop {
+        let mut line = Vec::new();
+        let n = read_limited_line(&mut reader, &mut line, MAX_HEADER_BYTES)?;
+        if n == 0 {
+            // EOF before a full request: client went away.
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-request",
+            ));
+        }
+        head.extend_from_slice(&line);
+        if head.len() > MAX_HEADER_BYTES {
+            return Ok(Err(HttpError::new(431, "request header block too large")));
+        }
+        if line == b"\r\n" || line == b"\n" {
+            break;
+        }
+    }
+    let head = String::from_utf8_lossy(&head).into_owned();
+    let mut lines = head.lines();
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(target)) = (parts.next(), parts.next()) else {
+        return Ok(Err(HttpError::new(400, "malformed request line")));
+    };
+
+    let mut content_length = 0usize;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            content_length = match value.trim().parse() {
+                Ok(n) => n,
+                Err(_) => return Ok(Err(HttpError::new(400, "bad Content-Length"))),
+            };
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Ok(Err(HttpError::new(413, "request body too large")));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    let body = match String::from_utf8(body) {
+        Ok(b) => b,
+        Err(_) => return Ok(Err(HttpError::new(400, "request body is not UTF-8"))),
+    };
+
+    let (path, query_str) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let query = query_str
+        .split('&')
+        .filter(|p| !p.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(pair), String::new()),
+        })
+        .collect();
+
+    Ok(Ok(Request {
+        method: method.to_ascii_uppercase(),
+        path: percent_decode(path),
+        query,
+        body,
+    }))
+}
+
+/// `read_until(b'\n')` with a byte cap, so an endless header line cannot
+/// grow the buffer without bound.
+fn read_limited_line(
+    reader: &mut impl BufRead,
+    out: &mut Vec<u8>,
+    cap: usize,
+) -> io::Result<usize> {
+    let mut total = 0usize;
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte)? {
+            0 => return Ok(total),
+            _ => {
+                out.push(byte[0]);
+                total += 1;
+                if byte[0] == b'\n' || total > cap {
+                    return Ok(total);
+                }
+            }
+        }
+    }
+}
+
+/// Minimal `%XX` + `+` decoding for paths and query values.
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let decoded = bytes
+                    .get(i + 1..i + 3)
+                    .and_then(|hex| std::str::from_utf8(hex).ok())
+                    .and_then(|hex| u8::from_str_radix(hex, 16).ok());
+                match decoded {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                        continue;
+                    }
+                    // Malformed escape: pass the '%' through.
+                    None => out.push(b'%'),
+                }
+            }
+            b'+' => out.push(b' '),
+            b => out.push(b),
+        }
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Writes one response and flushes. `extra_headers` are appended verbatim
+/// after the standard set.
+pub fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &str,
+) -> io::Result<()> {
+    let reason = reason_phrase(status);
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// A JSON error body: `{"error": "..."}` with the given status.
+pub fn respond_error(stream: &mut TcpStream, status: u16, message: &str) -> io::Result<()> {
+    let body =
+        serde_json::to_string(&serde_json::json!({ "error": message })).expect("error JSON") + "\n";
+    respond(stream, status, "application/json", &[], &body)
+}
+
+fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::percent_decode;
+
+    #[test]
+    fn percent_decoding() {
+        assert_eq!(percent_decode("a%20b+c"), "a b c");
+        assert_eq!(percent_decode("plain"), "plain");
+        assert_eq!(percent_decode("%2Fpath"), "/path");
+        // Malformed escapes pass through instead of panicking.
+        assert_eq!(percent_decode("100%"), "100%");
+        assert_eq!(percent_decode("%zz"), "%zz");
+    }
+}

@@ -1,0 +1,393 @@
+#![warn(missing_docs)]
+//! # shapex-server
+//!
+//! The resident validation service behind `shapex serve`: a std-only
+//! HTTP/1.1 listener hosting warm [`Engine`](shapex::Engine)s so the
+//! expensive state — interned term pools, compiled schemas, lazy DFA
+//! tables, the incremental dependency index — survives across requests
+//! instead of dying with each CLI invocation.
+//!
+//! ## Endpoints
+//!
+//! | method + path          | body             | answer |
+//! |------------------------|------------------|--------|
+//! | `GET /health`          | —                | `{"status":"ok"}` (or `"draining"`) |
+//! | `GET /stats`           | —                | server counters + per-entry engine stats/metrics |
+//! | `POST /validate?id=G`  | —                | full-typing report, byte-identical to `validate --report json` |
+//! | `POST /map?id=G`       | shape-map text   | per-association report (CLI `--map --report json`) |
+//! | `POST /delta?id=G`     | delta-file text  | before/after report (CLI `--delta --report json`) |
+//! | `POST /load?id=G`      | JSON `{schema, data}` | registers/replaces entry `G` |
+//!
+//! `id` defaults to `default`. Report responses carry the CLI-equivalent
+//! exit code in an `X-Shapex-Exit` header (0 ok, 2 non-conformant, 3
+//! exhausted) so the body can stay byte-identical to CLI output.
+//!
+//! ## Robustness model
+//!
+//! * **Fault isolation** — engine calls run under `catch_unwind`; a panic
+//!   quarantines only that entry, which is rebuilt from immutable sources
+//!   and differentially checked before re-entering service (see
+//!   [`registry`]).
+//! * **QoS admission control** — a bounded worker pool takes connections
+//!   from a bounded accept queue; when the queue is full the acceptor
+//!   sheds load with `503` + `Retry-After` instead of buffering without
+//!   bound. Every engine call runs under the server-level per-request
+//!   [`Budget`].
+//! * **Graceful drain** — SIGTERM (or [`ServerHandle::shutdown`]) stops
+//!   the acceptor, lets workers finish the queued requests, then joins
+//!   them; in-flight requests complete.
+
+pub mod http;
+pub mod registry;
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use serde_json::{json, to_string, Value};
+use shapex::{Budget, EngineConfig};
+
+use http::{read_request, respond, respond_error, Request};
+use registry::Registry;
+
+/// Server tuning knobs; every limit is a hard bound.
+#[derive(Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7878` (`:0` picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads handling requests.
+    pub workers: usize,
+    /// Accept-queue depth; connections beyond it are shed with 503.
+    pub queue: usize,
+    /// Worker threads per full-typing run (`--jobs`; 1 = the exact
+    /// sequential path, which is what the CLI byte-identity smoke pins).
+    pub jobs: usize,
+    /// Per-request engine budget derived from server-level limits.
+    pub budget: Budget,
+    /// ShEx open-shape semantics (default: closed, as in the paper).
+    pub open: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            workers: 4,
+            queue: 64,
+            jobs: 1,
+            budget: Budget::UNLIMITED,
+            open: false,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// The engine configuration every entry is compiled with: metrics on
+    /// (report documents always carry them), incremental on (the `/delta`
+    /// endpoint consumes the dependency index), budget from the server
+    /// limits.
+    pub fn engine_config(&self) -> EngineConfig {
+        EngineConfig {
+            closure: if self.open {
+                shapex::Closure::Open
+            } else {
+                shapex::Closure::Closed
+            },
+            metrics: true,
+            incremental: true,
+            budget: self.budget,
+            ..EngineConfig::default()
+        }
+    }
+}
+
+/// Service-level counters surfaced at `/stats`.
+#[derive(Default)]
+struct ServerStats {
+    requests: AtomicU64,
+    shed: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+/// A running server: join handles plus the shared shutdown flag.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with `:0` ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests a graceful drain and blocks until every worker has
+    /// finished: the acceptor stops taking connections, queued requests
+    /// complete, threads are joined.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.join_all();
+    }
+
+    /// Blocks until the server drains (e.g. after SIGTERM set the flag).
+    pub fn wait(mut self) {
+        self.join_all();
+    }
+
+    fn join_all(&mut self) {
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Starts the server on `config.addr`, returning once the socket is
+/// bound and the worker pool is up. The registry is shared — load entries
+/// before or after starting.
+pub fn start(config: ServerConfig, registry: Arc<Registry>) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+
+    let shutdown = shutdown_flag();
+    shutdown.store(false, Ordering::SeqCst);
+    let stats = Arc::new(ServerStats::default());
+    let (tx, rx) = sync_channel::<TcpStream>(config.queue.max(1));
+    let rx = Arc::new(Mutex::new(rx));
+
+    let mut workers = Vec::with_capacity(config.workers.max(1));
+    for i in 0..config.workers.max(1) {
+        let rx = Arc::clone(&rx);
+        let registry = Arc::clone(&registry);
+        let stats = Arc::clone(&stats);
+        let config = config.clone();
+        let shutdown = Arc::clone(&shutdown);
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("shapex-worker-{i}"))
+                .spawn(move || worker_loop(&rx, &registry, &stats, &config, &shutdown))
+                .expect("spawning worker thread"),
+        );
+    }
+
+    let acceptor = {
+        let shutdown = Arc::clone(&shutdown);
+        let stats = Arc::clone(&stats);
+        std::thread::Builder::new()
+            .name("shapex-acceptor".to_string())
+            .spawn(move || accept_loop(listener, tx, &shutdown, &stats))
+            .expect("spawning acceptor thread")
+    };
+
+    Ok(ServerHandle {
+        addr,
+        shutdown,
+        acceptor: Some(acceptor),
+        workers,
+    })
+}
+
+/// The process-wide shutdown flag; shared with the SIGTERM handler, which
+/// may only do an atomic store.
+fn shutdown_flag() -> Arc<AtomicBool> {
+    static FLAG: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+    Arc::clone(FLAG.get_or_init(|| Arc::new(AtomicBool::new(false))))
+}
+
+/// Installs a SIGTERM/SIGINT handler that requests a graceful drain.
+/// `std` already links libc; declaring `signal` directly avoids a crate
+/// dependency the offline build cannot add.
+pub fn install_signal_handlers() {
+    extern "C" fn on_signal(_sig: i32) {
+        // Async-signal-safe: a relaxed atomic store only.
+        if let Some(flag) = SIGNAL_FLAG.get() {
+            flag.store(true, Ordering::Relaxed);
+        }
+    }
+    static SIGNAL_FLAG: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+    let _ = SIGNAL_FLAG.set(shutdown_flag());
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    let handler = on_signal as extern "C" fn(i32) as *const () as usize;
+    unsafe {
+        signal(SIGTERM, handler);
+        signal(SIGINT, handler);
+    }
+}
+
+/// Accepts connections until shutdown. Admission control lives here: a
+/// full queue means the connection is answered `503` + `Retry-After` and
+/// closed — bounded memory under any load.
+fn accept_loop(
+    listener: TcpListener,
+    tx: SyncSender<TcpStream>,
+    shutdown: &AtomicBool,
+    stats: &ServerStats,
+) {
+    while !shutdown.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _peer)) => match tx.try_send(stream) {
+                Ok(()) => {}
+                Err(TrySendError::Full(mut stream)) => {
+                    stats.shed.fetch_add(1, Ordering::Relaxed);
+                    let _ = respond(
+                        &mut stream,
+                        503,
+                        "application/json",
+                        &[("Retry-After", "1")],
+                        &(to_string(&json!({"error": "server saturated, retry later"}))
+                            .expect("JSON")
+                            + "\n"),
+                    );
+                }
+                Err(TrySendError::Disconnected(_)) => return,
+            },
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+    // Dropping `tx` disconnects the channel: workers drain what is queued
+    // and exit on the disconnect.
+}
+
+/// One worker: pull connections, parse, route, respond. Exits when the
+/// acceptor hangs up and the queue is drained.
+fn worker_loop(
+    rx: &Mutex<Receiver<TcpStream>>,
+    registry: &Registry,
+    stats: &ServerStats,
+    config: &ServerConfig,
+    shutdown: &AtomicBool,
+) {
+    loop {
+        let next = {
+            let guard = rx.lock().unwrap_or_else(|p| p.into_inner());
+            guard.recv()
+        };
+        let Ok(mut stream) = next else {
+            return; // acceptor gone, queue drained
+        };
+        stats.requests.fetch_add(1, Ordering::Relaxed);
+        let request = match read_request(&mut stream) {
+            Ok(Ok(r)) => r,
+            Ok(Err(e)) => {
+                stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                let _ = respond_error(&mut stream, e.status, &e.message);
+                continue;
+            }
+            Err(_) => {
+                stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                continue; // client vanished mid-request: nothing to answer
+            }
+        };
+        let _ = route(&request, &mut stream, registry, stats, config, shutdown);
+    }
+}
+
+/// Dispatches one request.
+fn route(
+    request: &Request,
+    stream: &mut TcpStream,
+    registry: &Registry,
+    stats: &ServerStats,
+    config: &ServerConfig,
+    shutdown: &AtomicBool,
+) -> io::Result<()> {
+    let id = request.query_param("id").unwrap_or("default");
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/health") => {
+            let status = if shutdown.load(Ordering::Relaxed) {
+                "draining"
+            } else {
+                "ok"
+            };
+            respond(
+                stream,
+                200,
+                "application/json",
+                &[],
+                &(to_string(&json!({ "status": status })).expect("JSON") + "\n"),
+            )
+        }
+        ("GET", "/stats") => {
+            let body = serde_json::to_string_pretty(&json!({
+                "server": {
+                    "requests": stats.requests.load(Ordering::Relaxed),
+                    "shed": stats.shed.load(Ordering::Relaxed),
+                    "protocol_errors": stats.protocol_errors.load(Ordering::Relaxed),
+                    "refused_unhealthy": registry.refused_unhealthy.load(Ordering::Relaxed),
+                    "entries": registry
+                        .ids()
+                        .into_iter()
+                        .map(Value::from)
+                        .collect::<Vec<Value>>(),
+                },
+                "graphs": registry.stats(),
+            }))
+            .expect("stats JSON")
+                + "\n";
+            respond(stream, 200, "application/json", &[], &body)
+        }
+        ("POST", "/validate") => api_respond(stream, registry.validate(id)),
+        ("POST", "/map") => api_respond(stream, registry.map(id, &request.body)),
+        ("POST", "/delta") => api_respond(stream, registry.delta(id, &request.body)),
+        ("POST", "/load") => {
+            let parsed: Result<Value, _> = serde_json::from_str(&request.body);
+            let Ok(Value::Object(m)) = parsed else {
+                return respond_error(stream, 422, "body must be a JSON object");
+            };
+            let (Some(schema), Some(data)) = (
+                m.get("schema").and_then(Value::as_str),
+                m.get("data").and_then(Value::as_str),
+            ) else {
+                return respond_error(stream, 422, "body needs string fields 'schema' and 'data'");
+            };
+            match registry.load(
+                id,
+                schema.to_string(),
+                data.to_string(),
+                config.engine_config(),
+                config.jobs,
+            ) {
+                Ok(()) => respond(
+                    stream,
+                    200,
+                    "application/json",
+                    &[],
+                    &(to_string(&json!({ "loaded": id })).expect("JSON") + "\n"),
+                ),
+                Err(e) => respond_error(stream, 422, &e),
+            }
+        }
+        ("GET" | "POST", _) => respond_error(stream, 404, "no such endpoint"),
+        _ => respond_error(stream, 405, "method not allowed"),
+    }
+}
+
+/// Writes an [`registry::ApiResponse`], carrying the CLI-equivalent exit
+/// code in `X-Shapex-Exit` so report bodies stay byte-identical to CLI
+/// output.
+fn api_respond(stream: &mut TcpStream, response: registry::ApiResponse) -> io::Result<()> {
+    let exit = response.exit.to_string();
+    respond(
+        stream,
+        response.status,
+        "application/json",
+        &[("X-Shapex-Exit", &exit)],
+        &response.body,
+    )
+}

@@ -1,0 +1,493 @@
+//! The schema/graph registry: named validation contexts, each holding its
+//! immutable sources, one warm [`Engine`], and the fault-isolation
+//! machinery around it.
+//!
+//! ## Fault isolation
+//!
+//! Every engine call runs under [`std::panic::catch_unwind`]. A panic
+//! mid-call may leave the engine's caches half-mutated, so the engine is
+//! *quarantined* — discarded wholesale — and a replacement is rebuilt
+//! from the entry's immutable sources: the schema text, the data text,
+//! and the ordered log of successfully applied delta texts. The rebuild
+//! is **differentially checked** before the entry returns to service: two
+//! independent fresh engines validate the reconstructed graph and their
+//! full JSON reports must be byte-identical (the determinism guarantee
+//! from the paper's semantics — a rebuilt engine answers exactly like the
+//! one it replaced). A rebuild that fails the check leaves the entry
+//! out of service (requests get 500) rather than serving doubtful
+//! answers.
+//!
+//! ## Locking
+//!
+//! One mutex per entry, held for the duration of an engine call. Panics
+//! are caught *inside* the lock scope so the mutex is never poisoned;
+//! `unwrap_or_else(PoisonError::into_inner)` is belt-and-braces for the
+//! one path that can still poison it (a panic in the rebuild itself).
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, RwLock};
+
+use serde_json::{json, to_string, Value};
+
+use shapex::report::{finish_engine_doc, push_typing_rows, result_json, ReportDoc};
+use shapex::{Engine, EngineConfig};
+use shapex_rdf::graph::Dataset;
+use shapex_rdf::{delta, turtle};
+use shapex_shex::schema::Schema;
+use shapex_shex::shapemap;
+
+/// CLI-compatible exit code carried in the `X-Shapex-Exit` header: 0 ok,
+/// 2 non-conformant, 3 budget exhausted (3 wins over 2).
+pub type ExitCode = u8;
+
+/// A request outcome: HTTP status, report/error body, CLI-style exit code.
+pub struct ApiResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body (a report document or `{"error": ...}`).
+    pub body: String,
+    /// CLI-equivalent exit code for the `X-Shapex-Exit` header.
+    pub exit: ExitCode,
+}
+
+impl ApiResponse {
+    fn ok(body: String, exit: ExitCode) -> ApiResponse {
+        ApiResponse {
+            status: 200,
+            body,
+            exit,
+        }
+    }
+
+    fn error(status: u16, message: impl std::fmt::Display) -> ApiResponse {
+        ApiResponse {
+            status,
+            body: to_string(&json!({ "error": message.to_string() })).expect("error JSON") + "\n",
+            exit: 1,
+        }
+    }
+}
+
+/// The warm, mutable half of an entry. Discarded wholesale on panic.
+struct Slot {
+    ds: Dataset,
+    engine: Engine,
+    /// Applied delta texts, in application order — with the schema and
+    /// data sources, this reconstructs the exact current state.
+    deltas: Vec<String>,
+    /// False while quarantined (a rebuild failed its differential check).
+    healthy: bool,
+}
+
+/// One named validation context.
+struct Entry {
+    schema_src: String,
+    data_src: String,
+    config: EngineConfig,
+    jobs: usize,
+    slot: Mutex<Option<Slot>>,
+    quarantines: AtomicU64,
+    rebuilds: AtomicU64,
+}
+
+/// Builds a fresh slot from the immutable sources: parse, compile, replay
+/// the delta log. Any failure is reported, not panicked.
+fn build_slot(
+    schema_src: &str,
+    data_src: &str,
+    deltas: &[String],
+    config: EngineConfig,
+) -> Result<Slot, String> {
+    let schema: Schema =
+        shapex_shex::shexc::parse(schema_src).map_err(|e| format!("schema: {e}"))?;
+    let mut ds = turtle::parse(data_src).map_err(|e| format!("data: {e}"))?;
+    for (i, text) in deltas.iter().enumerate() {
+        let d =
+            delta::parse(text, &mut ds.pool).map_err(|e| format!("replaying delta {i}: {e}"))?;
+        ds.try_apply_delta(&d)
+            .map_err(|e| format!("replaying delta {i}: {e}"))?;
+    }
+    let engine = Engine::compile(&schema, &mut ds.pool, config).map_err(|e| e.to_string())?;
+    Ok(Slot {
+        ds,
+        engine,
+        deltas: deltas.to_vec(),
+        healthy: true,
+    })
+}
+
+/// The full-typing report of a slot, built exactly the way the CLI builds
+/// `validate --report json` output — the byte-identity contract.
+fn typing_report(slot: &mut Slot, jobs: usize) -> (String, ExitCode) {
+    let typing = slot
+        .engine
+        .type_all_par(&slot.ds.graph, &slot.ds.pool, jobs);
+    let mut doc = ReportDoc::new("typing", "derivative");
+    push_typing_rows(
+        &mut doc,
+        &mut slot.engine,
+        &slot.ds.graph,
+        &slot.ds.pool,
+        &typing,
+    );
+    let conforms = (!typing.is_partial()).then_some(true);
+    let exit = if typing.is_partial() { 3 } else { 0 };
+    (finish_engine_doc(doc, &slot.engine, 0, conforms), exit)
+}
+
+/// The registry of named entries plus service-level counters.
+pub struct Registry {
+    entries: RwLock<HashMap<String, Entry>>,
+    /// Requests that hit a quarantined (out-of-service) entry.
+    pub refused_unhealthy: AtomicU64,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry {
+            entries: RwLock::new(HashMap::new()),
+            refused_unhealthy: AtomicU64::new(0),
+        }
+    }
+
+    /// Registers `id` with schema and data sources, compiling its warm
+    /// engine. Replaces any previous entry of the same id.
+    pub fn load(
+        &self,
+        id: &str,
+        schema_src: String,
+        data_src: String,
+        config: EngineConfig,
+        jobs: usize,
+    ) -> Result<(), String> {
+        let slot = build_slot(&schema_src, &data_src, &[], config)?;
+        let entry = Entry {
+            schema_src,
+            data_src,
+            config,
+            jobs,
+            slot: Mutex::new(Some(slot)),
+            quarantines: AtomicU64::new(0),
+            rebuilds: AtomicU64::new(0),
+        };
+        self.entries
+            .write()
+            .unwrap_or_else(|p| p.into_inner())
+            .insert(id.to_string(), entry);
+        Ok(())
+    }
+
+    /// Registered entry ids, sorted.
+    pub fn ids(&self) -> Vec<String> {
+        let mut ids: Vec<String> = self
+            .entries
+            .read()
+            .unwrap_or_else(|p| p.into_inner())
+            .keys()
+            .cloned()
+            .collect();
+        ids.sort();
+        ids
+    }
+
+    /// Runs `op` on the entry's slot under fault isolation. On panic the
+    /// slot is quarantined and rebuilt (differentially checked) before
+    /// the error response is returned; other entries are untouched.
+    fn with_entry<R>(
+        &self,
+        id: &str,
+        op: impl FnOnce(&mut Slot, usize) -> R,
+    ) -> Result<R, ApiResponse> {
+        let entries = self.entries.read().unwrap_or_else(|p| p.into_inner());
+        let Some(entry) = entries.get(id) else {
+            return Err(ApiResponse::error(
+                404,
+                format!("no graph registered under id '{id}'"),
+            ));
+        };
+        let mut guard = entry.slot.lock().unwrap_or_else(|p| p.into_inner());
+        let Some(slot) = guard.as_mut() else {
+            self.refused_unhealthy.fetch_add(1, Ordering::Relaxed);
+            return Err(ApiResponse::error(
+                500,
+                format!("entry '{id}' is quarantined and could not be rebuilt"),
+            ));
+        };
+        if !slot.healthy {
+            self.refused_unhealthy.fetch_add(1, Ordering::Relaxed);
+            return Err(ApiResponse::error(
+                500,
+                format!("entry '{id}' is quarantined"),
+            ));
+        }
+        match catch_unwind(AssertUnwindSafe(|| op(slot, entry.jobs))) {
+            Ok(r) => Ok(r),
+            Err(panic) => {
+                // The engine may be half-mutated: quarantine and rebuild
+                // from the immutable sources while still holding the lock,
+                // so no other request can observe the poisoned state.
+                entry.quarantines.fetch_add(1, Ordering::Relaxed);
+                let deltas = slot.deltas.clone();
+                *guard = None; // drop the poisoned slot before rebuilding
+                let outcome = rebuild_checked(entry, &deltas);
+                let rebuilt = outcome.is_ok();
+                if let Ok(slot) = outcome {
+                    entry.rebuilds.fetch_add(1, Ordering::Relaxed);
+                    *guard = Some(slot);
+                }
+                let msg = panic_message(panic);
+                let body = to_string(&json!({
+                    "error": format!("engine panicked: {msg}"),
+                    "quarantined": true,
+                    "rebuilt": rebuilt,
+                }))
+                .expect("quarantine JSON")
+                    + "\n";
+                Err(ApiResponse {
+                    status: 500,
+                    body,
+                    exit: 1,
+                })
+            }
+        }
+    }
+
+    /// `POST /validate?id=X`: the full-typing report, byte-identical to
+    /// `shapex validate --report json` over the same sources.
+    pub fn validate(&self, id: &str) -> ApiResponse {
+        match self.with_entry(id, typing_report) {
+            Ok((body, exit)) => ApiResponse::ok(body, exit),
+            Err(e) => e,
+        }
+    }
+
+    /// `POST /map?id=X` with a shape-map body: per-association verdicts,
+    /// built exactly like `validate --map --report json`.
+    pub fn map(&self, id: &str, map_src: &str) -> ApiResponse {
+        let map = match shapemap::parse(map_src) {
+            Ok(m) => m,
+            Err(e) => return ApiResponse::error(422, format!("shape map: {e}")),
+        };
+        let result = self.with_entry(id, |slot, _jobs| -> Result<(String, ExitCode), String> {
+            let outcomes = slot
+                .engine
+                .validate_map(&slot.ds.graph, &mut slot.ds.pool, &map)
+                .map_err(|e| e.to_string())?;
+            let mut ok = 0;
+            let mut first_exhaustion = None;
+            let mut doc = ReportDoc::new("map", "derivative");
+            for outcome in &outcomes {
+                let assoc = &map.associations[outcome.index];
+                let verdict = if outcome.exhaustion.is_some() {
+                    "exhausted"
+                } else if outcome.conforms {
+                    "conforms"
+                } else {
+                    "fails"
+                };
+                if let Some(e) = outcome.exhaustion {
+                    first_exhaustion.get_or_insert(e);
+                }
+                ok += usize::from(outcome.exhaustion.is_none() && outcome.as_expected);
+                let mut row = result_json(
+                    &assoc.node.to_string(),
+                    assoc.shape.as_str(),
+                    verdict,
+                    outcome.failure.as_ref().map(|f| f.render(&slot.ds.pool)),
+                    outcome.exhaustion.as_ref(),
+                );
+                if let Value::Object(m) = &mut row {
+                    m.insert("expected".to_string(), Value::from(assoc.expected));
+                    m.insert("as_expected".to_string(), Value::from(outcome.as_expected));
+                }
+                doc.push_result(row);
+                if let Some(e) = &outcome.exhaustion {
+                    doc.push_exhausted(&assoc.node.to_string(), assoc.shape.as_str(), e);
+                }
+            }
+            let conforms = match first_exhaustion {
+                Some(_) => None,
+                None => Some(ok == outcomes.len()),
+            };
+            let exit = if first_exhaustion.is_some() {
+                3
+            } else if ok < outcomes.len() {
+                2
+            } else {
+                0
+            };
+            Ok((finish_engine_doc(doc, &slot.engine, 0, conforms), exit))
+        });
+        match result {
+            Ok(Ok((body, exit))) => ApiResponse::ok(body, exit),
+            Ok(Err(msg)) => ApiResponse::error(422, msg),
+            Err(e) => e,
+        }
+    }
+
+    /// `POST /delta?id=X` with a delta-file body: applies the delta
+    /// all-or-nothing, incrementally revalidates, and returns the CLI's
+    /// `--delta` before/after document. On any failure the graph is left
+    /// byte-identical to its pre-delta state.
+    pub fn delta(&self, id: &str, delta_src: &str) -> ApiResponse {
+        let result = self.with_entry(
+            id,
+            |slot, jobs| -> Result<(String, ExitCode), (u16, String)> {
+                let d = match delta::parse(delta_src, &mut slot.ds.pool) {
+                    Ok(d) => d,
+                    Err(e) => return Err((422, e.to_string())),
+                };
+
+                // Before: the (memo-served, on a warm engine) pre-delta typing.
+                let before_typing = slot
+                    .engine
+                    .type_all_par(&slot.ds.graph, &slot.ds.pool, jobs);
+                let mut before_doc = ReportDoc::new("typing", "derivative");
+                push_typing_rows(
+                    &mut before_doc,
+                    &mut slot.engine,
+                    &slot.ds.graph,
+                    &slot.ds.pool,
+                    &before_typing,
+                );
+                let before = before_doc.finish((!before_typing.is_partial()).then_some(true));
+
+                // All-or-nothing apply: an injected mid-delta failure rolls
+                // the graph back before this returns.
+                if let Err(e) = slot.ds.try_apply_delta(&d) {
+                    return Err((500, e.to_string()));
+                }
+                let after_typing =
+                    match slot
+                        .engine
+                        .revalidate_par(&slot.ds.graph, &slot.ds.pool, &d, jobs)
+                    {
+                        Ok(t) => t,
+                        Err(e) => return Err((422, e.to_string())),
+                    };
+                // The delta is now part of the entry's durable state: record
+                // it so a quarantine rebuild replays it.
+                slot.deltas.push(delta_src.to_string());
+
+                let mut after_doc = ReportDoc::new("typing", "derivative");
+                push_typing_rows(
+                    &mut after_doc,
+                    &mut slot.engine,
+                    &slot.ds.graph,
+                    &slot.ds.pool,
+                    &after_typing,
+                );
+                let after = after_doc.finish((!after_typing.is_partial()).then_some(true));
+
+                let stats = slot.engine.stats();
+                let mut doc = ReportDoc::new("delta", "derivative");
+                doc.set(
+                    "delta",
+                    json!({
+                        "added": d.added.len(),
+                        "removed": d.removed.len(),
+                        "invalidated": stats.invalidated_pairs,
+                        "retyped": stats.retyped_pairs,
+                        "reused": stats.reused_pairs,
+                    }),
+                );
+                doc.set("before", before);
+                doc.set("after", after);
+                let conforms = (!after_typing.is_partial()).then_some(true);
+                let exit = if after_typing.is_partial() { 3 } else { 0 };
+                Ok((finish_engine_doc(doc, &slot.engine, 0, conforms), exit))
+            },
+        );
+        match result {
+            Ok(Ok((body, exit))) => ApiResponse::ok(body, exit),
+            Ok(Err((status, msg))) => ApiResponse::error(status, msg),
+            Err(e) => e,
+        }
+    }
+
+    /// The per-entry `stats` block: engine stats/metrics plus the
+    /// quarantine counters.
+    pub fn stats(&self) -> Value {
+        let entries = self.entries.read().unwrap_or_else(|p| p.into_inner());
+        let mut out = serde_json::Map::new();
+        let mut ids: Vec<&String> = entries.keys().collect();
+        ids.sort();
+        for id in ids {
+            let entry = &entries[id];
+            let guard = entry.slot.lock().unwrap_or_else(|p| p.into_inner());
+            let mut m = serde_json::Map::new();
+            m.insert(
+                "healthy".to_string(),
+                Value::from(guard.as_ref().is_some_and(|s| s.healthy)),
+            );
+            m.insert(
+                "quarantines".to_string(),
+                Value::from(entry.quarantines.load(Ordering::Relaxed)),
+            );
+            m.insert(
+                "rebuilds".to_string(),
+                Value::from(entry.rebuilds.load(Ordering::Relaxed)),
+            );
+            if let Some(slot) = guard.as_ref() {
+                m.insert("triples".to_string(), Value::from(slot.ds.graph.len()));
+                m.insert("deltas_applied".to_string(), Value::from(slot.deltas.len()));
+                m.insert("stats".to_string(), slot.engine.stats().to_json());
+                if let Some(metrics) = slot.engine.metrics() {
+                    let engine = &slot.engine;
+                    let labels = |i: usize| {
+                        engine
+                            .label_of(shapex::ShapeId(i as u32))
+                            .as_str()
+                            .to_string()
+                    };
+                    m.insert("metrics".to_string(), metrics.to_json(&labels));
+                }
+            }
+            out.insert(id.clone(), Value::Object(m));
+        }
+        Value::Object(out)
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+/// Rebuilds a quarantined entry's slot and differentially checks it:
+/// the rebuilt engine's full report must be byte-identical to a second,
+/// independently built engine's. Disagreement means the reconstruction is
+/// not trustworthy — the entry stays out of service.
+fn rebuild_checked(entry: &Entry, deltas: &[String]) -> Result<Slot, String> {
+    let rebuild = || {
+        catch_unwind(AssertUnwindSafe(|| {
+            build_slot(&entry.schema_src, &entry.data_src, deltas, entry.config)
+        }))
+        .unwrap_or_else(|p| Err(format!("rebuild panicked: {}", panic_message(p))))
+    };
+    let mut slot = rebuild()?;
+    let mut reference = rebuild()?;
+    // Differential check: full typing reports, byte for byte. Also warms
+    // the replacement slot's memo, so it re-enters service hot.
+    let (report, _) = typing_report(&mut slot, entry.jobs);
+    let (reference_report, _) = typing_report(&mut reference, entry.jobs);
+    if report != reference_report {
+        return Err("differential check failed: rebuilt engine disagrees with reference".into());
+    }
+    Ok(slot)
+}
+
+/// Best-effort panic payload rendering.
+fn panic_message(panic: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}

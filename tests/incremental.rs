@@ -165,7 +165,7 @@ proptest! {
         engine.type_all(&ds.graph, &ds.pool);
         let delta = build_delta(&mut ds, &base, &edit);
         ds.apply_delta(&delta);
-        let incremental = engine.revalidate(&ds.graph, &ds.pool, &delta);
+        let incremental = engine.revalidate(&ds.graph, &ds.pool, &delta).expect("delta applied");
         let mut fresh = Engine::new(&schema, &mut ds.pool).expect("compiles");
         let scratch = fresh.type_all(&ds.graph, &ds.pool);
         prop_assert_eq!(
@@ -188,7 +188,9 @@ proptest! {
             engine.type_all_par(&ds.graph, &ds.pool, jobs);
             let delta = build_delta(&mut ds, &base, &edit);
             ds.apply_delta(&delta);
-            let incremental = engine.revalidate_par(&ds.graph, &ds.pool, &delta, jobs);
+            let incremental = engine
+                .revalidate_par(&ds.graph, &ds.pool, &delta, jobs)
+                .expect("delta applied");
             let mut fresh = Engine::new(&schema, &mut ds.pool).expect("compiles");
             let scratch = fresh.type_all(&ds.graph, &ds.pool);
             prop_assert_eq!(
@@ -215,7 +217,7 @@ proptest! {
         engine.type_all(&ds.graph, &ds.pool);
         let delta = build_delta(&mut ds, &base, &edit);
         ds.apply_delta(&delta);
-        let incremental = engine.revalidate(&ds.graph, &ds.pool, &delta);
+        let incremental = engine.revalidate(&ds.graph, &ds.pool, &delta).expect("delta applied");
         let mut fresh = Engine::compile(&schema, &mut ds.pool, config).expect("compiles");
         let scratch = fresh.type_all(&ds.graph, &ds.pool);
         let ex_inc: std::collections::HashSet<_> =
@@ -257,11 +259,17 @@ proptest! {
                 before.render(&ds.pool, &|s| engine.label_of(s).clone());
             let delta = build_delta(&mut ds, &base, &edit);
             let applied = ds.apply_delta(&delta);
-            engine.revalidate(&ds.graph, &ds.pool, &delta);
-            // Structural revert plus the inverse delta's revalidation.
+            engine.revalidate(&ds.graph, &ds.pool, &delta).expect("delta applied");
+            // Structural revert plus the *effective* inverse's revalidation.
+            // (The logical `delta.inverse()` may claim to add triples a
+            // missed removal never touched — the effective inverse from
+            // the AppliedDelta is what actually describes the revert.)
             ds.revert_delta(&applied);
-            let inverse = delta.inverse();
-            let after = engine.revalidate(&ds.graph, &ds.pool, &inverse);
+            let inverse = GraphDelta {
+                removed: applied.added_triples().collect(),
+                added: applied.removed_triples().collect(),
+            };
+            let after = engine.revalidate(&ds.graph, &ds.pool, &inverse).expect("reverted");
             let rendered_after =
                 after.render(&ds.pool, &|s| engine.label_of(s).clone());
             prop_assert_eq!(
@@ -283,7 +291,9 @@ proptest! {
         let mut ds = build_dataset(&base);
         let mut engine = incremental_engine(&schema, &mut ds, EngineConfig::default());
         let before = engine.type_all(&ds.graph, &ds.pool);
-        let after = engine.revalidate(&ds.graph, &ds.pool, &GraphDelta::new());
+        let after = engine
+            .revalidate(&ds.graph, &ds.pool, &GraphDelta::new())
+            .expect("empty delta");
         prop_assert_eq!(&before, &after);
         let stats = engine.stats();
         prop_assert_eq!(stats.invalidated_pairs, 0);
@@ -328,11 +338,75 @@ fn cascading_invalidation_through_reference_chain() {
     )
     .unwrap();
     ds.apply_delta(&delta);
-    let typing = engine.revalidate(&ds.graph, &ds.pool, &delta);
+    let typing = engine.revalidate(&ds.graph, &ds.pool, &delta).unwrap();
     for n in ["n0", "n1", "n2"] {
         let node = ds.iri(&format!("http://e/{n}")).unwrap();
         assert_eq!(typing.shapes_of(node).count(), 1, "{n} should now conform");
     }
     let mut fresh = Engine::new(&schema, &mut ds.pool).unwrap();
     assert_eq!(typing, fresh.type_all(&ds.graph, &ds.pool));
+}
+
+/// Fail-pre-fix: revalidating with a delta that was never applied to the
+/// graph silently produced a typing computed over a stale dependency
+/// index — the engine assumed the graph matched the delta. It must now be
+/// a typed error, and the engine must stay usable afterwards.
+#[test]
+fn revalidate_unapplied_delta_is_a_typed_error() {
+    use shapex::EngineError;
+
+    let schema = shapex_shex::shexc::parse("PREFIX e: <http://e/>\n<S> { e:p [1 2] }").unwrap();
+    let mut ds =
+        shapex_rdf::turtle::parse("@prefix e: <http://e/> .\ne:a e:p 1 .\ne:b e:p 3 .\n").unwrap();
+    let mut engine = Engine::compile(
+        &schema,
+        &mut ds.pool,
+        EngineConfig {
+            incremental: true,
+            ..EngineConfig::default()
+        },
+    )
+    .unwrap();
+    engine.type_all(&ds.graph, &ds.pool);
+
+    let delta = shapex_rdf::delta::parse(
+        "@prefix e: <http://e/> .\n- e:b e:p 3 .\n+ e:b e:p 2 .\n",
+        &mut ds.pool,
+    )
+    .unwrap();
+
+    // Never applied: the added triple is absent.
+    let err = engine
+        .revalidate(&ds.graph, &ds.pool, &delta)
+        .expect_err("unapplied delta must be rejected");
+    assert!(
+        matches!(&err, EngineError::StaleDelta { detail } if detail.contains("added triple")),
+        "{err}"
+    );
+
+    // A removal-only delta that was never applied is caught by the other
+    // arm: the triple it claims to have removed is still present.
+    let removal_only =
+        shapex_rdf::delta::parse("@prefix e: <http://e/> .\n- e:b e:p 3 .\n", &mut ds.pool)
+            .unwrap();
+    let err = engine
+        .revalidate(&ds.graph, &ds.pool, &removal_only)
+        .expect_err("unapplied removal must be rejected");
+    assert!(
+        matches!(&err, EngineError::StaleDelta { detail } if detail.contains("removed triple")),
+        "{err}"
+    );
+
+    // The failed calls must not have disturbed the engine: applying the
+    // delta for real now revalidates cleanly and matches scratch.
+    ds.apply_delta(&delta);
+    let typing = engine.revalidate(&ds.graph, &ds.pool, &delta).unwrap();
+    let mut fresh = Engine::new(&schema, &mut ds.pool).unwrap();
+    assert_eq!(typing, fresh.type_all(&ds.graph, &ds.pool));
+
+    // Applying the same delta twice is set-idempotent, so a double apply
+    // is indistinguishable from a single one at the graph level: the
+    // consistency check documents (rather than detects) that case.
+    ds.apply_delta(&delta);
+    assert!(engine.revalidate(&ds.graph, &ds.pool, &delta).is_ok());
 }

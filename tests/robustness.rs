@@ -43,6 +43,58 @@ proptest! {
         let _ = shapex_rdf::ntriples::parse(&input);
     }
 
+    /// The lenient Turtle parser never panics on arbitrary input, and
+    /// every error it reports carries an in-bounds line number.
+    #[test]
+    fn lenient_parser_never_panics(input in ".{0,200}") {
+        let (_, errors) = shapex_rdf::turtle::parse_lenient(&input);
+        let lines = input.lines().count().max(1);
+        for e in &errors {
+            prop_assert!(e.line >= 1 && e.line <= lines + 1, "error line {} out of bounds", e.line);
+        }
+    }
+
+    /// Truncation at any byte position — mid-IRI, mid-string-literal,
+    /// mid-escape, mid-UTF-8-sequence — must not panic the lenient
+    /// parser: EOF inside any token is an error to recover from, and
+    /// statements before the cut survive.
+    #[test]
+    fn lenient_parser_survives_truncation(cut in 0usize..180) {
+        let valid = "@prefix e: <http://e/\u{e9}#> .\n\
+                     e:a e:p \"caf\u{e9} \\\"quoted\\\" text\"@en, 4.5e2, true .\n\
+                     e:b e:q \"\"\"long\nliteral\"\"\"; e:r <http://e/x> .\n\
+                     e:c e:s [ e:t (1 2 3) ] .";
+        let mut cut = cut.min(valid.len());
+        while !valid.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        let full = shapex_rdf::turtle::parse(valid).expect("fixture is valid").graph.len();
+        let (ds, _) = shapex_rdf::turtle::parse_lenient(&valid[..cut]);
+        // A truncated document can't yield more triples than the whole.
+        prop_assert!(ds.graph.len() <= full);
+        // Cutting after the first object-list statement keeps its three
+        // triples: recovery never discards already-completed statements.
+        let first_statement_end = valid.find("true .").unwrap() + "true .".len();
+        if cut >= first_statement_end {
+            prop_assert!(ds.graph.len() >= 3);
+        }
+    }
+
+    /// Arbitrary byte mutations of a valid document (any byte overwritten
+    /// with any byte, lossily re-decoded) never panic the lenient parser.
+    #[test]
+    fn lenient_parser_survives_byte_mutations(pos in 0usize..180, byte in 0u8..=255) {
+        let valid = "@prefix e: <http://e/> .\n\
+                     e:a e:p \"x\\u00e9y\"^^<http://t> .\n\
+                     e:b e:q 1, 2.5, -3e1; e:r \"\"\"m\"\"\" .\n\
+                     e:c e:s _:bn, [ e:t (e:u) ] .";
+        let mut bytes = valid.as_bytes().to_vec();
+        let pos = pos.min(bytes.len() - 1);
+        bytes[pos] = byte;
+        let mutated = String::from_utf8_lossy(&bytes);
+        let (_, _) = shapex_rdf::turtle::parse_lenient(&mutated);
+    }
+
     /// The ShExC parser never panics.
     #[test]
     fn shexc_parser_never_panics(input in ".{0,200}") {
