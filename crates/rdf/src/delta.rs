@@ -91,7 +91,10 @@ impl GraphDelta {
 #[derive(Debug, Clone, Default)]
 pub struct AppliedDelta {
     /// Each effective removal with the outgoing- and incoming-list indexes
-    /// it occupied at removal time.
+    /// it occupied in the *pre-delta* adjacency lists. Positions are
+    /// resolved against the untouched lists (removals are batched and
+    /// applied physically once per node), so revert can re-seat all of a
+    /// node's arcs in a single merge pass.
     pub(crate) removed: Vec<(Triple, usize, usize)>,
     /// Each effective addition, in application order.
     pub(crate) added: Vec<Triple>,

@@ -5,9 +5,23 @@
 //! validator lives on is [`Graph::neighbourhood`], the paper's `Σg_n` — all
 //! triples with subject `n` — served as a slice borrow. An object-side
 //! index supports the paper's §10 "inverse arcs" extension.
+//!
+//! ## Memory layout
+//!
+//! Adjacency is a struct-of-arrays design built for million-triple graphs:
+//! [`TermId`]s are dense, so per-node arc lists are addressed by a plain
+//! `Vec` of spans indexed by the id — no hashing on the `neighbourhood`
+//! hot path. A span is either *frozen* (a `(start, len)` window into one
+//! shared contiguous arc arena, CSR-style) or *owned* (a private `Vec` for
+//! nodes still being built or mutated by deltas). Bulk loads finish with
+//! [`Graph::compact`], which folds every owned list into the arena so a
+//! full-typing run scans contiguous memory; a later
+//! [`Graph::apply_delta`] thaws only the nodes it actually touches.
+//! Neither representation is observable through the API: `neighbourhood`
+//! and `incoming` return the same slices, in the same insertion order,
+//! frozen or owned.
 
-use std::collections::hash_map::Entry;
-use std::collections::{HashMap, HashSet};
+use rustc_hash::{FxHashMap, FxHashSet};
 
 use crate::delta::{AppliedDelta, DeltaApplyError, GraphDelta};
 use crate::pool::{TermId, TermPool};
@@ -38,14 +52,162 @@ impl Triple {
 /// An outgoing arc `(predicate, object)` in some node's neighbourhood.
 pub type Arc = (TermId, TermId);
 
+/// One node's adjacency entry: never used, a frozen window into the shared
+/// arena, or a privately owned list (building / post-mutation).
+///
+/// `Unused` vs an *emptied* list is a real distinction: a subject whose
+/// every triple was removed keeps its (empty) entry, and with it its
+/// position in the subject iteration order — see [`Graph::remove`].
+#[derive(Debug, Default)]
+enum Span {
+    /// No entry was ever created for this node.
+    #[default]
+    Unused,
+    /// `arena[start .. start + len]`.
+    Frozen {
+        /// First arc in the arena.
+        start: u32,
+        /// Number of arcs.
+        len: u32,
+    },
+    /// A mutable per-node list.
+    Owned(Vec<Arc>),
+}
+
+/// One direction's adjacency: per-node spans over a shared arc arena,
+/// indexed directly by the dense [`TermId`].
+#[derive(Debug, Default)]
+struct Adjacency {
+    arena: Vec<Arc>,
+    spans: Vec<Span>,
+}
+
+impl Adjacency {
+    fn entries(&self, n: TermId) -> &[Arc] {
+        match self.spans.get(n.index()) {
+            Some(&Span::Frozen { start, len }) => {
+                &self.arena[start as usize..start as usize + len as usize]
+            }
+            Some(Span::Owned(v)) => v,
+            _ => &[],
+        }
+    }
+
+    /// Has this node ever had an entry (even one since emptied)?
+    fn is_used(&self, n: TermId) -> bool {
+        !matches!(self.spans.get(n.index()), None | Some(Span::Unused))
+    }
+
+    fn ensure(&mut self, n: TermId) {
+        if self.spans.len() <= n.index() {
+            self.spans.resize_with(n.index() + 1, Span::default);
+        }
+    }
+
+    /// The node's mutable list, thawing a frozen span (one copy of its
+    /// arena window; the window becomes dead arena space until the next
+    /// [`Adjacency::compact`]).
+    fn list_mut(&mut self, n: TermId) -> &mut Vec<Arc> {
+        self.ensure(n);
+        let slot = &mut self.spans[n.index()];
+        if let Span::Frozen { start, len } = *slot {
+            let window = &self.arena[start as usize..start as usize + len as usize];
+            *slot = Span::Owned(window.to_vec());
+        } else if matches!(slot, Span::Unused) {
+            *slot = Span::Owned(Vec::new());
+        }
+        match &mut self.spans[n.index()] {
+            Span::Owned(v) => v,
+            _ => unreachable!("slot was just thawed"),
+        }
+    }
+
+    /// Appends an arc; returns `true` when this created the node's entry.
+    fn push(&mut self, n: TermId, arc: Arc) -> bool {
+        self.ensure(n);
+        let fresh = matches!(self.spans[n.index()], Span::Unused);
+        self.list_mut(n).push(arc);
+        fresh
+    }
+
+    /// Removes the entries at `positions` (ascending indices into the
+    /// node's current list) in one compaction sweep — O(d), not
+    /// O(d · |positions|).
+    fn remove_positions(&mut self, n: TermId, positions: &[u32]) {
+        let v = self.list_mut(n);
+        let mut keep = 0usize;
+        let mut pi = 0usize;
+        for i in 0..v.len() {
+            if pi < positions.len() && positions[pi] as usize == i {
+                pi += 1;
+                continue;
+            }
+            v[keep] = v[i];
+            keep += 1;
+        }
+        v.truncate(keep);
+    }
+
+    /// Re-inserts arcs at their recorded positions (ascending, positions
+    /// relative to the *restored* list) in one merge sweep.
+    fn restore_positions(&mut self, n: TermId, inserts: &[(u32, Arc)]) {
+        let v = self.list_mut(n);
+        let final_len = v.len() + inserts.len();
+        let mut merged = Vec::with_capacity(final_len);
+        let mut vi = 0usize;
+        let mut ii = 0usize;
+        for pos in 0..final_len {
+            if ii < inserts.len() && (inserts[ii].0 as usize <= pos || vi >= v.len()) {
+                merged.push(inserts[ii].1);
+                ii += 1;
+            } else {
+                merged.push(v[vi]);
+                vi += 1;
+            }
+        }
+        *v = merged;
+    }
+
+    /// Folds every span into one freshly packed contiguous arena (node-id
+    /// order), turning all owned lists and stale frozen windows into dense
+    /// CSR storage.
+    fn compact(&mut self) {
+        let total: usize = self
+            .spans
+            .iter()
+            .map(|s| match s {
+                Span::Unused => 0,
+                Span::Frozen { len, .. } => *len as usize,
+                Span::Owned(v) => v.len(),
+            })
+            .sum();
+        u32::try_from(total).expect("adjacency arena overflow");
+        let old = std::mem::take(&mut self.arena);
+        let mut arena = Vec::with_capacity(total);
+        for slot in &mut self.spans {
+            let start = arena.len() as u32;
+            match slot {
+                Span::Unused => continue,
+                Span::Frozen { start: s, len } => {
+                    arena.extend_from_slice(&old[*s as usize..*s as usize + *len as usize]);
+                }
+                Span::Owned(v) => arena.extend_from_slice(v),
+            }
+            let len = arena.len() as u32 - start;
+            *slot = Span::Frozen { start, len };
+        }
+        self.arena = arena;
+    }
+}
+
 /// An in-memory RDF graph over a shared [`TermPool`].
 #[derive(Debug, Default)]
 pub struct Graph {
-    triples: HashSet<Triple>,
-    /// subject → sorted-by-insertion list of (predicate, object)
-    outgoing: HashMap<TermId, Vec<Arc>>,
-    /// object → list of (subject, predicate); for inverse arcs
-    incoming: HashMap<TermId, Vec<(TermId, TermId)>>,
+    triples: FxHashSet<Triple>,
+    /// subject → insertion-ordered (predicate, object) arcs
+    outgoing: Adjacency,
+    /// object → insertion-ordered (subject, predicate) arcs; inverse arcs
+    incoming: Adjacency,
     /// insertion-ordered subjects, for deterministic iteration
     subject_order: Vec<TermId>,
 }
@@ -56,23 +218,25 @@ impl Graph {
         Graph::default()
     }
 
+    /// Pre-sizes the triple set for a bulk load of `additional` triples.
+    pub fn reserve(&mut self, additional: usize) {
+        self.triples.reserve(additional);
+    }
+
     /// Inserts a triple. Returns `true` if it was not already present
     /// (graphs are sets; duplicate inserts are no-ops).
     pub fn insert(&mut self, triple: Triple) -> bool {
         if !self.triples.insert(triple) {
             return false;
         }
-        match self.outgoing.entry(triple.subject) {
-            Entry::Occupied(mut e) => e.get_mut().push((triple.predicate, triple.object)),
-            Entry::Vacant(e) => {
-                self.subject_order.push(triple.subject);
-                e.insert(vec![(triple.predicate, triple.object)]);
-            }
+        if self
+            .outgoing
+            .push(triple.subject, (triple.predicate, triple.object))
+        {
+            self.subject_order.push(triple.subject);
         }
         self.incoming
-            .entry(triple.object)
-            .or_default()
-            .push((triple.subject, triple.predicate));
+            .push(triple.object, (triple.subject, triple.predicate));
         true
     }
 
@@ -85,13 +249,24 @@ impl Graph {
         if !self.triples.remove(triple) {
             return false;
         }
-        if let Some(arcs) = self.outgoing.get_mut(&triple.subject) {
-            arcs.retain(|&(p, o)| (p, o) != (triple.predicate, triple.object));
-        }
-        if let Some(arcs) = self.incoming.get_mut(&triple.object) {
-            arcs.retain(|&(s, p)| (s, p) != (triple.subject, triple.predicate));
-        }
+        self.outgoing
+            .list_mut(triple.subject)
+            .retain(|&(p, o)| (p, o) != (triple.predicate, triple.object));
+        self.incoming
+            .list_mut(triple.object)
+            .retain(|&(s, p)| (s, p) != (triple.subject, triple.predicate));
         true
+    }
+
+    /// Packs all adjacency lists into contiguous arena storage (and trims
+    /// the triple set) — call once after a bulk load. Purely a memory-
+    /// layout operation: every observable order and slice is unchanged,
+    /// and later mutations transparently thaw the nodes they touch.
+    pub fn compact(&mut self) {
+        self.outgoing.compact();
+        self.incoming.compact();
+        self.triples.shrink_to_fit();
+        self.subject_order.shrink_to_fit();
     }
 
     /// Convenience: interns three terms into `pool` and inserts the triple.
@@ -131,13 +306,13 @@ impl Graph {
     /// The paper's `Σg_n`: all `(predicate, object)` arcs leaving `n`,
     /// in insertion order. Empty slice when `n` has no outgoing triples.
     pub fn neighbourhood(&self, n: TermId) -> &[Arc] {
-        self.outgoing.get(&n).map(Vec::as_slice).unwrap_or(&[])
+        self.outgoing.entries(n)
     }
 
     /// Incoming arcs `(subject, predicate)` arriving at `n`
     /// (the §10 inverse-arc extension's data source).
     pub fn incoming(&self, n: TermId) -> &[(TermId, TermId)] {
-        self.incoming.get(&n).map(Vec::as_slice).unwrap_or(&[])
+        self.incoming.entries(n)
     }
 
     /// Distinct subjects with at least one outgoing triple, in insertion
@@ -154,7 +329,7 @@ impl Graph {
     /// Applies a [`GraphDelta`]: removals first, then additions. Removing
     /// an absent triple or adding a present one is a no-op. Returns an
     /// [`AppliedDelta`] recording the operations that took effect and the
-    /// adjacency positions vacated by removals, which
+    /// pre-delta adjacency positions of the removals, which
     /// [`Graph::revert_delta`] consumes to restore the graph exactly.
     pub fn apply_delta(&mut self, delta: &GraphDelta) -> AppliedDelta {
         self.try_apply_delta(delta)
@@ -170,53 +345,81 @@ impl Graph {
     /// before the error is surfaced. A caller observing
     /// [`Err`] may therefore keep serving from the graph as if the delta
     /// had never been attempted.
+    ///
+    /// Removals are accounted per operation but applied physically in one
+    /// batched compaction sweep per touched node: positions are resolved
+    /// against a per-node index of the pre-delta list, so a k-triple burst
+    /// on a d-arc node costs O(d + k log k) rather than the O(k·d)
+    /// scan-and-splice a per-triple `Vec::remove` would pay.
     pub fn try_apply_delta(&mut self, delta: &GraphDelta) -> Result<AppliedDelta, DeltaApplyError> {
         let mut applied = AppliedDelta::default();
-        let mut op = 0usize;
         let total = delta.removed.len() + delta.added.len();
-        let fail = |applied: &AppliedDelta, graph: &mut Graph, op: usize| {
-            crate::failpoint::check("delta-apply").map(|message| {
-                graph.revert_delta(applied);
-                DeltaApplyError {
+
+        // Removal phase. (p, o) is unique within a subject's list (the
+        // graph is a set), so a lazily built pair → position index over the
+        // pre-delta list resolves each removal exactly; nothing moves
+        // physically until every removal op is accounted.
+        let mut out_index: FxHashMap<TermId, FxHashMap<Arc, u32>> = FxHashMap::default();
+        let mut inc_index: FxHashMap<TermId, FxHashMap<Arc, u32>> = FxHashMap::default();
+        let mut out_removed: FxHashMap<TermId, Vec<u32>> = FxHashMap::default();
+        let mut inc_removed: FxHashMap<TermId, Vec<u32>> = FxHashMap::default();
+        let index_of = |arcs: &[Arc]| -> FxHashMap<Arc, u32> {
+            arcs.iter()
+                .enumerate()
+                .map(|(i, &a)| (a, i as u32))
+                .collect()
+        };
+        for (op, &t) in delta.removed.iter().enumerate() {
+            if let Some(message) = crate::failpoint::check("delta-apply") {
+                // Nothing has physically moved yet: only the triple set
+                // shrank. Restore it and the graph is byte-identical.
+                for &(r, _, _) in &applied.removed {
+                    self.triples.insert(r);
+                }
+                return Err(DeltaApplyError {
                     op_index: op,
                     operations: total,
                     message,
-                }
-            })
-        };
-        for &t in &delta.removed {
-            if let Some(e) = fail(&applied, self, op) {
-                return Err(e);
+                });
             }
-            op += 1;
             if !self.triples.remove(&t) {
                 continue;
             }
-            let out = self
-                .outgoing
-                .get_mut(&t.subject)
-                .expect("triple present but subject unindexed");
-            let oi = out
-                .iter()
-                .position(|&(p, o)| (p, o) == (t.predicate, t.object))
+            let oi = *out_index
+                .entry(t.subject)
+                .or_insert_with(|| index_of(self.outgoing.entries(t.subject)))
+                .get(&(t.predicate, t.object))
                 .expect("triple present but arc unindexed");
-            out.remove(oi);
-            let inc = self
-                .incoming
-                .get_mut(&t.object)
-                .expect("triple present but object unindexed");
-            let ii = inc
-                .iter()
-                .position(|&(s, p)| (s, p) == (t.subject, t.predicate))
+            let ii = *inc_index
+                .entry(t.object)
+                .or_insert_with(|| index_of(self.incoming.entries(t.object)))
+                .get(&(t.subject, t.predicate))
                 .expect("triple present but incoming arc unindexed");
-            inc.remove(ii);
-            applied.removed.push((t, oi, ii));
+            out_removed.entry(t.subject).or_default().push(oi);
+            inc_removed.entry(t.object).or_default().push(ii);
+            applied.removed.push((t, oi as usize, ii as usize));
         }
-        for &t in &delta.added {
-            if let Some(e) = fail(&applied, self, op) {
-                return Err(e);
+        for (n, mut positions) in out_removed {
+            positions.sort_unstable();
+            self.outgoing.remove_positions(n, &positions);
+        }
+        for (n, mut positions) in inc_removed {
+            positions.sort_unstable();
+            self.incoming.remove_positions(n, &positions);
+        }
+
+        // Addition phase.
+        for (k, &t) in delta.added.iter().enumerate() {
+            if let Some(message) = crate::failpoint::check("delta-apply") {
+                // Removals are physical by now; the generic revert undoes
+                // both phases exactly.
+                self.revert_delta(&applied);
+                return Err(DeltaApplyError {
+                    op_index: delta.removed.len() + k,
+                    operations: total,
+                    message,
+                });
             }
-            op += 1;
             if self.insert(t) {
                 applied.added.push(t);
             }
@@ -230,25 +433,62 @@ impl Graph {
     /// identical to its pre-apply state — same neighbourhood order, same
     /// [`Graph::subjects`] order — so downstream results (reports, stats)
     /// are byte-identical, not merely set-equal.
+    ///
+    /// Like [`Graph::try_apply_delta`], the work is batched per touched
+    /// node: one retain sweep to drop the added arcs, one merge sweep to
+    /// re-seat the removed ones, keeping large-delta revert (quarantine
+    /// rebuilds, bench restores) linear in the touched neighbourhoods.
     pub fn revert_delta(&mut self, applied: &AppliedDelta) {
+        // Drop the added triples.
+        let mut out_gone: FxHashMap<TermId, FxHashSet<Arc>> = FxHashMap::default();
+        let mut inc_gone: FxHashMap<TermId, FxHashSet<Arc>> = FxHashMap::default();
         for t in applied.added.iter().rev() {
-            self.remove(t);
+            if !self.triples.remove(t) {
+                continue;
+            }
+            out_gone
+                .entry(t.subject)
+                .or_default()
+                .insert((t.predicate, t.object));
+            inc_gone
+                .entry(t.object)
+                .or_default()
+                .insert((t.subject, t.predicate));
         }
-        for &(t, oi, ii) in applied.removed.iter().rev() {
+        for (n, gone) in out_gone {
+            self.outgoing.list_mut(n).retain(|a| !gone.contains(a));
+        }
+        for (n, gone) in inc_gone {
+            self.incoming.list_mut(n).retain(|a| !gone.contains(a));
+        }
+
+        // Re-seat the removed triples at their pre-delta positions.
+        let mut out_back: FxHashMap<TermId, Vec<(u32, Arc)>> = FxHashMap::default();
+        let mut inc_back: FxHashMap<TermId, Vec<(u32, Arc)>> = FxHashMap::default();
+        for &(t, oi, ii) in &applied.removed {
             if !self.triples.insert(t) {
                 continue;
             }
-            match self.outgoing.entry(t.subject) {
-                Entry::Occupied(mut e) => e.get_mut().insert(oi, (t.predicate, t.object)),
-                Entry::Vacant(e) => {
-                    self.subject_order.push(t.subject);
-                    e.insert(vec![(t.predicate, t.object)]);
-                }
-            }
-            self.incoming
+            out_back
+                .entry(t.subject)
+                .or_default()
+                .push((oi as u32, (t.predicate, t.object)));
+            inc_back
                 .entry(t.object)
                 .or_default()
-                .insert(ii, (t.subject, t.predicate));
+                .push((ii as u32, (t.subject, t.predicate)));
+        }
+        for (n, mut inserts) in out_back {
+            inserts.sort_unstable_by_key(|&(pos, _)| pos);
+            let fresh = !self.outgoing.is_used(n);
+            self.outgoing.restore_positions(n, &inserts);
+            if fresh {
+                self.subject_order.push(n);
+            }
+        }
+        for (n, mut inserts) in inc_back {
+            inserts.sort_unstable_by_key(|&(pos, _)| pos);
+            self.incoming.restore_positions(n, &inserts);
         }
     }
 
@@ -346,6 +586,11 @@ impl Dataset {
     /// Looks up the id of an IRI node.
     pub fn iri(&self, iri: &str) -> Option<TermId> {
         self.pool.get(&Term::iri(iri))
+    }
+
+    /// [`Graph::compact`] on the bundled graph.
+    pub fn compact(&mut self) {
+        self.graph.compact();
     }
 
     /// [`Graph::apply_delta`] on the bundled graph.
@@ -510,6 +755,43 @@ mod tests {
         assert_eq!(g.subjects().collect::<Vec<_>>(), vec![a, c]);
     }
 
+    /// Snapshot of every observable order the byte-identity discipline
+    /// cares about.
+    fn structure(g: &Graph, pool: &TermPool) -> (Vec<TermId>, Vec<Vec<Arc>>, Vec<Vec<Arc>>) {
+        let all: Vec<TermId> = pool.iter().map(|(id, _)| id).collect();
+        (
+            g.subjects().collect(),
+            all.iter().map(|&n| g.neighbourhood(n).to_vec()).collect(),
+            all.iter().map(|&n| g.incoming(n).to_vec()).collect(),
+        )
+    }
+
+    #[test]
+    fn compact_is_structurally_invisible() {
+        let mut pool = TermPool::new();
+        let (a, b, c) = abc(&mut pool);
+        let d = pool.intern_iri("http://e/d");
+        let mut g = Graph::new();
+        g.insert(Triple::new(a, b, c));
+        g.insert(Triple::new(a, d, c));
+        g.insert(Triple::new(c, b, a));
+        g.insert(Triple::new(d, b, c));
+        g.remove(&Triple::new(a, d, c));
+        let before = structure(&g, &pool);
+        g.compact();
+        assert_eq!(structure(&g, &pool), before);
+        assert_eq!(g.len(), 3);
+        // Mutation after compaction thaws transparently.
+        g.insert(Triple::new(a, d, d));
+        assert_eq!(g.neighbourhood(a), &[(b, c), (d, d)]);
+        g.remove(&Triple::new(a, d, d));
+        assert_eq!(structure(&g, &pool), before);
+        // Compacting twice is idempotent.
+        g.compact();
+        g.compact();
+        assert_eq!(structure(&g, &pool), before);
+    }
+
     #[test]
     fn delta_apply_then_revert_is_structural_identity() {
         let mut pool = TermPool::new();
@@ -543,6 +825,66 @@ mod tests {
         assert_eq!(g.subjects().collect::<Vec<_>>(), before_subs);
         assert_eq!(g.len(), 4);
         assert!(!g.contains(&Triple::new(d, b, a)));
+    }
+
+    #[test]
+    fn delta_round_trip_on_compacted_graph() {
+        let mut pool = TermPool::new();
+        let (a, b, c) = abc(&mut pool);
+        let d = pool.intern_iri("http://e/d");
+        let mut g = Graph::new();
+        g.insert(Triple::new(a, b, c));
+        g.insert(Triple::new(a, b, d));
+        g.insert(Triple::new(c, b, a));
+        g.compact();
+        let before = structure(&g, &pool);
+        let delta = GraphDelta {
+            removed: vec![Triple::new(a, b, c)],
+            added: vec![Triple::new(d, d, d), Triple::new(a, c, c)],
+        };
+        let applied = g.apply_delta(&delta);
+        assert_eq!(g.neighbourhood(a), &[(b, d), (c, c)]);
+        assert_eq!(g.subjects().collect::<Vec<_>>(), vec![a, c, d]);
+        g.revert_delta(&applied);
+        assert_eq!(structure(&g, &pool), before);
+    }
+
+    #[test]
+    fn large_delta_on_high_fanout_node_round_trips_exactly() {
+        // Regression (fail-pre-fix): per-triple `iter().position()` +
+        // `Vec::remove` made large-delta apply/revert O(n·d); besides the
+        // speed, this pins exact structural identity under a delta that
+        // removes every other arc of a 100k-arc node and re-adds a block.
+        let mut pool = TermPool::new();
+        let hub = pool.intern_iri("http://e/hub");
+        let p = pool.intern_iri("http://e/p");
+        let mut g = Graph::new();
+        let objs: Vec<TermId> = (0..100_000)
+            .map(|i| pool.intern_iri(format!("http://e/o{i}").as_str()))
+            .collect();
+        for &o in &objs {
+            g.insert(Triple::new(hub, p, o));
+        }
+        g.compact();
+        let before = structure(&g, &pool);
+        let delta = GraphDelta {
+            removed: objs
+                .iter()
+                .step_by(2)
+                .map(|&o| Triple::new(hub, p, o))
+                .collect(),
+            added: (0..1000).map(|i| Triple::new(objs[i], p, hub)).collect(),
+        };
+        let applied = g.apply_delta(&delta);
+        assert_eq!(applied.removed_count(), 50_000);
+        assert_eq!(applied.added_count(), 1000);
+        assert_eq!(g.neighbourhood(hub).len(), 50_000);
+        // Surviving arcs keep their relative order: the odd-indexed objects.
+        assert_eq!(g.neighbourhood(hub)[0], (p, objs[1]));
+        assert_eq!(g.neighbourhood(hub)[1], (p, objs[3]));
+        g.revert_delta(&applied);
+        assert_eq!(structure(&g, &pool), before);
+        assert_eq!(g.len(), 100_000);
     }
 
     #[test]
@@ -621,6 +963,33 @@ mod tests {
         assert_eq!(applied.added_count(), 2);
         ds.revert_delta(&applied);
         assert_eq!(writer::to_ntriples(&ds.graph, &ds.pool), before);
+        failpoint::reset();
+    }
+
+    #[cfg(feature = "fail-inject")]
+    #[test]
+    fn injected_mid_removal_failure_rolls_back_exactly() {
+        // Fail during the *removal* phase (op 1 of 2): the first removal
+        // has been accounted but nothing has physically moved — rollback
+        // must restore the triple set without disturbing adjacency order.
+        use crate::failpoint::{self, Action};
+        use crate::{delta, turtle, writer};
+
+        let mut ds = turtle::parse("@prefix e: <http://e/> .\ne:a e:p e:b, e:c, e:d .\n").unwrap();
+        let d = delta::parse(
+            "@prefix e: <http://e/> .\n- e:a e:p e:b .\n- e:a e:p e:d .\n",
+            &mut ds.pool,
+        )
+        .unwrap();
+        let before = writer::to_ntriples(&ds.graph, &ds.pool);
+        let a = ds.iri("http://e/a").unwrap();
+        let before_arcs = ds.graph.neighbourhood(a).to_vec();
+
+        failpoint::set_after("delta-apply", Action::Error("disk full".into()), 1, Some(1));
+        let err = ds.try_apply_delta(&d).unwrap_err();
+        assert_eq!(err.op_index, 1);
+        assert_eq!(writer::to_ntriples(&ds.graph, &ds.pool), before);
+        assert_eq!(ds.graph.neighbourhood(a), before_arcs.as_slice());
         failpoint::reset();
     }
 }

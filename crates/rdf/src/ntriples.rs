@@ -1,52 +1,241 @@
 //! N-Triples parser: one triple per line, full IRIs only, no abbreviations.
-//! Strict subset of Turtle, but implemented as its own line-oriented parser
-//! because N-Triples rejects Turtle-only syntax (prefixed names, `a`, ...).
+//!
+//! Strict subset of Turtle, but implemented as its own parser because
+//! N-Triples rejects Turtle-only syntax (prefixed names, `a`, multi-line
+//! statements, ...). Per the W3C grammar the format is *strictly
+//! line-oriented*: a triple may not span lines, comments are only allowed
+//! on otherwise-empty lines or after the terminating `.`, and every error
+//! is reported with the 1-based line it occurred on.
+//!
+//! Line-orientation is also what makes dumps parallelizable:
+//! [`parse_par`] splits the input at line boundaries into byte ranges,
+//! parses the chunks on scoped worker threads with chunk-local term
+//! interning, then merges them deterministically into one shared pool —
+//! producing a [`Dataset`] *byte-identical* to sequential [`parse`] (same
+//! `TermId` assignment, same adjacency order, same first error).
 
-use crate::graph::Dataset;
+use crate::graph::{Dataset, Triple};
 use crate::parser::{decode_string_escape, decode_unicode_escape, Cursor, ParseError};
+use crate::pool::{TermId, TermPool};
 use crate::term::{Literal, Term};
 
 /// Parses an N-Triples document into a fresh [`Dataset`].
+///
+/// The result is compacted ([`Dataset::compact`]) — bulk loads are the one
+/// place the whole graph is in hand and cold.
 pub fn parse(input: &str) -> Result<Dataset, ParseError> {
     let mut ds = Dataset::new();
+    ds.graph.reserve(count_newlines(input) + 1);
     parse_into(input, &mut ds)?;
+    ds.compact();
     Ok(ds)
 }
 
-/// Parses an N-Triples document into an existing dataset.
+/// Parses an N-Triples document into an existing dataset. Strictly
+/// line-oriented; does not compact (the caller owns the layout decision).
 pub fn parse_into(input: &str, dataset: &mut Dataset) -> Result<(), ParseError> {
-    let mut cur = Cursor::new(input);
-    loop {
-        cur.skip_ws_and_comments();
-        if cur.at_end() {
-            return Ok(());
-        }
-        let subject = parse_term(&mut cur)?;
-        if !subject.is_valid_subject() {
-            return Err(cur.error("subject must be an IRI or blank node"));
-        }
-        cur.skip_ws_and_comments();
-        let predicate = parse_term(&mut cur)?;
-        if !predicate.is_valid_predicate() {
-            return Err(cur.error("predicate must be an IRI"));
-        }
-        cur.skip_ws_and_comments();
-        let object = parse_term(&mut cur)?;
-        cur.skip_ws_and_comments();
-        if !cur.eat('.') {
-            return Err(cur.error("expected '.' terminating triple"));
-        }
-        dataset.insert(subject, predicate, object);
-    }
+    parse_lines(input, 1, &mut |s, p, o| {
+        dataset.insert(s, p, o);
+    })
 }
 
-fn parse_term(cur: &mut Cursor<'_>) -> Result<Term, ParseError> {
-    match cur.peek() {
-        Some('<') => parse_iri(cur).map(Term::iri),
-        Some('_') => parse_blank(cur),
-        Some('"') => parse_literal(cur),
-        Some(c) => Err(cur.error(format!("unexpected character '{c}'"))),
-        None => Err(cur.error("unexpected end of input")),
+/// Default minimum chunk size for [`parse_par`]: inputs smaller than this
+/// per worker aren't worth a thread.
+pub const MIN_CHUNK_BYTES: usize = 1 << 16;
+
+/// Parses an N-Triples document on up to `jobs` worker threads.
+///
+/// The input is split at line boundaries into byte ranges; each worker
+/// parses its range into a chunk-local [`TermPool`] and triple list; the
+/// merge phase then re-interns each chunk's terms into the shared pool *in
+/// chunk order* and replays the triples through it. Because chunk-local
+/// interning order is first-occurrence order within the chunk, and
+/// interning is idempotent, the merged pool assigns every term exactly the
+/// id sequential [`parse`] would — the result is byte-identical, including
+/// the first error (workers surface chunk-relative errors; the merge maps
+/// the earliest one back to its document line).
+pub fn parse_par(input: &str, jobs: usize) -> Result<Dataset, ParseError> {
+    parse_par_min_chunk(input, jobs, MIN_CHUNK_BYTES)
+}
+
+/// [`parse_par`] with a caller-chosen minimum chunk size. Small documents
+/// fall back to sequential parsing under the default threshold; the
+/// differential tests pass `min_chunk = 1` so tiny inputs still exercise
+/// the chunked path (including torn-seam error handling).
+pub fn parse_par_min_chunk(
+    input: &str,
+    jobs: usize,
+    min_chunk: usize,
+) -> Result<Dataset, ParseError> {
+    let jobs = jobs.max(1);
+    let effective = jobs.min(input.len() / min_chunk.max(1) + 1);
+    if effective <= 1 {
+        return parse(input);
+    }
+
+    // Chunk at line boundaries: each boundary is advanced to just past the
+    // next '\n', so every chunk holds complete lines. Byte search keeps the
+    // seam scan UTF-8-safe ('\n' never occurs inside a multi-byte char).
+    let bytes = input.as_bytes();
+    let approx = input.len() / effective;
+    let mut chunks: Vec<&str> = Vec::with_capacity(effective);
+    let mut start = 0usize;
+    while start < input.len() {
+        let mut end = (start + approx.max(1)).min(input.len());
+        if chunks.len() + 1 == effective {
+            end = input.len();
+        } else {
+            match bytes[end..].iter().position(|&b| b == b'\n') {
+                Some(i) => end += i + 1,
+                None => end = input.len(),
+            }
+        }
+        chunks.push(&input[start..end]);
+        start = end;
+    }
+
+    struct ChunkParse {
+        pool: TermPool,
+        triples: Vec<(TermId, TermId, TermId)>,
+        newlines: usize,
+        error: Option<ParseError>,
+    }
+
+    fn parse_chunk(chunk: &str) -> ChunkParse {
+        let newlines = count_newlines(chunk);
+        let mut pool = TermPool::new();
+        let mut triples = Vec::new();
+        let error = parse_lines(chunk, 1, &mut |s, p, o| {
+            triples.push((pool.intern(s), pool.intern(p), pool.intern(o)));
+        })
+        .err();
+        ChunkParse {
+            pool,
+            triples,
+            newlines,
+            error,
+        }
+    }
+
+    let parsed: Vec<ChunkParse> = std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|chunk| s.spawn(move || parse_chunk(chunk)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("N-Triples worker panicked"))
+            .collect()
+    });
+
+    // Surface the earliest error exactly as sequential parsing would:
+    // chunk-relative line plus the line count of every earlier chunk.
+    let mut line_offset = 0usize;
+    for chunk in &parsed {
+        if let Some(err) = &chunk.error {
+            let mut err = err.clone();
+            err.line += line_offset;
+            return Err(err);
+        }
+        line_offset += chunk.newlines;
+    }
+
+    // Deterministic merge. Re-interning chunk pools in chunk order
+    // reproduces sequential id assignment by induction: a chunk's local
+    // pool lists terms in first-occurrence order, so the subset not yet
+    // seen globally is interned in exactly the order sequential parsing
+    // would first meet it.
+    let mut ds = Dataset::new();
+    ds.pool.reserve(parsed.iter().map(|c| c.pool.len()).sum());
+    ds.graph
+        .reserve(parsed.iter().map(|c| c.triples.len()).sum());
+    for chunk in parsed {
+        let remap: Vec<TermId> = chunk
+            .pool
+            .into_terms()
+            .into_iter()
+            .map(|t| ds.pool.intern(t))
+            .collect();
+        for (s, p, o) in chunk.triples {
+            ds.graph.insert(Triple::new(
+                remap[s.index()],
+                remap[p.index()],
+                remap[o.index()],
+            ));
+        }
+    }
+    ds.compact();
+    Ok(ds)
+}
+
+fn count_newlines(s: &str) -> usize {
+    s.as_bytes().iter().filter(|&&b| b == b'\n').count()
+}
+
+/// Parses `input` line by line, feeding each triple's terms to `sink`.
+/// `first_line` seeds error line numbering (chunk workers pass 1 and the
+/// merge phase offsets). One trailing `'\r'` per line is stripped, so both
+/// LF and CRLF documents parse; a `'\r'` anywhere else is an error like any
+/// other control character.
+fn parse_lines(
+    input: &str,
+    first_line: usize,
+    sink: &mut impl FnMut(Term, Term, Term),
+) -> Result<(), ParseError> {
+    for (i, raw) in input.split('\n').enumerate() {
+        let line = raw.strip_suffix('\r').unwrap_or(raw);
+        let mut cur = Cursor::new_at_line(line, first_line + i);
+        skip_inline_ws(&mut cur);
+        if matches!(cur.peek(), None | Some('#')) {
+            continue; // empty or comment-only line
+        }
+        let subject = match cur.peek() {
+            Some('<') => parse_iri(&mut cur).map(Term::iri)?,
+            Some('_') => parse_blank(&mut cur)?,
+            Some('"') => return Err(cur.error("subject must be an IRI or blank node")),
+            Some(c) => return Err(cur.error(format!("expected subject, got '{c}'"))),
+            None => unreachable!("empty line handled above"),
+        };
+        skip_inline_ws(&mut cur);
+        let predicate = match cur.peek() {
+            Some('<') => parse_iri(&mut cur).map(Term::iri)?,
+            Some(c) => return Err(cur.error(format!("predicate must be an IRI, got '{c}'"))),
+            None => return Err(cur.error("expected predicate before end of line")),
+        };
+        skip_inline_ws(&mut cur);
+        let object = match cur.peek() {
+            Some('<') => parse_iri(&mut cur).map(Term::iri)?,
+            Some('_') => parse_blank(&mut cur)?,
+            Some('"') => parse_literal(&mut cur)?,
+            Some(c) => return Err(cur.error(format!("expected object, got '{c}'"))),
+            None => return Err(cur.error("expected object before end of line")),
+        };
+        skip_inline_ws(&mut cur);
+        if !cur.eat('.') {
+            return Err(match cur.peek() {
+                Some(c) => cur.error(format!("expected '.' terminating triple, got '{c}'")),
+                None => cur.error("expected '.' terminating triple before end of line"),
+            });
+        }
+        skip_inline_ws(&mut cur);
+        match cur.peek() {
+            None | Some('#') => {}
+            Some(c) => {
+                return Err(cur.error(format!(
+                    "unexpected '{c}' after triple (one triple per line)"
+                )))
+            }
+        }
+        sink(subject, predicate, object);
+    }
+    Ok(())
+}
+
+/// Skips the whitespace the grammar allows between terms: space and tab.
+/// (Line breaks never reach here — lines are pre-split.)
+fn skip_inline_ws(cur: &mut Cursor<'_>) {
+    while matches!(cur.peek(), Some(' ') | Some('\t')) {
+        cur.bump();
     }
 }
 
@@ -60,9 +249,16 @@ fn parse_iri(cur: &mut Cursor<'_>) -> Result<String, ParseError> {
             '\\' => match cur.bump() {
                 Some('u') => iri.push(decode_unicode_escape(cur, 4)?),
                 Some('U') => iri.push(decode_unicode_escape(cur, 8)?),
-                _ => return Err(cur.error("invalid escape in IRI")),
+                _ => return Err(cur.error("invalid escape in IRI (only \\u/\\U allowed)")),
             },
-            c if c.is_whitespace() => return Err(cur.error("whitespace in IRI")),
+            // IRIREF forbids controls, space, and <"{}|^` raw — they must
+            // be \u-escaped (the grammar's UCHAR production).
+            '\u{00}'..='\u{20}' | '<' | '"' | '{' | '}' | '|' | '^' | '`' => {
+                return Err(cur.error(format!(
+                    "character U+{:04X} not allowed in IRI (use \\u escape)",
+                    c as u32
+                )))
+            }
             c => iri.push(c),
         }
     }
@@ -97,14 +293,17 @@ fn parse_literal(cur: &mut Cursor<'_>) -> Result<Term, ParseError> {
         match c {
             '"' => break,
             '\\' => lexical.push(decode_string_escape(cur)?),
-            '\n' => return Err(cur.error("newline in string literal")),
+            // Raw newlines can't reach here (lines are pre-split); a raw
+            // carriage return mid-line is just as forbidden.
+            '\r' => return Err(cur.error("carriage return in string literal (use \\r)")),
             c => lexical.push(c),
         }
     }
     if cur.eat('@') {
+        // LANGTAG ::= [a-zA-Z]+ ('-' [a-zA-Z0-9]+)*
         let mut lang = String::new();
         while let Some(c) = cur.peek() {
-            if c.is_ascii_alphanumeric() || c == '-' {
+            if c.is_ascii_alphabetic() {
                 lang.push(c);
                 cur.bump();
             } else {
@@ -112,11 +311,30 @@ fn parse_literal(cur: &mut Cursor<'_>) -> Result<Term, ParseError> {
             }
         }
         if lang.is_empty() {
-            return Err(cur.error("empty language tag"));
+            return Err(cur.error("language tag must start with a letter"));
+        }
+        while cur.peek() == Some('-') {
+            cur.bump();
+            lang.push('-');
+            let before = lang.len();
+            while let Some(c) = cur.peek() {
+                if c.is_ascii_alphanumeric() {
+                    lang.push(c);
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+            if lang.len() == before {
+                return Err(cur.error("empty language subtag"));
+            }
         }
         return Ok(Term::Literal(Literal::lang_string(lexical, &lang)));
     }
     if cur.eat_str("^^") {
+        if cur.peek() != Some('<') {
+            return Err(cur.error("datatype must be an IRI"));
+        }
         let dt = parse_iri(cur)?;
         return Ok(Term::Literal(Literal::typed(lexical, dt)));
     }
@@ -127,6 +345,7 @@ fn parse_literal(cur: &mut Cursor<'_>) -> Result<Term, ParseError> {
 mod tests {
     use super::*;
     use crate::vocab::xsd;
+    use crate::writer;
 
     #[test]
     fn basic_triples() {
@@ -178,6 +397,12 @@ mod tests {
     }
 
     #[test]
+    fn crlf_line_endings() {
+        let src = "<http://e/a> <http://e/p> <http://e/b> .\r\n# c\r\n<http://e/a> <http://e/p> <http://e/c> .\r\n";
+        assert_eq!(parse(src).unwrap().graph.len(), 2);
+    }
+
+    #[test]
     fn rejects_turtle_abbreviations() {
         assert!(parse("ex:a ex:p ex:b .").is_err());
         assert!(parse("<http://e/a> a <http://e/B> .").is_err());
@@ -186,7 +411,8 @@ mod tests {
 
     #[test]
     fn rejects_literal_subject() {
-        assert!(parse("\"lit\" <http://e/p> <http://e/b> .").is_err());
+        let err = parse("\"lit\" <http://e/p> <http://e/b> .").unwrap_err();
+        assert!(err.message.contains("subject"), "{}", err.message);
     }
 
     #[test]
@@ -195,7 +421,192 @@ mod tests {
     }
 
     #[test]
+    fn rejects_literal_datatype() {
+        assert!(parse("<http://e/a> <http://e/p> \"x\"^^\"y\" .").is_err());
+    }
+
+    #[test]
     fn missing_dot_is_error() {
         assert!(parse("<http://e/a> <http://e/p> <http://e/b>").is_err());
+    }
+
+    #[test]
+    fn rejects_triple_spanning_lines() {
+        // Fail-pre-fix: the old parser skipped arbitrary whitespace
+        // (including newlines) between terms, accepting multi-line triples
+        // the N-Triples grammar forbids.
+        let err = parse("<http://e/a>\n<http://e/p> <http://e/b> .\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("predicate"), "{}", err.message);
+    }
+
+    #[test]
+    fn rejects_comment_mid_triple() {
+        // Fail-pre-fix: comments were skipped *between terms*; the grammar
+        // only allows them on empty lines or after the terminating '.'.
+        let err = parse("<http://e/a> # oops\n<http://e/p> <http://e/b> .\n").unwrap_err();
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn rejects_two_triples_on_one_line() {
+        let src =
+            "<http://e/a> <http://e/p> <http://e/b> . <http://e/a> <http://e/p> <http://e/c> .";
+        let err = parse(src).unwrap_err();
+        assert!(
+            err.message.contains("one triple per line"),
+            "{}",
+            err.message
+        );
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        // Fail-pre-fix (for the multi-line acceptance): errors now name the
+        // exact offending line of the document.
+        let src = "<http://e/a> <http://e/p> <http://e/b> .\n\
+                   \n\
+                   <http://e/a> <http://e/p> .\n";
+        let err = parse(src).unwrap_err();
+        assert_eq!(err.line, 3);
+    }
+
+    #[test]
+    fn rejects_forbidden_chars_in_iri() {
+        // Fail-pre-fix: only whitespace was rejected inside <...>; the
+        // IRIREF production also forbids <, ", {, }, |, ^, `, and controls.
+        for bad in [
+            "<http://e/a b>",
+            "<http://e/a<b>",
+            "<http://e/a\"b>",
+            "<http://e/a{b>",
+            "<http://e/a|b>",
+            "<http://e/a^b>",
+            "<http://e/a`b>",
+            "<http://e/a\u{7}b>",
+        ] {
+            let src = format!("{bad} <http://e/p> <http://e/o> .");
+            let err = parse(&src).unwrap_err();
+            assert_eq!(err.line, 1, "{bad}");
+            assert!(err.message.contains("IRI"), "{bad}: {}", err.message);
+        }
+    }
+
+    #[test]
+    fn iri_escape_round_trip() {
+        // A \u-escaped forbidden character parses, serializes back as an
+        // escape, and re-parses to the same term.
+        let src = "<http://e/a\\u0020b> <http://e/p> <http://e/o> .\n";
+        let ds = parse(src).unwrap();
+        assert!(ds.pool.get(&Term::iri("http://e/a b")).is_some());
+        let out = writer::to_ntriples(&ds.graph, &ds.pool);
+        assert!(out.contains("<http://e/a\\u0020b>"), "{out}");
+        let ds2 = parse(&out).unwrap();
+        assert!(ds2.pool.get(&Term::iri("http://e/a b")).is_some());
+    }
+
+    #[test]
+    fn rejects_raw_carriage_return_in_literal() {
+        let src = "<http://e/a> <http://e/p> \"a\rb\" .";
+        let err = parse(src).unwrap_err();
+        assert!(err.message.contains("carriage return"), "{}", err.message);
+    }
+
+    #[test]
+    fn lang_tag_grammar() {
+        assert!(parse("<http://e/a> <http://e/p> \"x\"@en .").is_ok());
+        assert!(parse("<http://e/a> <http://e/p> \"x\"@en-US .").is_ok());
+        assert!(parse("<http://e/a> <http://e/p> \"x\"@en-US-2 .").is_ok());
+        // Fail-pre-fix: the old tag scanner took any [a-zA-Z0-9-]+.
+        assert!(parse("<http://e/a> <http://e/p> \"x\"@1 .").is_err());
+        assert!(parse("<http://e/a> <http://e/p> \"x\"@-en .").is_err());
+        assert!(parse("<http://e/a> <http://e/p> \"x\"@en- .").is_err());
+    }
+
+    fn sample_doc(lines: usize) -> String {
+        let mut doc = String::new();
+        for i in 0..lines {
+            // Recurring terms across the whole doc force cross-chunk
+            // interning overlap; per-line terms force fresh ids.
+            doc.push_str(&format!(
+                "<http://e/s{}> <http://e/p{}> \"v{i}\"@en .\n",
+                i % 97,
+                i % 7
+            ));
+            if i % 13 == 0 {
+                doc.push_str("# comment\n\n");
+            }
+        }
+        doc
+    }
+
+    fn assert_identical(a: &Dataset, b: &Dataset) {
+        assert_eq!(a.pool.len(), b.pool.len());
+        for ((ia, ta), (ib, tb)) in a.pool.iter().zip(b.pool.iter()) {
+            assert_eq!(ia, ib);
+            assert_eq!(ta, tb);
+        }
+        assert_eq!(a.graph.triples_sorted(), b.graph.triples_sorted());
+        assert_eq!(
+            a.graph.subjects().collect::<Vec<_>>(),
+            b.graph.subjects().collect::<Vec<_>>()
+        );
+        for (id, _) in a.pool.iter() {
+            assert_eq!(a.graph.neighbourhood(id), b.graph.neighbourhood(id));
+            assert_eq!(a.graph.incoming(id), b.graph.incoming(id));
+        }
+    }
+
+    #[test]
+    fn parallel_parse_is_byte_identical() {
+        let doc = sample_doc(500);
+        let seq = parse(&doc).unwrap();
+        for jobs in [2, 3, 4, 7] {
+            let par = parse_par_min_chunk(&doc, jobs, 1).unwrap();
+            assert_identical(&seq, &par);
+        }
+    }
+
+    #[test]
+    fn parallel_parse_falls_back_sequential_below_threshold() {
+        let doc = sample_doc(10);
+        let seq = parse(&doc).unwrap();
+        let par = parse_par(&doc, 8).unwrap(); // tiny doc: one chunk
+        assert_identical(&seq, &par);
+    }
+
+    #[test]
+    fn parallel_parse_reports_same_error_at_same_line() {
+        let mut doc = sample_doc(200);
+        doc.push_str("<http://e/bad> <http://e/p> .\n"); // missing object
+        doc.push_str(&sample_doc(50));
+        let seq_err = parse(&doc).unwrap_err();
+        for jobs in [2, 4, 9] {
+            let par_err = parse_par_min_chunk(&doc, jobs, 1).unwrap_err();
+            assert_eq!(seq_err, par_err, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn parallel_parse_reports_earliest_error() {
+        // Errors in two different chunks: the merge must surface the first.
+        let mut doc = String::new();
+        doc.push_str("<http://e/a> <http://e/p> <http://e/b> .\n");
+        doc.push_str("broken line one\n");
+        doc.push_str(&sample_doc(100));
+        doc.push_str("broken line two\n");
+        let seq_err = parse(&doc).unwrap_err();
+        assert_eq!(seq_err.line, 2);
+        let par_err = parse_par_min_chunk(&doc, 6, 1).unwrap_err();
+        assert_eq!(seq_err, par_err);
+    }
+
+    #[test]
+    fn parallel_parse_handles_crlf_and_no_trailing_newline() {
+        let doc = sample_doc(120).replace('\n', "\r\n");
+        let trimmed = doc.trim_end().to_string(); // no trailing newline
+        let seq = parse(&trimmed).unwrap();
+        let par = parse_par_min_chunk(&trimmed, 5, 1).unwrap();
+        assert_identical(&seq, &par);
     }
 }

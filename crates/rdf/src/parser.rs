@@ -47,10 +47,17 @@ pub struct Cursor<'a> {
 impl<'a> Cursor<'a> {
     /// Starts a cursor at the beginning of `input`.
     pub fn new(input: &'a str) -> Self {
+        Cursor::new_at_line(input, 1)
+    }
+
+    /// Starts a cursor whose position reporting begins at `line` — for
+    /// line-oriented parsers that hand one extracted line at a time to the
+    /// cursor but want errors numbered against the whole document.
+    pub fn new_at_line(input: &'a str, line: usize) -> Self {
         Cursor {
             input,
             pos: 0,
-            line: 1,
+            line,
             column: 1,
         }
     }

@@ -5,7 +5,7 @@
 //! integer compare, and lets downstream code use ids as indexes into dense
 //! side tables (the derivative engine's memo tables rely on this).
 
-use std::collections::HashMap;
+use rustc_hash::FxHashMap;
 
 use crate::term::{Literal, Term};
 
@@ -28,7 +28,7 @@ impl TermId {
 #[derive(Debug, Default)]
 pub struct TermPool {
     terms: Vec<Term>,
-    ids: HashMap<Term, TermId>,
+    ids: FxHashMap<Term, TermId>,
 }
 
 impl TermPool {
@@ -86,12 +86,26 @@ impl TermPool {
         self.terms.is_empty()
     }
 
+    /// Pre-sizes both sides of the interner for `additional` more terms.
+    pub fn reserve(&mut self, additional: usize) {
+        self.terms.reserve(additional);
+        self.ids.reserve(additional);
+    }
+
     /// Iterates over all `(id, term)` pairs in interning order.
     pub fn iter(&self) -> impl Iterator<Item = (TermId, &Term)> {
         self.terms
             .iter()
             .enumerate()
             .map(|(i, t)| (TermId(i as u32), t))
+    }
+
+    /// Consumes the pool, yielding its terms in interning order — id `i`'s
+    /// term is element `i`. Used by the parallel parser's merge phase to
+    /// re-intern chunk-local pools into the shared one without cloning
+    /// every term.
+    pub fn into_terms(self) -> Vec<Term> {
+        self.terms
     }
 }
 

@@ -26,8 +26,22 @@ impl Iri {
 }
 
 impl fmt::Display for Iri {
+    /// Writes the IRI in N-Triples `<...>` syntax. Characters the IRIREF
+    /// production forbids raw (controls, space, `<>"{}|^`\``, backslash) —
+    /// which can only enter an [`Iri`] via `\u` escapes or programmatic
+    /// construction — are written back as UCHAR escapes, so serializing and
+    /// re-parsing round-trips instead of producing a rejected document.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "<{}>", self.0)
+        write!(f, "<")?;
+        for ch in self.0.chars() {
+            match ch {
+                '\u{00}'..='\u{20}' | '<' | '>' | '"' | '{' | '}' | '|' | '^' | '`' | '\\' => {
+                    write!(f, "\\u{:04X}", ch as u32)?
+                }
+                c => write!(f, "{c}")?,
+            }
+        }
+        write!(f, ">")
     }
 }
 

@@ -356,10 +356,20 @@ fn route(
             ) else {
                 return respond_error(stream, 422, "body needs string fields 'schema' and 'data'");
             };
+            // Optional "format": "turtle" (default) or "ntriples"; N-Triples
+            // data is parsed in parallel on the entry's jobs workers.
+            let format = match m.get("format").and_then(Value::as_str) {
+                None => registry::DataFormat::Turtle,
+                Some(name) => match registry::DataFormat::from_name(name) {
+                    Ok(f) => f,
+                    Err(e) => return respond_error(stream, 422, &e),
+                },
+            };
             match registry.load(
                 id,
                 schema.to_string(),
                 data.to_string(),
+                format,
                 config.engine_config(),
                 config.jobs,
             ) {

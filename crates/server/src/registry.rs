@@ -34,7 +34,7 @@ use serde_json::{json, to_string, Value};
 use shapex::report::{finish_engine_doc, push_typing_rows, result_json, ReportDoc};
 use shapex::{Engine, EngineConfig};
 use shapex_rdf::graph::Dataset;
-use shapex_rdf::{delta, turtle};
+use shapex_rdf::{delta, ntriples, turtle};
 use shapex_shex::schema::Schema;
 use shapex_shex::shapemap;
 
@@ -70,6 +70,40 @@ impl ApiResponse {
     }
 }
 
+/// Input format of an entry's data source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DataFormat {
+    /// Turtle (the default).
+    #[default]
+    Turtle,
+    /// Strict line-oriented N-Triples, parsed in parallel on the entry's
+    /// `jobs` worker threads (byte-identical to a sequential parse).
+    NTriples,
+}
+
+impl DataFormat {
+    /// Detects the format from a data file path: `.nt` means N-Triples,
+    /// anything else Turtle.
+    pub fn from_path(path: &str) -> DataFormat {
+        if path.ends_with(".nt") {
+            DataFormat::NTriples
+        } else {
+            DataFormat::Turtle
+        }
+    }
+
+    /// Parses a client-supplied format name.
+    pub fn from_name(name: &str) -> Result<DataFormat, String> {
+        match name {
+            "turtle" => Ok(DataFormat::Turtle),
+            "ntriples" => Ok(DataFormat::NTriples),
+            other => Err(format!(
+                "unknown data format '{other}' (expected 'turtle' or 'ntriples')"
+            )),
+        }
+    }
+}
+
 /// The warm, mutable half of an entry. Discarded wholesale on panic.
 struct Slot {
     ds: Dataset,
@@ -85,6 +119,7 @@ struct Slot {
 struct Entry {
     schema_src: String,
     data_src: String,
+    format: DataFormat,
     config: EngineConfig,
     jobs: usize,
     slot: Mutex<Option<Slot>>,
@@ -97,12 +132,19 @@ struct Entry {
 fn build_slot(
     schema_src: &str,
     data_src: &str,
+    format: DataFormat,
+    jobs: usize,
     deltas: &[String],
     config: EngineConfig,
 ) -> Result<Slot, String> {
     let schema: Schema =
         shapex_shex::shexc::parse(schema_src).map_err(|e| format!("schema: {e}"))?;
-    let mut ds = turtle::parse(data_src).map_err(|e| format!("data: {e}"))?;
+    let mut ds = match format {
+        DataFormat::Turtle => turtle::parse(data_src).map_err(|e| format!("data: {e}"))?,
+        DataFormat::NTriples => {
+            ntriples::parse_par(data_src, jobs).map_err(|e| format!("data: {e}"))?
+        }
+    };
     for (i, text) in deltas.iter().enumerate() {
         let d =
             delta::parse(text, &mut ds.pool).map_err(|e| format!("replaying delta {i}: {e}"))?;
@@ -160,13 +202,15 @@ impl Registry {
         id: &str,
         schema_src: String,
         data_src: String,
+        format: DataFormat,
         config: EngineConfig,
         jobs: usize,
     ) -> Result<(), String> {
-        let slot = build_slot(&schema_src, &data_src, &[], config)?;
+        let slot = build_slot(&schema_src, &data_src, format, jobs, &[], config)?;
         let entry = Entry {
             schema_src,
             data_src,
+            format,
             config,
             jobs,
             slot: Mutex::new(Some(slot)),
@@ -465,7 +509,14 @@ impl Default for Registry {
 fn rebuild_checked(entry: &Entry, deltas: &[String]) -> Result<Slot, String> {
     let rebuild = || {
         catch_unwind(AssertUnwindSafe(|| {
-            build_slot(&entry.schema_src, &entry.data_src, deltas, entry.config)
+            build_slot(
+                &entry.schema_src,
+                &entry.data_src,
+                entry.format,
+                entry.jobs,
+                deltas,
+                entry.config,
+            )
         }))
         .unwrap_or_else(|p| Err(format!("rebuild panicked: {}", panic_message(p))))
     };

@@ -103,6 +103,7 @@ fn serve_fixture(config: ServerConfig) -> ServerHandle {
             "default",
             SCHEMA.to_string(),
             DATA.to_string(),
+            shapex_server::registry::DataFormat::Turtle,
             config.engine_config(),
             config.jobs,
         )

@@ -1,0 +1,80 @@
+//! `gen-nt` — write a UniProt-shaped N-Triples dump (and optionally its
+//! ShExC schema) to disk, for the scale benchmarks and CI smoke tests.
+//!
+//! ```text
+//! gen-nt --triples 1000000 --out dump.nt [--schema-out schema.shex] [--seed 42]
+//! gen-nt --entities 150000 --out dump.nt
+//! ```
+
+use std::process::ExitCode;
+
+use shapex_workloads::scale;
+
+fn main() -> ExitCode {
+    let mut entities: Option<usize> = None;
+    let mut triples: Option<usize> = None;
+    let mut seed: u64 = 42;
+    let mut out: Option<String> = None;
+    let mut schema_out: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        let result: Result<(), String> = match arg.as_str() {
+            "--entities" => value("--entities")
+                .and_then(|v| v.parse().map_err(|e| format!("--entities: {e}")))
+                .map(|v| entities = Some(v)),
+            "--triples" => value("--triples")
+                .and_then(|v| v.parse().map_err(|e| format!("--triples: {e}")))
+                .map(|v| triples = Some(v)),
+            "--seed" => value("--seed")
+                .and_then(|v| v.parse().map_err(|e| format!("--seed: {e}")))
+                .map(|v| seed = v),
+            "--out" => value("--out").map(|v| out = Some(v)),
+            "--schema-out" => value("--schema-out").map(|v| schema_out = Some(v)),
+            "--help" | "-h" => {
+                println!(
+                    "usage: gen-nt (--triples N | --entities N) --out FILE \
+                     [--schema-out FILE] [--seed N]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => Err(format!("unknown argument '{other}'")),
+        };
+        if let Err(msg) = result {
+            eprintln!("gen-nt: {msg}");
+            return ExitCode::from(2);
+        }
+    }
+
+    let entities = match (entities, triples) {
+        (Some(e), None) => e,
+        (None, Some(t)) => ((t as f64 / scale::TRIPLES_PER_ENTITY).ceil() as usize).max(1),
+        _ => {
+            eprintln!("gen-nt: exactly one of --entities or --triples is required");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(out) = out else {
+        eprintln!("gen-nt: --out is required");
+        return ExitCode::from(2);
+    };
+
+    let dump = scale::uniprot_ntriples(entities, seed);
+    let lines = dump.lines().count();
+    if let Err(e) = std::fs::write(&out, &dump) {
+        eprintln!("gen-nt: writing {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Some(path) = schema_out {
+        if let Err(e) = std::fs::write(&path, scale::uniprot_schema()) {
+            eprintln!("gen-nt: writing {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("wrote {out}: {entities} entities, {lines} triples, seed {seed}");
+    ExitCode::SUCCESS
+}

@@ -22,6 +22,11 @@
 //!   / Example 14 schema (E6), in chain/cycle/random topologies, with an
 //!   invalid-node fraction.
 
+//! * [`scale::uniprot`] — UniProt-shaped protein dumps at 1M–50M triples
+//!   for the ingestion benchmarks (E12), generated as N-Triples text and
+//!   fed through the real parser.
+
 pub mod generators;
+pub mod scale;
 
 pub use generators::*;

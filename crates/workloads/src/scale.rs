@@ -1,0 +1,150 @@
+//! Million-triple scale workloads, shaped like UniProt protein dumps.
+//!
+//! The pschema-rs exemplars validate real UniProt N-Triples exports; this
+//! module generates synthetic dumps with the same shape — one protein
+//! entity per `~7` triples: an `rdf:type`, a reviewed flag, a mnemonic, an
+//! organism link into a small taxon universe (recurring terms, like real
+//! dumps), a sequence literal (high-entropy, never shared), and 1–3
+//! `rdfs:seeAlso` database cross-references. Everything is seeded and
+//! deterministic, so the same `(entities, seed)` pair reproduces the same
+//! bytes on every run — the property the differential parse benchmarks
+//! and CI smoke tests rely on.
+
+use std::fmt::Write as _;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use shapex_rdf::ntriples;
+
+use crate::Workload;
+
+/// UniProt core vocabulary namespace.
+pub const UP: &str = "http://purl.uniprot.org/core/";
+/// Protein entity namespace.
+pub const UNIPROT: &str = "http://purl.uniprot.org/uniprot/";
+/// Taxonomy namespace.
+pub const TAXON: &str = "http://purl.uniprot.org/taxonomy/";
+
+const RDF_TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+const RDFS_SEE_ALSO: &str = "http://www.w3.org/2000/01/rdf-schema#seeAlso";
+const XSD_BOOLEAN: &str = "http://www.w3.org/2001/XMLSchema#boolean";
+
+const AMINO: &[u8] = b"ACDEFGHIKLMNPQRSTVWY";
+const SPECIES: &[&str] = &["HUMAN", "MOUSE", "YEAST", "ECOLI", "DROME", "ARATH", "RAT"];
+
+/// Average triples emitted per entity (used to size entity counts for a
+/// triple target: `entities ≈ triples / TRIPLES_PER_ENTITY`).
+pub const TRIPLES_PER_ENTITY: f64 = 7.0;
+
+/// Generates a UniProt-shaped N-Triples document with `entities` protein
+/// entities (≈ `7 × entities` triples). Deterministic in `(entities, seed)`.
+pub fn uniprot_ntriples(entities: usize, seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // ~330 bytes per entity; pre-size to avoid repeated doubling.
+    let mut out = String::with_capacity(entities.saturating_mul(340));
+    for i in 0..entities {
+        let taxon = rng.gen_range(1..50u32);
+        let reviewed = rng.gen_bool(0.3);
+        let species = SPECIES[rng.gen_range(0..SPECIES.len())];
+        let seq_len = rng.gen_range(12..32usize);
+        let refs = rng.gen_range(1..4usize);
+
+        let _ = writeln!(out, "<{UNIPROT}P{i:08}> <{RDF_TYPE}> <{UP}Protein> .");
+        let _ = writeln!(
+            out,
+            "<{UNIPROT}P{i:08}> <{UP}reviewed> \"{reviewed}\"^^<{XSD_BOOLEAN}> ."
+        );
+        let _ = writeln!(
+            out,
+            "<{UNIPROT}P{i:08}> <{UP}mnemonic> \"G{i:X}_{species}\" ."
+        );
+        let _ = writeln!(out, "<{UNIPROT}P{i:08}> <{UP}organism> <{TAXON}{taxon}> .");
+        let _ = write!(out, "<{UNIPROT}P{i:08}> <{UP}sequence> \"");
+        for _ in 0..seq_len {
+            out.push(AMINO[rng.gen_range(0..AMINO.len())] as char);
+        }
+        out.push_str("\" .\n");
+        for r in 0..refs {
+            let _ = writeln!(
+                out,
+                "<{UNIPROT}P{i:08}> <{RDFS_SEE_ALSO}> <http://purl.uniprot.org/embl-cds/C{i:08}.{r}> ."
+            );
+        }
+    }
+    out
+}
+
+/// The ShExC schema every generated protein conforms to.
+pub fn uniprot_schema() -> String {
+    format!(
+        "PREFIX up: <{UP}>\n\
+         PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n\
+         PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>\n\
+         PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>\n\
+         <Protein> {{\n\
+         \x20 rdf:type [up:Protein],\n\
+         \x20 up:reviewed xsd:boolean,\n\
+         \x20 up:mnemonic xsd:string,\n\
+         \x20 up:organism .,\n\
+         \x20 up:sequence xsd:string,\n\
+         \x20 rdfs:seeAlso .+\n\
+         }}"
+    )
+}
+
+/// **E12** — a complete UniProt-shaped workload: the dump is generated as
+/// N-Triples text and parsed through the real ingestion path (one code
+/// path for benchmarks, tests, and files on disk), every protein is a
+/// focus node, and all of them conform.
+pub fn uniprot(entities: usize, seed: u64) -> Workload {
+    let nt = uniprot_ntriples(entities, seed);
+    let dataset = ntriples::parse(&nt).expect("generated dump is valid N-Triples");
+    Workload {
+        name: format!("uniprot/n={entities}"),
+        schema: uniprot_schema(),
+        dataset,
+        focus: (0..entities).map(|i| format!("{UNIPROT}P{i:08}")).collect(),
+        shape: "Protein".to_string(),
+        expected: vec![true; entities],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(uniprot_ntriples(50, 7), uniprot_ntriples(50, 7));
+        assert_ne!(uniprot_ntriples(50, 7), uniprot_ntriples(50, 8));
+    }
+
+    #[test]
+    fn triple_count_tracks_estimate() {
+        let ds = ntriples::parse(&uniprot_ntriples(200, 1)).unwrap();
+        let per_entity = ds.graph.len() as f64 / 200.0;
+        assert!(
+            (TRIPLES_PER_ENTITY - 1.0..=TRIPLES_PER_ENTITY + 1.0).contains(&per_entity),
+            "{per_entity} triples/entity"
+        );
+    }
+
+    #[test]
+    fn parallel_parse_of_dump_is_identical() {
+        let nt = uniprot_ntriples(300, 3);
+        let seq = ntriples::parse(&nt).unwrap();
+        let par = ntriples::parse_par_min_chunk(&nt, 4, 1).unwrap();
+        assert_eq!(seq.pool.len(), par.pool.len());
+        assert_eq!(seq.graph.triples_sorted(), par.graph.triples_sorted());
+    }
+
+    #[test]
+    fn workload_focus_aligns_with_entities() {
+        let w = uniprot(25, 0);
+        assert_eq!(w.focus.len(), 25);
+        assert_eq!(w.expected.len(), 25);
+        assert!(w.dataset.iri(&w.focus[0]).is_some());
+        assert!(w.dataset.iri(&w.focus[24]).is_some());
+    }
+}

@@ -1,0 +1,237 @@
+//! Differential properties for the million-triple ingestion path.
+//!
+//! 1. Parallel chunked N-Triples parsing (`ntriples::parse_par`) must be
+//!    *byte-identical* to sequential `ntriples::parse` on arbitrary
+//!    documents — same `TermId` assignment, same adjacency order, same
+//!    subject iteration order — and must report the *same first error* on
+//!    malformed input, whatever chunk seam the error straddles.
+//! 2. Batched delta apply/revert on the compact adjacency layout must
+//!    agree with a naive per-triple reference implementation, and
+//!    apply-then-revert must be a structural identity.
+
+use proptest::prelude::*;
+
+use shapex_rdf::graph::{Dataset, Graph, Triple};
+use shapex_rdf::ntriples;
+use shapex_rdf::pool::TermPool;
+
+// ---- random N-Triples documents ----
+
+/// One syntactically valid triple line. Term universes are small so that
+/// terms recur across chunk boundaries (exercising the merge's remapping)
+/// while fresh literals keep some terms chunk-local.
+fn arb_good_line() -> impl Strategy<Value = String> {
+    (0u8..40, 0u8..6, 0u8..40, any::<u16>()).prop_map(|(s, p, o, fresh)| {
+        let obj = match o % 4 {
+            0 => format!("<http://e/n{o}>"),
+            1 => format!("_:b{o}"),
+            2 => format!("\"v{fresh}\""),
+            _ => format!("\"v{o}\"@en-US"),
+        };
+        format!("<http://e/n{s}> <http://e/p{p}> {obj} .")
+    })
+}
+
+fn arb_line() -> impl Strategy<Value = String> {
+    prop_oneof![
+        arb_good_line(),
+        arb_good_line(),
+        arb_good_line(),
+        arb_good_line(),
+        Just(String::new()),
+        Just("# a comment".to_string()),
+        arb_good_line().prop_map(|l| format!("  {l} # trailing")),
+    ]
+}
+
+/// A whole document: lines joined by LF or CRLF, with or without a final
+/// newline.
+fn arb_doc() -> impl Strategy<Value = String> {
+    (
+        proptest::collection::vec(arb_line(), 0..120),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(lines, crlf, trailing)| {
+            let sep = if crlf { "\r\n" } else { "\n" };
+            let mut doc = lines.join(sep);
+            if trailing && !doc.is_empty() {
+                doc.push_str(sep);
+            }
+            doc
+        })
+}
+
+/// A malformed line of the kinds the satellites call out: a triple torn
+/// across a line break (the old parser accepted these), a forbidden
+/// character inside an IRI, trailing garbage, a bare fragment.
+fn arb_bad_line() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("<http://e/torn>".to_string()),
+        Just("<http://e/a> <http://e/p>".to_string()),
+        Just("<http://e/a b> <http://e/p> <http://e/o> .".to_string()),
+        Just("<http://e/a> <http://e/p> <http://e/o> . garbage".to_string()),
+        Just("\"lit\" <http://e/p> <http://e/o> .".to_string()),
+        Just("random trailing garbage".to_string()),
+    ]
+}
+
+fn assert_identical(seq: &Dataset, par: &Dataset) {
+    assert_eq!(seq.pool.len(), par.pool.len(), "pool sizes differ");
+    for ((ia, ta), (ib, tb)) in seq.pool.iter().zip(par.pool.iter()) {
+        assert_eq!(ia, ib);
+        assert_eq!(ta, tb, "term id {ia:?} bound to different terms");
+    }
+    assert_eq!(seq.graph.triples_sorted(), par.graph.triples_sorted());
+    assert_eq!(
+        seq.graph.subjects().collect::<Vec<_>>(),
+        par.graph.subjects().collect::<Vec<_>>()
+    );
+    for (id, _) in seq.pool.iter() {
+        assert_eq!(seq.graph.neighbourhood(id), par.graph.neighbourhood(id));
+        assert_eq!(seq.graph.incoming(id), par.graph.incoming(id));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Well-formed documents: parallel == sequential, bit for bit, at every
+    /// worker count and with chunk seams forced through the document.
+    #[test]
+    fn parallel_parse_matches_sequential(doc in arb_doc(), jobs in 2usize..6) {
+        let seq = ntriples::parse(&doc).expect("generated docs are valid");
+        // min_chunk = 1 forces real chunking even on tiny documents.
+        let par = ntriples::parse_par_min_chunk(&doc, jobs, 1)
+            .expect("parallel parse of valid doc");
+        assert_identical(&seq, &par);
+    }
+
+    /// Malformed documents: the parallel parser reports the same first
+    /// error (line, column, message) as the sequential one, no matter
+    /// which chunk the bad line lands in — including a triple torn across
+    /// a chunk seam, CRLF endings, and trailing garbage.
+    #[test]
+    fn parallel_parse_matches_sequential_errors(
+        prefix in arb_doc(),
+        bad in arb_bad_line(),
+        suffix in arb_doc(),
+        jobs in 2usize..6,
+        crlf in any::<bool>(),
+    ) {
+        let sep = if crlf { "\r\n" } else { "\n" };
+        let doc = format!("{prefix}{sep}{bad}{sep}{suffix}");
+        let seq_err = ntriples::parse(&doc).expect_err("doc contains a bad line");
+        let par_err = ntriples::parse_par_min_chunk(&doc, jobs, 1)
+            .expect_err("parallel parse must reject too");
+        prop_assert_eq!(seq_err, par_err);
+    }
+}
+
+// ---- UniProt-shaped workload end-to-end ----
+
+/// The scale workload's schema and generator agree: every generated
+/// protein conforms, through the real parse → compile → validate path.
+#[test]
+fn uniprot_workload_validates_conformant() {
+    use shapex::Engine;
+    use shapex_shex::ast::ShapeLabel;
+    use shapex_shex::shexc;
+
+    let mut w = shapex_workloads::scale::uniprot(40, 11);
+    let schema = shexc::parse(&w.schema).expect("uniprot schema parses");
+    let mut engine = Engine::new(&schema, &mut w.dataset.pool).unwrap();
+    let shape = ShapeLabel::new(w.shape.clone());
+    for (focus, expected) in w.focus.iter().zip(&w.expected) {
+        let node = w.dataset.iri(focus).expect("focus node in dump");
+        let got = engine
+            .check(&w.dataset.graph, &w.dataset.pool, node, &shape)
+            .unwrap();
+        assert_eq!(got.matched, *expected, "{focus}");
+    }
+}
+
+// ---- batched delta apply/revert vs naive reference ----
+
+fn arb_triple() -> impl Strategy<Value = (u8, u8, u8)> {
+    (0u8..12, 0u8..4, 0u8..12)
+}
+
+fn build(pool: &mut TermPool, triples: &[(u8, u8, u8)]) -> Graph {
+    let mut g = Graph::new();
+    for &(s, p, o) in triples {
+        let t = Triple::new(
+            pool.intern_iri(&format!("http://e/n{s}")),
+            pool.intern_iri(&format!("http://e/p{p}")),
+            pool.intern_iri(&format!("http://e/n{o}")),
+        );
+        g.insert(t);
+    }
+    g
+}
+
+/// Per-node `(outgoing, incoming)` arc lists, a predicate/object id pair
+/// each, in adjacency order — the full structural state of a graph.
+type Arcs = Vec<(shapex_rdf::pool::TermId, shapex_rdf::pool::TermId)>;
+
+fn snapshot(g: &Graph, pool: &TermPool) -> Vec<(Arcs, Arcs)> {
+    pool.iter()
+        .map(|(id, _)| (g.neighbourhood(id).to_vec(), g.incoming(id).to_vec()))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The batched `try_apply_delta` produces the same triple set as a
+    /// naive remove-then-insert loop, and `revert_delta` restores the
+    /// original graph *structurally* (adjacency order and subject order,
+    /// not just set equality) — on compacted and uncompacted layouts.
+    #[test]
+    fn batched_delta_agrees_with_naive_reference(
+        base in proptest::collection::vec(arb_triple(), 0..60),
+        removed in proptest::collection::vec(arb_triple(), 0..20),
+        added in proptest::collection::vec(arb_triple(), 0..20),
+        compact_first in any::<bool>(),
+    ) {
+        let mut pool = TermPool::new();
+        let mut g = build(&mut pool, &base);
+        if compact_first {
+            g.compact();
+        }
+
+        let intern3 = |pool: &mut TermPool, (s, p, o): (u8, u8, u8)| {
+            Triple::new(
+                pool.intern_iri(&format!("http://e/n{s}")),
+                pool.intern_iri(&format!("http://e/p{p}")),
+                pool.intern_iri(&format!("http://e/n{o}")),
+            )
+        };
+        let delta = shapex_rdf::delta::GraphDelta {
+            removed: removed.iter().map(|&t| intern3(&mut pool, t)).collect(),
+            added: added.iter().map(|&t| intern3(&mut pool, t)).collect(),
+        };
+
+        // Naive reference: rebuild and mutate one triple at a time.
+        let mut reference = build(&mut pool, &base);
+        for t in &delta.removed {
+            reference.remove(t);
+        }
+        for t in &delta.added {
+            reference.insert(*t);
+        }
+
+        let before = snapshot(&g, &pool);
+        let before_subjects: Vec<_> = g.subjects().collect();
+
+        let applied = g.apply_delta(&delta);
+        prop_assert_eq!(g.triples_sorted(), reference.triples_sorted());
+        // Post-apply adjacency order must match the reference's too: both
+        // keep survivors in order and append additions at the tail.
+        prop_assert_eq!(snapshot(&g, &pool), snapshot(&reference, &pool));
+
+        g.revert_delta(&applied);
+        prop_assert_eq!(snapshot(&g, &pool), before);
+        prop_assert_eq!(g.subjects().collect::<Vec<_>>(), before_subjects);
+    }
+}

@@ -1,0 +1,66 @@
+//! Offline stand-in for the `mimalloc` crate.
+//!
+//! The build environment has no network access, so the real `mimalloc`
+//! (which builds the bundled C allocator via `cc`) cannot be fetched. This
+//! shim exposes the same one-type API — `MiMalloc`, a unit struct
+//! implementing [`GlobalAlloc`] — but forwards every call to
+//! [`std::alloc::System`]. That keeps the `alloc-mimalloc` feature wiring
+//! in `shapex-bench` compilable and honest to test: the allocator A/B in
+//! `--bin scale` runs both arms, and on this shim they are *expected* to
+//! measure identically. Swapping in the real crate (same name, same
+//! `MiMalloc` type) turns the B arm into a genuine mimalloc measurement
+//! with no source changes.
+//!
+//! ```no_run
+//! #[global_allocator]
+//! static GLOBAL: mimalloc::MiMalloc = mimalloc::MiMalloc;
+//! ```
+
+use std::alloc::{GlobalAlloc, Layout, System};
+
+/// Drop-in for `mimalloc::MiMalloc`. Forwards to the system allocator.
+pub struct MiMalloc;
+
+// SAFETY: every method delegates directly to `System`, which upholds the
+// `GlobalAlloc` contract.
+unsafe impl GlobalAlloc for MiMalloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocates_and_frees() {
+        unsafe {
+            let layout = Layout::from_size_align(64, 8).unwrap();
+            let p = MiMalloc.alloc(layout);
+            assert!(!p.is_null());
+            p.write_bytes(0xAB, 64);
+            let p = MiMalloc.realloc(p, layout, 128);
+            assert!(!p.is_null());
+            assert_eq!(*p, 0xAB);
+            MiMalloc.dealloc(p, Layout::from_size_align(128, 8).unwrap());
+
+            let z = MiMalloc.alloc_zeroed(layout);
+            assert!(!z.is_null());
+            assert_eq!(*z, 0);
+            MiMalloc.dealloc(z, layout);
+        }
+    }
+}
