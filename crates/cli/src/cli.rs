@@ -5,14 +5,18 @@ use std::fmt::Write as _;
 use std::fs;
 use std::time::Duration;
 
-use serde_json::Value;
-use shapex::{Budget, Closure, Engine, EngineConfig, EngineError, Exhaustion};
+use serde_json::{json, Value};
+use shapex::{
+    Budget, Closure, CompiledSchema, Engine, EngineConfig, EngineError, Exhaustion, Verdict,
+};
 use shapex_backtrack::{BacktrackValidator, BtConfig, BtError};
 use shapex_rdf::graph::Dataset;
 use shapex_rdf::ntriples;
+use shapex_rdf::pool::TermPool;
 use shapex_rdf::turtle;
 use shapex_rdf::writer;
 use shapex_shex::ast::ShapeLabel;
+use shapex_shex::sat::Sat3;
 use shapex_shex::schema::Schema;
 use shapex_shex::shexc;
 
@@ -39,6 +43,14 @@ pub enum CliError {
         /// The verdict report (printed to stdout as on success).
         output: String,
     },
+    /// A `check` run completed but the calculus could not decide — exit
+    /// code [`EXHAUSTED_EXIT_CODE`], the same "unknown" contract as
+    /// exhaustion: the answer might flip with a larger budget or a richer
+    /// decision procedure, so neither 0 nor 2 would be honest.
+    Undetermined {
+        /// The verdict report (printed to stdout as on success).
+        output: String,
+    },
 }
 
 /// Exit code for budget exhaustion: distinct from 0 (conforms/ran) and 1
@@ -62,6 +74,7 @@ impl std::fmt::Display for CliError {
             CliError::Msg(m) => m.fmt(f),
             CliError::Exhausted { exhaustion, .. } => exhaustion.fmt(f),
             CliError::NonConforming { .. } => "data does not conform".fmt(f),
+            CliError::Undetermined { .. } => "verdict undetermined".fmt(f),
         }
     }
 }
@@ -82,6 +95,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         Some("query") => Ok(query(&parse_flags(it)?)?),
         Some("convert") => Ok(convert(&parse_flags(it)?)?),
         Some("lint") => Ok(lint(&parse_flags(it)?)?),
+        Some("check") => check(&parse_flags(it)?),
         Some("parse") => Ok(parse_cmd(&parse_flags(it)?)?),
         Some("--help") | Some("-h") | None => Ok(USAGE.to_string()),
         Some(other) => Err(CliError::Msg(format!("unknown command '{other}'\n{USAGE}"))),
@@ -103,6 +117,9 @@ USAGE:
       --no-sorbe                         disable the SORBE counting fast path
       --no-dfa                           disable the lazy shape DFA (fall back to the
                                          hash-map derivative memo; results are identical)
+      --prune                            drop provably-empty alternation branches after
+                                         compilation (DESIGN.md §5f; language-preserving,
+                                         results are identical)
       --explain                          print failure explanations
       --trace NODE SHAPE                 print the §7 derivative trace for one pair
                                          (also: bare --trace with --node/--shape)
@@ -160,6 +177,32 @@ USAGE:
       Report likely mistakes in a schema (dead shapes, empty value sets,
       invalid PATTERNs, contradictory constraints).
 
+  shapex check --schema FILE [options]
+      Exact schema calculus over the compiled shapes (DESIGN.md §5f).
+      Default mode: per-shape emptiness — proves each shape's language
+      empty (unsatisfiable: no neighbourhood can ever conform) or
+      inhabited. Exits 2 if any shape is proven unsatisfiable — that proof
+      cannot flip, so it outranks undetermined shapes — else 3 if any
+      shape is undetermined, else 0.
+      --containment A B                  decide L(A) ⊆ L(B) by a budgeted product
+                                         construction over neighbourhood letters:
+                                         exit 0 contained, 2 a counterexample
+                                         neighbourhood exists, 3 undetermined or
+                                         budget exhausted (never a hang)
+      --schema-delta NEW                 diff this schema against NEW: classify every
+                                         shape unchanged/changed/added/removed
+                                         (containment both ways, modulo reference
+                                         names) and close over reverse references to
+                                         the affected set. With --data FILE, type the
+                                         data under the old schema, transplant every
+                                         reusable verdict, and re-type only affected
+                                         shapes — the typing is byte-identical to a
+                                         from-scratch run under NEW
+      --open                             open-shape letter semantics (must match how
+                                         the shapes will be validated)
+      --data FILE, --jobs N, --report json, and the budget flags as in
+      validate.
+
   shapex convert --schema FILE [--to shexc|shexj]
       Convert a schema between the compact syntax (ShExC) and the JSON
       interchange form (ShExJ). Input format is detected from content.
@@ -197,8 +240,8 @@ impl Flags {
 }
 
 fn parse_flags<'a>(it: impl Iterator<Item = &'a str>) -> Result<Flags, String> {
-    const SWITCHES: [&str; 7] = [
-        "open", "explain", "stats", "no-sorbe", "no-dfa", "trace", "lenient",
+    const SWITCHES: [&str; 8] = [
+        "open", "explain", "stats", "no-sorbe", "no-dfa", "trace", "lenient", "prune",
     ];
     let mut it = it.peekable();
     let mut flags = Flags {
@@ -222,6 +265,23 @@ fn parse_flags<'a>(it: impl Iterator<Item = &'a str>) -> Result<Flags, String> {
                 flags.values.push(("shape".to_string(), shape.to_string()));
             }
             flags.switches.push(name.to_string());
+        } else if name == "containment" {
+            // `--containment A B` names the two shapes positionally, like
+            // `--trace NODE SHAPE`.
+            let a = it
+                .next()
+                .filter(|v| !v.starts_with("--"))
+                .ok_or("--containment A B needs two shape labels")?;
+            let b = it
+                .next()
+                .filter(|v| !v.starts_with("--"))
+                .ok_or("--containment A B needs two shape labels")?;
+            flags
+                .values
+                .push(("containment-a".to_string(), a.to_string()));
+            flags
+                .values
+                .push(("containment-b".to_string(), b.to_string()));
         } else if SWITCHES.contains(&name) {
             flags.switches.push(name.to_string());
         } else {
@@ -495,6 +555,7 @@ fn validate(flags: &Flags) -> Result<String, CliError> {
                 },
                 no_sorbe: flags.has("no-sorbe"),
                 no_dfa: flags.has("no-dfa"),
+                prune: flags.has("prune"),
                 budget,
                 // A JSON report always carries the metrics block.
                 metrics: report,
@@ -920,6 +981,262 @@ fn lint(flags: &Flags) -> Result<String, String> {
         let _ = writeln!(out, "warning: {w}");
     }
     let _ = writeln!(out, "{} warning(s)", warnings.len());
+    Ok(out)
+}
+
+/// The `check` subcommand: exact schema calculus — per-shape emptiness by
+/// default, `--containment A B` for one language-inclusion query,
+/// `--schema-delta NEW` for schema diffing (plus verdict-transplant
+/// revalidation when `--data` is given). See DESIGN.md §5f.
+fn check(flags: &Flags) -> Result<String, CliError> {
+    let schema = load_schema(flags)?;
+    let budget = budget_from_flags(flags)?;
+    let report = report_from_flags(flags)?;
+    let closure = if flags.has("open") {
+        Closure::Open
+    } else {
+        Closure::Closed
+    };
+
+    if let Some(new_path) = flags.get("schema-delta") {
+        return check_schema_delta(flags, &schema, new_path, closure, budget, report);
+    }
+
+    let mut terms = TermPool::default();
+    let compiled = CompiledSchema::compile(&schema, &mut terms, EngineConfig::default().simplify)
+        .map_err(|e| e.to_string())?;
+
+    if let Some(a) = flags.get("containment-a") {
+        let b = flags.get("containment-b").expect("parsed as a pair");
+        let resolve = |label: &str| {
+            compiled
+                .shape_id(&ShapeLabel::new(label))
+                .ok_or_else(|| CliError::Msg(format!("unknown shape <{label}>")))
+        };
+        let verdict = shapex::containment(
+            &compiled,
+            resolve(a)?,
+            &compiled,
+            resolve(b)?,
+            closure,
+            &budget,
+        );
+        let mut out = String::new();
+        let _ = writeln!(out, "<{a}> ⊆ <{b}> — {verdict}");
+        if report {
+            let mut doc = ReportDoc::new("containment", "calculus");
+            doc.set("a", Value::from(a));
+            doc.set("b", Value::from(b));
+            doc.set("verdict", Value::from(verdict.to_string()));
+            if let Verdict::Exhausted(e) = &verdict {
+                doc.set("exhaustion", e.to_json());
+            }
+            let conforms = match &verdict {
+                Verdict::Contained => Some(true),
+                Verdict::NotContained => Some(false),
+                Verdict::Undetermined | Verdict::Exhausted(_) => None,
+            };
+            out = report::render(&doc.finish(conforms));
+        }
+        return match verdict {
+            Verdict::Contained => Ok(out),
+            Verdict::NotContained => Err(CliError::NonConforming { output: out }),
+            Verdict::Undetermined => Err(CliError::Undetermined { output: out }),
+            Verdict::Exhausted(exhaustion) => Err(CliError::Exhausted {
+                output: out,
+                exhaustion,
+            }),
+        };
+    }
+
+    // Default mode: the per-shape emptiness report.
+    let verdicts = shapex::emptiness(&compiled);
+    let mut out = String::new();
+    let mut doc = ReportDoc::new("emptiness", "calculus");
+    let (mut unsat, mut undetermined) = (0usize, 0usize);
+    for (shape, v) in compiled.shapes.iter().zip(&verdicts) {
+        let verdict = match v {
+            Sat3::Sat => "satisfiable",
+            Sat3::Unsat => {
+                unsat += 1;
+                "UNSATISFIABLE (accepts no neighbourhood)"
+            }
+            Sat3::Unknown => {
+                undetermined += 1;
+                "undetermined"
+            }
+        };
+        let _ = writeln!(out, "{} — {verdict}", shape.label);
+        if report {
+            doc.push_result(json!({
+                "shape": shape.label.as_str(),
+                "verdict": match v {
+                    Sat3::Sat => "satisfiable",
+                    Sat3::Unsat => "unsatisfiable",
+                    Sat3::Unknown => "undetermined",
+                },
+            }));
+        }
+    }
+    let _ = writeln!(
+        out,
+        "{} shape(s): {unsat} unsatisfiable, {undetermined} undetermined",
+        verdicts.len()
+    );
+    if report {
+        // An unsatisfiability proof is exact and cannot flip, so it sets
+        // the verdict even when other shapes stay undetermined.
+        let conforms = if unsat > 0 {
+            Some(false)
+        } else if undetermined > 0 {
+            None
+        } else {
+            Some(true)
+        };
+        out = report::render(&doc.finish(conforms));
+    }
+    if unsat > 0 {
+        return Err(CliError::NonConforming { output: out });
+    }
+    if undetermined > 0 {
+        return Err(CliError::Undetermined { output: out });
+    }
+    Ok(out)
+}
+
+/// `check --schema-delta NEW`: classify every shape by comparing its
+/// language in the old and new schemas; with `--data`, follow up with a
+/// transplant-based revalidation whose typing is byte-identical to a
+/// from-scratch run under NEW.
+fn check_schema_delta(
+    flags: &Flags,
+    old_schema: &Schema,
+    new_path: &str,
+    closure: Closure,
+    budget: Budget,
+    report: bool,
+) -> Result<String, CliError> {
+    let src = fs::read_to_string(new_path).map_err(|e| format!("reading {new_path}: {e}"))?;
+    let new_schema = shexc::parse(&src).map_err(|e| format!("{new_path}:{e}"))?;
+    let diff = shapex::schema_diff(
+        old_schema,
+        &new_schema,
+        EngineConfig::default().simplify,
+        closure,
+        &budget,
+    )
+    .map_err(|e| e.to_string())?;
+
+    let labels_json = |labels: &[ShapeLabel]| {
+        Value::Array(labels.iter().map(|l| Value::from(l.as_str())).collect())
+    };
+    let diff_json = json!({
+        "new_schema": new_path,
+        "unchanged": labels_json(&diff.unchanged),
+        "changed": labels_json(&diff.changed),
+        "added": labels_json(&diff.added),
+        "removed": labels_json(&diff.removed),
+        "affected": labels_json(&diff.affected),
+        "reusable": labels_json(&diff.reusable),
+        "exhausted": diff.exhausted.as_ref().map(|e| e.to_json()).unwrap_or(Value::Null),
+    });
+
+    let mut out = String::new();
+    for (name, labels) in [
+        ("unchanged", &diff.unchanged),
+        ("changed", &diff.changed),
+        ("added", &diff.added),
+        ("removed", &diff.removed),
+        ("affected", &diff.affected),
+        ("reusable", &diff.reusable),
+    ] {
+        if !labels.is_empty() {
+            let list: Vec<&str> = labels.iter().map(|l| l.as_str()).collect();
+            let _ = writeln!(out, "{name}: {}", list.join(", "));
+        }
+    }
+    if let Some(e) = &diff.exhausted {
+        let _ = writeln!(
+            out,
+            "exhausted: {e} — every undecided pair was conservatively classified changed"
+        );
+    }
+
+    if flags.get("data").is_none() {
+        // Classification only. Exhaustion means the classification is a
+        // sound over-approximation, not the exact answer — exit 3.
+        if report {
+            let mut doc = ReportDoc::new("schema-delta", "calculus");
+            doc.set("schema_delta", diff_json);
+            out = report::render(&doc.finish(diff.exhausted.is_none().then_some(true)));
+        }
+        if let Some(exhaustion) = diff.exhausted {
+            return Err(CliError::Exhausted {
+                output: out,
+                exhaustion,
+            });
+        }
+        return Ok(out);
+    }
+
+    // Revalidation: type under the old schema, carry every reusable
+    // verdict into a fresh engine for the new schema, re-type. Both
+    // engines share one term pool so the transplanted memo keys line up.
+    let (mut ds, skipped) = load_data(flags)?;
+    let jobs = jobs_from_flags(flags)?;
+    let config = EngineConfig {
+        closure,
+        budget,
+        metrics: report,
+        ..EngineConfig::default()
+    };
+    let mut old_engine =
+        Engine::compile(old_schema, &mut ds.pool, config).map_err(|e| e.to_string())?;
+    old_engine.type_all_par(&ds.graph, &ds.pool, jobs);
+    let mut engine =
+        Engine::compile(&new_schema, &mut ds.pool, config).map_err(|e| e.to_string())?;
+    let transplanted = engine.transplant_verdicts(&old_engine, &diff.reusable);
+    let typing = engine.type_all_par(&ds.graph, &ds.pool, jobs);
+
+    if report {
+        let mut doc = ReportDoc::new("schema-delta", "calculus");
+        let mut delta = diff_json;
+        if let Value::Object(m) = &mut delta {
+            m.insert("transplanted".to_string(), Value::from(transplanted));
+        }
+        doc.set("schema_delta", delta);
+        push_typing_rows(&mut doc, &mut engine, &ds.graph, &ds.pool, &typing);
+        let conforms = (!typing.is_partial()).then_some(true);
+        let output = finish_engine_doc(doc, &engine, skipped, conforms);
+        if typing.is_partial() {
+            return Err(CliError::Exhausted {
+                output,
+                exhaustion: typing.exhausted[0].2,
+            });
+        }
+        return Ok(output);
+    }
+    let _ = writeln!(out, "transplanted: {transplanted} verdict(s)");
+    let rendered = typing.render(&ds.pool, &|s| engine.label_of(s).clone());
+    if rendered.is_empty() {
+        let _ = writeln!(out, "no node conforms to any shape");
+    } else {
+        let _ = writeln!(out, "{rendered}");
+    }
+    if flags.has("stats") {
+        let _ = writeln!(out, "stats: {}", engine.stats());
+    }
+    if typing.is_partial() {
+        let _ = writeln!(
+            out,
+            "PARTIAL: {} (node, shape) check(s) exhausted their budget",
+            typing.exhausted.len()
+        );
+        return Err(CliError::Exhausted {
+            output: out,
+            exhaustion: typing.exhausted[0].2,
+        });
+    }
     Ok(out)
 }
 
@@ -1463,6 +1780,131 @@ mod tests {
         assert!(out.contains("empty value set"), "{out}");
         assert!(out.contains("never referenced"), "{out}");
         assert!(out.contains("warning(s)"), "{out}");
+    }
+
+    #[test]
+    fn check_emptiness_modes_and_exit_split() {
+        let (schema, _) = person_files();
+        let out = run_ok(&["check", "--schema", &schema]);
+        assert!(out.contains("<Person> — satisfiable"), "{out}");
+        assert!(out.contains("0 unsatisfiable"), "{out}");
+        // A shape whose only alternative demands {2,} of an empty-valued
+        // arc is proven empty — exit path NonConforming (code 2), with
+        // the satisfiable shape still reported.
+        let dead = write_tmp(
+            "check-dead.shex",
+            "PREFIX e: <http://e/>\n<Dead> { e:p []{2,} }\n<Ok> { e:q . }",
+        );
+        let err = run_raw(&["check", "--schema", &dead]).unwrap_err();
+        let CliError::NonConforming { output } = err else {
+            panic!("expected NonConforming, got: {err}");
+        };
+        assert!(output.contains("<Dead> — UNSATISFIABLE"), "{output}");
+        assert!(output.contains("<Ok> — satisfiable"), "{output}");
+        // JSON report mode.
+        let err = run_raw(&["check", "--schema", &dead, "--report", "json"]).unwrap_err();
+        let CliError::NonConforming { output } = err else {
+            panic!("expected NonConforming, got: {err}");
+        };
+        let v: Value = serde_json::from_str(&output).expect("report parses");
+        assert_eq!(v.get("mode").and_then(|m| m.as_str()), Some("emptiness"));
+        assert_eq!(v.get("conforms").and_then(|c| c.as_bool()), Some(false));
+        let results = v.get("results").and_then(|r| r.as_array()).unwrap();
+        assert_eq!(results.len(), 2);
+        assert_eq!(
+            results[0].get("verdict").and_then(|s| s.as_str()),
+            Some("unsatisfiable")
+        );
+    }
+
+    #[test]
+    fn check_containment_exit_codes() {
+        let schema = write_tmp(
+            "check-cont.shex",
+            "PREFIX e: <http://e/>\n<A> { e:p . }\n<B> { e:p .? }\n<C> { e:q . }",
+        );
+        // A ⊆ B (one occurrence fits the optional) — exit 0.
+        let out = run_ok(&["check", "--schema", &schema, "--containment", "A", "B"]);
+        assert!(out.contains("contained"), "{out}");
+        // B ⊄ A (the empty neighbourhood conforms to B only) — exit 2.
+        let err = run_raw(&["check", "--schema", &schema, "--containment", "B", "A"]).unwrap_err();
+        let CliError::NonConforming { output } = err else {
+            panic!("expected NonConforming, got: {err}");
+        };
+        assert!(output.contains("not-contained"), "{output}");
+        // A starved budget trips Exhausted (exit 3), never a hang.
+        let err = run_raw(&[
+            "check",
+            "--schema",
+            &schema,
+            "--containment",
+            "A",
+            "B",
+            "--max-steps",
+            "1",
+        ])
+        .unwrap_err();
+        assert!(matches!(err, CliError::Exhausted { .. }), "{err}");
+        // Unknown labels are plain errors.
+        let err = run_raw(&["check", "--schema", &schema, "--containment", "A", "Zzz"]);
+        assert!(matches!(err, Err(CliError::Msg(m)) if m.contains("unknown shape")));
+        // JSON report carries the verdict.
+        let out = run_ok(&[
+            "check",
+            "--schema",
+            &schema,
+            "--containment",
+            "A",
+            "B",
+            "--report",
+            "json",
+        ]);
+        let v: Value = serde_json::from_str(&out).expect("report parses");
+        assert_eq!(v.get("mode").and_then(|m| m.as_str()), Some("containment"));
+        assert_eq!(v.get("verdict").and_then(|s| s.as_str()), Some("contained"));
+        assert_eq!(v.get("conforms").and_then(|c| c.as_bool()), Some(true));
+    }
+
+    #[test]
+    fn check_schema_delta_classifies_and_revalidates() {
+        let old = write_tmp(
+            "delta-old.shex",
+            "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\nPREFIX xsd: <http://www.w3.org/2001/XMLSchema#>\n<Person> { foaf:age xsd:integer, foaf:name xsd:string+ }\n<Thing> { foaf:name . }",
+        );
+        // Person's name cardinality widens (changed); Thing is textually
+        // rewritten but language-equal (unchanged, reusable).
+        let new = write_tmp(
+            "delta-new.shex",
+            "PREFIX foaf: <http://xmlns.com/foaf/0.1/>\nPREFIX xsd: <http://www.w3.org/2001/XMLSchema#>\n<Person> { foaf:age xsd:integer, foaf:name xsd:string* }\n<Thing> { foaf:name .{1,1} }",
+        );
+        let out = run_ok(&["check", "--schema", &old, "--schema-delta", &new]);
+        assert!(out.contains("changed: Person"), "{out}");
+        assert!(out.contains("unchanged: Thing"), "{out}");
+        assert!(out.contains("reusable: Thing"), "{out}");
+
+        // With data: the revalidated typing must be byte-identical to a
+        // from-scratch typing under the new schema.
+        let (_, data) = person_files();
+        let delta_out = run_ok(&[
+            "check",
+            "--schema",
+            &old,
+            "--schema-delta",
+            &new,
+            "--data",
+            &data,
+            "--jobs",
+            "1",
+        ]);
+        assert!(delta_out.contains("transplanted:"), "{delta_out}");
+        let scratch = run_ok(&["validate", "--schema", &new, "--data", &data, "--jobs", "1"]);
+        let typing_of = |s: &str| {
+            s.lines()
+                .filter(|l| l.contains('→'))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(typing_of(&delta_out), typing_of(&scratch));
     }
 
     #[test]

@@ -28,6 +28,11 @@ fn main() -> ExitCode {
             print!("{output}");
             ExitCode::from(cli::NONCONFORMANT_EXIT_CODE)
         }
+        Err(cli::CliError::Undetermined { output }) => {
+            print!("{output}");
+            eprintln!("error: verdict undetermined");
+            ExitCode::from(cli::EXHAUSTED_EXIT_CODE)
+        }
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE

@@ -85,9 +85,19 @@ pub struct SorbeSpec {
 /// construction consults this instead of scanning every arc of the shape per
 /// triple; it is read-only after compilation and therefore safely shared (by
 /// clone) across parallel workers.
+///
+/// Layout: a sorted key column plus one contiguous arc array holding every
+/// bucket back to back. A lookup is a single binary search over `keys`
+/// followed by a slice of `explicit` — no hashing, no per-bucket allocation,
+/// and clones are three `memcpy`s instead of a `HashMap` rebuild.
 #[derive(Debug, Clone, Default)]
 pub struct HeadIndex {
-    by_pred: HashMap<(TermId, bool), Vec<ArcId>>,
+    /// Distinct `(predicate, direction)` heads, sorted.
+    keys: Vec<(TermId, bool)>,
+    /// `offsets[i]..offsets[i + 1]` bounds key `i`'s bucket in `explicit`.
+    offsets: Vec<u32>,
+    /// All buckets concatenated, each in bit order.
+    explicit: Vec<ArcId>,
     wildcard_fwd: Vec<ArcId>,
     wildcard_inv: Vec<ArcId>,
 }
@@ -95,6 +105,10 @@ pub struct HeadIndex {
 impl HeadIndex {
     fn build(arcs: &[ArcId], table: &[CompiledArc]) -> HeadIndex {
         let mut idx = HeadIndex::default();
+        // Arcs arrive in bit order, so pairs are pushed in bit order per
+        // key; the stable sort below groups keys without reordering a
+        // bucket's interior.
+        let mut pairs: Vec<((TermId, bool), ArcId)> = Vec::new();
         for &id in arcs {
             let arc = &table[id.index()];
             match &arc.predicates {
@@ -107,11 +121,20 @@ impl HeadIndex {
                 }
                 CompiledPredicates::Ids(ids) => {
                     for &p in ids {
-                        idx.by_pred.entry((p, arc.inverse)).or_default().push(id);
+                        pairs.push(((p, arc.inverse), id));
                     }
                 }
             }
         }
+        pairs.sort_by_key(|&(key, _)| key);
+        for (key, id) in pairs {
+            if idx.keys.last() != Some(&key) {
+                idx.keys.push(key);
+                idx.offsets.push(idx.explicit.len() as u32);
+            }
+            idx.explicit.push(id);
+        }
+        idx.offsets.push(idx.explicit.len() as u32);
         idx
     }
 
@@ -124,13 +147,11 @@ impl HeadIndex {
         } else {
             &self.wildcard_fwd
         };
-        self.by_pred
-            .get(&(pred, inverse))
-            .map(|v| v.as_slice())
-            .unwrap_or(&[])
-            .iter()
-            .chain(wild.iter())
-            .copied()
+        let bucket = match self.keys.binary_search(&(pred, inverse)) {
+            Ok(i) => &self.explicit[self.offsets[i] as usize..self.offsets[i + 1] as usize],
+            Err(_) => &[],
+        };
+        bucket.iter().chain(wild.iter()).copied()
     }
 }
 
@@ -382,7 +403,7 @@ impl CompiledSchema {
 /// but unreachable from the final expression, so no derivative can read
 /// their profile bit; masking them out merges otherwise-identical triple
 /// classes.
-fn reachable_arc_bits(
+pub(crate) fn reachable_arc_bits(
     pool: &ExprPool,
     arcs: &[CompiledArc],
     expr: ExprId,
@@ -598,6 +619,70 @@ mod tests {
         assert!(rendered.contains('‖'), "{rendered}");
         // Integer value sets render bare, like the paper's b→{1,2}.
         assert!(rendered.contains("b→[1 2]"), "{rendered}");
+    }
+
+    #[test]
+    fn head_index_matches_hashmap_reference() {
+        // Differential check: the binary-search HeadIndex must return the
+        // same candidate arcs, in the same order, as a straightforward
+        // HashMap-of-buckets build over every head the shape mentions —
+        // including heads covered by value-set predicates, wildcards of
+        // both directions, and predicates nothing matches.
+        let (c, mut terms) = compile(
+            r#"
+            PREFIX e: <http://e/>
+            <S> {
+              e:p [1 2]
+              , (e:p . | e:q .)
+              , ^e:q IRI
+              , . .
+              , ^. .
+              , e:r @<T>*
+            }
+            <T> { e:q . }
+            "#,
+        );
+        for shape in &c.shapes {
+            // Reference build, mirroring the pre-flattening implementation.
+            let mut by_pred: HashMap<(TermId, bool), Vec<ArcId>> = HashMap::new();
+            let mut wild_fwd = Vec::new();
+            let mut wild_inv = Vec::new();
+            for &id in &shape.arcs {
+                let arc = c.arc(id);
+                match &arc.predicates {
+                    CompiledPredicates::Any => {
+                        if arc.inverse {
+                            wild_inv.push(id);
+                        } else {
+                            wild_fwd.push(id);
+                        }
+                    }
+                    CompiledPredicates::Ids(ids) => {
+                        for &p in ids {
+                            by_pred.entry((p, arc.inverse)).or_default().push(id);
+                        }
+                    }
+                }
+            }
+            let mut heads: Vec<(TermId, bool)> = by_pred.keys().copied().collect();
+            // Probe an unmentioned predicate too — both sides must agree
+            // on the wildcard-only fallback.
+            let unmentioned = terms.intern_iri("http://e/unmentioned");
+            heads.push((unmentioned, false));
+            heads.push((unmentioned, true));
+            for (p, inv) in heads {
+                let expected: Vec<ArcId> = by_pred
+                    .get(&(p, inv))
+                    .map(|v| v.as_slice())
+                    .unwrap_or(&[])
+                    .iter()
+                    .chain(if inv { &wild_inv } else { &wild_fwd })
+                    .copied()
+                    .collect();
+                let got: Vec<ArcId> = shape.head_index.candidates(p, inv).collect();
+                assert_eq!(got, expected, "head ({p:?}, inverse={inv})");
+            }
+        }
     }
 
     #[test]

@@ -82,6 +82,13 @@ pub struct EngineConfig {
     /// costs a few hash inserts per evaluated pair, and without it
     /// `revalidate` falls back to [`Engine::reset`] + a full re-typing.
     pub incremental: bool,
+    /// Rewrite each compiled shape after compilation, dropping alternation
+    /// branches whose language is provably empty (see
+    /// [`crate::calculus::prune_empty_branches`]). Off by default; the
+    /// rewrite preserves the language exactly (verdicts, failures, and
+    /// typings are byte-identical), only derivative work on dead branches
+    /// disappears.
+    pub prune: bool,
 }
 
 /// A validation error at the API boundary.
@@ -393,7 +400,11 @@ impl Engine {
         config: EngineConfig,
     ) -> Result<Engine, EngineError> {
         shapex_rdf::failpoint::hit("engine-compile");
-        let compiled = CompiledSchema::compile(schema, terms, config.simplify)?;
+        let mut compiled = CompiledSchema::compile(schema, terms, config.simplify)?;
+        if config.prune {
+            crate::calculus::prune_empty_branches(&mut compiled);
+        }
+        let compiled = compiled;
         let metrics = config
             .metrics
             .then(|| Box::new(Metrics::new(compiled.shapes.len())));
@@ -1207,6 +1218,85 @@ impl Engine {
             m.delta_retyped += retyped;
         });
         Ok(self.type_all_par(graph, terms, jobs))
+    }
+
+    /// Seeds this engine's verdict memo from an engine that validated the
+    /// *same graph and term pool* against a different schema, for the
+    /// shapes named in `reusable` — the schema-delta counterpart of
+    /// [`Engine::revalidate`]'s graph-delta reuse.
+    ///
+    /// Only unconditional verdicts move: `Proven`/`Failed` memo entries
+    /// (with their failure diagnostics) plus the triple-dependency edges
+    /// that lie entirely within the reusable set, remapped to this
+    /// schema's shape ids. `Conditional` states are never copied — they
+    /// embed coinductive assumptions local to the old run. Engine-local
+    /// caches (profiles, derivative memos, DFA tables) stay cold; they are
+    /// keyed by schema-local ids and rebuild on demand.
+    ///
+    /// Soundness rests on the caller's guarantee that every shape in
+    /// `reusable` accepts the same language in both schemas *and* only
+    /// references shapes that are themselves reusable — exactly what
+    /// [`crate::calculus::SchemaDiff::reusable`] certifies (its `affected`
+    /// closure walks reverse references). Returns the number of
+    /// transplanted `(node, shape)` verdicts.
+    pub fn transplant_verdicts(&mut self, old: &Engine, reusable: &[ShapeLabel]) -> usize {
+        let mut remap: FxHashMap<ShapeId, ShapeId> = FxHashMap::default();
+        for label in reusable {
+            if let (Some(o), Some(n)) = (old.schema.shape_id(label), self.schema.shape_id(label)) {
+                remap.insert(o, n);
+            }
+        }
+        let mut moved = 0usize;
+        for (&(shape, node), state) in &old.memo {
+            let Some(&new_shape) = remap.get(&shape) else {
+                continue;
+            };
+            match state {
+                MemoState::Proven => {
+                    self.memo.insert((new_shape, node), MemoState::Proven);
+                }
+                MemoState::Failed => {
+                    self.memo.insert((new_shape, node), MemoState::Failed);
+                    if let Some(f) = old.failures.get(&(shape, node)) {
+                        self.failures.insert((new_shape, node), f.clone());
+                    }
+                }
+                MemoState::Conditional(_) => continue,
+            }
+            moved += 1;
+        }
+        // Dependency edges survive only when both endpoints are reusable,
+        // so a later *graph*-delta revalidation can still invalidate the
+        // transplanted answers. Edges into affected shapes are dropped;
+        // those pairs re-record when they are re-evaluated.
+        if self.config.incremental {
+            let remap_pair = |(s, n): Pair| remap.get(&s).map(|&ns| (ns, n));
+            for (&node, pairs) in &old.deps.touched_out {
+                let mapped: Vec<Pair> = pairs.iter().copied().filter_map(remap_pair).collect();
+                if !mapped.is_empty() {
+                    self.deps
+                        .touched_out
+                        .entry(node)
+                        .or_default()
+                        .extend(mapped);
+                }
+            }
+            for (&node, pairs) in &old.deps.touched_in {
+                let mapped: Vec<Pair> = pairs.iter().copied().filter_map(remap_pair).collect();
+                if !mapped.is_empty() {
+                    self.deps.touched_in.entry(node).or_default().extend(mapped);
+                }
+            }
+            for (&pair, parents) in &old.deps.rdeps {
+                let Some(p) = remap_pair(pair) else { continue };
+                let mapped: Vec<Pair> = parents.iter().copied().filter_map(remap_pair).collect();
+                if !mapped.is_empty() {
+                    self.deps.rdeps.entry(p).or_default().extend(mapped);
+                }
+            }
+        }
+        self.stats.reused_pairs += moved as u64;
+        moved
     }
 
     /// Cheap sanity check that `delta` was actually applied to `graph`:

@@ -46,6 +46,7 @@ pub struct ReadmeDoctests;
 
 pub mod arena;
 pub mod budget;
+pub mod calculus;
 pub mod compile;
 pub mod dfa;
 pub mod engine;
@@ -57,6 +58,9 @@ pub mod validate;
 
 pub use arena::{ArcId, ExprId, ExprPool, Node, Simplify, EMPTY, EPSILON, UNBOUNDED};
 pub use budget::{Budget, BudgetMeter, Exhaustion, Resource, RunGovernor};
+pub use calculus::{
+    containment, emptiness, prune_empty_branches, schema_diff, SchemaDiff, Verdict,
+};
 pub use compile::{CompiledSchema, ShapeId, SorbeSpec};
 pub use dfa::{ShapeDfa, Transition};
 pub use engine::{Closure, Engine, EngineConfig, EngineError, MapOutcome, Trace, TraceStep};

@@ -160,6 +160,43 @@ fn build_slot(
     })
 }
 
+/// Swaps a new schema into a live slot in place: compiles it into the
+/// slot's existing term pool (so memo keys line up) and transplants every
+/// verdict that [`shapex::schema_diff`] proves reusable. The graph and
+/// delta log are untouched. On failure the slot is handed back unchanged
+/// so the caller can restore it.
+fn warm_swap(
+    old_schema_src: &str,
+    new_schema_src: &str,
+    mut slot: Slot,
+    config: EngineConfig,
+) -> Result<Slot, (Box<Slot>, String)> {
+    let new_schema: Schema = match shapex_shex::shexc::parse(new_schema_src) {
+        Ok(s) => s,
+        Err(e) => return Err((Box::new(slot), format!("schema: {e}"))),
+    };
+    let mut engine = match Engine::compile(&new_schema, &mut slot.ds.pool, config) {
+        Ok(e) => e,
+        Err(e) => return Err((Box::new(slot), e.to_string())),
+    };
+    // The old schema text always re-parses (it compiled when the entry
+    // was first loaded), and a diff failure only costs reuse, never
+    // correctness — so degrade to zero transplants rather than erroring.
+    if let Ok(old_schema) = shapex_shex::shexc::parse(old_schema_src) {
+        if let Ok(diff) = shapex::schema_diff(
+            &old_schema,
+            &new_schema,
+            config.simplify,
+            config.closure,
+            &config.budget,
+        ) {
+            engine.transplant_verdicts(&slot.engine, &diff.reusable);
+        }
+    }
+    slot.engine = engine;
+    Ok(slot)
+}
+
 /// The full-typing report of a slot, built exactly the way the CLI builds
 /// `validate --report json` output — the byte-identity contract.
 fn typing_report(slot: &mut Slot, jobs: usize) -> (String, ExitCode) {
@@ -197,6 +234,15 @@ impl Registry {
 
     /// Registers `id` with schema and data sources, compiling its warm
     /// engine. Replaces any previous entry of the same id.
+    ///
+    /// Re-registering an id over the *same* data source and format takes
+    /// a warm path: the new schema is compiled into the entry's existing
+    /// term pool, [`shapex::schema_diff`] classifies which shapes kept
+    /// their language, and every verdict of a reusable shape is
+    /// transplanted into the new engine — the entry re-enters service
+    /// with a hot memo instead of a cold scratch build, and its graph and
+    /// delta log are kept as-is. Quarantined entries always take the cold
+    /// path: their state is untrusted by definition.
     pub fn load(
         &self,
         id: &str,
@@ -206,7 +252,20 @@ impl Registry {
         config: EngineConfig,
         jobs: usize,
     ) -> Result<(), String> {
-        let slot = build_slot(&schema_src, &data_src, format, jobs, &[], config)?;
+        let slot = match self.take_warm_slot(id, &data_src, format) {
+            Some((old_schema_src, old_slot)) => {
+                match warm_swap(&old_schema_src, &schema_src, old_slot, config) {
+                    Ok(slot) => slot,
+                    Err((old_slot, e)) => {
+                        // The new schema is unusable: hand the old slot
+                        // back so the existing entry stays in service.
+                        self.restore_slot(id, *old_slot);
+                        return Err(e);
+                    }
+                }
+            }
+            None => build_slot(&schema_src, &data_src, format, jobs, &[], config)?,
+        };
         let entry = Entry {
             schema_src,
             data_src,
@@ -222,6 +281,44 @@ impl Registry {
             .unwrap_or_else(|p| p.into_inner())
             .insert(id.to_string(), entry);
         Ok(())
+    }
+
+    /// Takes the live slot of `id` for a warm schema swap, returning it
+    /// with the entry's current schema text — only when the data source
+    /// and format match exactly and the slot is healthy. While the swap
+    /// is in flight the entry briefly has no slot; concurrent requests
+    /// get the quarantine 500 rather than a stale answer.
+    fn take_warm_slot(
+        &self,
+        id: &str,
+        data_src: &str,
+        format: DataFormat,
+    ) -> Option<(String, Slot)> {
+        let entries = self.entries.read().unwrap_or_else(|p| p.into_inner());
+        let entry = entries.get(id)?;
+        if entry.data_src != data_src || entry.format != format {
+            return None;
+        }
+        let mut guard = entry.slot.lock().unwrap_or_else(|p| p.into_inner());
+        match guard.take() {
+            Some(slot) if slot.healthy => Some((entry.schema_src.clone(), slot)),
+            other => {
+                *guard = other;
+                None
+            }
+        }
+    }
+
+    /// Puts a slot taken by [`Registry::take_warm_slot`] back.
+    fn restore_slot(&self, id: &str, slot: Slot) {
+        if let Some(entry) = self
+            .entries
+            .read()
+            .unwrap_or_else(|p| p.into_inner())
+            .get(id)
+        {
+            *entry.slot.lock().unwrap_or_else(|p| p.into_inner()) = Some(slot);
+        }
     }
 
     /// Registered entry ids, sorted.

@@ -128,8 +128,13 @@ fn reference_report() -> String {
 /// replay, compile fresh, full typing — exactly how a quarantine rebuild
 /// reconstructs an entry.
 fn reference_report_after(deltas: &[&str]) -> String {
+    reference_report_for(SCHEMA, deltas)
+}
+
+/// [`reference_report_after`] generalized over the schema text.
+fn reference_report_for(schema_src: &str, deltas: &[&str]) -> String {
     use shapex::report::{finish_engine_doc, push_typing_rows, ReportDoc};
-    let schema = shapex_shex::shexc::parse(SCHEMA).unwrap();
+    let schema = shapex_shex::shexc::parse(schema_src).unwrap();
     let mut ds = shapex_rdf::turtle::parse(DATA).unwrap();
     for text in deltas {
         let d = shapex_rdf::delta::parse(text, &mut ds.pool).unwrap();
@@ -260,6 +265,138 @@ fn load_registers_new_entries() {
     assert_eq!(refused.status, 422);
     let missing = request(&handle, "POST", "/validate?id=broken", "");
     assert_eq!(missing.status, 404);
+
+    handle.shutdown();
+}
+
+/// SCHEMA plus a new shape, with `<Person>` byte-identical — re-loading
+/// over the same data takes the warm path and transplants every Person
+/// verdict into the new engine.
+const SCHEMA_V2: &str = "\
+PREFIX foaf: <http://xmlns.com/foaf/0.1/>
+PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>
+
+<Person> {
+  foaf:age xsd:integer
+  , foaf:name xsd:string+
+  , foaf:knows @<Person>*
+}
+
+<Named> {
+  foaf:name .+
+  , foaf:age .*
+  , foaf:knows .*
+}
+";
+
+/// The typing rows and conforms flag of a report document — the part of
+/// the warm-swap contract that must match a cold build (cumulative
+/// `stats` legitimately differ: a warm engine counts transplanted pairs,
+/// a cold one counts the node checks that recomputed them).
+fn typing_of(body: &str) -> (serde_json::Value, serde_json::Value) {
+    let v: serde_json::Value = serde_json::from_str(body).expect("report JSON");
+    (
+        v.get("results").cloned().expect("results member"),
+        v.get("conforms").cloned().expect("conforms member"),
+    )
+}
+
+/// `graphs.default` of a `/stats` response.
+fn default_entry(stats_body: &str) -> serde_json::Value {
+    let v: serde_json::Value = serde_json::from_str(stats_body).expect("stats JSON");
+    v.get("graphs")
+        .and_then(|g| g.get("default"))
+        .cloned()
+        .expect("graphs.default entry")
+}
+
+#[test]
+fn reload_same_data_swaps_schema_warm() {
+    let _guard = test_lock();
+    let handle = serve_fixture(local_config());
+    // Warm the memo, then grow a delta log — in-memory state a cold
+    // rebuild would have to reconstruct from sources.
+    assert_eq!(request(&handle, "POST", "/validate", "").status, 200);
+    assert_eq!(request(&handle, "POST", "/delta", DELTA).status, 200);
+
+    // Re-register the same id over the same data with a grown schema.
+    let body = serde_json::to_string(&serde_json::json!({
+        "schema": SCHEMA_V2,
+        "data": DATA,
+    }))
+    .unwrap();
+    let reload = request(&handle, "POST", "/load?id=default", &body);
+    assert_eq!(reload.status, 200, "body: {}", reload.body);
+
+    // The graph and delta log survived the swap, and the unchanged
+    // <Person> shape's verdicts were transplanted into the new engine.
+    let stats = request(&handle, "GET", "/stats", "");
+    let entry = default_entry(&stats.body);
+    assert_eq!(
+        entry.get("deltas_applied").and_then(|n| n.as_u64()),
+        Some(1),
+        "delta log kept"
+    );
+    assert_eq!(
+        entry.get("triples").and_then(|n| n.as_u64()),
+        Some(8),
+        "repaired graph kept"
+    );
+    let reused = entry
+        .get("stats")
+        .and_then(|s| s.get("reused_pairs"))
+        .and_then(|n| n.as_u64())
+        .unwrap();
+    assert!(
+        reused >= 3,
+        "john, bob, mary × <Person> transplanted, got {reused}"
+    );
+
+    // The warm engine's typing is identical to a from-scratch build of
+    // the new schema over the delta-repaired graph.
+    let warm = request(&handle, "POST", "/validate", "");
+    assert_eq!(warm.status, 200);
+    let cold = reference_report_for(SCHEMA_V2, &[DELTA]);
+    assert_eq!(typing_of(&warm.body), typing_of(&cold));
+
+    // A broken replacement schema is refused with the entry unharmed:
+    // the taken slot is restored and keeps serving the previous schema.
+    let broken = serde_json::to_string(&serde_json::json!({
+        "schema": "<Person> { junk",
+        "data": DATA,
+    }))
+    .unwrap();
+    let refused = request(&handle, "POST", "/load?id=default", &broken);
+    assert_eq!(refused.status, 422);
+    let still = request(&handle, "POST", "/validate", "");
+    assert_eq!(still.status, 200);
+    assert_eq!(typing_of(&still.body), typing_of(&cold));
+
+    // Re-loading with *different* data takes the cold path: fresh graph,
+    // empty delta log.
+    let other_data = format!("{DATA}\n:extra foaf:age 1 .\n");
+    let cold_body = serde_json::to_string(&serde_json::json!({
+        "schema": SCHEMA,
+        "data": other_data,
+    }))
+    .unwrap();
+    let cold_reload = request(&handle, "POST", "/load?id=default", &cold_body);
+    assert_eq!(cold_reload.status, 200, "body: {}", cold_reload.body);
+    let stats = request(&handle, "GET", "/stats", "");
+    let entry = default_entry(&stats.body);
+    assert_eq!(
+        entry.get("deltas_applied").and_then(|n| n.as_u64()),
+        Some(0),
+        "delta log reset"
+    );
+    assert_eq!(
+        entry
+            .get("stats")
+            .and_then(|s| s.get("reused_pairs"))
+            .and_then(|n| n.as_u64()),
+        Some(0),
+        "cold build"
+    );
 
     handle.shutdown();
 }

@@ -24,6 +24,7 @@ pub mod ast;
 pub mod constraint;
 pub mod display;
 pub mod lints;
+pub mod sat;
 pub mod schema;
 pub mod shapemap;
 pub mod shexc;
@@ -32,5 +33,6 @@ pub mod strre;
 
 pub use ast::{ArcConstraint, ObjectConstraint, PredicateSet, ShapeExpr, ShapeLabel};
 pub use constraint::{Facet, NodeConstraint, NodeKind, ValueSetValue};
+pub use sat::{conj_sat, constraint_sat, Sat3};
 pub use schema::{Schema, SchemaError};
 pub use shapemap::{Association, ShapeMap};

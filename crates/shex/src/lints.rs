@@ -1,11 +1,28 @@
-//! Schema lints: warnings for constructs that are legal but almost
-//! certainly mistakes — dead shapes, vacuous constraints, impossible
-//! expressions.
+//! Schema lints: usage warnings plus *exact* per-shape satisfiability
+//! verdicts.
+//!
+//! Earlier versions answered "can this shape ever be satisfied?" with
+//! syntax checks, and got it wrong in both directions: `∅` under `Or` was
+//! flagged although `e | ∅ ≡ e` conforms fine, while compositionally-dead
+//! shapes (contradictory facets under `AllOf`, an `[]`-value arc forced by
+//! `‖` at depth, `{2,}` over an empty language) sailed through silently.
+//! The verdicts here are now computed by [`satisfiability`] — a greatest
+//! fixpoint over the schema with the tri-state node-constraint checker
+//! from [`crate::sat`] at the leaves — so [`Lint::Unsatisfiable`] is only
+//! emitted when the shape's language is *provably* empty, and satisfiable
+//! shapes are never flagged.
+//!
+//! The fixpoint is *greatest* (coinductive) to match the validation
+//! engine's semantics: `<A> { e:p @<A> }` is satisfiable — a cyclic graph
+//! `x →p x` conforms — so recursion through references must default to
+//! "satisfiable until proven otherwise", not the inductive opposite.
 
+use std::collections::HashMap;
 use std::fmt;
 
-use crate::ast::{ShapeExpr, ShapeLabel};
-use crate::constraint::{NodeConstraint, NodeKind};
+use crate::ast::{ObjectConstraint, PredicateSet, ShapeExpr, ShapeLabel};
+use crate::constraint::NodeConstraint;
+use crate::sat::{constraint_sat, Sat3};
 use crate::schema::Schema;
 use crate::strre::Regex;
 
@@ -17,9 +34,14 @@ pub enum Lint {
     UnusedShape(String),
     /// A start shape is declared but this shape cannot be reached from it.
     UnreachableFromStart(String),
-    /// The shape's expression contains `∅`, which matches no graph at all:
-    /// under `‖` it makes the whole shape unsatisfiable.
-    ContainsEmpty(String),
+    /// The shape's language is provably empty: no graph conforms. Exact —
+    /// backed by the [`satisfiability`] fixpoint, never by syntax alone.
+    Unsatisfiable(String),
+    /// An arc's object constraint is provably unsatisfiable (contradictory
+    /// facets, `X` conjoined with `NOT X`, incompatible kinds, ...): the
+    /// arc can never fire. The shape as a whole may still be satisfiable
+    /// (e.g. the arc sits under `|` or `*`).
+    UnsatisfiableConstraint(String),
     /// An arc carries an empty value set `[]` — no object can ever match.
     EmptyValueSet(String),
     /// A `PATTERN` facet whose regex does not parse: it will match
@@ -34,9 +56,6 @@ pub enum Lint {
     },
     /// A cardinality `{0,0}` — equivalent to writing nothing.
     VacuousCardinality(String),
-    /// A node-kind conjunction that no term satisfies
-    /// (e.g. `IRI LITERAL`).
-    ContradictoryKinds(String),
 }
 
 impl fmt::Display for Lint {
@@ -51,8 +70,14 @@ impl fmt::Display for Lint {
             Lint::UnreachableFromStart(s) => {
                 write!(f, "shape <{s}> is unreachable from the start shape")
             }
-            Lint::ContainsEmpty(s) => {
-                write!(f, "shape <{s}> contains ∅, which matches no graph")
+            Lint::Unsatisfiable(s) => {
+                write!(f, "shape <{s}> is unsatisfiable: no graph can conform")
+            }
+            Lint::UnsatisfiableConstraint(s) => {
+                write!(
+                    f,
+                    "shape <{s}> has an arc whose object constraint no term satisfies"
+                )
             }
             Lint::EmptyValueSet(s) => {
                 write!(
@@ -74,19 +99,127 @@ impl fmt::Display for Lint {
                     "shape <{s}> has a {{0,0}} cardinality — the expression is inert"
                 )
             }
-            Lint::ContradictoryKinds(s) => {
-                write!(f, "shape <{s}> conjoins node kinds no term can satisfy")
-            }
         }
     }
 }
 
-/// Runs every lint over the schema.
+/// Exact satisfiability verdict for one shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Satisfiability {
+    /// The shape's language is provably empty.
+    Unsatisfiable,
+    /// A conforming graph provably exists.
+    ProvenSatisfiable,
+    /// The checker could not decide (e.g. a `PATTERN` whose emptiness is
+    /// unknown feeds a mandatory arc). Conservative callers treat this as
+    /// satisfiable.
+    Undetermined,
+}
+
+/// Per-shape satisfiability, in schema declaration order: the greatest
+/// fixpoint of the emptiness equations over the tri-state lattice.
+///
+/// Rules (with `⊓` = min, `⊔` = max on `Unsat < Unknown < Sat`):
+///
+/// ```text
+/// sat(∅)        = Unsat          sat(ε)      = Sat
+/// sat(e*)       = Sat            sat(e?)     = Sat          (both contain ε)
+/// sat(e+)       = sat(e)
+/// sat(e{m,n})   = Unsat if n<m;  Sat if m=0;  sat(e) otherwise
+/// sat(vp → vo)  = Unsat if vp=∅; constraint_sat(vo) for value objects;
+///                 sat(λ) for @λ references
+/// sat(e1 ‖ e2)  = sat(e1) ⊓ sat(e2)
+/// sat(e1 | e2)  = sat(e1) ⊔ sat(e2)
+/// ```
+///
+/// Every shape starts at `Sat` and verdicts only descend, so the
+/// iteration terminates; recursion through references lands on the
+/// *greatest* fixpoint, matching the engine's coinductive typing
+/// (`<A> { e:p @<A> }` is satisfiable via a cyclic graph).
+pub fn satisfiability(schema: &Schema) -> Vec<(ShapeLabel, Satisfiability)> {
+    let mut state: HashMap<&ShapeLabel, Sat3> = schema.labels().map(|l| (l, Sat3::Sat)).collect();
+    // Node-constraint verdicts don't depend on the fixpoint state;
+    // memoise them by constraint address across iterations.
+    let mut constraint_memo: HashMap<usize, Sat3> = HashMap::new();
+    loop {
+        let mut changed = false;
+        let mut next: HashMap<&ShapeLabel, Sat3> = HashMap::new();
+        for (label, expr) in schema.iter() {
+            let v = expr_sat(expr, &state, &mut constraint_memo);
+            if state.get(label) != Some(&v) {
+                changed = true;
+            }
+            next.insert(label, v);
+        }
+        state = next;
+        if !changed {
+            break;
+        }
+    }
+    schema
+        .labels()
+        .map(|l| {
+            let v = match state.get(l) {
+                Some(Sat3::Unsat) => Satisfiability::Unsatisfiable,
+                Some(Sat3::Sat) => Satisfiability::ProvenSatisfiable,
+                _ => Satisfiability::Undetermined,
+            };
+            (l.clone(), v)
+        })
+        .collect()
+}
+
+fn expr_sat(
+    expr: &ShapeExpr,
+    state: &HashMap<&ShapeLabel, Sat3>,
+    memo: &mut HashMap<usize, Sat3>,
+) -> Sat3 {
+    match expr {
+        ShapeExpr::Empty => Sat3::Unsat,
+        ShapeExpr::Epsilon => Sat3::Sat,
+        ShapeExpr::Arc(arc) => {
+            if matches!(&arc.predicates, PredicateSet::Iris(v) if v.is_empty()) {
+                return Sat3::Unsat;
+            }
+            match &arc.object {
+                ObjectConstraint::Value(c) => {
+                    let key = c as *const NodeConstraint as usize;
+                    *memo.entry(key).or_insert_with(|| constraint_sat(c))
+                }
+                // Missing labels are a SchemaError elsewhere; stay
+                // conservative here rather than claiming emptiness.
+                ObjectConstraint::Ref(l) => *state.get(l).unwrap_or(&Sat3::Unknown),
+            }
+        }
+        // `e*` and `e?` always accept the empty bag of triples.
+        ShapeExpr::Star(_) | ShapeExpr::Opt(_) => Sat3::Sat,
+        ShapeExpr::Plus(e) => expr_sat(e, state, memo),
+        ShapeExpr::Repeat(e, m, n) => {
+            if n.is_some_and(|n| n < *m) {
+                return Sat3::Unsat;
+            }
+            if *m == 0 {
+                return Sat3::Sat;
+            }
+            expr_sat(e, state, memo)
+        }
+        ShapeExpr::And(a, b) => expr_sat(a, state, memo).min(expr_sat(b, state, memo)),
+        ShapeExpr::Or(a, b) => expr_sat(a, state, memo).max(expr_sat(b, state, memo)),
+    }
+}
+
+/// Runs every lint over the schema: usage lints, per-constraint lints,
+/// and the exact per-shape emptiness verdicts.
 pub fn lints(schema: &Schema) -> Vec<Lint> {
     let mut out = Vec::new();
     usage_lints(schema, &mut out);
     for (label, expr) in schema.iter() {
         expr_lints(label, expr, &mut out);
+    }
+    for (label, verdict) in satisfiability(schema) {
+        if verdict == Satisfiability::Unsatisfiable {
+            out.push(Lint::Unsatisfiable(label.as_str().to_string()));
+        }
     }
     out
 }
@@ -114,10 +247,12 @@ fn usage_lints(schema: &Schema, out: &mut Vec<Lint>) {
 fn expr_lints(label: &ShapeLabel, expr: &ShapeExpr, out: &mut Vec<Lint>) {
     let name = || label.as_str().to_string();
     match expr {
-        ShapeExpr::Empty => out.push(Lint::ContainsEmpty(name())),
-        ShapeExpr::Epsilon => {}
+        // `∅` on its own is not a lint: whether it kills the shape depends
+        // on context (`e | ∅ ≡ e`), and the satisfiability pass decides
+        // that exactly.
+        ShapeExpr::Empty | ShapeExpr::Epsilon => {}
         ShapeExpr::Arc(arc) => {
-            if let crate::ast::ObjectConstraint::Value(c) = &arc.object {
+            if let ObjectConstraint::Value(c) = &arc.object {
                 constraint_lints(label, c, out);
             }
         }
@@ -134,7 +269,20 @@ fn expr_lints(label: &ShapeLabel, expr: &ShapeExpr, out: &mut Vec<Lint>) {
     }
 }
 
+/// Specific diagnoses first (`[]`, bad `PATTERN`), then the general
+/// verdict: if the whole constraint is proven unsatisfiable by
+/// [`crate::sat`] and no specific lint already explains why, report it.
+/// This subsumes the old ad-hoc kind-contradiction check and catches the
+/// cases it missed (contradictory numeric facets, `X ∧ NOT X`).
 fn constraint_lints(label: &ShapeLabel, c: &NodeConstraint, out: &mut Vec<Lint>) {
+    let before = out.len();
+    specific_constraint_lints(label, c, out);
+    if out.len() == before && constraint_sat(c) == Sat3::Unsat {
+        out.push(Lint::UnsatisfiableConstraint(label.as_str().to_string()));
+    }
+}
+
+fn specific_constraint_lints(label: &ShapeLabel, c: &NodeConstraint, out: &mut Vec<Lint>) {
     let name = || label.as_str().to_string();
     match c {
         NodeConstraint::ValueSet(vs) if vs.is_empty() => out.push(Lint::EmptyValueSet(name())),
@@ -148,61 +296,33 @@ fn constraint_lints(label: &ShapeLabel, c: &NodeConstraint, out: &mut Vec<Lint>)
             }
         }
         NodeConstraint::AllOf(cs) => {
-            let kinds: Vec<NodeKind> = cs
-                .iter()
-                .filter_map(|c| match c {
-                    NodeConstraint::Kind(k) => Some(*k),
-                    _ => None,
-                })
-                .collect();
-            if kinds_contradict(&kinds) {
-                out.push(Lint::ContradictoryKinds(name()));
-            }
-            // Datatype constraints imply Literal; conjoined with a
-            // non-literal-only kind they are unsatisfiable too.
-            let has_datatype = cs.iter().any(|c| matches!(c, NodeConstraint::Datatype(_)));
-            if has_datatype
-                && kinds
-                    .iter()
-                    .any(|k| matches!(k, NodeKind::Iri | NodeKind::BNode | NodeKind::NonLiteral))
-            {
-                out.push(Lint::ContradictoryKinds(name()));
-            }
             for inner in cs {
-                constraint_lints(label, inner, out);
+                specific_constraint_lints(label, inner, out);
             }
         }
-        NodeConstraint::Not(inner) => constraint_lints(label, inner, out),
+        NodeConstraint::Not(inner) => specific_constraint_lints(label, inner, out),
         _ => {}
     }
-}
-
-/// Two kinds with an empty intersection?
-fn kinds_contradict(kinds: &[NodeKind]) -> bool {
-    use NodeKind::*;
-    for (i, a) in kinds.iter().enumerate() {
-        for b in &kinds[i + 1..] {
-            let compatible = match (a, b) {
-                (x, y) if x == y => true,
-                (Iri, NonLiteral) | (NonLiteral, Iri) => true,
-                (BNode, NonLiteral) | (NonLiteral, BNode) => true,
-                _ => false,
-            };
-            if !compatible {
-                return true;
-            }
-        }
-    }
-    false
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ast::{ArcConstraint, ShapeExpr};
+    use crate::constraint::{Facet, NodeKind};
     use crate::shexc;
+    use shapex_rdf::xsd::Numeric;
 
     fn lint_src(src: &str) -> Vec<Lint> {
         lints(&shexc::parse(src).unwrap())
+    }
+
+    fn sat_of(schema: &Schema, label: &str) -> Satisfiability {
+        satisfiability(schema)
+            .into_iter()
+            .find(|(l, _)| l.as_str() == label)
+            .map(|(_, v)| v)
+            .unwrap()
     }
 
     #[test]
@@ -228,6 +348,9 @@ mod tests {
     fn empty_value_set_detected() {
         let l = lint_src("PREFIX e: <http://e/>\n<A> { e:p [] }");
         assert!(l.contains(&Lint::EmptyValueSet("A".into())));
+        // The arc is mandatory, so the whole shape is dead too — and the
+        // exact pass proves it.
+        assert!(l.contains(&Lint::Unsatisfiable("A".into())));
     }
 
     #[test]
@@ -244,7 +367,7 @@ mod tests {
 
     #[test]
     fn contradictory_kinds_detected() {
-        // `IRI` together with a datatype can never hold.
+        // `IRI` together with a string facet is fine.
         let l = lint_src(
             "PREFIX e: <http://e/>\nPREFIX xsd: <http://www.w3.org/2001/XMLSchema#>\n\
              <A> { e:p IRI MINLENGTH 1 }\n<B> { e:q LITERAL MINLENGTH 1 }",
@@ -252,7 +375,6 @@ mod tests {
         assert!(l.is_empty(), "kind+facet is fine: {l:?}");
         // Construct the contradiction through the AST (two kinds cannot be
         // written in one ShExC constraint position).
-        use crate::ast::{ArcConstraint, ShapeExpr};
         let schema = Schema::from_rules([(
             ShapeLabel::new("C"),
             ShapeExpr::arc(ArcConstraint::value(
@@ -264,7 +386,12 @@ mod tests {
             )),
         )])
         .unwrap();
-        assert!(lints(&schema).contains(&Lint::ContradictoryKinds("C".into())));
+        let l = lints(&schema);
+        assert!(
+            l.contains(&Lint::UnsatisfiableConstraint("C".into())),
+            "{l:?}"
+        );
+        assert!(l.contains(&Lint::Unsatisfiable("C".into())), "{l:?}");
         let schema = Schema::from_rules([(
             ShapeLabel::new("D"),
             ShapeExpr::arc(ArcConstraint::value(
@@ -276,20 +403,168 @@ mod tests {
             )),
         )])
         .unwrap();
-        assert!(lints(&schema).contains(&Lint::ContradictoryKinds("D".into())));
+        assert!(lints(&schema).contains(&Lint::UnsatisfiableConstraint("D".into())));
     }
 
     #[test]
     fn empty_expression_detected() {
-        use crate::ast::ShapeExpr;
         let schema = Schema::from_rules([(ShapeLabel::new("A"), ShapeExpr::Empty)]).unwrap();
-        assert_eq!(lints(&schema), vec![Lint::ContainsEmpty("A".into())]);
+        assert_eq!(lints(&schema), vec![Lint::Unsatisfiable("A".into())]);
+    }
+
+    // Regression (ISSUE 8 satellite 1): the old syntactic `ContainsEmpty`
+    // lint flagged `e:p . | ∅` as unsatisfiable, but `e | ∅ ≡ e` — the
+    // shape conforms fine and must not be flagged.
+    #[test]
+    fn empty_under_or_is_satisfiable_and_unflagged() {
+        let schema = Schema::from_rules([(
+            ShapeLabel::new("A"),
+            ShapeExpr::or(
+                ShapeExpr::arc(ArcConstraint::value("http://e/p", NodeConstraint::Any)),
+                ShapeExpr::Empty,
+            ),
+        )])
+        .unwrap();
+        assert_eq!(sat_of(&schema, "A"), Satisfiability::ProvenSatisfiable);
+        let l = lints(&schema);
+        assert!(l.is_empty(), "satisfiable shape wrongly flagged: {l:?}");
+    }
+
+    // Regression (ISSUE 8 satellite 2a): contradictory numeric facets
+    // (`MININCLUSIVE 5 MAXINCLUSIVE 3`) previously produced no lint.
+    #[test]
+    fn contradictory_numeric_facets_detected() {
+        let l = lint_src(
+            "PREFIX e: <http://e/>\nPREFIX xsd: <http://www.w3.org/2001/XMLSchema#>\n\
+             <A> { e:p xsd:integer MININCLUSIVE 5 MAXINCLUSIVE 3 }",
+        );
+        assert!(
+            l.contains(&Lint::UnsatisfiableConstraint("A".into())),
+            "{l:?}"
+        );
+        assert!(l.contains(&Lint::Unsatisfiable("A".into())), "{l:?}");
+    }
+
+    // Regression (ISSUE 8 satellite 2b): `X` conjoined with `NOT X` under
+    // `AllOf` previously produced no lint.
+    #[test]
+    fn not_x_conjoined_with_x_detected() {
+        let x = NodeConstraint::Facet(Facet::MinInclusive(Numeric::integer(0)));
+        let schema = Schema::from_rules([(
+            ShapeLabel::new("A"),
+            ShapeExpr::arc(ArcConstraint::value(
+                "http://e/p",
+                NodeConstraint::AllOf(vec![x.clone(), NodeConstraint::Not(Box::new(x))]),
+            )),
+        )])
+        .unwrap();
+        let l = lints(&schema);
+        assert!(
+            l.contains(&Lint::UnsatisfiableConstraint("A".into())),
+            "{l:?}"
+        );
+    }
+
+    // Compositionally-dead shapes the old syntactic pass missed entirely.
+    #[test]
+    fn repeat_at_least_two_over_empty_language_detected() {
+        // `@<B>{2,}` where <B> is unsatisfiable: forced arc, dead object.
+        let schema = Schema::from_rules([
+            (
+                ShapeLabel::new("A"),
+                ShapeExpr::repeat(
+                    ShapeExpr::arc(ArcConstraint::reference("http://e/p", "B")),
+                    2,
+                    None,
+                ),
+            ),
+            (ShapeLabel::new("B"), ShapeExpr::Empty),
+        ])
+        .unwrap();
+        assert_eq!(sat_of(&schema, "A"), Satisfiability::Unsatisfiable);
+        assert_eq!(sat_of(&schema, "B"), Satisfiability::Unsatisfiable);
+        let l = lints(&schema);
+        assert!(l.contains(&Lint::Unsatisfiable("A".into())), "{l:?}");
+    }
+
+    #[test]
+    fn empty_value_set_arc_forced_by_and_detected() {
+        // `e:q . ‖ e:p []` — the dead arc is mandatory at depth.
+        let schema = Schema::from_rules([(
+            ShapeLabel::new("A"),
+            ShapeExpr::and(
+                ShapeExpr::arc(ArcConstraint::value("http://e/q", NodeConstraint::Any)),
+                ShapeExpr::arc(ArcConstraint::value(
+                    "http://e/p",
+                    NodeConstraint::ValueSet(vec![]),
+                )),
+            ),
+        )])
+        .unwrap();
+        assert_eq!(sat_of(&schema, "A"), Satisfiability::Unsatisfiable);
+    }
+
+    #[test]
+    fn dead_branch_under_star_is_still_satisfiable() {
+        // `(e:p [])*` accepts the empty bag: satisfiable.
+        let schema = Schema::from_rules([(
+            ShapeLabel::new("A"),
+            ShapeExpr::star(ShapeExpr::arc(ArcConstraint::value(
+                "http://e/p",
+                NodeConstraint::ValueSet(vec![]),
+            ))),
+        )])
+        .unwrap();
+        assert_eq!(sat_of(&schema, "A"), Satisfiability::ProvenSatisfiable);
+        let l = lints(&schema);
+        // The dead constraint itself is still worth a local warning...
+        assert!(l.contains(&Lint::EmptyValueSet("A".into())));
+        // ...but the shape must not be declared unsatisfiable.
+        assert!(!l.contains(&Lint::Unsatisfiable("A".into())));
+    }
+
+    #[test]
+    fn recursive_shape_is_satisfiable_coinductively() {
+        // `<A> { e:p @<A> }`: a cyclic graph x →p x conforms, so the
+        // greatest fixpoint must come back satisfiable.
+        let schema = Schema::from_rules([(
+            ShapeLabel::new("A"),
+            ShapeExpr::arc(ArcConstraint::reference("http://e/p", "A")),
+        )])
+        .unwrap();
+        assert_eq!(sat_of(&schema, "A"), Satisfiability::ProvenSatisfiable);
+    }
+
+    #[test]
+    fn mutual_recursion_through_dead_shape() {
+        // <A> requires @<B>, <B> requires a dead constraint: both empty.
+        let schema = Schema::from_rules([
+            (
+                ShapeLabel::new("A"),
+                ShapeExpr::arc(ArcConstraint::reference("http://e/p", "B")),
+            ),
+            (
+                ShapeLabel::new("B"),
+                ShapeExpr::and(
+                    ShapeExpr::arc(ArcConstraint::reference("http://e/q", "A")),
+                    ShapeExpr::arc(ArcConstraint::value(
+                        "http://e/r",
+                        NodeConstraint::ValueSet(vec![]),
+                    )),
+                ),
+            ),
+        ])
+        .unwrap();
+        assert_eq!(sat_of(&schema, "A"), Satisfiability::Unsatisfiable);
+        assert_eq!(sat_of(&schema, "B"), Satisfiability::Unsatisfiable);
     }
 
     #[test]
     fn lints_inside_nested_expressions() {
         let l = lint_src("PREFIX e: <http://e/>\n<A> { (e:p [] | e:q .)+ }");
         assert!(l.contains(&Lint::EmptyValueSet("A".into())));
+        // The healthy `|` branch keeps the shape alive.
+        assert!(!l.contains(&Lint::Unsatisfiable("A".into())));
     }
 
     #[test]
@@ -298,5 +573,11 @@ mod tests {
             .to_string()
             .contains("never referenced"));
         assert!(Lint::EmptyValueSet("X".into()).to_string().contains("[]"));
+        assert!(Lint::Unsatisfiable("X".into())
+            .to_string()
+            .contains("unsatisfiable"));
+        assert!(Lint::UnsatisfiableConstraint("X".into())
+            .to_string()
+            .contains("no term satisfies"));
     }
 }
