@@ -1,0 +1,283 @@
+//! Emits `BENCH_parallel.json`: fixed-shard vs work-stealing scheduler
+//! curves for `Engine::type_all_par` (E14).
+//!
+//! ```sh
+//! cargo run --release -p shapex-bench --bin parallel
+//! cargo run --release -p shapex-bench --bin parallel -- --entities 4000 --jobs 1,2,4
+//! ```
+//!
+//! Two workload shapes, each at every `--jobs` count and under both
+//! schedulers (`EngineConfig::fixed_shard` toggles the arm):
+//!
+//! - **uniform** — the UniProt-shaped dump: every entity costs about the
+//!   same, so fixed sharding is already balanced and stealing must merely
+//!   not regress;
+//! - **hub** — the skewed hub-fanout graph (`scale::hub_ntriples`): one
+//!   (hub, Hub) mega-task plus a Zipf tail, the adversarial case where a
+//!   fixed shard draws the hub and its peers idle at the wave barrier.
+//!
+//! Every measurement runs in a fresh subprocess (the binary re-executes
+//! itself with a hidden `--measure-typing` mode) so allocator and memo
+//! state never leak between samples. Each child first computes the
+//! sequential `type_all` reference and asserts the parallel typing is
+//! **equal** to it (the correctness gate — timings are for the
+//! verified-identical path), then times `--reps` fresh runs with metrics
+//! off (min is reported), then does one metrics-on run to collect the
+//! scheduler counters: steals, steal attempts, published/drained verdicts,
+//! and per-worker busy/idle microseconds. *Epoch utilization* is
+//! `Σ busy / (jobs × max busy)` over per-worker busy totals — 1.0 means
+//! no worker outworked its peers; the skew between schedulers on the hub
+//! workload is the headline number on a single-core box, where wall-clock
+//! speedup is unmeasurable (see EXPERIMENTS.md E14).
+
+use std::process::Command;
+use std::time::Instant;
+
+use serde_json::Value;
+use shapex::{Engine, EngineConfig, Typing};
+use shapex_rdf::ntriples;
+use shapex_rdf::TermPool;
+use shapex_workloads::scale;
+
+const SEED: u64 = 42;
+const DEFAULT_ENTITIES: usize = 2_000;
+const DEFAULT_JOBS: &[usize] = &[1, 2, 4];
+const DEFAULT_REPS: usize = 3;
+
+fn workload_doc(workload: &str, entities: usize) -> (String, String) {
+    match workload {
+        "uniform" => (
+            scale::uniprot_ntriples(entities, SEED),
+            scale::uniprot_schema(),
+        ),
+        "hub" => (scale::hub_ntriples(entities, SEED), scale::hub_schema()),
+        other => panic!("unknown workload '{other}' (uniform|hub)"),
+    }
+}
+
+fn fresh_engine(pool: &mut TermPool, schema_src: &str, fixed: bool, metrics: bool) -> Engine {
+    let schema = shapex_shex::shexc::parse(schema_src).expect("schema parses");
+    Engine::compile(
+        &schema,
+        pool,
+        EngineConfig {
+            fixed_shard: fixed,
+            metrics,
+            ..EngineConfig::default()
+        },
+    )
+    .expect("schema compiles")
+}
+
+/// Child mode: one (workload, jobs, scheduler) cell. Prints a JSON row.
+fn measure_typing(workload: &str, entities: usize, jobs: usize, fixed: bool, reps: usize) {
+    let (doc, schema_src) = workload_doc(workload, entities);
+    let mut ds = ntriples::parse(&doc).expect("workload parses");
+    drop(doc);
+
+    // Correctness gate: the parallel typing must equal the sequential one
+    // (same pairs, same exhaustion records) before anything is timed.
+    let reference: Typing =
+        fresh_engine(&mut ds.pool, &schema_src, fixed, false).type_all(&ds.graph, &ds.pool);
+
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let mut engine = fresh_engine(&mut ds.pool, &schema_src, fixed, false);
+        let t = Instant::now();
+        let typing = engine.type_all_par(&ds.graph, &ds.pool, jobs);
+        samples.push(t.elapsed().as_micros() as u64);
+        assert_eq!(
+            typing, reference,
+            "parallel typing diverged from sequential"
+        );
+    }
+    let min_us = *samples.iter().min().expect("reps >= 1");
+
+    // One metrics-on run for the scheduler counters (not timed: metrics
+    // collection itself costs time, so it stays out of the samples).
+    let mut engine = fresh_engine(&mut ds.pool, &schema_src, fixed, true);
+    let typing = engine.type_all_par(&ds.graph, &ds.pool, jobs);
+    assert_eq!(typing, reference, "metrics run diverged from sequential");
+    let metrics = engine.metrics().expect("metrics enabled");
+
+    let mut busy = vec![0u64; jobs.max(1)];
+    let mut idle = vec![0u64; jobs.max(1)];
+    let (mut steals, mut attempts, mut stolen, mut published, mut drained) = (0, 0, 0, 0, 0);
+    let (mut memo_answered, mut merged_answered, mut epochs) = (0, 0, 0u64);
+    for wave in &metrics.waves {
+        epochs += 1;
+        steals += wave.steals;
+        attempts += wave.steal_attempts;
+        published += wave.published;
+        memo_answered += wave.memo_answered;
+        merged_answered += wave.merged_answered;
+        for shard in &wave.shards {
+            busy[shard.worker] += shard.busy_us;
+            idle[shard.worker] += shard.idle_us;
+            stolen += shard.stolen;
+            drained += shard.drained;
+        }
+    }
+    let busy_sum: u64 = busy.iter().sum();
+    let busy_max = busy.iter().copied().max().unwrap_or(0);
+    let utilization = if busy_max == 0 {
+        1.0
+    } else {
+        busy_sum as f64 / (jobs as f64 * busy_max as f64)
+    };
+
+    let row = serde_json::json!({
+        "workload": workload,
+        "entities": entities as u64,
+        "triples": ds.graph.len() as u64,
+        "jobs": jobs as u64,
+        "scheduler": if fixed { "fixed-shard" } else { "work-stealing" },
+        "verified_identical": true,
+        "typed_pairs": reference.len() as u64,
+        "type_all_par_min_us": min_us,
+        "type_all_par_samples_us": Value::Array(samples.iter().map(|&s| Value::from(s)).collect()),
+        "epochs": epochs,
+        "memo_answered": memo_answered,
+        "merged_answered": merged_answered,
+        "steals": steals,
+        "steal_attempts": attempts,
+        "stolen_queries": stolen,
+        "published": published,
+        "drained": drained,
+        "busy_us_per_worker": Value::Array(busy.iter().map(|&b| Value::from(b)).collect()),
+        "idle_us_per_worker": Value::Array(idle.iter().map(|&b| Value::from(b)).collect()),
+        "epoch_utilization": utilization,
+    });
+    println!("{}", serde_json::to_string(&row).expect("no NaN"));
+}
+
+/// Runs this same binary in a child mode and parses its JSON stdout.
+fn child(args: &[String]) -> Value {
+    let exe = std::env::current_exe().expect("own path");
+    let out = Command::new(exe)
+        .args(args)
+        .output()
+        .expect("spawning measurement subprocess");
+    assert!(
+        out.status.success(),
+        "measurement {args:?} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    serde_json::from_str(String::from_utf8_lossy(&out.stdout).trim())
+        .unwrap_or_else(|e| panic!("measurement {args:?} produced bad JSON: {e}"))
+}
+
+fn parse_list(v: &str, flag: &str) -> Vec<usize> {
+    v.split(',')
+        .map(|p| {
+            p.trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("{flag} wants comma-separated integers, got '{p}'"))
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    if args.first().map(String::as_str) == Some("--measure-typing") {
+        let workload = args[1].as_str();
+        let e: usize = args[2].parse().unwrap();
+        let j: usize = args[3].parse().unwrap();
+        let fixed: bool = args[4].parse().unwrap();
+        let r: usize = args[5].parse().unwrap();
+        return measure_typing(workload, e, j, fixed, r);
+    }
+
+    let mut entities = DEFAULT_ENTITIES;
+    let mut jobs = DEFAULT_JOBS.to_vec();
+    let mut reps = DEFAULT_REPS;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |flag: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{flag} needs a value"))
+                .clone()
+        };
+        match a.as_str() {
+            "--entities" => {
+                entities = val("--entities")
+                    .parse()
+                    .expect("--entities wants an integer")
+            }
+            "--jobs" => jobs = parse_list(&val("--jobs"), "--jobs"),
+            "--reps" => reps = val("--reps").parse().expect("--reps wants an integer"),
+            other => panic!("unknown flag '{other}' (see the module docs)"),
+        }
+    }
+
+    let mut workloads = Vec::new();
+    for workload in ["uniform", "hub"] {
+        let mut rows = Vec::new();
+        for &j in &jobs {
+            let mut cell = serde_json::Map::new();
+            for fixed in [true, false] {
+                let row = child(&[
+                    "--measure-typing".into(),
+                    workload.into(),
+                    entities.to_string(),
+                    j.to_string(),
+                    fixed.to_string(),
+                    reps.to_string(),
+                ]);
+                let us = row.get("type_all_par_min_us").and_then(Value::as_u64);
+                let util = row.get("epoch_utilization").and_then(Value::as_f64);
+                println!(
+                    "{workload} @ jobs={j} {}: {} us, utilization {:.3}, steals {}",
+                    if fixed {
+                        "fixed-shard  "
+                    } else {
+                        "work-stealing"
+                    },
+                    us.unwrap_or(0),
+                    util.unwrap_or(0.0),
+                    row.get("steals").and_then(Value::as_u64).unwrap_or(0),
+                );
+                cell.insert(
+                    if fixed {
+                        "fixed_shard"
+                    } else {
+                        "work_stealing"
+                    }
+                    .to_string(),
+                    row,
+                );
+            }
+            let min_us = |arm: &str| {
+                cell.get(arm)
+                    .and_then(|r| r.get("type_all_par_min_us"))
+                    .and_then(Value::as_f64)
+            };
+            let ratio = match (min_us("fixed_shard"), min_us("work_stealing")) {
+                (Some(f), Some(s)) if s > 0.0 => f / s,
+                _ => 0.0,
+            };
+            cell.insert("jobs".to_string(), Value::from(j as u64));
+            cell.insert("steal_speedup_vs_fixed".to_string(), Value::from(ratio));
+            rows.push(Value::Object(cell));
+        }
+        workloads.push(serde_json::json!({
+            "workload": workload,
+            "entities": entities as u64,
+            "rows": Value::Array(rows),
+        }));
+    }
+
+    let doc = serde_json::json!({
+        "generated_by": "cargo run --release -p shapex-bench --bin parallel",
+        "workloads_from": "crates/workloads scale::{uniprot,hub}_ntriples",
+        "seed": SEED,
+        "reps_per_timing": reps as u64,
+        "cpus_available": std::thread::available_parallelism().map_or(1, |n| n.get()) as u64,
+        "note": "every row is correctness-gated: the parallel typing was asserted equal to the sequential type_all before timing; on a single-core box wall-clock speedup is not expected — epoch_utilization and steal counters carry the scheduler comparison (EXPERIMENTS.md E14)",
+        "workloads": Value::Array(workloads),
+    });
+    let rendered = serde_json::to_string_pretty(&doc).expect("no NaN in report") + "\n";
+    std::fs::write("BENCH_parallel.json", &rendered).expect("write BENCH_parallel.json");
+    println!("wrote BENCH_parallel.json");
+}

@@ -136,8 +136,14 @@ USAGE:
                                          (with --jobs > 1, also bounds the whole run)
       --jobs N                           worker threads for full-typing runs and for
                                          parallel N-Triples parsing of .nt data files
-                                         (default: all cores; 1 = sequential; results
-                                         are byte-identical at any value)
+                                         (default: all cores; 1 = sequential). Parallel
+                                         runs use the work-stealing epoch scheduler;
+                                         typings are byte-identical to sequential at any
+                                         value (under budgets, verdicts agree on every
+                                         pair both runs answered)
+      --fixed-shard                      use the legacy fixed-shard wave scheduler for
+                                         --jobs > 1 (the pre-stealing baseline; mainly
+                                         for A/B benchmarking)
       --delta FILE                       type the graph, apply the delta file ('+'/'-'
                                          op lines of Turtle statements, with @prefix
                                          lines), then incrementally revalidate only the
@@ -240,8 +246,16 @@ impl Flags {
 }
 
 fn parse_flags<'a>(it: impl Iterator<Item = &'a str>) -> Result<Flags, String> {
-    const SWITCHES: [&str; 8] = [
-        "open", "explain", "stats", "no-sorbe", "no-dfa", "trace", "lenient", "prune",
+    const SWITCHES: [&str; 9] = [
+        "open",
+        "explain",
+        "stats",
+        "no-sorbe",
+        "no-dfa",
+        "trace",
+        "lenient",
+        "prune",
+        "fixed-shard",
     ];
     let mut it = it.peekable();
     let mut flags = Flags {
@@ -556,6 +570,7 @@ fn validate(flags: &Flags) -> Result<String, CliError> {
                 no_sorbe: flags.has("no-sorbe"),
                 no_dfa: flags.has("no-dfa"),
                 prune: flags.has("prune"),
+                fixed_shard: flags.has("fixed-shard"),
                 budget,
                 // A JSON report always carries the metrics block.
                 metrics: report,

@@ -34,6 +34,7 @@ use crate::compile::{CompiledObject, CompiledPredicates, CompiledSchema, ShapeId
 use crate::dfa::{ShapeDfa, Transition};
 use crate::metrics::{Metrics, ShardMetrics, WaveMetrics};
 use crate::result::{Failure, FailureKind, MatchResult, Outcome, Stats, Typing};
+use crate::sched::{self, Batch, BatchQueue, Executor, PubLog, WorkerCounters};
 
 /// Whether a shape must account for the node's entire neighbourhood.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -89,6 +90,13 @@ pub struct EngineConfig {
     /// typings are byte-identical), only derivative work on dead branches
     /// disappears.
     pub prune: bool,
+    /// Use the legacy fixed-shard wave scheduler for
+    /// [`Engine::type_all_par`] instead of the work-stealing epoch
+    /// scheduler (see [`crate::sched`] and DESIGN.md §5g). The two paths
+    /// produce byte-identical typings; this flag exists as the baseline
+    /// arm of `BENCH_parallel.json` and for the differential tests —
+    /// surfaced as `--fixed-shard` on the CLI, mirroring `--no-dfa`.
+    pub fixed_shard: bool,
 }
 
 /// A validation error at the API boundary.
@@ -309,6 +317,34 @@ impl TripleDeps {
     }
 }
 
+/// A precomputed invalidation closure for
+/// [`Engine::revalidate_par_planned`]: the memoised `(shape, node)` pairs a
+/// [`GraphDelta`] can disturb, closed over the reverse shape-reference
+/// edges.
+///
+/// Produced by [`Engine::plan_invalidation`], which reads only the
+/// engine's dependency index and the delta — never the graph — so the
+/// plan is valid whether it is computed before, after, or *concurrently
+/// with* applying the delta to the graph. The server's `/delta` path uses
+/// that freedom to overlap dependency-closure computation with the graph
+/// mutation itself.
+#[derive(Debug, Default)]
+pub struct InvalidationPlan {
+    dirty: FxHashSet<Pair>,
+}
+
+impl InvalidationPlan {
+    /// Number of `(shape, node)` pairs the plan will purge.
+    pub fn len(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// True when the delta cannot disturb any memoised answer.
+    pub fn is_empty(&self) -> bool {
+        self.dirty.is_empty()
+    }
+}
+
 /// The validator. Holds the compiled schema, the expression arena, and all
 /// memo tables; reusable across many [`Engine::check`] calls over the same
 /// graph/pool.
@@ -390,6 +426,17 @@ pub struct Engine {
     /// reference arc exists and invalidation must fall back to a full
     /// table scan.
     ref_heads: Option<Vec<(ShapeId, TermId, bool)>>,
+    /// Shared thread pool for parallel typing, installed by the server so
+    /// request-level and intra-request parallelism draw from one pool
+    /// (see [`Engine::set_executor`]). `None` means [`Engine::type_all_par`]
+    /// spins up a transient pool per call.
+    executor: Option<Arc<Executor>>,
+    /// Publication buffer for the work-stealing scheduler: when `Some`,
+    /// every pair that becomes unconditional (`Proven`/`Failed` insert,
+    /// or promotion of a conditional) is recorded here so the worker loop
+    /// can publish it to its peers between queries. `None` (the default)
+    /// keeps the hot path to a single discriminant test.
+    publish: Option<Vec<Pair>>,
 }
 
 impl Engine {
@@ -452,7 +499,18 @@ impl Engine {
             deps: TripleDeps::default(),
             dep_stack: Vec::new(),
             ref_heads,
+            executor: None,
+            publish: None,
         })
+    }
+
+    /// Installs a shared [`Executor`] for parallel typing: subsequent
+    /// [`Engine::type_all_par`] / [`Engine::revalidate_par`] calls fan
+    /// their workers out on this pool instead of spawning a transient
+    /// one. The server installs its request executor here, so one pool
+    /// serves both request-level and intra-request parallelism.
+    pub fn set_executor(&mut self, executor: Arc<Executor>) {
+        self.executor = Some(executor);
     }
 
     /// Convenience compile with the default configuration.
@@ -872,11 +930,25 @@ impl Engine {
         typing
     }
 
-    /// How many queries each worker takes per wave. Small enough that
-    /// promoted answers circulate quickly on recursive schemas (a worker
-    /// benefits from pairs its peers proved last wave), large enough to
-    /// amortise thread spawn and the merge.
+    /// How many queries each worker takes per wave under the legacy
+    /// fixed-shard path ([`EngineConfig::fixed_shard`]). Small enough
+    /// that promoted answers circulate quickly on recursive schemas (a
+    /// worker benefits from pairs its peers proved last wave), large
+    /// enough to amortise dispatch and the merge.
     const WAVE_CHUNK: usize = 64;
+
+    /// Queries per worker per scheduler *epoch* on the default
+    /// work-stealing path. Much larger than [`Engine::WAVE_CHUNK`]:
+    /// verdicts circulate continuously through the epoch publication log,
+    /// so the merge barrier no longer needs to be frequent — it only
+    /// settles counters, DFA fills, and the coordinator memo.
+    const EPOCH_CHUNK: usize = 256;
+
+    /// Queries per work-stealing batch — the steal granularity. Small
+    /// enough that a hub-heavy shard can be picked apart by idle peers,
+    /// large enough that the deque CAS and publication-drain probes stay
+    /// off the per-query path.
+    const STEAL_BATCH: usize = 16;
 
     /// Parallel [`Engine::type_all`]: the same `subjects × shapes` query
     /// list, partitioned into per-worker shards run on
@@ -939,16 +1011,62 @@ impl Engine {
         } else {
             Vec::new()
         };
+        // Scheduler selection (DESIGN.md §5g): work-stealing epochs by
+        // default, the legacy fixed-shard wave loop behind
+        // `EngineConfig::fixed_shard` (the benchmark baseline). Workers
+        // run on a shared executor when one is installed (the server's
+        // request pool), else on a transient pool for this call — either
+        // way threads are reused across every epoch of the run.
+        let stealing = !self.config.fixed_shard;
+        let shared_exec = self.executor.clone();
+        let transient_exec;
+        let exec: &Executor = match &shared_exec {
+            Some(e) => e.as_ref(),
+            None => {
+                transient_exec =
+                    Executor::new(jobs, has_recursion.then_some(512 << 20), "shapex-par");
+                &transient_exec
+            }
+        };
+        // The calling thread may execute worker closures itself only when
+        // its stack is known to be safe for them: pool threads carry the
+        // big lazily-committed stack; a foreign caller joins in only for
+        // recursion-free schemas.
+        let participate = !has_recursion || exec.on_pool_thread();
+        // Epoch publication log: unconditional verdicts stream between
+        // workers mid-epoch; each worker's mark survives across epochs.
+        let publog: PubLog<(Pair, Option<Failure>, bool)> = PubLog::new();
+        let mut pub_marks = vec![0usize; jobs];
+        // Pairs promoted *during this run*, to split "answered from the
+        // pre-run warm memo" from "skipped because an earlier epoch
+        // already merged the answer" in the wave metrics.
+        let mut run_promoted: FxHashSet<Pair> = FxHashSet::default();
+        let window = jobs
+            * if stealing {
+                Self::EPOCH_CHUNK
+            } else {
+                Self::WAVE_CHUNK
+            };
 
         let mut next = 0;
         while next < queries.len() {
-            let wave_end = (next + jobs * Self::WAVE_CHUNK).min(queries.len());
-            // Answers already merged from earlier waves are free.
+            let wave_end = (next + window).min(queries.len());
+            // Answers already known are free; the commit sequencer below
+            // records them straight into their query slot.
             let mut pending: Vec<usize> = Vec::new();
+            let mut memo_answered = 0u64;
+            let mut merged_answered = 0u64;
             for qi in next..wave_end {
                 let (node, shape) = queries[qi];
                 match self.memoised_answer(node, shape) {
-                    Some(answer) => results[qi] = Some(answer),
+                    Some(answer) => {
+                        if run_promoted.contains(&(shape, node)) {
+                            merged_answered += 1;
+                        } else {
+                            memo_answered += 1;
+                        }
+                        results[qi] = Some(answer);
+                    }
                     None => pending.push(qi),
                 }
             }
@@ -958,7 +1076,8 @@ impl Engine {
                 self.metric(|m| {
                     m.waves.push(WaveMetrics {
                         queries: wave_queries,
-                        memo_answered: wave_queries,
+                        memo_answered,
+                        merged_answered,
                         ..WaveMetrics::default()
                     })
                 });
@@ -999,55 +1118,79 @@ impl Engine {
                     *mark = dfa_log.len();
                 }
             }
-            // Contiguous shards preserve the sequential visit order within
-            // each worker (memo locality on reference chains).
+            // Contiguous shares preserve the sequential visit order within
+            // each worker (memo locality on reference chains); under
+            // stealing each share is further cut into batches so idle
+            // peers can take a loaded worker's tail.
             let per = pending.len().div_ceil(jobs);
-            let chunks: Vec<&[usize]> = pending.chunks(per).collect();
-            let outcomes: Vec<Vec<(usize, Outcome)>> = std::thread::scope(|scope| {
-                let handles: Vec<_> = workers
-                    .iter_mut()
-                    .zip(&chunks)
-                    .enumerate()
-                    .map(|(w, (worker, chunk))| {
-                        let queries = &queries;
-                        let mut builder =
-                            std::thread::Builder::new().name(format!("shapex-par-{w}"));
-                        if has_recursion {
-                            // Reference recursion is as deep as the data;
-                            // same large (lazily committed) stack as the
-                            // sequential big-stack worker.
-                            builder = builder.stack_size(512 << 20);
-                        }
-                        builder
-                            .spawn_scoped(scope, move || {
-                                chunk
-                                    .iter()
-                                    .map(|&qi| {
-                                        let (node, shape) = queries[qi];
-                                        let outcome = match worker.memoised_answer(node, shape) {
-                                            Some(answer) => answer,
-                                            None => worker.gfp_run(graph, terms, node, shape),
-                                        };
-                                        (qi, outcome)
-                                    })
-                                    .collect()
+            let timed = self.metrics.is_some();
+            let mut outs: Vec<Vec<(usize, Outcome)>> = (0..jobs).map(|_| Vec::new()).collect();
+            let mut counters = vec![WorkerCounters::default(); jobs];
+            if stealing {
+                let deques: Vec<BatchQueue> = (0..jobs)
+                    .map(|w| {
+                        let lo = (w * per).min(pending.len());
+                        let hi = ((w + 1) * per).min(pending.len());
+                        let batches: Vec<Batch> = (lo..hi)
+                            .step_by(Self::STEAL_BATCH)
+                            .map(|s| Batch {
+                                start: s as u32,
+                                len: Self::STEAL_BATCH.min(hi - s) as u32,
                             })
-                            .expect("spawn type_all_par worker")
+                            .collect();
+                        BatchQueue::new(&batches)
                     })
                     .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("type_all_par worker panicked"))
-                    .collect()
-            });
-            for wave_results in outcomes {
-                for (qi, outcome) in wave_results {
+                let deques = &deques;
+                let publog = &publog;
+                let pending = &pending[..];
+                let queries = &queries[..];
+                let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = workers
+                    .iter_mut()
+                    .zip(outs.iter_mut())
+                    .zip(counters.iter_mut())
+                    .zip(pub_marks.iter_mut())
+                    .enumerate()
+                    .map(|(w, (((worker, out), ctr), mark))| {
+                        let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                            worker.steal_loop(
+                                graph, terms, w, jobs, queries, pending, deques, publog, mark, out,
+                                ctr, timed,
+                            );
+                        });
+                        task
+                    })
+                    .collect();
+                exec.run_tasks(tasks, participate);
+            } else {
+                let chunks: Vec<&[usize]> = pending.chunks(per).collect();
+                let queries = &queries[..];
+                let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = workers
+                    .iter_mut()
+                    .zip(outs.iter_mut())
+                    .zip(counters.iter_mut())
+                    .zip(&chunks)
+                    .map(|(((worker, out), ctr), chunk)| {
+                        let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                            worker.run_shard(graph, terms, queries, chunk, out, ctr, timed);
+                        });
+                        task
+                    })
+                    .collect();
+                exec.run_tasks(tasks, participate);
+            }
+            // Deterministic commit sequencer: whatever order workers
+            // finished in, verdicts land in their query-index slot and the
+            // final typing is assembled in query order below.
+            for wave_results in &mut outs {
+                for (qi, outcome) in wave_results.drain(..) {
                     results[qi] = Some(outcome);
                 }
             }
             // Wave boundary: merge every shard exactly once — promoted
             // unconditional answers into the memo, DFA fill logs into the
             // shared tables, counter deltas into the run totals.
+            let log_mark = log.len();
             let mut shards: Vec<ShardMetrics> = Vec::new();
             for w in 0..workers.len() {
                 if self.use_dfa() {
@@ -1077,9 +1220,17 @@ impl Engine {
                 let now = worker.stats;
                 let prev = &mut prev_stats[w];
                 if self.metrics.is_some() {
+                    let c = &counters[w];
                     shards.push(ShardMetrics {
                         worker: w,
-                        queries: chunks.get(w).map_or(0, |c| c.len()) as u64,
+                        queries: c.executed,
+                        stolen: c.stolen,
+                        steals: c.steals,
+                        steal_attempts: c.steal_attempts,
+                        published: c.published,
+                        drained: c.drained,
+                        busy_us: c.busy_us,
+                        idle_us: c.idle_us,
                         promoted: promoted as u64,
                         budget_steps: now.budget_steps - prev.budget_steps,
                         derivative_steps: now.derivative_steps - prev.derivative_steps,
@@ -1090,6 +1241,9 @@ impl Engine {
                     self.stats.peak_arena_nodes.max(worker.schema.pool.len());
                 *prev = now;
             }
+            // Everything the epoch merged is "merged", not "warm memo",
+            // for subsequent windows' accounting.
+            run_promoted.extend(log[log_mark..].iter().copied());
             if let Some(m) = &mut self.metrics {
                 for (w, worker) in workers.iter().enumerate() {
                     if let Some(wm) = worker.metrics.as_deref() {
@@ -1099,9 +1253,13 @@ impl Engine {
                 }
                 m.waves.push(WaveMetrics {
                     queries: wave_queries,
-                    memo_answered: wave_queries - pending.len() as u64,
+                    memo_answered,
+                    merged_answered,
                     dispatched: pending.len() as u64,
                     reseeded_pairs,
+                    steals: counters.iter().map(|c| c.steals).sum(),
+                    steal_attempts: counters.iter().map(|c| c.steal_attempts).sum(),
+                    published: counters.iter().map(|c| c.published).sum(),
                     elapsed_us: wave_start
                         .map_or(0, |t| t.elapsed().as_micros().min(u64::MAX as u128) as u64),
                     shards,
@@ -1125,6 +1283,152 @@ impl Engine {
             }
         }
         typing
+    }
+
+    /// The fixed-shard worker body: one contiguous chunk of pending
+    /// queries, run in order (the legacy wave scheduler's inner loop).
+    #[allow(clippy::too_many_arguments)]
+    fn run_shard(
+        &mut self,
+        graph: &Graph,
+        terms: &TermPool,
+        queries: &[(TermId, ShapeId)],
+        chunk: &[usize],
+        out: &mut Vec<(usize, Outcome)>,
+        ctr: &mut WorkerCounters,
+        timed: bool,
+    ) {
+        let start = timed.then(std::time::Instant::now);
+        for &qi in chunk {
+            let (node, shape) = queries[qi];
+            let outcome = match self.memoised_answer(node, shape) {
+                Some(answer) => answer,
+                None => self.gfp_run(graph, terms, node, shape),
+            };
+            out.push((qi, outcome));
+            ctr.executed += 1;
+        }
+        if let Some(t) = start {
+            ctr.busy_us += t.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        }
+    }
+
+    /// The work-stealing worker body for one epoch (DESIGN.md §5g).
+    ///
+    /// Worker `w` drains its own deque front-to-back (sequential order,
+    /// memo locality); when dry it probes peers in the deterministic
+    /// [`sched::steal_victim`] sequence and takes batches off their
+    /// *backs* — the work the owner would reach last. Before each batch
+    /// it merges every verdict its peers have published since its last
+    /// drain (`or_insert`: a local answer is never overwritten), and
+    /// after each query it publishes its own newly unconditional pairs.
+    /// The loop ends only when every deque is empty, so each pending
+    /// query is executed exactly once by exactly one worker.
+    #[allow(clippy::too_many_arguments)]
+    fn steal_loop(
+        &mut self,
+        graph: &Graph,
+        terms: &TermPool,
+        w: usize,
+        jobs: usize,
+        queries: &[(TermId, ShapeId)],
+        pending: &[usize],
+        deques: &[BatchQueue],
+        publog: &PubLog<(Pair, Option<Failure>, bool)>,
+        mark: &mut usize,
+        out: &mut Vec<(usize, Outcome)>,
+        ctr: &mut WorkerCounters,
+        timed: bool,
+    ) {
+        self.publish = Some(Vec::new());
+        loop {
+            let (batch, stolen) = match deques[w].pop_front() {
+                Some(b) => (b, false),
+                None => {
+                    let idle_start = timed.then(std::time::Instant::now);
+                    let mut got = None;
+                    'steal: loop {
+                        for attempt in 0..(2 * jobs as u64) {
+                            let victim = sched::steal_victim(w, jobs, ctr.executed, attempt);
+                            ctr.steal_attempts += 1;
+                            if let Some(b) = deques[victim].steal_back() {
+                                got = Some(b);
+                                break 'steal;
+                            }
+                        }
+                        if deques.iter().all(|d| d.remaining() == 0) {
+                            break 'steal;
+                        }
+                        std::thread::yield_now();
+                    }
+                    if let Some(t) = idle_start {
+                        ctr.idle_us += t.elapsed().as_micros().min(u64::MAX as u128) as u64;
+                    }
+                    match got {
+                        Some(b) => {
+                            ctr.steals += 1;
+                            (b, true)
+                        }
+                        None => break,
+                    }
+                }
+            };
+            // Merge peers' published verdicts before starting the batch:
+            // free answers for everything that follows.
+            ctr.drained += publog.drain_from(mark, |(pair, failure, proven)| {
+                self.memo.entry(*pair).or_insert(if *proven {
+                    MemoState::Proven
+                } else {
+                    MemoState::Failed
+                });
+                if let Some(f) = failure {
+                    self.failures.entry(*pair).or_insert_with(|| f.clone());
+                }
+            }) as u64;
+            let busy_start = timed.then(std::time::Instant::now);
+            for i in batch.start..batch.start + batch.len {
+                let qi = pending[i as usize];
+                let (node, shape) = queries[qi];
+                let outcome = match self.memoised_answer(node, shape) {
+                    Some(answer) => answer,
+                    None => self.gfp_run(graph, terms, node, shape),
+                };
+                out.push((qi, outcome));
+                ctr.executed += 1;
+                if stolen {
+                    ctr.stolen += 1;
+                }
+                self.flush_published(publog, ctr);
+            }
+            if let Some(t) = busy_start {
+                ctr.busy_us += t.elapsed().as_micros().min(u64::MAX as u128) as u64;
+            }
+        }
+        self.publish = None;
+    }
+
+    /// Publishes every verdict buffered since the last flush. Buffered
+    /// pairs are re-read from the memo at flush time: a pair whose query
+    /// later exhausted is still publishable (unconditional inserts are
+    /// never rolled back), anything not unconditional is skipped.
+    fn flush_published(
+        &mut self,
+        publog: &PubLog<(Pair, Option<Failure>, bool)>,
+        ctr: &mut WorkerCounters,
+    ) {
+        let buf = match &mut self.publish {
+            Some(buf) if !buf.is_empty() => std::mem::take(buf),
+            _ => return,
+        };
+        let entries: Vec<(Pair, Option<Failure>, bool)> = buf
+            .iter()
+            .filter_map(|&pair| match self.memo.get(&pair) {
+                Some(MemoState::Proven) => Some((pair, None, true)),
+                Some(MemoState::Failed) => Some((pair, self.failures.get(&pair).cloned(), false)),
+                _ => None,
+            })
+            .collect();
+        ctr.published += publog.publish(entries) as u64;
     }
 
     /// Re-types the graph after a [`GraphDelta`] was applied to it,
@@ -1180,7 +1484,10 @@ impl Engine {
     }
 
     /// [`Engine::revalidate`] with an explicit worker count: the dirty
-    /// frontier is re-typed through [`Engine::type_all_par`].
+    /// frontier is re-typed through [`Engine::type_all_par`]. With
+    /// `jobs > 1` the invalidation plan (dependency-closure walk) is
+    /// computed concurrently with the delta-applied check — the first
+    /// stage of the pipelined revalidation path.
     pub fn revalidate_par(
         &mut self,
         graph: &Graph,
@@ -1188,14 +1495,62 @@ impl Engine {
         delta: &GraphDelta,
         jobs: usize,
     ) -> Result<Typing, EngineError> {
-        self.check_delta_applied(graph, terms, delta)?;
         if !self.config.incremental {
+            self.check_delta_applied(graph, terms, delta)?;
             // No dependency index was recorded: the only sound move is to
             // drop every cache keyed against the old graph and start over.
             self.reset();
             return Ok(self.type_all_par(graph, terms, jobs));
         }
-        let invalidated = self.invalidate(delta);
+        let plan = if jobs > 1 {
+            // The planner reads only the dependency index + delta; the
+            // applied-check reads only the graph + delta. Disjoint reads,
+            // so the two legs overlap safely.
+            let this: &Engine = self;
+            std::thread::scope(|s| {
+                let planner = s.spawn(|| this.plan_invalidation(delta));
+                let checked = this.check_delta_applied(graph, terms, delta);
+                let plan = planner.join().expect("invalidation planner panicked");
+                checked.map(|()| plan)
+            })?
+        } else {
+            self.check_delta_applied(graph, terms, delta)?;
+            self.plan_invalidation(delta)
+        };
+        Ok(self.revalidate_apply(graph, terms, plan, jobs))
+    }
+
+    /// [`Engine::revalidate_par`] with a caller-supplied
+    /// [`InvalidationPlan`], for callers that computed the plan while the
+    /// delta was still being applied to the graph (the server's `/delta`
+    /// endpoint overlaps [`Engine::plan_invalidation`] with the dataset
+    /// mutation). The delta-applied check still runs against the
+    /// post-delta graph.
+    pub fn revalidate_par_planned(
+        &mut self,
+        graph: &Graph,
+        terms: &TermPool,
+        delta: &GraphDelta,
+        plan: InvalidationPlan,
+        jobs: usize,
+    ) -> Result<Typing, EngineError> {
+        self.check_delta_applied(graph, terms, delta)?;
+        if !self.config.incremental {
+            self.reset();
+            return Ok(self.type_all_par(graph, terms, jobs));
+        }
+        Ok(self.revalidate_apply(graph, terms, plan, jobs))
+    }
+
+    /// Purges the planned pairs, records reuse accounting, and re-types.
+    fn revalidate_apply(
+        &mut self,
+        graph: &Graph,
+        terms: &TermPool,
+        plan: InvalidationPlan,
+        jobs: usize,
+    ) -> Typing {
+        let invalidated = self.apply_invalidation(plan);
         // Reuse accounting over the post-delta query list, taken before
         // the typing run repopulates the memo.
         let mut reused = 0u64;
@@ -1217,7 +1572,7 @@ impl Engine {
             m.delta_reused += reused;
             m.delta_retyped += retyped;
         });
-        Ok(self.type_all_par(graph, terms, jobs))
+        self.type_all_par(graph, terms, jobs)
     }
 
     /// Seeds this engine's verdict memo from an engine that validated the
@@ -1338,12 +1693,15 @@ impl Engine {
         Ok(())
     }
 
-    /// Purges every memoised answer the delta can reach: the pairs that
-    /// read a changed node's neighbourhood, closed transitively over the
-    /// reverse shape-reference edges, plus the stable profile entries
-    /// whose other-end node had a pair invalidated. Returns how many
-    /// memoised answers were actually dropped.
-    fn invalidate(&mut self, delta: &GraphDelta) -> u64 {
+    /// Computes the set of memoised answers the delta can reach: the
+    /// pairs that read a changed node's neighbourhood, closed
+    /// transitively over the reverse shape-reference edges. Read-only —
+    /// consults the dependency index and the delta, never the graph — so
+    /// it can run concurrently with the delta being applied to the graph.
+    /// Requires [`EngineConfig::incremental`] (without it the index is
+    /// empty and the plan is trivially empty — callers on that path reset
+    /// instead).
+    pub fn plan_invalidation(&self, delta: &GraphDelta) -> InvalidationPlan {
         let mut dirty: FxHashSet<Pair> = FxHashSet::default();
         let mut work: Vec<Pair> = Vec::new();
         {
@@ -1383,6 +1741,15 @@ impl Engine {
                 }
             }
         }
+        InvalidationPlan { dirty }
+    }
+
+    /// Purges every pair in the plan — memo, conditional residue, failure
+    /// diagnostics — plus the stable profile entries whose other-end node
+    /// had a pair invalidated, then opens a fresh run. Returns how many
+    /// memoised answers were actually dropped.
+    fn apply_invalidation(&mut self, plan: InvalidationPlan) -> u64 {
+        let dirty = plan.dirty;
         let mut purged = 0u64;
         let mut dirty_nodes: FxHashSet<TermId> = FxHashSet::default();
         for &(shape, node) in &dirty {
@@ -1457,6 +1824,8 @@ impl Engine {
             deps: TripleDeps::default(),
             dep_stack: Vec::new(),
             ref_heads: self.ref_heads.clone(),
+            executor: None,
+            publish: None,
         }
     }
 
@@ -1535,6 +1904,9 @@ impl Engine {
         for pair in self.conditional.drain() {
             if let Some(state) = self.memo.get_mut(&pair) {
                 *state = MemoState::Proven;
+                if let Some(buf) = &mut self.publish {
+                    buf.push(pair);
+                }
             }
         }
     }
@@ -1623,6 +1995,9 @@ impl Engine {
         if ok {
             if local.is_empty() {
                 self.memo.insert(pair, MemoState::Proven);
+                if let Some(buf) = &mut self.publish {
+                    buf.push(pair);
+                }
             } else {
                 deps.extend(local.iter().copied());
                 self.conditional.insert(pair);
@@ -1633,6 +2008,9 @@ impl Engine {
             // Failure is sound unconditionally: assumptions only make
             // matching more permissive (monotonicity).
             self.memo.insert(pair, MemoState::Failed);
+            if let Some(buf) = &mut self.publish {
+                buf.push(pair);
+            }
             Ok(false)
         }
     }

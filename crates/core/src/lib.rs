@@ -53,6 +53,7 @@ pub mod engine;
 pub mod metrics;
 pub mod report;
 pub mod result;
+pub mod sched;
 pub mod sorbe;
 pub mod validate;
 
@@ -63,11 +64,14 @@ pub use calculus::{
 };
 pub use compile::{CompiledSchema, ShapeId, SorbeSpec};
 pub use dfa::{ShapeDfa, Transition};
-pub use engine::{Closure, Engine, EngineConfig, EngineError, MapOutcome, Trace, TraceStep};
+pub use engine::{
+    Closure, Engine, EngineConfig, EngineError, InvalidationPlan, MapOutcome, Trace, TraceStep,
+};
 pub use metrics::{
     CacheMetrics, DfaShapeMetrics, Metrics, ShapeMetrics, ShardMetrics, WaveMetrics,
 };
 pub use result::{Failure, FailureKind, MatchResult, Outcome, Stats, Typing};
+pub use sched::{Executor, ExecutorCounters};
 pub use validate::{default_jobs, validate, validate_par, validate_with_budget, Report};
 
 // Re-export the substrate crates so downstream users need a single

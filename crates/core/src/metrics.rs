@@ -119,8 +119,27 @@ impl DfaShapeMetrics {
 pub struct ShardMetrics {
     /// Worker index.
     pub worker: usize,
-    /// Queries dispatched to this shard in the wave.
+    /// Queries this worker executed in the epoch (its own share plus any
+    /// it stole).
     pub queries: u64,
+    /// Queries executed from batches stolen off peers' deques (zero under
+    /// `--fixed-shard`).
+    pub stolen: u64,
+    /// Successful steals (batches taken off a peer's deque).
+    pub steals: u64,
+    /// Steal probes issued, successful or not; `steals / steal_attempts`
+    /// measures contention.
+    pub steal_attempts: u64,
+    /// Unconditional verdicts this worker published to the epoch's
+    /// publication log while the epoch was still running.
+    pub published: u64,
+    /// Verdicts this worker drained from peers' publications mid-epoch.
+    pub drained: u64,
+    /// Microseconds spent executing queries (only collected when metrics
+    /// are enabled).
+    pub busy_us: u64,
+    /// Microseconds spent probing for work with an empty deque.
+    pub idle_us: u64,
     /// Newly learned unconditional `(shape, node)` pairs merged from this
     /// shard at the boundary.
     pub promoted: u64,
@@ -130,16 +149,31 @@ pub struct ShardMetrics {
     pub derivative_steps: u64,
 }
 
-/// One wave of [`Engine::type_all_par`](crate::Engine::type_all_par):
-/// dispatch sizes, wall-clock, and the per-shard merge record.
+/// One wave (fixed-shard) or epoch (work-stealing) of
+/// [`Engine::type_all_par`](crate::Engine::type_all_par): dispatch sizes,
+/// wall-clock, and the per-shard merge record.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct WaveMetrics {
     /// Queries in the wave's window.
     pub queries: u64,
-    /// Window queries answered from the merged memo without dispatch.
+    /// Window queries answered by a verdict memoised *before* the
+    /// parallel run started (schema preloading, a previous `type_all*`, a
+    /// surviving revalidation memo). Disjoint from
+    /// [`merged_answered`](WaveMetrics::merged_answered).
     pub memo_answered: u64,
+    /// Window queries answered by a verdict another worker proved earlier
+    /// in *this* run and the coordinator already merged — skipped, not
+    /// re-dispatched.
+    pub merged_answered: u64,
     /// Queries actually dispatched to workers.
     pub dispatched: u64,
+    /// Successful steals across all workers in the epoch (zero under
+    /// `--fixed-shard`).
+    pub steals: u64,
+    /// Steal probes across all workers in the epoch.
+    pub steal_attempts: u64,
+    /// Verdicts published to the epoch's shared log across all workers.
+    pub published: u64,
     /// Promotion-log entries re-seeded into worker snapshots before
     /// dispatch (sum over workers).
     pub reseeded_pairs: u64,
@@ -295,6 +329,13 @@ impl Metrics {
                         serde_json::json!({
                             "worker": s.worker,
                             "queries": s.queries,
+                            "stolen": s.stolen,
+                            "steals": s.steals,
+                            "steal_attempts": s.steal_attempts,
+                            "published": s.published,
+                            "drained": s.drained,
+                            "busy_us": s.busy_us,
+                            "idle_us": s.idle_us,
                             "promoted": s.promoted,
                             "budget_steps": s.budget_steps,
                             "derivative_steps": s.derivative_steps,
@@ -304,7 +345,11 @@ impl Metrics {
                 serde_json::json!({
                     "queries": w.queries,
                     "memo_answered": w.memo_answered,
+                    "merged_answered": w.merged_answered,
                     "dispatched": w.dispatched,
+                    "steals": w.steals,
+                    "steal_attempts": w.steal_attempts,
+                    "published": w.published,
                     "reseeded_pairs": w.reseeded_pairs,
                     "elapsed_us": w.elapsed_us,
                     "shards": Value::Array(shards),

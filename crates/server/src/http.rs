@@ -7,7 +7,10 @@
 //! Deliberate simplifications, all safe for a service that fronts trusted
 //! infrastructure rather than the open internet:
 //!
-//! * one request per connection (`Connection: close` on every response);
+//! * connections close after each response unless the client *opts in*
+//!   with `Connection: keep-alive` (the connection loop in the crate root
+//!   then serves more requests off the same socket, up to a per-connection
+//!   cap and an idle timeout);
 //! * bodies require `Content-Length` (no chunked encoding);
 //! * hard caps on header block (16 KiB) and body (16 MiB) — a request
 //!   over either is refused, not buffered, so a misbehaving client
@@ -37,6 +40,10 @@ pub struct Request {
     pub query: Vec<(String, String)>,
     /// The request body (empty when no `Content-Length`).
     pub body: String,
+    /// Whether the client sent `Connection: keep-alive`. Persistence is
+    /// strictly opt-in — absent the header the server closes after the
+    /// response, exactly like the pre-keep-alive protocol.
+    pub keep_alive: bool,
 }
 
 impl Request {
@@ -71,15 +78,17 @@ impl HttpError {
 /// layering is avoided: IO failures (client gone, timeout) come back as
 /// `Err(io::Error)` — nothing to answer; protocol violations come back as
 /// `Ok(Err(HttpError))` — answer with that status.
-pub fn read_request(stream: &mut TcpStream) -> io::Result<Result<Request, HttpError>> {
-    stream.set_read_timeout(Some(READ_TIMEOUT))?;
-    let mut reader = BufReader::new(stream);
-
+///
+/// Takes the connection's long-lived [`BufReader`] rather than the bare
+/// stream so bytes buffered past one request's body (a pipelining client)
+/// are still there when the keep-alive loop reads the next request. The
+/// caller owns the read timeout (first-request vs keep-alive idle).
+pub fn read_request(reader: &mut BufReader<TcpStream>) -> io::Result<Result<Request, HttpError>> {
     let mut head = Vec::new();
     // Read header lines up to the blank separator, enforcing the cap.
     loop {
         let mut line = Vec::new();
-        let n = read_limited_line(&mut reader, &mut line, MAX_HEADER_BYTES)?;
+        let n = read_limited_line(reader, &mut line, MAX_HEADER_BYTES)?;
         if n == 0 {
             // EOF before a full request: client went away.
             return Err(io::Error::new(
@@ -104,15 +113,31 @@ pub fn read_request(stream: &mut TcpStream) -> io::Result<Result<Request, HttpEr
     };
 
     let mut content_length = 0usize;
+    let mut keep_alive = false;
     for line in lines {
         let Some((name, value)) = line.split_once(':') else {
             continue;
         };
-        if name.trim().eq_ignore_ascii_case("content-length") {
+        let name = name.trim();
+        if name.eq_ignore_ascii_case("content-length") {
             content_length = match value.trim().parse() {
                 Ok(n) => n,
                 Err(_) => return Ok(Err(HttpError::new(400, "bad Content-Length"))),
             };
+        } else if name.eq_ignore_ascii_case("connection") {
+            // Token list, case-insensitive; "close" anywhere wins.
+            let mut close = false;
+            for token in value.split(',') {
+                let token = token.trim();
+                if token.eq_ignore_ascii_case("keep-alive") {
+                    keep_alive = true;
+                } else if token.eq_ignore_ascii_case("close") {
+                    close = true;
+                }
+            }
+            if close {
+                keep_alive = false;
+            }
         }
     }
     if content_length > MAX_BODY_BYTES {
@@ -143,6 +168,7 @@ pub fn read_request(stream: &mut TcpStream) -> io::Result<Result<Request, HttpEr
         path: percent_decode(path),
         query,
         body,
+        keep_alive,
     }))
 }
 
@@ -200,17 +226,21 @@ fn percent_decode(s: &str) -> String {
 }
 
 /// Writes one response and flushes. `extra_headers` are appended verbatim
-/// after the standard set.
+/// after the standard set. `close` selects the `Connection` header: the
+/// connection loop passes `false` only when the client opted into
+/// keep-alive and the loop will actually serve another request.
 pub fn respond(
     stream: &mut TcpStream,
     status: u16,
     content_type: &str,
     extra_headers: &[(&str, &str)],
     body: &str,
+    close: bool,
 ) -> io::Result<()> {
     let reason = reason_phrase(status);
+    let connection = if close { "close" } else { "keep-alive" };
     let mut head = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n",
         body.len()
     );
     for (name, value) in extra_headers {
@@ -225,11 +255,13 @@ pub fn respond(
     stream.flush()
 }
 
-/// A JSON error body: `{"error": "..."}` with the given status.
+/// A JSON error body: `{"error": "..."}` with the given status. Error
+/// responses always close — after a refused request the framing on the
+/// connection is no longer trustworthy.
 pub fn respond_error(stream: &mut TcpStream, status: u16, message: &str) -> io::Result<()> {
     let body =
         serde_json::to_string(&serde_json::json!({ "error": message })).expect("error JSON") + "\n";
-    respond(stream, status, "application/json", &[], &body)
+    respond(stream, status, "application/json", &[], &body, true)
 }
 
 fn reason_phrase(status: u16) -> &'static str {

@@ -28,31 +28,45 @@
 //!   quarantines only that entry, which is rebuilt from immutable sources
 //!   and differentially checked before re-entering service (see
 //!   [`registry`]).
-//! * **QoS admission control** — a bounded worker pool takes connections
-//!   from a bounded accept queue; when the queue is full the acceptor
+//! * **QoS admission control** — connections are admitted onto a bounded
+//!   work-stealing [`Executor`] queue (the same scheduler that runs
+//!   intra-request typing epochs, so one pool serves both request-level
+//!   and intra-request parallelism); when the queue is full the acceptor
 //!   sheds load with `503` + `Retry-After` instead of buffering without
-//!   bound. Every engine call runs under the server-level per-request
-//!   [`Budget`].
+//!   bound. Admitted work outranks unadmitted connections: an engine's
+//!   budget-charged epoch tasks run before queued requests, so paid-for
+//!   work finishes first. Every engine call runs under the server-level
+//!   per-request [`Budget`].
+//! * **Keep-alive** — a client sending `Connection: keep-alive` gets up
+//!   to [`KEEPALIVE_MAX_REQUESTS`] requests on one connection, bounded by
+//!   a short idle timeout; during a drain the current response is
+//!   finished with `Connection: close` and the connection ends.
 //! * **Graceful drain** — SIGTERM (or [`ServerHandle::shutdown`]) stops
-//!   the acceptor, lets workers finish the queued requests, then joins
-//!   them; in-flight requests complete.
+//!   the acceptor, lets the pool finish the queued requests, then joins
+//!   it; in-flight requests complete.
 
 pub mod http;
 pub mod registry;
 
 use std::io;
+use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use serde_json::{json, to_string, Value};
-use shapex::{Budget, EngineConfig};
+use shapex::{Budget, EngineConfig, Executor};
 
-use http::{read_request, respond, respond_error, Request};
+use http::{read_request, respond, respond_error, Request, READ_TIMEOUT};
 use registry::Registry;
+
+/// Most requests served on one keep-alive connection before the server
+/// forces a close (bounds how long one client can monopolise pool time).
+pub const KEEPALIVE_MAX_REQUESTS: usize = 100;
+/// How long a keep-alive connection may sit idle between requests.
+pub const KEEPALIVE_IDLE: Duration = Duration::from_secs(2);
 
 /// Server tuning knobs; every limit is a hard bound.
 #[derive(Clone)]
@@ -118,7 +132,7 @@ pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     acceptor: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    executor: Option<Arc<Executor>>,
 }
 
 impl ServerHandle {
@@ -127,9 +141,9 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Requests a graceful drain and blocks until every worker has
-    /// finished: the acceptor stops taking connections, queued requests
-    /// complete, threads are joined.
+    /// Requests a graceful drain and blocks until the pool has finished:
+    /// the acceptor stops taking connections, queued requests complete,
+    /// threads are joined.
     pub fn shutdown(mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
         self.join_all();
@@ -144,15 +158,23 @@ impl ServerHandle {
         if let Some(a) = self.acceptor.take() {
             let _ = a.join();
         }
-        for w in self.workers.drain(..) {
-            let _ = w.join();
+        if let Some(exec) = self.executor.take() {
+            // Drains every queued connection before the threads exit; a
+            // registry still holding this executor degrades gracefully
+            // (engine runs fall back to inline execution).
+            exec.shutdown_and_join();
         }
     }
 }
 
 /// Starts the server on `config.addr`, returning once the socket is
-/// bound and the worker pool is up. The registry is shared — load entries
-/// before or after starting.
+/// bound and the request executor is up. The registry is shared — load
+/// entries before or after starting.
+///
+/// The [`Executor`] doubles as the typing scheduler: it is installed on
+/// the registry, which hands it to every entry's engine, so request
+/// handling and intra-request typing epochs share one pool. Pool threads
+/// get deep stacks because recursive-schema typing runs on them.
 pub fn start(config: ServerConfig, registry: Arc<Registry>) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
@@ -161,30 +183,22 @@ pub fn start(config: ServerConfig, registry: Arc<Registry>) -> io::Result<Server
     let shutdown = shutdown_flag();
     shutdown.store(false, Ordering::SeqCst);
     let stats = Arc::new(ServerStats::default());
-    let (tx, rx) = sync_channel::<TcpStream>(config.queue.max(1));
-    let rx = Arc::new(Mutex::new(rx));
-
-    let mut workers = Vec::with_capacity(config.workers.max(1));
-    for i in 0..config.workers.max(1) {
-        let rx = Arc::clone(&rx);
-        let registry = Arc::clone(&registry);
-        let stats = Arc::clone(&stats);
-        let config = config.clone();
-        let shutdown = Arc::clone(&shutdown);
-        workers.push(
-            std::thread::Builder::new()
-                .name(format!("shapex-worker-{i}"))
-                .spawn(move || worker_loop(&rx, &registry, &stats, &config, &shutdown))
-                .expect("spawning worker thread"),
-        );
-    }
+    let executor = Arc::new(Executor::new(
+        config.workers.max(1),
+        Some(512 << 20),
+        "shapex-server",
+    ));
+    registry.set_executor(Arc::clone(&executor));
 
     let acceptor = {
         let shutdown = Arc::clone(&shutdown);
         let stats = Arc::clone(&stats);
+        let executor = Arc::clone(&executor);
+        let registry = Arc::clone(&registry);
+        let config = config.clone();
         std::thread::Builder::new()
             .name("shapex-acceptor".to_string())
-            .spawn(move || accept_loop(listener, tx, &shutdown, &stats))
+            .spawn(move || accept_loop(listener, executor, registry, config, shutdown, stats))
             .expect("spawning acceptor thread")
     };
 
@@ -192,7 +206,7 @@ pub fn start(config: ServerConfig, registry: Arc<Registry>) -> io::Result<Server
         addr,
         shutdown,
         acceptor: Some(acceptor),
-        workers,
+        executor: Some(executor),
     })
 }
 
@@ -227,78 +241,119 @@ pub fn install_signal_handlers() {
     }
 }
 
-/// Accepts connections until shutdown. Admission control lives here: a
-/// full queue means the connection is answered `503` + `Retry-After` and
-/// closed — bounded memory under any load.
+/// Accepts connections until shutdown. Admission control lives here: the
+/// executor's normal-priority queue is capped at `config.queue`, and a
+/// refused submission means the connection is answered `503` +
+/// `Retry-After` and closed — bounded memory under any load. The stream
+/// rides in a shared slot so a refused job can hand it back for the shed
+/// response.
 fn accept_loop(
     listener: TcpListener,
-    tx: SyncSender<TcpStream>,
-    shutdown: &AtomicBool,
-    stats: &ServerStats,
+    executor: Arc<Executor>,
+    registry: Arc<Registry>,
+    config: ServerConfig,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<ServerStats>,
 ) {
+    let cap = config.queue.max(1);
     while !shutdown.load(Ordering::Relaxed) {
         match listener.accept() {
-            Ok((stream, _peer)) => match tx.try_send(stream) {
-                Ok(()) => {}
-                Err(TrySendError::Full(mut stream)) => {
+            Ok((stream, _peer)) => {
+                let slot = Arc::new(Mutex::new(Some(stream)));
+                let job: Box<dyn FnOnce() + Send> = {
+                    let slot = Arc::clone(&slot);
+                    let registry = Arc::clone(&registry);
+                    let stats = Arc::clone(&stats);
+                    let config = config.clone();
+                    let shutdown = Arc::clone(&shutdown);
+                    Box::new(move || {
+                        let taken = slot.lock().unwrap_or_else(|p| p.into_inner()).take();
+                        if let Some(stream) = taken {
+                            handle_connection(stream, &registry, &stats, &config, &shutdown);
+                        }
+                    })
+                };
+                if executor.try_submit(false, cap, job).is_err() {
                     stats.shed.fetch_add(1, Ordering::Relaxed);
-                    let _ = respond(
-                        &mut stream,
-                        503,
-                        "application/json",
-                        &[("Retry-After", "1")],
-                        &(to_string(&json!({"error": "server saturated, retry later"}))
-                            .expect("JSON")
-                            + "\n"),
-                    );
+                    let taken = slot.lock().unwrap_or_else(|p| p.into_inner()).take();
+                    if let Some(mut stream) = taken {
+                        let _ = respond(
+                            &mut stream,
+                            503,
+                            "application/json",
+                            &[("Retry-After", "1")],
+                            &(to_string(&json!({"error": "server saturated, retry later"}))
+                                .expect("JSON")
+                                + "\n"),
+                            true,
+                        );
+                    }
                 }
-                Err(TrySendError::Disconnected(_)) => return,
-            },
+            }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(20));
             }
             Err(_) => std::thread::sleep(Duration::from_millis(20)),
         }
     }
-    // Dropping `tx` disconnects the channel: workers drain what is queued
-    // and exit on the disconnect.
 }
 
-/// One worker: pull connections, parse, route, respond. Exits when the
-/// acceptor hangs up and the queue is drained.
-fn worker_loop(
-    rx: &Mutex<Receiver<TcpStream>>,
+/// One connection: parse, route, respond — repeatedly when the client
+/// opted into keep-alive. Exits on close, idle timeout, request cap,
+/// protocol error, or drain (the in-flight response is finished with
+/// `Connection: close` first).
+fn handle_connection(
+    stream: TcpStream,
     registry: &Registry,
     stats: &ServerStats,
     config: &ServerConfig,
     shutdown: &AtomicBool,
 ) {
-    loop {
-        let next = {
-            let guard = rx.lock().unwrap_or_else(|p| p.into_inner());
-            guard.recv()
+    let mut reader = BufReader::new(stream);
+    for served in 0..KEEPALIVE_MAX_REQUESTS {
+        let timeout = if served == 0 {
+            READ_TIMEOUT
+        } else {
+            KEEPALIVE_IDLE
         };
-        let Ok(mut stream) = next else {
-            return; // acceptor gone, queue drained
-        };
-        stats.requests.fetch_add(1, Ordering::Relaxed);
-        let request = match read_request(&mut stream) {
+        let _ = reader.get_ref().set_read_timeout(Some(timeout));
+        let request = match read_request(&mut reader) {
             Ok(Ok(r)) => r,
             Ok(Err(e)) => {
                 stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                let _ = respond_error(&mut stream, e.status, &e.message);
-                continue;
+                let _ = respond_error(reader.get_mut(), e.status, &e.message);
+                return;
             }
             Err(_) => {
-                stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                continue; // client vanished mid-request: nothing to answer
+                // On the first request the client vanished mid-request;
+                // on later ones a clean EOF or idle timeout is the normal
+                // end of a keep-alive conversation.
+                if served == 0 {
+                    stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                }
+                return;
             }
         };
-        let _ = route(&request, &mut stream, registry, stats, config, shutdown);
+        stats.requests.fetch_add(1, Ordering::Relaxed);
+        let draining = shutdown.load(Ordering::Relaxed);
+        let close = !request.keep_alive || draining || served + 1 == KEEPALIVE_MAX_REQUESTS;
+        let _ = route(
+            &request,
+            reader.get_mut(),
+            registry,
+            stats,
+            config,
+            shutdown,
+            close,
+        );
+        if close {
+            return;
+        }
     }
 }
 
-/// Dispatches one request.
+/// Dispatches one request. `close` is what the connection loop decided
+/// about persistence; it only shapes the `Connection` response header.
 fn route(
     request: &Request,
     stream: &mut TcpStream,
@@ -306,6 +361,7 @@ fn route(
     stats: &ServerStats,
     config: &ServerConfig,
     shutdown: &AtomicBool,
+    close: bool,
 ) -> io::Result<()> {
     let id = request.query_param("id").unwrap_or("default");
     match (request.method.as_str(), request.path.as_str()) {
@@ -321,6 +377,7 @@ fn route(
                 "application/json",
                 &[],
                 &(to_string(&json!({ "status": status })).expect("JSON") + "\n"),
+                close,
             )
         }
         ("GET", "/stats") => {
@@ -340,11 +397,11 @@ fn route(
             }))
             .expect("stats JSON")
                 + "\n";
-            respond(stream, 200, "application/json", &[], &body)
+            respond(stream, 200, "application/json", &[], &body, close)
         }
-        ("POST", "/validate") => api_respond(stream, registry.validate(id)),
-        ("POST", "/map") => api_respond(stream, registry.map(id, &request.body)),
-        ("POST", "/delta") => api_respond(stream, registry.delta(id, &request.body)),
+        ("POST", "/validate") => api_respond(stream, registry.validate(id), close),
+        ("POST", "/map") => api_respond(stream, registry.map(id, &request.body), close),
+        ("POST", "/delta") => api_respond(stream, registry.delta(id, &request.body), close),
         ("POST", "/load") => {
             let parsed: Result<Value, _> = serde_json::from_str(&request.body);
             let Ok(Value::Object(m)) = parsed else {
@@ -379,6 +436,7 @@ fn route(
                     "application/json",
                     &[],
                     &(to_string(&json!({ "loaded": id })).expect("JSON") + "\n"),
+                    close,
                 ),
                 Err(e) => respond_error(stream, 422, &e),
             }
@@ -391,7 +449,11 @@ fn route(
 /// Writes an [`registry::ApiResponse`], carrying the CLI-equivalent exit
 /// code in `X-Shapex-Exit` so report bodies stay byte-identical to CLI
 /// output.
-fn api_respond(stream: &mut TcpStream, response: registry::ApiResponse) -> io::Result<()> {
+fn api_respond(
+    stream: &mut TcpStream,
+    response: registry::ApiResponse,
+    close: bool,
+) -> io::Result<()> {
     let exit = response.exit.to_string();
     respond(
         stream,
@@ -399,5 +461,6 @@ fn api_respond(stream: &mut TcpStream, response: registry::ApiResponse) -> io::R
         "application/json",
         &[("X-Shapex-Exit", &exit)],
         &response.body,
+        close,
     )
 }

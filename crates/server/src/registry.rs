@@ -27,12 +27,12 @@
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
 use serde_json::{json, to_string, Value};
 
 use shapex::report::{finish_engine_doc, push_typing_rows, result_json, ReportDoc};
-use shapex::{Engine, EngineConfig};
+use shapex::{Engine, EngineConfig, Executor};
 use shapex_rdf::graph::Dataset;
 use shapex_rdf::{delta, ntriples, turtle};
 use shapex_shex::schema::Schema;
@@ -219,6 +219,10 @@ fn typing_report(slot: &mut Slot, jobs: usize) -> (String, ExitCode) {
 /// The registry of named entries plus service-level counters.
 pub struct Registry {
     entries: RwLock<HashMap<String, Entry>>,
+    /// The server's request executor, installed on every entry's engine so
+    /// intra-request typing epochs share the request pool instead of
+    /// spawning transient threads per epoch.
+    executor: RwLock<Option<Arc<Executor>>>,
     /// Requests that hit a quarantined (out-of-service) entry.
     pub refused_unhealthy: AtomicU64,
 }
@@ -228,8 +232,15 @@ impl Registry {
     pub fn new() -> Registry {
         Registry {
             entries: RwLock::new(HashMap::new()),
+            executor: RwLock::new(None),
             refused_unhealthy: AtomicU64::new(0),
         }
+    }
+
+    /// Installs the shared typing/request executor; engines pick it up on
+    /// their next call. Harmless to call more than once.
+    pub fn set_executor(&self, executor: Arc<Executor>) {
+        *self.executor.write().unwrap_or_else(|p| p.into_inner()) = Some(executor);
     }
 
     /// Registers `id` with schema and data sources, compiling its warm
@@ -364,6 +375,17 @@ impl Registry {
                 format!("entry '{id}' is quarantined"),
             ));
         }
+        // Hand the engine the shared pool (cheap: an Arc clone) so its
+        // parallel epochs run on the request executor. Re-done per call so
+        // rebuilt slots pick it up too.
+        if let Some(exec) = self
+            .executor
+            .read()
+            .unwrap_or_else(|p| p.into_inner())
+            .as_ref()
+        {
+            slot.engine.set_executor(Arc::clone(exec));
+        }
         match catch_unwind(AssertUnwindSafe(|| op(slot, entry.jobs))) {
             Ok(r) => Ok(r),
             Err(panic) => {
@@ -497,18 +519,39 @@ impl Registry {
                 let before = before_doc.finish((!before_typing.is_partial()).then_some(true));
 
                 // All-or-nothing apply: an injected mid-delta failure rolls
-                // the graph back before this returns.
-                if let Err(e) = slot.ds.try_apply_delta(&d) {
+                // the graph back before this returns. With jobs > 1 the
+                // invalidation plan (a read of the dependency index only,
+                // valid before or after the mutation) is computed
+                // concurrently with the graph mutation — the pipelined
+                // /delta path.
+                let (plan, applied) = if jobs > 1 {
+                    let engine = &slot.engine;
+                    let ds = &mut slot.ds;
+                    std::thread::scope(|s| {
+                        let planner = s.spawn(|| engine.plan_invalidation(&d));
+                        let applied = ds.try_apply_delta(&d);
+                        let plan = planner.join().expect("invalidation planner panicked");
+                        (plan, applied)
+                    })
+                } else {
+                    (
+                        slot.engine.plan_invalidation(&d),
+                        slot.ds.try_apply_delta(&d),
+                    )
+                };
+                if let Err(e) = applied {
                     return Err((500, e.to_string()));
                 }
-                let after_typing =
-                    match slot
-                        .engine
-                        .revalidate_par(&slot.ds.graph, &slot.ds.pool, &d, jobs)
-                    {
-                        Ok(t) => t,
-                        Err(e) => return Err((422, e.to_string())),
-                    };
+                let after_typing = match slot.engine.revalidate_par_planned(
+                    &slot.ds.graph,
+                    &slot.ds.pool,
+                    &d,
+                    plan,
+                    jobs,
+                ) {
+                    Ok(t) => t,
+                    Err(e) => return Err((422, e.to_string())),
+                };
                 // The delta is now part of the entry's durable state: record
                 // it so a quarantine rebuild replays it.
                 slot.deltas.push(delta_src.to_string());

@@ -401,6 +401,106 @@ fn reload_same_data_swaps_schema_warm() {
     handle.shutdown();
 }
 
+/// Reads exactly one response off a persistent connection, framing by
+/// `Content-Length` (unlike [`request`], which reads to EOF and therefore
+/// only works on `Connection: close` conversations).
+fn read_framed_response(stream: &mut TcpStream) -> Response {
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        let n = stream.read(&mut byte).expect("reading response header");
+        assert!(n > 0, "EOF mid-header after {} bytes", head.len());
+        head.push(byte[0]);
+    }
+    let head = String::from_utf8_lossy(&head).into_owned();
+    let mut lines = head.lines();
+    let status: u16 = lines
+        .next()
+        .expect("status line")
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let headers: Vec<(String, String)> = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.trim().to_string(), v.trim().to_string()))
+        .collect();
+    let length: usize = headers
+        .iter()
+        .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+        .map(|(_, v)| v.parse().expect("numeric Content-Length"))
+        .expect("Content-Length header");
+    let mut body = vec![0u8; length];
+    stream.read_exact(&mut body).expect("reading framed body");
+    Response {
+        status,
+        headers,
+        body: String::from_utf8_lossy(&body).into_owned(),
+    }
+}
+
+#[test]
+fn keep_alive_serves_multiple_requests_on_one_connection() {
+    let _guard = test_lock();
+    let handle = serve_fixture(local_config());
+    let mut stream = TcpStream::connect(handle.addr()).expect("connecting");
+
+    // Two keep-alive requests ride the same socket, each answered with
+    // `Connection: keep-alive` and the full CLI-identical report.
+    for _ in 0..2 {
+        stream
+            .write_all(
+                b"POST /validate HTTP/1.1\r\nHost: t\r\nConnection: keep-alive\r\nContent-Length: 0\r\n\r\n",
+            )
+            .expect("writing keep-alive request");
+        let response = read_framed_response(&mut stream);
+        assert_eq!(response.status, 200);
+        assert_eq!(response.header("Connection"), Some("keep-alive"));
+        assert_eq!(response.body, reference_report());
+    }
+
+    // A request *without* the opt-in header is answered with
+    // `Connection: close` and the server hangs up — the pre-keep-alive
+    // contract, unchanged for clients that read to EOF.
+    stream
+        .write_all(b"GET /health HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n")
+        .expect("writing final request");
+    let mut rest = String::new();
+    stream
+        .read_to_string(&mut rest)
+        .expect("reading to server-side close");
+    assert!(rest.contains(" 200 "), "final response: {rest}");
+    assert!(rest.contains("Connection: close"), "final response: {rest}");
+
+    handle.shutdown();
+}
+
+#[test]
+fn keep_alive_idle_connections_time_out() {
+    let _guard = test_lock();
+    let handle = serve_fixture(local_config());
+    let mut stream = TcpStream::connect(handle.addr()).expect("connecting");
+    stream
+        .write_all(
+            b"GET /health HTTP/1.1\r\nHost: t\r\nConnection: keep-alive\r\nContent-Length: 0\r\n\r\n",
+        )
+        .expect("writing request");
+    let response = read_framed_response(&mut stream);
+    assert_eq!(response.status, 200);
+    // Then go idle: the server must hang up on its own within the idle
+    // timeout instead of pinning a pool slot forever.
+    let mut rest = Vec::new();
+    stream
+        .set_read_timeout(Some(shapex_server::KEEPALIVE_IDLE * 4))
+        .unwrap();
+    let n = stream
+        .read_to_end(&mut rest)
+        .expect("awaiting server close");
+    assert_eq!(n, 0, "server should close an idle keep-alive connection");
+    handle.shutdown();
+}
+
 #[test]
 fn graceful_shutdown_drains() {
     let _guard = test_lock();
@@ -470,6 +570,48 @@ mod fail_inject {
         assert_eq!(entry.get("quarantines").and_then(|n| n.as_u64()), Some(1));
         assert_eq!(entry.get("rebuilds").and_then(|n| n.as_u64()), Some(1));
 
+        handle.shutdown();
+    }
+
+    /// A worker killed mid-epoch under the work-stealing scheduler
+    /// (`jobs: 2`, so typing runs as parallel epochs on the shared
+    /// request pool): the panic propagates off the pool thread to the
+    /// request, the entry quarantines, and the rebuild's differential
+    /// check — which types at the same `jobs` — still certifies a
+    /// byte-identical replacement.
+    #[test]
+    fn worker_killed_mid_steal_quarantines_and_rebuilds() {
+        let _guard = test_lock();
+        failpoint::reset();
+        let handle = serve_fixture(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            jobs: 2,
+            ..ServerConfig::default()
+        });
+
+        failpoint::set("typing-wave", Action::Panic, Some(1));
+        let hit = request(&handle, "POST", "/validate", "");
+        failpoint::reset();
+        assert_eq!(hit.status, 500, "body: {}", hit.body);
+        let v: serde_json::Value = serde_json::from_str(&hit.body).expect("panic JSON");
+        assert_eq!(v.get("quarantined").and_then(|b| b.as_bool()), Some(true));
+        assert_eq!(
+            v.get("rebuilt").and_then(|b| b.as_bool()),
+            Some(true),
+            "parallel rebuild must pass its differential check"
+        );
+
+        // The rebuilt engine serves the same typing as the sequential
+        // reference — scheduler jobs-invariance, observed end to end.
+        let recovered = request(&handle, "POST", "/validate", "");
+        assert_eq!(recovered.status, 200);
+        assert_eq!(typing_of(&recovered.body), typing_of(&reference_report()));
+
+        // And the pool survives the mid-epoch panic: further parallel
+        // requests are served normally.
+        let again = request(&handle, "POST", "/validate", "");
+        assert_eq!(again.status, 200);
+        assert_eq!(typing_of(&again.body), typing_of(&recovered.body));
         handle.shutdown();
     }
 

@@ -1,9 +1,12 @@
 //! `gen-nt` — write a UniProt-shaped N-Triples dump (and optionally its
 //! ShExC schema) to disk, for the scale benchmarks and CI smoke tests.
+//! With `--hub`, writes the skewed hub-fanout graph instead (one hub
+//! subject with N member arcs plus a Zipf fanout tail).
 //!
 //! ```text
 //! gen-nt --triples 1000000 --out dump.nt [--schema-out schema.shex] [--seed 42]
 //! gen-nt --entities 150000 --out dump.nt
+//! gen-nt --hub --entities 2000 --out hub.nt --schema-out hub.shex
 //! ```
 
 use std::process::ExitCode;
@@ -16,6 +19,7 @@ fn main() -> ExitCode {
     let mut seed: u64 = 42;
     let mut out: Option<String> = None;
     let mut schema_out: Option<String> = None;
+    let mut hub = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -35,10 +39,14 @@ fn main() -> ExitCode {
                 .map(|v| seed = v),
             "--out" => value("--out").map(|v| out = Some(v)),
             "--schema-out" => value("--schema-out").map(|v| schema_out = Some(v)),
+            "--hub" => {
+                hub = true;
+                Ok(())
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: gen-nt (--triples N | --entities N) --out FILE \
-                     [--schema-out FILE] [--seed N]"
+                     [--schema-out FILE] [--seed N] [--hub]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -50,9 +58,12 @@ fn main() -> ExitCode {
         }
     }
 
+    // A hub graph emits ≈4 triples per member (member arc, rdf:type,
+    // label, ~1 knows-arc on average); UniProt emits ≈7 per entity.
+    let per_entity = if hub { 4.0 } else { scale::TRIPLES_PER_ENTITY };
     let entities = match (entities, triples) {
         (Some(e), None) => e,
-        (None, Some(t)) => ((t as f64 / scale::TRIPLES_PER_ENTITY).ceil() as usize).max(1),
+        (None, Some(t)) => ((t as f64 / per_entity).ceil() as usize).max(1),
         _ => {
             eprintln!("gen-nt: exactly one of --entities or --triples is required");
             return ExitCode::from(2);
@@ -63,18 +74,28 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
 
-    let dump = scale::uniprot_ntriples(entities, seed);
+    let dump = if hub {
+        scale::hub_ntriples(entities, seed)
+    } else {
+        scale::uniprot_ntriples(entities, seed)
+    };
     let lines = dump.lines().count();
     if let Err(e) = std::fs::write(&out, &dump) {
         eprintln!("gen-nt: writing {out}: {e}");
         return ExitCode::FAILURE;
     }
     if let Some(path) = schema_out {
-        if let Err(e) = std::fs::write(&path, scale::uniprot_schema()) {
+        let schema = if hub {
+            scale::hub_schema()
+        } else {
+            scale::uniprot_schema()
+        };
+        if let Err(e) = std::fs::write(&path, schema) {
             eprintln!("gen-nt: writing {path}: {e}");
             return ExitCode::FAILURE;
         }
     }
-    println!("wrote {out}: {entities} entities, {lines} triples, seed {seed}");
+    let kind = if hub { "hub members" } else { "entities" };
+    println!("wrote {out}: {entities} {kind}, {lines} triples, seed {seed}");
     ExitCode::SUCCESS
 }

@@ -25,6 +25,9 @@
 //! * [`scale::uniprot`] — UniProt-shaped protein dumps at 1M–50M triples
 //!   for the ingestion benchmarks (E12), generated as N-Triples text and
 //!   fed through the real parser.
+//! * [`scale::hub`] — a skewed hub-fanout graph (one subject with N
+//!   outgoing arcs plus a Zipf-distributed fanout tail), the adversarial
+//!   load-imbalance shape for the parallel-scheduler benchmarks (E14).
 
 pub mod generators;
 pub mod scale;

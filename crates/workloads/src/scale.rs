@@ -110,6 +110,80 @@ pub fn uniprot(entities: usize, seed: u64) -> Workload {
     }
 }
 
+/// Hub-workload namespace.
+pub const HUB: &str = "http://example.org/hub/";
+
+/// Generates a *skewed* N-Triples graph: one hub subject carrying
+/// `members` outgoing `hub:member` arcs (plus its `rdf:type`), and
+/// `members` member entities with a Zipf-distributed `hub:knows` fanout
+/// tail — member `i` gets `≈ members / ((i+1)·H(members))` knows-arcs, so
+/// a handful of early members are themselves heavy while the long tail is
+/// cheap. This is the adversarial shape for fixed-shard scheduling: the
+/// shard that draws the hub (and the head of the tail) does nearly all
+/// the work while its peers idle at the wave barrier. Deterministic in
+/// `(members, seed)`.
+pub fn hub_ntriples(members: usize, seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = String::with_capacity(members.saturating_mul(160) + 64 * members);
+    let _ = writeln!(out, "<{HUB}hub> <{RDF_TYPE}> <{HUB}Hub> .");
+    for i in 0..members {
+        let _ = writeln!(out, "<{HUB}hub> <{HUB}member> <{HUB}m{i:06}> .");
+    }
+    // Harmonic normaliser: sum of the Zipf weights 1/(i+1), so the tail
+    // emits ≈ `members` knows-arcs in total.
+    let h: f64 = (1..=members).map(|k| 1.0 / k as f64).sum();
+    for i in 0..members {
+        let _ = writeln!(out, "<{HUB}m{i:06}> <{RDF_TYPE}> <{HUB}Member> .");
+        let _ = writeln!(out, "<{HUB}m{i:06}> <{HUB}label> \"member {i}\" .");
+        let fan = if members > 1 {
+            (members as f64 / ((i + 1) as f64 * h)).round() as usize
+        } else {
+            0
+        };
+        for _ in 0..fan {
+            let target = rng.gen_range(0..members);
+            let _ = writeln!(out, "<{HUB}m{i:06}> <{HUB}knows> <{HUB}m{target:06}> .");
+        }
+    }
+    out
+}
+
+/// The schema for [`hub_ntriples`]: checking the hub pulls in every
+/// member's verdict through `hub:member @<Member>+`, and the recursive
+/// `hub:knows @<Member>*` reference keeps the member checks coinductive —
+/// one (hub, Hub) mega-task plus a long tail of small tasks.
+pub fn hub_schema() -> String {
+    format!(
+        "PREFIX hub: <{HUB}>\n\
+         PREFIX rdf: <http://www.w3.org/1999/02/22-rdf-syntax-ns#>\n\
+         PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>\n\
+         <Hub> {{\n\
+         \x20 rdf:type [hub:Hub],\n\
+         \x20 hub:member @<Member>+\n\
+         }}\n\
+         <Member> {{\n\
+         \x20 rdf:type [hub:Member],\n\
+         \x20 hub:label xsd:string,\n\
+         \x20 hub:knows @<Member>*\n\
+         }}"
+    )
+}
+
+/// **E14** — the hub-fanout workload: every member is a focus node under
+/// `<Member>`, and all of them conform (as does the hub under `<Hub>`).
+pub fn hub(members: usize, seed: u64) -> Workload {
+    let nt = hub_ntriples(members, seed);
+    let dataset = ntriples::parse(&nt).expect("generated hub dump is valid N-Triples");
+    Workload {
+        name: format!("hub/n={members}"),
+        schema: hub_schema(),
+        dataset,
+        focus: (0..members).map(|i| format!("{HUB}m{i:06}")).collect(),
+        shape: "Member".to_string(),
+        expected: vec![true; members],
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,5 +220,40 @@ mod tests {
         assert_eq!(w.expected.len(), 25);
         assert!(w.dataset.iri(&w.focus[0]).is_some());
         assert!(w.dataset.iri(&w.focus[24]).is_some());
+    }
+
+    #[test]
+    fn hub_generation_is_deterministic_and_skewed() {
+        assert_eq!(hub_ntriples(60, 5), hub_ntriples(60, 5));
+        assert_ne!(hub_ntriples(60, 5), hub_ntriples(60, 6));
+        let ds = ntriples::parse(&hub_ntriples(100, 1)).unwrap();
+        // One hub arc per member, plus 2 triples/member and a Zipf tail of
+        // about `members` knows-arcs.
+        let len = ds.graph.len();
+        assert!(
+            (350..=450).contains(&len),
+            "expected ~1 + 100 + 200 + ~100 triples, got {len}"
+        );
+        // The knows fanout is front-loaded: member 0 carries a fat share.
+        let nt = hub_ntriples(100, 1);
+        let m0_knows = nt
+            .lines()
+            .filter(|l| l.starts_with(&format!("<{HUB}m000000> <{HUB}knows>")))
+            .count();
+        assert!(m0_knows >= 10, "Zipf head should be heavy, got {m0_knows}");
+    }
+
+    #[test]
+    fn hub_workload_parses_and_schema_compiles() {
+        let w = hub(40, 2);
+        assert_eq!(w.focus.len(), 40);
+        assert!(w.dataset.iri(&format!("{HUB}hub")).is_some());
+        assert!(w.dataset.iri(&w.focus[39]).is_some());
+        // Two shapes, parse-clean. (That every member actually conforms —
+        // and that typings are jobs-invariant on this skewed graph — is
+        // pinned by the root stats_parallel suite, which can afford the
+        // engine dependency.)
+        let schema = shapex_shex::shexc::parse(&w.schema).expect("hub schema parses");
+        assert_eq!(schema.len(), 2);
     }
 }

@@ -650,6 +650,77 @@ proptest! {
         }
     }
 
+    /// Both schedulers — fixed-shard waves and the work-stealing epoch
+    /// loop — produce byte-identical typings on recursive referencing
+    /// schemas, at every worker count. (The default-config arm of
+    /// `parallel_typing_matches_sequential` covers stealing; this pins the
+    /// A/B pair against each other and the sequential reference.)
+    #[test]
+    fn schedulers_agree_unbudgeted(
+        schema in arb_ref_schema(),
+        triples in arb_linked_graph()
+    ) {
+        let mut ds = build_linked(&triples);
+        let mut seq = Engine::new(&schema, &mut ds.pool).expect("compiles");
+        let sequential = seq.type_all(&ds.graph, &ds.pool);
+        for fixed_shard in [false, true] {
+            for jobs in [2usize, 4] {
+                let config = EngineConfig { fixed_shard, ..EngineConfig::default() };
+                let mut par = Engine::compile(&schema, &mut ds.pool, config).expect("compiles");
+                let parallel = par.type_all_par(&ds.graph, &ds.pool, jobs);
+                prop_assert_eq!(
+                    &sequential, &parallel,
+                    "fixed_shard={} jobs={} over {:?}", fixed_shard, jobs, triples
+                );
+            }
+        }
+    }
+
+    /// Under *joint* step + arena budgets, which pairs exhaust may differ
+    /// between schedulers (steal interleaving changes what the shared memo
+    /// holds when each query runs), but every pair answered by both the
+    /// sequential run and a parallel run must get the same verdict —
+    /// whichever scheduler and worker count produced it.
+    #[test]
+    fn schedulers_agree_under_joint_budgets(
+        schema in arb_ref_schema(),
+        triples in arb_linked_graph(),
+        steps in 8u64..200,
+        arena in 8usize..400
+    ) {
+        let budget = shapex::Budget::steps(steps).with_max_arena_nodes(arena);
+        let config = EngineConfig { budget, ..EngineConfig::default() };
+        let mut ds = build_linked(&triples);
+        let mut seq = Engine::compile(&schema, &mut ds.pool, config).expect("compiles");
+        let sequential = seq.type_all(&ds.graph, &ds.pool);
+        let ex_seq: std::collections::HashSet<_> =
+            sequential.exhausted.iter().map(|&(n, s, _)| (n, s)).collect();
+        for fixed_shard in [false, true] {
+            for jobs in [2usize, 4] {
+                let config = EngineConfig { budget, fixed_shard, ..EngineConfig::default() };
+                let mut par = Engine::compile(&schema, &mut ds.pool, config).expect("compiles");
+                let parallel = par.type_all_par(&ds.graph, &ds.pool, jobs);
+                let ex_par: std::collections::HashSet<_> =
+                    parallel.exhausted.iter().map(|&(n, s, _)| (n, s)).collect();
+                for node_iri in NODES {
+                    let node = ds.iri(node_iri).expect("interned");
+                    for label in ["S", "T"] {
+                        let shape = seq.shape_id(&label.into()).expect("shape exists");
+                        if ex_seq.contains(&(node, shape)) || ex_par.contains(&(node, shape)) {
+                            continue;
+                        }
+                        prop_assert_eq!(
+                            sequential.has(node, shape),
+                            parallel.has(node, shape),
+                            "fixed_shard={} jobs={}: verdicts diverge on {} @{} over {:?}",
+                            fixed_shard, jobs, node_iri, label, triples
+                        );
+                    }
+                }
+            }
+        }
+    }
+
     /// Under a small per-query budget, *which* pairs exhaust may differ
     /// between the sequential and parallel runs (memo seeding changes how
     /// much work each query needs), but every pair answered by both must
@@ -688,6 +759,38 @@ proptest! {
                         jobs, node_iri, label, triples
                     );
                 }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Jobs-invariance on hub-skewed graphs: the workload where stealing
+    /// actually fires (one mega-task, a Zipf tail) must still produce
+    /// typings byte-identical to the sequential run under both schedulers,
+    /// across random sizes and seeds.
+    #[test]
+    fn hub_skew_typing_jobs_invariant(
+        members in 10usize..60,
+        seed in 0u64..1_000
+    ) {
+        let w = shapex_workloads::scale::hub(members, seed);
+        let schema = shapex_shex::shexc::parse(&w.schema).expect("hub schema parses");
+        let mut ds = w.dataset;
+        let mut seq = Engine::new(&schema, &mut ds.pool).expect("compiles");
+        let sequential = seq.type_all(&ds.graph, &ds.pool);
+        for fixed_shard in [false, true] {
+            for jobs in [2usize, 4] {
+                let config = EngineConfig { fixed_shard, ..EngineConfig::default() };
+                let mut par = Engine::compile(&schema, &mut ds.pool, config).expect("compiles");
+                let parallel = par.type_all_par(&ds.graph, &ds.pool, jobs);
+                prop_assert_eq!(
+                    &sequential, &parallel,
+                    "hub(members={}, seed={}) fixed_shard={} jobs={}",
+                    members, seed, fixed_shard, jobs
+                );
             }
         }
     }

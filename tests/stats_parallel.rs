@@ -200,6 +200,101 @@ fn dfa_typing_jobs_invariant_and_matches_no_dfa() {
 }
 
 #[test]
+fn hub_typing_jobs_and_scheduler_invariant() {
+    // The adversarial shape for fixed sharding: one (hub, Hub) mega-task
+    // whose proof transitively decides every member, plus a Zipf fanout
+    // tail. Whatever the scheduler does — fixed shards or work-stealing
+    // with mid-epoch publication — the typing must be byte-identical to
+    // the sequential run at every worker count.
+    let w = shapex_workloads::scale::hub(120, 9);
+    let schema = shexc::parse(&w.schema).expect("hub schema parses");
+    let mut ds = w.dataset;
+    let mut seq =
+        Engine::compile(&schema, &mut ds.pool, EngineConfig::default()).expect("compiles");
+    let reference = seq.type_all(&ds.graph, &ds.pool);
+    let hub_node = ds
+        .iri(&format!("{}hub", shapex_workloads::scale::HUB))
+        .expect("hub interned");
+    let hub_shape = seq.shape_id(&"Hub".into()).expect("Hub shape");
+    let member_shape = seq.shape_id(&"Member".into()).expect("Member shape");
+    assert!(reference.has(hub_node, hub_shape), "hub must conform");
+    for focus in &w.focus {
+        let node = ds.iri(focus).expect("member interned");
+        assert!(reference.has(node, member_shape), "{focus} must conform");
+    }
+    for fixed_shard in [false, true] {
+        for jobs in [1usize, 2, 4] {
+            let config = EngineConfig {
+                fixed_shard,
+                ..EngineConfig::default()
+            };
+            let mut par = Engine::compile(&schema, &mut ds.pool, config).expect("compiles");
+            let typing = par.type_all_par(&ds.graph, &ds.pool, jobs);
+            assert_eq!(
+                typing, reference,
+                "typing diverged at jobs={jobs}, fixed_shard={fixed_shard}"
+            );
+        }
+    }
+}
+
+#[test]
+fn hub_wave_accounting_is_consistent() {
+    // Pins the wave-metrics split this refactor fixed: `memo_answered`
+    // (verdicts memoised before the run) is disjoint from
+    // `merged_answered` (verdicts another worker proved earlier in THIS
+    // run), and together with `dispatched` they tile the window exactly.
+    // On a fresh engine nothing predates the run, so the hub's cascade —
+    // which decides every member while epoch 1 is still running — must
+    // show up as `merged_answered`, not `memo_answered`.
+    let w = shapex_workloads::scale::hub(300, 3);
+    let schema = shexc::parse(&w.schema).expect("hub schema parses");
+    let mut ds = w.dataset;
+    let config = EngineConfig {
+        metrics: true,
+        ..EngineConfig::default()
+    };
+    let mut engine = Engine::compile(&schema, &mut ds.pool, config).expect("compiles");
+    // jobs=2 keeps the epoch window (2 × 256) below the 602-query run, so
+    // a second epoch exists to observe the first epoch's merged verdicts.
+    let typing = engine.type_all_par(&ds.graph, &ds.pool, 2);
+    assert!(!typing.is_partial());
+    let metrics = engine.metrics().expect("metrics enabled");
+    assert!(metrics.waves.len() >= 2, "expected multiple epochs");
+    let mut merged_total = 0;
+    for (i, wave) in metrics.waves.iter().enumerate() {
+        assert_eq!(
+            wave.memo_answered + wave.merged_answered + wave.dispatched,
+            wave.queries,
+            "epoch {i}: answered + dispatched must tile the window"
+        );
+        assert_eq!(
+            wave.memo_answered, 0,
+            "epoch {i}: fresh engine has no pre-run memo verdicts"
+        );
+        assert_eq!(
+            wave.steals,
+            wave.shards.iter().map(|s| s.steals).sum::<u64>(),
+            "epoch {i}: wave steal total must equal the shard sum"
+        );
+        assert_eq!(
+            wave.published,
+            wave.shards.iter().map(|s| s.published).sum::<u64>(),
+            "epoch {i}: wave published total must equal the shard sum"
+        );
+        merged_total += wave.merged_answered;
+    }
+    assert!(
+        merged_total > 0,
+        "the hub cascade should answer later epochs' queries via merge"
+    );
+    assert!(
+        metrics.waves.iter().map(|w| w.published).sum::<u64>() > 0,
+        "workers should publish unconditional verdicts mid-epoch"
+    );
+}
+
+#[test]
 fn exhausted_queries_burn_exactly_their_budget() {
     // The determinism the jobs-invariance rests on: every exhausted query
     // spends exactly `limit` steps, so budget_steps == exhausted × limit
