@@ -110,6 +110,20 @@ USAGE:
       full typing (every subject × every shape); use --node/--shape to
       check one pair, or --map to drive validation from a shape map.
       --engine derivative|backtracking   validation algorithm (default: derivative)
+      --shacl SHAPES [DATA]              SHACL Core mode: read SHAPES as a SHACL
+                                         shapes graph (Turtle, or N-Triples for .nt),
+                                         compile it onto the derivative engine
+                                         (DESIGN.md §5h), and validate the data graph
+                                         from the shapes' targets. Emits a
+                                         sh:ValidationReport-shaped document with
+                                         --report json (byte-identical to the server's
+                                         /validate for a shacl entry), a per-result
+                                         text listing otherwise. Unsupported SHACL
+                                         terms are compile errors (E001..E008; exit 1),
+                                         never silently ignored. Incompatible with
+                                         --node/--shape/--map/--trace/--delta and
+                                         --engine backtracking; the closure is always
+                                         open (--open is redundant)
       --node IRI                         focus node to check
       --shape NAME                       shape label to check against
       --map FILE                         shape map of node@<Shape> associations
@@ -266,7 +280,20 @@ fn parse_flags<'a>(it: impl Iterator<Item = &'a str>) -> Result<Flags, String> {
         let Some(name) = arg.strip_prefix("--") else {
             return Err(format!("unexpected argument '{arg}'"));
         };
-        if name == "trace" {
+        if name == "shacl" {
+            // `--shacl SHAPES [DATA]` names the shapes graph and,
+            // optionally, the data graph positionally (the data file can
+            // also come via the usual --data flag).
+            let shapes = it
+                .next()
+                .filter(|v| !v.starts_with("--"))
+                .ok_or("--shacl SHAPES [DATA] needs a shapes-graph file")?;
+            flags.values.push(("shacl".to_string(), shapes.to_string()));
+            if it.peek().is_some_and(|v| !v.starts_with("--")) {
+                let data = it.next().expect("peeked");
+                flags.values.push(("data".to_string(), data.to_string()));
+            }
+        } else if name == "trace" {
             // `--trace NODE SHAPE` takes the focus pair positionally; bare
             // `--trace` (paired with --node/--shape) is still accepted.
             if it.peek().is_some_and(|v| !v.starts_with("--")) {
@@ -532,6 +559,7 @@ fn serve(flags: &Flags) -> Result<String, CliError> {
         .load(
             "default",
             schema_src,
+            shapex_server::registry::SchemaFormat::Shex,
             data_src,
             shapex_server::registry::DataFormat::from_path(data_path),
             config.engine_config(),
@@ -548,7 +576,86 @@ fn serve(flags: &Flags) -> Result<String, CliError> {
     Ok(String::new())
 }
 
+/// The `validate --shacl` mode: parse the shapes graph as ordinary RDF,
+/// compile it onto the derivative engine (DESIGN.md §5h), validate, and
+/// emit a `sh:ValidationReport`-shaped document. Exit codes are the
+/// standard validator contract: 0 conforms, 1 error (including every
+/// unsupported-term compile error), 2 does not conform, 3 exhausted.
+fn validate_shacl(flags: &Flags) -> Result<String, CliError> {
+    for bad in ["schema", "map", "node", "shape", "delta"] {
+        if flags.get(bad).is_some() {
+            return Err(CliError::Msg(format!(
+                "--shacl drives validation from the shapes graph's targets; \
+                 it cannot be combined with --{bad}"
+            )));
+        }
+    }
+    if flags.has("trace") {
+        return Err(CliError::Msg(
+            "--shacl cannot be combined with --trace (trace a compiled shape \
+             by label on the ShEx path instead)"
+                .into(),
+        ));
+    }
+    if flags.get("engine").is_some_and(|e| e != "derivative") {
+        return Err(CliError::Msg(
+            "--shacl always runs on the derivative engine".into(),
+        ));
+    }
+    let shapes_path = flags.get("shacl").expect("dispatched on --shacl");
+    let shapes_src =
+        fs::read_to_string(shapes_path).map_err(|e| format!("reading {shapes_path}: {e}"))?;
+    let shapes = if shapes_path.ends_with(".nt") {
+        ntriples::parse(&shapes_src).map_err(|e| format!("{shapes_path}:{e}"))?
+    } else {
+        turtle::parse(&shapes_src).map_err(|e| format!("{shapes_path}:{e}"))?
+    };
+    let (mut ds, skipped) = load_data(flags)?;
+    let report = report_from_flags(flags)?;
+    let config = EngineConfig {
+        // The per-path SHACL translation is only correct under the open
+        // closure; the validator forces it regardless of --open.
+        closure: Closure::Open,
+        no_sorbe: flags.has("no-sorbe"),
+        no_dfa: flags.has("no-dfa"),
+        prune: flags.has("prune"),
+        fixed_shard: flags.has("fixed-shard"),
+        budget: budget_from_flags(flags)?,
+        metrics: report,
+        ..EngineConfig::default()
+    };
+    let schema = shapex_shacl::compile(&shapes)
+        .map_err(|e| CliError::Msg(format!("{shapes_path}: {e}")))?;
+    let mut validator = shapex_shacl::ShaclValidator::new(schema, &mut ds.pool, config)
+        .map_err(|e| CliError::Msg(e.to_string()))?;
+    let outcome = validator.validate_par(&mut ds, jobs_from_flags(flags)?);
+    let mut output = if report {
+        shapex_shacl::shacl_report(&outcome, validator.engine())
+    } else {
+        let mut out = String::new();
+        if skipped > 0 {
+            let _ = writeln!(out, "lenient: skipped {skipped} malformed statement(s)");
+        }
+        out.push_str(&shapex_shacl::render_text(&outcome));
+        out
+    };
+    if !report && flags.has("stats") {
+        let _ = writeln!(output, "stats: {}", validator.engine().stats());
+    }
+    match outcome.conforms() {
+        Some(true) => Ok(output),
+        Some(false) => Err(CliError::NonConforming { output }),
+        None => Err(CliError::Exhausted {
+            exhaustion: outcome.exhausted[0].exhaustion,
+            output,
+        }),
+    }
+}
+
 fn validate(flags: &Flags) -> Result<String, CliError> {
+    if flags.get("shacl").is_some() {
+        return validate_shacl(flags);
+    }
     let schema = load_schema(flags)?;
     let (mut ds, skipped) = load_data(flags)?;
     let budget = budget_from_flags(flags)?;

@@ -26,6 +26,8 @@ pub mod rdfs {
     pub const COMMENT: &str = "http://www.w3.org/2000/01/rdf-schema#comment";
     /// The `Sub Class Of` term.
     pub const SUB_CLASS_OF: &str = "http://www.w3.org/2000/01/rdf-schema#subClassOf";
+    /// The `Class` term (SHACL's implicit-class-target marker).
+    pub const CLASS: &str = "http://www.w3.org/2000/01/rdf-schema#Class";
 }
 
 /// XML Schema datatypes, the value spaces the paper's node constraints draw
@@ -97,6 +99,124 @@ pub mod foaf {
     pub const PERSON: &str = "http://xmlns.com/foaf/0.1/Person";
 }
 
+/// SHACL Core vocabulary, consumed by the `shapex-shacl` front-end.
+pub mod sh {
+    /// The namespace IRI.
+    pub const NS: &str = "http://www.w3.org/ns/shacl#";
+    /// The `NodeShape` class.
+    pub const NODE_SHAPE: &str = "http://www.w3.org/ns/shacl#NodeShape";
+    /// The `PropertyShape` class.
+    pub const PROPERTY_SHAPE: &str = "http://www.w3.org/ns/shacl#PropertyShape";
+    /// The `property` term.
+    pub const PROPERTY: &str = "http://www.w3.org/ns/shacl#property";
+    /// The `path` term.
+    pub const PATH: &str = "http://www.w3.org/ns/shacl#path";
+    /// The `inversePath` term.
+    pub const INVERSE_PATH: &str = "http://www.w3.org/ns/shacl#inversePath";
+    /// The `targetClass` term.
+    pub const TARGET_CLASS: &str = "http://www.w3.org/ns/shacl#targetClass";
+    /// The `targetNode` term.
+    pub const TARGET_NODE: &str = "http://www.w3.org/ns/shacl#targetNode";
+    /// The `targetSubjectsOf` term.
+    pub const TARGET_SUBJECTS_OF: &str = "http://www.w3.org/ns/shacl#targetSubjectsOf";
+    /// The `targetObjectsOf` term.
+    pub const TARGET_OBJECTS_OF: &str = "http://www.w3.org/ns/shacl#targetObjectsOf";
+    /// The `minCount` term.
+    pub const MIN_COUNT: &str = "http://www.w3.org/ns/shacl#minCount";
+    /// The `maxCount` term.
+    pub const MAX_COUNT: &str = "http://www.w3.org/ns/shacl#maxCount";
+    /// The `datatype` term.
+    pub const DATATYPE: &str = "http://www.w3.org/ns/shacl#datatype";
+    /// The `nodeKind` term.
+    pub const NODE_KIND: &str = "http://www.w3.org/ns/shacl#nodeKind";
+    /// The `IRI` node kind.
+    pub const IRI: &str = "http://www.w3.org/ns/shacl#IRI";
+    /// The `BlankNode` node kind.
+    pub const BLANK_NODE: &str = "http://www.w3.org/ns/shacl#BlankNode";
+    /// The `Literal` node kind.
+    pub const LITERAL: &str = "http://www.w3.org/ns/shacl#Literal";
+    /// The `BlankNodeOrIRI` node kind.
+    pub const BLANK_NODE_OR_IRI: &str = "http://www.w3.org/ns/shacl#BlankNodeOrIRI";
+    /// The `BlankNodeOrLiteral` node kind.
+    pub const BLANK_NODE_OR_LITERAL: &str = "http://www.w3.org/ns/shacl#BlankNodeOrLiteral";
+    /// The `IRIOrLiteral` node kind.
+    pub const IRI_OR_LITERAL: &str = "http://www.w3.org/ns/shacl#IRIOrLiteral";
+    /// The `class` term.
+    pub const CLASS: &str = "http://www.w3.org/ns/shacl#class";
+    /// The `node` term.
+    pub const NODE: &str = "http://www.w3.org/ns/shacl#node";
+    /// The `in` term.
+    pub const IN: &str = "http://www.w3.org/ns/shacl#in";
+    /// The `hasValue` term.
+    pub const HAS_VALUE: &str = "http://www.w3.org/ns/shacl#hasValue";
+    /// The `pattern` term.
+    pub const PATTERN: &str = "http://www.w3.org/ns/shacl#pattern";
+    /// The `flags` term.
+    pub const FLAGS: &str = "http://www.w3.org/ns/shacl#flags";
+    /// The `minLength` term.
+    pub const MIN_LENGTH: &str = "http://www.w3.org/ns/shacl#minLength";
+    /// The `maxLength` term.
+    pub const MAX_LENGTH: &str = "http://www.w3.org/ns/shacl#maxLength";
+    /// The `languageIn` term.
+    pub const LANGUAGE_IN: &str = "http://www.w3.org/ns/shacl#languageIn";
+    /// The `minInclusive` term.
+    pub const MIN_INCLUSIVE: &str = "http://www.w3.org/ns/shacl#minInclusive";
+    /// The `minExclusive` term.
+    pub const MIN_EXCLUSIVE: &str = "http://www.w3.org/ns/shacl#minExclusive";
+    /// The `maxInclusive` term.
+    pub const MAX_INCLUSIVE: &str = "http://www.w3.org/ns/shacl#maxInclusive";
+    /// The `maxExclusive` term.
+    pub const MAX_EXCLUSIVE: &str = "http://www.w3.org/ns/shacl#maxExclusive";
+    /// The `and` term.
+    pub const AND: &str = "http://www.w3.org/ns/shacl#and";
+    /// The `or` term.
+    pub const OR: &str = "http://www.w3.org/ns/shacl#or";
+    /// The `not` term.
+    pub const NOT: &str = "http://www.w3.org/ns/shacl#not";
+    /// The `xone` term.
+    pub const XONE: &str = "http://www.w3.org/ns/shacl#xone";
+    /// The `closed` term.
+    pub const CLOSED: &str = "http://www.w3.org/ns/shacl#closed";
+    /// The `ignoredProperties` term.
+    pub const IGNORED_PROPERTIES: &str = "http://www.w3.org/ns/shacl#ignoredProperties";
+    /// The `deactivated` term.
+    pub const DEACTIVATED: &str = "http://www.w3.org/ns/shacl#deactivated";
+    /// The `severity` term.
+    pub const SEVERITY: &str = "http://www.w3.org/ns/shacl#severity";
+    /// The `message` term.
+    pub const MESSAGE: &str = "http://www.w3.org/ns/shacl#message";
+    /// The `Violation` severity.
+    pub const VIOLATION: &str = "http://www.w3.org/ns/shacl#Violation";
+    /// The `name`/`description` annotation terms (ignored, never errors).
+    pub const NAME: &str = "http://www.w3.org/ns/shacl#name";
+    /// The `description` annotation term.
+    pub const DESCRIPTION: &str = "http://www.w3.org/ns/shacl#description";
+    /// The `order` annotation term.
+    pub const ORDER: &str = "http://www.w3.org/ns/shacl#order";
+    /// The `group` annotation term.
+    pub const GROUP: &str = "http://www.w3.org/ns/shacl#group";
+    /// The `defaultValue` annotation term.
+    pub const DEFAULT_VALUE: &str = "http://www.w3.org/ns/shacl#defaultValue";
+    /// The `uniqueLang` term (unsupported by the compiler).
+    pub const UNIQUE_LANG: &str = "http://www.w3.org/ns/shacl#uniqueLang";
+    /// The `equals` term (unsupported by the compiler).
+    pub const EQUALS: &str = "http://www.w3.org/ns/shacl#equals";
+    /// The `disjoint` term (unsupported by the compiler).
+    pub const DISJOINT: &str = "http://www.w3.org/ns/shacl#disjoint";
+    /// The `lessThan` term (unsupported by the compiler).
+    pub const LESS_THAN: &str = "http://www.w3.org/ns/shacl#lessThan";
+    /// The `lessThanOrEquals` term (unsupported by the compiler).
+    pub const LESS_THAN_OR_EQUALS: &str = "http://www.w3.org/ns/shacl#lessThanOrEquals";
+    /// The `qualifiedValueShape` term (unsupported by the compiler).
+    pub const QUALIFIED_VALUE_SHAPE: &str = "http://www.w3.org/ns/shacl#qualifiedValueShape";
+    /// The `qualifiedMinCount` term (unsupported by the compiler).
+    pub const QUALIFIED_MIN_COUNT: &str = "http://www.w3.org/ns/shacl#qualifiedMinCount";
+    /// The `qualifiedMaxCount` term (unsupported by the compiler).
+    pub const QUALIFIED_MAX_COUNT: &str = "http://www.w3.org/ns/shacl#qualifiedMaxCount";
+    /// The `sparql` term (SHACL-SPARQL; unsupported by the compiler).
+    pub const SPARQL: &str = "http://www.w3.org/ns/shacl#sparql";
+}
+
 /// Default prefix table offered by the parsers' convenience constructors.
 pub fn well_known_prefixes() -> Vec<(&'static str, &'static str)> {
     vec![
@@ -104,6 +224,7 @@ pub fn well_known_prefixes() -> Vec<(&'static str, &'static str)> {
         ("rdfs", rdfs::NS),
         ("xsd", xsd::NS),
         ("foaf", foaf::NS),
+        ("sh", sh::NS),
     ]
 }
 
@@ -115,6 +236,7 @@ mod tests {
         assert!(super::rdf::TYPE.starts_with(super::rdf::NS));
         assert!(super::foaf::KNOWS.starts_with(super::foaf::NS));
         assert!(super::rdfs::LABEL.starts_with(super::rdfs::NS));
+        assert!(super::sh::MIN_COUNT.starts_with(super::sh::NS));
     }
 
     #[test]

@@ -16,11 +16,17 @@
 //! | `POST /validate?id=G`  | —                | full-typing report, byte-identical to `validate --report json` |
 //! | `POST /map?id=G`       | shape-map text   | per-association report (CLI `--map --report json`) |
 //! | `POST /delta?id=G`     | delta-file text  | before/after report (CLI `--delta --report json`) |
-//! | `POST /load?id=G`      | JSON `{schema, data}` | registers/replaces entry `G` |
+//! | `POST /load?id=G`      | JSON `{schema, data, schema_format?}` | registers/replaces entry `G` |
 //!
 //! `id` defaults to `default`. Report responses carry the CLI-equivalent
 //! exit code in an `X-Shapex-Exit` header (0 ok, 2 non-conformant, 3
 //! exhausted) so the body can stay byte-identical to CLI output.
+//!
+//! `schema_format` is `"shex"` (default) or `"shacl"`. A SHACL entry
+//! serves `/validate` with the `sh:ValidationReport` document of
+//! `validate --shacl --report json`, byte for byte; `/map` and `/delta`
+//! answer 422 on it, and unsupported SHACL terms are refused at `/load`
+//! (DESIGN.md §5h).
 //!
 //! ## Robustness model
 //!
@@ -422,9 +428,21 @@ fn route(
                     Err(e) => return respond_error(stream, 422, &e),
                 },
             };
+            // Optional "schema_format": "shex" (default) or "shacl" — the
+            // latter treats `schema` as a SHACL Core shapes graph in
+            // Turtle, compiled onto the derivative engine. Unsupported
+            // SHACL terms fail the load with 422, never validate silently.
+            let schema_format = match m.get("schema_format").and_then(Value::as_str) {
+                None => registry::SchemaFormat::Shex,
+                Some(name) => match registry::SchemaFormat::from_name(name) {
+                    Ok(f) => f,
+                    Err(e) => return respond_error(stream, 422, &e),
+                },
+            };
             match registry.load(
                 id,
                 schema.to_string(),
+                schema_format,
                 data.to_string(),
                 format,
                 config.engine_config(),

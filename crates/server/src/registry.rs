@@ -70,6 +70,33 @@ impl ApiResponse {
     }
 }
 
+/// Language of an entry's schema source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchemaFormat {
+    /// ShExC compact syntax (the default).
+    #[default]
+    Shex,
+    /// A SHACL Core shapes graph in Turtle, compiled onto the derivative
+    /// engine (DESIGN.md §5h). Entries in this format serve
+    /// `sh:ValidationReport`-shaped `/validate` documents, byte-identical
+    /// to `shapex validate --shacl --report json`; `/map` and `/delta`
+    /// are refused with 422.
+    Shacl,
+}
+
+impl SchemaFormat {
+    /// Parses a client-supplied schema format name.
+    pub fn from_name(name: &str) -> Result<SchemaFormat, String> {
+        match name {
+            "shex" => Ok(SchemaFormat::Shex),
+            "shacl" => Ok(SchemaFormat::Shacl),
+            other => Err(format!(
+                "unknown schema format '{other}' (expected 'shex' or 'shacl')"
+            )),
+        }
+    }
+}
+
 /// Input format of an entry's data source.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum DataFormat {
@@ -107,7 +134,7 @@ impl DataFormat {
 /// The warm, mutable half of an entry. Discarded wholesale on panic.
 struct Slot {
     ds: Dataset,
-    engine: Engine,
+    kind: SlotKind,
     /// Applied delta texts, in application order — with the schema and
     /// data sources, this reconstructs the exact current state.
     deltas: Vec<String>,
@@ -115,9 +142,36 @@ struct Slot {
     healthy: bool,
 }
 
+/// The engine half of a slot, by schema language.
+enum SlotKind {
+    /// A ShEx entry: the bare engine, driven by the typing endpoints.
+    Shex(Engine),
+    /// A SHACL entry: the engine wrapped in the target-selection /
+    /// verdict-logic front end (boxed: the validator carries the compiled
+    /// front-end schema alongside the engine).
+    Shacl(Box<shapex_shacl::ShaclValidator>),
+}
+
+impl SlotKind {
+    fn engine(&self) -> &Engine {
+        match self {
+            SlotKind::Shex(engine) => engine,
+            SlotKind::Shacl(v) => v.engine(),
+        }
+    }
+
+    fn engine_mut(&mut self) -> &mut Engine {
+        match self {
+            SlotKind::Shex(engine) => engine,
+            SlotKind::Shacl(v) => v.engine_mut(),
+        }
+    }
+}
+
 /// One named validation context.
 struct Entry {
     schema_src: String,
+    schema_format: SchemaFormat,
     data_src: String,
     format: DataFormat,
     config: EngineConfig,
@@ -131,14 +185,13 @@ struct Entry {
 /// the delta log. Any failure is reported, not panicked.
 fn build_slot(
     schema_src: &str,
+    schema_format: SchemaFormat,
     data_src: &str,
     format: DataFormat,
     jobs: usize,
     deltas: &[String],
     config: EngineConfig,
 ) -> Result<Slot, String> {
-    let schema: Schema =
-        shapex_shex::shexc::parse(schema_src).map_err(|e| format!("schema: {e}"))?;
     let mut ds = match format {
         DataFormat::Turtle => turtle::parse(data_src).map_err(|e| format!("data: {e}"))?,
         DataFormat::NTriples => {
@@ -151,10 +204,29 @@ fn build_slot(
         ds.try_apply_delta(&d)
             .map_err(|e| format!("replaying delta {i}: {e}"))?;
     }
-    let engine = Engine::compile(&schema, &mut ds.pool, config).map_err(|e| e.to_string())?;
+    let kind = match schema_format {
+        SchemaFormat::Shex => {
+            let schema: Schema =
+                shapex_shex::shexc::parse(schema_src).map_err(|e| format!("schema: {e}"))?;
+            let engine =
+                Engine::compile(&schema, &mut ds.pool, config).map_err(|e| e.to_string())?;
+            SlotKind::Shex(engine)
+        }
+        SchemaFormat::Shacl => {
+            // A shapes graph is ordinary RDF: parse with the Turtle front
+            // end, compile onto the engine. Unsupported SHACL terms fail
+            // here — at load — never at request time.
+            let shapes = turtle::parse(schema_src).map_err(|e| format!("schema: {e}"))?;
+            let compiled =
+                shapex_shacl::compile(&shapes).map_err(|e| format!("schema: {e}"))?;
+            let validator = shapex_shacl::ShaclValidator::new(compiled, &mut ds.pool, config)
+                .map_err(|e| format!("schema: {e}"))?;
+            SlotKind::Shacl(Box::new(validator))
+        }
+    };
     Ok(Slot {
         ds,
-        engine,
+        kind,
         deltas: deltas.to_vec(),
         healthy: true,
     })
@@ -171,6 +243,9 @@ fn warm_swap(
     mut slot: Slot,
     config: EngineConfig,
 ) -> Result<Slot, (Box<Slot>, String)> {
+    let SlotKind::Shex(old_engine) = &slot.kind else {
+        return Err((Box::new(slot), "warm swap is ShEx-only".to_string()));
+    };
     let new_schema: Schema = match shapex_shex::shexc::parse(new_schema_src) {
         Ok(s) => s,
         Err(e) => return Err((Box::new(slot), format!("schema: {e}"))),
@@ -190,30 +265,40 @@ fn warm_swap(
             config.closure,
             &config.budget,
         ) {
-            engine.transplant_verdicts(&slot.engine, &diff.reusable);
+            engine.transplant_verdicts(old_engine, &diff.reusable);
         }
     }
-    slot.engine = engine;
+    slot.kind = SlotKind::Shex(engine);
     Ok(slot)
 }
 
-/// The full-typing report of a slot, built exactly the way the CLI builds
-/// `validate --report json` output — the byte-identity contract.
+/// The validation report of a slot, built exactly the way the CLI builds
+/// `validate --report json` output — the byte-identity contract. ShEx
+/// entries emit the full-typing document; SHACL entries emit the
+/// `sh:ValidationReport`-shaped document of `validate --shacl`.
 fn typing_report(slot: &mut Slot, jobs: usize) -> (String, ExitCode) {
-    let typing = slot
-        .engine
-        .type_all_par(&slot.ds.graph, &slot.ds.pool, jobs);
-    let mut doc = ReportDoc::new("typing", "derivative");
-    push_typing_rows(
-        &mut doc,
-        &mut slot.engine,
-        &slot.ds.graph,
-        &slot.ds.pool,
-        &typing,
-    );
-    let conforms = (!typing.is_partial()).then_some(true);
-    let exit = if typing.is_partial() { 3 } else { 0 };
-    (finish_engine_doc(doc, &slot.engine, 0, conforms), exit)
+    match &mut slot.kind {
+        SlotKind::Shex(engine) => {
+            let typing = engine.type_all_par(&slot.ds.graph, &slot.ds.pool, jobs);
+            let mut doc = ReportDoc::new("typing", "derivative");
+            push_typing_rows(&mut doc, engine, &slot.ds.graph, &slot.ds.pool, &typing);
+            let conforms = (!typing.is_partial()).then_some(true);
+            let exit = if typing.is_partial() { 3 } else { 0 };
+            (finish_engine_doc(doc, engine, 0, conforms), exit)
+        }
+        SlotKind::Shacl(validator) => {
+            let outcome = validator.validate_par(&mut slot.ds, jobs);
+            let exit = match outcome.conforms() {
+                Some(true) => 0,
+                Some(false) => 2,
+                None => 3,
+            };
+            (
+                shapex_shacl::shacl_report(&outcome, validator.engine()),
+                exit,
+            )
+        }
+    }
 }
 
 /// The registry of named entries plus service-level counters.
@@ -258,12 +343,20 @@ impl Registry {
         &self,
         id: &str,
         schema_src: String,
+        schema_format: SchemaFormat,
         data_src: String,
         format: DataFormat,
         config: EngineConfig,
         jobs: usize,
     ) -> Result<(), String> {
-        let slot = match self.take_warm_slot(id, &data_src, format) {
+        // SHACL entries always build cold: schema_diff speaks the engine's
+        // shape-expression language, not the front end's verdict logic, so
+        // a verdict transplant could silently reuse stale answers.
+        let warm = match schema_format {
+            SchemaFormat::Shex => self.take_warm_slot(id, &data_src, format),
+            SchemaFormat::Shacl => None,
+        };
+        let slot = match warm {
             Some((old_schema_src, old_slot)) => {
                 match warm_swap(&old_schema_src, &schema_src, old_slot, config) {
                     Ok(slot) => slot,
@@ -275,10 +368,19 @@ impl Registry {
                     }
                 }
             }
-            None => build_slot(&schema_src, &data_src, format, jobs, &[], config)?,
+            None => build_slot(
+                &schema_src,
+                schema_format,
+                &data_src,
+                format,
+                jobs,
+                &[],
+                config,
+            )?,
         };
         let entry = Entry {
             schema_src,
+            schema_format,
             data_src,
             format,
             config,
@@ -307,7 +409,10 @@ impl Registry {
     ) -> Option<(String, Slot)> {
         let entries = self.entries.read().unwrap_or_else(|p| p.into_inner());
         let entry = entries.get(id)?;
-        if entry.data_src != data_src || entry.format != format {
+        if entry.schema_format != SchemaFormat::Shex
+            || entry.data_src != data_src
+            || entry.format != format
+        {
             return None;
         }
         let mut guard = entry.slot.lock().unwrap_or_else(|p| p.into_inner());
@@ -384,7 +489,7 @@ impl Registry {
             .unwrap_or_else(|p| p.into_inner())
             .as_ref()
         {
-            slot.engine.set_executor(Arc::clone(exec));
+            slot.kind.engine_mut().set_executor(Arc::clone(exec));
         }
         match catch_unwind(AssertUnwindSafe(|| op(slot, entry.jobs))) {
             Ok(r) => Ok(r),
@@ -435,8 +540,14 @@ impl Registry {
             Err(e) => return ApiResponse::error(422, format!("shape map: {e}")),
         };
         let result = self.with_entry(id, |slot, _jobs| -> Result<(String, ExitCode), String> {
-            let outcomes = slot
-                .engine
+            let SlotKind::Shex(engine) = &mut slot.kind else {
+                return Err(
+                    "shape maps address ShEx shape labels; entry holds a SHACL schema \
+                     (its shapes carry their own targets — use /validate)"
+                        .to_string(),
+                );
+            };
+            let outcomes = engine
                 .validate_map(&slot.ds.graph, &mut slot.ds.pool, &map)
                 .map_err(|e| e.to_string())?;
             let mut ok = 0;
@@ -482,7 +593,7 @@ impl Registry {
             } else {
                 0
             };
-            Ok((finish_engine_doc(doc, &slot.engine, 0, conforms), exit))
+            Ok((finish_engine_doc(doc, engine, 0, conforms), exit))
         });
         match result {
             Ok(Ok((body, exit))) => ApiResponse::ok(body, exit),
@@ -499,19 +610,26 @@ impl Registry {
         let result = self.with_entry(
             id,
             |slot, jobs| -> Result<(String, ExitCode), (u16, String)> {
+                let SlotKind::Shex(engine) = &mut slot.kind else {
+                    return Err((
+                        422,
+                        "incremental revalidation transplants engine-level verdicts; \
+                         a SHACL entry's conformance verdicts also depend on the \
+                         front-end logic layer — reload the entry instead"
+                            .to_string(),
+                    ));
+                };
                 let d = match delta::parse(delta_src, &mut slot.ds.pool) {
                     Ok(d) => d,
                     Err(e) => return Err((422, e.to_string())),
                 };
 
                 // Before: the (memo-served, on a warm engine) pre-delta typing.
-                let before_typing = slot
-                    .engine
-                    .type_all_par(&slot.ds.graph, &slot.ds.pool, jobs);
+                let before_typing = engine.type_all_par(&slot.ds.graph, &slot.ds.pool, jobs);
                 let mut before_doc = ReportDoc::new("typing", "derivative");
                 push_typing_rows(
                     &mut before_doc,
-                    &mut slot.engine,
+                    engine,
                     &slot.ds.graph,
                     &slot.ds.pool,
                     &before_typing,
@@ -525,7 +643,7 @@ impl Registry {
                 // concurrently with the graph mutation — the pipelined
                 // /delta path.
                 let (plan, applied) = if jobs > 1 {
-                    let engine = &slot.engine;
+                    let engine = &*engine;
                     let ds = &mut slot.ds;
                     std::thread::scope(|s| {
                         let planner = s.spawn(|| engine.plan_invalidation(&d));
@@ -534,15 +652,12 @@ impl Registry {
                         (plan, applied)
                     })
                 } else {
-                    (
-                        slot.engine.plan_invalidation(&d),
-                        slot.ds.try_apply_delta(&d),
-                    )
+                    (engine.plan_invalidation(&d), slot.ds.try_apply_delta(&d))
                 };
                 if let Err(e) = applied {
                     return Err((500, e.to_string()));
                 }
-                let after_typing = match slot.engine.revalidate_par_planned(
+                let after_typing = match engine.revalidate_par_planned(
                     &slot.ds.graph,
                     &slot.ds.pool,
                     &d,
@@ -559,14 +674,14 @@ impl Registry {
                 let mut after_doc = ReportDoc::new("typing", "derivative");
                 push_typing_rows(
                     &mut after_doc,
-                    &mut slot.engine,
+                    engine,
                     &slot.ds.graph,
                     &slot.ds.pool,
                     &after_typing,
                 );
                 let after = after_doc.finish((!after_typing.is_partial()).then_some(true));
 
-                let stats = slot.engine.stats();
+                let stats = engine.stats();
                 let mut doc = ReportDoc::new("delta", "derivative");
                 doc.set(
                     "delta",
@@ -582,7 +697,7 @@ impl Registry {
                 doc.set("after", after);
                 let conforms = (!after_typing.is_partial()).then_some(true);
                 let exit = if after_typing.is_partial() { 3 } else { 0 };
-                Ok((finish_engine_doc(doc, &slot.engine, 0, conforms), exit))
+                Ok((finish_engine_doc(doc, engine, 0, conforms), exit))
             },
         );
         match result {
@@ -618,9 +733,16 @@ impl Registry {
             if let Some(slot) = guard.as_ref() {
                 m.insert("triples".to_string(), Value::from(slot.ds.graph.len()));
                 m.insert("deltas_applied".to_string(), Value::from(slot.deltas.len()));
-                m.insert("stats".to_string(), slot.engine.stats().to_json());
-                if let Some(metrics) = slot.engine.metrics() {
-                    let engine = &slot.engine;
+                m.insert(
+                    "schema_format".to_string(),
+                    Value::from(match entry.schema_format {
+                        SchemaFormat::Shex => "shex",
+                        SchemaFormat::Shacl => "shacl",
+                    }),
+                );
+                m.insert("stats".to_string(), slot.kind.engine().stats().to_json());
+                if let Some(metrics) = slot.kind.engine().metrics() {
+                    let engine = slot.kind.engine();
                     let labels = |i: usize| {
                         engine
                             .label_of(shapex::ShapeId(i as u32))
@@ -651,6 +773,7 @@ fn rebuild_checked(entry: &Entry, deltas: &[String]) -> Result<Slot, String> {
         catch_unwind(AssertUnwindSafe(|| {
             build_slot(
                 &entry.schema_src,
+                entry.schema_format,
                 &entry.data_src,
                 entry.format,
                 entry.jobs,

@@ -102,6 +102,7 @@ fn serve_fixture(config: ServerConfig) -> ServerHandle {
         .load(
             "default",
             SCHEMA.to_string(),
+            shapex_server::registry::SchemaFormat::Shex,
             DATA.to_string(),
             shapex_server::registry::DataFormat::Turtle,
             config.engine_config(),
@@ -265,6 +266,73 @@ fn load_registers_new_entries() {
     assert_eq!(refused.status, 422);
     let missing = request(&handle, "POST", "/validate?id=broken", "");
     assert_eq!(missing.status, 404);
+
+    handle.shutdown();
+}
+
+const SHACL_SHAPES: &str = include_str!("../../../fixtures/shacl/shapes.ttl");
+const SHACL_DATA: &str = include_str!("../../../fixtures/shacl/data.ttl");
+
+/// The report the CLI prints for `validate --shacl shapes.ttl data.ttl
+/// --report json --jobs 1` over the same fixture — built through the same
+/// front-end crate, so `/validate` on a SHACL entry must match it byte
+/// for byte.
+fn shacl_reference_report(config: &ServerConfig) -> String {
+    let shapes = shapex_rdf::turtle::parse(SHACL_SHAPES).unwrap();
+    let schema = shapex_shacl::compile(&shapes).unwrap();
+    let mut ds = shapex_rdf::turtle::parse(SHACL_DATA).unwrap();
+    let mut validator =
+        shapex_shacl::ShaclValidator::new(schema, &mut ds.pool, config.engine_config()).unwrap();
+    let outcome = validator.validate_par(&mut ds, 1);
+    shapex_shacl::shacl_report(&outcome, validator.engine())
+}
+
+#[test]
+fn shacl_entry_validates_and_refuses_map_delta() {
+    let _guard = test_lock();
+    let config = local_config();
+    let reference = shacl_reference_report(&config);
+    let handle = serve_fixture(config);
+
+    let body = serde_json::to_string(&serde_json::json!({
+        "schema": SHACL_SHAPES,
+        "data": SHACL_DATA,
+        "schema_format": "shacl",
+    }))
+    .unwrap();
+    let loaded = request(&handle, "POST", "/load?id=shapes", &body);
+    assert_eq!(loaded.status, 200, "body: {}", loaded.body);
+
+    // The fixture carries three violations: sh:ValidationReport JSON,
+    // exit 2 in the header, bytes identical to the CLI path.
+    let validate = request(&handle, "POST", "/validate?id=shapes", "");
+    assert_eq!(validate.status, 200);
+    assert_eq!(validate.header("X-Shapex-Exit"), Some("2"));
+    assert_eq!(validate.body, reference);
+
+    // Shape maps address ShEx labels; deltas transplant engine-level
+    // verdicts. Both are refused on a SHACL entry with 422, and the
+    // entry keeps serving afterwards.
+    let map = request(&handle, "POST", "/map?id=shapes", "<x>@<y>");
+    assert_eq!(map.status, 422, "body: {}", map.body);
+    let delta = request(&handle, "POST", "/delta?id=shapes", DELTA);
+    assert_eq!(delta.status, 422, "body: {}", delta.body);
+    let again = request(&handle, "POST", "/validate?id=shapes", "");
+    assert_eq!(again.body, reference);
+
+    // An unsupported SHACL term is refused at load, never served vacuously.
+    let sparql = serde_json::to_string(&serde_json::json!({
+        "schema": "@prefix sh: <http://www.w3.org/ns/shacl#> .\n\
+                   @prefix ex: <http://example.org/> .\n\
+                   ex:S a sh:NodeShape ; sh:targetClass ex:T ;\n\
+                        sh:sparql ex:Q .",
+        "data": SHACL_DATA,
+        "schema_format": "shacl",
+    }))
+    .unwrap();
+    let refused = request(&handle, "POST", "/load?id=sparql", &sparql);
+    assert_eq!(refused.status, 422, "body: {}", refused.body);
+    assert!(refused.body.contains("E001"), "body: {}", refused.body);
 
     handle.shutdown();
 }

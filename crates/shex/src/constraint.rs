@@ -172,6 +172,10 @@ pub enum NodeConstraint {
     Facet(Facet),
     /// Conjunction, e.g. `xsd:integer MININCLUSIVE 0`.
     AllOf(Vec<NodeConstraint>),
+    /// Disjunction: any member matching. Not produced by the ShExC parser
+    /// (ShEx spells value disjunction as shape `OR`); the SHACL front-end
+    /// compiles `sh:or` over value-testable shapes to this.
+    AnyOf(Vec<NodeConstraint>),
     /// Negation (§10 extension): `NOT <constraint>`.
     Not(Box<NodeConstraint>),
 }
@@ -197,6 +201,7 @@ impl NodeConstraint {
             NodeConstraint::ValueSet(vs) => vs.iter().any(|v| v.matches(term)),
             NodeConstraint::Facet(f) => f.matches(term),
             NodeConstraint::AllOf(cs) => cs.iter().all(|c| c.matches(term)),
+            NodeConstraint::AnyOf(cs) => cs.iter().any(|c| c.matches(term)),
             NodeConstraint::Not(c) => !c.matches(term),
         }
     }
@@ -392,6 +397,19 @@ mod tests {
         assert!(c.matches(&s("John")));
         assert!(!c.matches(&s("john")));
         assert!(!c.matches(&Term::iri("http://e/John")));
+    }
+
+    #[test]
+    fn any_of_disjunction() {
+        let c = NodeConstraint::AnyOf(vec![
+            NodeConstraint::Datatype(xsd::INTEGER.into()),
+            NodeConstraint::Datatype(xsd::STRING.into()),
+        ]);
+        assert!(c.matches(&int(1)));
+        assert!(c.matches(&s("x")));
+        assert!(!c.matches(&Term::iri("http://e/x")));
+        // Empty disjunction matches nothing.
+        assert!(!NodeConstraint::AnyOf(vec![]).matches(&int(1)));
     }
 
     #[test]

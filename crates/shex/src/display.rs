@@ -144,6 +144,15 @@ pub fn constraint_to_shexc(c: &NodeConstraint) -> String {
             .map(constraint_to_shexc)
             .collect::<Vec<_>>()
             .join(" "),
+        // Diagnostic rendering only; the ShExC parser does not read this
+        // back (ShEx spells value disjunction as shape OR).
+        NodeConstraint::AnyOf(cs) => format!(
+            "({})",
+            cs.iter()
+                .map(constraint_to_shexc)
+                .collect::<Vec<_>>()
+                .join(" OR ")
+        ),
         NodeConstraint::Not(inner) => format!("NOT {}", constraint_to_shexc(inner)),
     }
 }

@@ -295,7 +295,7 @@ fn specific_constraint_lints(label: &ShapeLabel, c: &NodeConstraint, out: &mut V
                 });
             }
         }
-        NodeConstraint::AllOf(cs) => {
+        NodeConstraint::AllOf(cs) | NodeConstraint::AnyOf(cs) => {
             for inner in cs {
                 specific_constraint_lints(label, inner, out);
             }

@@ -80,6 +80,35 @@ fn conj_sat_depth(cs: &[&NodeConstraint], depth: u32) -> Sat3 {
         }
     }
     if depth > 0 {
+        // A positive disjunction splits into one branch per member:
+        // `AnyOf(m₁…mₖ) ∧ rest` is `(m₁ ∧ rest) ∨ … ∨ (mₖ ∧ rest)`, so the
+        // verdict is again the lattice `max` over branches.
+        let pos_split = atoms.pos.iter().enumerate().find_map(|(i, p)| match p {
+            NodeConstraint::AnyOf(ms) if ms.len() <= 8 => Some((i, ms)),
+            _ => None,
+        });
+        if let Some((idx, members)) = pos_split {
+            let mut best = Sat3::Unsat;
+            for m in members {
+                let mut branch: Vec<NodeConstraint> = atoms
+                    .pos
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != idx)
+                    .map(|(_, p)| (*p).clone())
+                    .collect();
+                branch.push(m.clone());
+                for n in &atoms.neg {
+                    branch.push(NodeConstraint::Not(Box::new((*n).clone())));
+                }
+                let refs: Vec<&NodeConstraint> = branch.iter().collect();
+                best = best.max(conj_sat_depth(&refs, depth - 1));
+                if best == Sat3::Sat {
+                    return Sat3::Sat;
+                }
+            }
+            return best;
+        }
         let split = atoms.neg.iter().enumerate().find_map(|(i, n)| match n {
             NodeConstraint::AllOf(ms) if ms.len() <= 8 => Some((i, ms)),
             _ => None,
@@ -134,6 +163,12 @@ impl<'a> Atoms<'a> {
         match c {
             // ¬¬X = X
             NodeConstraint::Not(inner) => self.add_positive(inner),
+            // ¬(X ∨ Y) = ¬X ∧ ¬Y — flattens exactly.
+            NodeConstraint::AnyOf(cs) => {
+                for c in cs {
+                    self.add_negative(c);
+                }
+            }
             // ¬(X ∧ Y) is a disjunction — keep it whole; eval() handles it.
             _ => self.neg.push(c),
         }
@@ -988,6 +1023,33 @@ mod tests {
         // ¬(.) is unsatisfiable.
         let c = NodeConstraint::Not(Box::new(NodeConstraint::Any));
         assert_eq!(constraint_sat(&c), Sat3::Unsat);
+    }
+
+    #[test]
+    fn any_of_splits_exactly() {
+        // Empty disjunction is false.
+        assert_eq!(constraint_sat(&NodeConstraint::AnyOf(vec![])), Sat3::Unsat);
+        // Every branch contradictory ⇒ Unsat.
+        let c = NodeConstraint::AllOf(vec![
+            NodeConstraint::Kind(NodeKind::Iri),
+            NodeConstraint::AnyOf(vec![
+                NodeConstraint::Kind(NodeKind::Literal),
+                NodeConstraint::Kind(NodeKind::BNode),
+            ]),
+        ]);
+        assert_eq!(constraint_sat(&c), Sat3::Unsat);
+        // One live branch ⇒ Sat.
+        let c = NodeConstraint::AnyOf(vec![
+            NodeConstraint::ValueSet(vec![]),
+            NodeConstraint::Datatype(xsd::STRING.into()),
+        ]);
+        assert_eq!(constraint_sat(&c), Sat3::Sat);
+        // ¬(X ∨ Y) flattens: ¬IRI ∧ ¬BNODE is satisfied by any literal.
+        let c = NodeConstraint::Not(Box::new(NodeConstraint::AnyOf(vec![
+            NodeConstraint::Kind(NodeKind::Iri),
+            NodeConstraint::Kind(NodeKind::BNode),
+        ])));
+        assert_eq!(constraint_sat(&c), Sat3::Sat);
     }
 
     #[test]

@@ -375,6 +375,14 @@ fn fill_constraint(c: &NodeConstraint, obj: &mut Map<String, Value>) {
                 fill_constraint(inner, obj);
             }
         }
+        NodeConstraint::AnyOf(cs) => {
+            // Dialect extension (like "not" below): ShExJ proper spells
+            // value disjunction as a ShapeOr of constraints.
+            obj.insert(
+                "anyOf".into(),
+                Value::Array(cs.iter().map(constraint_to_json).collect()),
+            );
+        }
         NodeConstraint::Not(_) => {
             // handled by constraint_to_json; nested Not inside AllOf keeps
             // its own wrapper object under "not".
@@ -464,6 +472,10 @@ fn constraint_from_json(v: &Value) -> Result<NodeConstraint, ShexjError> {
     }
     if let Some(not) = obj.get("not") {
         parts.push(constraint_from_json(not)?);
+    }
+    if let Some(any) = obj.get("anyOf").and_then(Value::as_array) {
+        let members: Result<Vec<_>, _> = any.iter().map(constraint_from_json).collect();
+        parts.push(NodeConstraint::AnyOf(members?));
     }
     Ok(match parts.len() {
         0 => NodeConstraint::Any,

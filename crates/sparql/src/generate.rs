@@ -159,6 +159,13 @@ fn constraint_filter(c: &NodeConstraint) -> Result<String, GenError> {
             let parts: Result<Vec<_>, _> = cs.iter().map(constraint_filter).collect();
             Ok(format!("({})", parts?.join(" && ")))
         }
+        NodeConstraint::AnyOf(cs) => {
+            if cs.is_empty() {
+                return Ok("false".to_string());
+            }
+            let parts: Result<Vec<_>, _> = cs.iter().map(constraint_filter).collect();
+            Ok(format!("({})", parts?.join(" || ")))
+        }
         NodeConstraint::Not(inner) => Ok(format!("!{}", constraint_filter(inner)?)),
     }
 }

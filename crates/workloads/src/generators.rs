@@ -361,6 +361,118 @@ pub fn flat_person_records(n: usize, seed: u64) -> Workload {
     }
 }
 
+/// A generated SHACL workload: a shapes graph plus the hand-written ShEx
+/// schema that compiles to the same engine-level obligations.
+pub struct ShaclWorkload {
+    /// Short identifier (used in bench/test ids).
+    pub name: String,
+    /// SHACL shapes graph, Turtle source.
+    pub shapes: String,
+    /// Hand-written ShEx equivalent. Validate it with the *open* closure:
+    /// the SHACL front end always runs the engine open (per-path
+    /// counting), so the closed default would diverge on extra predicates.
+    pub shex: String,
+    /// The ShEx shape label matching the SHACL target shape.
+    pub shex_shape: String,
+    /// The data graph. Every person carries `rdf:type e:Person`, so the
+    /// SHACL `sh:targetClass` selects exactly `focus`.
+    pub dataset: Dataset,
+    /// IRIs of the targeted nodes, aligned with `expected`.
+    pub focus: Vec<String>,
+    /// Ground-truth conformance of each focus node.
+    pub expected: Vec<bool>,
+}
+
+/// **E8** — SHACL front-end workload: `n` person records targeted by a
+/// `sh:targetClass` node shape (`name`: `xsd:string`, `minCount 1`;
+/// `age`: `xsd:integer`, `maxCount 0..1`). Invalid records (half, seeded)
+/// miss the name, mistype the age, or carry two ages. The bundled ShEx
+/// schema (`name xsd:string+ , age xsd:integer?` under the open closure)
+/// imposes the same obligations, so per-focus verdicts from the compiled
+/// SHACL schema and the ShEx schema must agree exactly — the differential
+/// suite pins that.
+pub fn shacl_person_records(n: usize, seed: u64) -> ShaclWorkload {
+    use shapex_rdf::vocab::{rdf, xsd};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let shapes = format!(
+        "@prefix sh: <http://www.w3.org/ns/shacl#> .\n\
+         @prefix xsd: <{xsd}> .\n\
+         @prefix e: <{EX}> .\n\
+         \n\
+         e:PersonShape a sh:NodeShape ;\n\
+           sh:targetClass e:Person ;\n\
+           sh:property [ sh:path e:name ; sh:datatype xsd:string ; sh:minCount 1 ] ;\n\
+           sh:property [ sh:path e:age ; sh:datatype xsd:integer ; sh:maxCount 1 ] .\n",
+        xsd = xsd::NS,
+    );
+    let shex = format!(
+        "PREFIX e: <{EX}>\nPREFIX xsd: <{}>\n\
+         <Person> {{ e:name xsd:string+ , e:age xsd:integer? }}",
+        xsd::NS
+    );
+    let mut dataset = Dataset::new();
+    let mut expected = Vec::with_capacity(n);
+    for i in 0..n {
+        let p = Term::iri(format!("{EX}person{i}"));
+        dataset.insert(p.clone(), Term::iri(rdf::TYPE), iri("Person"));
+        let valid = rng.gen_bool(0.5);
+        if valid {
+            dataset.insert(
+                p.clone(),
+                iri("name"),
+                Term::Literal(Literal::string(format!("Name {i}"))),
+            );
+            if rng.gen_bool(0.5) {
+                dataset.insert(
+                    p.clone(),
+                    iri("age"),
+                    Term::Literal(Literal::integer(rng.gen_range(1..100))),
+                );
+            }
+        } else {
+            match rng.gen_range(0..3u8) {
+                0 => {
+                    // missing name (violates minCount 1)
+                    dataset.insert(
+                        p.clone(),
+                        iri("age"),
+                        Term::Literal(Literal::integer(rng.gen_range(1..100))),
+                    );
+                }
+                1 => {
+                    // age has the wrong datatype (violates sh:datatype)
+                    dataset.insert(
+                        p.clone(),
+                        iri("name"),
+                        Term::Literal(Literal::string(format!("Name {i}"))),
+                    );
+                    dataset.insert(p.clone(), iri("age"), Term::Literal(Literal::string("old")));
+                }
+                _ => {
+                    // two ages (violates maxCount 1)
+                    dataset.insert(
+                        p.clone(),
+                        iri("name"),
+                        Term::Literal(Literal::string(format!("Name {i}"))),
+                    );
+                    dataset.insert(p.clone(), iri("age"), Term::Literal(Literal::integer(30)));
+                    dataset.insert(p.clone(), iri("age"), Term::Literal(Literal::integer(31)));
+                }
+            }
+        }
+        expected.push(valid);
+    }
+    ShaclWorkload {
+        name: format!("shacl_person/n={n}"),
+        shapes,
+        shex,
+        shex_shape: "Person".to_string(),
+        dataset,
+        focus: (0..n).map(|i| format!("{EX}person{i}")).collect(),
+        expected,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -431,6 +543,19 @@ mod tests {
         assert!(w.expected.iter().all(|&v| v));
         // knows edges exist
         assert_eq!(w.dataset.graph.len(), 6 * 3);
+    }
+
+    #[test]
+    fn shacl_person_is_deterministic_with_mixed_verdicts() {
+        let a = shacl_person_records(50, 11);
+        let b = shacl_person_records(50, 11);
+        assert_eq!(a.expected, b.expected);
+        assert_eq!(a.dataset.graph.len(), b.dataset.graph.len());
+        assert_eq!(a.focus.len(), 50);
+        assert!(a.expected.iter().any(|&v| v));
+        assert!(a.expected.iter().any(|&v| !v));
+        assert!(a.shapes.contains("sh:targetClass"));
+        assert!(a.shex.contains("<Person>"));
     }
 
     #[test]

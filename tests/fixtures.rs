@@ -37,10 +37,14 @@ fn load_fixtures() -> Vec<Fixture> {
         .expect("fixtures directory exists")
         .map(|e| e.expect("readable entry").path())
         .filter(|p| {
+            // Underscore-prefixed dirs opt out; dirs without a schema.shex
+            // belong to other suites (fixtures/shacl is driven by
+            // shacl_conformance.rs).
             p.is_dir()
                 && !p
                     .file_name()
                     .is_some_and(|n| n.to_string_lossy().starts_with('_'))
+                && p.join("schema.shex").is_file()
         })
         .collect();
     dirs.sort();
